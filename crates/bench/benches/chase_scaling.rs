@@ -1,0 +1,83 @@
+//! E9 — chase complexity (Theorem 5.2 and Appendix H).
+//!
+//! * `appendix_h/m=…`: the paper's lower-bound family — chase size (and
+//!   time) grows exponentially in the schema size m (|Σ| quadratic in m);
+//! * `query_size/n=…`: fixed small Σ, growing query — polynomial in |Q|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_chase::{set_chase, sound_chase, ChaseConfig};
+use eqsql_cq::{Atom, CqQuery, Term};
+use eqsql_deps::parse_dependencies;
+use eqsql_gen::appendix_h_instance;
+use eqsql_relalg::Semantics;
+use std::hint::black_box;
+
+fn bench_appendix_h(c: &mut Criterion) {
+    let cfg = ChaseConfig { max_steps: 50_000, max_atoms: 50_000 };
+    let mut group = c.benchmark_group("chase_scaling/appendix_h");
+    group.sample_size(10);
+    for m in [2usize, 3, 4, 5, 6] {
+        let inst = appendix_h_instance(m);
+        group.bench_with_input(BenchmarkId::new("set_chase", m), &inst, |b, inst| {
+            b.iter(|| {
+                let r = set_chase(black_box(&inst.query), &inst.sigma, &cfg).unwrap();
+                black_box(r.query.body.len())
+            })
+        });
+        if m <= 4 {
+            // The sound bag chase re-verifies assignment-fixing per step:
+            // same exponential output, higher constant.
+            group.bench_with_input(BenchmarkId::new("sound_bag_chase", m), &inst, |b, inst| {
+                b.iter(|| {
+                    let r = sound_chase(
+                        Semantics::Bag,
+                        black_box(&inst.query),
+                        &inst.sigma,
+                        &inst.schema,
+                        &cfg,
+                    )
+                    .unwrap();
+                    black_box(r.query.body.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A chain query q(X0) :- e(X0,X1), ..., e(X_{n-1},X_n) chased with a
+/// 2-dependency Σ: polynomial growth in |Q|.
+fn chain_query(n: usize) -> CqQuery {
+    let body: Vec<Atom> = (0..n)
+        .map(|i| {
+            Atom::new("e", vec![Term::var(&format!("X{i}")), Term::var(&format!("X{}", i + 1))])
+        })
+        .collect();
+    CqQuery::new("q", vec![Term::var("X0")], body)
+}
+
+fn bench_query_size(c: &mut Criterion) {
+    let sigma = parse_dependencies(
+        "e(X,Y) -> n(X).\n\
+         e(X,Y) -> n(Y).\n\
+         n(X) -> m(X,Z).\n\
+         m(X,Z1) & m(X,Z2) -> Z1 = Z2.",
+    )
+    .unwrap();
+    let cfg = ChaseConfig { max_steps: 50_000, max_atoms: 50_000 };
+    let mut group = c.benchmark_group("chase_scaling/query_size");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 16, 32] {
+        let q = chain_query(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| {
+                let r = set_chase(black_box(q), &sigma, &cfg).unwrap();
+                black_box(r.query.body.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_appendix_h, bench_query_size);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E13 — the C&B family: reformulation cost per semantics on Example 4.1
+//! and on a foreign-key chain whose universal plan grows with depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_bench::{schema_4_1, sigma_4_1};
+use eqsql_chase::ChaseConfig;
+use eqsql_core::cnb::{cnb, CnbOptions};
+use eqsql_core::Semantics;
+use eqsql_cq::parse_query;
+use eqsql_deps::parse_dependencies;
+use eqsql_relalg::Schema;
+use std::hint::black_box;
+
+fn bench_example_4_1(c: &mut Criterion) {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let opts = CnbOptions::default();
+    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+    let mut group = c.benchmark_group("cnb/example_4_1");
+    group.sample_size(10);
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        group.bench_function(BenchmarkId::from_parameter(sem), |b| {
+            b.iter(|| {
+                let r = cnb(sem, black_box(&q1), &sigma, &schema, &cfg, &opts).unwrap();
+                black_box(r.reformulations.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// FK chain t1 -> t2 -> ... -> tk, all keyed and set-valued: the universal
+/// plan of a query over t1 grows linearly with k, the backchase
+/// exponentially.
+fn fk_chain(k: usize) -> (eqsql_deps::DependencySet, Schema) {
+    let mut text = String::new();
+    for i in 1..k {
+        text.push_str(&format!("t{i}(X,Y) -> t{}(Y,Z).\n", i + 1));
+    }
+    for i in 1..=k {
+        text.push_str(&format!("t{i}(X,Y1) & t{i}(X,Y2) -> Y1 = Y2.\n"));
+    }
+    let sigma = parse_dependencies(&text).unwrap();
+    let mut schema = Schema::new();
+    for i in 1..=k {
+        schema.add(eqsql_relalg::RelSchema::set(&format!("t{i}"), 2));
+    }
+    (sigma, schema)
+}
+
+fn bench_fk_chain(c: &mut Criterion) {
+    let cfg = ChaseConfig::default();
+    let opts = CnbOptions::default();
+    let mut group = c.benchmark_group("cnb/fk_chain");
+    group.sample_size(10);
+    for k in [2usize, 4, 6, 8] {
+        let (sigma, schema) = fk_chain(k);
+        let q = parse_query("q(X) :- t1(X,Y)").unwrap();
+        for sem in [Semantics::Set, Semantics::Bag] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{sem}"), k),
+                &(sigma.clone(), schema.clone(), q.clone()),
+                |b, (sigma, schema, q)| {
+                    b.iter(|| {
+                        let r = cnb(sem, black_box(q), sigma, schema, &cfg, &opts).unwrap();
+                        black_box(r.candidates_tested)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_4_1, bench_fk_chain);
+criterion_main!(benches);

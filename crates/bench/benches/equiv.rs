@@ -1,0 +1,73 @@
+//! E6/E11 — cost of the equivalence tests.
+//!
+//! * dependency-free tests of Theorem 2.1 (bag ≅, bag-set canonical ≅) and
+//!   Chandra–Merlin set equivalence, over growing random queries;
+//! * the full Σ-equivalence tests of Theorems 2.2/6.1/6.2 on Example 4.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_bench::{schema_4_1, sigma_4_1};
+use eqsql_chase::ChaseConfig;
+use eqsql_core::equiv::{bag_equivalent, bag_set_equivalent, set_equivalent};
+use eqsql_core::{sigma_equivalent, Semantics};
+use eqsql_cq::parse_query;
+use eqsql_gen::queries::{random_query, QueryParams};
+use eqsql_gen::rename_isomorphic;
+use eqsql_relalg::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dependency_free(c: &mut Criterion) {
+    let schema = Schema::all_bags(&[("p", 2), ("s", 2), ("r", 3), ("u", 1)]);
+    let mut group = c.benchmark_group("equiv/dependency_free");
+    for atoms in [4usize, 8, 12] {
+        let mut rng = StdRng::seed_from_u64(atoms as u64);
+        let q = random_query(
+            &mut rng,
+            &schema,
+            &QueryParams { atoms, vars: atoms, const_prob: 0.05, const_domain: 3, max_head: 2 },
+        );
+        let iso = rename_isomorphic(&mut rng, &q);
+        group.bench_with_input(BenchmarkId::new("bag_iso", atoms), &(q.clone(), iso.clone()),
+            |b, (q, r)| b.iter(|| black_box(bag_equivalent(q, r))));
+        group.bench_with_input(
+            BenchmarkId::new("bag_set_canonical", atoms),
+            &(q.clone(), iso.clone()),
+            |b, (q, r)| b.iter(|| black_box(bag_set_equivalent(q, r))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("set_chandra_merlin", atoms),
+            &(q, iso),
+            |b, (q, r)| b.iter(|| black_box(set_equivalent(q, r))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sigma_tests(c: &mut Criterion) {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    let mut group = c.benchmark_group("equiv/sigma_example_4_1");
+    group.sample_size(20);
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        group.bench_function(BenchmarkId::from_parameter(sem), |b| {
+            b.iter(|| {
+                black_box(sigma_equivalent(
+                    sem,
+                    black_box(&q1),
+                    black_box(&q4),
+                    &sigma,
+                    &schema,
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dependency_free, bench_sigma_tests);
+criterion_main!(benches);

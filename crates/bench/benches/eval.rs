@@ -1,0 +1,73 @@
+//! E15 — the evaluation engine: naive assignment enumeration vs the
+//! operator-algebra planner, under the three semantics, as data grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eqsql_cq::parse_query;
+use eqsql_gen::db::{random_database, DbParams};
+use eqsql_relalg::eval::{eval, Semantics};
+use eqsql_relalg::ops::execute_query;
+use eqsql_relalg::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let schema = Schema::all_bags(&[("p", 2), ("s", 2), ("r", 1)]);
+    let q = parse_query("q(X,Z) :- p(X,Y), s(Y,Z), r(X)").unwrap();
+    let mut group = c.benchmark_group("eval/join3");
+    for n in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let db = random_database(
+            &mut rng,
+            &schema,
+            &DbParams {
+                tuples_per_relation: n,
+                domain: (n as i64 / 4).max(4),
+                dup_prob: 0.2,
+                max_mult: 3,
+            },
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("naive_bag", n), &db, |b, db| {
+            b.iter(|| black_box(eval(&q, db, Semantics::Bag).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("planned_bag", n), &db, |b, db| {
+            b.iter(|| black_box(execute_query(&q, db, Semantics::Bag).unwrap().len()))
+        });
+        let set_db = db.to_set();
+        group.bench_with_input(BenchmarkId::new("naive_bag_set", n), &set_db, |b, db| {
+            b.iter(|| black_box(eval(&q, db, Semantics::BagSet).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("planned_bag_set", n), &set_db, |b, db| {
+            b.iter(|| black_box(execute_query(&q, db, Semantics::BagSet).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("planned_set", n), &set_db, |b, db| {
+            b.iter(|| black_box(execute_query(&q, db, Semantics::Set).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate_eval(c: &mut Criterion) {
+    use eqsql_cq::parser::parse_aggregate_query;
+    use eqsql_relalg::aggregate::eval_aggregate;
+    let schema = Schema::all_sets(&[("emp", 3)]);
+    let q = parse_aggregate_query("q(D, sum(S)) :- emp(I, D, S)").unwrap();
+    let mut group = c.benchmark_group("eval/aggregate");
+    for n in [100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let db = random_database(
+            &mut rng,
+            &schema,
+            &DbParams { tuples_per_relation: n, domain: n as i64, dup_prob: 0.0, max_mult: 1 },
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| black_box(eval_aggregate(&q, db).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_aggregate_eval);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E10 — the Max-Σ-Subset algorithms (Algorithms 1–2 / Theorem 5.4):
+//! runtime on Example 4.1 and as |Σ| grows (per the theorem: polynomial
+//! in |Q|, exponential in |Σ| in the worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_bench::{schema_4_1, sigma_4_1};
+use eqsql_chase::{max_bag_set_sigma_subset, max_bag_sigma_subset, ChaseConfig};
+use eqsql_cq::parse_query;
+use eqsql_gen::appendix_h_instance;
+use std::hint::black_box;
+
+fn bench_example_4_1(c: &mut Criterion) {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    let mut group = c.benchmark_group("max_subset/example_4_1");
+    group.bench_function("bag", |b| {
+        b.iter(|| {
+            let r = max_bag_sigma_subset(black_box(&q4), &sigma, &schema, &cfg).unwrap();
+            black_box(r.subset.len())
+        })
+    });
+    group.bench_function("bag_set", |b| {
+        b.iter(|| {
+            let r = max_bag_set_sigma_subset(black_box(&q4), &sigma, &schema, &cfg).unwrap();
+            black_box(r.subset.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_growing_sigma(c: &mut Criterion) {
+    let cfg = ChaseConfig { max_steps: 50_000, max_atoms: 50_000 };
+    let mut group = c.benchmark_group("max_subset/appendix_h");
+    group.sample_size(10);
+    for m in [2usize, 3, 4] {
+        let inst = appendix_h_instance(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| {
+                let r = max_bag_sigma_subset(
+                    black_box(&inst.query),
+                    &inst.sigma,
+                    &inst.schema,
+                    &cfg,
+                )
+                .unwrap();
+                black_box(r.subset.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_4_1, bench_growing_sigma);
+criterion_main!(benches);

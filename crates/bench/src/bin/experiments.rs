@@ -1,0 +1,266 @@
+//! Regenerates every quantitative/behavioural claim recorded in
+//! `EXPERIMENTS.md` and prints paper-expected vs measured tables.
+//!
+//! ```sh
+//! cargo run -p eqsql-bench --bin experiments --release
+//! ```
+
+use eqsql_bench::{schema_4_1, sigma_4_1};
+use eqsql_chase::{
+    max_bag_set_sigma_subset, max_bag_sigma_subset, set_chase, sound_chase, ChaseConfig,
+};
+use eqsql_core::aggregate::sigma_agg_equivalent;
+use eqsql_core::cnb::{cnb, CnbOptions};
+use eqsql_core::counterexample::separating_database;
+use eqsql_core::{sigma_equivalent, Semantics};
+use eqsql_cq::parser::parse_aggregate_query;
+use eqsql_cq::parse_query;
+use eqsql_deps::satisfaction::db_satisfies_all;
+use eqsql_gen::appendix_h::{appendix_h_instance, expected_chase_size};
+use eqsql_relalg::eval::{eval_bag, eval_bag_set};
+use eqsql_relalg::{Database, Tuple};
+use std::time::Instant;
+
+fn header(title: &str) {
+    println!("\n══════════════════════════════════════════════════════════════════");
+    println!("{title}");
+    println!("══════════════════════════════════════════════════════════════════");
+}
+
+fn verdict(b: bool) -> &'static str {
+    if b {
+        "equivalent"
+    } else {
+        "NOT equivalent"
+    }
+}
+
+fn t1_example_4_1_matrix() {
+    header("T1 — Example 4.1: equivalence matrix (paper §4.1)");
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let queries = [
+        ("Q1", "q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)"),
+        ("Q2", "q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)"),
+        ("Q3", "q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)"),
+    ];
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    println!("{:<6} {:<16} {:<16} {:<16}", "vs Q4", "set", "bag-set", "bag");
+    let expected = [
+        ("Q1", "equivalent", "NOT", "NOT"),
+        ("Q2", "equivalent", "equivalent", "NOT"),
+        ("Q3", "equivalent", "equivalent", "equivalent"),
+    ];
+    for ((name, text), exp) in queries.iter().zip(expected.iter()) {
+        let q = parse_query(text).unwrap();
+        let s = sigma_equivalent(Semantics::Set, &q, &q4, &sigma, &schema, &cfg);
+        let bs = sigma_equivalent(Semantics::BagSet, &q, &q4, &sigma, &schema, &cfg);
+        let b = sigma_equivalent(Semantics::Bag, &q, &q4, &sigma, &schema, &cfg);
+        println!(
+            "{:<6} {:<16} {:<16} {:<16}   (paper: {}/{}/{})",
+            name,
+            verdict(s.is_equivalent()),
+            verdict(bs.is_equivalent()),
+            verdict(b.is_equivalent()),
+            exp.1,
+            exp.2,
+            exp.3
+        );
+    }
+
+    println!("\nSound chase chain of Q4 (paper: (Q4)Σ,S≅Q1ᶜ, (Q4)Σ,BS=Q2, (Q4)Σ,B=Q3):");
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        let r = sound_chase(sem, &q4, &sigma, &schema, &cfg).unwrap();
+        println!("  (Q4)Σ,{sem:<3} = {}", r.query);
+    }
+
+    println!("\nCounterexample database D (paper p.5):");
+    let db = Database::new()
+        .with_ints("p", &[[1, 2]])
+        .with_ints("r", &[[1]])
+        .with_ints("s", &[[1, 3]])
+        .with_ints("t", &[[1, 2, 4]])
+        .with_ints("u", &[[1, 5], [1, 6]]);
+    assert!(db_satisfies_all(&db, &sigma));
+    let q1 = parse_query(queries[0].1).unwrap();
+    println!("  Q4(D,B)  = {}   (paper: {{{{(1)}}}})", eval_bag(&q4, &db));
+    println!("  Q1(D,B)  = {}   (paper: {{{{(1), (1)}}}})", eval_bag(&q1, &db));
+    println!("  Q1(D,BS) = {}", eval_bag_set(&q1, &db).unwrap());
+}
+
+fn t2_appendix_h() {
+    header("T2 — Appendix H / Theorem 5.2: chase size exponential in |Σ|");
+    println!(
+        "{:>3} {:>6} {:>12} {:>12} {:>10} {:>12}",
+        "m", "|Σ|", "chase atoms", "closed form", "steps", "time"
+    );
+    let cfg = ChaseConfig { max_steps: 100_000, max_atoms: 100_000 };
+    for m in 1..=6 {
+        let inst = appendix_h_instance(m);
+        let t0 = Instant::now();
+        let r = set_chase(&inst.query, &inst.sigma, &cfg).unwrap();
+        let dt = t0.elapsed();
+        println!(
+            "{:>3} {:>6} {:>12} {:>12} {:>10} {:>12}",
+            m,
+            inst.sigma.len(),
+            r.query.body.len(),
+            expected_chase_size(m),
+            r.steps,
+            format!("{dt:.2?}")
+        );
+        assert_eq!(r.query.body.len(), expected_chase_size(m));
+    }
+    println!("growth ratio tends to 1+√2 ≈ 2.414 (Pell recurrence); |Σ| is quadratic in m.");
+}
+
+fn t3_max_subsets() {
+    header("T3 — Theorem 5.3 / Prop 5.2: Max-Σ-Subset chain on Example 4.1");
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    let b = max_bag_sigma_subset(&q4, &sigma, &schema, &cfg).unwrap();
+    let bs = max_bag_set_sigma_subset(&q4, &sigma, &schema, &cfg).unwrap();
+    println!("|Σ| = {}", sigma.len());
+    println!("|Σ^max_BS(Q4,Σ)| = {}  (paper: drops σ4)", bs.subset.len());
+    println!("|Σ^max_B (Q4,Σ)| = {}  (paper: drops σ3, σ4)", b.subset.len());
+    for d in sigma.iter() {
+        let in_b = b.subset.contains(d);
+        let in_bs = bs.subset.contains(d);
+        println!("  [{}|{}] {d}", if in_b { "B " } else { "  " }, if in_bs { "BS" } else { "  " });
+    }
+    assert!(b.subset.len() < bs.subset.len() && bs.subset.len() < sigma.len());
+}
+
+fn t4_cnb() {
+    header("T4 — C&B family on Example 4.1 (Theorems A.1/6.4/K.1)");
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let opts = CnbOptions::default();
+    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+    println!("input: {q1}");
+    println!("{:<8} {:>10} {:>12}  Σ-minimal reformulations", "sem", "candidates", "reformuls");
+    let expected = [
+        (Semantics::Set, "q(X) :- p(X,Y)"),
+        (Semantics::BagSet, "q(X) :- p(X,Y), u(X,U)"),
+        (Semantics::Bag, "q(X) :- p(X,Y), r(X), u(X,U)"),
+    ];
+    for (sem, exp) in expected {
+        let t0 = Instant::now();
+        let r = cnb(sem, &q1, &sigma, &schema, &cfg, &opts).unwrap();
+        let dt = t0.elapsed();
+        let rendered: Vec<String> = r.reformulations.iter().map(|q| q.to_string()).collect();
+        println!(
+            "{:<8} {:>10} {:>12}  {:?}  [{dt:.2?}]  (expected shape: {exp})",
+            sem.to_string(),
+            r.candidates_tested,
+            r.reformulations.len(),
+            rendered
+        );
+    }
+}
+
+fn t5_counterexample_search() {
+    header("T5 — counterexample construction (Thm 4.1 case 2 / Lemma D.1)");
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    for sem in [Semantics::Bag, Semantics::BagSet] {
+        match separating_database(sem, &q1, &q4, &sigma, &schema, &cfg) {
+            Some(db) => {
+                println!("{sem}: witness found (|D| = {} tuples):", db.len());
+                print!("{db}");
+            }
+            None => println!("{sem}: NO witness found (unexpected)"),
+        }
+    }
+    println!("set: {}", match separating_database(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg) {
+        Some(_) => "witness found (UNEXPECTED — they are set-equivalent)",
+        None => "no witness (correct: Q1 ≡_Σ,S Q4)",
+    });
+}
+
+fn t6_aggregates() {
+    header("T6 — aggregate equivalence (Theorems 2.3/6.3)");
+    let sigma = eqsql_deps::parse_dependencies(
+        "emp(I,D,S) -> dept(D).\n\
+         emp(I1,D1,S1) & emp(I1,D2,S2) -> D1 = D2.",
+    )
+    .unwrap();
+    let mut schema = eqsql_relalg::Schema::all_bags(&[("emp", 3), ("dept", 1), ("audit", 1)]);
+    schema.mark_set_valued(eqsql_cq::Predicate::new("emp"));
+    schema.mark_set_valued(eqsql_cq::Predicate::new("dept"));
+    let cfg = ChaseConfig::default();
+    let cases = [
+        ("max ± dept join", "m(D, max(S)) :- emp(I,D,S)", "m(D, max(S)) :- emp(I,D,S), dept(D)", true),
+        ("sum ± dept join", "t(D, sum(S)) :- emp(I,D,S)", "t(D, sum(S)) :- emp(I,D,S), dept(D)", true),
+        ("max ± audit join", "m(D, max(S)) :- emp(I,D,S)", "m(D, max(S)) :- emp(I,D,S), audit(I)", false),
+        ("sum ± dup emp", "t(D, sum(S)) :- emp(I,D,S)", "t(D, sum(S)) :- emp(I,D,S), emp(I,D,S)", true),
+        ("count ± extra emp join", "c(D, count(*)) :- emp(I,D,S)",
+         "c(D, count(*)) :- emp(I,D,S), emp(I2,D,S2)", false),
+    ];
+    for (name, a, b, expected) in cases {
+        let qa = parse_aggregate_query(a).unwrap();
+        let qb = parse_aggregate_query(b).unwrap();
+        let v = sigma_agg_equivalent(&qa, &qb, &sigma, &schema, &cfg);
+        println!(
+            "{name:<24} -> {:<16} (expected: {})",
+            verdict(v.is_equivalent()),
+            verdict(expected)
+        );
+        assert_eq!(v.is_equivalent(), expected, "{name}");
+    }
+}
+
+fn t7_lemma_d1() {
+    header("T7 — Lemma D.1 / Example D.2: the m-copy amplification");
+    use eqsql_core::counterexample::{amplify, lemma_d1_database, lemma_d1_m_star};
+    let q7 = parse_query("q7(X) :- p(X,Y), r(X), r(X)").unwrap();
+    let q8 = parse_query("q8(X) :- p(X,Y), r(X)").unwrap();
+    let r = eqsql_cq::Predicate::new("r");
+    let m_star = lemma_d1_m_star(&q7, &q8, r);
+    println!("m* bound for (Q7, Q8, R) = {m_star} (paper's Example D.2: 4m < m² needs m > 4)");
+    println!("{:>4} {:>10} {:>10}", "m", "Q7 mult", "Q8 mult");
+    let base = lemma_d1_database(&q8, r, 1);
+    for m in [2u64, 4, m_star, m_star + 3] {
+        let db = amplify(&base, r, m);
+        let a7 = eval_bag(&q7, &db);
+        let a8 = eval_bag(&q8, &db);
+        let t = a8.core_set().next().unwrap().clone();
+        println!("{m:>4} {:>10} {:>10}", a7.multiplicity(&t), a8.multiplicity(&t));
+        assert_eq!(a7.multiplicity(&t), m * m);
+        assert_eq!(a8.multiplicity(&t), m);
+    }
+}
+
+fn t8_engine_sanity() {
+    header("T8 — evaluation engine sanity (bag ≠ bag-set ≠ set on one D)");
+    let db = Database::new().with_ints("p", &[[1, 2], [1, 3]]);
+    let q = parse_query("q(X) :- p(X,Y)").unwrap();
+    println!("D: p = {{(1,2), (1,3)}}");
+    println!("Q(D,S)  = {}", eqsql_relalg::eval::eval_set(&q, &db).unwrap());
+    println!("Q(D,BS) = {}", eval_bag_set(&q, &db).unwrap());
+    let mut bag_db = Database::new();
+    bag_db.insert("p", Tuple::ints([1, 2]), 3);
+    println!("D': p = 3 copies of (1,2)");
+    println!("Q(D',B) = {}", eval_bag(&q, &bag_db));
+}
+
+fn main() {
+    println!("eqsql experiments — paper-vs-measured for Chirkova & Genesereth (PODS 2009)");
+    let t0 = Instant::now();
+    t1_example_4_1_matrix();
+    t2_appendix_h();
+    t3_max_subsets();
+    t4_cnb();
+    t5_counterexample_search();
+    t6_aggregates();
+    t7_lemma_d1();
+    t8_engine_sanity();
+    println!("\nall experiment tables regenerated in {:.2?}; every inline assertion held.", t0.elapsed());
+}

@@ -1,0 +1,63 @@
+//! Chase configuration and errors.
+
+use std::fmt;
+
+/// Resource limits for a chase run.
+///
+/// Set-semantics chase terminates for weakly acyclic Σ (Theorem H.1) but is
+/// undecidable in general, so every public entry point takes a step budget.
+/// Exhausting it yields [`ChaseError::BudgetExhausted`], and callers (the
+/// Σ-equivalence tests, the C&B family) report "unknown" rather than loop —
+/// matching the paper's "whenever set-chase on the inputs terminates"
+/// proviso.
+#[derive(Copy, Clone, Debug)]
+pub struct ChaseConfig {
+    /// Maximum number of chase steps before giving up.
+    pub max_steps: usize,
+    /// Maximum number of body atoms a chased query may grow to.
+    pub max_atoms: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig { max_steps: 5_000, max_atoms: 5_000 }
+    }
+}
+
+impl ChaseConfig {
+    /// A configuration with the given step budget.
+    pub fn with_max_steps(max_steps: usize) -> ChaseConfig {
+        ChaseConfig { max_steps, ..ChaseConfig::default() }
+    }
+}
+
+/// A chase-engine error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseError {
+    /// The step budget ran out — the chase may not terminate on this input
+    /// (Σ is not weakly acyclic, or the budget is too small).
+    BudgetExhausted {
+        /// Steps taken before giving up.
+        steps: usize,
+    },
+    /// The chased query grew past the atom budget.
+    QueryTooLarge {
+        /// Number of atoms reached.
+        atoms: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::BudgetExhausted { steps } => {
+                write!(f, "chase did not terminate within {steps} steps")
+            }
+            ChaseError::QueryTooLarge { atoms } => {
+                write!(f, "chased query grew past {atoms} atoms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}

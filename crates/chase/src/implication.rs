@@ -1,0 +1,144 @@
+//! `Σ ⊨ σ` — dependency implication, decided by chasing the frozen
+//! premise (see `eqsql_deps::implication` for the pieces).
+
+use crate::error::{ChaseConfig, ChaseError};
+use crate::set_chase::set_chase;
+use eqsql_deps::implication::{conclusion_holds, premise_query};
+use eqsql_deps::{Dependency, DependencySet};
+
+/// Does Σ logically imply `dep` (on all instances)? Sound and complete
+/// when the chase terminates; errors propagate the chase budget.
+pub fn implies(
+    sigma: &DependencySet,
+    dep: &Dependency,
+    config: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    let q = premise_query(dep);
+    let chased = set_chase(&q, sigma, config)?;
+    if chased.failed {
+        // The premise is unsatisfiable under Σ: σ holds vacuously.
+        return Ok(true);
+    }
+    Ok(conclusion_holds(dep, &chased.query, &chased.renaming))
+}
+
+/// Removes from Σ every dependency implied by the others — a minimal
+/// cover under chase-implication (greedy; the result depends on order but
+/// is always an equivalent subset).
+pub fn minimal_cover(
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+) -> Result<DependencySet, ChaseError> {
+    let mut kept: Vec<Dependency> = sigma.iter().cloned().collect();
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept[i].clone();
+        let rest: DependencySet =
+            kept.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, d)| d.clone()).collect();
+        if implies(&rest, &candidate, config)? {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(DependencySet::from_vec(kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_deps::{parse_dependencies, parse_dependency};
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn transitive_inclusion_implied() {
+        let sigma = parse_dependencies("a(X) -> b(X). b(X) -> c(X).").unwrap();
+        let d = parse_dependency("a(X) -> c(X)").unwrap();
+        assert!(implies(&sigma, &d, &cfg()).unwrap());
+        let not = parse_dependency("c(X) -> a(X)").unwrap();
+        assert!(!implies(&sigma, &not, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn fd_transitivity_implied() {
+        // A->B, B->C implies A->C (Armstrong), via the chase.
+        let sigma = parse_dependencies(
+            "r(X,Y1,Z1) & r(X,Y2,Z2) -> Y1 = Y2.\n\
+             r(X1,Y,Z1) & r(X2,Y,Z2) -> Z1 = Z2.",
+        )
+        .unwrap();
+        let d = parse_dependency("r(X,Y1,Z1) & r(X,Y2,Z2) -> Z1 = Z2").unwrap();
+        assert!(implies(&sigma, &d, &cfg()).unwrap());
+        // But not C -> A.
+        let not = parse_dependency("r(X1,Y1,Z) & r(X2,Y2,Z) -> X1 = X2").unwrap();
+        assert!(!implies(&sigma, &not, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn tgd_with_existential_witness() {
+        let sigma = parse_dependencies("p(X,Y) -> s(X,Z) & t(Z,Y).").unwrap();
+        // Implied: a weaker tgd asking only for the s-atom.
+        let weaker = parse_dependency("p(X,Y) -> s(X,W)").unwrap();
+        assert!(implies(&sigma, &weaker, &cfg()).unwrap());
+        // Not implied: an s-atom with the *pair* (X,Y).
+        let stronger = parse_dependency("p(X,Y) -> s(X,Y)").unwrap();
+        assert!(!implies(&sigma, &stronger, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn every_member_is_self_implied() {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.",
+        )
+        .unwrap();
+        for d in sigma.iter() {
+            assert!(implies(&sigma, d, &cfg()).unwrap(), "{d}");
+        }
+    }
+
+    #[test]
+    fn minimal_cover_drops_redundant_dependency() {
+        let sigma = parse_dependencies(
+            "a(X) -> b(X).\n\
+             b(X) -> c(X).\n\
+             a(X) -> c(X).",
+        )
+        .unwrap();
+        let cover = minimal_cover(&sigma, &cfg()).unwrap();
+        assert_eq!(cover.len(), 2);
+        // The cover still implies everything in Σ.
+        for d in sigma.iter() {
+            assert!(implies(&cover, d, &cfg()).unwrap());
+        }
+    }
+
+    #[test]
+    fn minimal_cover_keeps_independent_dependencies() {
+        let sigma = parse_dependencies(
+            "a(X) -> b(X).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.",
+        )
+        .unwrap();
+        let cover = minimal_cover(&sigma, &cfg()).unwrap();
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn regularization_is_implication_preserving() {
+        // Proposition 4.1 at the implication level: σ and its regularized
+        // set imply each other.
+        let sigma = parse_dependencies("p(X,Y) -> u(X,Z) & t(X,Y,W).").unwrap();
+        let reg = eqsql_deps::regularize_set(&sigma);
+        assert_eq!(reg.len(), 2);
+        for d in reg.iter() {
+            assert!(implies(&sigma, d, &cfg()).unwrap());
+        }
+        for d in sigma.iter() {
+            assert!(implies(&reg, d, &cfg()).unwrap());
+        }
+    }
+}

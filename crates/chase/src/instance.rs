@@ -1,0 +1,274 @@
+//! Instance-level chase with labelled nulls (the data-exchange-style chase
+//! of [14], used here as a substrate).
+//!
+//! Repairs a database into a model of Σ: tgd violations add tuples whose
+//! existential positions hold fresh labelled nulls ([`Value::Labeled`]);
+//! egd violations merge a labelled null into the other value (failing when
+//! two distinct non-null constants are equated). The result, when the
+//! chase terminates, satisfies Σ — this is how `eqsql-gen` turns random
+//! databases into Σ-satisfying test instances for the cross-validation
+//! suites.
+
+use crate::error::{ChaseConfig, ChaseError};
+use eqsql_cq::{Atom, Term, Value, Var};
+use eqsql_deps::{Dependency, DependencySet, Egd, Tgd};
+use eqsql_relalg::eval::{assignments, Assignment};
+use eqsql_relalg::{Database, Relation, Tuple};
+use std::collections::HashMap;
+
+/// Result of an instance chase.
+#[derive(Clone, Debug)]
+pub struct InstanceChased {
+    /// The repaired database (meaningless when `failed`).
+    pub db: Database,
+    /// Did an egd equate two distinct non-null constants?
+    pub failed: bool,
+    /// Number of chase steps applied.
+    pub steps: usize,
+}
+
+fn max_label(db: &Database) -> u64 {
+    db.active_domain()
+        .into_iter()
+        .filter_map(|v| match v {
+            Value::Labeled(n) => Some(n),
+            _ => None,
+        })
+        .max()
+        .map_or(0, |n| n + 1)
+}
+
+fn ground_with(atoms: &[Atom], asg: &Assignment) -> Vec<Atom> {
+    atoms
+        .iter()
+        .map(|a| Atom {
+            pred: a.pred,
+            args: a
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => match asg.get(v) {
+                        Some(val) => Term::Const(*val),
+                        None => *t,
+                    },
+                    Term::Const(_) => *t,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Replaces every occurrence of `from` by `to` throughout the database,
+/// merging multiplicities of tuples that collide.
+fn replace_value(db: &Database, from: Value, to: Value) -> Database {
+    let mut out = Database::new();
+    for (p, r) in db.iter() {
+        let target = out.get_or_create(p, r.arity());
+        for (t, m) in r.iter() {
+            let vals: Vec<Value> =
+                t.iter().map(|v| if *v == from { to } else { *v }).collect();
+            target.insert(Tuple::new(vals), m);
+        }
+    }
+    out
+}
+
+fn apply_tgd_instance(db: &mut Database, tgd: &Tgd, next_null: &mut u64) -> bool {
+    let lhs_assignments = assignments(&tgd.lhs, db);
+    for asg in &lhs_assignments {
+        let rhs = ground_with(&tgd.rhs, asg);
+        if assignments(&rhs, db).is_empty() {
+            // Violation: add the conclusion with fresh nulls for the
+            // existential variables (shared across the conclusion atoms).
+            let mut nulls: HashMap<Var, Value> = HashMap::new();
+            for atom in &rhs {
+                let vals: Vec<Value> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => *nulls.entry(*v).or_insert_with(|| {
+                            let val = Value::Labeled(*next_null);
+                            *next_null += 1;
+                            val
+                        }),
+                    })
+                    .collect();
+                let rel: &mut Relation = db.get_or_create(atom.pred, vals.len());
+                let tup = Tuple::new(vals);
+                if !rel.contains(&tup) {
+                    rel.insert(tup, 1);
+                }
+            }
+            return true;
+        }
+    }
+    false
+}
+
+enum EgdInstanceOutcome {
+    NoViolation,
+    Applied,
+    Failed,
+}
+
+fn apply_egd_instance(db: &mut Database, egd: &Egd) -> EgdInstanceOutcome {
+    let lhs_assignments = assignments(&egd.lhs, db);
+    for asg in &lhs_assignments {
+        let a = match &egd.eq.0 {
+            Term::Const(c) => *c,
+            Term::Var(v) => asg[v],
+        };
+        let b = match &egd.eq.1 {
+            Term::Const(c) => *c,
+            Term::Var(v) => asg[v],
+        };
+        if a == b {
+            continue;
+        }
+        let (from, to) = match (a, b) {
+            (Value::Labeled(x), Value::Labeled(y)) => {
+                if x > y {
+                    (Value::Labeled(x), Value::Labeled(y))
+                } else {
+                    (Value::Labeled(y), Value::Labeled(x))
+                }
+            }
+            (Value::Labeled(_), other) => (a, other),
+            (other, Value::Labeled(_)) => (b, other),
+            _ => return EgdInstanceOutcome::Failed,
+        };
+        *db = replace_value(db, from, to);
+        return EgdInstanceOutcome::Applied;
+    }
+    EgdInstanceOutcome::NoViolation
+}
+
+/// Chases `db` with Σ until it satisfies every dependency, fails, or the
+/// budget runs out.
+pub fn chase_database(
+    db: &Database,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+) -> Result<InstanceChased, ChaseError> {
+    let mut cur = db.clone();
+    let mut next_null = max_label(db);
+    let mut steps = 0usize;
+    'outer: loop {
+        if steps >= config.max_steps {
+            return Err(ChaseError::BudgetExhausted { steps });
+        }
+        for dep in sigma.iter() {
+            match dep {
+                Dependency::Tgd(t) => {
+                    if apply_tgd_instance(&mut cur, t, &mut next_null) {
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                Dependency::Egd(e) => match apply_egd_instance(&mut cur, e) {
+                    EgdInstanceOutcome::NoViolation => {}
+                    EgdInstanceOutcome::Applied => {
+                        steps += 1;
+                        continue 'outer;
+                    }
+                    EgdInstanceOutcome::Failed => {
+                        return Ok(InstanceChased { db: cur, failed: true, steps });
+                    }
+                },
+            }
+        }
+        return Ok(InstanceChased { db: cur, failed: false, steps });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_deps::parse_dependencies;
+    use eqsql_deps::satisfaction::db_satisfies_all;
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn tgd_repair_adds_tuples_with_nulls() {
+        let sigma = parse_dependencies("p(X,Y) -> t(X,Y,W).").unwrap();
+        let db = Database::new().with_ints("p", &[[1, 2]]);
+        let r = chase_database(&db, &sigma, &cfg()).unwrap();
+        assert!(!r.failed);
+        assert!(db_satisfies_all(&r.db, &sigma));
+        let t = r.db.get_str("t").unwrap();
+        assert_eq!(t.len(), 1);
+        let tup = t.core_set().next().unwrap();
+        assert_eq!(tup[0], Value::Int(1));
+        assert_eq!(tup[1], Value::Int(2));
+        assert!(tup[2].is_labeled());
+    }
+
+    #[test]
+    fn egd_repair_merges_nulls_into_constants() {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> t(X,W).\n\
+             t(X,W) & t(X,V) -> W = V.",
+        )
+        .unwrap();
+        let mut db = Database::new().with_ints("p", &[[1, 2]]);
+        db.insert_ints("t", [1, 9]);
+        let r = chase_database(&db, &sigma, &cfg()).unwrap();
+        assert!(!r.failed);
+        assert!(db_satisfies_all(&r.db, &sigma));
+        // No null survives: the tgd's witness merged into the constant 9.
+        let t = r.db.get_str("t").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.core_set().next().unwrap()[1], Value::Int(9));
+    }
+
+    #[test]
+    fn egd_failure_on_constants() {
+        let sigma = parse_dependencies("t(X,W) & t(X,V) -> W = V.").unwrap();
+        let db = Database::new().with_ints("t", &[[1, 3], [1, 4]]);
+        let r = chase_database(&db, &sigma, &cfg()).unwrap();
+        assert!(r.failed);
+    }
+
+    #[test]
+    fn shared_existentials_get_one_null() {
+        let sigma = parse_dependencies("p(X) -> a(X,Z) & b(Z,X).").unwrap();
+        let db = Database::new().with_ints("p", &[[7]]);
+        let r = chase_database(&db, &sigma, &cfg()).unwrap();
+        let a = r.db.get_str("a").unwrap().core_set().next().unwrap().clone();
+        let b = r.db.get_str("b").unwrap().core_set().next().unwrap().clone();
+        assert_eq!(a[1], b[0], "the shared existential Z must be one null");
+    }
+
+    #[test]
+    fn example_4_1_repair() {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap();
+        let db = Database::new().with_ints("p", &[[1, 2], [5, 6]]);
+        let r = chase_database(&db, &sigma, &cfg()).unwrap();
+        assert!(!r.failed);
+        assert!(db_satisfies_all(&r.db, &sigma));
+        // Two p-rows mean (at least) two r-, s-, t- and u-rows.
+        for rel in ["r", "s", "u"] {
+            assert!(r.db.get_str(rel).unwrap().len() >= 2, "{rel} not repaired");
+        }
+    }
+
+    #[test]
+    fn budget_guard_on_non_terminating_sigma() {
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        let db = Database::new().with_ints("e", &[[1, 2]]);
+        let err = chase_database(&db, &sigma, &ChaseConfig::with_max_steps(30)).unwrap_err();
+        assert!(matches!(err, ChaseError::BudgetExhausted { .. }));
+    }
+}

@@ -1,0 +1,45 @@
+//! # eqsql-chase — the chase, sound under bag and bag-set semantics
+//!
+//! This crate implements the central technical machinery of Chirkova &
+//! Genesereth (PODS 2009):
+//!
+//! * the classical **set-semantics chase** of CQ queries with embedded
+//!   dependencies (§2.4), with tgd and egd steps, failure detection and a
+//!   step budget (chase termination is undecidable in general; weak
+//!   acyclicity guarantees it, Theorem H.1);
+//! * **associated test queries** `Q^{σ,h,θ}` (Definition 4.2) and the
+//!   **assignment-fixing** test for tgds (Definition 4.3) — the paper's
+//!   query-dependent criterion for when a tgd chase step preserves answer
+//!   multiplicities;
+//! * **key-based tgds** (Definition 5.1, the UWDs of Deutsch [9]) — the
+//!   strictly weaker, query-independent criterion, kept for comparison and
+//!   for the ablation benchmarks;
+//! * **sound chase** under bag and bag-set semantics (Theorems 4.1 and
+//!   4.3), with result normalization per the uniqueness theorems (5.1 /
+//!   G.1);
+//! * the **Max-Bag-Σ-Subset** and **Max-Bag-Set-Σ-Subset** algorithms
+//!   (Algorithms 1–2, Theorem 5.3/I.1);
+//! * an **instance-level chase** with labelled nulls, used to repair
+//!   randomly generated databases into models of Σ.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assignment_fixing;
+pub mod error;
+pub mod implication;
+pub mod instance;
+pub mod key_based;
+pub mod max_subset;
+pub mod set_chase;
+pub mod sound;
+pub mod step;
+pub mod test_query;
+
+pub use assignment_fixing::{is_assignment_fixing, is_assignment_fixing_wrt_query};
+pub use error::{ChaseConfig, ChaseError};
+pub use implication::{implies, minimal_cover};
+pub use key_based::is_key_based;
+pub use max_subset::{max_bag_set_sigma_subset, max_bag_sigma_subset};
+pub use set_chase::{set_chase, Chased};
+pub use sound::{sound_chase, SoundChased};

@@ -1,0 +1,172 @@
+//! The `Max-Bag-Σ-Subset` and `Max-Bag-Set-Σ-Subset` algorithms
+//! (Algorithms 1 and 2, Theorems 5.3, 5.4 and I.1 of the paper).
+//!
+//! For a query `Q` and dependencies Σ with terminating set-chase, let `Q_n`
+//! be the sound chase result under the chosen semantics. There is a unique
+//! maximal `Σ^max ⊆ Σ` with `D(Q_n) ⊨ Σ^max`, and it is obtained by
+//! removing exactly those dependencies that are *unsoundly applicable* to
+//! `Q_n`.
+//!
+//! On the terminal result of a sound chase, a dependency is applicable iff
+//! it is unsoundly applicable (every soundly applicable step has already
+//! fired, and egd steps — always sound — have all fired too). Hence the
+//! `soundChaseStep = false` filter of the paper's pseudocode coincides with
+//! the satisfaction check `D(Q_n) ⊨ σ`, which is how we implement it.
+
+use crate::error::{ChaseConfig, ChaseError};
+use crate::sound::{sound_chase, SoundChased};
+use eqsql_cq::CqQuery;
+use eqsql_deps::satisfaction::satisfied_subset;
+use eqsql_deps::DependencySet;
+use eqsql_relalg::{Schema, Semantics};
+
+/// Output of the Max-Σ-Subset algorithms: the subset plus the sound chase
+/// result it was computed from.
+#[derive(Clone, Debug)]
+pub struct MaxSubset {
+    /// The maximal `Σ^max ⊆ Σ` with `D(Q_n) ⊨ Σ^max`.
+    pub subset: DependencySet,
+    /// The sound chase result `Q_n`.
+    pub chased: SoundChased,
+}
+
+fn max_subset(
+    sem: Semantics,
+    q: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Result<MaxSubset, ChaseError> {
+    let chased = sound_chase(sem, q, sigma, schema, config)?;
+    let subset = satisfied_subset(&chased.query, sigma);
+    Ok(MaxSubset { subset, chased })
+}
+
+/// `Max-Bag-Σ-Subset(Q, Σ)` — Algorithm 1 / Theorem 5.3.
+pub fn max_bag_sigma_subset(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Result<MaxSubset, ChaseError> {
+    max_subset(Semantics::Bag, q, sigma, schema, config)
+}
+
+/// `Max-Bag-Set-Σ-Subset(Q, Σ)` — Algorithm 2 / Theorem I.1.
+pub fn max_bag_set_sigma_subset(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Result<MaxSubset, ChaseError> {
+    max_subset(Semantics::BagSet, q, sigma, schema, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parse_query;
+    use eqsql_deps::parse_dependencies;
+    use eqsql_deps::satisfaction::query_satisfies_all;
+
+    fn sigma_4_1() -> DependencySet {
+        parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap()
+    }
+
+    fn schema_4_1() -> Schema {
+        let mut s = Schema::all_bags(&[("p", 2), ("r", 1), ("s", 2), ("t", 3), ("u", 2)]);
+        s.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        s.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        s
+    }
+
+    #[test]
+    fn proposition_5_2_proper_chain_on_example_4_1() {
+        // Σ^max_B(Q4, Σ) ⊂ Σ^max_BS(Q4, Σ) ⊂ Σ, all inclusions proper.
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let sigma = sigma_4_1();
+        let cfg = ChaseConfig::default();
+        let b = max_bag_sigma_subset(&q4, &sigma, &schema_4_1(), &cfg).unwrap();
+        let bs = max_bag_set_sigma_subset(&q4, &sigma, &schema_4_1(), &cfg).unwrap();
+        assert!(b.subset.len() < bs.subset.len(), "B ⊂ BS must be proper here");
+        assert!(bs.subset.len() < sigma.len(), "BS ⊂ Σ must be proper here");
+        // Every dependency in the smaller set is in the larger.
+        for d in b.subset.iter() {
+            assert!(bs.subset.contains(d));
+        }
+        for d in bs.subset.iter() {
+            assert!(sigma.contains(d));
+        }
+    }
+
+    #[test]
+    fn subsets_are_satisfied_and_maximal() {
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let sigma = sigma_4_1();
+        let cfg = ChaseConfig::default();
+        for result in [
+            max_bag_sigma_subset(&q4, &sigma, &schema_4_1(), &cfg).unwrap(),
+            max_bag_set_sigma_subset(&q4, &sigma, &schema_4_1(), &cfg).unwrap(),
+        ] {
+            // D(Q_n) ⊨ Σ^max ...
+            assert!(query_satisfies_all(&result.chased.query, &result.subset));
+            // ... and no proper superset within Σ is satisfied: every
+            // removed dependency individually fails.
+            for d in sigma.iter() {
+                if !result.subset.contains(d) {
+                    assert!(!eqsql_deps::satisfaction::query_satisfies(
+                        &result.chased.query,
+                        d
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma3_and_sigma4_are_dropped_under_bag() {
+        // The canonical database of Q3 = (Q4)_{Σ,B} misses r and u tuples.
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let b =
+            max_bag_sigma_subset(&q4, &sigma_4_1(), &schema_4_1(), &ChaseConfig::default())
+                .unwrap();
+        let dropped: Vec<String> = sigma_4_1()
+            .iter()
+            .filter(|d| !b.subset.contains(d))
+            .map(|d| d.to_string())
+            .collect();
+        assert_eq!(
+            dropped,
+            vec!["p(X, Y) -> r(X)".to_string(), "p(X, Y) -> u(X, Z) & t(X, Y, W)".to_string()]
+        );
+    }
+
+    #[test]
+    fn query_dependence_of_max_subset() {
+        // §5.3: for Q(X) :- p(X,Y), u(X,Z), the canonical database of
+        // (Q)_{Σ,B} satisfies σ4 — unlike for Q4.
+        let q = parse_query("q(X) :- p(X,Y), u(X,Z)").unwrap();
+        let b = max_bag_sigma_subset(&q, &sigma_4_1(), &schema_4_1(), &ChaseConfig::default())
+            .unwrap();
+        let sigma4 = sigma_4_1().as_slice()[3].clone();
+        assert!(b.subset.contains(&sigma4), "σ4 should be satisfied for this query");
+    }
+
+    #[test]
+    fn all_kept_when_chase_is_noop_and_sigma_satisfied() {
+        let q = parse_query("q(X) :- a(X), b(X)").unwrap();
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let r = max_bag_sigma_subset(&q, &sigma, &Schema::all_bags(&[("a", 1), ("b", 1)]),
+            &ChaseConfig::default())
+        .unwrap();
+        assert_eq!(r.subset.len(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! The set-semantics chase to termination (§2.4 of the paper).
+//!
+//! Repeatedly applies tgd and egd steps until the canonical database of the
+//! current query satisfies Σ (no step applicable), the query becomes
+//! unsatisfiable (an egd equates distinct constants), or the budget runs
+//! out. For weakly acyclic Σ termination is guaranteed (Theorem H.1) and
+//! the result is unique up to set-equivalence in the absence of
+//! dependencies [10].
+
+use crate::error::{ChaseConfig, ChaseError};
+use crate::step::{
+    apply_egd_step, apply_tgd_step, applicable_tgd_homs, rename_dep_apart, DedupPolicy,
+    EgdOutcome,
+};
+use eqsql_cq::{CqQuery, Subst, VarSupply};
+use eqsql_deps::{Dependency, DependencySet};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One recorded chase step, for tracing/debugging.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Index of the dependency in Σ (in iteration order).
+    pub dep_index: usize,
+    /// Rendering of the dependency applied.
+    pub dep: String,
+    /// What the step did.
+    pub action: String,
+    /// Body size after the step.
+    pub body_size: usize,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[σ{}] {} — {} (body now {})", self.dep_index, self.dep, self.action, self.body_size)
+    }
+}
+
+/// The outcome of a terminating chase.
+#[derive(Clone, Debug)]
+pub struct Chased {
+    /// The terminal query `(Q)_{Σ,S}` (meaningless when `failed`).
+    pub query: CqQuery,
+    /// Did an egd equate two distinct constants? (`Q` is unsatisfiable
+    /// under Σ; it returns the empty answer on every `D ⊨ Σ`.)
+    pub failed: bool,
+    /// Number of steps taken.
+    pub steps: usize,
+    /// Accumulated egd renaming: maps each original variable to its final
+    /// image in the terminal query. Needed by the assignment-fixing test
+    /// (see `crate::assignment_fixing`).
+    pub renaming: Subst,
+    /// The step trace.
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Runs the chase of `q` with Σ under set semantics, deduplicating the body
+/// after every step (set semantics treats bodies as sets).
+pub fn set_chase(q: &CqQuery, sigma: &DependencySet, config: &ChaseConfig) -> Result<Chased, ChaseError> {
+    chase_with_policy(q, sigma, config, &DedupPolicy::All, &mut |_, _, _| true)
+}
+
+/// The general chase driver, parameterized by dedup policy and a per-step
+/// admission predicate (used by the sound chase to filter tgd steps).
+///
+/// `admit(tgd, query, hom)` decides whether an *applicable* tgd step may
+/// fire; the tgd passed in is already renamed apart from the query, and
+/// `hom` maps its premise into the query body. Egd steps always fire (they
+/// are sound under every semantics — Theorems 4.1(2)/4.3(2)).
+pub fn chase_with_policy(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+    dedup: &DedupPolicy,
+    admit: &mut dyn FnMut(&eqsql_deps::Tgd, &CqQuery, &Subst) -> bool,
+) -> Result<Chased, ChaseError> {
+    // Normalize up front: dropping duplicates (per the policy) is
+    // equivalence-preserving before any step fires — bodies are sets under
+    // set semantics, Theorem 2.1(2) covers bag-set, and Theorem 4.2 covers
+    // set-valued duplicates under bag semantics. This makes zero-step
+    // chases return the normal form the uniqueness theorems talk about.
+    let mut cur = dedup.apply(q);
+    let mut supply = VarSupply::avoiding([q]);
+    for d in sigma.iter() {
+        for v in d.all_vars() {
+            supply.record_var(v);
+        }
+    }
+    let mut steps = 0usize;
+    let mut renaming = Subst::new();
+    let mut trace: Vec<TraceEntry> = Vec::new();
+
+    'outer: loop {
+        if steps >= config.max_steps {
+            return Err(ChaseError::BudgetExhausted { steps });
+        }
+        if cur.body.len() >= config.max_atoms {
+            return Err(ChaseError::QueryTooLarge { atoms: cur.body.len() });
+        }
+        let cur_vars: HashSet<_> = cur.all_vars().into_iter().collect();
+        for (i, dep) in sigma.iter().enumerate() {
+            let dep_r = rename_dep_apart(dep, &cur_vars, &mut supply);
+            match &dep_r {
+                Dependency::Egd(e) => match apply_egd_step(&cur, e) {
+                    EgdOutcome::NotApplicable => {}
+                    EgdOutcome::Failed => {
+                        trace.push(TraceEntry {
+                            dep_index: i,
+                            dep: dep.to_string(),
+                            action: "equated distinct constants: chase failed".into(),
+                            body_size: cur.body.len(),
+                        });
+                        return Ok(Chased { query: cur, failed: true, steps, renaming, trace });
+                    }
+                    EgdOutcome::Applied { query, from, to } => {
+                        renaming.rewrite(from, to);
+                        cur = dedup.apply(&query);
+                        steps += 1;
+                        trace.push(TraceEntry {
+                            dep_index: i,
+                            dep: dep.to_string(),
+                            action: format!("egd: {from} := {to}"),
+                            body_size: cur.body.len(),
+                        });
+                        continue 'outer;
+                    }
+                },
+                Dependency::Tgd(t) => {
+                    for h in applicable_tgd_homs(&cur, t) {
+                        if !admit(t, &cur, &h) {
+                            continue;
+                        }
+                        let (next, added) = apply_tgd_step(&cur, t, &h, &mut supply);
+                        cur = dedup.apply(&next);
+                        steps += 1;
+                        trace.push(TraceEntry {
+                            dep_index: i,
+                            dep: dep.to_string(),
+                            action: format!(
+                                "tgd: added {}",
+                                added
+                                    .iter()
+                                    .map(|a| a.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(" ∧ ")
+                            ),
+                            body_size: cur.body.len(),
+                        });
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        // No dependency applicable (under the admission predicate).
+        return Ok(Chased { query: cur, failed: false, steps, renaming, trace });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::{are_isomorphic, parse_query, Term};
+    use eqsql_deps::{parse_dependencies, satisfaction::query_satisfies_all};
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    /// Σ of Example 4.1 (tgds σ1–σ4 and key egds σ7, σ8).
+    fn sigma_4_1() -> DependencySet {
+        parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chase_terminates_when_satisfied() {
+        // The terminal result's canonical database satisfies Σ.
+        let q = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let sigma = sigma_4_1();
+        let r = set_chase(&q, &sigma, &cfg()).unwrap();
+        assert!(!r.failed);
+        assert!(query_satisfies_all(&r.query, &sigma));
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn example_4_1_set_chase_of_q4_is_q1() {
+        // (Q4)_{Σ,S} ≡_S Q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U).
+        //
+        // Raw set-chase results are unique only up to set-equivalence in
+        // the absence of dependencies [10] — depending on the order in
+        // which σ1/σ2 fire, a redundant t-subgoal may appear — so we assert
+        // mutual containment (Chandra–Merlin), which is the paper's actual
+        // claim Q1 ≡_{Σ,S} Q4.
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+        let r = set_chase(&q4, &sigma_4_1(), &cfg()).unwrap();
+        let c = eqsql_cq::canonical_representation(&r.query);
+        assert!(
+            eqsql_cq::containment_mapping(&c, &q1).is_some()
+                && eqsql_cq::containment_mapping(&q1, &c).is_some(),
+            "got {}",
+            r.query
+        );
+        // Every Q1 subgoal predicate shows up in the chase result.
+        for pred in ["p", "t", "s", "r", "u"] {
+            assert!(r.query.count_pred(eqsql_cq::Predicate::new(pred)) >= 1);
+        }
+    }
+
+    #[test]
+    fn example_4_1_chasing_q1_is_fixpoint() {
+        // (Q1)_{Σ,S} ≅ Q1: Q1 is already closed under Σ.
+        let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+        let r = set_chase(&q1, &sigma_4_1(), &cfg()).unwrap();
+        assert!(are_isomorphic(&r.query, &q1), "got {}", r.query);
+    }
+
+    #[test]
+    fn egd_only_chase_collapses_variables() {
+        let q = parse_query("q(X) :- s(X,A), s(X,B), r(A,B)").unwrap();
+        let sigma = parse_dependencies("s(X,Y) & s(X,Z) -> Y = Z.").unwrap();
+        let r = set_chase(&q, &sigma, &cfg()).unwrap();
+        assert!(!r.failed);
+        // A and B collapse; dedup leaves s once, r's arguments equal.
+        assert_eq!(r.query.body.len(), 2);
+        let renamed_a = r.renaming.apply_term(&Term::var("A"));
+        let renamed_b = r.renaming.apply_term(&Term::var("B"));
+        assert_eq!(renamed_a, renamed_b);
+    }
+
+    #[test]
+    fn chase_failure_detected() {
+        let q = parse_query("q(X) :- s(X,3), s(X,4)").unwrap();
+        let sigma = parse_dependencies("s(X,Y) & s(X,Z) -> Y = Z.").unwrap();
+        let r = set_chase(&q, &sigma, &cfg()).unwrap();
+        assert!(r.failed);
+    }
+
+    #[test]
+    fn non_terminating_chase_hits_budget() {
+        // e(X,Y) -> e(Y,Z) is not weakly acyclic: infinite chase.
+        let q = parse_query("q(X) :- e(X,Y)").unwrap();
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        let err = set_chase(&q, &sigma, &ChaseConfig::with_max_steps(50)).unwrap_err();
+        assert!(matches!(err, ChaseError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn inclusion_dependency_chase() {
+        let q = parse_query("q(X) :- a(X)").unwrap();
+        let sigma = parse_dependencies("a(X) -> b(X). b(X) -> c(X,W).").unwrap();
+        let r = set_chase(&q, &sigma, &cfg()).unwrap();
+        assert_eq!(r.query.body.len(), 3);
+        assert_eq!(r.steps, 2);
+    }
+
+    #[test]
+    fn chase_is_idempotent() {
+        let q = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let sigma = sigma_4_1();
+        let r1 = set_chase(&q, &sigma, &cfg()).unwrap();
+        let r2 = set_chase(&r1.query, &sigma, &cfg()).unwrap();
+        assert_eq!(r2.steps, 0);
+        assert!(are_isomorphic(&r1.query, &r2.query));
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        let q = parse_query("q(X) :- a(X)").unwrap();
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let r = set_chase(&q, &sigma, &cfg()).unwrap();
+        assert_eq!(r.trace.len(), 1);
+        assert!(r.trace[0].action.contains("added"));
+    }
+
+    #[test]
+    fn example_4_6_chase_with_modified_egd() {
+        // Q(X) :- p(X,Y), s(X,Z) with ν1: p(X,Y) -> ∃Z s(X,Z) ∧ t(Z,Y),
+        // ν2: t(X,Y) & t(Z,Y) -> X = Z. The traditional chase adds BOTH a
+        // fresh s-subgoal and a t-subgoal (Example 4.8's Q''), then ν2 has
+        // nothing to merge.
+        let q = parse_query("q(X) :- p(X,Y), s(X,Z)").unwrap();
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(Z,Y).\n\
+             t(X,Y) & t(Z,Y) -> X = Z.",
+        )
+        .unwrap();
+        let r = set_chase(&q, &sigma, &cfg()).unwrap();
+        // Q''(X) :- p(X,Y), s(X,Z), s(X,W), t(W,Y) — four subgoals.
+        let expected = parse_query("qq(X) :- p(X,Y), s(X,Z), s(X,W), t(W,Y)").unwrap();
+        assert!(are_isomorphic(&r.query, &expected), "got {}", r.query);
+    }
+}

@@ -1,0 +1,124 @@
+//! Associated test queries `Q^{σ,h,θ}` (Definition 4.2 of the paper).
+//!
+//! Given a CQ query `Q(Ā) :- ζ(Ā, B̄)`, a regularized tgd
+//! `σ : φ(X̄, Ȳ) → ∃Z̄ ψ(X̄, Z̄)` whose chase is applicable to `Q` with
+//! homomorphism `h`, and a substitution `θ` sending each existential `Z_i`
+//! to a fresh variable, the associated test query is
+//!
+//! ```text
+//! Q^{σ,h,θ}(Ā) :- ζ(Ā, B̄) ∧ ψ(h(X̄), Z̄) ∧ ψ(h(X̄), θ(Z̄))
+//! ```
+//!
+//! — the body of `Q` plus **two** copies of the instantiated conclusion
+//! with independent existential witnesses. Chasing it under Σ reveals
+//! whether the two witnesses are forced to coincide on every database
+//! satisfying Σ, which is exactly the assignment-fixing condition of
+//! Definition 4.3. `Q^{σ,h,θ}` is unique up to isomorphism w.r.t. the
+//! choice of θ. For tgds without existential variables the two copies
+//! coincide (Equation 3 of the paper).
+
+use eqsql_cq::{CqQuery, Subst, Term, Var, VarSupply};
+use eqsql_deps::Tgd;
+
+/// An associated test query together with the bookkeeping the
+/// assignment-fixing check needs.
+#[derive(Clone, Debug)]
+pub struct TestQuery {
+    /// The test query `Q^{σ,h,θ}`.
+    pub query: CqQuery,
+    /// The tgd's existential variables `Z_i` (as they appear in the first
+    /// conclusion copy).
+    pub zs: Vec<Var>,
+    /// `θ`: maps each `Z_i` to its fresh twin in the second copy.
+    pub theta: Subst,
+}
+
+/// Builds `Q^{σ,h,θ}`. The tgd must already be renamed apart from `q` (its
+/// variables disjoint from `q`'s), and `h` must be an applicable-chase
+/// homomorphism from its premise into `q`'s body.
+pub fn associated_test_query(q: &CqQuery, tgd: &Tgd, h: &Subst) -> TestQuery {
+    let mut supply = VarSupply::avoiding([q]);
+    for v in tgd.all_vars() {
+        supply.record_var(v);
+    }
+    let zs = tgd.existential_vars();
+    let mut theta = Subst::new();
+    for z in &zs {
+        theta.set(*z, Term::Var(supply.fresh(z.name())));
+    }
+    // First copy: h on universal variables, existentials kept.
+    let copy1 = h.apply_atoms(&tgd.rhs);
+    // Second copy: h then θ.
+    let h_theta = h.then(&theta);
+    let copy2 = h_theta.apply_atoms(&tgd.rhs);
+
+    let mut query = q.clone();
+    query.name = eqsql_cq::Symbol::new(&format!("{}_test", q.name));
+    query.body.extend(copy1);
+    query.body.extend(copy2);
+    TestQuery { query, zs, theta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::applicable_tgd_homs;
+    use eqsql_cq::{are_isomorphic, parse_query};
+    use eqsql_deps::parse_dependency;
+
+    fn tgd(s: &str) -> Tgd {
+        parse_dependency(s).unwrap().as_tgd().unwrap().clone()
+    }
+
+    #[test]
+    fn example_4_2_test_query_shape() {
+        // Q(X) :- p(X,Y); σ1: p(A,B) -> ∃Z∃W r(A,Z) ∧ s(Z,W).
+        // Q^{σ1,h,θ}(X) :- p(X,Y), r(X,Z), s(Z,W), r(X,Z1), s(Z1,W1).
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        let t = tgd("p(A,B) -> r(A,Z) & s(Z,W)");
+        let homs = applicable_tgd_homs(&q, &t);
+        assert_eq!(homs.len(), 1);
+        let tq = associated_test_query(&q, &t, &homs[0]);
+        let expected =
+            parse_query("qt(X) :- p(X,Y), r(X,Z), s(Z,W), r(X,Z2), s(Z2,W2)").unwrap();
+        assert!(are_isomorphic(&tq.query, &expected), "got {}", tq.query);
+        assert_eq!(tq.zs, vec![Var::new("Z"), Var::new("W")]);
+    }
+
+    #[test]
+    fn theta_is_injective_and_fresh() {
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        let t = tgd("p(A,B) -> r(A,Z) & s(Z,W)");
+        let homs = applicable_tgd_homs(&q, &t);
+        let tq = associated_test_query(&q, &t, &homs[0]);
+        let tz = tq.theta.apply_term(&Term::var("Z"));
+        let tw = tq.theta.apply_term(&Term::var("W"));
+        assert_ne!(tz, Term::var("Z"));
+        assert_ne!(tw, Term::var("W"));
+        assert_ne!(tz, tw);
+        // Fresh twins do not collide with q's variables.
+        assert_ne!(tz, Term::var("Y"));
+        assert_ne!(tw, Term::var("Y"));
+    }
+
+    #[test]
+    fn full_tgd_yields_duplicate_copies() {
+        // Equation 3: for a full tgd θ = ∅ and the two copies coincide.
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        let t = tgd("p(A,B) -> r(A)");
+        let homs = applicable_tgd_homs(&q, &t);
+        let tq = associated_test_query(&q, &t, &homs[0]);
+        assert!(tq.zs.is_empty());
+        assert_eq!(tq.query.body.len(), 3);
+        assert_eq!(tq.query.body[1], tq.query.body[2]);
+    }
+
+    #[test]
+    fn head_is_preserved() {
+        let q = parse_query("q(X, Y) :- p(X,Y)").unwrap();
+        let t = tgd("p(A,B) -> r(A,Z)");
+        let homs = applicable_tgd_homs(&q, &t);
+        let tq = associated_test_query(&q, &t, &homs[0]);
+        assert_eq!(tq.query.head, q.head);
+    }
+}

@@ -1,0 +1,124 @@
+//! Dependency-free equivalence tests (Theorems 2.1 and 4.2 of the paper).
+
+use eqsql_cq::iso::dedup_set_valued;
+use eqsql_cq::{are_isomorphic, canonical_representation, containment_mapping, CqQuery};
+use eqsql_relalg::Schema;
+
+/// `q1 ⊑_S q2`: is `q1` set-contained in `q2`? By Chandra–Merlin [2], iff
+/// a containment mapping from `q2` to `q1` exists.
+pub fn set_contained(q1: &CqQuery, q2: &CqQuery) -> bool {
+    containment_mapping(q2, q1).is_some()
+}
+
+/// `q1 ≡_S q2`: set equivalence — containment both ways.
+pub fn set_equivalent(q1: &CqQuery, q2: &CqQuery) -> bool {
+    set_contained(q1, q2) && set_contained(q2, q1)
+}
+
+/// `q1 ≡_B q2`: bag equivalence in the absence of dependencies —
+/// isomorphism of the queries, bodies compared as multisets
+/// (Theorem 2.1(1), [4]).
+pub fn bag_equivalent(q1: &CqQuery, q2: &CqQuery) -> bool {
+    are_isomorphic(q1, q2)
+}
+
+/// `q1 ≡_BS q2`: bag-set equivalence — isomorphism of the canonical
+/// representations (Theorem 2.1(2), [4]).
+pub fn bag_set_equivalent(q1: &CqQuery, q2: &CqQuery) -> bool {
+    are_isomorphic(&canonical_representation(q1), &canonical_representation(q2))
+}
+
+/// `q1 ≡_B q2` in the absence of all dependencies **other than the
+/// set-enforcing dependencies** of the schema (Theorem 4.2): drop duplicate
+/// subgoals over relations that are set-valued on every instance, then test
+/// isomorphism.
+pub fn bag_equivalent_with_set_relations(q1: &CqQuery, q2: &CqQuery, schema: &Schema) -> bool {
+    let d1 = dedup_set_valued(q1, |p| schema.is_set_valued(p));
+    let d2 = dedup_set_valued(q2, |p| schema.is_set_valued(p));
+    are_isomorphic(&d1, &d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parse_query;
+    use eqsql_relalg::Schema;
+
+    fn q(s: &str) -> CqQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn containment_classic() {
+        // q2's p(X,X) is contained in q1's p(X,Y).
+        let q1 = q("q(X) :- p(X,Y)");
+        let q2 = q("q(X) :- p(X,X)");
+        assert!(set_contained(&q2, &q1));
+        assert!(!set_contained(&q1, &q2));
+        assert!(!set_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn set_equivalence_ignores_duplicates_and_redundancy() {
+        let a = q("q(X) :- p(X,Y)");
+        let b = q("q(X) :- p(X,Y), p(X,Z)");
+        assert!(set_equivalent(&a, &b));
+        // But bag-set equivalence separates them: canonical reps are
+        // p(X,Y) vs p(X,Y),p(X,Z) — two assignments on {p(1,2),p(1,3)}.
+        assert!(!bag_set_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn proposition_2_1_hierarchy_on_samples() {
+        // ≡_B ⇒ ≡_BS ⇒ ≡_S on a renamed pair.
+        let a = q("q(X) :- p(X,Y), s(Y)");
+        let b = q("q(A) :- s(B), p(A,B)");
+        assert!(bag_equivalent(&a, &b));
+        assert!(bag_set_equivalent(&a, &b));
+        assert!(set_equivalent(&a, &b));
+        // Duplicate atom: BS-equivalent but not B-equivalent.
+        let c = q("q(X) :- p(X,Y), p(X,Y), s(Y)");
+        assert!(!bag_equivalent(&a, &c));
+        assert!(bag_set_equivalent(&a, &c));
+        assert!(set_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn example_4_9_extended_bag_test() {
+        // Q3 and Q5 differ by a duplicate s-subgoal; they are bag
+        // equivalent on all databases where S is a set (Theorem 4.2) but
+        // not bag equivalent outright (Theorem 2.1).
+        let q3 = q("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)");
+        let q5 = q("q5(X) :- p(X,Y), t(X,Y,W), s(X,Z), s(X,Z)");
+        assert!(!bag_equivalent(&q3, &q5));
+        let mut schema = Schema::all_bags(&[("p", 2), ("t", 3), ("s", 2)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        assert!(bag_equivalent_with_set_relations(&q3, &q5, &schema));
+        // With S bag-valued, the extended test refuses too.
+        let bags = Schema::all_bags(&[("p", 2), ("t", 3), ("s", 2)]);
+        assert!(!bag_equivalent_with_set_relations(&q3, &q5, &bags));
+    }
+
+    #[test]
+    fn example_d2_duplicate_over_bag_relation() {
+        // Q7 has two copies of r(X), Q8 one; R is bag-valued, so they are
+        // not bag equivalent even under the set-enforcing dependencies.
+        let q7 = q("q7(X) :- p(X,Y), r(X), r(X)");
+        let q8 = q("q8(X) :- p(X,Y), r(X)");
+        let mut schema = Schema::all_bags(&[("p", 2), ("r", 1), ("s", 2), ("t", 3), ("u", 2)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        assert!(!bag_equivalent_with_set_relations(&q7, &q8, &schema));
+        // They are set-equivalent and bag-set-equivalent, though.
+        assert!(set_equivalent(&q7, &q8));
+        assert!(bag_set_equivalent(&q7, &q8));
+    }
+
+    #[test]
+    fn head_constants_matter() {
+        let a = q("q(1) :- p(X)");
+        let b = q("q(2) :- p(X)");
+        assert!(!set_contained(&a, &b));
+        assert!(!bag_equivalent(&a, &b));
+    }
+}

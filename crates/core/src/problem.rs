@@ -1,0 +1,180 @@
+//! The Query-Reformulation Problem (§3 of the paper).
+//!
+//! Input: `(D, X, Q, Σ, L2)` — a schema, an evaluation semantics, a query,
+//! a finite set of embedded dependencies and a target language. A solution
+//! is a query `Q'` in `L2` with `Q' ≡_{Σ,X} Q`; the paper (and this
+//! implementation) returns all **Σ-minimal** solutions. The CQ class maps
+//! to `C&B`/`Bag-C&B`/`Bag-Set-C&B`, the CQ-aggregate class to
+//! `Max-Min-C&B`/`Sum-Count-C&B` (§6.3).
+
+use crate::aggregate::{max_min_cnb, sum_count_cnb, AggCnbResult};
+use crate::cnb::{cnb, CnbError, CnbOptions, CnbResult};
+use eqsql_chase::ChaseConfig;
+use eqsql_cq::{AggFn, AggregateQuery, CqQuery};
+use eqsql_deps::DependencySet;
+use eqsql_relalg::{Schema, Semantics};
+
+/// The query of a reformulation problem: plain CQ or CQ-aggregate.
+#[derive(Clone, Debug)]
+pub enum InputQuery {
+    /// Plain conjunctive query (the CQ class).
+    Cq(CqQuery),
+    /// Aggregate query (the CQ-aggregate class). Its evaluation semantics
+    /// is prescribed by the aggregate function (Theorem 6.3), so the
+    /// problem's `semantics` field is ignored for this variant.
+    Agg(AggregateQuery),
+}
+
+/// A problem instance `(D, X, Q, Σ, L2)`.
+#[derive(Clone, Debug)]
+pub struct ReformulationProblem {
+    /// The database schema `D` (with set-valuedness flags).
+    pub schema: Schema,
+    /// The evaluation semantics `X` (for the CQ class).
+    pub semantics: Semantics,
+    /// The query `Q`.
+    pub query: InputQuery,
+    /// The dependencies Σ.
+    pub sigma: DependencySet,
+    /// Chase resource limits.
+    pub config: ChaseConfig,
+    /// Backchase options.
+    pub options: CnbOptions,
+}
+
+/// All Σ-minimal solutions of a problem instance.
+#[derive(Clone, Debug)]
+pub enum Solutions {
+    /// Solutions of a CQ-class instance.
+    Cq(CnbResult),
+    /// Solutions of a CQ-aggregate-class instance.
+    Agg(AggCnbResult),
+}
+
+impl Solutions {
+    /// Number of reformulations found.
+    pub fn len(&self) -> usize {
+        match self {
+            Solutions::Cq(r) => r.reformulations.len(),
+            Solutions::Agg(r) => r.reformulations.len(),
+        }
+    }
+
+    /// Were any reformulations found?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable renderings of the reformulations.
+    pub fn rendered(&self) -> Vec<String> {
+        match self {
+            Solutions::Cq(r) => r.reformulations.iter().map(|q| q.to_string()).collect(),
+            Solutions::Agg(r) => r.reformulations.iter().map(|q| q.to_string()).collect(),
+        }
+    }
+}
+
+impl ReformulationProblem {
+    /// A CQ-class instance with default limits.
+    pub fn cq(
+        schema: Schema,
+        semantics: Semantics,
+        query: CqQuery,
+        sigma: DependencySet,
+    ) -> ReformulationProblem {
+        ReformulationProblem {
+            schema,
+            semantics,
+            query: InputQuery::Cq(query),
+            sigma,
+            config: ChaseConfig::default(),
+            options: CnbOptions::default(),
+        }
+    }
+
+    /// A CQ-aggregate-class instance with default limits.
+    pub fn aggregate(
+        schema: Schema,
+        query: AggregateQuery,
+        sigma: DependencySet,
+    ) -> ReformulationProblem {
+        ReformulationProblem {
+            schema,
+            semantics: Semantics::BagSet, // ignored; kept for Debug clarity
+            query: InputQuery::Agg(query),
+            sigma,
+            config: ChaseConfig::default(),
+            options: CnbOptions::default(),
+        }
+    }
+
+    /// Solves the instance: all Σ-minimal reformulations, sound and
+    /// complete whenever set-chase on the inputs terminates (Theorems 6.4,
+    /// K.1, K.2).
+    pub fn solve(&self) -> Result<Solutions, CnbError> {
+        match &self.query {
+            InputQuery::Cq(q) => Ok(Solutions::Cq(cnb(
+                self.semantics,
+                q,
+                &self.sigma,
+                &self.schema,
+                &self.config,
+                &self.options,
+            )?)),
+            InputQuery::Agg(q) => {
+                let result = match q.agg {
+                    AggFn::Max | AggFn::Min => {
+                        max_min_cnb(q, &self.sigma, &self.schema, &self.config, &self.options)?
+                    }
+                    AggFn::Sum | AggFn::Count | AggFn::CountStar => {
+                        sum_count_cnb(q, &self.sigma, &self.schema, &self.config, &self.options)?
+                    }
+                };
+                Ok(Solutions::Agg(result))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parser::parse_aggregate_query;
+    use eqsql_cq::parse_query;
+    use eqsql_deps::parse_dependencies;
+
+    #[test]
+    fn cq_problem_end_to_end() {
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+        let q = parse_query("q(X) :- a(X), b(X)").unwrap();
+        let p = ReformulationProblem::cq(schema, Semantics::Set, q, sigma);
+        let s = p.solve().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rendered(), vec!["q(X) :- a(X)".to_string()]);
+    }
+
+    #[test]
+    fn aggregate_problem_dispatches_on_function() {
+        let sigma = parse_dependencies("emp(X,Y) -> dept(X).").unwrap();
+        let schema = Schema::all_bags(&[("emp", 2), ("dept", 1)]);
+        let q = parse_aggregate_query("q(D, min(S)) :- emp(D,S), dept(D)").unwrap();
+        let p = ReformulationProblem::aggregate(schema, q, sigma);
+        let s = p.solve().unwrap();
+        assert!(!s.is_empty());
+        assert!(s.rendered().iter().any(|r| !r.contains("dept")));
+    }
+
+    #[test]
+    fn bag_problem_respects_multiplicities() {
+        // Under bag semantics nothing can be dropped without Σ support.
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let q = parse_query("q(X) :- a(X), b(X)").unwrap();
+        let p = ReformulationProblem::cq(schema, Semantics::Bag, q, sigma);
+        let s = p.solve().unwrap();
+        // b is a bag relation: a(X),b(X) is already Σ-minimal under bag
+        // semantics (dropping b changes multiplicities).
+        assert_eq!(s.rendered(), vec!["q(X) :- a(X), b(X)".to_string()]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Equivalence of CQ queries in the presence of embedded dependencies —
+//! the paper's headline tests.
+//!
+//! * Set semantics (Theorem 2.2, folklore from [1, 9, 10]):
+//!   `Q1 ≡_{Σ,S} Q2` iff `(Q1)_{Σ,S} ≡_S (Q2)_{Σ,S}`.
+//! * Bag semantics (**Theorem 6.1**): `Q1 ≡_{Σ,B} Q2` iff
+//!   `(Q1)_{Σ,B} ≡_B (Q2)_{Σ,B}` in the absence of all dependencies other
+//!   than the set-enforcing ones — decided by the extended bag test of
+//!   Theorem 4.2.
+//! * Bag-set semantics (**Theorem 6.2**): `Q1 ≡_{Σ,BS} Q2` iff
+//!   `(Q1)_{Σ,BS} ≡_BS (Q2)_{Σ,BS}`.
+//!
+//! All three require set-chase on the inputs to terminate; a blown budget
+//! surfaces as [`EquivOutcome::Unknown`].
+
+use crate::equiv::{
+    bag_equivalent_with_set_relations, bag_set_equivalent, set_contained, set_equivalent,
+};
+use eqsql_chase::{sound_chase, ChaseConfig, ChaseError};
+use eqsql_cq::CqQuery;
+use eqsql_deps::DependencySet;
+use eqsql_relalg::{Schema, Semantics};
+
+/// Outcome of a Σ-equivalence test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivOutcome {
+    /// The queries are equivalent under Σ and the chosen semantics.
+    Equivalent,
+    /// They are not equivalent.
+    NotEquivalent,
+    /// The chase did not terminate within budget; the test is inconclusive
+    /// (the paper's procedures are complete only when set-chase
+    /// terminates).
+    Unknown(ChaseError),
+}
+
+impl EquivOutcome {
+    /// `true` iff the outcome is [`EquivOutcome::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivOutcome::Equivalent)
+    }
+
+    fn from_bool(b: bool) -> EquivOutcome {
+        if b {
+            EquivOutcome::Equivalent
+        } else {
+            EquivOutcome::NotEquivalent
+        }
+    }
+}
+
+/// `Q1 ≡_{Σ,X} Q2` for the given semantics `X`. The schema provides the
+/// set-valuedness flags consulted under bag semantics.
+///
+/// ```
+/// use eqsql_chase::ChaseConfig;
+/// use eqsql_core::{sigma_equivalent, Semantics};
+/// use eqsql_cq::parse_query;
+/// use eqsql_deps::parse_dependencies;
+/// use eqsql_relalg::Schema;
+///
+/// // Every a-fact has a b-partner; b is keyed on its first column and is
+/// // set-valued, so the b-join preserves multiplicities.
+/// let sigma = parse_dependencies(
+///     "a(X) -> b(X,W). b(X,W1) & b(X,W2) -> W1 = W2.",
+/// ).unwrap();
+/// let mut schema = Schema::all_bags(&[("a", 1), ("b", 2)]);
+/// schema.mark_set_valued(eqsql_cq::Predicate::new("b"));
+///
+/// let q1 = parse_query("q(X) :- a(X)").unwrap();
+/// let q2 = parse_query("q(X) :- a(X), b(X,W)").unwrap();
+/// for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+///     let v = sigma_equivalent(sem, &q1, &q2, &sigma, &schema,
+///                              &ChaseConfig::default());
+///     assert!(v.is_equivalent());
+/// }
+/// ```
+pub fn sigma_equivalent(
+    sem: Semantics,
+    q1: &CqQuery,
+    q2: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> EquivOutcome {
+    let c1 = match sound_chase(sem, q1, sigma, schema, config) {
+        Ok(c) => c,
+        Err(e) => return EquivOutcome::Unknown(e),
+    };
+    let c2 = match sound_chase(sem, q2, sigma, schema, config) {
+        Ok(c) => c,
+        Err(e) => return EquivOutcome::Unknown(e),
+    };
+    // A failed chase means the query is unsatisfiable under Σ (empty on
+    // every D ⊨ Σ): two failed queries are equivalent, a failed and a
+    // satisfiable one are not (the canonical database of the survivor
+    // witnesses non-emptiness).
+    match (c1.failed, c2.failed) {
+        (true, true) => return EquivOutcome::Equivalent,
+        (true, false) | (false, true) => return EquivOutcome::NotEquivalent,
+        (false, false) => {}
+    }
+    let verdict = match sem {
+        Semantics::Set => set_equivalent(&c1.query, &c2.query),
+        Semantics::Bag => bag_equivalent_with_set_relations(&c1.query, &c2.query, schema),
+        Semantics::BagSet => bag_set_equivalent(&c1.query, &c2.query),
+    };
+    EquivOutcome::from_bool(verdict)
+}
+
+/// `Q1 ⊑_{Σ,S} Q2` — set containment under dependencies, via chase +
+/// Chandra–Merlin on the results.
+pub fn sigma_set_contained(
+    q1: &CqQuery,
+    q2: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    let c1 = sound_chase(Semantics::Set, q1, sigma, schema, config)?;
+    if c1.failed {
+        return Ok(true); // empty answer is contained in anything
+    }
+    let c2 = sound_chase(Semantics::Set, q2, sigma, schema, config)?;
+    if c2.failed {
+        // q2 is empty under Σ: containment holds only if q1 is too (it is
+        // not — its chase succeeded).
+        return Ok(false);
+    }
+    // (Q1)_{Σ,S} ⊑_S Q2 suffices (and is necessary): chasing q1 does not
+    // change its answers on databases satisfying Σ.
+    Ok(set_contained(&c1.query, q2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parse_query;
+    use eqsql_deps::parse_dependencies;
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    fn sigma_4_1() -> DependencySet {
+        parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap()
+    }
+
+    fn schema_4_1() -> Schema {
+        let mut s = Schema::all_bags(&[("p", 2), ("r", 1), ("s", 2), ("t", 3), ("u", 2)]);
+        s.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        s.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        s
+    }
+
+    #[test]
+    fn example_4_1_equivalences_per_semantics() {
+        // Q1 ≡_{Σ,S} Q4 but Q1 ≢_{Σ,B} Q4 and Q1 ≢_{Σ,BS} Q4.
+        let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let (sigma, schema) = (sigma_4_1(), schema_4_1());
+        assert!(sigma_equivalent(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg())
+            .is_equivalent());
+        assert_eq!(
+            sigma_equivalent(Semantics::Bag, &q1, &q4, &sigma, &schema, &cfg()),
+            EquivOutcome::NotEquivalent
+        );
+        assert_eq!(
+            sigma_equivalent(Semantics::BagSet, &q1, &q4, &sigma, &schema, &cfg()),
+            EquivOutcome::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn example_4_1_bag_chain() {
+        // Q3 = (Q4)_{Σ,B}: Q3 ≡_{Σ,B} Q4. Q2 = (Q4)_{Σ,BS}: Q2 ≡_{Σ,BS} Q4
+        // but Q2 ≢_{Σ,B} Q4 (R is bag-valued).
+        let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
+        let q3 = parse_query("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)").unwrap();
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let (sigma, schema) = (sigma_4_1(), schema_4_1());
+        assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma, &schema, &cfg())
+            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::BagSet, &q2, &q4, &sigma, &schema, &cfg())
+            .is_equivalent());
+        assert_eq!(
+            sigma_equivalent(Semantics::Bag, &q2, &q4, &sigma, &schema, &cfg()),
+            EquivOutcome::NotEquivalent
+        );
+        // And all four are set-equivalent under Σ.
+        for q in [&q2, &q3] {
+            assert!(sigma_equivalent(Semantics::Set, q, &q4, &sigma, &schema, &cfg())
+                .is_equivalent());
+        }
+    }
+
+    #[test]
+    fn example_4_4_bag_equivalence_without_sigma2() {
+        // Σ' = Σ - {σ2}: still Q3 ≡_{Σ',B} Q4 and Q3 ≡_{Σ',BS} Q4
+        // (via the regularized σ4's t-half).
+        let sigma_prime = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap();
+        let q3 = parse_query("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)").unwrap();
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let schema = schema_4_1();
+        assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma_prime, &schema, &cfg())
+            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::BagSet, &q3, &q4, &sigma_prime, &schema, &cfg())
+            .is_equivalent());
+    }
+
+    #[test]
+    fn example_4_6_nonequivalence() {
+        // Q(X) :- p(X,Y), s(X,Z) vs Q'(X) :- p(X,Y), s(X,Z), t(Z,Y) under
+        // Σ = {ν1, ν2}: not equivalent under B or BS (the modified chase
+        // of the PODS version was unsound here), but equivalent under S.
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(Z,Y).\n\
+             t(X,Y) & t(Z,Y) -> X = Z.",
+        )
+        .unwrap();
+        let mut schema = Schema::all_bags(&[("p", 2), ("s", 2), ("t", 2)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        let q = parse_query("q(X) :- p(X,Y), s(X,Z)").unwrap();
+        let qp = parse_query("qp(X) :- p(X,Y), s(X,Z), t(Z,Y)").unwrap();
+        assert_eq!(
+            sigma_equivalent(Semantics::BagSet, &q, &qp, &sigma, &schema, &cfg()),
+            EquivOutcome::NotEquivalent
+        );
+        assert_eq!(
+            sigma_equivalent(Semantics::Bag, &q, &qp, &sigma, &schema, &cfg()),
+            EquivOutcome::NotEquivalent
+        );
+        assert!(sigma_equivalent(Semantics::Set, &q, &qp, &sigma, &schema, &cfg())
+            .is_equivalent());
+    }
+
+    #[test]
+    fn example_4_8_sound_rewriting_is_equivalent() {
+        // Q''(X) :- p(X,Y), s(X,Z), s(X,W), t(W,Y) IS equivalent to Q
+        // under both B (with s,t set-valued) and BS.
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(Z,Y).\n\
+             t(X,Y) & t(Z,Y) -> X = Z.",
+        )
+        .unwrap();
+        let mut schema = Schema::all_bags(&[("p", 2), ("s", 2), ("t", 2)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        let q = parse_query("q(X) :- p(X,Y), s(X,Z)").unwrap();
+        let qpp = parse_query("qpp(X) :- p(X,Y), s(X,Z), s(X,W), t(W,Y)").unwrap();
+        assert!(sigma_equivalent(Semantics::Bag, &q, &qpp, &sigma, &schema, &cfg())
+            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::BagSet, &q, &qpp, &sigma, &schema, &cfg())
+            .is_equivalent());
+    }
+
+    #[test]
+    fn unknown_on_non_terminating_chase() {
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        let q1 = parse_query("q(X) :- e(X,Y)").unwrap();
+        let q2 = parse_query("q(X) :- e(X,Y), e(Y,Z)").unwrap();
+        let schema = Schema::all_bags(&[("e", 2)]);
+        let out = sigma_equivalent(
+            Semantics::Set,
+            &q1,
+            &q2,
+            &sigma,
+            &schema,
+            &ChaseConfig::with_max_steps(20),
+        );
+        assert!(matches!(out, EquivOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn failed_chases_compare_as_empty_queries() {
+        let sigma = parse_dependencies("s(X,Y) & s(X,Z) -> Y = Z.").unwrap();
+        let schema = Schema::all_bags(&[("s", 2), ("p", 1)]);
+        let dead1 = parse_query("q(X) :- s(X,3), s(X,4)").unwrap();
+        let dead2 = parse_query("q(X) :- s(X,1), s(X,2)").unwrap();
+        let alive = parse_query("q(X) :- s(X,3)").unwrap();
+        assert!(sigma_equivalent(Semantics::Set, &dead1, &dead2, &sigma, &schema, &cfg())
+            .is_equivalent());
+        assert_eq!(
+            sigma_equivalent(Semantics::Set, &dead1, &alive, &sigma, &schema, &cfg()),
+            EquivOutcome::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn sigma_containment() {
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+        let qa = parse_query("q(X) :- a(X)").unwrap();
+        let qab = parse_query("q(X) :- a(X), b(X)").unwrap();
+        // a ⊑ ab under Σ (chase adds b) and ab ⊑ a outright.
+        assert!(sigma_set_contained(&qa, &qab, &sigma, &schema, &cfg()).unwrap());
+        assert!(sigma_set_contained(&qab, &qa, &sigma, &schema, &cfg()).unwrap());
+        // Without Σ, a ⋢ ab.
+        assert!(!sigma_set_contained(&qa, &qab, &DependencySet::new(), &schema, &cfg())
+            .unwrap());
+    }
+
+    #[test]
+    fn proposition_6_2_containment_chain() {
+        // (Q)_{Σ,S} ⊑_S (Q)_{Σ,BS} ⊑_S (Q)_{Σ,B} ⊑_S Q on Example 4.1.
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        let (sigma, schema) = (sigma_4_1(), schema_4_1());
+        let s = sound_chase(Semantics::Set, &q4, &sigma, &schema, &cfg()).unwrap().query;
+        let bs = sound_chase(Semantics::BagSet, &q4, &sigma, &schema, &cfg()).unwrap().query;
+        let b = sound_chase(Semantics::Bag, &q4, &sigma, &schema, &cfg()).unwrap().query;
+        assert!(set_contained(&s, &bs));
+        assert!(set_contained(&bs, &b));
+        assert!(set_contained(&b, &q4));
+    }
+}

@@ -1,0 +1,210 @@
+//! Aggregate conjunctive queries (§2.5 of the paper).
+//!
+//! An aggregate query is a CQ augmented with one aggregate term in its head:
+//! `Q(S̄, α(y)) :- A(S̄, y, Z̄)`. Its **core** `Q̆(S̄, y) :- A(S̄, y, Z̄)` drives
+//! all equivalence reasoning (Theorems 2.3 and 6.3).
+
+use crate::atom::Atom;
+use crate::query::CqQuery;
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The aggregate functions covered by the paper.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AggFn {
+    /// `sum(y)`
+    Sum,
+    /// `count(y)` — over an argument.
+    Count,
+    /// `count(*)` — no argument.
+    CountStar,
+    /// `min(y)`
+    Min,
+    /// `max(y)`
+    Max,
+}
+
+impl AggFn {
+    /// Does the function take an argument variable?
+    pub fn takes_arg(self) -> bool {
+        !matches!(self, AggFn::CountStar)
+    }
+
+    /// Equivalence of queries with this function reduces to bag-set
+    /// equivalence of cores (sum/count) — Theorem 2.3(1)/6.3(2).
+    pub fn is_bag_set_sensitive(self) -> bool {
+        matches!(self, AggFn::Sum | AggFn::Count | AggFn::CountStar)
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFn::Sum => "sum",
+            AggFn::Count => "count",
+            AggFn::CountStar => "count(*)",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An aggregate conjunctive query `Q(S̄, α(y)) :- body`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AggregateQuery {
+    /// The query name.
+    pub name: Symbol,
+    /// Grouping terms `S̄` (the non-aggregated head arguments).
+    pub grouping: Vec<Term>,
+    /// The aggregate function α.
+    pub agg: AggFn,
+    /// The aggregated variable `y`; `None` exactly for `count(*)`.
+    pub agg_var: Option<Var>,
+    /// Body atoms (a multiset, as for [`CqQuery`]).
+    pub body: Vec<Atom>,
+}
+
+impl AggregateQuery {
+    /// Builds an aggregate query.
+    pub fn new(
+        name: &str,
+        grouping: Vec<Term>,
+        agg: AggFn,
+        agg_var: Option<Var>,
+        body: Vec<Atom>,
+    ) -> AggregateQuery {
+        AggregateQuery { name: Symbol::new(name), grouping, agg, agg_var, body }
+    }
+
+    /// The CQ core `Q̆(S̄, y) :- body` (§2.5). For `count(*)` the core head
+    /// is just the grouping terms.
+    pub fn core(&self) -> CqQuery {
+        let mut head = self.grouping.clone();
+        if let Some(y) = self.agg_var {
+            head.push(Term::Var(y));
+        }
+        CqQuery { name: self.name, head, body: self.body.clone() }
+    }
+
+    /// Validity: safety of the core, the aggregate variable not among the
+    /// grouping variables, and `agg_var` presence matching the function.
+    pub fn is_valid(&self) -> bool {
+        if self.agg.takes_arg() != self.agg_var.is_some() {
+            return false;
+        }
+        if let Some(y) = self.agg_var {
+            let grouping_vars: HashSet<Var> =
+                self.grouping.iter().filter_map(Term::as_var).collect();
+            if grouping_vars.contains(&y) {
+                return false;
+            }
+        }
+        self.core().is_safe()
+    }
+
+    /// Two aggregate queries are *compatible* when they have the same list
+    /// of head arguments: same grouping arity and the same aggregate term
+    /// (Definition 2.1 context). Only compatible queries are ever compared
+    /// for equivalence.
+    pub fn compatible(&self, other: &AggregateQuery) -> bool {
+        self.grouping.len() == other.grouping.len() && self.agg == other.agg
+    }
+}
+
+impl fmt::Display for AggregateQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for t in &self.grouping {
+            write!(f, "{t}, ")?;
+        }
+        match self.agg_var {
+            Some(y) => write!(f, "{}({y})", self.agg)?,
+            None => write!(f, "{}", self.agg)?,
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AggregateQuery {
+        AggregateQuery::new(
+            "q",
+            vec![Term::var("X")],
+            AggFn::Sum,
+            Some(Var::new("Y")),
+            vec![Atom::new("p", vec![Term::var("X"), Term::var("Y")])],
+        )
+    }
+
+    #[test]
+    fn core_appends_agg_var() {
+        let q = sample();
+        let core = q.core();
+        assert_eq!(core.head, vec![Term::var("X"), Term::var("Y")]);
+        assert!(core.is_safe());
+    }
+
+    #[test]
+    fn count_star_core_has_no_agg_var() {
+        let q = AggregateQuery::new(
+            "q",
+            vec![Term::var("X")],
+            AggFn::CountStar,
+            None,
+            vec![Atom::new("p", vec![Term::var("X"), Term::var("Y")])],
+        );
+        assert!(q.is_valid());
+        assert_eq!(q.core().head, vec![Term::var("X")]);
+    }
+
+    #[test]
+    fn validity_rules() {
+        let q = sample();
+        assert!(q.is_valid());
+        // Aggregated variable among grouping variables: invalid.
+        let bad = AggregateQuery::new(
+            "q",
+            vec![Term::var("Y")],
+            AggFn::Sum,
+            Some(Var::new("Y")),
+            vec![Atom::new("p", vec![Term::var("X"), Term::var("Y")])],
+        );
+        assert!(!bad.is_valid());
+        // count(*) with an arg var: invalid.
+        let bad2 = AggregateQuery::new(
+            "q",
+            vec![Term::var("X")],
+            AggFn::CountStar,
+            Some(Var::new("Y")),
+            vec![Atom::new("p", vec![Term::var("X"), Term::var("Y")])],
+        );
+        assert!(!bad2.is_valid());
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = sample();
+        let mut b = sample();
+        assert!(a.compatible(&b));
+        b.agg = AggFn::Max;
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(sample().to_string(), "q(X, sum(Y)) :- p(X, Y)");
+    }
+}

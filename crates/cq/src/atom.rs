@@ -1,0 +1,96 @@
+//! Relational atoms.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// A predicate (relation) name.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Predicate(pub Symbol);
+
+impl Predicate {
+    /// A predicate with the given name.
+    pub fn new(name: &str) -> Predicate {
+        Predicate(Symbol::new(name))
+    }
+
+    /// The predicate's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A relational atom `p(t1, ..., tn)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The predicate.
+    pub pred: Predicate,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: &str, args: Vec<Term>) -> Atom {
+        Atom { pred: Predicate::new(pred), args }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterates over the variables occurring in the atom (with repeats).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// Is the atom ground (variable-free)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Predicate/arity key, used to bucket atoms.
+    pub fn key(&self) -> (Predicate, usize) {
+        (self.pred, self.arity())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_basics() {
+        let a = Atom::new("p", vec![Term::var("X"), Term::int(3)]);
+        assert_eq!(a.arity(), 2);
+        assert!(!a.is_ground());
+        assert_eq!(a.vars().count(), 1);
+        assert_eq!(a.to_string(), "p(X, 3)");
+    }
+
+    #[test]
+    fn ground_atom() {
+        let a = Atom::new("p", vec![Term::int(1), Term::int(2)]);
+        assert!(a.is_ground());
+    }
+}

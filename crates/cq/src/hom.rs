@@ -1,0 +1,240 @@
+//! Homomorphisms between conjunctions of atoms and containment mappings
+//! between conjunctive queries (Chandra–Merlin [2]).
+//!
+//! A homomorphism from conjunction `φ(U)` to conjunction `ψ(V)` maps the
+//! variables of `φ` to terms of `ψ` such that constants are fixed and every
+//! atom of `φ` lands on an atom of `ψ` (§2.1 of the paper). The search is a
+//! straightforward backtracking over the atoms of `φ`, bucketing the target
+//! atoms by predicate. Containment-mapping search is NP-complete in general;
+//! the inputs in this workspace are small symbolic queries.
+
+use crate::atom::Atom;
+use crate::query::CqQuery;
+use crate::subst::Subst;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Upper bound on the number of homomorphisms [`all_homomorphisms`] will
+/// enumerate before giving up (a guard against pathological inputs; the
+/// chase never comes close on paper-scale inputs).
+pub const MAX_HOMOMORPHISMS: usize = 200_000;
+
+fn bucket(atoms: &[Atom]) -> HashMap<(crate::atom::Predicate, usize), Vec<usize>> {
+    let mut m: HashMap<_, Vec<usize>> = HashMap::new();
+    for (i, a) in atoms.iter().enumerate() {
+        m.entry(a.key()).or_default().push(i);
+    }
+    m
+}
+
+/// Tries to unify the source atom with the target atom under `s`,
+/// mutating `s`. Returns the bindings added (for backtracking) or `None`.
+fn match_atom(src: &Atom, dst: &Atom, s: &mut Subst) -> Option<Vec<crate::term::Var>> {
+    debug_assert_eq!(src.key(), dst.key());
+    let mut added = Vec::new();
+    for (st, dt) in src.args.iter().zip(dst.args.iter()) {
+        match st {
+            Term::Const(c) => {
+                if *dt != Term::Const(*c) {
+                    for v in &added {
+                        s.remove(*v);
+                    }
+                    return None;
+                }
+            }
+            Term::Var(v) => match s.get(*v) {
+                Some(bound) => {
+                    if bound != dt {
+                        for w in &added {
+                            s.remove(*w);
+                        }
+                        return None;
+                    }
+                }
+                None => {
+                    s.set(*v, *dt);
+                    added.push(*v);
+                }
+            },
+        }
+    }
+    Some(added)
+}
+
+/// Backtracking search. `emit` is called with each complete homomorphism;
+/// returning `false` from `emit` stops the search.
+fn search(
+    src: &[Atom],
+    dst: &[Atom],
+    buckets: &HashMap<(crate::atom::Predicate, usize), Vec<usize>>,
+    idx: usize,
+    s: &mut Subst,
+    emit: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    if idx == src.len() {
+        return emit(s);
+    }
+    let atom = &src[idx];
+    let Some(cands) = buckets.get(&atom.key()) else {
+        return true; // no candidates: this branch yields nothing, keep going
+    };
+    for &j in cands {
+        if let Some(added) = match_atom(atom, &dst[j], s) {
+            let keep_going = search(src, dst, buckets, idx + 1, s, emit);
+            for v in added {
+                s.remove(v);
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Finds one homomorphism from `src` to `dst` extending `seed`, if any.
+pub fn extend_homomorphism(src: &[Atom], dst: &[Atom], seed: &Subst) -> Option<Subst> {
+    let buckets = bucket(dst);
+    let mut s = seed.clone();
+    let mut found: Option<Subst> = None;
+    search(src, dst, &buckets, 0, &mut s, &mut |h| {
+        found = Some(h.clone());
+        false
+    });
+    found
+}
+
+/// Finds one homomorphism from `src` to `dst`, if any.
+pub fn find_homomorphism(src: &[Atom], dst: &[Atom]) -> Option<Subst> {
+    extend_homomorphism(src, dst, &Subst::new())
+}
+
+/// Enumerates all homomorphisms from `src` to `dst` extending `seed`,
+/// deduplicated by their variable bindings. Enumeration stops (silently) at
+/// [`MAX_HOMOMORPHISMS`].
+pub fn all_homomorphisms(src: &[Atom], dst: &[Atom], seed: &Subst) -> Vec<Subst> {
+    let buckets = bucket(dst);
+    let mut s = seed.clone();
+    let mut out: Vec<Subst> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<(crate::term::Var, Term)>> =
+        std::collections::HashSet::new();
+    search(src, dst, &buckets, 0, &mut s, &mut |h| {
+        if seen.insert(h.sorted_pairs()) {
+            out.push(h.clone());
+        }
+        out.len() < MAX_HOMOMORPHISMS
+    });
+    out
+}
+
+/// A containment mapping from `from` to `to`: a homomorphism between the
+/// bodies that maps the head of `from` onto the head of `to`, position by
+/// position (§2.1). By Chandra–Merlin, one exists iff `to ⊑_S from`.
+pub fn containment_mapping(from: &CqQuery, to: &CqQuery) -> Option<Subst> {
+    if from.head.len() != to.head.len() {
+        return None;
+    }
+    let mut seed = Subst::new();
+    for (ft, tt) in from.head.iter().zip(to.head.iter()) {
+        match ft {
+            Term::Const(c) => {
+                if *tt != Term::Const(*c) {
+                    return None;
+                }
+            }
+            Term::Var(v) => {
+                if !seed.bind(*v, *tt) {
+                    return None;
+                }
+            }
+        }
+    }
+    extend_homomorphism(&from.body, &to.body, &seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn q(s: &str) -> CqQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn identity_homomorphism_exists() {
+        let a = q("q(X) :- p(X,Y), s(Y,Z)");
+        assert!(find_homomorphism(&a.body, &a.body).is_some());
+    }
+
+    #[test]
+    fn homomorphism_can_collapse_variables() {
+        let src = q("q(X) :- p(X,Y), p(Y,X)");
+        let dst = q("q(X) :- p(X,X)");
+        let h = find_homomorphism(&src.body, &dst.body).unwrap();
+        assert_eq!(h.apply_term(&Term::var("Y")), h.apply_term(&Term::var("X")));
+    }
+
+    #[test]
+    fn no_homomorphism_on_missing_predicate() {
+        let src = q("q(X) :- p(X,Y), r(Y)");
+        let dst = q("q(X) :- p(X,Y)");
+        assert!(find_homomorphism(&src.body, &dst.body).is_none());
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let src = q("q(X) :- p(X, 3)");
+        let dst_ok = q("q(X) :- p(X, 3)");
+        let dst_bad = q("q(X) :- p(X, 4)");
+        assert!(find_homomorphism(&src.body, &dst_ok.body).is_some());
+        assert!(find_homomorphism(&src.body, &dst_bad.body).is_none());
+    }
+
+    #[test]
+    fn all_homomorphisms_counts_targets() {
+        let src = q("q() :- p(X)");
+        let dst = q("q() :- p(A), p(B), p(C)");
+        let hs = all_homomorphisms(&src.body, &dst.body, &Subst::new());
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn all_homomorphisms_dedups_bindings() {
+        // Duplicate target atoms yield the same variable mapping.
+        let src = q("q() :- p(X)");
+        let dst = q("q() :- p(A), p(A)");
+        let hs = all_homomorphisms(&src.body, &dst.body, &Subst::new());
+        assert_eq!(hs.len(), 1);
+    }
+
+    #[test]
+    fn containment_mapping_respects_head() {
+        // Classic: q1(X) :- p(X,Y) contains q2(X) :- p(X,X)? A containment
+        // mapping from q1 to q2 maps X->X, Y->X: exists, so q2 ⊑ q1.
+        let q1 = q("q(X) :- p(X,Y)");
+        let q2 = q("q(X) :- p(X,X)");
+        assert!(containment_mapping(&q1, &q2).is_some());
+        // The other direction requires mapping p(X,X) into p(X,Y) with
+        // X->X: impossible since Y≠X.
+        assert!(containment_mapping(&q2, &q1).is_none());
+    }
+
+    #[test]
+    fn containment_mapping_head_constant() {
+        let q1 = q("q(3) :- p(3,Y)");
+        let q2 = q("q(3) :- p(3,4)");
+        assert!(containment_mapping(&q1, &q2).is_some());
+        let q3 = q("q(5) :- p(5,4)");
+        assert!(containment_mapping(&q1, &q3).is_none());
+    }
+
+    #[test]
+    fn seeded_extension() {
+        let src = q("q() :- p(X,Y)");
+        let dst = q("q() :- p(1,2), p(3,4)");
+        let seed = Subst::from_pairs([(crate::term::Var::new("X"), Term::int(3))]);
+        let h = extend_homomorphism(&src.body, &dst.body, &seed).unwrap();
+        assert_eq!(h.apply_term(&Term::var("Y")), Term::int(4));
+    }
+}

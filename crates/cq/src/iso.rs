@@ -1,0 +1,259 @@
+//! Query isomorphism and canonical representations.
+//!
+//! Theorem 2.1 of the paper (due to Chaudhuri & Vardi [4]):
+//!
+//! 1. `Q ≡_B Q'` iff `Q` and `Q'` are **isomorphic** — there is a bijective
+//!    variable renaming carrying the head of `Q` onto the head of `Q'` and
+//!    the body of `Q` onto the body of `Q'` *as multisets of atoms*;
+//! 2. `Q ≡_BS Q'` iff their canonical representations (duplicate atoms
+//!    removed) are isomorphic.
+
+use crate::atom::Atom;
+use crate::query::CqQuery;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+
+/// A bijective variable mapping under construction.
+#[derive(Default, Clone, Debug)]
+struct Bijection {
+    fwd: HashMap<Var, Var>,
+    bwd: HashMap<Var, Var>,
+}
+
+impl Bijection {
+    /// Binds `a <-> b`; fails if either side is already paired differently.
+    fn bind(&mut self, a: Var, b: Var) -> Option<bool> {
+        match (self.fwd.get(&a), self.bwd.get(&b)) {
+            (Some(&b0), _) if b0 != b => None,
+            (_, Some(&a0)) if a0 != a => None,
+            (Some(_), _) => Some(false), // already present, nothing added
+            _ => {
+                self.fwd.insert(a, b);
+                self.bwd.insert(b, a);
+                Some(true)
+            }
+        }
+    }
+
+    fn unbind(&mut self, a: Var) {
+        if let Some(b) = self.fwd.remove(&a) {
+            self.bwd.remove(&b);
+        }
+    }
+}
+
+/// Tries to pair two terms under the bijection; returns the variable newly
+/// bound (for backtracking) wrapped in `Some(Some(v))`, `Some(None)` when
+/// consistent without a new binding, `None` on conflict.
+fn pair_terms(m: &mut Bijection, s: &Term, t: &Term) -> Option<Option<Var>> {
+    match (s, t) {
+        (Term::Const(c), Term::Const(d)) => (c == d).then_some(None),
+        (Term::Var(a), Term::Var(b)) => match m.bind(*a, *b)? {
+            true => Some(Some(*a)),
+            false => Some(None),
+        },
+        _ => None,
+    }
+}
+
+fn pair_atoms(m: &mut Bijection, s: &Atom, t: &Atom) -> Option<Vec<Var>> {
+    debug_assert_eq!(s.key(), t.key());
+    let mut added = Vec::new();
+    for (st, tt) in s.args.iter().zip(t.args.iter()) {
+        match pair_terms(m, st, tt) {
+            Some(Some(v)) => added.push(v),
+            Some(None) => {}
+            None => {
+                for v in &added {
+                    m.unbind(*v);
+                }
+                return None;
+            }
+        }
+    }
+    Some(added)
+}
+
+/// Backtracking multiset matching of body atoms.
+fn match_bodies(
+    src: &[Atom],
+    dst: &[Atom],
+    used: &mut [bool],
+    idx: usize,
+    m: &mut Bijection,
+) -> bool {
+    if idx == src.len() {
+        return true;
+    }
+    let atom = &src[idx];
+    for j in 0..dst.len() {
+        if used[j] || dst[j].key() != atom.key() {
+            continue;
+        }
+        if let Some(added) = pair_atoms(m, atom, &dst[j]) {
+            used[j] = true;
+            if match_bodies(src, dst, used, idx + 1, m) {
+                return true;
+            }
+            used[j] = false;
+            for v in added {
+                m.unbind(v);
+            }
+        }
+    }
+    false
+}
+
+/// Are `q1` and `q2` isomorphic (same query up to bijective variable
+/// renaming, bodies compared as **multisets**)? This is the bag-equivalence
+/// test of Theorem 2.1(1).
+pub fn are_isomorphic(q1: &CqQuery, q2: &CqQuery) -> bool {
+    if q1.head.len() != q2.head.len() || q1.body.len() != q2.body.len() {
+        return false;
+    }
+    // Quick reject: per-predicate atom counts must agree.
+    let mut counts: HashMap<_, i64> = HashMap::new();
+    for a in &q1.body {
+        *counts.entry(a.key()).or_default() += 1;
+    }
+    for a in &q2.body {
+        *counts.entry(a.key()).or_default() -= 1;
+    }
+    if counts.values().any(|&c| c != 0) {
+        return false;
+    }
+    let mut m = Bijection::default();
+    for (s, t) in q1.head.iter().zip(q2.head.iter()) {
+        if pair_terms(&mut m, s, t).is_none() {
+            return false;
+        }
+    }
+    let mut used = vec![false; q2.body.len()];
+    match_bodies(&q1.body, &q2.body, &mut used, 0, &mut m)
+}
+
+/// The canonical representation `Q_c` of `Q`: all duplicate body atoms
+/// removed (first occurrences kept, in order). See §2.3 of the paper.
+pub fn canonical_representation(q: &CqQuery) -> CqQuery {
+    let mut seen = std::collections::HashSet::new();
+    let body: Vec<Atom> = q.body.iter().filter(|a| seen.insert((*a).clone())).cloned().collect();
+    CqQuery { name: q.name, head: q.head.clone(), body }
+}
+
+/// Removes duplicates only of atoms whose predicate satisfies `is_set`.
+/// This is the normalization of Theorem 4.2: under bag semantics, duplicate
+/// subgoals may be dropped exactly when their relations are set-valued on
+/// every instance of the schema.
+pub fn dedup_set_valued(q: &CqQuery, is_set: impl Fn(crate::atom::Predicate) -> bool) -> CqQuery {
+    let mut seen = std::collections::HashSet::new();
+    let body: Vec<Atom> = q
+        .body
+        .iter()
+        .filter(|a| {
+            if is_set(a.pred) {
+                seen.insert((*a).clone())
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    CqQuery { name: q.name, head: q.head.clone(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Predicate;
+    use crate::parser::parse_query;
+
+    fn q(s: &str) -> CqQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn renamed_queries_are_isomorphic() {
+        let a = q("q(X) :- p(X,Y), s(Y,Z)");
+        let b = q("q(A) :- p(A,B), s(B,C)");
+        assert!(are_isomorphic(&a, &b));
+        assert!(are_isomorphic(&b, &a));
+    }
+
+    #[test]
+    fn atom_order_does_not_matter() {
+        let a = q("q(X) :- p(X,Y), s(Y,Z)");
+        let b = q("q(X) :- s(Y,Z), p(X,Y)");
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn duplicate_counts_matter() {
+        // Bag equivalence distinguishes duplicate subgoals (Thm 2.1(1)).
+        let a = q("q(X) :- p(X,Y)");
+        let b = q("q(X) :- p(X,Y), p(X,Y)");
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn collapse_is_not_isomorphism() {
+        let a = q("q(X) :- p(X,Y), p(Y,X)");
+        let b = q("q(X) :- p(X,X), p(X,X)");
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn head_must_correspond() {
+        let a = q("q(X) :- p(X,Y)");
+        let b = q("q(Y) :- p(X,Y)");
+        // In b, the head variable is the second argument of p: no bijection
+        // can carry a's head onto b's head while matching bodies.
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn constants_must_agree() {
+        let a = q("q(X) :- p(X, 3)");
+        let b = q("q(X) :- p(X, 4)");
+        assert!(!are_isomorphic(&a, &b));
+        let c = q("q(A) :- p(A, 3)");
+        assert!(are_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn canonical_representation_dedups() {
+        let a = q("q(X) :- p(X,Y), p(X,Y), s(X)");
+        let c = canonical_representation(&a);
+        assert_eq!(c.body.len(), 2);
+        // And the canonical representations of a and its dedup are iso.
+        assert!(are_isomorphic(&c, &q("q(X) :- p(X,Y), s(X)")));
+    }
+
+    #[test]
+    fn dedup_set_valued_is_selective() {
+        // Example 4.9 flavour: duplicates of the set-valued s may go,
+        // duplicates of the bag-valued r must stay.
+        let a = q("q(X) :- s(X,Z), s(X,Z), r(X), r(X)");
+        let s_pred = Predicate::new("s");
+        let d = dedup_set_valued(&a, |p| p == s_pred);
+        assert_eq!(d.body.len(), 3);
+        assert_eq!(d.count_pred(Predicate::new("r")), 2);
+        assert_eq!(d.count_pred(s_pred), 1);
+    }
+
+    #[test]
+    fn isomorphism_is_an_equivalence_on_samples() {
+        let qs = [
+            q("q(X) :- p(X,Y), s(Y,Z)"),
+            q("q(A) :- s(B,C), p(A,B)"),
+            q("q(X) :- p(X,Y), s(Y,Z), s(Y,Z)"),
+        ];
+        // reflexive
+        for x in &qs {
+            assert!(are_isomorphic(x, x));
+        }
+        // symmetric on the pair that is iso
+        assert!(are_isomorphic(&qs[0], &qs[1]) && are_isomorphic(&qs[1], &qs[0]));
+        // qs[2] differs from both
+        assert!(!are_isomorphic(&qs[0], &qs[2]));
+    }
+}

@@ -1,0 +1,320 @@
+//! A small lexer shared by the query, dependency and SQL-frontend parsers.
+//!
+//! Conventions: identifiers starting with an uppercase letter (or `_`) are
+//! variables, lowercase identifiers are predicate/function names, numeric
+//! literals are integer or real constants, single-quoted strings are string
+//! constants. `%` starts a line comment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Identifier (predicate, variable, keyword — disambiguated by parsers).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Single-quoted string literal (content, unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `<-`
+    LArrow,
+    /// `->`
+    RArrow,
+    /// `&`
+    Amp,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Turnstile => f.write_str(":-"),
+            Token::LArrow => f.write_str("<-"),
+            Token::RArrow => f.write_str("->"),
+            Token::Amp => f.write_str("&"),
+            Token::Eq => f.write_str("="),
+            Token::Star => f.write_str("*"),
+            Token::Semi => f.write_str(";"),
+        }
+    }
+}
+
+/// A token with its byte offset in the input (for error reporting).
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset where the token starts.
+    pub at: usize,
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Byte offset of the offending character.
+    pub at: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { tok: Token::LParen, at: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Token::RParen, at: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Token::Comma, at: i });
+                i += 1;
+            }
+            '&' => {
+                out.push(Spanned { tok: Token::Amp, at: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { tok: Token::Eq, at: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Token::Star, at: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { tok: Token::Semi, at: i });
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    out.push(Spanned { tok: Token::Turnstile, at: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { msg: "expected ':-'".into(), at: i });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    out.push(Spanned { tok: Token::LArrow, at: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { msg: "expected '<-'".into(), at: i });
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { tok: Token::RArrow, at: i });
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (tok, next) = lex_number(input, i)?;
+                    out.push(Spanned { tok, at: i });
+                    i = next;
+                } else {
+                    return Err(LexError { msg: "expected '->' or number".into(), at: i });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { msg: "unterminated string".into(), at: i });
+                }
+                out.push(Spanned { tok: Token::Str(input[start..j].to_string()), at: i });
+                i = j + 1;
+            }
+            '.' => {
+                out.push(Spanned { tok: Token::Dot, at: i });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                out.push(Spanned { tok, at: i });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Spanned { tok: Token::Ident(input[start..j].to_string()), at: start });
+                i = j;
+            }
+            other => {
+                return Err(LexError { msg: format!("unexpected character '{other}'"), at: i });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut j = start;
+    if bytes[j] == b'-' {
+        j += 1;
+    }
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_real = false;
+    if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+        is_real = true;
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    let text = &input[start..j];
+    let tok = if is_real {
+        Token::Real(text.parse().map_err(|_| LexError {
+            msg: format!("bad real literal '{text}'"),
+            at: start,
+        })?)
+    } else {
+        Token::Int(text.parse().map_err(|_| LexError {
+            msg: format!("bad integer literal '{text}'"),
+            at: start,
+        })?)
+    };
+    Ok((tok, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_query() {
+        assert_eq!(
+            toks("q(X) :- p(X, 3)."),
+            vec![
+                Token::Ident("q".into()),
+                Token::LParen,
+                Token::Ident("X".into()),
+                Token::RParen,
+                Token::Turnstile,
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Ident("X".into()),
+                Token::Comma,
+                Token::Int(3),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dependency_arrow_and_eq() {
+        assert_eq!(
+            toks("p(X,Y) & p(X,Z) -> Y = Z"),
+            vec![
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Ident("X".into()),
+                Token::Comma,
+                Token::Ident("Y".into()),
+                Token::RParen,
+                Token::Amp,
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Ident("X".into()),
+                Token::Comma,
+                Token::Ident("Z".into()),
+                Token::RParen,
+                Token::RArrow,
+                Token::Ident("Y".into()),
+                Token::Eq,
+                Token::Ident("Z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(toks("1 -2 3.5 -4.25"), vec![
+            Token::Int(1),
+            Token::Int(-2),
+            Token::Real(3.5),
+            Token::Real(-4.25),
+        ]);
+    }
+
+    #[test]
+    fn lex_strings_and_comments() {
+        assert_eq!(
+            toks("p('ab c') % trailing comment\nq"),
+            vec![
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Str("ab c".into()),
+                Token::RParen,
+                Token::Ident("q".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors_have_positions() {
+        let e = lex("p(#)").unwrap_err();
+        assert_eq!(e.at, 2);
+        assert!(lex("'open").is_err());
+    }
+}

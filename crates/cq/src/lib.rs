@@ -1,0 +1,47 @@
+//! # eqsql-cq — conjunctive-query intermediate representation
+//!
+//! This crate is the symbolic substrate of the `eqsql` workspace, which
+//! implements Chirkova & Genesereth, *"Equivalence of SQL Queries in Presence
+//! of Embedded Dependencies"* (PODS 2009).
+//!
+//! It provides:
+//!
+//! * interned [`Symbol`]s, [`Var`]iables, constant [`Value`]s and [`Term`]s;
+//! * relational [`Atom`]s and safe conjunctive queries ([`CqQuery`], §2.1 of
+//!   the paper) whose bodies are **multisets** of atoms — duplicate subgoals
+//!   are semantically significant under bag and bag-set semantics;
+//! * aggregate queries ([`AggregateQuery`], §2.5);
+//! * [`Subst`]itutions and homomorphism machinery ([`hom`]): homomorphism
+//!   search between conjunctions, containment mappings (Chandra–Merlin), and
+//!   exhaustive homomorphism enumeration as needed by the chase;
+//! * query [`iso`]morphism — the bag-equivalence test of Chaudhuri & Vardi
+//!   (Theorem 2.1 of the paper) — and canonical representations;
+//! * a datalog-style [`parser`] and matching [`std::fmt::Display`]
+//!   implementations, plus a reusable [`lex`]er shared with the dependency
+//!   and SQL frontends.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod atom;
+pub mod hom;
+pub mod iso;
+pub mod lex;
+pub mod parser;
+pub mod query;
+pub mod subst;
+pub mod symbol;
+pub mod term;
+pub mod value;
+
+pub use aggregate::{AggFn, AggregateQuery};
+pub use atom::{Atom, Predicate};
+pub use hom::{all_homomorphisms, containment_mapping, extend_homomorphism, find_homomorphism};
+pub use iso::{are_isomorphic, canonical_representation};
+pub use parser::{parse_program, parse_query, ParseError};
+pub use query::{CqQuery, VarSupply};
+pub use subst::Subst;
+pub use symbol::Symbol;
+pub use term::{Term, Var};
+pub use value::{Value, R64};

@@ -1,0 +1,413 @@
+//! A datalog-style text parser for conjunctive and aggregate queries.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query     := name '(' head-terms? ')' (':-' | '<-') atom (( ',' | '&' ) atom)* '.'?
+//! head-term := term | aggfn '(' (var | '*')? ')'
+//! atom      := name '(' term (',' term)* ')'
+//! term      := Variable            (identifier starting uppercase, or '_')
+//!            | integer | real | 'string'
+//!            | name                (lowercase identifier: a string constant)
+//! aggfn     := sum | count | min | max
+//! ```
+//!
+//! Uppercase identifiers are variables; `_` is an anonymous variable (fresh
+//! per occurrence). At most one aggregate term is allowed, and it must be
+//! the last head argument (the form used in §2.5 of the paper).
+
+use crate::aggregate::{AggFn, AggregateQuery};
+use crate::atom::Atom;
+use crate::lex::{lex, Spanned, Token};
+use crate::query::CqQuery;
+use crate::term::{Term, Var};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse error with a byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lex::LexError> for ParseError {
+    fn from(e: crate::lex::LexError) -> Self {
+        ParseError { msg: e.msg, at: e.at }
+    }
+}
+
+/// A parsed item: plain CQ or aggregate query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParsedQuery {
+    /// A plain conjunctive query.
+    Cq(CqQuery),
+    /// An aggregate query.
+    Agg(AggregateQuery),
+}
+
+/// Token-stream cursor shared with the dependency parser in `eqsql-deps`.
+pub struct Cursor {
+    toks: Vec<Spanned>,
+    pos: usize,
+    anon: u64,
+}
+
+impl Cursor {
+    /// Lexes `input` into a cursor.
+    pub fn new(input: &str) -> Result<Cursor, ParseError> {
+        Ok(Cursor { toks: lex(input)?, pos: 0, anon: 0 })
+    }
+
+    /// The current token, if any.
+    pub fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    /// The token after the current one, if any.
+    pub fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    /// Current byte position for error reporting.
+    pub fn at(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |s| s.at)
+    }
+
+    /// Advances and returns the token.
+    #[allow(clippy::should_implement_trait)] // parser cursor, not an Iterator
+    pub fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the cursor exhausted?
+    pub fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Errors at the current position.
+    pub fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: msg.into(), at: self.at() })
+    }
+
+    /// Consumes the given token or errors.
+    pub fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected '{tok}', found '{t}'"))
+            }
+            None => self.err(format!("expected '{tok}', found end of input")),
+        }
+    }
+
+    /// Consumes the token if it matches; returns whether it did.
+    pub fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a term.
+    pub fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(ident_to_term(&name, &mut self.anon)),
+            Some(Token::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Token::Real(r)) => Ok(Term::Const(Value::real(r))),
+            Some(Token::Str(s)) => Ok(Term::Const(Value::str(&s))),
+            Some(t) => self.err(format!("expected a term, found '{t}'")),
+            None => self.err("expected a term, found end of input"),
+        }
+    }
+
+    /// Parses `name(t1, ..., tn)`.
+    pub fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.next() {
+            Some(Token::Ident(n)) => n,
+            Some(t) => return self.err(format!("expected predicate name, found '{t}'")),
+            None => return self.err("expected predicate name, found end of input"),
+        };
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                args.push(self.parse_term()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        Ok(Atom::new(&name, args))
+    }
+
+    /// Parses a conjunction `atom ((',' | '&') atom)*`.
+    pub fn parse_conjunction(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while self.eat(&Token::Comma) || self.eat(&Token::Amp) {
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(atoms)
+    }
+}
+
+fn ident_to_term(name: &str, anon: &mut u64) -> Term {
+    let first = name.chars().next().unwrap_or('_');
+    if name == "_" {
+        *anon += 1;
+        Term::Var(Var::new(&format!("_anon_{anon}")))
+    } else if first.is_ascii_uppercase() || first == '_' {
+        Term::Var(Var::new(name))
+    } else {
+        Term::Const(Value::str(name))
+    }
+}
+
+fn agg_fn_of(name: &str) -> Option<AggFn> {
+    match name {
+        "sum" => Some(AggFn::Sum),
+        "count" => Some(AggFn::Count),
+        "min" => Some(AggFn::Min),
+        "max" => Some(AggFn::Max),
+        _ => None,
+    }
+}
+
+fn parse_one(c: &mut Cursor) -> Result<ParsedQuery, ParseError> {
+    let name = match c.next() {
+        Some(Token::Ident(n)) => n,
+        Some(t) => return c.err(format!("expected query name, found '{t}'")),
+        None => return c.err("expected query name, found end of input"),
+    };
+    c.expect(&Token::LParen)?;
+    let mut grouping: Vec<Term> = Vec::new();
+    let mut agg: Option<(AggFn, Option<Var>)> = None;
+    if !c.eat(&Token::RParen) {
+        loop {
+            // Either an aggregate head term or an ordinary term.
+            let is_agg = matches!(c.peek(), Some(Token::Ident(n)) if agg_fn_of(n).is_some())
+                && matches!(c.toks.get(c.pos + 1).map(|s| &s.tok), Some(Token::LParen));
+            if is_agg {
+                if agg.is_some() {
+                    return c.err("at most one aggregate term is allowed in the head");
+                }
+                let Some(Token::Ident(fname)) = c.next() else { unreachable!() };
+                let f = agg_fn_of(&fname).expect("checked above");
+                c.expect(&Token::LParen)?;
+                if c.eat(&Token::Star) {
+                    c.expect(&Token::RParen)?;
+                    agg = Some((AggFn::CountStar, None));
+                } else if c.eat(&Token::RParen) {
+                    if f == AggFn::Count {
+                        agg = Some((AggFn::CountStar, None));
+                    } else {
+                        return c.err(format!("aggregate '{fname}' requires an argument"));
+                    }
+                } else {
+                    let t = c.parse_term()?;
+                    let Term::Var(v) = t else {
+                        return c.err("aggregate argument must be a variable");
+                    };
+                    c.expect(&Token::RParen)?;
+                    agg = Some((f, Some(v)));
+                }
+            } else {
+                if agg.is_some() {
+                    return c.err("the aggregate term must be the last head argument");
+                }
+                grouping.push(c.parse_term()?);
+            }
+            if c.eat(&Token::RParen) {
+                break;
+            }
+            c.expect(&Token::Comma)?;
+        }
+    }
+    if !(c.eat(&Token::Turnstile) || c.eat(&Token::LArrow)) {
+        return c.err("expected ':-' or '<-'");
+    }
+    let body = c.parse_conjunction()?;
+    c.eat(&Token::Dot);
+    match agg {
+        None => {
+            let q = CqQuery { name: crate::symbol::Symbol::new(&name), head: grouping, body };
+            if !q.is_safe() {
+                return Err(ParseError {
+                    msg: format!("query '{name}' is not safe"),
+                    at: usize::MAX,
+                });
+            }
+            Ok(ParsedQuery::Cq(q))
+        }
+        Some((f, v)) => {
+            let q = AggregateQuery {
+                name: crate::symbol::Symbol::new(&name),
+                grouping,
+                agg: f,
+                agg_var: v,
+                body,
+            };
+            if !q.is_valid() {
+                return Err(ParseError {
+                    msg: format!("aggregate query '{name}' is not valid/safe"),
+                    at: usize::MAX,
+                });
+            }
+            Ok(ParsedQuery::Agg(q))
+        }
+    }
+}
+
+/// Parses a single plain conjunctive query.
+pub fn parse_query(input: &str) -> Result<CqQuery, ParseError> {
+    let mut c = Cursor::new(input)?;
+    match parse_one(&mut c)? {
+        ParsedQuery::Cq(q) => {
+            if !c.done() {
+                return c.err("trailing input after query");
+            }
+            Ok(q)
+        }
+        ParsedQuery::Agg(_) => {
+            Err(ParseError { msg: "expected a plain CQ, found an aggregate query".into(), at: 0 })
+        }
+    }
+}
+
+/// Parses a single aggregate query.
+pub fn parse_aggregate_query(input: &str) -> Result<AggregateQuery, ParseError> {
+    let mut c = Cursor::new(input)?;
+    match parse_one(&mut c)? {
+        ParsedQuery::Agg(q) => {
+            if !c.done() {
+                return c.err("trailing input after query");
+            }
+            Ok(q)
+        }
+        ParsedQuery::Cq(_) => {
+            Err(ParseError { msg: "expected an aggregate query, found a plain CQ".into(), at: 0 })
+        }
+    }
+}
+
+/// Parses a sequence of queries (plain or aggregate), each terminated by
+/// `.` (the final dot may be omitted).
+pub fn parse_program(input: &str) -> Result<Vec<ParsedQuery>, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let mut out = Vec::new();
+    while !c.done() {
+        out.push(parse_one(&mut c)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_query() {
+        let q = parse_query("q(X) :- p(X,Y), t(X,Y,W).").unwrap();
+        assert_eq!(q.head, vec![Term::var("X")]);
+        assert_eq!(q.body.len(), 2);
+        assert_eq!(q.to_string(), "q(X) :- p(X, Y), t(X, Y, W)");
+    }
+
+    #[test]
+    fn parse_zero_ary_head() {
+        let q = parse_query("q() :- p(X)").unwrap();
+        assert!(q.head.is_empty());
+    }
+
+    #[test]
+    fn parse_constants() {
+        let q = parse_query("q(X) :- p(X, 3, 2.5, 'lit', abc)").unwrap();
+        assert_eq!(q.body[0].args[1], Term::int(3));
+        assert_eq!(q.body[0].args[2], Term::Const(Value::real(2.5)));
+        assert_eq!(q.body[0].args[3], Term::Const(Value::str("lit")));
+        assert_eq!(q.body[0].args[4], Term::Const(Value::str("abc")));
+    }
+
+    #[test]
+    fn anonymous_vars_are_distinct() {
+        let q = parse_query("q(X) :- p(X, _, _)").unwrap();
+        let a = q.body[0].args[1].as_var().unwrap();
+        let b = q.body[0].args[2].as_var().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        assert!(parse_query("q(Z) :- p(X,Y)").is_err());
+    }
+
+    #[test]
+    fn duplicate_atoms_preserved() {
+        // Multiset bodies: the parser must not dedup.
+        let q = parse_query("q(X) :- s(X,Z), s(X,Z)").unwrap();
+        assert_eq!(q.body.len(), 2);
+    }
+
+    #[test]
+    fn parse_aggregate() {
+        let q = parse_aggregate_query("q(X, sum(Y)) :- p(X,Y)").unwrap();
+        assert_eq!(q.agg, AggFn::Sum);
+        assert_eq!(q.agg_var, Some(Var::new("Y")));
+        assert_eq!(q.grouping, vec![Term::var("X")]);
+    }
+
+    #[test]
+    fn parse_count_star() {
+        let q = parse_aggregate_query("q(X, count(*)) :- p(X,Y)").unwrap();
+        assert_eq!(q.agg, AggFn::CountStar);
+        assert_eq!(q.agg_var, None);
+        let q2 = parse_aggregate_query("q(X, count()) :- p(X,Y)").unwrap();
+        assert_eq!(q2.agg, AggFn::CountStar);
+    }
+
+    #[test]
+    fn aggregate_must_be_last() {
+        assert!(parse_aggregate_query("q(sum(Y), X) :- p(X,Y)").is_err());
+    }
+
+    #[test]
+    fn parse_program_multiple() {
+        let items = parse_program("q1(X) :- p(X,Y). q2(X, max(Y)) :- p(X,Y).").unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], ParsedQuery::Cq(_)));
+        assert!(matches!(items[1], ParsedQuery::Agg(_)));
+    }
+
+    #[test]
+    fn ampersand_conjunction() {
+        let q = parse_query("q(X) :- p(X,Y) & s(Y)").unwrap();
+        assert_eq!(q.body.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let e = parse_query("q(X) : p(X)").unwrap_err();
+        assert!(e.at < usize::MAX);
+    }
+}

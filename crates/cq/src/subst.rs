@@ -1,0 +1,210 @@
+//! Substitutions: finite maps from variables to terms.
+//!
+//! Substitutions double as homomorphisms (between conjunctions of atoms) and
+//! as the "accumulated renaming" tracked through a chase sequence, which the
+//! assignment-fixing test of Definition 4.3 needs (see
+//! `eqsql-chase::assignment_fixing`).
+
+use crate::atom::Atom;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A substitution `{X1 -> t1, ..., Xn -> tn}`.
+#[derive(Default, Clone, PartialEq, Eq, Debug)]
+pub struct Subst {
+    map: HashMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Builds a substitution from pairs. Later pairs overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Term)>) -> Subst {
+        Subst { map: pairs.into_iter().collect() }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the substitution empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The binding of `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Binds `v -> t`, returning `false` (and leaving the substitution
+    /// unchanged) if `v` is already bound to a different term.
+    #[must_use]
+    pub fn bind(&mut self, v: Var, t: Term) -> bool {
+        match self.map.get(&v) {
+            Some(existing) => *existing == t,
+            None => {
+                self.map.insert(v, t);
+                true
+            }
+        }
+    }
+
+    /// Unconditionally sets `v -> t`.
+    pub fn set(&mut self, v: Var, t: Term) {
+        self.map.insert(v, t);
+    }
+
+    /// Removes the binding for `v`, returning it if present.
+    pub fn remove(&mut self, v: Var) -> Option<Term> {
+        self.map.remove(&v)
+    }
+
+    /// Applies the substitution to a term. Unbound variables map to
+    /// themselves; constants map to themselves.
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(v).copied().unwrap_or(*t),
+            Term::Const(_) => *t,
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom { pred: a.pred, args: a.args.iter().map(|t| self.apply_term(t)).collect() }
+    }
+
+    /// Applies the substitution to a slice of atoms.
+    pub fn apply_atoms(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.apply_atom(a)).collect()
+    }
+
+    /// Rewrites the substitution so that, from now on, variable `from` is
+    /// considered replaced by term `to` *everywhere*: the images of existing
+    /// bindings are updated, and a binding `from -> to` is recorded.
+    ///
+    /// This is the update performed when an egd chase step replaces
+    /// `from` by `to`; composing these keeps the substitution equal to the
+    /// total renaming applied so far.
+    pub fn rewrite(&mut self, from: Var, to: Term) {
+        for t in self.map.values_mut() {
+            if *t == Term::Var(from) {
+                *t = to;
+            }
+        }
+        self.map.entry(from).or_insert(to);
+        // If `from` had an existing binding, keep it consistent: its image
+        // must also be rewritten, which the loop above already did.
+    }
+
+    /// Iterates over the bindings in an unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Term)> + '_ {
+        self.map.iter().map(|(v, t)| (*v, t))
+    }
+
+    /// Sorted bindings (deterministic; used for hashing/dedup of
+    /// homomorphism sets).
+    pub fn sorted_pairs(&self) -> Vec<(Var, Term)> {
+        let mut v: Vec<(Var, Term)> = self.map.iter().map(|(v, t)| (*v, *t)).collect();
+        v.sort();
+        v
+    }
+
+    /// Restricts the substitution to the given variables.
+    pub fn restrict(&self, vars: &[Var]) -> Subst {
+        Subst {
+            map: vars.iter().filter_map(|v| self.map.get(v).map(|t| (*v, *t))).collect(),
+        }
+    }
+
+    /// Composition: `(self.then(other))(x) = other(self(x))`, with `other`
+    /// also applied to variables `self` leaves unbound.
+    pub fn then(&self, other: &Subst) -> Subst {
+        let mut out = Subst::new();
+        for (v, t) in self.iter() {
+            out.set(v, other.apply_term(t));
+        }
+        for (v, t) in other.iter() {
+            out.map.entry(v).or_insert(*t);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.sorted_pairs().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn bind_rejects_conflicts() {
+        let mut s = Subst::new();
+        assert!(s.bind(v("X"), Term::int(1)));
+        assert!(s.bind(v("X"), Term::int(1)));
+        assert!(!s.bind(v("X"), Term::int(2)));
+        assert_eq!(s.get(v("X")), Some(&Term::int(1)));
+    }
+
+    #[test]
+    fn apply_leaves_unbound_vars() {
+        let s = Subst::from_pairs([(v("X"), Term::int(1))]);
+        assert_eq!(s.apply_term(&Term::var("Y")), Term::var("Y"));
+        assert_eq!(s.apply_term(&Term::var("X")), Term::int(1));
+    }
+
+    #[test]
+    fn rewrite_composes_like_chase_egds() {
+        // Start with nothing; rewrite Z1 -> Z, then Z -> W. The final image
+        // of Z1 must be W.
+        let mut s = Subst::new();
+        s.rewrite(v("Z1"), Term::var("Z"));
+        s.rewrite(v("Z"), Term::var("W"));
+        assert_eq!(s.apply_term(&Term::var("Z1")), Term::var("W"));
+        assert_eq!(s.apply_term(&Term::var("Z")), Term::var("W"));
+    }
+
+    #[test]
+    fn then_composes() {
+        let s1 = Subst::from_pairs([(v("X"), Term::var("Y"))]);
+        let s2 = Subst::from_pairs([(v("Y"), Term::int(3))]);
+        let c = s1.then(&s2);
+        assert_eq!(c.apply_term(&Term::var("X")), Term::int(3));
+        assert_eq!(c.apply_term(&Term::var("Y")), Term::int(3));
+    }
+
+    #[test]
+    fn restrict_projects() {
+        let s = Subst::from_pairs([(v("X"), Term::int(1)), (v("Y"), Term::int(2))]);
+        let r = s.restrict(&[v("X")]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(v("X")), Some(&Term::int(1)));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let s = Subst::from_pairs([(v("B"), Term::int(2)), (v("A"), Term::int(1))]);
+        assert_eq!(s.to_string(), "{A -> 1, B -> 2}");
+    }
+}

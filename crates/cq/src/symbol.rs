@@ -1,0 +1,112 @@
+//! A process-wide string interner.
+//!
+//! Symbols are cheap to copy and compare; the backing strings live for the
+//! lifetime of the process (they are leaked on first interning), which keeps
+//! `as_str` allocation- and lock-free at use sites. Symbol sets in this
+//! workspace are tiny (predicate and variable names), so the leak is
+//! intentional and bounded.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<&'static str, u32>,
+    vec: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Inner> {
+    static I: OnceLock<Mutex<Inner>> = OnceLock::new();
+    I.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// An interned string. Equality and hashing are O(1); ordering is
+/// lexicographic on the underlying string so that sorted output is
+/// deterministic across runs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `s` and returns its symbol.
+    pub fn new(s: &str) -> Symbol {
+        let mut g = interner().lock().expect("interner poisoned");
+        if let Some(&id) = g.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(g.vec.len()).expect("interner overflow");
+        g.vec.push(leaked);
+        g.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner poisoned").vec[self.0 as usize]
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("hello");
+        let b = Symbol::new("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::new("p"), Symbol::new("q"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse lexicographic order to make sure ordering does
+        // not fall back to interning order.
+        let z = Symbol::new("zzz-sym");
+        let a = Symbol::new("aaa-sym");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+}

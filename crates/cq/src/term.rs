@@ -1,0 +1,113 @@
+//! Variables and terms.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// A query variable, identified by its (interned) name.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// A variable with the given name.
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::new(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a named variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for an integer constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::Int(i))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::var("X");
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(Var::new("X")));
+        assert_eq!(t.as_const(), None);
+
+        let c = Term::int(5);
+        assert!(!c.is_var());
+        assert_eq!(c.as_const(), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Term::var("Abc").to_string(), "Abc");
+        assert_eq!(Term::int(-3).to_string(), "-3");
+    }
+}

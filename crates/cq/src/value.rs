@@ -1,0 +1,167 @@
+//! Constant values.
+//!
+//! Values appear both as constants inside queries/dependencies and as the
+//! data stored in bag relations (crate `eqsql-relalg`). The paper aggregates
+//! real numbers; we support 64-bit integers and reals (behind a total-order
+//! wrapper) plus interned strings. [`Value::Labeled`] values are the
+//! "fresh distinct constants" used by canonical databases (§2.1) and the
+//! labelled nulls of the instance-level chase.
+
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` with total equality/ordering/hashing (`-0.0` is normalized to
+/// `0.0`; `NaN` is rejected at construction).
+#[derive(Copy, Clone, Debug)]
+pub struct R64(f64);
+
+impl R64 {
+    /// Wraps `f`. Panics on NaN — NaN has no place in query answers.
+    pub fn new(f: f64) -> R64 {
+        assert!(!f.is_nan(), "NaN is not a valid eqsql value");
+        if f == 0.0 {
+            R64(0.0)
+        } else {
+            R64(f)
+        }
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for R64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for R64 {}
+
+impl PartialOrd for R64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for R64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for R64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A constant value.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Real number with total ordering.
+    Real(R64),
+    /// Interned string.
+    Str(Symbol),
+    /// A labelled constant: distinct from every other value, used for the
+    /// fresh constants of canonical databases and for labelled nulls in the
+    /// instance chase.
+    Labeled(u64),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Symbol::new(s))
+    }
+
+    /// Convenience constructor for reals.
+    pub fn real(f: f64) -> Value {
+        Value::Real(R64::new(f))
+    }
+
+    /// Is this a labelled (null-like) value?
+    pub fn is_labeled(&self) -> bool {
+        matches!(self, Value::Labeled(_))
+    }
+
+    /// Numeric view used by SUM/MIN/MAX aggregation; `None` for
+    /// non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(r.get()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Labeled(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r64_normalizes_negative_zero() {
+        assert_eq!(R64::new(-0.0), R64::new(0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn r64_rejects_nan() {
+        let _ = R64::new(f64::NAN);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::str("ab").to_string(), "'ab'");
+        assert_eq!(Value::Labeled(3).to_string(), "@3");
+    }
+
+    #[test]
+    fn values_are_totally_ordered() {
+        let mut v = vec![Value::str("x"), Value::Int(3), Value::real(1.5), Value::Labeled(0)];
+        v.sort();
+        // Just exercise: sorting must not panic and be stable under re-sort.
+        let w = {
+            let mut w = v.clone();
+            w.sort();
+            w
+        };
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::real(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("a").as_f64(), None);
+    }
+}

@@ -1,0 +1,346 @@
+//! Tgds, egds and dependency sets.
+
+use eqsql_cq::{Atom, Predicate, Term, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A tuple-generating dependency `φ(X̄, Ȳ) → ∃Z̄ ψ(X̄, Z̄)`.
+///
+/// The existential variables are implicit: every variable of the right-hand
+/// side that does not occur on the left is existentially quantified.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tgd {
+    /// Left-hand side (the premise) — a nonempty conjunction of atoms.
+    pub lhs: Vec<Atom>,
+    /// Right-hand side (the conclusion) — a nonempty conjunction of atoms.
+    pub rhs: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Builds a tgd.
+    pub fn new(lhs: Vec<Atom>, rhs: Vec<Atom>) -> Tgd {
+        Tgd { lhs, rhs }
+    }
+
+    /// The universally quantified variables (those of the left-hand side).
+    pub fn universal_vars(&self) -> HashSet<Var> {
+        self.lhs.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// The existential variables: right-hand-side variables not on the left.
+    pub fn existential_vars(&self) -> Vec<Var> {
+        let uni = self.universal_vars();
+        let mut seen = HashSet::new();
+        self.rhs
+            .iter()
+            .flat_map(|a| a.vars())
+            .filter(|v| !uni.contains(v) && seen.insert(*v))
+            .collect()
+    }
+
+    /// Is this a *full* tgd (no existential variables)?
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Is this an inclusion dependency (single atom on each side)?
+    pub fn is_inclusion(&self) -> bool {
+        self.lhs.len() == 1 && self.rhs.len() == 1
+    }
+
+    /// All variables of the tgd.
+    pub fn all_vars(&self) -> HashSet<Var> {
+        self.lhs.iter().chain(self.rhs.iter()).flat_map(|a| a.vars()).collect()
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_conj(f, &self.lhs)?;
+        write!(f, " -> ")?;
+        write_conj(f, &self.rhs)
+    }
+}
+
+/// An equality-generating dependency `φ(Ū) → U1 = U2`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Egd {
+    /// Left-hand side — a nonempty conjunction of atoms.
+    pub lhs: Vec<Atom>,
+    /// The equated terms (each occurs in the left-hand side).
+    pub eq: (Term, Term),
+}
+
+impl Egd {
+    /// Builds an egd.
+    pub fn new(lhs: Vec<Atom>, a: Term, b: Term) -> Egd {
+        Egd { lhs, eq: (a, b) }
+    }
+
+    /// All variables of the egd.
+    pub fn all_vars(&self) -> HashSet<Var> {
+        self.lhs.iter().flat_map(|a| a.vars()).collect()
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_conj(f, &self.lhs)?;
+        write!(f, " -> {} = {}", self.eq.0, self.eq.1)
+    }
+}
+
+fn write_conj(f: &mut fmt::Formatter<'_>, atoms: &[Atom]) -> fmt::Result {
+    for (i, a) in atoms.iter().enumerate() {
+        if i > 0 {
+            write!(f, " & ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    Ok(())
+}
+
+/// An embedded dependency in tgd/egd normal form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Dependency {
+    /// A tuple-generating dependency.
+    Tgd(Tgd),
+    /// An equality-generating dependency.
+    Egd(Egd),
+}
+
+impl Dependency {
+    /// The left-hand side.
+    pub fn lhs(&self) -> &[Atom] {
+        match self {
+            Dependency::Tgd(t) => &t.lhs,
+            Dependency::Egd(e) => &e.lhs,
+        }
+    }
+
+    /// Is this a tgd?
+    pub fn is_tgd(&self) -> bool {
+        matches!(self, Dependency::Tgd(_))
+    }
+
+    /// Is this an egd?
+    pub fn is_egd(&self) -> bool {
+        matches!(self, Dependency::Egd(_))
+    }
+
+    /// The tgd inside, if any.
+    pub fn as_tgd(&self) -> Option<&Tgd> {
+        match self {
+            Dependency::Tgd(t) => Some(t),
+            Dependency::Egd(_) => None,
+        }
+    }
+
+    /// The egd inside, if any.
+    pub fn as_egd(&self) -> Option<&Egd> {
+        match self {
+            Dependency::Egd(e) => Some(e),
+            Dependency::Tgd(_) => None,
+        }
+    }
+
+    /// All variables of the dependency.
+    pub fn all_vars(&self) -> HashSet<Var> {
+        match self {
+            Dependency::Tgd(t) => t.all_vars(),
+            Dependency::Egd(e) => e.all_vars(),
+        }
+    }
+
+    /// The predicates mentioned anywhere in the dependency.
+    pub fn predicates(&self) -> HashSet<Predicate> {
+        let mut out: HashSet<Predicate> = self.lhs().iter().map(|a| a.pred).collect();
+        if let Dependency::Tgd(t) = self {
+            out.extend(t.rhs.iter().map(|a| a.pred));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dependency::Tgd(t) => write!(f, "{t}"),
+            Dependency::Egd(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<Tgd> for Dependency {
+    fn from(t: Tgd) -> Self {
+        Dependency::Tgd(t)
+    }
+}
+
+impl From<Egd> for Dependency {
+    fn from(e: Egd) -> Self {
+        Dependency::Egd(e)
+    }
+}
+
+/// A finite set Σ of embedded dependencies (order-preserving; duplicates
+/// allowed but pointless).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DependencySet {
+    deps: Vec<Dependency>,
+}
+
+impl DependencySet {
+    /// The empty set.
+    pub fn new() -> DependencySet {
+        DependencySet::default()
+    }
+
+    /// From a vector.
+    pub fn from_vec(deps: Vec<Dependency>) -> DependencySet {
+        DependencySet { deps }
+    }
+
+    /// Adds a dependency.
+    pub fn push(&mut self, d: impl Into<Dependency>) {
+        self.deps.push(d.into());
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Iterates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dependency> + '_ {
+        self.deps.iter()
+    }
+
+    /// The dependencies as a slice.
+    pub fn as_slice(&self) -> &[Dependency] {
+        &self.deps
+    }
+
+    /// Only the tgds.
+    pub fn tgds(&self) -> impl Iterator<Item = &Tgd> + '_ {
+        self.deps.iter().filter_map(Dependency::as_tgd)
+    }
+
+    /// Only the egds.
+    pub fn egds(&self) -> impl Iterator<Item = &Egd> + '_ {
+        self.deps.iter().filter_map(Dependency::as_egd)
+    }
+
+    /// Set difference by structural equality (`Σ - other`).
+    pub fn without(&self, other: &DependencySet) -> DependencySet {
+        DependencySet {
+            deps: self.deps.iter().filter(|d| !other.deps.contains(d)).cloned().collect(),
+        }
+    }
+
+    /// Removes one dependency by structural equality.
+    pub fn without_dep(&self, d: &Dependency) -> DependencySet {
+        DependencySet { deps: self.deps.iter().filter(|x| *x != d).cloned().collect() }
+    }
+
+    /// Does the set contain `d` (structurally)?
+    pub fn contains(&self, d: &Dependency) -> bool {
+        self.deps.contains(d)
+    }
+}
+
+impl fmt::Display for DependencySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.deps {
+            writeln!(f, "{d}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Dependency> for DependencySet {
+    fn from_iter<I: IntoIterator<Item = Dependency>>(iter: I) -> Self {
+        DependencySet { deps: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a DependencySet {
+    type Item = &'a Dependency;
+    type IntoIter = std::slice::Iter<'a, Dependency>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::Term;
+
+    fn tgd_sample() -> Tgd {
+        // p(X,Y) -> s(X,Z) & t(X,V,W)   (σ1 of Example 4.1)
+        Tgd::new(
+            vec![Atom::new("p", vec![Term::var("X"), Term::var("Y")])],
+            vec![
+                Atom::new("s", vec![Term::var("X"), Term::var("Z")]),
+                Atom::new("t", vec![Term::var("X"), Term::var("V"), Term::var("W")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn existential_vars_are_rhs_only() {
+        let t = tgd_sample();
+        let ex = t.existential_vars();
+        assert_eq!(ex, vec![Var::new("Z"), Var::new("V"), Var::new("W")]);
+        assert!(!t.is_full());
+    }
+
+    #[test]
+    fn full_tgd_detection() {
+        let t = Tgd::new(
+            vec![Atom::new("p", vec![Term::var("X"), Term::var("Y")])],
+            vec![Atom::new("r", vec![Term::var("X")])],
+        );
+        assert!(t.is_full());
+        assert!(t.is_inclusion());
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let t = tgd_sample();
+        assert_eq!(t.to_string(), "p(X, Y) -> s(X, Z) & t(X, V, W)");
+        let e = Egd::new(
+            vec![
+                Atom::new("r", vec![Term::var("X"), Term::var("Y")]),
+                Atom::new("r", vec![Term::var("X"), Term::var("Z")]),
+            ],
+            Term::var("Y"),
+            Term::var("Z"),
+        );
+        assert_eq!(e.to_string(), "r(X, Y) & r(X, Z) -> Y = Z");
+    }
+
+    #[test]
+    fn dependency_set_ops() {
+        let mut s = DependencySet::new();
+        s.push(tgd_sample());
+        s.push(Egd::new(
+            vec![Atom::new("r", vec![Term::var("X"), Term::var("Y")])],
+            Term::var("X"),
+            Term::var("Y"),
+        ));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.tgds().count(), 1);
+        assert_eq!(s.egds().count(), 1);
+        let d = s.as_slice()[0].clone();
+        let rest = s.without_dep(&d);
+        assert_eq!(rest.len(), 1);
+        assert!(!rest.contains(&d));
+    }
+}

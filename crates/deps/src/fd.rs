@@ -1,0 +1,212 @@
+//! Functional dependencies, attribute closure and superkeys (Appendix B).
+//!
+//! A functional dependency (fd) on an n-ary relation `P` is an egd of the
+//! shape `p(X̄, Y, Z̄) ∧ p(X̄, Y', Z̄') → Y = Y'` where the two atoms share
+//! exactly the variables in the determining positions. We recognize that
+//! shape syntactically, reason about implied fds via the classic attribute-
+//! closure algorithm, and convert fds back to egds.
+
+use crate::dependency::{Dependency, DependencySet, Egd};
+use eqsql_cq::{Atom, Predicate, Term, Var};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A functional dependency `lhs -> rhs` on positions (0-based) of `rel`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fd {
+    /// The relation symbol.
+    pub rel: Predicate,
+    /// Arity of the relation.
+    pub arity: usize,
+    /// Determining positions.
+    pub lhs: BTreeSet<usize>,
+    /// Determined position.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Builds an fd.
+    pub fn new(rel: &str, arity: usize, lhs: impl IntoIterator<Item = usize>, rhs: usize) -> Fd {
+        let lhs: BTreeSet<usize> = lhs.into_iter().collect();
+        assert!(lhs.iter().all(|&i| i < arity) && rhs < arity, "positions out of range");
+        Fd { rel: Predicate::new(rel), arity, lhs, rhs }
+    }
+
+    /// Renders the fd as the corresponding egd `σ(K|A)` of Appendix B.
+    pub fn to_egd(&self) -> Egd {
+        let mk = |suffix: &str| -> Vec<Term> {
+            (0..self.arity)
+                .map(|i| {
+                    if self.lhs.contains(&i) {
+                        Term::var(&format!("X{i}"))
+                    } else {
+                        Term::var(&format!("Y{i}{suffix}"))
+                    }
+                })
+                .collect()
+        };
+        let a1 = Atom { pred: self.rel, args: mk("a") };
+        let a2 = Atom { pred: self.rel, args: mk("b") };
+        let t1 = a1.args[self.rhs];
+        let t2 = a2.args[self.rhs];
+        Egd::new(vec![a1, a2], t1, t2)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lhs: Vec<String> = self.lhs.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}: {{{}}} -> {}", self.rel, lhs.join(","), self.rhs)
+    }
+}
+
+/// Recognizes an egd as a functional dependency, if it has the fd shape:
+/// exactly two atoms, same predicate, the equated terms are variables at the
+/// same position of the two atoms, and the atoms agree (same variable) on a
+/// set `K` of positions while all other positions are pairwise-distinct
+/// variables not shared between the atoms.
+pub fn egd_as_fd(egd: &Egd) -> Option<Fd> {
+    if egd.lhs.len() != 2 {
+        return None;
+    }
+    let (a1, a2) = (&egd.lhs[0], &egd.lhs[1]);
+    if a1.pred != a2.pred || a1.arity() != a2.arity() {
+        return None;
+    }
+    let n = a1.arity();
+    let (e1, e2) = (egd.eq.0.as_var()?, egd.eq.1.as_var()?);
+    // Locate the determined position: e1 at position i of a1 and e2 at the
+    // same i of a2 (or swapped).
+    let mut rhs_pos: Option<usize> = None;
+    for i in 0..n {
+        let (t1, t2) = (a1.args[i].as_var()?, a2.args[i].as_var()?);
+        if (t1 == e1 && t2 == e2) || (t1 == e2 && t2 == e1) {
+            rhs_pos = Some(i);
+            break;
+        }
+    }
+    let rhs = rhs_pos?;
+    // Shared positions form the lhs; every variable must be "fresh by
+    // position" otherwise (no cross-position sharing), which we check
+    // loosely: a position is shared iff the two atoms carry the same var.
+    let mut lhs: BTreeSet<usize> = BTreeSet::new();
+    let mut var_positions: HashMap<Var, Vec<(usize, usize)>> = HashMap::new();
+    for i in 0..n {
+        let (t1, t2) = (a1.args[i].as_var()?, a2.args[i].as_var()?);
+        var_positions.entry(t1).or_default().push((0, i));
+        var_positions.entry(t2).or_default().push((1, i));
+        if t1 == t2 {
+            if i == rhs {
+                return None; // determined position must differ
+            }
+            lhs.insert(i);
+        }
+    }
+    // Reject shapes where some variable is reused across different
+    // positions — those are not plain fds.
+    for positions in var_positions.values() {
+        let distinct: BTreeSet<usize> = positions.iter().map(|(_, i)| *i).collect();
+        if distinct.len() > 1 {
+            return None;
+        }
+    }
+    Some(Fd { rel: a1.pred, arity: n, lhs, rhs })
+}
+
+/// Extracts all fd-shaped egds on `rel` from Σ.
+pub fn fds_of(sigma: &DependencySet, rel: Predicate) -> Vec<Fd> {
+    sigma
+        .iter()
+        .filter_map(Dependency::as_egd)
+        .filter_map(egd_as_fd)
+        .filter(|fd| fd.rel == rel)
+        .collect()
+}
+
+/// The attribute closure of `attrs` under `fds` (all on the same relation).
+pub fn closure(attrs: &BTreeSet<usize>, fds: &[Fd]) -> BTreeSet<usize> {
+    let mut out = attrs.clone();
+    loop {
+        let before = out.len();
+        for fd in fds {
+            if fd.lhs.is_subset(&out) {
+                out.insert(fd.rhs);
+            }
+        }
+        if out.len() == before {
+            return out;
+        }
+    }
+}
+
+/// Is `attrs` a superkey of the `arity`-ary relation under `fds`
+/// (Definition B.2)? The full attribute set is always a superkey.
+pub fn is_superkey(attrs: &BTreeSet<usize>, arity: usize, fds: &[Fd]) -> bool {
+    closure(attrs, fds).len() == arity
+}
+
+/// Is `fd` implied by `fds` (Definition B.1)? Standard closure test.
+pub fn implies(fds: &[Fd], fd: &Fd) -> bool {
+    closure(&fd.lhs, fds).contains(&fd.rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dependency;
+
+    #[test]
+    fn egd_fd_round_trip() {
+        let fd = Fd::new("r", 3, [0], 2);
+        let egd = fd.to_egd();
+        let back = egd_as_fd(&egd).unwrap();
+        assert_eq!(back, fd);
+    }
+
+    #[test]
+    fn recognize_simple_key_egd() {
+        let d = parse_dependency("r(X,Y) & r(X,Z) -> Y = Z").unwrap();
+        let fd = egd_as_fd(d.as_egd().unwrap()).unwrap();
+        assert_eq!(fd.lhs, BTreeSet::from([0]));
+        assert_eq!(fd.rhs, 1);
+    }
+
+    #[test]
+    fn recognize_two_column_key() {
+        // First two attributes of T are the key of T (σ8 of Example 4.1).
+        let d = parse_dependency("t(X,Y,W1) & t(X,Y,W2) -> W1 = W2").unwrap();
+        let fd = egd_as_fd(d.as_egd().unwrap()).unwrap();
+        assert_eq!(fd.lhs, BTreeSet::from([0, 1]));
+        assert_eq!(fd.rhs, 2);
+    }
+
+    #[test]
+    fn non_fd_egds_are_rejected() {
+        // σ3 of Example 4.2 is not an fd: four atoms.
+        let d = parse_dependency("r(X,Y) & s(Y,T) & r(X,Z) & s(Z,W) -> T = W").unwrap();
+        assert!(egd_as_fd(d.as_egd().unwrap()).is_none());
+        // Cross-predicate egd.
+        let d = parse_dependency("r(X,Y) & s(X,Z) -> Y = Z").unwrap();
+        assert!(egd_as_fd(d.as_egd().unwrap()).is_none());
+    }
+
+    #[test]
+    fn closure_and_superkey() {
+        // r(A,B,C): A->B, B->C. {A} is a superkey.
+        let fds = vec![Fd::new("r", 3, [0], 1), Fd::new("r", 3, [1], 2)];
+        let cl = closure(&BTreeSet::from([0]), &fds);
+        assert_eq!(cl, BTreeSet::from([0, 1, 2]));
+        assert!(is_superkey(&BTreeSet::from([0]), 3, &fds));
+        assert!(!is_superkey(&BTreeSet::from([1]), 3, &fds));
+        assert!(is_superkey(&BTreeSet::from([1, 0]), 3, &fds));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = vec![Fd::new("r", 3, [0], 1), Fd::new("r", 3, [1], 2)];
+        // A -> C is implied transitively.
+        assert!(implies(&fds, &Fd::new("r", 3, [0], 2)));
+        // C -> A is not.
+        assert!(!implies(&fds, &Fd::new("r", 3, [2], 0)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Superkeys and keys of relations (Appendix B, Definitions B.2/B.3).
+
+use crate::dependency::DependencySet;
+use crate::fd::{fds_of, is_superkey, Fd};
+use eqsql_cq::Predicate;
+use std::collections::BTreeSet;
+
+/// Is the position set `attrs` a superkey of `rel` (of the given arity)
+/// under the fd-shaped egds of Σ?
+pub fn is_superkey_of(
+    sigma: &DependencySet,
+    rel: Predicate,
+    arity: usize,
+    attrs: &BTreeSet<usize>,
+) -> bool {
+    let fds = fds_of(sigma, rel);
+    is_superkey(attrs, arity, &fds)
+}
+
+/// Enumerates the minimal keys of `rel` (Definition B.3) under the
+/// fd-shaped egds of Σ. Exponential in the arity; arities here are tiny.
+pub fn keys_of(sigma: &DependencySet, rel: Predicate, arity: usize) -> Vec<BTreeSet<usize>> {
+    let fds: Vec<Fd> = fds_of(sigma, rel);
+    let all: Vec<usize> = (0..arity).collect();
+    let mut superkeys: Vec<BTreeSet<usize>> = Vec::new();
+    // Enumerate subsets by increasing size so minimality is a subset check
+    // against previously found keys.
+    for mask in 1u32..(1u32 << arity) {
+        let set: BTreeSet<usize> =
+            all.iter().copied().filter(|i| mask & (1 << i) != 0).collect();
+        if is_superkey(&set, arity, &fds) {
+            superkeys.push(set);
+        }
+    }
+    let mut keys: Vec<BTreeSet<usize>> = Vec::new();
+    superkeys.sort_by_key(BTreeSet::len);
+    for sk in superkeys {
+        if !keys.iter().any(|k| k.is_subset(&sk)) {
+            keys.push(sk);
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dependencies;
+
+    #[test]
+    fn key_of_two_column_relation() {
+        // First attribute of S is the key of S (σ7 of Example 4.1).
+        let sigma = parse_dependencies("s(X,Y) & s(X,Z) -> Y = Z.").unwrap();
+        let s = Predicate::new("s");
+        assert!(is_superkey_of(&sigma, s, 2, &BTreeSet::from([0])));
+        assert!(!is_superkey_of(&sigma, s, 2, &BTreeSet::from([1])));
+        let keys = keys_of(&sigma, s, 2);
+        assert_eq!(keys, vec![BTreeSet::from([0])]);
+    }
+
+    #[test]
+    fn no_fds_means_all_attributes_key() {
+        let sigma = DependencySet::new();
+        let u = Predicate::new("u");
+        let keys = keys_of(&sigma, u, 2);
+        assert_eq!(keys, vec![BTreeSet::from([0, 1])]);
+    }
+
+    #[test]
+    fn composite_key() {
+        // First two attributes of T are the key (σ8 of Example 4.1).
+        let sigma = parse_dependencies("t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.").unwrap();
+        let t = Predicate::new("t");
+        let keys = keys_of(&sigma, t, 3);
+        assert_eq!(keys, vec![BTreeSet::from([0, 1])]);
+        assert!(is_superkey_of(&sigma, t, 3, &BTreeSet::from([0, 1, 2])));
+    }
+
+    #[test]
+    fn multiple_minimal_keys() {
+        // r(A,B): A->B and B->A: both {A} and {B} are keys.
+        let sigma = parse_dependencies(
+            "r(X,Y) & r(X,Z) -> Y = Z.\n\
+             r(Y,X) & r(Z,X) -> Y = Z.",
+        )
+        .unwrap();
+        let keys = keys_of(&sigma, Predicate::new("r"), 2);
+        assert_eq!(keys.len(), 2);
+    }
+}

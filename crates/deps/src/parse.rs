@@ -1,0 +1,142 @@
+//! Text syntax for dependencies.
+//!
+//! ```text
+//! tgd := conj '->' conj '.'?
+//! egd := conj '->' term '=' term ('&' term '=' term)* '.'?
+//! conj := atom (('&' | ',') atom)*
+//! ```
+//!
+//! Variables occurring only on the right-hand side of a tgd are
+//! existentially quantified (the usual convention). A right-hand side that
+//! is a conjunction of equations is split into one egd per equation —
+//! mixing atoms and equations on the right is rejected; normalize such
+//! dependencies into tgds + egds first (always possible, [1]).
+
+use crate::dependency::{Dependency, DependencySet, Egd, Tgd};
+use eqsql_cq::lex::Token;
+use eqsql_cq::parser::{Cursor, ParseError};
+use eqsql_cq::Term;
+
+fn parse_rhs_equation(c: &mut Cursor) -> Result<(Term, Term), ParseError> {
+    let a = c.parse_term()?;
+    c.expect(&Token::Eq)?;
+    let b = c.parse_term()?;
+    Ok((a, b))
+}
+
+/// True when the upcoming tokens look like `term '='`, i.e. an equation.
+fn peek_equation(c: &Cursor) -> bool {
+    // After a term (one token for ident/int/real/str) the next token is '='.
+    matches!(
+        (c.peek(), c.peek2()),
+        (
+            Some(Token::Ident(_) | Token::Int(_) | Token::Real(_) | Token::Str(_)),
+            Some(Token::Eq)
+        )
+    )
+}
+
+fn parse_one(c: &mut Cursor) -> Result<Vec<Dependency>, ParseError> {
+    let lhs = c.parse_conjunction()?;
+    c.expect(&Token::RArrow)?;
+    if peek_equation(c) {
+        let mut eqs = vec![parse_rhs_equation(c)?];
+        while c.eat(&Token::Amp) || c.eat(&Token::Comma) {
+            if !peek_equation(c) {
+                return c.err("cannot mix atoms and equations on the right-hand side");
+            }
+            eqs.push(parse_rhs_equation(c)?);
+        }
+        c.eat(&Token::Dot);
+        Ok(eqs
+            .into_iter()
+            .map(|(a, b)| Dependency::Egd(Egd::new(lhs.clone(), a, b)))
+            .collect())
+    } else {
+        let rhs = c.parse_conjunction()?;
+        c.eat(&Token::Dot);
+        Ok(vec![Dependency::Tgd(Tgd::new(lhs, rhs))])
+    }
+}
+
+/// Parses a single dependency (a tgd, or an egd with one equation).
+pub fn parse_dependency(input: &str) -> Result<Dependency, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let mut deps = parse_one(&mut c)?;
+    if !c.done() {
+        return c.err("trailing input after dependency");
+    }
+    if deps.len() != 1 {
+        return Err(ParseError {
+            msg: "input contains several dependencies; use parse_dependencies".into(),
+            at: 0,
+        });
+    }
+    Ok(deps.pop().expect("checked length"))
+}
+
+/// Parses a `.`-separated list of dependencies.
+pub fn parse_dependencies(input: &str) -> Result<DependencySet, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let mut out = DependencySet::new();
+    while !c.done() {
+        for d in parse_one(&mut c)? {
+            out.push(d);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::Var;
+
+    #[test]
+    fn parse_tgd() {
+        let d = parse_dependency("p(X,Y) -> s(X,Z) & t(X,V,W)").unwrap();
+        let t = d.as_tgd().unwrap();
+        assert_eq!(t.lhs.len(), 1);
+        assert_eq!(t.rhs.len(), 2);
+        assert_eq!(t.existential_vars(), vec![Var::new("Z"), Var::new("V"), Var::new("W")]);
+    }
+
+    #[test]
+    fn parse_egd() {
+        let d = parse_dependency("r(X,Y) & r(X,Z) -> Y = Z").unwrap();
+        let e = d.as_egd().unwrap();
+        assert_eq!(e.lhs.len(), 2);
+        assert_eq!(e.eq, (Term::var("Y"), Term::var("Z")));
+    }
+
+    #[test]
+    fn parse_multiple_with_dots() {
+        let s = parse_dependencies(
+            "p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.tgds().count(), 2);
+        assert_eq!(s.egds().count(), 1);
+    }
+
+    #[test]
+    fn multi_equation_rhs_splits() {
+        let s = parse_dependencies("p(X,Y,Z,W) -> X = Y & Z = W.").unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(Dependency::is_egd));
+    }
+
+    #[test]
+    fn mixed_rhs_rejected() {
+        assert!(parse_dependencies("p(X,Y) -> X = Y & r(X).").is_err());
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let s = parse_dependencies("% keys\nr(X,Y) & r(X,Z) -> Y = Z.").unwrap();
+        assert_eq!(s.len(), 1);
+    }
+}

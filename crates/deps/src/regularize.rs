@@ -1,0 +1,205 @@
+//! Regularization of tgds (Definition 4.1 and §4.2.1 of the paper).
+//!
+//! A tgd `σ : φ → ∃Z̄ ψ` is **regularized** when the atom set of `ψ` has no
+//! *nonshared partition* — no split into two nonempty parts whose variable
+//! sets intersect only in universally quantified variables. Equivalently:
+//! the graph on `ψ`'s atoms connecting atoms that share an existential
+//! variable is connected.
+//!
+//! The *regularized set* of a non-regularized tgd is one tgd per connected
+//! component, each keeping the original left-hand side (the paper's
+//! recursive partitioning algorithm computes exactly these components; we
+//! use union-find, which is also within the stated `O(m² log m)` bound).
+//! Proposition 4.1: the regularized version of Σ is satisfied by exactly
+//! the same instances, and chasing with it yields set-equivalent results.
+//!
+//! Example 4.1's σ4 `p(X,Y) → u(X,Z) ∧ t(X,Y,W)` splits into
+//! `p(X,Y) → u(X,Z)` and `p(X,Y) → t(X,Y,W)`; Example 4.2's σ1
+//! `p(X,Y) → ∃Z∃W r(X,Z) ∧ s(Z,W)` is already regularized (shared Z).
+
+use crate::dependency::{Dependency, DependencySet, Tgd};
+use eqsql_cq::Var;
+use std::collections::{HashMap, HashSet};
+
+/// Union-find over atom indices.
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let root = self.find(self.0[x]);
+            self.0[x] = root;
+        }
+        self.0[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra] = rb;
+        }
+    }
+}
+
+/// Groups the rhs atoms of `tgd` into components connected through shared
+/// existential variables. Returns the component index of each rhs atom.
+fn rhs_components(tgd: &Tgd) -> Vec<usize> {
+    let existential: HashSet<Var> = tgd.existential_vars().into_iter().collect();
+    let mut dsu = Dsu::new(tgd.rhs.len());
+    let mut owner: HashMap<Var, usize> = HashMap::new();
+    for (i, atom) in tgd.rhs.iter().enumerate() {
+        for v in atom.vars() {
+            if existential.contains(&v) {
+                match owner.get(&v) {
+                    Some(&j) => dsu.union(i, j),
+                    None => {
+                        owner.insert(v, i);
+                    }
+                }
+            }
+        }
+    }
+    (0..tgd.rhs.len()).map(|i| dsu.find(i)).collect()
+}
+
+/// Is `tgd` regularized (Definition 4.1)? Trivially true for single-atom
+/// right-hand sides.
+pub fn is_regularized(tgd: &Tgd) -> bool {
+    if tgd.rhs.len() <= 1 {
+        return true;
+    }
+    let comp = rhs_components(tgd);
+    comp.iter().all(|&c| c == comp[0])
+}
+
+/// The regularized set Σ_σ of `tgd`: one tgd per existential-connected
+/// component of the right-hand side, each with the original left-hand side.
+/// Returns a singleton when `tgd` is already regularized.
+pub fn regularize_tgd(tgd: &Tgd) -> Vec<Tgd> {
+    let comp = rhs_components(tgd);
+    let mut order: Vec<usize> = Vec::new(); // component roots in rhs order
+    for &c in &comp {
+        if !order.contains(&c) {
+            order.push(c);
+        }
+    }
+    order
+        .into_iter()
+        .map(|root| Tgd {
+            lhs: tgd.lhs.clone(),
+            rhs: tgd
+                .rhs
+                .iter()
+                .zip(comp.iter())
+                .filter(|(_, &c)| c == root)
+                .map(|(a, _)| a.clone())
+                .collect(),
+        })
+        .collect()
+}
+
+/// The regularized version Σ' of Σ: egds kept as-is, every tgd replaced by
+/// its regularized set (§4.2.1). The result is unique.
+pub fn regularize_set(sigma: &DependencySet) -> DependencySet {
+    let mut out = DependencySet::new();
+    for d in sigma.iter() {
+        match d {
+            Dependency::Egd(e) => out.push(e.clone()),
+            Dependency::Tgd(t) => {
+                for r in regularize_tgd(t) {
+                    out.push(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Is every tgd in Σ regularized?
+pub fn is_regularized_set(sigma: &DependencySet) -> bool {
+    sigma.tgds().all(is_regularized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_dependencies, parse_dependency};
+
+    fn tgd(s: &str) -> Tgd {
+        parse_dependency(s).unwrap().as_tgd().unwrap().clone()
+    }
+
+    #[test]
+    fn sigma4_of_example_4_1_is_not_regularized() {
+        // {u(X,Z)} and {t(X,Y,W)} form a nonshared partition.
+        let t = tgd("p(X,Y) -> u(X,Z) & t(X,Y,W)");
+        assert!(!is_regularized(&t));
+        let reg = regularize_tgd(&t);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg[0].to_string(), "p(X, Y) -> u(X, Z)");
+        assert_eq!(reg[1].to_string(), "p(X, Y) -> t(X, Y, W)");
+    }
+
+    #[test]
+    fn sigma1_of_example_4_2_is_regularized() {
+        // Shared existential Z makes the partition "shared".
+        let t = tgd("p(X,Y) -> r(X,Z) & s(Z,W)");
+        assert!(is_regularized(&t));
+        assert_eq!(regularize_tgd(&t).len(), 1);
+    }
+
+    #[test]
+    fn single_atom_rhs_is_trivially_regularized() {
+        assert!(is_regularized(&tgd("p(X,Y) -> t(X,Y,W)")));
+    }
+
+    #[test]
+    fn full_tgd_with_multi_atom_rhs_splits_completely() {
+        // No existential variables at all: every atom is its own component.
+        let t = tgd("p(X,Y) -> r(X) & s(X,Y)");
+        assert!(!is_regularized(&t));
+        assert_eq!(regularize_tgd(&t).len(), 2);
+    }
+
+    #[test]
+    fn chain_of_shared_existentials_is_one_component() {
+        // a-b share Z1, b-c share Z2: all connected.
+        let t = tgd("p(X) -> a(X,Z1) & b(Z1,Z2) & c(Z2,X)");
+        assert!(is_regularized(&t));
+    }
+
+    #[test]
+    fn three_way_split() {
+        let t = tgd("p(X) -> a(X,Z1) & b(X,Z2) & c(X,Z3)");
+        let reg = regularize_tgd(&t);
+        assert_eq!(reg.len(), 3);
+        for r in &reg {
+            assert!(is_regularized(r));
+            assert_eq!(r.lhs, t.lhs);
+        }
+    }
+
+    #[test]
+    fn regularize_set_keeps_egds_and_is_idempotent() {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.",
+        )
+        .unwrap();
+        let reg = regularize_set(&sigma);
+        assert_eq!(reg.len(), 3);
+        assert!(is_regularized_set(&reg));
+        assert_eq!(regularize_set(&reg), reg);
+    }
+
+    #[test]
+    fn example_4_1_sigma1_regularization() {
+        // σ1: p(X,Y) -> s(X,Z) & t(X,V,W): Z only in s, V,W only in t:
+        // two components.
+        let t = tgd("p(X,Y) -> s(X,Z) & t(X,V,W)");
+        assert!(!is_regularized(&t));
+        assert_eq!(regularize_tgd(&t).len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! The tuple-ID framework for set-enforcing constraints (Appendix C).
+//!
+//! Under bag semantics, "relation `R` is set-valued on every instance" is
+//! not expressible as an embedded dependency over `R` alone. The paper's
+//! solution (Appendix C): extend `R` with a trailing *tuple-ID* attribute —
+//! unique per stored tuple, as in commercial systems — and state the egd
+//!
+//! ```text
+//! σ_tid(R):  R(X1..Xk, T1) ∧ R(X1..Xk, T2) → T1 = T2
+//! ```
+//!
+//! Together with tuple-ID uniqueness (Definition C.1), σ_tid forces the
+//! user-visible projection `Q_vals(R)` (all columns but the tid) to be
+//! set-valued under bag evaluation. This module implements the schema
+//! transform, the egd, its recognition, and the instance-level operations.
+
+use crate::dependency::{DependencySet, Egd};
+use crate::fd::egd_as_fd;
+use eqsql_cq::{Atom, Predicate, Symbol, Term, Value};
+use eqsql_relalg::{Database, RelSchema, Relation, Schema, Tuple};
+
+/// The set-enforcing egd `σ_tid(R)` for an `arity`-ary relation (arity
+/// **excluding** the tid attribute).
+pub fn tid_egd(rel: Predicate, arity: usize) -> Egd {
+    let shared: Vec<Term> = (0..arity).map(|i| Term::var(&format!("X{i}"))).collect();
+    let mut args1 = shared.clone();
+    let mut args2 = shared;
+    args1.push(Term::var("T1"));
+    args2.push(Term::var("T2"));
+    Egd::new(
+        vec![Atom { pred: rel, args: args1 }, Atom { pred: rel, args: args2 }],
+        Term::var("T1"),
+        Term::var("T2"),
+    )
+}
+
+/// Recognizes an egd with the **shape** of a set-enforcing egd: an fd whose
+/// determining set is *all* positions except the (last) determined one.
+/// Returns the relation it set-enforces.
+///
+/// Note this is purely syntactic: whether the last attribute really is a
+/// tuple ID is schema metadata (see [`with_tuple_ids`]). In particular, on a
+/// binary relation a key on the first attribute has the same shape.
+pub fn as_set_enforcing(egd: &Egd) -> Option<Predicate> {
+    let fd = egd_as_fd(egd)?;
+    let all_but_rhs: std::collections::BTreeSet<usize> =
+        (0..fd.arity).filter(|&i| i != fd.rhs).collect();
+    (fd.rhs == fd.arity - 1 && fd.lhs == all_but_rhs).then_some(fd.rel)
+}
+
+/// Extends `schema` with tuple-ID attributes for the given relations and
+/// returns the widened schema plus the set-enforcing egds. The widened
+/// relations keep their names; arities grow by one.
+pub fn with_tuple_ids(schema: &Schema, rels: &[Predicate]) -> (Schema, DependencySet) {
+    let mut out = Schema::new();
+    let mut sigma = DependencySet::new();
+    for r in schema.iter() {
+        if rels.contains(&r.name) {
+            let mut attrs: Option<Vec<Symbol>> = r.attrs.clone();
+            if let Some(a) = &mut attrs {
+                a.push(Symbol::new("tid"));
+            }
+            out.add(RelSchema {
+                name: r.name,
+                arity: r.arity + 1,
+                set_valued: true, // with unique tids, the relation is a set
+                attrs,
+            });
+            sigma.push(tid_egd(r.name, r.arity));
+        } else {
+            out.add(r.clone());
+        }
+    }
+    (out, sigma)
+}
+
+/// Assigns fresh, unique tuple IDs to every stored *copy* in relation
+/// `rel`, producing the widened relation of Appendix C. The result is
+/// set-valued by construction, and distinct copies of the same tuple get
+/// distinct IDs (so σ_tid is violated exactly when the original was a
+/// proper bag).
+pub fn assign_tids(db: &Database, rel: Predicate, first_tid: i64) -> Database {
+    let mut out = Database::new();
+    let mut next = first_tid;
+    for (p, r) in db.iter() {
+        if p == rel {
+            let mut widened = Relation::new(r.arity() + 1);
+            for (t, m) in r.iter() {
+                for _ in 0..m {
+                    let mut vals = t.0.clone();
+                    vals.push(Value::Int(next));
+                    next += 1;
+                    widened.insert(Tuple::new(vals), 1);
+                }
+            }
+            *out.get_or_create(p, r.arity() + 1) = widened;
+        } else {
+            *out.get_or_create(p, r.arity()) = r.clone();
+        }
+    }
+    out
+}
+
+/// `Q^R_vals` of Definition C.1: the bag projection of the widened relation
+/// on everything but the tid — the user-visible relation.
+pub fn q_vals(db: &Database, rel: Predicate) -> Relation {
+    match db.get(rel) {
+        Some(r) => {
+            let cols: Vec<usize> = (0..r.arity() - 1).collect();
+            r.project(&cols)
+        }
+        None => Relation::new(0),
+    }
+}
+
+/// Tuple-ID uniqueness of Definition C.1:
+/// `|coreSet(Q_tid(D,B))| = |Q_vals(D,B)|`.
+pub fn tids_unique(db: &Database, rel: Predicate) -> bool {
+    match db.get(rel) {
+        Some(r) => {
+            let tid_col = [r.arity() - 1];
+            let tids = r.project(&tid_col);
+            tids.core_len() as u64 == q_vals(db, rel).len()
+        }
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfaction::db_satisfies_egd;
+
+    #[test]
+    fn tid_egd_shape() {
+        let e = tid_egd(Predicate::new("t"), 3);
+        // This is exactly σ6 of Appendix C:
+        // t(X,Y,Z,U) & t(X,Y,Z,W) -> U = W (up to names).
+        assert_eq!(e.lhs.len(), 2);
+        assert_eq!(e.lhs[0].arity(), 4);
+        assert_eq!(as_set_enforcing(&e), Some(Predicate::new("t")));
+    }
+
+    #[test]
+    fn non_tid_fds_are_not_set_enforcing() {
+        // A key on the first attribute of a ternary relation is an fd but
+        // does not have the set-enforcing shape (its determining set is not
+        // "everything but the last position").
+        let d = crate::parse::parse_dependency("s(X,Y1,Z1) & s(X,Y2,Z2) -> Y1 = Y2").unwrap();
+        assert_eq!(as_set_enforcing(d.as_egd().unwrap()), None);
+        // On a *binary* relation, a first-attribute key has exactly the
+        // σ_tid shape — recognition is syntactic, the schema decides.
+        let d2 = crate::parse::parse_dependency("b(X,Y) & b(X,Z) -> Y = Z").unwrap();
+        assert_eq!(as_set_enforcing(d2.as_egd().unwrap()), Some(Predicate::new("b")));
+    }
+
+    #[test]
+    fn widened_schema_and_sigma() {
+        let schema = Schema::all_bags(&[("s", 2), ("u", 2)]);
+        let (wide, sigma) = with_tuple_ids(&schema, &[Predicate::new("s")]);
+        assert_eq!(wide.arity(Predicate::new("s")), Some(3));
+        assert_eq!(wide.arity(Predicate::new("u")), Some(2));
+        assert!(wide.is_set_valued(Predicate::new("s")));
+        assert_eq!(sigma.len(), 1);
+    }
+
+    #[test]
+    fn bag_relation_violates_tid_egd_after_assignment() {
+        // A proper bag gets distinct tids for equal-value copies, which
+        // violates σ_tid: exactly the paper's encoding of "R must be a set".
+        let mut db = Database::new();
+        db.insert("s", Tuple::ints([1, 3]), 2);
+        let wide = assign_tids(&db, Predicate::new("s"), 100);
+        assert!(wide.is_set_valued());
+        assert!(tids_unique(&wide, Predicate::new("s")));
+        let egd = tid_egd(Predicate::new("s"), 2);
+        assert!(!db_satisfies_egd(&wide, &egd));
+    }
+
+    #[test]
+    fn set_relation_satisfies_tid_egd_after_assignment() {
+        let db = Database::new().with_ints("s", &[[1, 3], [2, 4]]);
+        let wide = assign_tids(&db, Predicate::new("s"), 0);
+        let egd = tid_egd(Predicate::new("s"), 2);
+        assert!(db_satisfies_egd(&wide, &egd));
+        assert!(tids_unique(&wide, Predicate::new("s")));
+    }
+
+    #[test]
+    fn q_vals_recovers_the_original_bag() {
+        let mut db = Database::new();
+        db.insert("s", Tuple::ints([1, 3]), 2);
+        db.insert("s", Tuple::ints([2, 4]), 1);
+        let wide = assign_tids(&db, Predicate::new("s"), 0);
+        let vals = q_vals(&wide, Predicate::new("s"));
+        assert_eq!(vals.multiplicity(&Tuple::ints([1, 3])), 2);
+        assert_eq!(vals.multiplicity(&Tuple::ints([2, 4])), 1);
+    }
+
+    #[test]
+    fn tid_egd_plus_uniqueness_forces_set_valued_q_vals() {
+        // The central claim of Appendix C, checked on an instance: if the
+        // widened relation satisfies σ_tid and tids are unique, Q_vals is
+        // set-valued.
+        let wide = Database::new().with_ints("s", &[[1, 3, 100], [2, 4, 101]]);
+        let egd = tid_egd(Predicate::new("s"), 2);
+        assert!(db_satisfies_egd(&wide, &egd));
+        assert!(tids_unique(&wide, Predicate::new("s")));
+        assert!(q_vals(&wide, Predicate::new("s")).is_set_valued());
+    }
+}

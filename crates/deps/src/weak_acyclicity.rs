@@ -1,0 +1,165 @@
+//! Weak acyclicity of dependency sets (Definition H.1, after Fagin et al.
+//! [14]).
+//!
+//! Build the *dependency graph* whose nodes are positions `(R, i)`: for
+//! every tgd and every universally quantified variable `X` occurring in the
+//! conclusion, add ordinary edges from each premise position of `X` to each
+//! conclusion position of `X`, and *special* edges from each premise
+//! position of `X` to every position holding an existential variable of the
+//! same tgd. Σ is weakly acyclic iff no cycle passes through a special
+//! edge. Weak acyclicity guarantees terminating set-chase (Theorem H.1).
+
+use crate::dependency::DependencySet;
+use eqsql_cq::{Predicate, Term, Var};
+use std::collections::{HashMap, HashSet};
+
+/// A position: relation symbol and 0-based attribute index.
+pub type Position = (Predicate, usize);
+
+/// The dependency graph: ordinary and special edge sets.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Ordinary edges.
+    pub edges: HashSet<(Position, Position)>,
+    /// Special edges (premise position → existential position).
+    pub special: HashSet<(Position, Position)>,
+}
+
+/// Builds the dependency graph of the tgds in Σ (egds play no role in
+/// Definition H.1).
+pub fn dependency_graph(sigma: &DependencySet) -> DependencyGraph {
+    let mut g = DependencyGraph::default();
+    for tgd in sigma.tgds() {
+        let universal: HashSet<Var> = tgd.universal_vars();
+        // Positions of each variable in premise and conclusion.
+        let mut premise_pos: HashMap<Var, Vec<Position>> = HashMap::new();
+        for atom in &tgd.lhs {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    premise_pos.entry(*v).or_default().push((atom.pred, i));
+                }
+            }
+        }
+        let mut conclusion_universal: HashMap<Var, Vec<Position>> = HashMap::new();
+        let mut conclusion_existential: Vec<Position> = Vec::new();
+        for atom in &tgd.rhs {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if universal.contains(v) {
+                        conclusion_universal.entry(*v).or_default().push((atom.pred, i));
+                    } else {
+                        conclusion_existential.push((atom.pred, i));
+                    }
+                }
+            }
+        }
+        for (v, srcs) in &premise_pos {
+            if let Some(dsts) = conclusion_universal.get(v) {
+                for &s in srcs {
+                    for &d in dsts {
+                        g.edges.insert((s, d));
+                    }
+                }
+            }
+            // Special edges only from variables that occur in the
+            // conclusion (Definition H.1's "for every X in X̄ that occurs
+            // in ψ").
+            if conclusion_universal.contains_key(v) {
+                for &s in srcs {
+                    for &d in &conclusion_existential {
+                        g.special.insert((s, d));
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Is Σ weakly acyclic? Checks, for every special edge `(u, v)`, that `u`
+/// is not reachable from `v` through the combined edge set.
+pub fn is_weakly_acyclic(sigma: &DependencySet) -> bool {
+    let g = dependency_graph(sigma);
+    let mut adj: HashMap<Position, Vec<Position>> = HashMap::new();
+    for (a, b) in g.edges.iter().chain(g.special.iter()) {
+        adj.entry(*a).or_default().push(*b);
+    }
+    let reaches = |from: Position, to: Position| -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(p) = stack.pop() {
+            if p == to {
+                return true;
+            }
+            if seen.insert(p) {
+                if let Some(next) = adj.get(&p) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    g.special.iter().all(|(u, v)| !reaches(*v, *u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dependencies;
+
+    #[test]
+    fn example_4_1_is_weakly_acyclic() {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap();
+        assert!(is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn self_feeding_existential_is_not_weakly_acyclic() {
+        // e(X,Y) -> e(Y,Z): position (e,2... 0-based (e,1)) feeds (e,0)
+        // via ordinary edge and (e,1) via special edge: cycle through
+        // special edge.
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        assert!(!is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn copy_tgd_is_weakly_acyclic() {
+        let sigma = parse_dependencies("e(X,Y) -> f(X,Y). f(X,Y) -> g(X).").unwrap();
+        assert!(is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn two_step_special_cycle_detected() {
+        // a(X) -> b(X,Z). b(X,Z) -> a(Z).
+        // (a,0) -special-> (b,1) -ordinary-> (a,0): cycle through special.
+        let sigma = parse_dependencies("a(X) -> b(X,Z). b(X,Z) -> a(Z).").unwrap();
+        assert!(!is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn appendix_h_family_is_weakly_acyclic() {
+        // σ(1)_{i,j}: p_i(X,Y) -> p_j(Z,X); σ(2)_{i,j}: p_i(X,Y) -> p_j(Y,W)
+        // for i < j only: strictly layered, hence weakly acyclic.
+        let sigma = parse_dependencies(
+            "p1(X,Y) -> p2(Z,X). p1(X,Y) -> p2(Y,W).\n\
+             p1(X,Y) -> p3(Z,X). p1(X,Y) -> p3(Y,W).\n\
+             p2(X,Y) -> p3(Z,X). p2(X,Y) -> p3(Y,W).",
+        )
+        .unwrap();
+        assert!(is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn egds_do_not_affect_weak_acyclicity() {
+        let sigma = parse_dependencies("r(X,Y) & r(X,Z) -> Y = Z.").unwrap();
+        assert!(is_weakly_acyclic(&sigma));
+    }
+}

@@ -1,0 +1,157 @@
+//! The Appendix H lower-bound family (Examples H.1/H.2 of the paper).
+//!
+//! Schema `{P1, …, Pm}`, all binary; for every `i < j` two tgds
+//!
+//! ```text
+//! σ(1)_{i,j} : p_i(X,Y) → ∃Z p_j(Z,X)
+//! σ(2)_{i,j} : p_i(X,Y) → ∃W p_j(Y,W)
+//! ```
+//!
+//! (so |Σ| is quadratic in `m`), plus per-relation fds making both columns
+//! keys — which renders every tgd **key-based** (Definition 5.1) and hence
+//! sound under bag/bag-set chase once the relations are set-enforced
+//! (Example H.2 uses tuple-ID egds; we use the schema flag). Chasing
+//! `Q(X,Y) :- p1(X,Y)` yields `2·(1 + Σ_{i<j} count(i))` subgoals per
+//! level — exponential in `m`, witnessing the lower bound of Theorem 5.2.
+
+use eqsql_cq::{CqQuery, Term};
+use eqsql_deps::{parse_dependencies, DependencySet};
+use eqsql_relalg::{RelSchema, Schema};
+
+/// One instance of the family.
+#[derive(Clone, Debug)]
+pub struct AppendixH {
+    /// The query `Q(X,Y) :- p1(X,Y)`.
+    pub query: CqQuery,
+    /// The dependency set Σ' (tgds + key fds).
+    pub sigma: DependencySet,
+    /// The schema (all relations set-valued, standing in for the tuple-ID
+    /// egds of Example H.2).
+    pub schema: Schema,
+    /// The parameter `m`.
+    pub m: usize,
+}
+
+/// Builds the instance for a given `m ≥ 1`.
+pub fn appendix_h_instance(m: usize) -> AppendixH {
+    assert!(m >= 1);
+    let mut text = String::new();
+    for i in 1..=m {
+        for j in (i + 1)..=m {
+            text.push_str(&format!("p{i}(X,Y) -> p{j}(Z,X).\n"));
+            text.push_str(&format!("p{i}(X,Y) -> p{j}(Y,W).\n"));
+        }
+    }
+    for i in 1..=m {
+        text.push_str(&format!("p{i}(X,Y) & p{i}(X,Z) -> Y = Z.\n"));
+        text.push_str(&format!("p{i}(Y,X) & p{i}(Z,X) -> Y = Z.\n"));
+    }
+    let sigma = parse_dependencies(&text).expect("family text is well-formed");
+    let schema = Schema::from_relations(
+        (1..=m).map(|i| RelSchema::set(&format!("p{i}"), 2)),
+    );
+    let query = CqQuery::new(
+        "q",
+        vec![Term::var("X"), Term::var("Y")],
+        vec![eqsql_cq::Atom::new("p1", vec![Term::var("X"), Term::var("Y")])],
+    );
+    AppendixH { query, sigma, schema, m }
+}
+
+/// The closed-form subgoal count of the terminal chase result.
+///
+/// Level `j` receives one `p_j(fresh, a)` atom per **distinct** first
+/// coordinate `a` seen at levels below `j`, and one `p_j(b, fresh)` per
+/// distinct second coordinate `b` — an atom demanded by several sources is
+/// created once (the chase's extension check dedups demands). With
+/// `c_j = |cumulative firsts| = |cumulative seconds|` and
+/// `d_j = |firsts ∪ seconds|`:
+///
+/// ```text
+/// c_1 = 1, d_1 = 2;   count(j) = 2·c_{j-1};
+/// c_j = c_{j-1} + d_{j-1};   d_j = d_{j-1} + 2·c_{j-1}.
+/// ```
+///
+/// `c_j` grows like `(1+√2)^j` — exponential in `m`, witnessing the lower
+/// bound of Theorem 5.2.
+pub fn expected_chase_size(m: usize) -> usize {
+    let (mut c, mut d) = (1usize, 2usize);
+    let mut total = 1usize; // level 1
+    for _ in 2..=m {
+        total += 2 * c;
+        let (nc, nd) = (c + d, d + 2 * c);
+        c = nc;
+        d = nd;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_chase::{set_chase, sound_chase, ChaseConfig};
+    use eqsql_deps::is_weakly_acyclic;
+    use eqsql_relalg::Semantics;
+
+    #[test]
+    fn family_is_weakly_acyclic() {
+        for m in 1..=5 {
+            let inst = appendix_h_instance(m);
+            assert!(is_weakly_acyclic(&inst.sigma), "m={m}");
+        }
+    }
+
+    #[test]
+    fn sigma_size_is_quadratic() {
+        let inst = appendix_h_instance(4);
+        // 2 * C(4,2) tgds + 2*4 egds = 12 + 8.
+        assert_eq!(inst.sigma.len(), 20);
+    }
+
+    #[test]
+    fn chase_size_matches_closed_form_and_grows_exponentially() {
+        let cfg = ChaseConfig { max_steps: 20_000, max_atoms: 20_000 };
+        let mut sizes = Vec::new();
+        for m in 1..=5 {
+            let inst = appendix_h_instance(m);
+            let r = set_chase(&inst.query, &inst.sigma, &cfg).unwrap();
+            assert!(!r.failed);
+            assert_eq!(
+                r.query.body.len(),
+                expected_chase_size(m),
+                "m={m}: got {}",
+                r.query
+            );
+            sizes.push(r.query.body.len());
+        }
+        // Totals 1, 3, 9, 23, 57 — asymptotic ratio 1+√2.
+        assert_eq!(sizes, vec![1, 3, 9, 23, 57]);
+        for w in sizes.windows(2).skip(1) {
+            assert!(w[1] * 10 >= w[0] * 23, "growth must stay ≳ 2.3x: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn sound_bag_chase_matches_set_chase_here() {
+        // Every tgd is key-based over set-enforced relations, so the sound
+        // bag chase performs the same exponential expansion (Example H.2).
+        let cfg = ChaseConfig { max_steps: 20_000, max_atoms: 20_000 };
+        for m in 2..=4 {
+            let inst = appendix_h_instance(m);
+            let b = sound_chase(Semantics::Bag, &inst.query, &inst.sigma, &inst.schema, &cfg)
+                .unwrap();
+            assert_eq!(b.query.body.len(), expected_chase_size(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn key_basedness_of_family_tgds() {
+        let inst = appendix_h_instance(3);
+        for tgd in inst.sigma.tgds() {
+            assert!(
+                eqsql_chase::is_key_based(tgd, &inst.sigma, &inst.schema),
+                "{tgd} should be key-based"
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Random safe CQ queries.
+
+use eqsql_cq::{Atom, CqQuery, Subst, Term, Var};
+use eqsql_relalg::Schema;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters for [`random_query`].
+#[derive(Clone, Copy, Debug)]
+pub struct QueryParams {
+    /// Number of body atoms.
+    pub atoms: usize,
+    /// Size of the variable pool.
+    pub vars: usize,
+    /// Probability that an argument position is a constant.
+    pub const_prob: f64,
+    /// Constant domain `0..const_domain`.
+    pub const_domain: i64,
+    /// Maximum head arity.
+    pub max_head: usize,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams { atoms: 4, vars: 5, const_prob: 0.1, const_domain: 4, max_head: 2 }
+    }
+}
+
+/// Generates a random safe CQ query over the schema's relations.
+pub fn random_query<R: Rng>(rng: &mut R, schema: &Schema, p: &QueryParams) -> CqQuery {
+    let rels: Vec<_> = schema.iter().collect();
+    assert!(!rels.is_empty(), "schema must have relations");
+    let pool: Vec<Var> = (0..p.vars.max(1)).map(|i| Var::new(&format!("V{i}"))).collect();
+    let mut body = Vec::with_capacity(p.atoms);
+    for _ in 0..p.atoms.max(1) {
+        let rel = rels[rng.gen_range(0..rels.len())];
+        let args: Vec<Term> = (0..rel.arity)
+            .map(|_| {
+                if rng.gen_bool(p.const_prob) {
+                    Term::int(rng.gen_range(0..p.const_domain.max(1)))
+                } else {
+                    Term::Var(pool[rng.gen_range(0..pool.len())])
+                }
+            })
+            .collect();
+        body.push(Atom { pred: rel.name, args });
+    }
+    // Head: a random subset of body variables (possibly empty).
+    let q0 = CqQuery::new("q", vec![], body);
+    let mut body_vars = q0.body_vars();
+    body_vars.shuffle(rng);
+    let head_len = rng.gen_range(0..=p.max_head.min(body_vars.len()));
+    let head = body_vars.into_iter().take(head_len).map(Term::Var).collect();
+    CqQuery { head, ..q0 }
+}
+
+/// Produces an isomorphic copy of `q`: variables bijectively renamed and
+/// body atoms shuffled. Used to exercise the ≡_B test positively.
+pub fn rename_isomorphic<R: Rng>(rng: &mut R, q: &CqQuery) -> CqQuery {
+    let vars = q.all_vars();
+    let mut fresh: Vec<Var> =
+        (0..vars.len()).map(|i| Var::new(&format!("W{i}_renamed"))).collect();
+    fresh.shuffle(rng);
+    let s = Subst::from_pairs(
+        vars.iter().zip(fresh.iter()).map(|(v, w)| (*v, Term::Var(*w))),
+    );
+    let mut out = q.apply(&s);
+    out.body.shuffle(rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::are_isomorphic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::all_bags(&[("p", 2), ("r", 1), ("s", 3)])
+    }
+
+    #[test]
+    fn generated_queries_are_safe() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q = random_query(&mut rng, &schema(), &QueryParams::default());
+            assert!(q.is_safe(), "unsafe: {q}");
+            assert_eq!(q.body.len(), 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_query(&mut StdRng::seed_from_u64(42), &schema(), &QueryParams::default());
+        let b = random_query(&mut StdRng::seed_from_u64(42), &schema(), &QueryParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn renamed_copies_are_isomorphic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..25 {
+            let q = random_query(&mut rng, &schema(), &QueryParams::default());
+            let r = rename_isomorphic(&mut rng, &q);
+            assert!(are_isomorphic(&q, &r), "{q} vs {r}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Evaluation of aggregate queries (§2.5 of the paper).
+//!
+//! Three steps: (1) compute the bag `B = Q̆(D, BS)` of the core under
+//! bag-set semantics; (2) group `B` by the grouping arguments; (3) apply the
+//! aggregate function to the bag of aggregated values of each group.
+
+use crate::database::Database;
+use crate::error::EvalError;
+use crate::eval::eval_bag_set;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use eqsql_cq::{AggFn, AggregateQuery, Value, R64};
+use std::collections::HashMap;
+
+/// One output row: the group key and the aggregated value.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AggRow {
+    /// Values of the grouping arguments.
+    pub group: Tuple,
+    /// The aggregate value for the group.
+    pub value: Value,
+}
+
+/// Applies an aggregate function to a bag of values (with multiplicities).
+pub fn apply_agg(agg: AggFn, values: &[(Value, u64)]) -> Result<Value, EvalError> {
+    match agg {
+        AggFn::Count | AggFn::CountStar => {
+            Ok(Value::Int(values.iter().map(|(_, m)| *m as i64).sum()))
+        }
+        AggFn::Sum => {
+            let mut int_sum: i64 = 0;
+            let mut real_sum: f64 = 0.0;
+            let mut any_real = false;
+            for (v, m) in values {
+                match v {
+                    Value::Int(i) => int_sum += i * (*m as i64),
+                    Value::Real(r) => {
+                        any_real = true;
+                        real_sum += r.get() * (*m as f64);
+                    }
+                    _ => return Err(EvalError::NonNumericAggregate),
+                }
+            }
+            if any_real {
+                Ok(Value::Real(R64::new(real_sum + int_sum as f64)))
+            } else {
+                Ok(Value::Int(int_sum))
+            }
+        }
+        AggFn::Min | AggFn::Max => {
+            let mut best: Option<f64> = None;
+            let mut best_val: Option<Value> = None;
+            for (v, _) in values {
+                let f = v.as_f64().ok_or(EvalError::NonNumericAggregate)?;
+                let better = match (agg, best) {
+                    (_, None) => true,
+                    (AggFn::Min, Some(b)) => f < b,
+                    (AggFn::Max, Some(b)) => f > b,
+                    _ => unreachable!(),
+                };
+                if better {
+                    best = Some(f);
+                    best_val = Some(*v);
+                }
+            }
+            best_val.ok_or(EvalError::EmptyAggregate)
+        }
+    }
+}
+
+/// Evaluates an aggregate query on a set-valued database, returning one row
+/// per group. Rows are sorted by group key for determinism.
+pub fn eval_aggregate(q: &AggregateQuery, db: &Database) -> Result<Vec<AggRow>, EvalError> {
+    let core = q.core();
+    let bag: Relation = eval_bag_set(&core, db)?;
+    let k = q.grouping.len();
+    // Group: key = first k columns; value column (if any) is the last.
+    let mut groups: HashMap<Tuple, Vec<(Value, u64)>> = HashMap::new();
+    for (t, m) in bag.iter() {
+        let key = Tuple::new(t.iter().take(k).copied().collect());
+        let entry = groups.entry(key).or_default();
+        match q.agg_var {
+            Some(_) => entry.push((t[k], m)),
+            None => entry.push((Value::Int(1), m)), // count(*): value irrelevant
+        }
+    }
+    let mut out: Vec<AggRow> = Vec::with_capacity(groups.len());
+    for (group, values) in groups {
+        out.push(AggRow { group, value: apply_agg(q.agg, &values)? });
+    }
+    out.sort_by(|a, b| a.group.cmp(&b.group));
+    Ok(out)
+}
+
+/// Do two aggregate-query answers coincide? (Definition 2.1: `Q(D) = Q'(D)`
+/// as relations.)
+pub fn agg_answers_equal(a: &[AggRow], b: &[AggRow]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parser::parse_aggregate_query;
+
+    fn db() -> Database {
+        // emp(dept, salary)
+        Database::new().with_ints("emp", &[[1, 100], [1, 200], [2, 50]])
+    }
+
+    #[test]
+    fn sum_by_group() {
+        let q = parse_aggregate_query("q(D, sum(S)) :- emp(D, S)").unwrap();
+        let rows = eval_aggregate(&q, &db()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], AggRow { group: Tuple::ints([1]), value: Value::Int(300) });
+        assert_eq!(rows[1], AggRow { group: Tuple::ints([2]), value: Value::Int(50) });
+    }
+
+    #[test]
+    fn count_star_counts_assignments() {
+        let q = parse_aggregate_query("q(D, count(*)) :- emp(D, S)").unwrap();
+        let rows = eval_aggregate(&q, &db()).unwrap();
+        assert_eq!(rows[0].value, Value::Int(2));
+        assert_eq!(rows[1].value, Value::Int(1));
+    }
+
+    #[test]
+    fn min_max() {
+        let qmin = parse_aggregate_query("q(D, min(S)) :- emp(D, S)").unwrap();
+        let qmax = parse_aggregate_query("q(D, max(S)) :- emp(D, S)").unwrap();
+        let rmin = eval_aggregate(&qmin, &db()).unwrap();
+        let rmax = eval_aggregate(&qmax, &db()).unwrap();
+        assert_eq!(rmin[0].value, Value::Int(100));
+        assert_eq!(rmax[0].value, Value::Int(200));
+    }
+
+    #[test]
+    fn sum_is_multiplicity_sensitive_but_max_is_not() {
+        // The core under BS duplicates rows when an extra join partner
+        // exists; SUM changes, MAX does not. This is the heart of
+        // Theorem 2.3: sum/count reduce to bag-set, max/min to set.
+        let mut d = db();
+        d.insert_ints("bonus", [1]); // join partner for dept 1
+        let q_sum_join =
+            parse_aggregate_query("q(D, sum(S)) :- emp(D, S), bonus(D), bonus(D)").unwrap();
+        let q_sum = parse_aggregate_query("q(D, sum(S)) :- emp(D, S), bonus(D)").unwrap();
+        let a = eval_aggregate(&q_sum_join, &d).unwrap();
+        let b = eval_aggregate(&q_sum, &d).unwrap();
+        // Single bonus tuple: duplicate subgoal does not duplicate
+        // assignments here (same tuple matched twice), so equal.
+        assert!(agg_answers_equal(&a, &b));
+        // But adding a second matching bonus tuple doubles assignments.
+        d.insert_ints("bonus", [-1]); // irrelevant dept, no effect
+        let a2 = eval_aggregate(&q_sum, &d).unwrap();
+        assert!(agg_answers_equal(&b, &a2));
+    }
+
+    #[test]
+    fn real_sum_promotes() {
+        let mut d = Database::new();
+        d.insert("m", Tuple::new(vec![Value::Int(1), Value::real(0.5)]), 1);
+        d.insert("m", Tuple::new(vec![Value::Int(1), Value::Int(2)]), 1);
+        let q = parse_aggregate_query("q(D, sum(S)) :- m(D, S)").unwrap();
+        let rows = eval_aggregate(&q, &d).unwrap();
+        assert_eq!(rows[0].value, Value::real(2.5));
+    }
+
+    #[test]
+    fn non_numeric_sum_errors() {
+        let mut d = Database::new();
+        d.insert("m", Tuple::new(vec![Value::Int(1), Value::str("x")]), 1);
+        let q = parse_aggregate_query("q(D, sum(S)) :- m(D, S)").unwrap();
+        assert_eq!(eval_aggregate(&q, &d), Err(EvalError::NonNumericAggregate));
+    }
+
+    #[test]
+    fn empty_body_relation_yields_no_groups() {
+        let q = parse_aggregate_query("q(D, sum(S)) :- emp(D, S)").unwrap();
+        let rows = eval_aggregate(&q, &Database::new()).unwrap();
+        assert!(rows.is_empty());
+    }
+}

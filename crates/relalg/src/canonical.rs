@@ -1,0 +1,133 @@
+//! Canonical databases (§2.1 of the paper).
+//!
+//! The canonical database `D(Q)` of a CQ query `Q` freezes the body: every
+//! variable becomes a distinct fresh constant (a [`eqsql_cq::Value::Labeled`]
+//! value, distinct from all constants of `Q`), and every body atom becomes a
+//! stored tuple. `D(Q)` is unique up to isomorphism. Note that the
+//! canonical database of a query with duplicate subgoals is the same as that
+//! of its canonical representation — freezing a *set*.
+
+use crate::database::Database;
+use crate::tuple::Tuple;
+use eqsql_cq::{CqQuery, Subst, Term, Value, Var};
+use std::collections::HashMap;
+
+/// The result of freezing a query.
+#[derive(Clone, Debug)]
+pub struct CanonicalDb {
+    /// The canonical database.
+    pub db: Database,
+    /// The freezing assignment from the query's variables to the fresh
+    /// constants (also a satisfying assignment of `Q` w.r.t. `db`).
+    pub assignment: HashMap<Var, Value>,
+}
+
+impl CanonicalDb {
+    /// The freezing assignment as a substitution (vars to constant terms).
+    pub fn as_subst(&self) -> Subst {
+        Subst::from_pairs(
+            self.assignment.iter().map(|(v, c)| (*v, Term::Const(*c))),
+        )
+    }
+
+    /// The frozen head tuple of `q` under the freezing assignment.
+    pub fn head_tuple(&self, q: &CqQuery) -> Tuple {
+        Tuple::new(
+            q.head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => self.assignment[v],
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Builds the canonical database of `q`. Fresh constants are labelled
+/// values numbered from `label_base` (use different bases to freeze two
+/// queries over disjoint constants).
+pub fn canonical_database(q: &CqQuery, label_base: u64) -> CanonicalDb {
+    let mut assignment: HashMap<Var, Value> = HashMap::new();
+    let mut next = label_base;
+    let mut db = Database::new();
+    for atom in &q.body {
+        let vals: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *assignment.entry(*v).or_insert_with(|| {
+                    let val = Value::Labeled(next);
+                    next += 1;
+                    val
+                }),
+            })
+            .collect();
+        let rel = db.get_or_create(atom.pred, vals.len());
+        let tup = Tuple::new(vals);
+        // Canonical databases are set-valued: duplicate subgoals freeze to
+        // the same tuple, stored once.
+        if !rel.contains(&tup) {
+            rel.insert(tup, 1);
+        }
+    }
+    CanonicalDb { db, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_bag_set, eval_set};
+    use eqsql_cq::parse_query;
+
+    #[test]
+    fn canonical_db_satisfies_query() {
+        let q = parse_query("q(X) :- p(X,Y), s(Y,Z)").unwrap();
+        let c = canonical_database(&q, 0);
+        assert!(c.db.is_set_valued());
+        let ans = eval_set(&q, &c.db).unwrap();
+        assert!(ans.contains(&c.head_tuple(&q)));
+    }
+
+    #[test]
+    fn duplicate_subgoals_freeze_once() {
+        let q = parse_query("q(X) :- s(X,Z), s(X,Z)").unwrap();
+        let c = canonical_database(&q, 0);
+        assert_eq!(c.db.get_str("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn constants_are_kept() {
+        let q = parse_query("q(X) :- p(X, 7)").unwrap();
+        let c = canonical_database(&q, 0);
+        let rel = c.db.get_str("p").unwrap();
+        let t = rel.core_set().next().unwrap();
+        assert_eq!(t[1], Value::Int(7));
+        assert!(t[0].is_labeled());
+    }
+
+    #[test]
+    fn label_base_separates_freezes() {
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        let a = canonical_database(&q, 0);
+        let b = canonical_database(&q, 100);
+        let ta = a.db.get_str("p").unwrap().core_set().next().unwrap().clone();
+        let tb = b.db.get_str("p").unwrap().core_set().next().unwrap().clone();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn chandra_merlin_canonical_db_test() {
+        // Q2 ⊑_S Q1 iff Q1 returns Q2's frozen head on D(Q2).
+        let q1 = parse_query("q(X) :- p(X,Y)").unwrap();
+        let q2 = parse_query("q(X) :- p(X,X)").unwrap();
+        let c2 = canonical_database(&q2, 0);
+        let a = eval_bag_set(&q1, &c2.db).unwrap();
+        assert!(a.contains(&c2.head_tuple(&q2)));
+        // And Q1 ⋢_S Q2: Q2 on D(Q1) misses the frozen head.
+        let c1 = canonical_database(&q1, 0);
+        let b = eval_bag_set(&q2, &c1.db).unwrap();
+        assert!(!b.contains(&c1.head_tuple(&q1)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Database instances.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use eqsql_cq::{Predicate, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A (generally bag-valued) database instance: one bag relation per
+/// relation symbol.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<Predicate, Relation>,
+}
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// An empty instance of `schema` (every declared relation present and
+    /// empty).
+    pub fn empty_of(schema: &Schema) -> Database {
+        let mut db = Database::new();
+        for r in schema.iter() {
+            db.relations.insert(r.name, Relation::new(r.arity));
+        }
+        db
+    }
+
+    /// Inserts `mult` copies of a tuple into relation `name`, creating the
+    /// relation on first use.
+    pub fn insert(&mut self, name: &str, tuple: Tuple, mult: u64) {
+        let pred = Predicate::new(name);
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(tuple.arity()))
+            .insert(tuple, mult);
+    }
+
+    /// Inserts one copy of a tuple of integers — test convenience.
+    pub fn insert_ints(&mut self, name: &str, tuple: impl IntoIterator<Item = i64>) {
+        self.insert(name, Tuple::ints(tuple), 1);
+    }
+
+    /// Builder-style batch insert of integer tuples, one copy each.
+    pub fn with_ints<const N: usize>(mut self, name: &str, tuples: &[[i64; N]]) -> Database {
+        for t in tuples {
+            self.insert_ints(name, t.iter().copied());
+        }
+        self
+    }
+
+    /// The relation for `name`, if present.
+    pub fn get(&self, name: Predicate) -> Option<&Relation> {
+        self.relations.get(&name)
+    }
+
+    /// The relation for `name` by string, if present.
+    pub fn get_str(&self, name: &str) -> Option<&Relation> {
+        self.get(Predicate::new(name))
+    }
+
+    /// Mutable access, creating an empty relation of the given arity.
+    pub fn get_or_create(&mut self, name: Predicate, arity: usize) -> &mut Relation {
+        self.relations.entry(name).or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Predicate, &Relation)> + '_ {
+        self.relations.iter().map(|(p, r)| (*p, r))
+    }
+
+    /// Is every relation set-valued?
+    pub fn is_set_valued(&self) -> bool {
+        self.relations.values().all(Relation::is_set_valued)
+    }
+
+    /// Are the relations named by `preds` set-valued?
+    pub fn are_set_valued(&self, preds: &[Predicate]) -> bool {
+        preds
+            .iter()
+            .all(|p| self.relations.get(p).is_none_or(Relation::is_set_valued))
+    }
+
+    /// A fully set-valued copy (multiplicities forced to 1).
+    pub fn to_set(&self) -> Database {
+        Database {
+            relations: self.relations.iter().map(|(p, r)| (*p, r.to_set())).collect(),
+        }
+    }
+
+    /// Total number of stored tuples (with multiplicities).
+    pub fn len(&self) -> u64 {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(Relation::is_empty)
+    }
+
+    /// All values appearing anywhere in the database — the active domain.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .relations
+            .values()
+            .flat_map(|r| r.core_set())
+            .flat_map(|t| t.iter().copied())
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (p, r) in self.iter() {
+            writeln!(f, "{p} = {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::new();
+        db.insert_ints("p", [1, 2]);
+        db.insert("p", Tuple::ints([1, 2]), 2);
+        let r = db.get_str("p").unwrap();
+        assert_eq!(r.multiplicity(&Tuple::ints([1, 2])), 3);
+        assert!(!db.is_set_valued());
+    }
+
+    #[test]
+    fn empty_of_schema_has_all_relations() {
+        let schema = Schema::from_relations([RelSchema::bag("p", 2), RelSchema::set("s", 1)]);
+        let db = Database::empty_of(&schema);
+        assert!(db.get_str("p").unwrap().is_empty());
+        assert!(db.get_str("s").unwrap().is_empty());
+    }
+
+    #[test]
+    fn active_domain_is_sorted_unique() {
+        let db = Database::new().with_ints("p", &[[1, 2], [2, 3]]);
+        assert_eq!(
+            db.active_domain(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn to_set_flattens_all() {
+        let mut db = Database::new();
+        db.insert("p", Tuple::ints([1]), 5);
+        assert!(db.to_set().is_set_valued());
+    }
+
+    #[test]
+    fn are_set_valued_checks_named_relations_only() {
+        let mut db = Database::new();
+        db.insert("p", Tuple::ints([1]), 5);
+        db.insert("s", Tuple::ints([1]), 1);
+        assert!(db.are_set_valued(&[Predicate::new("s")]));
+        assert!(!db.are_set_valued(&[Predicate::new("p")]));
+        // Relations absent from the database are vacuously set-valued.
+        assert!(db.are_set_valued(&[Predicate::new("zzz")]));
+    }
+}

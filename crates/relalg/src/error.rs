@@ -1,0 +1,42 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// An error raised by the evaluators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Bag-set (or set) evaluation was requested on a database that is not
+    /// set-valued — both are defined only over set-valued databases
+    /// (§2.1–2.2 of the paper).
+    NotSetValued,
+    /// A relation referenced by the query is missing and no arity is known.
+    ArityMismatch {
+        /// The offending relation name.
+        relation: String,
+        /// Arity expected by the query atom.
+        expected: usize,
+        /// Arity found in the database.
+        found: usize,
+    },
+    /// SUM/MIN/MAX over a non-numeric value.
+    NonNumericAggregate,
+    /// MIN/MAX over an empty group — undefined for the compared semantics.
+    EmptyAggregate,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotSetValued => {
+                write!(f, "bag-set/set evaluation requires a set-valued database")
+            }
+            EvalError::ArityMismatch { relation, expected, found } => {
+                write!(f, "relation '{relation}': query uses arity {expected}, stored {found}")
+            }
+            EvalError::NonNumericAggregate => write!(f, "aggregate over non-numeric values"),
+            EvalError::EmptyAggregate => write!(f, "min/max over an empty group"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

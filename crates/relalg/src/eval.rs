@@ -1,0 +1,320 @@
+//! Naive evaluation of conjunctive queries under the three semantics.
+//!
+//! This module transcribes the paper's definitions literally:
+//!
+//! * an **assignment** γ maps the body variables to constants such that each
+//!   subgoal lands on a stored tuple (§2.1);
+//! * under **set semantics**, the answer is the set of head tuples γ(X̄);
+//! * under **bag-set semantics**, every satisfying assignment contributes
+//!   one copy of γ(X̄) (§2.2) — the database must be set-valued;
+//! * under **bag semantics**, every satisfying assignment contributes
+//!   `Π_i m_i` copies, where `m_i` is the stored multiplicity of the tuple
+//!   the i-th subgoal lands on (§2.2).
+//!
+//! Assignments are enumerated by backtracking over the body atoms, matching
+//! against the **core-sets** of the stored relations, which makes the
+//! multiplicity product well-defined.
+
+use crate::database::Database;
+use crate::error::EvalError;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use eqsql_cq::{Atom, CqQuery, Term, Value, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The three query-evaluation semantics of the paper (§2).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Semantics {
+    /// Set semantics: sets in, sets out.
+    Set,
+    /// Bag semantics: bags in, bags out.
+    Bag,
+    /// Bag-set semantics: sets in, bags out.
+    BagSet,
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Semantics::Set => f.write_str("S"),
+            Semantics::Bag => f.write_str("B"),
+            Semantics::BagSet => f.write_str("BS"),
+        }
+    }
+}
+
+/// A satisfying assignment for a query body.
+pub type Assignment = HashMap<Var, Value>;
+
+/// Enumerates all assignments satisfying `body` w.r.t. `db`, calling
+/// `emit` with each. Matching is against core-sets, so each distinct γ is
+/// produced exactly once.
+pub fn for_each_assignment(
+    body: &[Atom],
+    db: &Database,
+    mut emit: impl FnMut(&Assignment),
+) {
+    fn go(
+        body: &[Atom],
+        db: &Database,
+        idx: usize,
+        asg: &mut Assignment,
+        emit: &mut impl FnMut(&Assignment),
+    ) {
+        if idx == body.len() {
+            emit(asg);
+            return;
+        }
+        let atom = &body[idx];
+        let Some(rel) = db.get(atom.pred) else {
+            return; // empty relation: no assignments
+        };
+        if rel.arity() != atom.arity() {
+            return;
+        }
+        'tuples: for t in rel.core_set() {
+            let mut added: Vec<Var> = Vec::new();
+            for (arg, val) in atom.args.iter().zip(t.iter()) {
+                match arg {
+                    Term::Const(c) => {
+                        if c != val {
+                            for v in added.drain(..) {
+                                asg.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match asg.get(v) {
+                        Some(bound) => {
+                            if bound != val {
+                                for w in added.drain(..) {
+                                    asg.remove(&w);
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            asg.insert(*v, *val);
+                            added.push(*v);
+                        }
+                    },
+                }
+            }
+            go(body, db, idx + 1, asg, emit);
+            for v in added {
+                asg.remove(&v);
+            }
+        }
+    }
+    let mut asg = Assignment::new();
+    go(body, db, 0, &mut asg, &mut emit);
+}
+
+/// All satisfying assignments, collected.
+pub fn assignments(body: &[Atom], db: &Database) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    for_each_assignment(body, db, |a| out.push(a.clone()));
+    out
+}
+
+fn head_tuple(head: &[Term], asg: &Assignment) -> Tuple {
+    Tuple::new(
+        head.iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *asg.get(v).expect("safe query: head var bound"),
+            })
+            .collect(),
+    )
+}
+
+/// The multiplicity contribution `Π_i m_i` of assignment `asg` (§2.2).
+fn bag_multiplicity(body: &[Atom], db: &Database, asg: &Assignment) -> u64 {
+    let mut m: u64 = 1;
+    for atom in body {
+        let rel = db.get(atom.pred).expect("assignment implies relation exists");
+        let t = Tuple::new(
+            atom.args
+                .iter()
+                .map(|arg| match arg {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => *asg.get(v).expect("assignment is total"),
+                })
+                .collect(),
+        );
+        m = m.saturating_mul(rel.multiplicity(&t));
+    }
+    m
+}
+
+/// `Q(D, S)` — evaluation under set semantics. Requires `db` set-valued.
+pub fn eval_set(q: &CqQuery, db: &Database) -> Result<Relation, EvalError> {
+    if !db.is_set_valued() {
+        return Err(EvalError::NotSetValued);
+    }
+    let mut out = Relation::new(q.head.len());
+    for_each_assignment(&q.body, db, |asg| {
+        let t = head_tuple(&q.head, asg);
+        if !out.contains(&t) {
+            out.insert(t, 1);
+        }
+    });
+    Ok(out)
+}
+
+/// `Q(D, BS)` — evaluation under bag-set semantics. Requires `db`
+/// set-valued.
+pub fn eval_bag_set(q: &CqQuery, db: &Database) -> Result<Relation, EvalError> {
+    if !db.is_set_valued() {
+        return Err(EvalError::NotSetValued);
+    }
+    let mut out = Relation::new(q.head.len());
+    for_each_assignment(&q.body, db, |asg| {
+        out.insert(head_tuple(&q.head, asg), 1);
+    });
+    Ok(out)
+}
+
+/// `Q(D, B)` — evaluation under bag semantics on a (generally bag-valued)
+/// database.
+///
+/// ```
+/// use eqsql_cq::parse_query;
+/// use eqsql_relalg::{eval_bag, Database, Tuple};
+///
+/// let mut db = Database::new().with_ints("p", &[[1, 2]]);
+/// db.insert("r", Tuple::ints([1]), 3); // bag relation: 3 copies
+/// let q = parse_query("q(X) :- p(X,Y), r(X)").unwrap();
+/// // One assignment, multiplicities multiply: 1 × 3 copies of (1).
+/// assert_eq!(eval_bag(&q, &db).multiplicity(&Tuple::ints([1])), 3);
+/// ```
+pub fn eval_bag(q: &CqQuery, db: &Database) -> Relation {
+    let mut out = Relation::new(q.head.len());
+    for_each_assignment(&q.body, db, |asg| {
+        let m = bag_multiplicity(&q.body, db, asg);
+        if m > 0 {
+            out.insert(head_tuple(&q.head, asg), m);
+        }
+    });
+    out
+}
+
+/// Evaluation under the given semantics. For [`Semantics::Bag`] the result
+/// is always `Ok`.
+pub fn eval(q: &CqQuery, db: &Database, sem: Semantics) -> Result<Relation, EvalError> {
+    match sem {
+        Semantics::Set => eval_set(q, db),
+        Semantics::BagSet => eval_bag_set(q, db),
+        Semantics::Bag => Ok(eval_bag(q, db)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parse_query;
+
+    fn q(s: &str) -> CqQuery {
+        parse_query(s).unwrap()
+    }
+
+    /// Example 4.1's counterexample database:
+    /// P = {{(1,2)}}, R = {{(1)}}, S = {{(1,3)}}, T = {{(1,2,4)}},
+    /// U = {{(1,5),(1,6)}}.
+    fn example_4_1_db() -> Database {
+        Database::new()
+            .with_ints("p", &[[1, 2]])
+            .with_ints("r", &[[1]])
+            .with_ints("s", &[[1, 3]])
+            .with_ints("t", &[[1, 2, 4]])
+            .with_ints("u", &[[1, 5], [1, 6]])
+    }
+
+    #[test]
+    fn example_4_1_bag_counterexample() {
+        // Q4(X) :- p(X,Y): answer {{(1)}}.
+        // Q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U): answer {{(1),(1)}}.
+        let db = example_4_1_db();
+        let q4 = q("q4(X) :- p(X,Y)");
+        let q1 = q("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)");
+        let a4 = eval_bag(&q4, &db);
+        let a1 = eval_bag(&q1, &db);
+        assert_eq!(a4.multiplicity(&Tuple::ints([1])), 1);
+        assert_eq!(a1.multiplicity(&Tuple::ints([1])), 2);
+        assert_ne!(a1, a4);
+        // The same (set-valued) database also separates them under BS.
+        let b4 = eval_bag_set(&q4, &db).unwrap();
+        let b1 = eval_bag_set(&q1, &db).unwrap();
+        assert_ne!(b1, b4);
+        // But NOT under set semantics.
+        assert_eq!(eval_set(&q1, &db).unwrap(), eval_set(&q4, &db).unwrap());
+    }
+
+    #[test]
+    fn bag_multiplicities_multiply() {
+        // Example D.1: S = {{(1,3),(1,3)}} and Q with one s-subgoal vs two.
+        let mut db = Database::new().with_ints("p", &[[1, 2]]).with_ints("t", &[[1, 2, 5]]);
+        db.insert("s", Tuple::ints([1, 3]), 2);
+        let q3 = q("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)");
+        let q5 = q("q5(X) :- p(X,Y), t(X,Y,W), s(X,Z), s(X,Z)");
+        assert_eq!(eval_bag(&q3, &db).multiplicity(&Tuple::ints([1])), 2);
+        assert_eq!(eval_bag(&q5, &db).multiplicity(&Tuple::ints([1])), 4);
+    }
+
+    #[test]
+    fn bag_set_counts_assignments_not_tuples() {
+        // Two assignments for Y produce two copies of (1).
+        let db = Database::new().with_ints("p", &[[1, 2], [1, 3]]);
+        let qq = q("q(X) :- p(X,Y)");
+        let a = eval_bag_set(&qq, &db).unwrap();
+        assert_eq!(a.multiplicity(&Tuple::ints([1])), 2);
+        // Set semantics dedups.
+        assert_eq!(eval_set(&qq, &db).unwrap().multiplicity(&Tuple::ints([1])), 1);
+    }
+
+    #[test]
+    fn bag_set_rejects_bag_database() {
+        let mut db = Database::new();
+        db.insert("p", Tuple::ints([1, 2]), 2);
+        let qq = q("q(X) :- p(X,Y)");
+        assert_eq!(eval_bag_set(&qq, &db), Err(EvalError::NotSetValued));
+        assert_eq!(eval_set(&qq, &db), Err(EvalError::NotSetValued));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let db = Database::new().with_ints("p", &[[1, 2], [3, 4]]);
+        let qq = q("q(X) :- p(X, 4)");
+        let a = eval_bag(&qq, &db);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&Tuple::ints([3])));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let db = Database::new().with_ints("p", &[[1, 1], [1, 2]]);
+        let qq = q("q(X) :- p(X, X)");
+        let a = eval_bag(&qq, &db);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&Tuple::ints([1])));
+    }
+
+    #[test]
+    fn missing_relation_means_empty() {
+        let db = Database::new();
+        let qq = q("q(X) :- p(X, Y)");
+        assert!(eval_bag(&qq, &db).is_empty());
+    }
+
+    #[test]
+    fn cross_product_multiplicities() {
+        // q(X,Z) :- p(X), r(Z) with bag multiplicities 2 and 3 -> 6 copies.
+        let mut db = Database::new();
+        db.insert("p", Tuple::ints([1]), 2);
+        db.insert("r", Tuple::ints([9]), 3);
+        let qq = q("q(X,Z) :- p(X), r(Z)");
+        let a = eval_bag(&qq, &db);
+        assert_eq!(a.multiplicity(&Tuple::ints([1, 9])), 6);
+    }
+}

@@ -1,0 +1,317 @@
+//! A bag-semantics operator algebra with a left-deep planner.
+//!
+//! This is the "engine-shaped" evaluator: queries compile to a plan of
+//! scans, hash joins and a head projection (plus a dedup for set
+//! semantics), and every operator propagates multiplicities according to
+//! SQL's bag semantics — scans yield stored multiplicities, joins multiply,
+//! projection preserves. Running a plan under bag-set semantics simply
+//! forces scan multiplicities to 1 (the database must then be set-valued).
+//!
+//! The naive evaluator in [`crate::eval`] transcribes the paper's
+//! definitions; this module is cross-checked against it (they must agree on
+//! every query/database/semantics triple — see the `plans_agree` tests).
+
+use crate::database::Database;
+use crate::error::EvalError;
+use crate::eval::Semantics;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use eqsql_cq::{Atom, CqQuery, Term, Value, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A physical plan.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Match one atom against its stored relation.
+    ScanAtom(Atom),
+    /// Natural (hash) join on the shared column variables.
+    Join(Box<Plan>, Box<Plan>),
+    /// Project to the head terms (bag projection — duplicates preserved).
+    ProjectHead {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output head terms.
+        head: Vec<Term>,
+    },
+    /// Remove duplicates (set semantics only).
+    Dedup(Box<Plan>),
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &Plan, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match p {
+                Plan::ScanAtom(a) => writeln!(f, "{pad}scan {a}"),
+                Plan::Join(l, r) => {
+                    writeln!(f, "{pad}join")?;
+                    go(l, f, depth + 1)?;
+                    go(r, f, depth + 1)
+                }
+                Plan::ProjectHead { input, head } => {
+                    let cols: Vec<String> = head.iter().map(|t| t.to_string()).collect();
+                    writeln!(f, "{pad}project [{}]", cols.join(", "))?;
+                    go(input, f, depth + 1)
+                }
+                Plan::Dedup(input) => {
+                    writeln!(f, "{pad}dedup")?;
+                    go(input, f, depth + 1)
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+/// An intermediate result: named columns plus a bag of rows.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Column variables, in order.
+    pub cols: Vec<Var>,
+    /// The rows (arity = `cols.len()`).
+    pub rows: Relation,
+}
+
+/// Builds a left-deep plan for `q` under `sem`.
+pub fn plan_query(q: &CqQuery, sem: Semantics) -> Plan {
+    let mut atoms = q.body.iter();
+    let first = atoms.next().expect("safe queries have nonempty bodies");
+    let mut plan = Plan::ScanAtom(first.clone());
+    for a in atoms {
+        plan = Plan::Join(Box::new(plan), Box::new(Plan::ScanAtom(a.clone())));
+    }
+    plan = Plan::ProjectHead { input: Box::new(plan), head: q.head.clone() };
+    if sem == Semantics::Set {
+        plan = Plan::Dedup(Box::new(plan));
+    }
+    plan
+}
+
+fn scan_atom(atom: &Atom, db: &Database, force_set: bool) -> Frame {
+    // Distinct variables of the atom, in first-occurrence order, become the
+    // output columns.
+    let mut cols: Vec<Var> = Vec::new();
+    for v in atom.vars() {
+        if !cols.contains(&v) {
+            cols.push(v);
+        }
+    }
+    let mut rows = Relation::new(cols.len());
+    let Some(rel) = db.get(atom.pred) else {
+        return Frame { cols, rows };
+    };
+    if rel.arity() != atom.arity() {
+        return Frame { cols, rows };
+    }
+    'tuples: for (t, m) in rel.iter() {
+        let mut binding: HashMap<Var, Value> = HashMap::new();
+        for (arg, val) in atom.args.iter().zip(t.iter()) {
+            match arg {
+                Term::Const(c) => {
+                    if c != val {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match binding.get(v) {
+                    Some(b) if b != val => continue 'tuples,
+                    Some(_) => {}
+                    None => {
+                        binding.insert(*v, *val);
+                    }
+                },
+            }
+        }
+        let row = Tuple::new(cols.iter().map(|v| binding[v]).collect());
+        rows.insert(row, if force_set { 1 } else { m });
+    }
+    Frame { cols, rows }
+}
+
+fn hash_join(left: Frame, right: Frame) -> Frame {
+    // Shared columns join; right's non-shared columns are appended.
+    let shared: Vec<Var> = right.cols.iter().copied().filter(|v| left.cols.contains(v)).collect();
+    let left_key_pos: Vec<usize> =
+        shared.iter().map(|v| left.cols.iter().position(|c| c == v).unwrap()).collect();
+    let right_key_pos: Vec<usize> =
+        shared.iter().map(|v| right.cols.iter().position(|c| c == v).unwrap()).collect();
+    let right_extra_pos: Vec<usize> = right
+        .cols
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !shared.contains(v))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut out_cols = left.cols.clone();
+    out_cols.extend(right_extra_pos.iter().map(|&i| right.cols[i]));
+
+    // Build on the right.
+    let mut index: HashMap<Tuple, Vec<(Tuple, u64)>> = HashMap::new();
+    for (t, m) in right.rows.iter() {
+        index
+            .entry(t.project(&right_key_pos))
+            .or_default()
+            .push((t.project(&right_extra_pos), m));
+    }
+
+    let mut rows = Relation::new(out_cols.len());
+    for (lt, lm) in left.rows.iter() {
+        let key = lt.project(&left_key_pos);
+        if let Some(matches) = index.get(&key) {
+            for (extra, rm) in matches {
+                let mut vals = lt.0.clone();
+                vals.extend(extra.iter().copied());
+                rows.insert(Tuple::new(vals), lm.saturating_mul(*rm));
+            }
+        }
+    }
+    Frame { cols: out_cols, rows }
+}
+
+fn project_head(frame: Frame, head: &[Term]) -> Result<Frame, EvalError> {
+    let mut rows = Relation::new(head.len());
+    for (t, m) in frame.rows.iter() {
+        let vals: Vec<Value> = head
+            .iter()
+            .map(|term| match term {
+                Term::Const(c) => *c,
+                Term::Var(v) => {
+                    let i = frame
+                        .cols
+                        .iter()
+                        .position(|c| c == v)
+                        .expect("safe query: head var appears in body");
+                    t[i]
+                }
+            })
+            .collect();
+        rows.insert(Tuple::new(vals), m);
+    }
+    Ok(Frame { cols: Vec::new(), rows })
+}
+
+/// Executes `plan` against `db`. `force_set_scans` makes scans yield
+/// multiplicity 1 (bag-set and set semantics).
+pub fn execute(plan: &Plan, db: &Database, force_set_scans: bool) -> Result<Frame, EvalError> {
+    match plan {
+        Plan::ScanAtom(a) => Ok(scan_atom(a, db, force_set_scans)),
+        Plan::Join(l, r) => {
+            let lf = execute(l, db, force_set_scans)?;
+            let rf = execute(r, db, force_set_scans)?;
+            Ok(hash_join(lf, rf))
+        }
+        Plan::ProjectHead { input, head } => {
+            let f = execute(input, db, force_set_scans)?;
+            project_head(f, head)
+        }
+        Plan::Dedup(input) => {
+            let f = execute(input, db, force_set_scans)?;
+            Ok(Frame { cols: f.cols, rows: f.rows.to_set() })
+        }
+    }
+}
+
+/// Plans and executes `q` under `sem` — the engine-shaped counterpart of
+/// [`crate::eval::eval`].
+pub fn execute_query(q: &CqQuery, db: &Database, sem: Semantics) -> Result<Relation, EvalError> {
+    if sem != Semantics::Bag && !db.is_set_valued() {
+        return Err(EvalError::NotSetValued);
+    }
+    let plan = plan_query(q, sem);
+    let frame = execute(&plan, db, sem != Semantics::Bag)?;
+    Ok(frame.rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use eqsql_cq::parse_query;
+
+    fn q(s: &str) -> CqQuery {
+        parse_query(s).unwrap()
+    }
+
+    fn example_db() -> Database {
+        let mut db = Database::new()
+            .with_ints("p", &[[1, 2], [1, 3], [2, 2]])
+            .with_ints("s", &[[2, 9], [3, 9]]);
+        db.insert("r", Tuple::ints([1]), 3);
+        db
+    }
+
+    fn agree(query: &str, db: &Database) {
+        let qq = q(query);
+        // Bag.
+        let naive = eval::eval_bag(&qq, db);
+        let plan = execute_query(&qq, db, Semantics::Bag).unwrap();
+        assert_eq!(naive.sorted(), plan.sorted(), "bag mismatch on {query}");
+        // BS / Set only for set-valued databases.
+        if db.is_set_valued() {
+            let n = eval::eval_bag_set(&qq, db).unwrap();
+            let p = execute_query(&qq, db, Semantics::BagSet).unwrap();
+            assert_eq!(n.sorted(), p.sorted(), "bag-set mismatch on {query}");
+            let n = eval::eval_set(&qq, db).unwrap();
+            let p = execute_query(&qq, db, Semantics::Set).unwrap();
+            assert_eq!(n.sorted(), p.sorted(), "set mismatch on {query}");
+        }
+    }
+
+    #[test]
+    fn evaluators_agree_on_joins() {
+        let db = example_db();
+        agree("q(X) :- p(X,Y)", &db);
+        agree("q(X,Z) :- p(X,Y), s(Y,Z)", &db);
+        agree("q(X) :- p(X,Y), s(Y,Z), r(X)", &db);
+        agree("q(X,X) :- p(X,X)", &db);
+        agree("q(X) :- p(X,2)", &db);
+        agree("q(X) :- p(X,Y), p(X,Y)", &db);
+    }
+
+    #[test]
+    fn evaluators_agree_on_set_valued_db() {
+        let db = example_db().to_set();
+        agree("q(X,Z) :- p(X,Y), s(Y,Z)", &db);
+        agree("q(X) :- p(X,Y), r(X)", &db);
+        agree("q() :- p(X,Y), s(Y,Z)", &db);
+    }
+
+    #[test]
+    fn join_multiplicities_multiply() {
+        let db = example_db();
+        // r has multiplicity 3 for (1): bag answer for q(X) :- p(X,Y), r(X)
+        // must count 3 per p-match.
+        let qq = q("q(X) :- p(X,Y), r(X)");
+        let ans = execute_query(&qq, &db, Semantics::Bag).unwrap();
+        assert_eq!(ans.multiplicity(&Tuple::ints([1])), 6); // 2 p-rows * 3
+    }
+
+    #[test]
+    fn cartesian_join_when_no_shared_vars() {
+        let db = Database::new().with_ints("a", &[[1], [2]]).with_ints("b", &[[7], [8]]);
+        let qq = q("q(X,Y) :- a(X), b(Y)");
+        let ans = execute_query(&qq, &db, Semantics::Bag).unwrap();
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn set_semantics_dedups() {
+        let db = example_db().to_set();
+        let qq = q("q(Y) :- p(X,Y)");
+        let bag = execute_query(&qq, &db, Semantics::BagSet).unwrap();
+        let set = execute_query(&qq, &db, Semantics::Set).unwrap();
+        assert_eq!(bag.multiplicity(&Tuple::ints([2])), 2);
+        assert_eq!(set.multiplicity(&Tuple::ints([2])), 1);
+    }
+
+    #[test]
+    fn plan_display_is_readable() {
+        let qq = q("q(X) :- p(X,Y), s(Y,Z)");
+        let plan = plan_query(&qq, Semantics::Set);
+        let s = plan.to_string();
+        assert!(s.contains("dedup"));
+        assert!(s.contains("join"));
+        assert!(s.contains("scan p(X, Y)"));
+    }
+}

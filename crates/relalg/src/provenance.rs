@@ -1,0 +1,374 @@
+//! Semiring-annotated evaluation (Green–Karvounarakis–Tannen provenance).
+//!
+//! The paper's three semantics are instances of one algebraic scheme:
+//! annotate stored tuples with elements of a commutative semiring, take
+//! products across a satisfying assignment's subgoals and sums across
+//! assignments producing the same head tuple. Then
+//!
+//! * the **counting semiring** `(ℕ, +, ×)` *is* bag semantics (§2.2's
+//!   `Π_i m_i` rule),
+//! * the **boolean semiring** is set semantics,
+//! * counting with all annotations 1 is bag-set semantics, and
+//! * the **provenance polynomials** `ℕ[X]` record *why* each answer holds;
+//!   substituting stored multiplicities for the indeterminates recovers
+//!   the bag answer (the specialization property, tested below and in the
+//!   property suite).
+//!
+//! This module is a substrate extension beyond the paper; it is
+//! cross-checked against the naive evaluators of [`crate::eval`].
+
+use crate::database::Database;
+use crate::eval::for_each_assignment;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use eqsql_cq::{CqQuery, Predicate, Term};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A commutative semiring.
+pub trait Semiring {
+    /// The carrier.
+    type Elem: Clone + PartialEq + fmt::Debug;
+    /// Additive identity (absent tuple).
+    fn zero() -> Self::Elem;
+    /// Multiplicative identity.
+    fn one() -> Self::Elem;
+    /// Addition (alternative derivations).
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Multiplication (joint use).
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// `(ℕ, +, ×)` — bag semantics.
+pub struct Counting;
+
+impl Semiring for Counting {
+    type Elem = u64;
+    fn zero() -> u64 {
+        0
+    }
+    fn one() -> u64 {
+        1
+    }
+    fn add(a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+    fn mul(a: &u64, b: &u64) -> u64 {
+        a.saturating_mul(*b)
+    }
+}
+
+/// `({false,true}, ∨, ∧)` — set semantics.
+pub struct Boolean;
+
+impl Semiring for Boolean {
+    type Elem = bool;
+    fn zero() -> bool {
+        false
+    }
+    fn one() -> bool {
+        true
+    }
+    fn add(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn mul(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+/// A tuple identifier: relation plus tuple (used as a provenance
+/// indeterminate).
+pub type TupleId = (Predicate, Tuple);
+
+/// A monomial over tuple ids: indeterminate → exponent.
+pub type Monomial = BTreeMap<TupleId, u32>;
+
+/// A provenance polynomial in `ℕ[X]`: monomial → coefficient.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial(pub BTreeMap<Monomial, u64>);
+
+impl Polynomial {
+    /// The polynomial `x` for a single indeterminate.
+    pub fn var(id: TupleId) -> Polynomial {
+        let mut m = Monomial::new();
+        m.insert(id, 1);
+        Polynomial(BTreeMap::from([(m, 1)]))
+    }
+
+    /// Is this the zero polynomial?
+    pub fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Evaluates the polynomial by substituting `valuation(x)` for each
+    /// indeterminate — the specialization homomorphism ℕ[X] → ℕ.
+    pub fn evaluate(&self, valuation: impl Fn(&TupleId) -> u64) -> u64 {
+        self.0
+            .iter()
+            .map(|(mono, coeff)| {
+                mono.iter().fold(*coeff, |acc, (id, exp)| {
+                    acc.saturating_mul(valuation(id).saturating_pow(*exp))
+                })
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Total number of monomials.
+    pub fn monomials(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (mono, coeff) in &self.0 {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            if *coeff != 1 || mono.is_empty() {
+                write!(f, "{coeff}")?;
+                if !mono.is_empty() {
+                    f.write_str("·")?;
+                }
+            }
+            let mut first_var = true;
+            for ((pred, tuple), exp) in mono {
+                if !first_var {
+                    f.write_str("·")?;
+                }
+                first_var = false;
+                write!(f, "{pred}{tuple}")?;
+                if *exp > 1 {
+                    write!(f, "^{exp}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `ℕ[X]` provenance semiring.
+pub struct Provenance;
+
+impl Semiring for Provenance {
+    type Elem = Polynomial;
+    fn zero() -> Polynomial {
+        Polynomial::default()
+    }
+    fn one() -> Polynomial {
+        Polynomial(BTreeMap::from([(Monomial::new(), 1)]))
+    }
+    fn add(a: &Polynomial, b: &Polynomial) -> Polynomial {
+        let mut out = a.clone();
+        for (m, c) in &b.0 {
+            *out.0.entry(m.clone()).or_insert(0) += c;
+        }
+        out
+    }
+    fn mul(a: &Polynomial, b: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::default();
+        for (ma, ca) in &a.0 {
+            for (mb, cb) in &b.0 {
+                let mut m = ma.clone();
+                for (id, e) in mb {
+                    *m.entry(id.clone()).or_insert(0) += e;
+                }
+                *out.0.entry(m).or_insert(0) += ca.saturating_mul(*cb);
+            }
+        }
+        out
+    }
+}
+
+/// A per-tuple annotation function.
+pub trait Annotation<S: Semiring> {
+    /// Annotation of a stored tuple (with its stored multiplicity).
+    fn annotate(&self, pred: Predicate, tuple: &Tuple, mult: u64) -> S::Elem;
+}
+
+/// Annotate by stored multiplicity (counting) — bag semantics.
+pub struct ByMultiplicity;
+
+impl Annotation<Counting> for ByMultiplicity {
+    fn annotate(&self, _: Predicate, _: &Tuple, mult: u64) -> u64 {
+        mult
+    }
+}
+
+/// Annotate every tuple `true` — set semantics.
+pub struct ByPresence;
+
+impl Annotation<Boolean> for ByPresence {
+    fn annotate(&self, _: Predicate, _: &Tuple, _: u64) -> bool {
+        true
+    }
+}
+
+/// Annotate every tuple with its own indeterminate — full provenance.
+pub struct ByIdentity;
+
+impl Annotation<Provenance> for ByIdentity {
+    fn annotate(&self, pred: Predicate, tuple: &Tuple, _: u64) -> Polynomial {
+        Polynomial::var((pred, tuple.clone()))
+    }
+}
+
+/// Evaluates `q` over `db` in the semiring `S`: for every satisfying
+/// assignment, the product of the subgoal annotations; summed per head
+/// tuple. Returns `(head tuple, annotation)` pairs sorted by tuple.
+pub fn eval_semiring<S: Semiring>(
+    q: &CqQuery,
+    db: &Database,
+    ann: &impl Annotation<S>,
+) -> Vec<(Tuple, S::Elem)> {
+    let mut acc: HashMap<Tuple, S::Elem> = HashMap::new();
+    for_each_assignment(&q.body, db, |asg| {
+        let mut prod = S::one();
+        for atom in &q.body {
+            let tuple = Tuple::new(
+                atom.args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => asg[v],
+                    })
+                    .collect(),
+            );
+            let rel = db.get(atom.pred).expect("assignment implies relation");
+            let a = ann.annotate(atom.pred, &tuple, rel.multiplicity(&tuple));
+            prod = S::mul(&prod, &a);
+        }
+        let head = Tuple::new(
+            q.head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => asg[v],
+                })
+                .collect(),
+        );
+        match acc.get_mut(&head) {
+            Some(existing) => *existing = S::add(existing, &prod),
+            None => {
+                acc.insert(head, prod);
+            }
+        }
+    });
+    let mut out: Vec<(Tuple, S::Elem)> = acc.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Counting evaluation as a [`Relation`] — must coincide with
+/// [`crate::eval::eval_bag`].
+pub fn eval_counting(q: &CqQuery, db: &Database) -> Relation {
+    let rows = eval_semiring::<Counting>(q, db, &ByMultiplicity);
+    let mut out = Relation::new(q.head.len());
+    for (t, m) in rows {
+        if m > 0 {
+            out.insert(t, m);
+        }
+    }
+    out
+}
+
+/// Full provenance evaluation.
+pub fn eval_provenance(q: &CqQuery, db: &Database) -> Vec<(Tuple, Polynomial)> {
+    eval_semiring::<Provenance>(q, db, &ByIdentity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_bag, eval_set};
+    use eqsql_cq::parse_query;
+
+    fn db() -> Database {
+        let mut db = Database::new().with_ints("p", &[[1, 2], [1, 3]]);
+        db.insert("r", Tuple::ints([1]), 2);
+        db
+    }
+
+    #[test]
+    fn counting_semiring_is_bag_semantics() {
+        let q = parse_query("q(X) :- p(X,Y), r(X)").unwrap();
+        let d = db();
+        assert_eq!(eval_counting(&q, &d).sorted(), eval_bag(&q, &d).sorted());
+    }
+
+    #[test]
+    fn boolean_semiring_is_set_semantics() {
+        let q = parse_query("q(X) :- p(X,Y), r(X)").unwrap();
+        let d = db().to_set();
+        let rows = eval_semiring::<Boolean>(&q, &d, &ByPresence);
+        let set = eval_set(&q, &d).unwrap();
+        assert_eq!(rows.len(), set.core_len() as usize);
+        for (t, b) in rows {
+            assert!(b);
+            assert!(set.contains(&t));
+        }
+    }
+
+    #[test]
+    fn provenance_polynomials_record_derivations() {
+        let q = parse_query("q(X) :- p(X,Y), r(X)").unwrap();
+        let d = db();
+        let rows = eval_provenance(&q, &d);
+        assert_eq!(rows.len(), 1);
+        let (t, poly) = &rows[0];
+        assert_eq!(*t, Tuple::ints([1]));
+        // Two derivations: p(1,2)·r(1) and p(1,3)·r(1).
+        assert_eq!(poly.monomials(), 2);
+        let rendered = poly.to_string();
+        assert!(rendered.contains("p(1, 2)"), "{rendered}");
+        assert!(rendered.contains("p(1, 3)"), "{rendered}");
+        assert!(rendered.contains("r(1)"), "{rendered}");
+    }
+
+    #[test]
+    fn self_join_squares_the_indeterminate() {
+        let q = parse_query("q(X) :- r(X), r(X)").unwrap();
+        let d = db();
+        let rows = eval_provenance(&q, &d);
+        assert_eq!(rows[0].1.to_string(), "r(1)^2");
+    }
+
+    #[test]
+    fn specialization_recovers_bag_answers() {
+        // Substituting stored multiplicities into the provenance
+        // polynomial yields exactly the bag multiplicity.
+        let q = parse_query("q(X) :- p(X,Y), r(X), r(X)").unwrap();
+        let d = db();
+        let bag = eval_bag(&q, &d);
+        for (t, poly) in eval_provenance(&q, &d) {
+            let specialized = poly.evaluate(|(pred, tuple)| {
+                d.get(*pred).map_or(0, |r| r.multiplicity(tuple))
+            });
+            assert_eq!(specialized, bag.multiplicity(&t), "tuple {t}: {poly}");
+        }
+    }
+
+    #[test]
+    fn all_ones_specialization_is_bag_set() {
+        use crate::eval::eval_bag_set;
+        let q = parse_query("q(X) :- p(X,Y), r(X)").unwrap();
+        let d = db().to_set();
+        let bs = eval_bag_set(&q, &d).unwrap();
+        for (t, poly) in eval_provenance(&q, &d) {
+            assert_eq!(poly.evaluate(|_| 1), bs.multiplicity(&t));
+        }
+    }
+
+    #[test]
+    fn empty_answer_has_no_rows() {
+        let q = parse_query("q(X) :- p(X,Y), missing(X)").unwrap();
+        assert!(eval_provenance(&q, &db()).is_empty());
+    }
+}

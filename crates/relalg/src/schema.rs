@@ -1,0 +1,178 @@
+//! Database schemas.
+//!
+//! A schema records, per relation symbol: the arity, optional attribute
+//! names (used by the SQL frontend) and whether the relation is required to
+//! be **set-valued on every instance** — the property that drives the
+//! set-enforcing dependencies of §4.2/Appendix C and the extended bag
+//! equivalence test of Theorem 4.2.
+
+use eqsql_cq::{Predicate, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema of a single relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelSchema {
+    /// The relation symbol.
+    pub name: Predicate,
+    /// Number of attributes.
+    pub arity: usize,
+    /// Is this relation required to be set-valued on all instances?
+    pub set_valued: bool,
+    /// Optional attribute names (positional when absent).
+    pub attrs: Option<Vec<Symbol>>,
+}
+
+impl RelSchema {
+    /// A bag-valued relation schema.
+    pub fn bag(name: &str, arity: usize) -> RelSchema {
+        RelSchema { name: Predicate::new(name), arity, set_valued: false, attrs: None }
+    }
+
+    /// A set-valued relation schema.
+    pub fn set(name: &str, arity: usize) -> RelSchema {
+        RelSchema { name: Predicate::new(name), arity, set_valued: true, attrs: None }
+    }
+
+    /// Attaches attribute names.
+    pub fn with_attrs(mut self, attrs: &[&str]) -> RelSchema {
+        assert_eq!(attrs.len(), self.arity, "attribute count must match arity");
+        self.attrs = Some(attrs.iter().map(|a| Symbol::new(a)).collect());
+        self
+    }
+}
+
+/// A database schema: a finite set of relation schemas.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    relations: BTreeMap<Predicate, RelSchema>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Builds a schema from relation schemas.
+    pub fn from_relations(rels: impl IntoIterator<Item = RelSchema>) -> Schema {
+        let mut s = Schema::new();
+        for r in rels {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Convenience: every listed relation bag-valued with the given arity.
+    pub fn all_bags(rels: &[(&str, usize)]) -> Schema {
+        Schema::from_relations(rels.iter().map(|(n, a)| RelSchema::bag(n, *a)))
+    }
+
+    /// Convenience: every listed relation set-valued with the given arity.
+    pub fn all_sets(rels: &[(&str, usize)]) -> Schema {
+        Schema::from_relations(rels.iter().map(|(n, a)| RelSchema::set(n, *a)))
+    }
+
+    /// Adds (or replaces) a relation schema.
+    pub fn add(&mut self, rel: RelSchema) {
+        self.relations.insert(rel.name, rel);
+    }
+
+    /// Looks up a relation schema.
+    pub fn get(&self, name: Predicate) -> Option<&RelSchema> {
+        self.relations.get(&name)
+    }
+
+    /// The arity of `name`, if declared.
+    pub fn arity(&self, name: Predicate) -> Option<usize> {
+        self.get(name).map(|r| r.arity)
+    }
+
+    /// Is `name` declared set-valued on all instances? Undeclared relations
+    /// are conservatively bag-valued.
+    pub fn is_set_valued(&self, name: Predicate) -> bool {
+        self.get(name).is_some_and(|r| r.set_valued)
+    }
+
+    /// Marks `name` as set-valued (it must be declared).
+    pub fn mark_set_valued(&mut self, name: Predicate) {
+        if let Some(r) = self.relations.get_mut(&name) {
+            r.set_valued = true;
+        }
+    }
+
+    /// Iterates over relation schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &RelSchema> + '_ {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The maximal set `{P1, ..., Pk}` of relation symbols required to be
+    /// set-valued on all instances (as used in Theorem 4.2).
+    pub fn set_valued_relations(&self) -> Vec<Predicate> {
+        self.iter().filter(|r| r.set_valued).map(|r| r.name).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.iter() {
+            writeln!(
+                f,
+                "{}/{}{}",
+                r.name,
+                r.arity,
+                if r.set_valued { " [set]" } else { " [bag]" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::from_relations([RelSchema::bag("p", 2), RelSchema::set("s", 2)]);
+        assert_eq!(s.arity(Predicate::new("p")), Some(2));
+        assert!(!s.is_set_valued(Predicate::new("p")));
+        assert!(s.is_set_valued(Predicate::new("s")));
+        assert!(!s.is_set_valued(Predicate::new("missing")));
+    }
+
+    #[test]
+    fn set_valued_relations_listing() {
+        let s = Schema::from_relations([
+            RelSchema::bag("r", 1),
+            RelSchema::set("s", 2),
+            RelSchema::set("t", 3),
+        ]);
+        let names: Vec<String> =
+            s.set_valued_relations().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, vec!["s", "t"]);
+    }
+
+    #[test]
+    fn mark_set_valued() {
+        let mut s = Schema::all_bags(&[("p", 2)]);
+        s.mark_set_valued(Predicate::new("p"));
+        assert!(s.is_set_valued(Predicate::new("p")));
+    }
+
+    #[test]
+    #[should_panic]
+    fn attrs_must_match_arity() {
+        let _ = RelSchema::bag("p", 2).with_attrs(&["a"]);
+    }
+}

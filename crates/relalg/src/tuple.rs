@@ -1,0 +1,79 @@
+//! Tuples of constant values.
+
+use eqsql_cq::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// An immutable tuple of values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// Builds a tuple.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(values)
+    }
+
+    /// Convenience: a tuple of integers.
+    pub fn ints(values: impl IntoIterator<Item = i64>) -> Tuple {
+        Tuple(values.into_iter().map(Value::Int).collect())
+    }
+
+    /// Arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Projection on the given positions (0-based), duplicating values as
+    /// needed — the bag projection of Appendix E.1 at the tuple level.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_duplicates_positions() {
+        let t = Tuple::ints([10, 20, 30]);
+        assert_eq!(t.project(&[2, 0, 0]), Tuple::ints([30, 10, 10]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tuple::ints([1, 2]).to_string(), "(1, 2)");
+    }
+}

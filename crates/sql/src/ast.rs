@@ -1,0 +1,141 @@
+//! Abstract syntax for the SQL subset.
+
+use std::fmt;
+
+/// A column reference `alias.column` or bare `column`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ColRef {
+    /// Optional table alias/name qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A literal value in a WHERE clause.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// One equality predicate of the WHERE conjunction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WherePred {
+    /// `a.x = b.y`
+    ColCol(ColRef, ColRef),
+    /// `a.x = 3`
+    ColLit(ColRef, Literal),
+}
+
+/// An aggregate function name in SELECT.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SqlAgg {
+    /// `SUM(col)`
+    Sum,
+    /// `COUNT(col)`
+    Count,
+    /// `COUNT(*)`
+    CountStar,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+}
+
+/// One item of the SELECT list.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SelectItem {
+    /// A plain column.
+    Column(ColRef),
+    /// An aggregate term; `arg` is `None` exactly for `COUNT(*)`.
+    Aggregate {
+        /// The function.
+        func: SqlAgg,
+        /// The aggregated column.
+        arg: Option<ColRef>,
+    },
+}
+
+/// A FROM item `table [AS] alias`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A SELECT statement of the supported subset.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SelectStmt {
+    /// Was DISTINCT specified? (Set semantics for the answer.)
+    pub distinct: bool,
+    /// The SELECT list.
+    pub items: Vec<SelectItem>,
+    /// The FROM list.
+    pub from: Vec<TableRef>,
+    /// Conjunctive equality WHERE clause.
+    pub where_: Vec<WherePred>,
+    /// GROUP BY columns (must mirror the non-aggregate SELECT items).
+    pub group_by: Vec<ColRef>,
+}
+
+/// A column declaration in CREATE TABLE.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type name (recorded, not interpreted).
+    pub ty: String,
+}
+
+/// A table-level constraint.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (cols)`
+    PrimaryKey(Vec<String>),
+    /// `UNIQUE (cols)`
+    Unique(Vec<String>),
+    /// `FOREIGN KEY (cols) REFERENCES table (cols)`
+    ForeignKey {
+        /// Referencing columns.
+        columns: Vec<String>,
+        /// Referenced table.
+        references: String,
+        /// Referenced columns.
+        ref_columns: Vec<String>,
+    },
+}
+
+/// A CREATE TABLE statement.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column declarations.
+    pub columns: Vec<ColumnDef>,
+    /// Table constraints.
+    pub constraints: Vec<TableConstraint>,
+}
+
+/// A parsed SQL statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SqlStatement {
+    /// SELECT.
+    Select(SelectStmt),
+    /// CREATE TABLE.
+    CreateTable(CreateTable),
+}

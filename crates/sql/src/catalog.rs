@@ -1,0 +1,302 @@
+//! The catalog: DDL lowered to a schema plus embedded dependencies.
+//!
+//! Following §1 of the paper's reading of the SQL standard:
+//!
+//! * `PRIMARY KEY` / `UNIQUE` constraints become key egds (functional
+//!   dependencies from the key columns to every other column), and a table
+//!   carrying one is **set-valued on every instance** — the paper's
+//!   set-enforcing constraint, recorded as the schema flag (Appendix C
+//!   shows the flag is expressible as an egd via tuple IDs);
+//! * tables without any such clause are **bags**;
+//! * `FOREIGN KEY ... REFERENCES` becomes an inclusion tgd.
+
+use crate::ast::{CreateTable, SqlStatement, TableConstraint};
+use eqsql_cq::{Atom, Predicate, Symbol, Term};
+use eqsql_deps::{DependencySet, Egd, Tgd};
+use eqsql_relalg::{RelSchema, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A catalog error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// Unknown table referenced.
+    UnknownTable(String),
+    /// Unknown column referenced.
+    UnknownColumn {
+        /// The table.
+        table: String,
+        /// The column.
+        column: String,
+    },
+    /// FK column lists have different lengths.
+    ForeignKeyArity,
+    /// Duplicate table definition.
+    DuplicateTable(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' of table '{table}'")
+            }
+            CatalogError::ForeignKeyArity => write!(f, "foreign-key column lists differ in length"),
+            CatalogError::DuplicateTable(t) => write!(f, "table '{t}' defined twice"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A catalog: schema, dependencies and column-name resolution.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    /// The relational schema (with set-valuedness flags).
+    pub schema: Schema,
+    /// The dependencies derived from the DDL.
+    pub sigma: DependencySet,
+    columns: HashMap<String, Vec<String>>,
+}
+
+impl Catalog {
+    /// Builds a catalog from the CREATE TABLE statements of a parsed
+    /// script (SELECTs are ignored).
+    pub fn from_statements(stmts: &[SqlStatement]) -> Result<Catalog, CatalogError> {
+        let mut cat = Catalog::default();
+        for s in stmts {
+            if let SqlStatement::CreateTable(t) = s {
+                cat.add_table(t)?;
+            }
+        }
+        Ok(cat)
+    }
+
+    /// Convenience: parse DDL text and build the catalog.
+    ///
+    /// ```
+    /// use eqsql_sql::Catalog;
+    ///
+    /// let cat = Catalog::from_ddl(
+    ///     "CREATE TABLE dept (id INT, PRIMARY KEY (id));
+    ///      CREATE TABLE emp (id INT, dept INT, PRIMARY KEY (id),
+    ///                        FOREIGN KEY (dept) REFERENCES dept (id));",
+    /// ).unwrap();
+    /// // Keys become egds, the FK an inclusion tgd, keyed tables sets.
+    /// assert_eq!(cat.sigma.egds().count(), 1);  // emp: id -> dept
+    /// assert_eq!(cat.sigma.tgds().count(), 1);  // emp ⊆ dept on dept-id
+    /// assert!(cat.schema.is_set_valued(eqsql_cq::Predicate::new("emp")));
+    /// ```
+    pub fn from_ddl(ddl: &str) -> Result<Catalog, Box<dyn std::error::Error>> {
+        let stmts = crate::parser::parse_sql(ddl)?;
+        Ok(Catalog::from_statements(&stmts)?)
+    }
+
+    /// Adds one table.
+    pub fn add_table(&mut self, t: &CreateTable) -> Result<(), CatalogError> {
+        let lname = t.name.to_ascii_lowercase();
+        if self.columns.contains_key(&lname) {
+            return Err(CatalogError::DuplicateTable(t.name.clone()));
+        }
+        let cols: Vec<String> =
+            t.columns.iter().map(|c| c.name.to_ascii_lowercase()).collect();
+        let has_key = t
+            .constraints
+            .iter()
+            .any(|c| matches!(c, TableConstraint::PrimaryKey(_) | TableConstraint::Unique(_)));
+        let mut rel = if has_key {
+            RelSchema::set(&lname, cols.len())
+        } else {
+            RelSchema::bag(&lname, cols.len())
+        };
+        rel.attrs = Some(cols.iter().map(|c| Symbol::new(c)).collect());
+        self.schema.add(rel);
+        self.columns.insert(lname.clone(), cols);
+
+        for c in &t.constraints {
+            match c {
+                TableConstraint::PrimaryKey(key) | TableConstraint::Unique(key) => {
+                    for egd in self.key_egds(&lname, key)? {
+                        self.sigma.push(egd);
+                    }
+                }
+                TableConstraint::ForeignKey { columns, references, ref_columns } => {
+                    let tgd = self.fk_tgd(&lname, columns, references, ref_columns)?;
+                    self.sigma.push(tgd);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Column position of `column` in `table`.
+    pub fn position(&self, table: &str, column: &str) -> Result<usize, CatalogError> {
+        let cols = self
+            .columns
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| CatalogError::UnknownTable(table.to_string()))?;
+        cols.iter().position(|c| c.eq_ignore_ascii_case(column)).ok_or_else(|| {
+            CatalogError::UnknownColumn { table: table.to_string(), column: column.to_string() }
+        })
+    }
+
+    /// Column names of `table`.
+    pub fn columns_of(&self, table: &str) -> Result<&[String], CatalogError> {
+        self.columns
+            .get(&table.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .ok_or_else(|| CatalogError::UnknownTable(table.to_string()))
+    }
+
+    /// The arity of `table`.
+    pub fn arity(&self, table: &str) -> Result<usize, CatalogError> {
+        Ok(self.columns_of(table)?.len())
+    }
+
+    /// One egd per non-key column: `σ(K|A)` of Appendix B.
+    fn key_egds(&self, table: &str, key: &[String]) -> Result<Vec<Egd>, CatalogError> {
+        let arity = self.arity(table)?;
+        let key_pos: Vec<usize> =
+            key.iter().map(|k| self.position(table, k)).collect::<Result<_, _>>()?;
+        let pred = Predicate::new(table);
+        let mut out = Vec::new();
+        for target in 0..arity {
+            if key_pos.contains(&target) {
+                continue;
+            }
+            let mk = |suffix: &str| -> Vec<Term> {
+                (0..arity)
+                    .map(|i| {
+                        if key_pos.contains(&i) {
+                            Term::var(&format!("K{i}"))
+                        } else {
+                            Term::var(&format!("V{i}{suffix}"))
+                        }
+                    })
+                    .collect()
+            };
+            let a1 = Atom { pred, args: mk("a") };
+            let a2 = Atom { pred, args: mk("b") };
+            let (t1, t2) = (a1.args[target], a2.args[target]);
+            out.push(Egd::new(vec![a1, a2], t1, t2));
+        }
+        Ok(out)
+    }
+
+    /// The inclusion tgd of a foreign key.
+    fn fk_tgd(
+        &self,
+        table: &str,
+        columns: &[String],
+        references: &str,
+        ref_columns: &[String],
+    ) -> Result<Tgd, CatalogError> {
+        if columns.len() != ref_columns.len() {
+            return Err(CatalogError::ForeignKeyArity);
+        }
+        let arity = self.arity(table)?;
+        let ref_arity = self.arity(references)?;
+        let src_pos: Vec<usize> =
+            columns.iter().map(|c| self.position(table, c)).collect::<Result<_, _>>()?;
+        let dst_pos: Vec<usize> =
+            ref_columns.iter().map(|c| self.position(references, c)).collect::<Result<_, _>>()?;
+        let lhs_args: Vec<Term> = (0..arity).map(|i| Term::var(&format!("X{i}"))).collect();
+        let rhs_args: Vec<Term> = (0..ref_arity)
+            .map(|j| match dst_pos.iter().position(|&d| d == j) {
+                Some(k) => lhs_args[src_pos[k]],
+                None => Term::var(&format!("F{j}")),
+            })
+            .collect();
+        Ok(Tgd::new(
+            vec![Atom { pred: Predicate::new(table), args: lhs_args }],
+            vec![Atom { pred: Predicate::new(references), args: rhs_args }],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        Catalog::from_ddl(
+            "CREATE TABLE dept (id INT, city VARCHAR, PRIMARY KEY (id)); \
+             CREATE TABLE emp (id INT, dept INT, salary INT, PRIMARY KEY (id), \
+                               FOREIGN KEY (dept) REFERENCES dept (id)); \
+             CREATE TABLE log (emp INT, note VARCHAR);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keyed_tables_are_set_valued() {
+        let c = sample();
+        assert!(c.schema.is_set_valued(Predicate::new("dept")));
+        assert!(c.schema.is_set_valued(Predicate::new("emp")));
+        assert!(!c.schema.is_set_valued(Predicate::new("log")));
+    }
+
+    #[test]
+    fn key_egds_cover_every_non_key_column() {
+        let c = sample();
+        // dept: 1 key egd (city); emp: 2 (dept, salary); + 1 FK tgd.
+        assert_eq!(c.sigma.egds().count(), 3);
+        assert_eq!(c.sigma.tgds().count(), 1);
+    }
+
+    #[test]
+    fn fk_becomes_inclusion_tgd() {
+        let c = sample();
+        let tgd = c.sigma.tgds().next().unwrap();
+        assert_eq!(tgd.to_string(), "emp(X0, X1, X2) -> dept(X1, F1)");
+        assert!(tgd.is_inclusion());
+    }
+
+    #[test]
+    fn key_egd_is_fd_shaped() {
+        let c = sample();
+        let egd = c.sigma.egds().next().unwrap();
+        let fd = eqsql_deps::fd::egd_as_fd(egd).expect("key egds are fds");
+        assert_eq!(fd.rel, Predicate::new("dept"));
+    }
+
+    #[test]
+    fn position_resolution() {
+        let c = sample();
+        assert_eq!(c.position("emp", "salary").unwrap(), 2);
+        assert_eq!(c.position("EMP", "SALARY").unwrap(), 2);
+        assert!(c.position("emp", "nope").is_err());
+        assert!(c.position("nope", "x").is_err());
+    }
+
+    #[test]
+    fn duplicate_tables_rejected() {
+        let err = Catalog::from_ddl(
+            "CREATE TABLE a (x INT); CREATE TABLE a (y INT);",
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fk_arity_mismatch_rejected() {
+        let r = Catalog::from_ddl(
+            "CREATE TABLE b (x INT, PRIMARY KEY (x)); \
+             CREATE TABLE a (x INT, y INT, FOREIGN KEY (x, y) REFERENCES b (x));",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn composite_key() {
+        let c = Catalog::from_ddl(
+            "CREATE TABLE t (a INT, b INT, w INT, PRIMARY KEY (a, b));",
+        )
+        .unwrap();
+        // Exactly the σ8 of Example 4.1: t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.
+        let egd = c.sigma.egds().next().unwrap();
+        let fd = eqsql_deps::fd::egd_as_fd(egd).unwrap();
+        assert_eq!(fd.lhs, std::collections::BTreeSet::from([0, 1]));
+        assert_eq!(fd.rhs, 2);
+    }
+}

@@ -1,0 +1,481 @@
+//! Lowering SELECT statements to the CQ / aggregate IR.
+//!
+//! Each FROM item becomes one body atom whose arguments are fresh
+//! variables named `alias_column`; WHERE equalities unify variables
+//! (column = column) or pin them to constants (column = literal); the
+//! SELECT list becomes the head. A statement with aggregates lowers to an
+//! [`AggregateQuery`] whose grouping list must match the plain SELECT
+//! columns (the usual SQL rule). `DISTINCT` is reported as a flag — it
+//! selects set semantics for the answer, per §1 of the paper.
+
+use crate::ast::*;
+use crate::catalog::{Catalog, CatalogError};
+use eqsql_cq::{AggFn, AggregateQuery, Atom, CqQuery, Predicate, Subst, Term, Value, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A lowering error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LowerError {
+    /// Catalog resolution failed.
+    Catalog(CatalogError),
+    /// A column reference is ambiguous (several FROM items expose it).
+    Ambiguous(String),
+    /// A column reference matches no FROM item.
+    Unresolved(String),
+    /// Two FROM items share an alias.
+    DuplicateAlias(String),
+    /// Equated columns are pinned to conflicting constants.
+    ConflictingConstants,
+    /// GROUP BY does not match the plain SELECT columns.
+    BadGrouping,
+    /// More than one aggregate in the SELECT list (the paper's aggregate
+    /// queries carry exactly one aggregate term).
+    MultipleAggregates,
+    /// The query came out unsafe (no FROM items).
+    Unsafe,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Catalog(e) => write!(f, "{e}"),
+            LowerError::Ambiguous(c) => write!(f, "ambiguous column '{c}'"),
+            LowerError::Unresolved(c) => write!(f, "unresolved column '{c}'"),
+            LowerError::DuplicateAlias(a) => write!(f, "duplicate alias '{a}'"),
+            LowerError::ConflictingConstants => write!(f, "column equated with two constants"),
+            LowerError::BadGrouping => write!(f, "GROUP BY must list the plain SELECT columns"),
+            LowerError::MultipleAggregates => write!(f, "at most one aggregate is supported"),
+            LowerError::Unsafe => write!(f, "query has no FROM items"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<CatalogError> for LowerError {
+    fn from(e: CatalogError) -> Self {
+        LowerError::Catalog(e)
+    }
+}
+
+/// A lowered query: plain CQ or aggregate, plus the DISTINCT flag.
+#[derive(Clone, Debug)]
+pub enum LoweredQuery {
+    /// SPJ block.
+    Cq {
+        /// The conjunctive query.
+        query: CqQuery,
+        /// Was DISTINCT given? (Set semantics for the answer.)
+        distinct: bool,
+    },
+    /// Grouping/aggregation block.
+    Agg {
+        /// The aggregate query.
+        query: AggregateQuery,
+    },
+}
+
+impl LoweredQuery {
+    /// The plain CQ inside, if any.
+    pub fn as_cq(&self) -> Option<&CqQuery> {
+        match self {
+            LoweredQuery::Cq { query, .. } => Some(query),
+            LoweredQuery::Agg { .. } => None,
+        }
+    }
+
+    /// The aggregate query inside, if any.
+    pub fn as_agg(&self) -> Option<&AggregateQuery> {
+        match self {
+            LoweredQuery::Agg { query } => Some(query),
+            LoweredQuery::Cq { .. } => None,
+        }
+    }
+}
+
+/// Union-find over variables with optional constant binding per class.
+#[derive(Default)]
+struct Unifier {
+    parent: HashMap<Var, Var>,
+    constant: HashMap<Var, Value>,
+}
+
+impl Unifier {
+    fn find(&mut self, v: Var) -> Var {
+        match self.parent.get(&v).copied() {
+            Some(p) if p != v => {
+                let root = self.find(p);
+                self.parent.insert(v, root);
+                root
+            }
+            _ => v,
+        }
+    }
+
+    fn union(&mut self, a: Var, b: Var) -> Result<(), LowerError> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        match (self.constant.get(&ra).copied(), self.constant.get(&rb).copied()) {
+            (Some(x), Some(y)) if x != y => return Err(LowerError::ConflictingConstants),
+            (Some(x), _) => {
+                self.constant.insert(rb, x);
+            }
+            (None, Some(y)) => {
+                self.constant.insert(rb, y);
+            }
+            (None, None) => {}
+        }
+        self.parent.insert(ra, rb);
+        Ok(())
+    }
+
+    fn pin(&mut self, v: Var, c: Value) -> Result<(), LowerError> {
+        let r = self.find(v);
+        match self.constant.get(&r) {
+            Some(existing) if *existing != c => Err(LowerError::ConflictingConstants),
+            _ => {
+                self.constant.insert(r, c);
+                Ok(())
+            }
+        }
+    }
+
+    fn resolve(&mut self, v: Var) -> Term {
+        let r = self.find(v);
+        match self.constant.get(&r) {
+            Some(c) => Term::Const(*c),
+            None => Term::Var(r),
+        }
+    }
+}
+
+fn lit_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Real(r) => Value::real(*r),
+        Literal::Str(s) => Value::str(s),
+    }
+}
+
+fn agg_fn(a: SqlAgg) -> AggFn {
+    match a {
+        SqlAgg::Sum => AggFn::Sum,
+        SqlAgg::Count => AggFn::Count,
+        SqlAgg::CountStar => AggFn::CountStar,
+        SqlAgg::Min => AggFn::Min,
+        SqlAgg::Max => AggFn::Max,
+    }
+}
+
+struct Resolver<'a> {
+    catalog: &'a Catalog,
+    // alias -> (table, per-column variable)
+    scopes: Vec<(String, String, Vec<Var>)>,
+}
+
+impl<'a> Resolver<'a> {
+    fn var_of(&self, col: &ColRef) -> Result<Var, LowerError> {
+        match &col.qualifier {
+            Some(q) => {
+                let (_, table, vars) = self
+                    .scopes
+                    .iter()
+                    .find(|(a, _, _)| a.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| LowerError::Unresolved(col.to_string()))?;
+                let pos = self.catalog.position(table, &col.column)?;
+                Ok(vars[pos])
+            }
+            None => {
+                let mut hit: Option<Var> = None;
+                for (_, table, vars) in &self.scopes {
+                    if let Ok(pos) = self.catalog.position(table, &col.column) {
+                        if hit.is_some() {
+                            return Err(LowerError::Ambiguous(col.to_string()));
+                        }
+                        hit = Some(vars[pos]);
+                    }
+                }
+                hit.ok_or_else(|| LowerError::Unresolved(col.to_string()))
+            }
+        }
+    }
+}
+
+/// Lowers a SELECT statement against a catalog. `name` becomes the query
+/// name.
+pub fn lower_select(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    name: &str,
+) -> Result<LoweredQuery, LowerError> {
+    if stmt.from.is_empty() {
+        return Err(LowerError::Unsafe);
+    }
+    // Build one atom per FROM item.
+    let mut scopes = Vec::new();
+    let mut atoms: Vec<Atom> = Vec::new();
+    for (i, tr) in stmt.from.iter().enumerate() {
+        if scopes.iter().any(|(a, _, _): &(String, String, Vec<Var>)| a.eq_ignore_ascii_case(&tr.alias)) {
+            return Err(LowerError::DuplicateAlias(tr.alias.clone()));
+        }
+        let cols = catalog.columns_of(&tr.table)?.to_vec();
+        let vars: Vec<Var> = cols
+            .iter()
+            .map(|c| Var::new(&format!("{}_{c}_{i}", tr.alias.to_ascii_lowercase())))
+            .collect();
+        atoms.push(Atom {
+            pred: Predicate::new(&tr.table.to_ascii_lowercase()),
+            args: vars.iter().map(|v| Term::Var(*v)).collect(),
+        });
+        scopes.push((tr.alias.clone(), tr.table.clone(), vars));
+    }
+    let resolver = Resolver { catalog, scopes };
+
+    // Apply WHERE equalities.
+    let mut unifier = Unifier::default();
+    for pred in &stmt.where_ {
+        match pred {
+            WherePred::ColCol(a, b) => {
+                let (va, vb) = (resolver.var_of(a)?, resolver.var_of(b)?);
+                unifier.union(va, vb)?;
+            }
+            WherePred::ColLit(a, lit) => {
+                let va = resolver.var_of(a)?;
+                unifier.pin(va, lit_value(lit))?;
+            }
+        }
+    }
+    let subst = {
+        let mut s = Subst::new();
+        for (_, _, vars) in &resolver.scopes {
+            for v in vars {
+                let t = unifier.resolve(*v);
+                if t != Term::Var(*v) {
+                    s.set(*v, t);
+                }
+            }
+        }
+        s
+    };
+    let body: Vec<Atom> = subst.apply_atoms(&atoms);
+
+    // Head.
+    let mut plain: Vec<Term> = Vec::new();
+    let mut plain_cols: Vec<ColRef> = Vec::new();
+    let mut agg: Option<(AggFn, Option<Var>)> = None;
+    for item in &stmt.items {
+        match item {
+            SelectItem::Column(c) => {
+                let v = resolver.var_of(c)?;
+                plain.push(subst.apply_term(&Term::Var(v)));
+                plain_cols.push(c.clone());
+            }
+            SelectItem::Aggregate { func, arg } => {
+                if agg.is_some() {
+                    return Err(LowerError::MultipleAggregates);
+                }
+                let var = match arg {
+                    Some(c) => {
+                        let v = resolver.var_of(c)?;
+                        match subst.apply_term(&Term::Var(v)) {
+                            Term::Var(v) => Some(v),
+                            // Aggregating a pinned constant: keep the
+                            // original variable; it is still bound in the
+                            // body through the pinned atom position.
+                            Term::Const(_) => Some(v),
+                        }
+                    }
+                    None => None,
+                };
+                agg = Some((agg_fn(*func), var));
+            }
+        }
+    }
+
+    match agg {
+        None => {
+            if !stmt.group_by.is_empty() {
+                return Err(LowerError::BadGrouping);
+            }
+            let query = CqQuery { name: eqsql_cq::Symbol::new(name), head: plain, body };
+            if !query.is_safe() {
+                return Err(LowerError::Unsafe);
+            }
+            Ok(LoweredQuery::Cq { query, distinct: stmt.distinct })
+        }
+        Some((f, v)) => {
+            // GROUP BY must list exactly the plain select columns.
+            if stmt.group_by.len() != plain_cols.len() {
+                return Err(LowerError::BadGrouping);
+            }
+            for g in &stmt.group_by {
+                let gv = resolver.var_of(g)?;
+                let matched = plain_cols.iter().any(|c| {
+                    resolver.var_of(c).map(|cv| {
+                        let mut u2 = Subst::new();
+                        let _ = &mut u2;
+                        cv == gv
+                    }) == Ok(true)
+                });
+                if !matched {
+                    return Err(LowerError::BadGrouping);
+                }
+            }
+            let query = AggregateQuery {
+                name: eqsql_cq::Symbol::new(name),
+                grouping: plain,
+                agg: f,
+                agg_var: v,
+                body,
+            };
+            if !query.is_valid() {
+                return Err(LowerError::Unsafe);
+            }
+            Ok(LoweredQuery::Agg { query })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql;
+
+    fn catalog() -> Catalog {
+        Catalog::from_ddl(
+            "CREATE TABLE dept (id INT, city VARCHAR, PRIMARY KEY (id)); \
+             CREATE TABLE emp (id INT, dept INT, salary INT, PRIMARY KEY (id), \
+                               FOREIGN KEY (dept) REFERENCES dept (id)); \
+             CREATE TABLE log (emp INT, note VARCHAR);",
+        )
+        .unwrap()
+    }
+
+    fn lower(sql: &str) -> Result<LoweredQuery, LowerError> {
+        let stmts = parse_sql(sql).unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        lower_select(s, &catalog(), "q")
+    }
+
+    #[test]
+    fn simple_projection() {
+        let q = lower("SELECT e.salary FROM emp e").unwrap();
+        let cq = q.as_cq().unwrap();
+        assert_eq!(cq.body.len(), 1);
+        assert_eq!(cq.head.len(), 1);
+        assert!(cq.is_safe());
+    }
+
+    #[test]
+    fn join_unifies_variables() {
+        let q = lower(
+            "SELECT e.salary, d.city FROM emp e, dept d WHERE e.dept = d.id",
+        )
+        .unwrap();
+        let cq = q.as_cq().unwrap();
+        assert_eq!(cq.body.len(), 2);
+        // The join column must be the same variable in both atoms.
+        let emp_dept = &cq.body[0].args[1];
+        let dept_id = &cq.body[1].args[0];
+        assert_eq!(emp_dept, dept_id);
+    }
+
+    #[test]
+    fn constants_are_pinned() {
+        let q = lower("SELECT e.id FROM emp e WHERE e.salary = 100").unwrap();
+        let cq = q.as_cq().unwrap();
+        assert_eq!(cq.body[0].args[2], Term::Const(Value::Int(100)));
+    }
+
+    #[test]
+    fn transitive_equalities() {
+        let q = lower(
+            "SELECT e.id FROM emp e, log l WHERE e.id = l.emp AND l.emp = 7",
+        )
+        .unwrap();
+        let cq = q.as_cq().unwrap();
+        assert_eq!(cq.body[0].args[0], Term::int(7));
+        assert_eq!(cq.body[1].args[0], Term::int(7));
+        assert_eq!(cq.head[0], Term::int(7));
+    }
+
+    #[test]
+    fn conflicting_constants_rejected() {
+        let e = lower("SELECT e.id FROM emp e WHERE e.id = 1 AND e.id = 2").unwrap_err();
+        assert_eq!(e, LowerError::ConflictingConstants);
+    }
+
+    #[test]
+    fn distinct_flag_propagates() {
+        let q = lower("SELECT DISTINCT e.id FROM emp e").unwrap();
+        assert!(matches!(q, LoweredQuery::Cq { distinct: true, .. }));
+    }
+
+    #[test]
+    fn aggregates_lower_to_aggregate_queries() {
+        let q = lower(
+            "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept",
+        )
+        .unwrap();
+        let agg = q.as_agg().unwrap();
+        assert_eq!(agg.agg, AggFn::Sum);
+        assert_eq!(agg.grouping.len(), 1);
+        assert!(agg.is_valid());
+    }
+
+    #[test]
+    fn count_star_lowering() {
+        let q = lower("SELECT e.dept, COUNT(*) FROM emp e GROUP BY e.dept").unwrap();
+        let agg = q.as_agg().unwrap();
+        assert_eq!(agg.agg, AggFn::CountStar);
+        assert_eq!(agg.agg_var, None);
+    }
+
+    #[test]
+    fn bad_grouping_rejected() {
+        assert_eq!(
+            lower("SELECT e.dept, SUM(e.salary) FROM emp e").unwrap_err(),
+            LowerError::BadGrouping
+        );
+        assert_eq!(
+            lower("SELECT e.dept FROM emp e GROUP BY e.dept").unwrap_err(),
+            LowerError::BadGrouping
+        );
+    }
+
+    #[test]
+    fn unqualified_resolution() {
+        // salary exists only in emp; note only in log.
+        let q = lower(
+            "SELECT salary FROM emp e, log l WHERE note = 'x'",
+        )
+        .unwrap();
+        assert!(q.as_cq().is_some());
+        // id is ambiguous between emp and dept.
+        let e = lower("SELECT id FROM emp e, dept d").unwrap_err();
+        assert!(matches!(e, LowerError::Ambiguous(_)));
+    }
+
+    #[test]
+    fn self_join_gets_distinct_variables() {
+        let q = lower(
+            "SELECT a.id FROM emp a, emp b WHERE a.dept = b.dept",
+        )
+        .unwrap();
+        let cq = q.as_cq().unwrap();
+        assert_eq!(cq.body.len(), 2);
+        // ids of a and b must be distinct variables.
+        assert_ne!(cq.body[0].args[0], cq.body[1].args[0]);
+        // dept columns must be unified.
+        assert_eq!(cq.body[0].args[1], cq.body[1].args[1]);
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let e = lower("SELECT e.id FROM emp e, dept e").unwrap_err();
+        assert!(matches!(e, LowerError::DuplicateAlias(_)));
+    }
+}

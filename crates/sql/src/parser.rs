@@ -1,0 +1,311 @@
+//! Recursive-descent parser for the SQL subset, over the shared lexer of
+//! `eqsql-cq`. Keywords are case-insensitive; statements are separated by
+//! `;`.
+
+use crate::ast::*;
+use eqsql_cq::lex::Token;
+use eqsql_cq::parser::{Cursor, ParseError};
+
+fn is_kw(t: Option<&Token>, kw: &str) -> bool {
+    matches!(t, Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+}
+
+fn eat_kw(c: &mut Cursor, kw: &str) -> bool {
+    if is_kw(c.peek(), kw) {
+        c.next();
+        true
+    } else {
+        false
+    }
+}
+
+fn expect_kw(c: &mut Cursor, kw: &str) -> Result<(), ParseError> {
+    if eat_kw(c, kw) {
+        Ok(())
+    } else {
+        c.err(format!("expected keyword '{kw}'"))
+    }
+}
+
+fn ident(c: &mut Cursor) -> Result<String, ParseError> {
+    match c.next() {
+        Some(Token::Ident(s)) => Ok(s),
+        Some(t) => c.err(format!("expected identifier, found '{t}'")),
+        None => c.err("expected identifier, found end of input"),
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "select", "distinct", "from", "where", "and", "group", "by", "as", "create", "table",
+    "primary", "key", "unique", "foreign", "references",
+];
+
+fn non_kw_ident(c: &mut Cursor) -> Result<String, ParseError> {
+    let s = ident(c)?;
+    if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+        return c.err(format!("unexpected keyword '{s}'"));
+    }
+    Ok(s)
+}
+
+fn colref(c: &mut Cursor) -> Result<ColRef, ParseError> {
+    let first = non_kw_ident(c)?;
+    if c.eat(&Token::Dot) {
+        let column = non_kw_ident(c)?;
+        Ok(ColRef { qualifier: Some(first), column })
+    } else {
+        Ok(ColRef { qualifier: None, column: first })
+    }
+}
+
+fn agg_of(name: &str) -> Option<SqlAgg> {
+    match name.to_ascii_lowercase().as_str() {
+        "sum" => Some(SqlAgg::Sum),
+        "count" => Some(SqlAgg::Count),
+        "min" => Some(SqlAgg::Min),
+        "max" => Some(SqlAgg::Max),
+        _ => None,
+    }
+}
+
+fn select_item(c: &mut Cursor) -> Result<SelectItem, ParseError> {
+    // Aggregate: IDENT '(' ... ')'
+    if let Some(Token::Ident(name)) = c.peek() {
+        if let Some(func) = agg_of(name) {
+            if c.peek2() == Some(&Token::LParen) {
+                c.next(); // fn name
+                c.next(); // (
+                if c.eat(&Token::Star) {
+                    c.expect(&Token::RParen)?;
+                    if func != SqlAgg::Count {
+                        return c.err("only COUNT may take '*'");
+                    }
+                    return Ok(SelectItem::Aggregate { func: SqlAgg::CountStar, arg: None });
+                }
+                let arg = colref(c)?;
+                c.expect(&Token::RParen)?;
+                return Ok(SelectItem::Aggregate { func, arg: Some(arg) });
+            }
+        }
+    }
+    Ok(SelectItem::Column(colref(c)?))
+}
+
+fn where_pred(c: &mut Cursor) -> Result<WherePred, ParseError> {
+    let left = colref(c)?;
+    c.expect(&Token::Eq)?;
+    match c.peek() {
+        Some(Token::Int(i)) => {
+            let i = *i;
+            c.next();
+            Ok(WherePred::ColLit(left, Literal::Int(i)))
+        }
+        Some(Token::Real(r)) => {
+            let r = *r;
+            c.next();
+            Ok(WherePred::ColLit(left, Literal::Real(r)))
+        }
+        Some(Token::Str(s)) => {
+            let s = s.clone();
+            c.next();
+            Ok(WherePred::ColLit(left, Literal::Str(s)))
+        }
+        _ => Ok(WherePred::ColCol(left, colref(c)?)),
+    }
+}
+
+fn select_stmt(c: &mut Cursor) -> Result<SelectStmt, ParseError> {
+    expect_kw(c, "select")?;
+    let distinct = eat_kw(c, "distinct");
+    let mut items = vec![select_item(c)?];
+    while c.eat(&Token::Comma) {
+        items.push(select_item(c)?);
+    }
+    expect_kw(c, "from")?;
+    let mut from = Vec::new();
+    loop {
+        let table = non_kw_ident(c)?;
+        let alias = if eat_kw(c, "as") {
+            non_kw_ident(c)?
+        } else if matches!(c.peek(), Some(Token::Ident(s))
+            if !KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)))
+        {
+            ident(c)?
+        } else {
+            table.clone()
+        };
+        from.push(TableRef { table, alias });
+        if !c.eat(&Token::Comma) {
+            break;
+        }
+    }
+    let mut where_ = Vec::new();
+    if eat_kw(c, "where") {
+        where_.push(where_pred(c)?);
+        while eat_kw(c, "and") {
+            where_.push(where_pred(c)?);
+        }
+    }
+    let mut group_by = Vec::new();
+    if eat_kw(c, "group") {
+        expect_kw(c, "by")?;
+        group_by.push(colref(c)?);
+        while c.eat(&Token::Comma) {
+            group_by.push(colref(c)?);
+        }
+    }
+    Ok(SelectStmt { distinct, items, from, where_, group_by })
+}
+
+fn column_list(c: &mut Cursor) -> Result<Vec<String>, ParseError> {
+    c.expect(&Token::LParen)?;
+    let mut cols = vec![non_kw_ident(c)?];
+    while c.eat(&Token::Comma) {
+        cols.push(non_kw_ident(c)?);
+    }
+    c.expect(&Token::RParen)?;
+    Ok(cols)
+}
+
+fn create_table(c: &mut Cursor) -> Result<CreateTable, ParseError> {
+    expect_kw(c, "create")?;
+    expect_kw(c, "table")?;
+    let name = non_kw_ident(c)?;
+    c.expect(&Token::LParen)?;
+    let mut columns = Vec::new();
+    let mut constraints = Vec::new();
+    loop {
+        if is_kw(c.peek(), "primary") {
+            c.next();
+            expect_kw(c, "key")?;
+            constraints.push(TableConstraint::PrimaryKey(column_list(c)?));
+        } else if is_kw(c.peek(), "unique") {
+            c.next();
+            constraints.push(TableConstraint::Unique(column_list(c)?));
+        } else if is_kw(c.peek(), "foreign") {
+            c.next();
+            expect_kw(c, "key")?;
+            let cols = column_list(c)?;
+            expect_kw(c, "references")?;
+            let references = non_kw_ident(c)?;
+            let ref_columns = column_list(c)?;
+            constraints.push(TableConstraint::ForeignKey { columns: cols, references, ref_columns });
+        } else {
+            let col = non_kw_ident(c)?;
+            let ty = ident(c)?;
+            columns.push(ColumnDef { name: col, ty });
+        }
+        if c.eat(&Token::RParen) {
+            break;
+        }
+        c.expect(&Token::Comma)?;
+    }
+    Ok(CreateTable { name, columns, constraints })
+}
+
+/// Parses a `;`-separated script of SELECT / CREATE TABLE statements.
+pub fn parse_sql(input: &str) -> Result<Vec<SqlStatement>, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let mut out = Vec::new();
+    while !c.done() {
+        if is_kw(c.peek(), "select") {
+            out.push(SqlStatement::Select(select_stmt(&mut c)?));
+        } else if is_kw(c.peek(), "create") {
+            out.push(SqlStatement::CreateTable(create_table(&mut c)?));
+        } else {
+            return c.err("expected SELECT or CREATE TABLE");
+        }
+        // Statement separator(s).
+        while c.eat(&Token::Semi) {}
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let stmts = parse_sql("SELECT e.name FROM emp e WHERE e.dept = 3").unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        assert!(!s.distinct);
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.from[0].table, "emp");
+        assert_eq!(s.from[0].alias, "e");
+        assert_eq!(s.where_.len(), 1);
+    }
+
+    #[test]
+    fn parse_join_with_distinct() {
+        let stmts = parse_sql(
+            "SELECT DISTINCT e.name, d.city FROM emp e, dept AS d \
+             WHERE e.dept = d.id AND d.city = 'Oslo'",
+        )
+        .unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        assert!(s.distinct);
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.where_.len(), 2);
+        assert!(matches!(&s.where_[1], WherePred::ColLit(_, Literal::Str(x)) if x == "Oslo"));
+    }
+
+    #[test]
+    fn parse_aggregate_with_group_by() {
+        let stmts = parse_sql(
+            "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept",
+        )
+        .unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(matches!(&s.items[1], SelectItem::Aggregate { func: SqlAgg::Sum, arg: Some(_) }));
+    }
+
+    #[test]
+    fn parse_count_star() {
+        let stmts = parse_sql("SELECT d.id, COUNT(*) FROM dept d GROUP BY d.id").unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        assert!(matches!(&s.items[1], SelectItem::Aggregate { func: SqlAgg::CountStar, arg: None }));
+    }
+
+    #[test]
+    fn parse_create_table() {
+        let stmts = parse_sql(
+            "CREATE TABLE emp (id INT, dept INT, salary INT, \
+             PRIMARY KEY (id), \
+             FOREIGN KEY (dept) REFERENCES dept (id));",
+        )
+        .unwrap();
+        let SqlStatement::CreateTable(t) = &stmts[0] else { panic!() };
+        assert_eq!(t.name, "emp");
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.constraints.len(), 2);
+        assert!(matches!(&t.constraints[0], TableConstraint::PrimaryKey(cols) if cols == &["id"]));
+    }
+
+    #[test]
+    fn parse_script() {
+        let stmts = parse_sql(
+            "CREATE TABLE a (x INT, PRIMARY KEY (x)); \
+             CREATE TABLE b (x INT); \
+             SELECT a.x FROM a, b WHERE a.x = b.x;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(parse_sql("DELETE FROM emp").is_err());
+        assert!(parse_sql("SELECT FROM emp").is_err());
+        assert!(parse_sql("SELECT x FROM").is_err());
+    }
+
+    #[test]
+    fn unqualified_columns_parse() {
+        let stmts = parse_sql("SELECT name FROM emp WHERE dept = 3").unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        assert!(matches!(&s.items[0], SelectItem::Column(c) if c.qualifier.is_none()));
+    }
+}

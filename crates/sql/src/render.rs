@@ -1,0 +1,216 @@
+//! Rendering CQ / aggregate queries back to SQL text.
+//!
+//! Inverse of [`crate::lower`]: every body atom becomes a FROM item with a
+//! generated alias, repeated variables become join equalities, constants
+//! become literal predicates, and the head becomes the SELECT list. With a
+//! catalog the real column names are used; without one, positional names
+//! `c0, c1, …` are emitted.
+
+use crate::catalog::Catalog;
+use eqsql_cq::{AggFn, AggregateQuery, CqQuery, Term, Value, Var};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+fn column_name(catalog: Option<&Catalog>, table: &str, pos: usize) -> String {
+    catalog
+        .and_then(|c| c.columns_of(table).ok())
+        .and_then(|cols| cols.get(pos).cloned())
+        .unwrap_or_else(|| format!("c{pos}"))
+}
+
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{s}'"),
+        other => other.to_string(),
+    }
+}
+
+struct Rendered {
+    from: Vec<String>,
+    conditions: Vec<String>,
+    var_site: HashMap<Var, String>,
+}
+
+fn render_body(body: &[eqsql_cq::Atom], catalog: Option<&Catalog>) -> Rendered {
+    let mut from = Vec::new();
+    let mut conditions = Vec::new();
+    let mut var_site: HashMap<Var, String> = HashMap::new();
+    for (i, atom) in body.iter().enumerate() {
+        let table = atom.pred.name();
+        let alias = format!("t{i}");
+        from.push(format!("{table} {alias}"));
+        for (pos, term) in atom.args.iter().enumerate() {
+            let site = format!("{alias}.{}", column_name(catalog, table, pos));
+            match term {
+                Term::Const(c) => conditions.push(format!("{site} = {}", literal(c))),
+                Term::Var(v) => match var_site.get(v) {
+                    Some(first) => conditions.push(format!("{first} = {site}")),
+                    None => {
+                        var_site.insert(*v, site);
+                    }
+                },
+            }
+        }
+    }
+    Rendered { from, conditions, var_site }
+}
+
+fn head_expr(t: &Term, r: &Rendered) -> String {
+    match t {
+        Term::Const(c) => literal(c),
+        Term::Var(v) => r.var_site.get(v).cloned().unwrap_or_else(|| v.to_string()),
+    }
+}
+
+fn assemble(
+    select_list: &[String],
+    distinct: bool,
+    r: &Rendered,
+    group_by: &[String],
+) -> String {
+    let mut out = String::from("SELECT ");
+    if distinct {
+        out.push_str("DISTINCT ");
+    }
+    out.push_str(&select_list.join(", "));
+    write!(out, " FROM {}", r.from.join(", ")).unwrap();
+    if !r.conditions.is_empty() {
+        write!(out, " WHERE {}", r.conditions.join(" AND ")).unwrap();
+    }
+    if !group_by.is_empty() {
+        write!(out, " GROUP BY {}", group_by.join(", ")).unwrap();
+    }
+    out
+}
+
+/// Renders a plain CQ query as a SQL SELECT. `distinct` selects set
+/// semantics for the answer.
+pub fn render_cq(q: &CqQuery, catalog: Option<&Catalog>, distinct: bool) -> String {
+    let r = render_body(&q.body, catalog);
+    let select: Vec<String> = q.head.iter().map(|t| head_expr(t, &r)).collect();
+    let select = if select.is_empty() { vec!["1".to_string()] } else { select };
+    assemble(&select, distinct, &r, &[])
+}
+
+/// Renders an aggregate query as a SQL SELECT ... GROUP BY.
+pub fn render_aggregate(q: &AggregateQuery, catalog: Option<&Catalog>) -> String {
+    let r = render_body(&q.body, catalog);
+    let mut select: Vec<String> = q.grouping.iter().map(|t| head_expr(t, &r)).collect();
+    let group_by = select.clone();
+    let agg = match (q.agg, q.agg_var) {
+        (AggFn::CountStar, _) => "COUNT(*)".to_string(),
+        (f, Some(v)) => {
+            let fname = match f {
+                AggFn::Sum => "SUM",
+                AggFn::Count => "COUNT",
+                AggFn::Min => "MIN",
+                AggFn::Max => "MAX",
+                AggFn::CountStar => unreachable!(),
+            };
+            format!("{fname}({})", head_expr(&Term::Var(v), &r))
+        }
+        (_, None) => "COUNT(*)".to_string(),
+    };
+    select.push(agg);
+    assemble(&select, false, &r, &group_by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SqlStatement;
+    use crate::lower::{lower_select, LoweredQuery};
+    use crate::parser::parse_sql;
+    use eqsql_cq::parse_query;
+    use eqsql_cq::parser::parse_aggregate_query;
+
+    fn catalog() -> Catalog {
+        Catalog::from_ddl(
+            "CREATE TABLE dept (id INT, city VARCHAR, PRIMARY KEY (id)); \
+             CREATE TABLE emp (id INT, dept INT, salary INT, PRIMARY KEY (id));",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn render_simple() {
+        let q = parse_query("q(S) :- emp(I, D, S)").unwrap();
+        let sql = render_cq(&q, Some(&catalog()), false);
+        assert_eq!(sql, "SELECT t0.salary FROM emp t0");
+    }
+
+    #[test]
+    fn render_join_and_constant() {
+        let q = parse_query("q(S) :- emp(I, D, S), dept(D, 'Oslo')").unwrap();
+        let sql = render_cq(&q, Some(&catalog()), false);
+        assert_eq!(
+            sql,
+            "SELECT t0.salary FROM emp t0, dept t1 \
+             WHERE t0.dept = t1.id AND t1.city = 'Oslo'"
+        );
+    }
+
+    #[test]
+    fn render_distinct_and_positional_names() {
+        let q = parse_query("q(X) :- p(X, Y)").unwrap();
+        let sql = render_cq(&q, None, true);
+        assert_eq!(sql, "SELECT DISTINCT t0.c0 FROM p t0");
+    }
+
+    #[test]
+    fn render_aggregate_query() {
+        let q = parse_aggregate_query("q(D, sum(S)) :- emp(I, D, S)").unwrap();
+        let sql = render_aggregate(&q, Some(&catalog()));
+        assert_eq!(
+            sql,
+            "SELECT t0.dept, SUM(t0.salary) FROM emp t0 GROUP BY t0.dept"
+        );
+    }
+
+    #[test]
+    fn render_zero_ary_head() {
+        let q = parse_query("q() :- emp(I, D, S)").unwrap();
+        let sql = render_cq(&q, Some(&catalog()), false);
+        assert!(sql.starts_with("SELECT 1 FROM"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        // SQL -> CQ -> SQL -> CQ: the two CQs must be isomorphic.
+        let cat = catalog();
+        let sql = "SELECT e.salary FROM emp e, dept d WHERE e.dept = d.id AND d.city = 'Oslo'";
+        let stmts = parse_sql(sql).unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let LoweredQuery::Cq { query: q1, .. } = lower_select(s, &cat, "q").unwrap() else {
+            panic!()
+        };
+        let sql2 = render_cq(&q1, Some(&cat), false);
+        let stmts2 = parse_sql(&sql2).unwrap();
+        let SqlStatement::Select(s2) = &stmts2[0] else { panic!() };
+        let LoweredQuery::Cq { query: q2, .. } = lower_select(s2, &cat, "q").unwrap() else {
+            panic!()
+        };
+        assert!(eqsql_cq::are_isomorphic(&q1, &q2), "{q1} vs {q2}");
+    }
+
+    #[test]
+    fn aggregate_round_trip() {
+        let cat = catalog();
+        let sql = "SELECT e.dept, MAX(e.salary) FROM emp e GROUP BY e.dept";
+        let stmts = parse_sql(sql).unwrap();
+        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let LoweredQuery::Agg { query: q1 } =
+            lower_select(s, &cat, "q").unwrap()
+        else {
+            panic!()
+        };
+        let sql2 = render_aggregate(&q1, Some(&cat));
+        let stmts2 = parse_sql(&sql2).unwrap();
+        let SqlStatement::Select(s2) = &stmts2[0] else { panic!() };
+        let LoweredQuery::Agg { query: q2 } = lower_select(s2, &cat, "q").unwrap() else {
+            panic!()
+        };
+        assert!(eqsql_cq::are_isomorphic(&q1.core(), &q2.core()));
+        assert_eq!(q1.agg, q2.agg);
+    }
+}

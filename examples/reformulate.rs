@@ -1,0 +1,96 @@
+//! Reformulation: run the C&B family on a warehouse-style SQL schema and
+//! show how the space of Σ-minimal reformulations depends on the
+//! evaluation semantics (the Query-Reformulation Problem of §3).
+//!
+//! ```sh
+//! cargo run -p eqsql-examples --bin reformulate
+//! ```
+
+use eqsql_core::problem::{ReformulationProblem, Solutions};
+use eqsql_core::Semantics;
+use eqsql_sql::{lower_select, parse_sql, render_cq, Catalog, SqlStatement};
+
+fn main() {
+    let ddl = "
+        CREATE TABLE customer (id INT, region INT, PRIMARY KEY (id));
+        CREATE TABLE orders   (id INT, customer INT, item INT,
+                               PRIMARY KEY (id),
+                               FOREIGN KEY (customer) REFERENCES customer (id));
+        CREATE TABLE item     (id INT, weight INT, PRIMARY KEY (id));
+        CREATE TABLE shipment (order_id INT, carrier INT);
+    ";
+    let catalog = Catalog::from_ddl(ddl).expect("valid DDL");
+    println!("Derived dependencies:\n{}", catalog.sigma);
+
+    // "Orders together with their customer's region" formulated with an
+    // extra customer join that the foreign key + key make redundant.
+    let sql = "SELECT o.id, c.region FROM orders o, customer c WHERE o.customer = c.id";
+    let stmts = parse_sql(sql).unwrap();
+    let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+    let Ok(eqsql_sql::LoweredQuery::Cq { query, .. }) = lower_select(s, &catalog, "q") else {
+        panic!()
+    };
+    println!("input SQL: {sql}");
+    println!("as CQ:     {query}\n");
+
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        let problem = ReformulationProblem::cq(
+            catalog.schema.clone(),
+            sem,
+            query.clone(),
+            catalog.sigma.clone(),
+        );
+        match problem.solve() {
+            Ok(Solutions::Cq(result)) => {
+                println!(
+                    "{sem}-semantics: {} Σ-minimal reformulation(s), {} candidates tested",
+                    result.reformulations.len(),
+                    result.candidates_tested
+                );
+                for r in &result.reformulations {
+                    println!("  CQ : {r}");
+                    println!("  SQL: {}", render_cq(r, Some(&catalog), sem == Semantics::Set));
+                }
+            }
+            Ok(Solutions::Agg(_)) => unreachable!(),
+            Err(e) => println!("{sem}: failed: {e}"),
+        }
+        println!();
+    }
+    println!(
+        "Note: the customer join cannot be dropped here even under set\n\
+         semantics (c.region is projected), but the reformulation engine\n\
+         confirms the query is already Σ-minimal in every semantics —\n\
+         and the candidate counts show how much the backchase explored."
+    );
+
+    // Second query: an existence join that IS redundant.
+    let sql2 = "SELECT o.item FROM orders o, customer c WHERE o.customer = c.id";
+    let stmts2 = parse_sql(sql2).unwrap();
+    let SqlStatement::Select(s2) = &stmts2[0] else { panic!() };
+    let Ok(eqsql_sql::LoweredQuery::Cq { query: q2, .. }) = lower_select(s2, &catalog, "q2")
+    else {
+        panic!()
+    };
+    println!("\ninput SQL: {sql2}\nas CQ:     {q2}\n");
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        let problem = ReformulationProblem::cq(
+            catalog.schema.clone(),
+            sem,
+            q2.clone(),
+            catalog.sigma.clone(),
+        );
+        if let Ok(sol) = problem.solve() {
+            println!("{sem}-semantics minimal reformulations:");
+            for r in sol.rendered() {
+                println!("  {r}");
+            }
+        }
+    }
+    println!(
+        "\nThe customer join disappears under every semantics: the FK makes\n\
+         it answer-preserving and the PRIMARY KEY + set-valuedness make it\n\
+         multiplicity-preserving (an assignment-fixing, set-valued chase\n\
+         step in reverse)."
+    );
+}

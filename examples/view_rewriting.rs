@@ -1,0 +1,92 @@
+//! Rewriting queries using materialized views under dependencies — the
+//! application §1 of the paper motivates: with materialized views, bag
+//! semantics "becomes imperative", and set-semantics rewritings can be
+//! wrong by multiplicities.
+//!
+//! ```sh
+//! cargo run -p eqsql-examples --bin view_rewriting
+//! ```
+
+use eqsql_chase::ChaseConfig;
+use eqsql_core::views::{expand, is_equivalent_rewriting, rewrite_with_views, View, ViewSet};
+use eqsql_core::Semantics;
+use eqsql_cq::parse_query;
+use eqsql_deps::parse_dependencies;
+use eqsql_relalg::eval::eval_bag_set;
+use eqsql_relalg::{Database, Schema};
+
+fn main() {
+    // Base schema: orders(id, cust), lines(order, item); every order has
+    // at least one line? No — no such constraint. Views:
+    //   v_oc(O, C)  :- orders(O, C)                  (a copy view)
+    //   v_ol(O, I)  :- orders(O, C), lines(O, I)     (a join view)
+    let sigma = parse_dependencies(
+        "lines(O, I) -> orders(O, C).\n\
+         orders(O, C1) & orders(O, C2) -> C1 = C2.",
+    )
+    .unwrap();
+    let mut schema =
+        Schema::all_bags(&[("orders", 2), ("lines", 2), ("v_oc", 2), ("v_ol", 2)]);
+    schema.mark_set_valued(eqsql_cq::Predicate::new("orders"));
+
+    let views = ViewSet::new(vec![
+        View::new(parse_query("v_oc(O, C) :- orders(O, C)").unwrap()),
+        View::new(parse_query("v_ol(O, I) :- orders(O, C), lines(O, I)").unwrap()),
+    ]);
+
+    let q = parse_query("q(C, I) :- orders(O, C), lines(O, I)").unwrap();
+    println!("Σ:\n{sigma}");
+    println!("query: {q}\n");
+
+    let config = ChaseConfig::default();
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        let result =
+            rewrite_with_views(sem, &q, &views, &sigma, &schema, &config, 12).unwrap();
+        println!(
+            "{sem}-semantics: {} total rewriting(s) over views ({} candidates):",
+            result.rewritings.len(),
+            result.candidates_tested
+        );
+        for r in &result.rewritings {
+            println!("  {r}");
+            println!("    expansion: {}", expand(r, &views).unwrap());
+        }
+    }
+
+    // The classic multiplicity trap: rewriting q with an extra v_oc join.
+    // Under set semantics harmless; under bag-set it double-counts
+    // nothing... make it concrete: join v_ol with v_oc.
+    let r_join = parse_query("q(C, I) :- v_ol(O, I), v_oc(O, C)").unwrap();
+    println!("\ncandidate rewriting: {r_join}");
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        let v = is_equivalent_rewriting(sem, &q, &r_join, &views, &sigma, &schema, &config)
+            .unwrap();
+        println!(
+            "  under {sem:>2}: {}",
+            if v.is_equivalent() { "EQUIVALENT" } else { "not equivalent" }
+        );
+    }
+    println!(
+        "\nThe v_oc join is redundant in every semantics because orders is\n\
+         keyed on O and set-valued — the expansion's extra orders-atom is\n\
+         an assignment-fixing chase step in reverse.\n"
+    );
+
+    // Engine demonstration of WHY expansions are the right test: evaluate
+    // the naive (wrong) rewriting that uses v_oc twice.
+    let r_double = parse_query("q(C) :- v_oc(O, C), v_oc(O, C)").unwrap();
+    let q_single = parse_query("q(C) :- orders(O, C)").unwrap();
+    let db = Database::new().with_ints("orders", &[[1, 7], [2, 7]]);
+    let expansion = expand(&r_double, &views).unwrap();
+    println!("double-view rewriting: {r_double}");
+    println!("its expansion:         {expansion}");
+    println!(
+        "q_single(D,BS)  = {}",
+        eval_bag_set(&q_single, &db).unwrap()
+    );
+    println!(
+        "expansion(D,BS) = {}   <- identical here (the doubled atom dedups\n\
+         under bag-set), which is exactly what Theorem 2.1(2) predicts",
+        eval_bag_set(&expansion, &db).unwrap()
+    );
+}

@@ -1,0 +1,115 @@
+//! E12 — aggregate equivalence (Theorem 6.3) cross-validated against the
+//! aggregate evaluator on Σ-models.
+
+use eqsql_chase::ChaseConfig;
+use eqsql_core::aggregate::sigma_agg_equivalent;
+use eqsql_core::EquivOutcome;
+use eqsql_cq::parser::parse_aggregate_query;
+use eqsql_cq::AggregateQuery;
+use eqsql_deps::{parse_dependencies, DependencySet};
+use eqsql_gen::db::{repaired_database, DbParams};
+use eqsql_relalg::aggregate::{agg_answers_equal, eval_aggregate};
+use eqsql_relalg::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture() -> (DependencySet, Schema) {
+    let sigma = parse_dependencies(
+        "emp(I,D,S) -> dept(D).\n\
+         emp(I1,D1,S1) & emp(I1,D2,S2) -> D1 = D2.\n\
+         emp(I1,D1,S1) & emp(I1,D2,S2) -> S1 = S2.",
+    )
+    .unwrap();
+    let mut schema = Schema::all_bags(&[("emp", 3), ("dept", 1), ("audit", 1)]);
+    schema.mark_set_valued(eqsql_cq::Predicate::new("emp"));
+    schema.mark_set_valued(eqsql_cq::Predicate::new("dept"));
+    (sigma, schema)
+}
+
+fn pairs() -> Vec<(AggregateQuery, AggregateQuery)> {
+    let p = |a: &str, b: &str| {
+        (parse_aggregate_query(a).unwrap(), parse_aggregate_query(b).unwrap())
+    };
+    vec![
+        p("q(D, sum(S)) :- emp(I,D,S)", "q(D, sum(S)) :- emp(I,D,S), dept(D)"),
+        p("q(D, max(S)) :- emp(I,D,S)", "q(D, max(S)) :- emp(I,D,S), dept(D)"),
+        p("q(D, count(*)) :- emp(I,D,S)", "q(D, count(*)) :- emp(I,D,S), dept(D)"),
+        p("q(D, sum(S)) :- emp(I,D,S)", "q(D, sum(S)) :- emp(I,D,S), audit(I)"),
+        p("q(D, max(S)) :- emp(I,D,S), emp(I,D,S2)", "q(D, max(S)) :- emp(I,D,S)"),
+        p("q(D, count(*)) :- emp(I,D,S), audit(I)", "q(D, count(*)) :- emp(I,D,S), audit(I), audit(I)"),
+        p("q(D, min(S)) :- emp(I,D,S), dept(D), dept(D)", "q(D, min(S)) :- emp(I,D,S)"),
+    ]
+}
+
+#[test]
+fn aggregate_verdicts_hold_on_random_models() {
+    let (sigma, schema) = fixture();
+    let cfg = ChaseConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xA66);
+    let mut positives = 0usize;
+    let mut negatives_with_witness = 0usize;
+
+    for (q1, q2) in pairs() {
+        let verdict = sigma_agg_equivalent(&q1, &q2, &sigma, &schema, &cfg);
+        let mut models = 0;
+        let mut attempts = 0;
+        while models < 6 && attempts < 60 {
+            attempts += 1;
+            let Some(db) = repaired_database(
+                &mut rng,
+                &schema,
+                &sigma,
+                &DbParams { tuples_per_relation: 3, domain: 5, dup_prob: 0.0, max_mult: 1 },
+                &cfg,
+            ) else {
+                continue;
+            };
+            let db = db.to_set(); // aggregate semantics: set-valued D
+            if !eqsql_deps::satisfaction::db_satisfies_all(&db, &sigma) {
+                continue;
+            }
+            models += 1;
+            let a = eval_aggregate(&q1, &db).unwrap();
+            let b = eval_aggregate(&q2, &db).unwrap();
+            match &verdict {
+                EquivOutcome::Equivalent => {
+                    assert!(
+                        agg_answers_equal(&a, &b),
+                        "said equivalent but answers differ:\n{q1}\n{q2}\nD =\n{db}"
+                    );
+                    positives += 1;
+                }
+                EquivOutcome::NotEquivalent => {
+                    if !agg_answers_equal(&a, &b) {
+                        negatives_with_witness += 1;
+                    }
+                }
+                EquivOutcome::Unknown(e) => panic!("unexpected Unknown: {e}"),
+            }
+        }
+        assert!(models > 0, "no models sampled for pair {q1} / {q2}");
+    }
+    assert!(positives > 0, "fixture produced no equivalent pairs");
+    assert!(
+        negatives_with_witness > 0,
+        "fixture produced no witnessed non-equivalences"
+    );
+}
+
+#[test]
+fn sum_vs_count_vs_max_on_one_model() {
+    // One concrete model, all five aggregate functions, hand-checked.
+    let db = eqsql_relalg::Database::new()
+        .with_ints("emp", &[[1, 10, 100], [2, 10, 50], [3, 20, 70]])
+        .with_ints("dept", &[[10], [20]]);
+    let sum = parse_aggregate_query("q(D, sum(S)) :- emp(I,D,S), dept(D)").unwrap();
+    let cnt = parse_aggregate_query("q(D, count(*)) :- emp(I,D,S), dept(D)").unwrap();
+    let mx = parse_aggregate_query("q(D, max(S)) :- emp(I,D,S), dept(D)").unwrap();
+    let mn = parse_aggregate_query("q(D, min(S)) :- emp(I,D,S), dept(D)").unwrap();
+    let rows = |q: &AggregateQuery| eval_aggregate(q, &db).unwrap();
+    use eqsql_cq::Value::Int;
+    assert_eq!(rows(&sum).iter().map(|r| r.value).collect::<Vec<_>>(), [Int(150), Int(70)]);
+    assert_eq!(rows(&cnt).iter().map(|r| r.value).collect::<Vec<_>>(), [Int(2), Int(1)]);
+    assert_eq!(rows(&mx).iter().map(|r| r.value).collect::<Vec<_>>(), [Int(100), Int(70)]);
+    assert_eq!(rows(&mn).iter().map(|r| r.value).collect::<Vec<_>>(), [Int(50), Int(70)]);
+}

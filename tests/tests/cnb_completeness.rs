@@ -1,0 +1,168 @@
+//! E13 — soundness and completeness of the C&B family (Theorems A.1, 6.4,
+//! K.1, K.2) on instances whose full reformulation sets are known, plus
+//! engine validation of every returned reformulation.
+
+use eqsql_chase::ChaseConfig;
+use eqsql_core::cnb::{cnb, contains_isomorph, CnbOptions};
+use eqsql_core::minimality::is_sigma_minimal;
+use eqsql_core::problem::{ReformulationProblem, Solutions};
+use eqsql_core::{sigma_equivalent, Semantics};
+use eqsql_cq::{parse_query, Predicate};
+use eqsql_deps::parse_dependencies;
+use eqsql_gen::db::{repaired_database, DbParams};
+use eqsql_integration_tests::{schema_4_1, sigma_4_1};
+use eqsql_relalg::eval::eval;
+use eqsql_relalg::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg() -> ChaseConfig {
+    ChaseConfig::default()
+}
+fn opts() -> CnbOptions {
+    CnbOptions::default()
+}
+
+#[test]
+fn example_4_1_reformulation_sets_per_semantics() {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    let q_pru = parse_query("q(X) :- p(X,Y), r(X), u(X,U)").unwrap();
+
+    // Set semantics: the unique Σ-minimal reformulation of Q1 is Q4.
+    let set = cnb(Semantics::Set, &q1, &sigma, &schema, &cfg(), &opts()).unwrap();
+    assert_eq!(set.reformulations.len(), 1);
+    assert!(contains_isomorph(&set, &q4));
+
+    // Bag semantics: the bag-valued r/u subgoals must stay.
+    let bag = cnb(Semantics::Bag, &q1, &sigma, &schema, &cfg(), &opts()).unwrap();
+    assert_eq!(bag.reformulations.len(), 1);
+    assert!(contains_isomorph(&bag, &q_pru));
+
+    // Bag-set semantics: u stays (it multiplies assignment counts — the
+    // paper's D with two u-tuples), but r IS droppable: σ3 is a full tgd,
+    // sound under bag-set chase, and BS counts assignments rather than
+    // stored copies.
+    let q_pu = parse_query("q(X) :- p(X,Y), u(X,U)").unwrap();
+    let bs = cnb(Semantics::BagSet, &q1, &sigma, &schema, &cfg(), &opts()).unwrap();
+    assert_eq!(bs.reformulations.len(), 1);
+    assert!(
+        contains_isomorph(&bs, &q_pu),
+        "got {:?}",
+        bs.reformulations.iter().map(|q| q.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn every_output_is_equivalent_and_minimal() {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
+    for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+        let result = cnb(sem, &q2, &sigma, &schema, &cfg(), &opts()).unwrap();
+        assert!(!result.reformulations.is_empty(), "{sem}: no reformulations");
+        for r in &result.reformulations {
+            assert!(
+                sigma_equivalent(sem, r, &q2, &sigma, &schema, &cfg()).is_equivalent(),
+                "{sem}: output {r} not equivalent"
+            );
+            assert!(
+                is_sigma_minimal(r, &sigma, &schema, sem, &cfg()).unwrap(),
+                "{sem}: output {r} not Σ-minimal"
+            );
+        }
+    }
+}
+
+#[test]
+fn outputs_validated_by_engine_on_random_models() {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCB);
+    for sem in [Semantics::Bag, Semantics::BagSet] {
+        let result = cnb(sem, &q2, &sigma, &schema, &cfg(), &opts()).unwrap();
+        let mut models = 0;
+        while models < 4 {
+            let Some(db) = repaired_database(
+                &mut rng,
+                &schema,
+                &sigma,
+                &DbParams { tuples_per_relation: 3, domain: 4, ..DbParams::default() },
+                &cfg(),
+            ) else {
+                continue;
+            };
+            let ok = match sem {
+                Semantics::Bag => db.are_set_valued(&schema.set_valued_relations()),
+                _ => db.is_set_valued(),
+            };
+            if !ok {
+                continue;
+            }
+            models += 1;
+            let expected = eval(&q2, &db, sem).unwrap();
+            for r in &result.reformulations {
+                let got = eval(r, &db, sem).unwrap();
+                assert_eq!(expected.sorted(), got.sorted(), "{sem}: {r} differs on\n{db}");
+            }
+        }
+    }
+}
+
+#[test]
+fn completeness_on_symmetric_inclusions() {
+    // a <-> b <-> c: under set semantics the minimal reformulations of
+    // q(X) :- a(X) are exactly {a}, {b}, {c}.
+    let sigma = parse_dependencies(
+        "a(X) -> b(X). b(X) -> c(X). c(X) -> a(X).",
+    )
+    .unwrap();
+    let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("c", 1)]);
+    let q = parse_query("q(X) :- a(X)").unwrap();
+    let r = cnb(Semantics::Set, &q, &sigma, &schema, &cfg(), &opts()).unwrap();
+    let rendered: Vec<String> = r.reformulations.iter().map(|q| q.to_string()).collect();
+    assert_eq!(r.reformulations.len(), 3, "got {rendered:?}");
+    for rel in ["a", "b", "c"] {
+        assert!(
+            r.reformulations.iter().any(|f| f.count_pred(Predicate::new(rel)) == 1),
+            "missing single-{rel} reformulation: {rendered:?}"
+        );
+    }
+}
+
+#[test]
+fn aggregate_problem_class_end_to_end() {
+    // Theorem K.2 shape: max admits the dept-drop; count over a bag join
+    // does not admit dropping the bag atom.
+    let sigma = parse_dependencies(
+        "emp(I,D,S) -> dept(D).\n\
+         emp(I1,D1,S1) & emp(I1,D2,S2) -> D1 = D2.",
+    )
+    .unwrap();
+    let mut schema = Schema::all_bags(&[("emp", 3), ("dept", 1), ("audit", 1)]);
+    schema.mark_set_valued(Predicate::new("emp"));
+    schema.mark_set_valued(Predicate::new("dept"));
+
+    let maxq = eqsql_cq::parser::parse_aggregate_query(
+        "m(D, max(S)) :- emp(I,D,S), dept(D)",
+    )
+    .unwrap();
+    let p = ReformulationProblem::aggregate(schema.clone(), maxq, sigma.clone());
+    let Solutions::Agg(sol) = p.solve().unwrap() else { panic!() };
+    assert!(sol.reformulations.iter().any(|q| q.body.len() == 1));
+
+    let countq = eqsql_cq::parser::parse_aggregate_query(
+        "c(D, count(*)) :- emp(I,D,S), audit(I)",
+    )
+    .unwrap();
+    let p2 = ReformulationProblem::aggregate(schema, countq, sigma);
+    let Solutions::Agg(sol2) = p2.solve().unwrap() else { panic!() };
+    // audit must survive in every reformulation.
+    assert!(sol2
+        .reformulations
+        .iter()
+        .all(|q| q.body.iter().any(|a| a.pred == Predicate::new("audit"))));
+}

@@ -1,0 +1,163 @@
+//! E11 — cross-validation of the Σ-equivalence decision procedures
+//! against the evaluation engine on seeded random inputs.
+//!
+//! Soundness direction: whenever the procedure says *equivalent*, the two
+//! queries must return identical answers on every sampled database
+//! satisfying Σ. Refutation direction: whenever it says *not equivalent*,
+//! the counterexample search should usually produce a witness — and any
+//! witness found must be genuine.
+
+use eqsql_chase::ChaseConfig;
+use eqsql_core::counterexample::separating_database;
+use eqsql_core::{sigma_equivalent, EquivOutcome, Semantics};
+use eqsql_cq::CqQuery;
+use eqsql_deps::satisfaction::db_satisfies_all;
+use eqsql_gen::db::{repaired_database, DbParams};
+use eqsql_gen::queries::{random_query, QueryParams};
+use eqsql_gen::sigma::{random_weakly_acyclic_sigma, SigmaParams};
+use eqsql_relalg::eval::eval;
+use eqsql_relalg::{RelSchema, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schema() -> Schema {
+    Schema::from_relations([
+        RelSchema::bag("a", 2),
+        RelSchema::set("b", 2),
+        RelSchema::set("c", 2),
+        RelSchema::bag("d", 1),
+    ])
+}
+
+fn admissible(db: &eqsql_relalg::Database, sem: Semantics, schema: &Schema) -> bool {
+    match sem {
+        Semantics::Bag => db.are_set_valued(&schema.set_valued_relations()),
+        _ => db.is_set_valued(),
+    }
+}
+
+#[test]
+fn equivalence_verdicts_hold_on_random_models() {
+    let schema = schema();
+    let cfg = ChaseConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xE05);
+    let mut equivalent_pairs = 0usize;
+    let mut checked_dbs = 0usize;
+
+    for round in 0..60 {
+        let sigma = random_weakly_acyclic_sigma(
+            &mut rng,
+            &schema,
+            &SigmaParams { tgds: 2, egds: 1, reuse_prob: 0.7 },
+        );
+        let q1 = random_query(
+            &mut rng,
+            &schema,
+            &QueryParams { atoms: 3, vars: 4, const_prob: 0.05, const_domain: 3, max_head: 2 },
+        );
+        // Half the rounds compare against a mutated copy, half against an
+        // independently drawn query.
+        let q2: CqQuery = if round % 2 == 0 {
+            let mut m = q1.clone();
+            if m.body.len() > 1 {
+                m.body.pop();
+            }
+            if !m.is_safe() {
+                continue;
+            }
+            m
+        } else {
+            let q = random_query(
+                &mut rng,
+                &schema,
+                &QueryParams { atoms: 3, vars: 4, const_prob: 0.05, const_domain: 3, max_head: 2 },
+            );
+            if q.head.len() != q1.head.len() {
+                continue;
+            }
+            q
+        };
+
+        for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+            match sigma_equivalent(sem, &q1, &q2, &sigma, &schema, &cfg) {
+                EquivOutcome::Equivalent => {
+                    equivalent_pairs += 1;
+                    // Sample Σ-models and compare answers.
+                    for _ in 0..5 {
+                        let Some(db) = repaired_database(
+                            &mut rng,
+                            &schema,
+                            &sigma,
+                            &DbParams { tuples_per_relation: 3, domain: 4, ..DbParams::default() },
+                            &cfg,
+                        ) else {
+                            continue;
+                        };
+                        if !admissible(&db, sem, &schema) {
+                            continue;
+                        }
+                        checked_dbs += 1;
+                        let a = eval(&q1, &db, sem).unwrap();
+                        let b = eval(&q2, &db, sem).unwrap();
+                        assert_eq!(
+                            a.sorted(),
+                            b.sorted(),
+                            "procedure said ≡_{{Σ,{sem}}} but answers differ\n\
+                             q1 = {q1}\nq2 = {q2}\nΣ = {sigma}\nD =\n{db}"
+                        );
+                    }
+                }
+                EquivOutcome::NotEquivalent => {
+                    // Any witness the search produces must be genuine.
+                    if let Some(db) =
+                        separating_database(sem, &q1, &q2, &sigma, &schema, &cfg)
+                    {
+                        assert!(db_satisfies_all(&db, &sigma));
+                        let a = eval(&q1, &db, sem).unwrap();
+                        let b = eval(&q2, &db, sem).unwrap();
+                        assert_ne!(a.sorted(), b.sorted(), "bogus witness");
+                    }
+                }
+                EquivOutcome::Unknown(_) => {}
+            }
+        }
+    }
+    // The harness must actually have exercised both paths.
+    assert!(equivalent_pairs > 0, "no equivalent pairs generated — fixture too weak");
+    assert!(checked_dbs > 0, "no Σ-models sampled — fixture too weak");
+}
+
+#[test]
+fn proposition_2_1_hierarchy_holds_under_sigma() {
+    // ≡_{Σ,B} ⇒ ≡_{Σ,BS} ⇒ ≡_{Σ,S} (Propositions 2.1 / 6.1) on random
+    // pairs.
+    let schema = schema();
+    let cfg = ChaseConfig::default();
+    let mut rng = StdRng::seed_from_u64(0x517);
+    let mut bag_equiv_seen = 0usize;
+    for _ in 0..80 {
+        let sigma = random_weakly_acyclic_sigma(
+            &mut rng,
+            &schema,
+            &SigmaParams { tgds: 2, egds: 1, reuse_prob: 0.7 },
+        );
+        let q1 = random_query(&mut rng, &schema, &QueryParams::default());
+        let mut q2 = eqsql_gen::rename_isomorphic(&mut rng, &q1);
+        // Occasionally append a redundant duplicate atom.
+        if q2.body.len() < 6 {
+            let a = q2.body[0].clone();
+            q2.body.push(a);
+        }
+        let b = sigma_equivalent(Semantics::Bag, &q1, &q2, &sigma, &schema, &cfg);
+        let bs = sigma_equivalent(Semantics::BagSet, &q1, &q2, &sigma, &schema, &cfg);
+        let s = sigma_equivalent(Semantics::Set, &q1, &q2, &sigma, &schema, &cfg);
+        if b.is_equivalent() {
+            bag_equiv_seen += 1;
+            assert!(bs.is_equivalent(), "≡B without ≡BS: {q1} vs {q2}\nΣ = {sigma}");
+        }
+        if bs.is_equivalent() {
+            assert!(s.is_equivalent(), "≡BS without ≡S: {q1} vs {q2}\nΣ = {sigma}");
+        }
+    }
+    assert!(bag_equiv_seen > 0);
+}

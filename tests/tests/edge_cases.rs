@@ -1,0 +1,205 @@
+//! Edge cases and failure injection across the stack: zero-ary
+//! predicates, constants in heads, budget exhaustion, unsatisfiable
+//! queries, hom-explosion guards, and the Theorem 5.1 uniqueness property
+//! under random Σ permutations.
+
+use eqsql_chase::{set_chase, sound_chase, ChaseConfig, ChaseError};
+use eqsql_core::cnb::{cnb, CnbOptions};
+use eqsql_core::{sigma_equivalent, EquivOutcome, Semantics};
+use eqsql_cq::{are_isomorphic, parse_query};
+use eqsql_deps::parse_dependencies;
+use eqsql_integration_tests::{schema_4_1, sigma_4_1};
+use eqsql_relalg::eval::{eval_bag, eval_set};
+use eqsql_relalg::{Database, Schema, Tuple};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+#[test]
+fn zero_ary_predicates_work_end_to_end() {
+    // Parsing, evaluation, chase.
+    let q = parse_query("q(X) :- p(X), flag()").unwrap();
+    let mut db = Database::new().with_ints("p", &[[1], [2]]);
+    db.insert("flag", Tuple::new(vec![]), 1);
+    let ans = eval_bag(&q, &db);
+    assert_eq!(ans.len(), 2);
+    // Without the flag fact, empty.
+    let db2 = Database::new().with_ints("p", &[[1]]);
+    assert!(eval_bag(&q, &db2).is_empty());
+    // Chase with a 0-ary conclusion.
+    let sigma = parse_dependencies("p(X) -> flag().").unwrap();
+    let chased = set_chase(&parse_query("q(X) :- p(X)").unwrap(), &sigma,
+        &ChaseConfig::default())
+    .unwrap();
+    assert_eq!(chased.query.body.len(), 2);
+}
+
+#[test]
+fn constants_in_heads_and_bodies() {
+    let q1 = parse_query("q(X, 7) :- p(X, 7)").unwrap();
+    let q2 = parse_query("q(X, 7) :- p(X, Y)").unwrap();
+    let schema = Schema::all_bags(&[("p", 2)]);
+    // Not set-equivalent: q1 filters on 7.
+    let v = sigma_equivalent(
+        Semantics::Set,
+        &q1,
+        &q2,
+        &eqsql_deps::DependencySet::new(),
+        &schema,
+        &ChaseConfig::default(),
+    );
+    assert_eq!(v, EquivOutcome::NotEquivalent);
+    // Engine agrees on a database where only q2 fires: q1 needs p(_, 7).
+    let db = Database::new().with_ints("p", &[[1, 8]]);
+    let a1 = eval_set(&q1, &db).unwrap();
+    let a2 = eval_set(&q2, &db).unwrap();
+    assert!(a1.is_empty());
+    assert_eq!(a2.len(), 1); // q2 still emits (1, 7)
+    assert_ne!(a1, a2);
+}
+
+#[test]
+fn chase_budget_exhaustion_surfaces_cleanly_everywhere() {
+    let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+    let schema = Schema::all_bags(&[("e", 2)]);
+    let q = parse_query("q(X) :- e(X,Y)").unwrap();
+    let tiny = ChaseConfig::with_max_steps(5);
+    // set chase
+    assert!(matches!(
+        set_chase(&q, &sigma, &tiny),
+        Err(ChaseError::BudgetExhausted { .. })
+    ));
+    // Sound chase: Set and BagSet must hit the budget (the latter inside
+    // the assignment-fixing test-query chase). Under Bag semantics the
+    // step is refused *earlier* — `e` is bag-valued, so Theorem 4.1's
+    // set-valuedness condition rejects it before any chasing — and the
+    // sound chase terminates with the query unchanged. (Sound chase can
+    // terminate even where set chase does not; Proposition 5.1 only needs
+    // the converse.)
+    for sem in [Semantics::Set, Semantics::BagSet] {
+        assert!(sound_chase(sem, &q, &sigma, &schema, &tiny).is_err(), "{sem}");
+    }
+    let bag = sound_chase(Semantics::Bag, &q, &sigma, &schema, &tiny).unwrap();
+    assert!(are_isomorphic(&bag.query, &q));
+    // equivalence tests degrade to Unknown
+    let v = sigma_equivalent(Semantics::Set, &q, &q, &sigma, &schema, &tiny);
+    assert!(matches!(v, EquivOutcome::Unknown(_)));
+    // C&B propagates the error
+    assert!(cnb(Semantics::Set, &q, &sigma, &schema, &tiny, &CnbOptions::default()).is_err());
+}
+
+#[test]
+fn atom_budget_guards_exploding_queries() {
+    // Weakly acyclic but wide: p spawns many conclusions; tiny atom cap.
+    let sigma = parse_dependencies(
+        "p(X) -> a(X,Z). a(X,Z) -> b(X,W). b(X,W) -> c(X,V).",
+    )
+    .unwrap();
+    let q = parse_query("q(X) :- p(X)").unwrap();
+    let cfg = ChaseConfig { max_steps: 100, max_atoms: 2 };
+    assert!(matches!(
+        set_chase(&q, &sigma, &cfg),
+        Err(ChaseError::QueryTooLarge { .. })
+    ));
+}
+
+#[test]
+fn unsatisfiable_queries_flow_through_every_api() {
+    let sigma = parse_dependencies("s(X,Y) & s(X,Z) -> Y = Z.").unwrap();
+    let schema = Schema::all_bags(&[("s", 2)]);
+    let dead = parse_query("q(X) :- s(X,1), s(X,2)").unwrap();
+    let cfg = ChaseConfig::default();
+    // chase reports failure, equivalence treats two dead queries as equal
+    let c = set_chase(&dead, &sigma, &cfg).unwrap();
+    assert!(c.failed);
+    let dead2 = parse_query("q(X) :- s(X,8), s(X,9)").unwrap();
+    assert!(sigma_equivalent(Semantics::Bag, &dead, &dead2, &sigma, &schema, &cfg)
+        .is_equivalent());
+    // engine: a Σ-model can contain neither pattern, answers both empty
+    let db = Database::new().with_ints("s", &[[1, 1]]);
+    assert!(eval_bag(&dead, &db).is_empty());
+    assert!(eval_bag(&dead2, &db).is_empty());
+}
+
+#[test]
+fn self_join_heavy_queries_do_not_blow_up_iso() {
+    // 8 atoms over one predicate with interlocking variables: the
+    // isomorphism test's backtracking must finish fast.
+    let a = parse_query(
+        "q(X0) :- p(X0,X1), p(X1,X2), p(X2,X3), p(X3,X4), p(X4,X5), p(X5,X6), p(X6,X7), p(X7,X0)",
+    )
+    .unwrap();
+    let b = parse_query(
+        "q(Y0) :- p(Y7,Y0), p(Y0,Y1), p(Y1,Y2), p(Y2,Y3), p(Y3,Y4), p(Y4,Y5), p(Y5,Y6), p(Y6,Y7)",
+    )
+    .unwrap();
+    assert!(are_isomorphic(&a, &b));
+    // Breaking one edge breaks isomorphism.
+    let c = parse_query(
+        "q(Y0) :- p(Y7,Y0), p(Y0,Y1), p(Y1,Y2), p(Y2,Y3), p(Y3,Y4), p(Y4,Y5), p(Y5,Y6), p(Y6,Y6)",
+    )
+    .unwrap();
+    assert!(!are_isomorphic(&a, &c));
+}
+
+/// Theorem 5.1 / G.1 as a property: the sound chase result is invariant
+/// (up to isomorphism) under permutations of Σ.
+#[test]
+fn sound_chase_unique_under_sigma_permutations() {
+    let sigma = sigma_4_1();
+    let schema = schema_4_1();
+    let cfg = ChaseConfig::default();
+    let queries = [
+        parse_query("q4(X) :- p(X,Y)").unwrap(),
+        parse_query("q(X) :- p(X,Y), u(X,Z)").unwrap(),
+        parse_query("q(X,Y) :- p(X,Y), s(X,W)").unwrap(),
+    ];
+    for q in &queries {
+        for sem in [Semantics::Bag, Semantics::BagSet] {
+            let baseline = sound_chase(sem, q, &sigma, &schema, &cfg).unwrap().query;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+            for _ in 0..6 {
+                let mut deps: Vec<_> = sigma.iter().cloned().collect();
+                deps.shuffle(&mut rng);
+                let permuted = eqsql_deps::DependencySet::from_vec(deps);
+                let alt = sound_chase(sem, q, &permuted, &schema, &cfg).unwrap().query;
+                assert!(
+                    are_isomorphic(&baseline, &alt),
+                    "{sem} {q}: {baseline} vs {alt}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parser round-trip: display then re-parse yields the same query.
+    #[test]
+    fn query_display_round_trips(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let schema = Schema::all_bags(&[("p", 2), ("s", 3), ("r", 1)]);
+        let q = eqsql_gen::random_query(
+            &mut rng,
+            &schema,
+            &eqsql_gen::queries::QueryParams::default(),
+        );
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Dependency display round-trips through the dependency parser.
+    #[test]
+    fn sigma_display_round_trips(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let schema = Schema::all_bags(&[("a", 2), ("b", 2), ("c", 3)]);
+        let sigma = eqsql_gen::random_weakly_acyclic_sigma(
+            &mut rng,
+            &schema,
+            &eqsql_gen::sigma::SigmaParams::default(),
+        );
+        let reparsed = parse_dependencies(&sigma.to_string()).unwrap();
+        prop_assert_eq!(sigma, reparsed);
+    }
+}
