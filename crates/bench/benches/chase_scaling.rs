@@ -3,9 +3,14 @@
 //! * `appendix_h/m=…`: the paper's lower-bound family — chase size (and
 //!   time) grows exponentially in the schema size m (|Σ| quadratic in m);
 //! * `query_size/n=…`: fixed small Σ, growing query — polynomial in |Q|.
+//!
+//! Each case is measured on both drivers: `set_chase` (the incremental
+//! indexed engine) and `set_chase_reference` (the naive restart-scan
+//! oracle). `scripts/bench_snapshot.sh` snapshots the medians into
+//! `BENCH_chase.json` to track the engine's speedup over time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eqsql_chase::{set_chase, sound_chase, ChaseConfig};
+use eqsql_chase::{set_chase, set_chase_reference, sound_chase, ChaseConfig};
 use eqsql_cq::{Atom, CqQuery, Term};
 use eqsql_deps::parse_dependencies;
 use eqsql_gen::appendix_h_instance;
@@ -21,6 +26,13 @@ fn bench_appendix_h(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("set_chase", m), &inst, |b, inst| {
             b.iter(|| {
                 let r = set_chase(black_box(&inst.query), &inst.sigma, &cfg).unwrap();
+                black_box(r.query.body.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("set_chase_reference", m), &inst, |b, inst| {
+            b.iter(|| {
+                let r =
+                    set_chase_reference(black_box(&inst.query), &inst.sigma, &cfg).unwrap();
                 black_box(r.query.body.len())
             })
         });
@@ -69,9 +81,15 @@ fn bench_query_size(c: &mut Criterion) {
     group.sample_size(10);
     for n in [2usize, 4, 8, 16, 32] {
         let q = chain_query(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+        group.bench_with_input(BenchmarkId::new("set_chase", n), &q, |b, q| {
             b.iter(|| {
                 let r = set_chase(black_box(q), &sigma, &cfg).unwrap();
+                black_box(r.query.body.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("set_chase_reference", n), &q, |b, q| {
+            b.iter(|| {
+                let r = set_chase_reference(black_box(q), &sigma, &cfg).unwrap();
                 black_box(r.query.body.len())
             })
         });

@@ -1,0 +1,62 @@
+//! Quick engine-vs-reference smoke check (no criterion, single run each).
+//!
+//! ```sh
+//! cargo run --release -p eqsql-bench --bin perfcheck
+//! ```
+//!
+//! Prints wall-clock times and speedups for the `chase_scaling` cases and
+//! asserts both drivers agree on step counts and terminal sizes. For the
+//! committed perf trajectory use `scripts/bench_snapshot.sh`, which
+//! measures medians over many samples.
+
+use eqsql_chase::{set_chase, set_chase_reference, ChaseConfig};
+use eqsql_cq::{Atom, CqQuery, Term};
+use eqsql_gen::appendix_h_instance;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ChaseConfig { max_steps: 50_000, max_atoms: 50_000 };
+    for m in [4usize, 5, 6] {
+        let inst = appendix_h_instance(m);
+        let t = Instant::now();
+        let a = set_chase(&inst.query, &inst.sigma, &cfg).unwrap();
+        let ti = t.elapsed();
+        let t = Instant::now();
+        let b = set_chase_reference(&inst.query, &inst.sigma, &cfg).unwrap();
+        let tr = t.elapsed();
+        assert_eq!(a.query.body.len(), b.query.body.len());
+        assert_eq!(a.steps, b.steps);
+        println!(
+            "appendix_h m={m}: indexed {ti:?} reference {tr:?} speedup {:.1}x (size {})",
+            tr.as_secs_f64() / ti.as_secs_f64(),
+            a.query.body.len()
+        );
+    }
+    let sigma = eqsql_deps::parse_dependencies(
+        "e(X,Y) -> n(X).\ne(X,Y) -> n(Y).\nn(X) -> m(X,Z).\nm(X,Z1) & m(X,Z2) -> Z1 = Z2.",
+    )
+    .unwrap();
+    for n in [16usize, 32] {
+        let body: Vec<Atom> = (0..n)
+            .map(|i| {
+                Atom::new(
+                    "e",
+                    vec![Term::var(&format!("X{i}")), Term::var(&format!("X{}", i + 1))],
+                )
+            })
+            .collect();
+        let q = CqQuery::new("q", vec![Term::var("X0")], body);
+        let t = Instant::now();
+        let a = set_chase(&q, &sigma, &cfg).unwrap();
+        let ti = t.elapsed();
+        let t = Instant::now();
+        let b = set_chase_reference(&q, &sigma, &cfg).unwrap();
+        let tr = t.elapsed();
+        assert_eq!(a.query.body.len(), b.query.body.len());
+        assert_eq!(a.steps, b.steps);
+        println!(
+            "query_size n={n}: indexed {ti:?} reference {tr:?} speedup {:.1}x",
+            tr.as_secs_f64() / ti.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! The persistent body index of the incremental chase engine.
+//!
+//! The naive driver pays, on **every** step, for a full rescan of the
+//! query: rebuilding homomorphism buckets, recomputing the variable set,
+//! re-cloning and re-deduplicating the whole (exponentially growing —
+//! Appendix H) body. [`BodyIndex`] amortizes all of that: it owns the body
+//! for the duration of a chase run and is updated in place as tgd steps
+//! append atoms and egd steps substitute variables.
+//!
+//! Maintained invariants:
+//!
+//! * `atoms[slot]` is append-only storage; dead slots (deduplicated
+//!   duplicates) keep their last value but are never referenced again;
+//! * `buckets` maps each `(predicate, arity)` key to the **live** slots
+//!   holding such an atom, in ascending slot order — exactly the candidate
+//!   lists the backtracking homomorphism search consumes, so searches run
+//!   against the index with zero rebuild cost;
+//! * `occurrences` maps each live atom *value* to its live slots (the
+//!   incremental fingerprint dedup: a would-be duplicate is refused in
+//!   O(1) instead of re-canonicalizing the body);
+//! * `var_slots` / `var_count` track, per variable, the slots whose atom
+//!   mentions it (lazily pruned) and the number of live occurrences — an
+//!   egd substitution touches only the atoms that actually contain the
+//!   replaced variable, and the chase loop's "current variables" set is
+//!   read off `var_count` instead of a per-step body scan.
+//!
+//! Slot order equals first-occurrence order, so materializing the body
+//! yields the same atom sequence the naive driver's
+//! `canonical_representation`-after-every-step discipline produces.
+
+use crate::step::DedupPolicy;
+use eqsql_cq::hom::Buckets;
+use eqsql_cq::{Atom, CqQuery, Predicate, Term, Var};
+use std::collections::HashMap;
+
+/// The incremental body index. See the module docs.
+pub struct BodyIndex {
+    /// Slot-stable atom storage (dead slots keep stale values).
+    atoms: Vec<Atom>,
+    /// Liveness per slot.
+    alive: Vec<bool>,
+    /// Number of live slots.
+    live: usize,
+    /// `(pred, arity)` → ascending live slots.
+    buckets: Buckets,
+    /// Atom value → live slots holding it (usually 1 entry).
+    occurrences: HashMap<Atom, Vec<usize>>,
+    /// Variable → slots whose atom mentions it (may contain stale slots;
+    /// pruned when consulted).
+    var_slots: HashMap<Var, Vec<usize>>,
+    /// Variable → live occurrence count (argument positions, over live
+    /// atoms only). A variable is "current" iff its count is positive.
+    var_count: HashMap<Var, usize>,
+}
+
+impl BodyIndex {
+    /// Builds the index over a query body (assumed already normalized by
+    /// the caller's dedup policy — slots mirror the body in order).
+    pub fn new(body: &[Atom]) -> BodyIndex {
+        let mut ix = BodyIndex {
+            atoms: Vec::with_capacity(body.len() * 2),
+            alive: Vec::with_capacity(body.len() * 2),
+            live: 0,
+            buckets: Buckets::new(),
+            occurrences: HashMap::new(),
+            var_slots: HashMap::new(),
+            var_count: HashMap::new(),
+        };
+        for atom in body {
+            ix.push_slot(atom.clone());
+        }
+        ix
+    }
+
+    /// Number of live atoms.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the body empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Does any live atom mention `v`?
+    pub fn contains_var(&self, v: Var) -> bool {
+        self.var_count.get(&v).copied().unwrap_or(0) > 0
+    }
+
+    /// The slot-stable atom storage, paired with [`BodyIndex::buckets`]
+    /// for homomorphism searches (dead slots are unreachable through the
+    /// buckets).
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The live `(pred, arity)` buckets.
+    pub fn buckets(&self) -> &Buckets {
+        &self.buckets
+    }
+
+    /// Materializes the live body in first-occurrence order.
+    pub fn to_body(&self) -> Vec<Atom> {
+        (0..self.atoms.len()).filter(|&s| self.alive[s]).map(|s| self.atoms[s].clone()).collect()
+    }
+
+    /// Is an atom with this exact value live?
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        self.occurrences.get(atom).is_some_and(|slots| !slots.is_empty())
+    }
+
+    /// Unconditionally appends a new live slot holding `atom`.
+    fn push_slot(&mut self, atom: Atom) -> usize {
+        let slot = self.atoms.len();
+        for v in atom.vars() {
+            *self.var_count.entry(v).or_insert(0) += 1;
+            let slots = self.var_slots.entry(v).or_default();
+            // An atom like p(X, X) yields v twice; record the slot once.
+            if slots.last() != Some(&slot) {
+                slots.push(slot);
+            }
+        }
+        self.buckets.entry(atom.key()).or_default().push(slot);
+        self.occurrences.entry(atom.clone()).or_default().push(slot);
+        self.atoms.push(atom);
+        self.alive.push(true);
+        self.live += 1;
+        slot
+    }
+
+    /// Appends `atom` unless the dedup policy refuses duplicates of its
+    /// predicate and an equal atom is already live. Returns whether a slot
+    /// was actually added.
+    pub fn insert(&mut self, atom: Atom, dedup: &DedupPolicy) -> bool {
+        if dedup.dedups(atom.pred) && self.contains_atom(&atom) {
+            return false;
+        }
+        self.push_slot(atom);
+        true
+    }
+
+    /// Kills `slot`, unhooking it from every secondary structure.
+    fn kill(&mut self, slot: usize) {
+        debug_assert!(self.alive[slot]);
+        self.alive[slot] = false;
+        self.live -= 1;
+        let atom = self.atoms[slot].clone();
+        if let Some(b) = self.buckets.get_mut(&atom.key()) {
+            if let Ok(pos) = b.binary_search(&slot) {
+                b.remove(pos);
+            }
+        }
+        if let Some(occ) = self.occurrences.get_mut(&atom) {
+            occ.retain(|&s| s != slot);
+            if occ.is_empty() {
+                self.occurrences.remove(&atom);
+            }
+        }
+        for v in atom.vars() {
+            if let Some(c) = self.var_count.get_mut(&v) {
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    self.var_count.remove(&v);
+                    self.var_slots.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Applies the egd substitution `from → to` in place.
+    ///
+    /// Only slots whose atom actually mentions `from` are touched; atoms
+    /// that become duplicates of another live atom are deduplicated per
+    /// `dedup`, keeping the earliest slot (matching the naive driver's
+    /// whole-body `canonical_representation` after the step). Returns the
+    /// predicates of every rewritten atom — the delta the scheduler uses
+    /// to requeue affected dependencies.
+    pub fn apply_rewrite(
+        &mut self,
+        from: Var,
+        to: &Term,
+        dedup: &DedupPolicy,
+    ) -> Vec<Predicate> {
+        let Some(slots) = self.var_slots.remove(&from) else {
+            return Vec::new();
+        };
+        let mut changed_preds: Vec<Predicate> = Vec::new();
+        let mut touched: Vec<Atom> = Vec::new();
+        let from_term = Term::Var(from);
+        for slot in slots {
+            if !self.alive[slot] || !self.atoms[slot].args.contains(&from_term) {
+                continue; // stale entry from an earlier rewrite/kill
+            }
+            // Unhook the old value from the occurrence map.
+            let old = self.atoms[slot].clone();
+            if let Some(occ) = self.occurrences.get_mut(&old) {
+                occ.retain(|&s| s != slot);
+                if occ.is_empty() {
+                    self.occurrences.remove(&old);
+                }
+            }
+            // Rewrite in place; bucket membership is untouched (the
+            // predicate/arity key cannot change under a substitution).
+            let mut occurrences_of_from = 0usize;
+            for arg in &mut self.atoms[slot].args {
+                if *arg == from_term {
+                    *arg = *to;
+                    occurrences_of_from += 1;
+                }
+            }
+            if let Some(c) = self.var_count.get_mut(&from) {
+                *c = c.saturating_sub(occurrences_of_from);
+                if *c == 0 {
+                    self.var_count.remove(&from);
+                }
+            }
+            if let Term::Var(w) = to {
+                *self.var_count.entry(*w).or_insert(0) += occurrences_of_from;
+                // A duplicate entry is harmless (stale entries are pruned
+                // on read), so skip the O(n) membership test.
+                self.var_slots.entry(*w).or_default().push(slot);
+            }
+            let new = self.atoms[slot].clone();
+            self.occurrences.entry(new.clone()).or_default().push(slot);
+            if !changed_preds.contains(&new.pred) {
+                changed_preds.push(new.pred);
+            }
+            touched.push(new);
+        }
+        // Dedup pass over every value a rewritten slot now holds: keep the
+        // earliest live slot, kill the rest (first occurrence wins, as in
+        // the naive driver's canonical representation).
+        for value in touched {
+            if !dedup.dedups(value.pred) {
+                continue;
+            }
+            let Some(occ) = self.occurrences.get(&value) else { continue };
+            if occ.len() <= 1 {
+                continue;
+            }
+            let keep = *occ.iter().min().expect("nonempty");
+            let extras: Vec<usize> = occ.iter().copied().filter(|&s| s != keep).collect();
+            for slot in extras {
+                self.kill(slot);
+            }
+        }
+        changed_preds
+    }
+
+    /// Materializes the current query given its (already substituted) head.
+    pub fn to_query(&self, name: eqsql_cq::Symbol, head: Vec<Term>) -> CqQuery {
+        CqQuery { name, head, body: self.to_body() }
+    }
+
+    /// Debug-only consistency check: every secondary structure agrees with
+    /// a from-scratch rebuild.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let body = self.to_body();
+        assert_eq!(body.len(), self.live);
+        let fresh = BodyIndex::new(&body);
+        // Buckets hold the same atom multisets per key.
+        for (key, slots) in &self.buckets {
+            let mine: Vec<&Atom> = slots.iter().map(|&s| &self.atoms[s]).collect();
+            let theirs: Vec<&Atom> =
+                fresh.buckets.get(key).map(|v| v.iter().map(|&s| &fresh.atoms[s]).collect())
+                    .unwrap_or_default();
+            assert_eq!(mine, theirs, "bucket {key:?} diverged");
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "bucket not ascending");
+            assert!(slots.iter().all(|&s| self.alive[s]), "bucket holds dead slot");
+        }
+        assert_eq!(self.var_count, fresh.var_count, "var_count diverged");
+        for (atom, slots) in &self.occurrences {
+            assert!(slots.iter().all(|&s| self.alive[s] && self.atoms[s] == *atom));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::{parse_query, Subst};
+
+    fn atoms(s: &str) -> Vec<Atom> {
+        parse_query(s).unwrap().body
+    }
+
+    #[test]
+    fn build_and_materialize_round_trips() {
+        let body = atoms("q(X) :- p(X,Y), s(Y,Z), p(Z,X)");
+        let ix = BodyIndex::new(&body);
+        assert_eq!(ix.to_body(), body);
+        assert_eq!(ix.len(), 3);
+        assert!(ix.contains_var(Var::new("Y")));
+        assert!(!ix.contains_var(Var::new("W")));
+        ix.check_invariants();
+    }
+
+    #[test]
+    fn insert_dedups_per_policy() {
+        let body = atoms("q(X) :- p(X,Y)");
+        let mut ix = BodyIndex::new(&body);
+        let dup = body[0].clone();
+        assert!(!ix.insert(dup.clone(), &DedupPolicy::All));
+        assert_eq!(ix.len(), 1);
+        assert!(ix.insert(dup, &DedupPolicy::None));
+        assert_eq!(ix.len(), 2);
+        ix.check_invariants();
+    }
+
+    #[test]
+    fn rewrite_merges_and_dedups() {
+        // s(X,A), s(X,B), r(A,B): A := B collapses the two s-atoms.
+        let body = atoms("q(X) :- s(X,A), s(X,B), r(A,B)");
+        let mut ix = BodyIndex::new(&body);
+        let changed = ix.apply_rewrite(Var::new("A"), &Term::var("B"), &DedupPolicy::All);
+        assert!(changed.contains(&Predicate::new("s")));
+        assert!(changed.contains(&Predicate::new("r")));
+        let out = ix.to_body();
+        assert_eq!(out, atoms("q(X) :- s(X,B), r(B,B)"));
+        assert!(!ix.contains_var(Var::new("A")));
+        ix.check_invariants();
+    }
+
+    #[test]
+    fn rewrite_to_constant() {
+        let body = atoms("q(X) :- s(X,A), t(A,A)");
+        let mut ix = BodyIndex::new(&body);
+        ix.apply_rewrite(Var::new("A"), &Term::int(3), &DedupPolicy::All);
+        assert_eq!(ix.to_body(), atoms("q(X) :- s(X,3), t(3,3)"));
+        assert!(!ix.contains_var(Var::new("A")));
+        ix.check_invariants();
+    }
+
+    #[test]
+    fn rewrite_without_dedup_keeps_duplicates() {
+        let body = atoms("q(X) :- u(X,A), u(X,B)");
+        let mut ix = BodyIndex::new(&body);
+        ix.apply_rewrite(Var::new("A"), &Term::var("B"), &DedupPolicy::None);
+        assert_eq!(ix.to_body(), atoms("q(X) :- u(X,B), u(X,B)"));
+        assert_eq!(ix.len(), 2);
+        ix.check_invariants();
+    }
+
+    #[test]
+    fn first_occurrence_survives_dedup() {
+        // Rewriting the *first* atom into the value of the third must kill
+        // the third (later) slot, not the rewritten one.
+        let body = atoms("q(X) :- s(X,A), r(A,C), s(X,B)");
+        let mut ix = BodyIndex::new(&body);
+        ix.apply_rewrite(Var::new("A"), &Term::var("B"), &DedupPolicy::All);
+        assert_eq!(ix.to_body(), atoms("q(X) :- s(X,B), r(B,C)"));
+        ix.check_invariants();
+    }
+
+    #[test]
+    fn chained_rewrites_stay_consistent() {
+        let body = atoms("q(A) :- p(A,B), p(B,C), p(C,D), r(A,D)");
+        let mut ix = BodyIndex::new(&body);
+        ix.apply_rewrite(Var::new("B"), &Term::var("A"), &DedupPolicy::All);
+        ix.check_invariants();
+        ix.apply_rewrite(Var::new("C"), &Term::var("A"), &DedupPolicy::All);
+        ix.check_invariants();
+        ix.apply_rewrite(Var::new("D"), &Term::var("A"), &DedupPolicy::All);
+        ix.check_invariants();
+        // Everything collapsed onto p(A,A) and r(A,A).
+        assert_eq!(ix.to_body(), atoms("q(A) :- p(A,A), r(A,A)"));
+    }
+
+    #[test]
+    fn buckets_drive_hom_search_after_mutation() {
+        let body = atoms("q(X) :- p(X,Y), p(Y,Z)");
+        let mut ix = BodyIndex::new(&body);
+        ix.apply_rewrite(Var::new("Z"), &Term::var("X"), &DedupPolicy::All);
+        let pat = atoms("q(A) :- p(A,B), p(B,A)");
+        let h = eqsql_cq::extend_homomorphism_with_buckets(
+            &pat,
+            ix.atoms(),
+            ix.buckets(),
+            &Subst::new(),
+        );
+        assert!(h.is_some());
+        ix.check_invariants();
+    }
+}

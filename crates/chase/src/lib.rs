@@ -21,25 +21,44 @@
 //!   (Algorithms 1–2, Theorem 5.3/I.1);
 //! * an **instance-level chase** with labelled nulls, used to repair
 //!   randomly generated databases into models of Σ.
+//!
+//! ## Execution architecture
+//!
+//! All query-level chases run on the **incremental indexed engine**
+//! ([`engine`]): a persistent [`index::BodyIndex`] (predicate/arity
+//! buckets, variable-occurrence lists, atom-value fingerprints) mutated in
+//! place, first-match homomorphism search with the conclusion-extension
+//! check threaded in as a pruning predicate, and delta-driven (semi-naive)
+//! dependency scheduling. [`set_chase`], [`sound_chase`] and
+//! [`key_based_chase`] are thin entry points over it. The original naive
+//! restart-scan driver survives as [`reference`] — the differential-testing
+//! oracle (`tests/tests/engine_differential.rs`) that pins the engine to
+//! the paper's step semantics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod assignment_fixing;
+pub mod engine;
 pub mod error;
 pub mod implication;
+pub mod index;
 pub mod instance;
 pub mod key_based;
 pub mod max_subset;
+pub mod reference;
 pub mod set_chase;
 pub mod sound;
 pub mod step;
 pub mod test_query;
 
 pub use assignment_fixing::{is_assignment_fixing, is_assignment_fixing_wrt_query};
+pub use engine::{chase_indexed, Admission};
 pub use error::{ChaseConfig, ChaseError};
 pub use implication::{implies, minimal_cover};
-pub use key_based::is_key_based;
+pub use index::BodyIndex;
+pub use key_based::{is_key_based, key_based_chase};
 pub use max_subset::{max_bag_set_sigma_subset, max_bag_sigma_subset};
+pub use reference::{chase_with_policy_reference, set_chase_reference};
 pub use set_chase::{set_chase, Chased};
 pub use sound::{sound_chase, SoundChased};

@@ -6,15 +6,16 @@
 //! out. For weakly acyclic Σ termination is guaranteed (Theorem H.1) and
 //! the result is unique up to set-equivalence in the absence of
 //! dependencies [10].
+//!
+//! The entry points here are thin wrappers over the incremental indexed
+//! engine ([`crate::engine`]); the original naive driver survives as
+//! [`crate::reference`], the differential-testing oracle.
 
+use crate::engine::{chase_indexed, Admission};
 use crate::error::{ChaseConfig, ChaseError};
-use crate::step::{
-    apply_egd_step, apply_tgd_step, applicable_tgd_homs, rename_dep_apart, DedupPolicy,
-    EgdOutcome,
-};
-use eqsql_cq::{CqQuery, Subst, VarSupply};
-use eqsql_deps::{Dependency, DependencySet};
-use std::collections::HashSet;
+use crate::step::DedupPolicy;
+use eqsql_cq::{CqQuery, Subst};
+use eqsql_deps::DependencySet;
 use std::fmt;
 
 /// One recorded chase step, for tracing/debugging.
@@ -57,7 +58,7 @@ pub struct Chased {
 /// Runs the chase of `q` with Σ under set semantics, deduplicating the body
 /// after every step (set semantics treats bodies as sets).
 pub fn set_chase(q: &CqQuery, sigma: &DependencySet, config: &ChaseConfig) -> Result<Chased, ChaseError> {
-    chase_with_policy(q, sigma, config, &DedupPolicy::All, &mut |_, _, _| true)
+    chase_indexed(q, sigma, config, &DedupPolicy::All, Admission::All)
 }
 
 /// The general chase driver, parameterized by dedup policy and a per-step
@@ -74,86 +75,7 @@ pub fn chase_with_policy(
     dedup: &DedupPolicy,
     admit: &mut dyn FnMut(&eqsql_deps::Tgd, &CqQuery, &Subst) -> bool,
 ) -> Result<Chased, ChaseError> {
-    // Normalize up front: dropping duplicates (per the policy) is
-    // equivalence-preserving before any step fires — bodies are sets under
-    // set semantics, Theorem 2.1(2) covers bag-set, and Theorem 4.2 covers
-    // set-valued duplicates under bag semantics. This makes zero-step
-    // chases return the normal form the uniqueness theorems talk about.
-    let mut cur = dedup.apply(q);
-    let mut supply = VarSupply::avoiding([q]);
-    for d in sigma.iter() {
-        for v in d.all_vars() {
-            supply.record_var(v);
-        }
-    }
-    let mut steps = 0usize;
-    let mut renaming = Subst::new();
-    let mut trace: Vec<TraceEntry> = Vec::new();
-
-    'outer: loop {
-        if steps >= config.max_steps {
-            return Err(ChaseError::BudgetExhausted { steps });
-        }
-        if cur.body.len() >= config.max_atoms {
-            return Err(ChaseError::QueryTooLarge { atoms: cur.body.len() });
-        }
-        let cur_vars: HashSet<_> = cur.all_vars().into_iter().collect();
-        for (i, dep) in sigma.iter().enumerate() {
-            let dep_r = rename_dep_apart(dep, &cur_vars, &mut supply);
-            match &dep_r {
-                Dependency::Egd(e) => match apply_egd_step(&cur, e) {
-                    EgdOutcome::NotApplicable => {}
-                    EgdOutcome::Failed => {
-                        trace.push(TraceEntry {
-                            dep_index: i,
-                            dep: dep.to_string(),
-                            action: "equated distinct constants: chase failed".into(),
-                            body_size: cur.body.len(),
-                        });
-                        return Ok(Chased { query: cur, failed: true, steps, renaming, trace });
-                    }
-                    EgdOutcome::Applied { query, from, to } => {
-                        renaming.rewrite(from, to);
-                        cur = dedup.apply(&query);
-                        steps += 1;
-                        trace.push(TraceEntry {
-                            dep_index: i,
-                            dep: dep.to_string(),
-                            action: format!("egd: {from} := {to}"),
-                            body_size: cur.body.len(),
-                        });
-                        continue 'outer;
-                    }
-                },
-                Dependency::Tgd(t) => {
-                    for h in applicable_tgd_homs(&cur, t) {
-                        if !admit(t, &cur, &h) {
-                            continue;
-                        }
-                        let (next, added) = apply_tgd_step(&cur, t, &h, &mut supply);
-                        cur = dedup.apply(&next);
-                        steps += 1;
-                        trace.push(TraceEntry {
-                            dep_index: i,
-                            dep: dep.to_string(),
-                            action: format!(
-                                "tgd: added {}",
-                                added
-                                    .iter()
-                                    .map(|a| a.to_string())
-                                    .collect::<Vec<_>>()
-                                    .join(" ∧ ")
-                            ),
-                            body_size: cur.body.len(),
-                        });
-                        continue 'outer;
-                    }
-                }
-            }
-        }
-        // No dependency applicable (under the admission predicate).
-        return Ok(Chased { query: cur, failed: false, steps, renaming, trace });
-    }
+    chase_indexed(q, sigma, config, dedup, Admission::Custom(admit))
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //!   distinct constants makes the query unsatisfiable under Σ (chase
 //!   failure).
 
-use eqsql_cq::hom::{all_homomorphisms, extend_homomorphism};
+use eqsql_cq::hom::{self, all_homomorphisms, extend_homomorphism};
 use eqsql_cq::{Atom, CqQuery, Predicate, Subst, Term, Var, VarSupply};
 use eqsql_deps::{Dependency, Egd, Tgd};
 use std::collections::HashSet;
@@ -43,6 +43,15 @@ impl DedupPolicy {
             }
         }
     }
+
+    /// Does the policy drop duplicate atoms of this predicate?
+    pub fn dedups(&self, p: Predicate) -> bool {
+        match self {
+            DedupPolicy::All => true,
+            DedupPolicy::None => false,
+            DedupPolicy::SetValuedOnly(set) => set.contains(&p),
+        }
+    }
 }
 
 /// Renames a dependency's variables apart from `avoid`, drawing fresh names
@@ -53,9 +62,20 @@ pub fn rename_dep_apart(
     avoid: &HashSet<Var>,
     supply: &mut VarSupply,
 ) -> Dependency {
+    rename_dep_apart_with(dep, |v| avoid.contains(&v), supply)
+}
+
+/// [`rename_dep_apart`] against a membership predicate instead of a
+/// materialized set — the incremental engine answers "is this variable
+/// current?" straight from its index, never building the set.
+pub fn rename_dep_apart_with(
+    dep: &Dependency,
+    avoid: impl Fn(Var) -> bool,
+    supply: &mut VarSupply,
+) -> Dependency {
     let mut s = Subst::new();
     for v in dep.all_vars() {
-        if avoid.contains(&v) {
+        if avoid(v) {
             s.set(v, Term::Var(supply.fresh(v.name())));
         }
     }
@@ -117,34 +137,52 @@ pub enum EgdOutcome {
     Failed,
 }
 
-/// Finds one violating homomorphism for the egd and applies the step.
-/// Variable-variable collisions are resolved deterministically (the
-/// lexicographically larger name is replaced), so chase runs are
-/// reproducible.
-pub fn apply_egd_step(q: &CqQuery, egd: &Egd) -> EgdOutcome {
-    let homs = all_homomorphisms(&egd.lhs, &q.body, &Subst::new());
-    for h in &homs {
-        let a = h.apply_term(&egd.eq.0);
-        let b = h.apply_term(&egd.eq.1);
-        if a == b {
-            continue;
-        }
-        let (from, to) = match (a, b) {
-            (Term::Const(_), Term::Const(_)) => return EgdOutcome::Failed,
-            (Term::Var(v), t @ Term::Const(_)) => (v, t),
-            (t @ Term::Const(_), Term::Var(v)) => (v, t),
-            (Term::Var(v), Term::Var(w)) => {
-                if v.name() > w.name() {
-                    (v, Term::Var(w))
-                } else {
-                    (w, Term::Var(v))
-                }
-            }
-        };
-        let s = Subst::from_pairs([(from, to)]);
-        return EgdOutcome::Applied { query: q.apply(&s), from, to };
+/// Classifies the first violating homomorphism of an egd: the replacement
+/// to perform, or `None` (satisfied), or `Err(())` on a constant-constant
+/// violation (chase failure). Variable-variable collisions are resolved
+/// deterministically (the lexicographically larger name is replaced), so
+/// chase runs are reproducible.
+pub(crate) fn classify_egd_violation(egd: &Egd, h: &Subst) -> Option<Result<(Var, Term), ()>> {
+    let a = h.apply_term(&egd.eq.0);
+    let b = h.apply_term(&egd.eq.1);
+    if a == b {
+        return None;
     }
-    EgdOutcome::NotApplicable
+    Some(match (a, b) {
+        (Term::Const(_), Term::Const(_)) => Err(()),
+        (Term::Var(v), t @ Term::Const(_)) => Ok((v, t)),
+        (t @ Term::Const(_), Term::Var(v)) => Ok((v, t)),
+        (Term::Var(v), Term::Var(w)) => {
+            if v.name() > w.name() {
+                Ok((v, Term::Var(w)))
+            } else {
+                Ok((w, Term::Var(v)))
+            }
+        }
+    })
+}
+
+/// Finds one violating homomorphism for the egd and applies the step.
+///
+/// The search short-circuits at the **first** violating homomorphism — the
+/// backtracking enumeration is pruned by the violation test itself, so a
+/// satisfied egd costs one full (fruitless) search but an applicable one
+/// stops as soon as a violation is reachable, instead of materializing
+/// every homomorphism of the premise first.
+pub fn apply_egd_step(q: &CqQuery, egd: &Egd) -> EgdOutcome {
+    let mut verdict: Option<Result<(Var, Term), ()>> = None;
+    hom::find_homomorphism_where(&egd.lhs, &q.body, &Subst::new(), &mut |h| {
+        verdict = classify_egd_violation(egd, h);
+        verdict.is_some()
+    });
+    match verdict {
+        None => EgdOutcome::NotApplicable,
+        Some(Err(())) => EgdOutcome::Failed,
+        Some(Ok((from, to))) => {
+            let s = Subst::from_pairs([(from, to)]);
+            EgdOutcome::Applied { query: q.apply(&s), from, to }
+        }
+    }
 }
 
 #[cfg(test)]

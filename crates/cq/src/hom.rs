@@ -19,8 +19,17 @@ use std::collections::HashMap;
 /// chase never comes close on paper-scale inputs).
 pub const MAX_HOMOMORPHISMS: usize = 200_000;
 
-fn bucket(atoms: &[Atom]) -> HashMap<(crate::atom::Predicate, usize), Vec<usize>> {
-    let mut m: HashMap<_, Vec<usize>> = HashMap::new();
+/// Target atoms bucketed by predicate/arity: for each key, the indices into
+/// the target slice holding an atom with that key, in ascending order.
+///
+/// Callers that repeatedly search the same (evolving) target — the
+/// incremental chase engine — maintain one of these across calls instead of
+/// letting every search rebuild it.
+pub type Buckets = HashMap<(crate::atom::Predicate, usize), Vec<usize>>;
+
+/// Builds the bucket map for a target slice.
+pub fn bucket_atoms(atoms: &[Atom]) -> Buckets {
+    let mut m: Buckets = HashMap::new();
     for (i, a) in atoms.iter().enumerate() {
         m.entry(a.key()).or_default().push(i);
     }
@@ -92,12 +101,62 @@ fn search(
     true
 }
 
-/// Finds one homomorphism from `src` to `dst` extending `seed`, if any.
-pub fn extend_homomorphism(src: &[Atom], dst: &[Atom], seed: &Subst) -> Option<Subst> {
-    let buckets = bucket(dst);
+/// Lazily enumerates homomorphisms from `src` into `dst` extending `seed`,
+/// restricted to the target atoms listed in `buckets` (which may cover only
+/// a live subset of `dst` — dead slots simply never appear as candidates).
+/// `emit` receives each complete homomorphism; returning `false` stops the
+/// search immediately. This is the first-match workhorse of the incremental
+/// chase engine: no homomorphism set is ever materialized.
+pub fn search_homomorphisms(
+    src: &[Atom],
+    dst: &[Atom],
+    buckets: &Buckets,
+    seed: &Subst,
+    emit: &mut dyn FnMut(&Subst) -> bool,
+) {
+    let mut s = seed.clone();
+    search(src, dst, buckets, 0, &mut s, emit);
+}
+
+/// Finds one homomorphism from `src` to `dst` extending `seed` and
+/// satisfying `pred`, short-circuiting at the first hit. Candidates are
+/// enumerated in the same deterministic order as [`all_homomorphisms`].
+pub fn find_homomorphism_where(
+    src: &[Atom],
+    dst: &[Atom],
+    seed: &Subst,
+    pred: &mut dyn FnMut(&Subst) -> bool,
+) -> Option<Subst> {
+    let buckets = bucket_atoms(dst);
     let mut s = seed.clone();
     let mut found: Option<Subst> = None;
     search(src, dst, &buckets, 0, &mut s, &mut |h| {
+        if pred(h) {
+            found = Some(h.clone());
+            false
+        } else {
+            true
+        }
+    });
+    found
+}
+
+/// Finds one homomorphism from `src` to `dst` extending `seed`, if any.
+pub fn extend_homomorphism(src: &[Atom], dst: &[Atom], seed: &Subst) -> Option<Subst> {
+    let buckets = bucket_atoms(dst);
+    extend_homomorphism_with_buckets(src, dst, &buckets, seed)
+}
+
+/// [`extend_homomorphism`] against caller-maintained buckets.
+pub fn extend_homomorphism_with_buckets(
+    src: &[Atom],
+    dst: &[Atom],
+    buckets: &Buckets,
+    seed: &Subst,
+) -> Option<Subst> {
+    let mut s = seed.clone();
+    let mut found: Option<Subst> = None;
+    search(src, dst, buckets, 0, &mut s, &mut |h| {
         found = Some(h.clone());
         false
     });
@@ -113,7 +172,7 @@ pub fn find_homomorphism(src: &[Atom], dst: &[Atom]) -> Option<Subst> {
 /// deduplicated by their variable bindings. Enumeration stops (silently) at
 /// [`MAX_HOMOMORPHISMS`].
 pub fn all_homomorphisms(src: &[Atom], dst: &[Atom], seed: &Subst) -> Vec<Subst> {
-    let buckets = bucket(dst);
+    let buckets = bucket_atoms(dst);
     let mut s = seed.clone();
     let mut out: Vec<Subst> = Vec::new();
     let mut seen: std::collections::HashSet<Vec<(crate::term::Var, Term)>> =

@@ -37,7 +37,11 @@ pub mod value;
 
 pub use aggregate::{AggFn, AggregateQuery};
 pub use atom::{Atom, Predicate};
-pub use hom::{all_homomorphisms, containment_mapping, extend_homomorphism, find_homomorphism};
+pub use hom::{
+    all_homomorphisms, bucket_atoms, containment_mapping, extend_homomorphism,
+    extend_homomorphism_with_buckets, find_homomorphism, find_homomorphism_where,
+    search_homomorphisms, Buckets,
+};
 pub use iso::{are_isomorphic, canonical_representation};
 pub use parser::{parse_program, parse_query, ParseError};
 pub use query::{CqQuery, VarSupply};

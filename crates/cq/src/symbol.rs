@@ -2,23 +2,31 @@
 //!
 //! Symbols are cheap to copy and compare; the backing strings live for the
 //! lifetime of the process (they are leaked on first interning), which keeps
-//! `as_str` allocation- and lock-free at use sites. Symbol sets in this
-//! workspace are tiny (predicate and variable names), so the leak is
-//! intentional and bounded.
+//! `as_str` allocation-free at use sites. Symbol sets in this workspace are
+//! tiny (predicate and variable names), so the leak is intentional and
+//! bounded.
+//!
+//! The id→string table sits behind an `RwLock`: `as_str` — which the chase
+//! hits on every `Symbol` comparison during sorting and canonicalization —
+//! takes only a read lock, so concurrent readers never serialize against
+//! each other. Interning (the rare write path) takes the dedup `Mutex` and
+//! then briefly the table's write lock.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 #[derive(Default)]
-struct Inner {
-    map: HashMap<&'static str, u32>,
-    vec: Vec<&'static str>,
+struct Interner {
+    /// Dedup map, guarding the write path only.
+    map: Mutex<HashMap<&'static str, u32>>,
+    /// id → string; reads vastly outnumber the append-only writes.
+    table: RwLock<Vec<&'static str>>,
 }
 
-fn interner() -> &'static Mutex<Inner> {
-    static I: OnceLock<Mutex<Inner>> = OnceLock::new();
-    I.get_or_init(|| Mutex::new(Inner::default()))
+fn interner() -> &'static Interner {
+    static I: OnceLock<Interner> = OnceLock::new();
+    I.get_or_init(Interner::default)
 }
 
 /// An interned string. Equality and hashing are O(1); ordering is
@@ -30,20 +38,24 @@ pub struct Symbol(u32);
 impl Symbol {
     /// Interns `s` and returns its symbol.
     pub fn new(s: &str) -> Symbol {
-        let mut g = interner().lock().expect("interner poisoned");
-        if let Some(&id) = g.map.get(s) {
+        let i = interner();
+        let mut map = i.map.lock().expect("interner poisoned");
+        if let Some(&id) = map.get(s) {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(g.vec.len()).expect("interner overflow");
-        g.vec.push(leaked);
-        g.map.insert(leaked, id);
+        let mut table = i.table.write().expect("interner poisoned");
+        let id = u32::try_from(table.len()).expect("interner overflow");
+        table.push(leaked);
+        drop(table);
+        map.insert(leaked, id);
         Symbol(id)
     }
 
-    /// The interned string.
+    /// The interned string. Takes only a read lock: concurrent `as_str`
+    /// calls (every `Ord` comparison during sorts) never block each other.
     pub fn as_str(self) -> &'static str {
-        interner().lock().expect("interner poisoned").vec[self.0 as usize]
+        interner().table.read().expect("interner poisoned")[self.0 as usize]
     }
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Snapshot the chase-engine benchmarks into BENCH_chase.json.
+#
+# Runs the criterion `chase_scaling` and `equiv` benches with a reduced
+# sample count (fast enough for CI), collects per-case median times via the
+# harness's BENCH_JSON_OUT hook, and writes a single JSON document with
+# per-case medians plus indexed-vs-reference speedups. Commit the result to
+# track the perf trajectory across PRs.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#   BENCH_SAMPLES   samples per case (default 12)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_chase.json}"
+SAMPLES="${BENCH_SAMPLES:-12}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Benches must at minimum compile even when this script is not run in full
+# (the verify path executes only this cheap step).
+cargo bench --no-run -q
+
+BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
+    cargo bench -q -p eqsql-bench --bench chase_scaling -- 2>&1 | sed 's/^/  /'
+BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
+    cargo bench -q -p eqsql-bench --bench equiv -- 2>&1 | sed 's/^/  /'
+
+jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
+  {
+    generated: $date,
+    samples_per_case: ($samples | tonumber),
+    cases: map({id, median_ns, samples, iters_per_sample}),
+    speedups: (
+      group_by(.id | sub("/set_chase(_reference)?/"; "/")) | map(
+        select(length == 2) |
+        (map(select(.id | contains("set_chase_reference"))) | first) as $ref |
+        (map(select(.id | contains("set_chase/"))) | first) as $idx |
+        select($ref != null and $idx != null) |
+        {
+          case: ($idx.id | sub("/set_chase/"; "/")),
+          indexed_median_ns: $idx.median_ns,
+          reference_median_ns: $ref.median_ns,
+          speedup: (($ref.median_ns / $idx.median_ns * 100 | round) / 100)
+        }
+      )
+    )
+  }' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.speedups[] | "\(.case): \(.speedup)x (indexed \(.indexed_median_ns)ns vs reference \(.reference_median_ns)ns)"' "$OUT"

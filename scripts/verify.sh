@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repo's verify path: tier-1 (build + tests) plus compile checks for
+# everything tier-1 does not reach — benches (so they cannot silently rot)
+# and the examples/experiments binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release -q
+
+echo "== tier-1: cargo test"
+cargo test -q
+
+echo "== benches compile (cargo bench --no-run)"
+cargo bench --no-run -q
+
+echo "== examples + experiments binaries compile"
+cargo build -q -p eqsql-examples -p eqsql-bench --bins
+
+echo "verify: OK"

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Hermetic build environments cannot fetch crates.io, so this crate
+//! reimplements the slice of the criterion API the workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`]/[`BenchmarkGroup::bench_function`],
+//! [`BenchmarkId`], [`Throughput`], and [`Bencher::iter`].
+//!
+//! Methodology: per benchmark it auto-calibrates an iteration count so one
+//! sample lasts ≥ ~2 ms, collects `sample_size` samples (wall-clock,
+//! per-iteration), and reports the **median**. Two environment variables
+//! integrate with `scripts/bench_snapshot.sh`:
+//!
+//! * `BENCH_SAMPLES` — override every group's sample size;
+//! * `BENCH_JSON_OUT` — append one JSON line
+//!   `{"id": ..., "median_ns": ..., "samples": ...}` per benchmark to the
+//!   given file.
+//!
+//! A positional command-line argument acts as a substring filter on
+//! benchmark ids (flags such as `--bench` that cargo passes are ignored).
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Minimum measured time per sample before trusting a reading.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+/// An identifier `function/parameter` within a benchmark group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation (recorded, displayed, otherwise inert).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing callback handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (results are black-boxed).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let sample_size = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        Criterion { filter, sample_size }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (treated as a group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.name.clone());
+        g.bench_function(BenchmarkId::from_parameter(""), f);
+        g.finish();
+    }
+
+    /// Printed by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+
+    fn run_one<F>(&self, full_id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let sample_size = if self.sample_size > 0 { self.sample_size } else { sample_size };
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least TARGET_SAMPLE_TIME (capped for very slow cases).
+        let mut iters: u64 = 1;
+        let mut calib = Bencher { iters, elapsed: Duration::ZERO };
+        loop {
+            f(&mut calib);
+            if calib.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if calib.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE_TIME.as_nanos() / calib.elapsed.as_nanos().max(1)).max(2) as u64
+            };
+            iters = iters.saturating_mul(grow).min(1 << 20);
+            calib.iters = iters;
+        }
+
+        let mut per_iter_ns: Vec<u128> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() / u128::from(iters.max(1)));
+        }
+        per_iter_ns.sort_unstable();
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        println!("{full_id:<60} median {:>12}  ({} samples x {} iters)",
+            format_ns(median), per_iter_ns.len(), iters);
+
+        if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"id\": \"{}\", \"median_ns\": {}, \"samples\": {}, \"iters_per_sample\": {}}}\n",
+                    full_id.replace('"', "'"),
+                    median,
+                    per_iter_ns.len(),
+                    iters
+                );
+                if let Ok(mut file) =
+                    OpenOptions::new().create(true).append(true).open(&path)
+                {
+                    let _ = file.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Records the throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().name);
+        self.criterion.run_one(&full_id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full_id = if id.name.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        self.criterion.run_one(&full_id, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Re-exported for closures that want explicit black-boxing.
+pub use std::hint::black_box;
+
+/// Declares a set of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter(|| std::hint::black_box(2 + 2));
+        assert!(b.elapsed > Duration::ZERO || b.elapsed == Duration::ZERO); // ran without panic
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(999), "999 ns");
+        assert!(format_ns(1_500).contains("us"));
+        assert!(format_ns(2_000_000).contains("ms"));
+        assert!(format_ns(3_000_000_000).contains(" s"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the subset of the rand 0.8 API the workspace consumes is
+//! reimplemented here: [`Rng::gen_range`] over integer ranges,
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`],
+//! and [`seq::SliceRandom::shuffle`]/[`seq::SliceRandom::choose`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — determinism
+//! per seed is the only property the test/gen suites rely on (statistical
+//! quality is far beyond what symbolic-query fuzzing needs). Streams are
+//! stable across runs and platforms but are NOT the streams of the real
+//! `StdRng`; all consumers in this workspace treat seeds as opaque.
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of rngs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the rng from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod sample {
+    /// Integer types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample in `[lo, hi)` (`hi > lo`).
+        fn sample_half_open(rng_word: impl FnMut() -> u64, lo: Self, hi: Self) -> Self;
+        /// The successor, for inclusive ranges. `None` on overflow.
+        fn successor(self) -> Option<Self>;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open(
+                    mut rng_word: impl FnMut() -> u64,
+                    lo: Self,
+                    hi: Self,
+                ) -> Self {
+                    debug_assert!(lo < hi);
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    // Debiased multiply-shift (Lemire); span is tiny in
+                    // this workspace, a single rejection loop is cheap.
+                    let zone = u64::MAX - (u64::MAX % span.max(1));
+                    loop {
+                        let w = rng_word();
+                        if w < zone || span == 0 {
+                            return ((lo as $wide).wrapping_add((w % span.max(1)) as $wide))
+                                as $t;
+                        }
+                    }
+                }
+
+                fn successor(self) -> Option<Self> {
+                    self.checked_add(1)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform!(usize => u128, u64 => u128, u32 => u64, i64 => i128, i32 => i64, u8 => u16);
+}
+
+pub use sample::SampleUniform;
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from(self, rng_word: impl FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng_word: impl FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng_word, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng_word: impl FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        match hi.successor() {
+            Some(hi1) => T::sample_half_open(rng_word, lo, hi1),
+            // hi == T::MAX and lo == MIN cannot happen for the workspace's
+            // tiny ranges; fall back to the closed interval minus nothing.
+            None => T::sample_half_open(rng_word, lo, hi),
+        }
+    }
+}
+
+/// The user-facing random-sampling interface.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(|| self.next_u64())
+    }
+
+    /// `true` with probability `p` (`0.0 <= p <= 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 random bits into [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Named generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — the workspace's deterministic
+    /// standard rng (API stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream to fill the state (never all-zero).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next() | 1] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::Rng;
+
+    /// Shuffling and random selection over slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2u64..=5);
+            assert!((2..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..50).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..50).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}
