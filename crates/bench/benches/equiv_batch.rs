@@ -1,0 +1,111 @@
+//! Batched Σ-equivalence service: cold vs warm chase-result cache.
+//!
+//! Workload: the C&B-style repeated-subquery stream on Example 4.1 — every
+//! safe subquery of Q1's universal-plan body paired against Q4 (under set
+//! and bag-set semantics), plus an α-renamed copy of each pair. This is
+//! exactly what the backchase issues: many structurally overlapping
+//! candidates re-chased over one fixed Σ, with Q4 recurring in every pair.
+//!
+//! * `cold/<threads>` — fresh cache per iteration: every distinct α-class
+//!   is chased once, repeats within the batch already hit.
+//! * `warm/<threads>` — cache pre-populated by an untimed run: the batch
+//!   is served entirely from canonical-key lookups + replay.
+//!
+//! `scripts/bench_snapshot.sh` records both medians and their ratio in
+//! `BENCH_chase.json` (`batch_speedups`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_bench::{schema_4_1, sigma_4_1};
+use eqsql_chase::ChaseConfig;
+use eqsql_cq::{parse_query, CqQuery};
+use eqsql_deps::{parse_dependencies, DependencySet};
+use eqsql_gen::rename_isomorphic;
+use eqsql_relalg::{Schema, Semantics};
+use eqsql_service::{BatchSession, EquivRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Example 4.1's Σ deepened with inclusion chains off `r` and `u` — the
+/// depth a real universal plan accumulates — so every candidate touching
+/// `r`/`u` chases through several more strata.
+fn workload_sigma() -> DependencySet {
+    let mut sigma = sigma_4_1();
+    let chains = parse_dependencies(
+        "r(X) -> r1(X,A).\n\
+         r1(X,A) -> r2(A,B).\n\
+         r2(A,B) -> r3(B).\n\
+         u(X,Z) -> u1(Z,C).\n\
+         u1(Z,C) -> u2(C).",
+    )
+    .expect("chains parse");
+    for d in chains.iter() {
+        sigma.push(d.clone());
+    }
+    sigma
+}
+
+fn workload_schema() -> Schema {
+    let mut schema = schema_4_1();
+    for (name, arity) in [("r1", 2), ("r2", 2), ("r3", 1), ("u1", 2), ("u2", 1)] {
+        schema.add(eqsql_relalg::RelSchema::bag(name, arity));
+    }
+    schema
+}
+
+/// Every safe subquery of Q1's body vs Q4, twice (α-renamed), per
+/// semantics — 118 pairs.
+fn repeated_subquery_pairs() -> Vec<EquivRequest> {
+    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let n = q1.body.len();
+    let mut pairs = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let body: Vec<_> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| q1.body[i].clone())
+            .collect();
+        let candidate = CqQuery { name: q1.name, head: q1.head.clone(), body };
+        if !candidate.is_safe() {
+            continue;
+        }
+        for sem in [Semantics::Set, Semantics::BagSet] {
+            pairs.push(EquivRequest { sem, q1: candidate.clone(), q2: q4.clone() });
+            pairs.push(EquivRequest {
+                sem,
+                q1: rename_isomorphic(&mut rng, &candidate),
+                q2: rename_isomorphic(&mut rng, &q4),
+            });
+        }
+    }
+    pairs
+}
+
+fn bench_equiv_batch(c: &mut Criterion) {
+    let sigma = workload_sigma();
+    let schema = workload_schema();
+    let config = ChaseConfig::default();
+    let pairs = repeated_subquery_pairs();
+    let mut group = c.benchmark_group("equiv_batch/cnb_repeated");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let session =
+                    BatchSession::new(sigma.clone(), schema.clone(), config).with_threads(t);
+                black_box(session.run(&pairs))
+            })
+        });
+        let warm =
+            BatchSession::new(sigma.clone(), schema.clone(), config).with_threads(threads);
+        warm.run(&pairs); // populate the cache, untimed
+        group.bench_with_input(BenchmarkId::new("warm", threads), &threads, |b, _| {
+            b.iter(|| black_box(warm.run(&pairs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equiv_batch);
+criterion_main!(benches);

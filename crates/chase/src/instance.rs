@@ -8,9 +8,29 @@
 //! chase terminates, satisfies Σ — this is how `eqsql-gen` turns random
 //! databases into Σ-satisfying test instances for the cross-validation
 //! suites.
+//!
+//! ## Scheduling
+//!
+//! [`chase_database`] uses the same delta-driven worklist as the query
+//! chase engine ([`crate::engine`]): a dependency found satisfied retires
+//! until a step changes one of its **premise** relations. That is sound
+//! here because steps only ever *add* witnesses elsewhere —
+//!
+//! * tgd steps insert tuples and remove nothing, so a satisfied
+//!   dependency's extensions survive;
+//! * an egd step applies a value replacement `ρ` to the whole database;
+//!   for any premise assignment whose tuples `ρ` leaves unchanged, its
+//!   assigned values contain no replaced value, so a conclusion witness
+//!   `T` maps to the still-present `ρ(T)` (and an egd's satisfied
+//!   equality stays satisfied). Any premise tuple `ρ` *does* change lives
+//!   in a changed relation, which re-arms the dependency.
+//!
+//! The worklist pops the lowest queued index, so the engine fires the
+//! same dependency sequence as the naive restart-from-σ₀ scan — kept as
+//! [`chase_database_reference`], the differential oracle.
 
 use crate::error::{ChaseConfig, ChaseError};
-use eqsql_cq::{Atom, Term, Value, Var};
+use eqsql_cq::{Atom, Predicate, Term, Value, Var};
 use eqsql_deps::{Dependency, DependencySet, Egd, Tgd};
 use eqsql_relalg::eval::{assignments, Assignment};
 use eqsql_relalg::{Database, Relation, Tuple};
@@ -59,21 +79,35 @@ fn ground_with(atoms: &[Atom], asg: &Assignment) -> Vec<Atom> {
 }
 
 /// Replaces every occurrence of `from` by `to` throughout the database,
-/// merging multiplicities of tuples that collide.
-fn replace_value(db: &Database, from: Value, to: Value) -> Database {
+/// merging multiplicities of tuples that collide. Returns the rewritten
+/// database plus the predicates whose relations actually changed (had at
+/// least one tuple containing `from`) — the delta the worklist wakes on.
+fn replace_value(db: &Database, from: Value, to: Value) -> (Database, Vec<Predicate>) {
     let mut out = Database::new();
+    let mut changed = Vec::new();
     for (p, r) in db.iter() {
         let target = out.get_or_create(p, r.arity());
+        let mut touched = false;
         for (t, m) in r.iter() {
+            touched |= t.iter().any(|v| *v == from);
             let vals: Vec<Value> =
                 t.iter().map(|v| if *v == from { to } else { *v }).collect();
             target.insert(Tuple::new(vals), m);
         }
+        if touched {
+            changed.push(p);
+        }
     }
-    out
+    (out, changed)
 }
 
-fn apply_tgd_instance(db: &mut Database, tgd: &Tgd, next_null: &mut u64) -> bool {
+/// Repairs the first tgd violation found, if any. Returns the predicates
+/// that received a new tuple, or `None` when the tgd is satisfied.
+fn apply_tgd_instance(
+    db: &mut Database,
+    tgd: &Tgd,
+    next_null: &mut u64,
+) -> Option<Vec<Predicate>> {
     let lhs_assignments = assignments(&tgd.lhs, db);
     for asg in &lhs_assignments {
         let rhs = ground_with(&tgd.rhs, asg);
@@ -81,6 +115,7 @@ fn apply_tgd_instance(db: &mut Database, tgd: &Tgd, next_null: &mut u64) -> bool
             // Violation: add the conclusion with fresh nulls for the
             // existential variables (shared across the conclusion atoms).
             let mut nulls: HashMap<Var, Value> = HashMap::new();
+            let mut added = Vec::new();
             for atom in &rhs {
                 let vals: Vec<Value> = atom
                     .args
@@ -98,17 +133,21 @@ fn apply_tgd_instance(db: &mut Database, tgd: &Tgd, next_null: &mut u64) -> bool
                 let tup = Tuple::new(vals);
                 if !rel.contains(&tup) {
                     rel.insert(tup, 1);
+                    if !added.contains(&atom.pred) {
+                        added.push(atom.pred);
+                    }
                 }
             }
-            return true;
+            return Some(added);
         }
     }
-    false
+    None
 }
 
 enum EgdInstanceOutcome {
     NoViolation,
-    Applied,
+    /// A value was merged; the listed relations had tuples rewritten.
+    Applied(Vec<Predicate>),
     Failed,
 }
 
@@ -138,15 +177,91 @@ fn apply_egd_instance(db: &mut Database, egd: &Egd) -> EgdInstanceOutcome {
             (other, Value::Labeled(_)) => (b, other),
             _ => return EgdInstanceOutcome::Failed,
         };
-        *db = replace_value(db, from, to);
-        return EgdInstanceOutcome::Applied;
+        let (next, changed) = replace_value(db, from, to);
+        *db = next;
+        return EgdInstanceOutcome::Applied(changed);
     }
     EgdInstanceOutcome::NoViolation
 }
 
 /// Chases `db` with Σ until it satisfies every dependency, fails, or the
 /// budget runs out.
+///
+/// Scheduling is delta-driven (see the module docs): each dependency
+/// subscribes to its premise predicates, a satisfied dependency retires
+/// until one of them changes, and the lowest queued index fires — the
+/// identical step sequence to [`chase_database_reference`] without the
+/// per-step rescan of all of Σ.
 pub fn chase_database(
+    db: &Database,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+) -> Result<InstanceChased, ChaseError> {
+    let mut cur = db.clone();
+    let mut next_null = max_label(db);
+    let mut steps = 0usize;
+    let n = sigma.len();
+    // Premise predicate → dependencies listening on it.
+    let mut subscribers: HashMap<Predicate, Vec<usize>> = HashMap::new();
+    for (i, dep) in sigma.iter().enumerate() {
+        let mut seen: Vec<Predicate> = Vec::new();
+        for atom in dep.lhs() {
+            if !seen.contains(&atom.pred) {
+                seen.push(atom.pred);
+                subscribers.entry(atom.pred).or_default().push(i);
+            }
+        }
+    }
+    let mut queued = vec![true; n];
+    let wake = |queued: &mut Vec<bool>, preds: &[Predicate]| {
+        for p in preds {
+            if let Some(subs) = subscribers.get(p) {
+                for &i in subs {
+                    queued[i] = true;
+                }
+            }
+        }
+    };
+    loop {
+        if steps >= config.max_steps {
+            return Err(ChaseError::BudgetExhausted { steps });
+        }
+        let Some(i) = queued.iter().position(|&q| q) else {
+            return Ok(InstanceChased { db: cur, failed: false, steps });
+        };
+        match sigma.as_slice()[i] {
+            Dependency::Tgd(ref t) => match apply_tgd_instance(&mut cur, t, &mut next_null) {
+                Some(added) => {
+                    steps += 1;
+                    wake(&mut queued, &added);
+                    // Another premise assignment of the same tgd may still
+                    // be violated even if nothing it listens on changed.
+                    queued[i] = true;
+                }
+                None => queued[i] = false,
+            },
+            Dependency::Egd(ref e) => match apply_egd_instance(&mut cur, e) {
+                EgdInstanceOutcome::NoViolation => queued[i] = false,
+                EgdInstanceOutcome::Applied(changed) => {
+                    steps += 1;
+                    wake(&mut queued, &changed);
+                    // The violating premise tuples contained the replaced
+                    // value, so `changed` re-arms this egd via its own
+                    // subscription; keep it queued explicitly regardless.
+                    queued[i] = true;
+                }
+                EgdInstanceOutcome::Failed => {
+                    return Ok(InstanceChased { db: cur, failed: true, steps });
+                }
+            },
+        }
+    }
+}
+
+/// The naive restart-scan driver [`chase_database`] replaced: rescans Σ
+/// from σ₀ after every step. Kept as the differential-testing oracle — the
+/// worklist engine must fire the identical step sequence.
+pub fn chase_database_reference(
     db: &Database,
     sigma: &DependencySet,
     config: &ChaseConfig,
@@ -161,14 +276,14 @@ pub fn chase_database(
         for dep in sigma.iter() {
             match dep {
                 Dependency::Tgd(t) => {
-                    if apply_tgd_instance(&mut cur, t, &mut next_null) {
+                    if apply_tgd_instance(&mut cur, t, &mut next_null).is_some() {
                         steps += 1;
                         continue 'outer;
                     }
                 }
                 Dependency::Egd(e) => match apply_egd_instance(&mut cur, e) {
                     EgdInstanceOutcome::NoViolation => {}
-                    EgdInstanceOutcome::Applied => {
+                    EgdInstanceOutcome::Applied(_) => {
                         steps += 1;
                         continue 'outer;
                     }
@@ -270,5 +385,78 @@ mod tests {
         let db = Database::new().with_ints("e", &[[1, 2]]);
         let err = chase_database(&db, &sigma, &ChaseConfig::with_max_steps(30)).unwrap_err();
         assert!(matches!(err, ChaseError::BudgetExhausted { .. }));
+        // And the reference driver exhausts the identical budget.
+        let err_ref =
+            chase_database_reference(&db, &sigma, &ChaseConfig::with_max_steps(30)).unwrap_err();
+        assert_eq!(err, err_ref);
+    }
+
+    /// xorshift64*, so the differential draws need no external rng crate.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// The worklist engine must be step-for-step identical to the naive
+    /// restart-scan driver: same repaired database (null allocation
+    /// included), same step count, same failure flag — across random
+    /// databases and dependency sets mixing tgd chains and key egds.
+    #[test]
+    fn worklist_matches_reference_on_random_draws() {
+        let sigmas = [
+            // Layered tgds + keys (weakly acyclic, egd merges nulls).
+            "a(X,Y) -> b(Y,Z).\n\
+             b(X,Y) -> c(X).\n\
+             b(X,Y1) & b(X,Y2) -> Y1 = Y2.",
+            // Key first, then tgds that listen on each other.
+            "a(X,Y1) & a(X,Y2) -> Y1 = Y2.\n\
+             a(X,Y) -> b(X,Z).\n\
+             b(X,Y) -> a(Y,W).\n\
+             b(X,Y1) & b(X,Y2) -> Y1 = Y2.",
+            // Constant-equating key: failure paths must agree too.
+            "a(X,Y) -> b(X,Y).\n\
+             b(X,Y1) & b(X,Y2) -> Y1 = Y2.\n\
+             c(X) -> a(X,X).",
+        ];
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        for round in 0..40 {
+            let sigma = parse_dependencies(sigmas[round % sigmas.len()]).unwrap();
+            let mut db = Database::new();
+            for _ in 0..rng.below(5) {
+                db.insert_ints("a", [rng.below(4) as i64, rng.below(4) as i64]);
+            }
+            for _ in 0..rng.below(4) {
+                db.insert_ints("b", [rng.below(4) as i64, rng.below(4) as i64]);
+            }
+            for _ in 0..rng.below(3) {
+                db.insert_ints("c", [rng.below(3) as i64]);
+            }
+            let cfg = ChaseConfig::with_max_steps(200);
+            let fast = chase_database(&db, &sigma, &cfg);
+            let slow = chase_database_reference(&db, &sigma, &cfg);
+            match (fast, slow) {
+                (Ok(f), Ok(s)) => {
+                    assert_eq!(f.failed, s.failed, "round {round}: failure flags diverge");
+                    assert_eq!(f.steps, s.steps, "round {round}: step counts diverge");
+                    assert_eq!(f.db, s.db, "round {round}: repaired databases diverge");
+                }
+                (Err(f), Err(s)) => {
+                    assert_eq!(f, s, "round {round}: error variants diverge")
+                }
+                (f, s) => panic!("round {round}: outcomes diverge: {f:?} vs {s:?}"),
+            }
+        }
     }
 }

@@ -56,9 +56,10 @@ pub use assignment_fixing::{is_assignment_fixing, is_assignment_fixing_wrt_query
 pub use engine::{chase_indexed, Admission};
 pub use error::{ChaseConfig, ChaseError};
 pub use implication::{implies, minimal_cover};
+pub use instance::{chase_database, chase_database_reference, InstanceChased};
 pub use index::BodyIndex;
 pub use key_based::{is_key_based, key_based_chase};
 pub use max_subset::{max_bag_set_sigma_subset, max_bag_sigma_subset};
 pub use reference::{chase_with_policy_reference, set_chase_reference};
 pub use set_chase::{set_chase, Chased};
-pub use sound::{sound_chase, SoundChased};
+pub use sound::{sound_chase, sound_chase_prepared, SoundChased};

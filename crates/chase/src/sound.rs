@@ -35,8 +35,10 @@ pub struct SoundChased {
     pub failed: bool,
     /// Steps taken.
     pub steps: usize,
-    /// The regularized Σ actually used.
-    pub sigma_regularized: DependencySet,
+    /// The regularized Σ actually used. Shared (`Arc`) so memoizing
+    /// callers — the `eqsql_service` chase cache regularizes each Σ once
+    /// and replays results — don't deep-copy Σ per chase.
+    pub sigma_regularized: std::sync::Arc<DependencySet>,
     /// The underlying chase record (trace, renaming).
     pub chased: Chased,
 }
@@ -78,7 +80,25 @@ pub fn sound_chase(
     schema: &Schema,
     config: &ChaseConfig,
 ) -> Result<SoundChased, ChaseError> {
-    let sigma_reg = regularize_set(sigma);
+    sound_chase_prepared(sem, q, std::sync::Arc::new(regularize_set(sigma)), schema, config)
+}
+
+/// [`sound_chase`] over an **already regularized** Σ.
+///
+/// Regularization (Definition 4.1) depends only on Σ, so callers issuing
+/// many chases over one fixed dependency set — the batched equivalence
+/// sessions of `eqsql_service`, the C&B backchase — compute
+/// [`regularize_set`] once and feed the result here instead of paying for
+/// it on every chase. Passing a non-regularized set is sound for set
+/// semantics but loses completeness under bag/bag-set semantics
+/// (Example 4.4), so only hand this the output of [`regularize_set`].
+pub fn sound_chase_prepared(
+    sem: Semantics,
+    q: &CqQuery,
+    sigma_reg: std::sync::Arc<DependencySet>,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Result<SoundChased, ChaseError> {
     let chased = match sem {
         Semantics::Set => set_chase(q, &sigma_reg, config)?,
         Semantics::BagSet => {

@@ -16,9 +16,9 @@
 //! Both are obtained here by parameterizing one driver on
 //! [`Semantics`].
 
-use crate::minimality::is_sigma_minimal;
-use crate::sigma_equiv::{sigma_equivalent, EquivOutcome};
-use eqsql_chase::{sound_chase, ChaseConfig, ChaseError};
+use crate::minimality::is_sigma_minimal_via;
+use crate::sigma_equiv::{sigma_equivalent_via, DirectChaser, EquivOutcome, SoundChaser};
+use eqsql_chase::{ChaseConfig, ChaseError};
 use eqsql_cq::{are_isomorphic, CqQuery, Term};
 use eqsql_deps::DependencySet;
 use eqsql_relalg::{Schema, Semantics};
@@ -95,7 +95,26 @@ pub fn cnb(
     config: &ChaseConfig,
     opts: &CnbOptions,
 ) -> Result<CnbResult, CnbError> {
-    let chased = sound_chase(sem, q, sigma, schema, config)?;
+    cnb_via(&DirectChaser, sem, q, sigma, schema, config, opts)
+}
+
+/// [`cnb`] with every chase routed through `chaser`.
+///
+/// The backchase re-chases `q` once per candidate subquery and chases many
+/// structurally identical candidates; a memoizing chaser (the
+/// `eqsql_service` cache) turns that quadratic re-chasing into hash
+/// lookups, which is the C&B-family speedup the batched equivalence
+/// service is built around.
+pub fn cnb_via<C: SoundChaser + ?Sized>(
+    chaser: &C,
+    sem: Semantics,
+    q: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+    opts: &CnbOptions,
+) -> Result<CnbResult, CnbError> {
+    let chased = chaser.sound_chase(sem, q, sigma, schema, config)?;
     if chased.failed {
         // Q is unsatisfiable under Σ; it has no satisfiable reformulations.
         return Ok(CnbResult {
@@ -128,13 +147,13 @@ pub fn cnb(
             continue;
         }
         tested += 1;
-        match sigma_equivalent(sem, &candidate, q, sigma, schema, config) {
+        match sigma_equivalent_via(chaser, sem, &candidate, q, sigma, schema, config) {
             EquivOutcome::Equivalent => {}
             EquivOutcome::NotEquivalent => continue,
             EquivOutcome::Unknown(e) => return Err(e.into()),
         }
         if opts.require_sigma_minimal
-            && !is_sigma_minimal(&candidate, sigma, schema, sem, config)?
+            && !is_sigma_minimal_via(chaser, &candidate, sigma, schema, sem, config)?
         {
             continue;
         }

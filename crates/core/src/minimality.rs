@@ -17,7 +17,7 @@
 //! to [`EXHAUSTIVE_BODY_LIMIT`] atoms and as single drops beyond. Paper-
 //! scale inputs are always in the exact regime.
 
-use crate::sigma_equiv::{sigma_equivalent, EquivOutcome};
+use crate::sigma_equiv::{sigma_equivalent_via, EquivOutcome};
 use eqsql_chase::{ChaseConfig, ChaseError};
 use eqsql_cq::{containment_mapping, CqQuery, Subst, Term, Var};
 use eqsql_deps::DependencySet;
@@ -153,9 +153,23 @@ pub fn is_sigma_minimal(
     sem: Semantics,
     config: &ChaseConfig,
 ) -> Result<bool, ChaseError> {
+    is_sigma_minimal_via(&crate::sigma_equiv::DirectChaser, q, sigma, schema, sem, config)
+}
+
+/// [`is_sigma_minimal`] with the underlying equivalence chases routed
+/// through `chaser`. The minimality search re-chases `q` once per
+/// candidate, so a memoizing chaser collapses that to a single chase.
+pub fn is_sigma_minimal_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
+    chaser: &C,
+    q: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    sem: Semantics,
+    config: &ChaseConfig,
+) -> Result<bool, ChaseError> {
     for subst in candidate_substitutions(q) {
         let s1 = q.apply(&subst);
-        match sigma_equivalent(sem, &s1, q, sigma, schema, config) {
+        match sigma_equivalent_via(chaser, sem, &s1, q, sigma, schema, config) {
             EquivOutcome::Equivalent => {}
             EquivOutcome::NotEquivalent => continue,
             EquivOutcome::Unknown(e) => return Err(e),
@@ -169,7 +183,7 @@ pub fn is_sigma_minimal(
             if s2.body.is_empty() || !s2.is_safe() {
                 continue;
             }
-            match sigma_equivalent(sem, &s2, q, sigma, schema, config) {
+            match sigma_equivalent_via(chaser, sem, &s2, q, sigma, schema, config) {
                 EquivOutcome::Equivalent => return Ok(false),
                 EquivOutcome::NotEquivalent => {}
                 EquivOutcome::Unknown(e) => return Err(e),

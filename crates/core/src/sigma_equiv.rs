@@ -16,10 +16,49 @@
 use crate::equiv::{
     bag_equivalent_with_set_relations, bag_set_equivalent, set_contained, set_equivalent,
 };
-use eqsql_chase::{sound_chase, ChaseConfig, ChaseError};
+use eqsql_chase::{sound_chase, ChaseConfig, ChaseError, SoundChased};
 use eqsql_cq::CqQuery;
 use eqsql_deps::DependencySet;
 use eqsql_relalg::{Schema, Semantics};
+
+/// A provider of sound-chase results.
+///
+/// Every decision procedure in this crate reduces to sound chases of its
+/// input queries; abstracting the chase behind this trait lets callers
+/// swap the direct engine ([`DirectChaser`]) for a memoizing one (the
+/// sharded `(Q, Σ)` chase-result cache of `eqsql_service`) without the
+/// procedures knowing. Implementations must be semantically transparent:
+/// the returned value must be isomorphic (same `failed` flag, equivalent
+/// terminal query, consistently renamed `renaming`) to what
+/// [`eqsql_chase::sound_chase`] would produce on the same input.
+pub trait SoundChaser {
+    /// Produces `(q)_{Σ,sem}` — directly or from a cache.
+    fn sound_chase(
+        &self,
+        sem: Semantics,
+        q: &CqQuery,
+        sigma: &DependencySet,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> Result<SoundChased, ChaseError>;
+}
+
+/// The pass-through [`SoundChaser`]: every request runs the chase engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectChaser;
+
+impl SoundChaser for DirectChaser {
+    fn sound_chase(
+        &self,
+        sem: Semantics,
+        q: &CqQuery,
+        sigma: &DependencySet,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> Result<SoundChased, ChaseError> {
+        sound_chase(sem, q, sigma, schema, config)
+    }
+}
 
 /// Outcome of a Σ-equivalence test.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,11 +122,26 @@ pub fn sigma_equivalent(
     schema: &Schema,
     config: &ChaseConfig,
 ) -> EquivOutcome {
-    let c1 = match sound_chase(sem, q1, sigma, schema, config) {
+    sigma_equivalent_via(&DirectChaser, sem, q1, q2, sigma, schema, config)
+}
+
+/// [`sigma_equivalent`] with the chases routed through `chaser` — the hook
+/// by which `eqsql_service` serves the (possibly repeated) chases of a
+/// batch from its shared cache.
+pub fn sigma_equivalent_via<C: SoundChaser + ?Sized>(
+    chaser: &C,
+    sem: Semantics,
+    q1: &CqQuery,
+    q2: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> EquivOutcome {
+    let c1 = match chaser.sound_chase(sem, q1, sigma, schema, config) {
         Ok(c) => c,
         Err(e) => return EquivOutcome::Unknown(e),
     };
-    let c2 = match sound_chase(sem, q2, sigma, schema, config) {
+    let c2 = match chaser.sound_chase(sem, q2, sigma, schema, config) {
         Ok(c) => c,
         Err(e) => return EquivOutcome::Unknown(e),
     };
@@ -117,11 +171,23 @@ pub fn sigma_set_contained(
     schema: &Schema,
     config: &ChaseConfig,
 ) -> Result<bool, ChaseError> {
-    let c1 = sound_chase(Semantics::Set, q1, sigma, schema, config)?;
+    sigma_set_contained_via(&DirectChaser, q1, q2, sigma, schema, config)
+}
+
+/// [`sigma_set_contained`] with the chases routed through `chaser`.
+pub fn sigma_set_contained_via<C: SoundChaser + ?Sized>(
+    chaser: &C,
+    q1: &CqQuery,
+    q2: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    let c1 = chaser.sound_chase(Semantics::Set, q1, sigma, schema, config)?;
     if c1.failed {
         return Ok(true); // empty answer is contained in anything
     }
-    let c2 = sound_chase(Semantics::Set, q2, sigma, schema, config)?;
+    let c2 = chaser.sound_chase(Semantics::Set, q2, sigma, schema, config)?;
     if c2.failed {
         // q2 is empty under Σ: containment holds only if q1 is too (it is
         // not — its chase succeeded).

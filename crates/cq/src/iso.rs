@@ -108,8 +108,18 @@ fn match_bodies(
 /// renaming, bodies compared as **multisets**)? This is the bag-equivalence
 /// test of Theorem 2.1(1).
 pub fn are_isomorphic(q1: &CqQuery, q2: &CqQuery) -> bool {
+    find_isomorphism(q1, q2).is_some()
+}
+
+/// Like [`are_isomorphic`], but returns the witnessing bijection as a map
+/// from `q1`'s variables onto `q2`'s variables. The chase-result cache uses
+/// this to replay a cached terminal query for an α-equivalent probe.
+///
+/// The returned map is total on `q1.all_vars()` and injective; its image is
+/// exactly `q2.all_vars()`.
+pub fn find_isomorphism(q1: &CqQuery, q2: &CqQuery) -> Option<HashMap<Var, Var>> {
     if q1.head.len() != q2.head.len() || q1.body.len() != q2.body.len() {
-        return false;
+        return None;
     }
     // Quick reject: per-predicate atom counts must agree.
     let mut counts: HashMap<_, i64> = HashMap::new();
@@ -120,16 +130,14 @@ pub fn are_isomorphic(q1: &CqQuery, q2: &CqQuery) -> bool {
         *counts.entry(a.key()).or_default() -= 1;
     }
     if counts.values().any(|&c| c != 0) {
-        return false;
+        return None;
     }
     let mut m = Bijection::default();
     for (s, t) in q1.head.iter().zip(q2.head.iter()) {
-        if pair_terms(&mut m, s, t).is_none() {
-            return false;
-        }
+        pair_terms(&mut m, s, t)?;
     }
     let mut used = vec![false; q2.body.len()];
-    match_bodies(&q1.body, &q2.body, &mut used, 0, &mut m)
+    match_bodies(&q1.body, &q2.body, &mut used, 0, &mut m).then_some(m.fwd)
 }
 
 /// The canonical representation `Q_c` of `Q`: all duplicate body atoms
@@ -238,6 +246,23 @@ mod tests {
         assert_eq!(d.body.len(), 3);
         assert_eq!(d.count_pred(Predicate::new("r")), 2);
         assert_eq!(d.count_pred(s_pred), 1);
+    }
+
+    #[test]
+    fn find_isomorphism_returns_total_bijection() {
+        let a = q("q(X) :- p(X,Y), s(Y,Z)");
+        let b = q("q(A) :- s(B,C), p(A,B)");
+        let m = find_isomorphism(&a, &b).expect("isomorphic");
+        // Total on a's variables, image is exactly b's variables.
+        let image: std::collections::HashSet<_> = m.values().copied().collect();
+        assert_eq!(m.len(), a.all_vars().len());
+        assert_eq!(image, b.all_vars().into_iter().collect());
+        // The map really carries a onto b.
+        let s = crate::subst::Subst::from_pairs(
+            m.iter().map(|(v, w)| (*v, Term::Var(*w))),
+        );
+        assert!(are_isomorphic(&a.apply(&s), &b));
+        assert!(find_isomorphism(&a, &q("q(X) :- p(X,Y), p(Y,Z)")).is_none());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use hom::{
     extend_homomorphism_with_buckets, find_homomorphism, find_homomorphism_where,
     search_homomorphisms, Buckets,
 };
-pub use iso::{are_isomorphic, canonical_representation};
+pub use iso::{are_isomorphic, canonical_representation, find_isomorphism};
 pub use parser::{parse_program, parse_query, ParseError};
 pub use query::{CqQuery, VarSupply};
 pub use subst::Subst;

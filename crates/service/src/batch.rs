@@ -1,0 +1,323 @@
+//! Batched Σ-equivalence sessions.
+//!
+//! Real consumers of an equivalence oracle — rewrite validators, view
+//! selectors, the C&B backchase itself — issue *streams* of query pairs
+//! over one fixed Σ. [`BatchSession`] makes that stream the serving unit:
+//! Σ is regularized once, every chase is routed through a shared
+//! [`ChaseCache`], and the pairs of a batch are dispatched across a pool
+//! of worker threads (the per-pair decisions are independent; the cache is
+//! the only shared state and is sharded for exactly this access pattern).
+
+use crate::cache::ChaseCache;
+use crate::canon::ChaseContext;
+use eqsql_chase::{ChaseConfig, ChaseError, SoundChased};
+use eqsql_core::{sigma_equivalent_via, EquivOutcome, SoundChaser};
+use eqsql_cq::CqQuery;
+use eqsql_deps::{regularize_set, DependencySet};
+use eqsql_relalg::{Schema, Semantics};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One Σ-equivalence question: is `q1 ≡_{Σ,sem} q2`?
+#[derive(Clone, Debug)]
+pub struct EquivRequest {
+    /// The semantics to decide under.
+    pub sem: Semantics,
+    /// Left query.
+    pub q1: CqQuery,
+    /// Right query.
+    pub q2: CqQuery,
+}
+
+/// Aggregate statistics of one [`BatchSession::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Pairs decided.
+    pub pairs: usize,
+    /// Verdict counts.
+    pub equivalent: usize,
+    /// Pairs decided not equivalent.
+    pub not_equivalent: usize,
+    /// Pairs with an inconclusive (budget) outcome.
+    pub unknown: usize,
+    /// Chase-cache hits attributable to this run.
+    pub cache_hits: u64,
+    /// Chase-cache misses attributable to this run.
+    pub cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+/// The result of a batch: per-pair verdicts (in request order) + stats.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// `verdicts[i]` answers `pairs[i]`.
+    pub verdicts: Vec<EquivOutcome>,
+    /// Aggregate counters for the run.
+    pub stats: BatchStats,
+}
+
+/// A Σ-equivalence session: one fixed Σ and schema, many query pairs.
+///
+/// Sessions are cheap; the expensive state (the chase cache) lives behind
+/// an [`Arc`] and is shared across sessions via [`BatchSession::with_cache`]
+/// — a long-running server keeps one cache and opens a session per
+/// request batch.
+pub struct BatchSession {
+    sigma: DependencySet,
+    schema: Schema,
+    config: ChaseConfig,
+    cache: Arc<ChaseCache>,
+    threads: usize,
+    /// Σ regularized once at session construction.
+    sigma_reg: Arc<DependencySet>,
+    /// Context keys precomputed per semantics (Σ is fixed for the whole
+    /// session), indexed Set/Bag/BagSet.
+    ctx: [ChaseContext; 3],
+}
+
+/// The session's [`SoundChaser`]: routes every chase through the shared
+/// cache via the precomputed context fingerprints, so the per-chase cost
+/// of a warm batch is a query fingerprint + one shard probe — Σ is never
+/// re-rendered, re-hashed or re-regularized. Hits and misses are counted
+/// locally: the cache's global counters mix in every concurrent session
+/// sharing it, these are exactly this run's.
+struct SessionChaser<'a> {
+    session: &'a BatchSession,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SoundChaser for SessionChaser<'_> {
+    fn sound_chase(
+        &self,
+        sem: Semantics,
+        q: &CqQuery,
+        _sigma: &DependencySet,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> Result<SoundChased, ChaseError> {
+        let s = self.session;
+        let ctx = &s.ctx[match sem {
+            Semantics::Set => 0,
+            Semantics::Bag => 1,
+            Semantics::BagSet => 2,
+        }];
+        let (result, hit) =
+            s.cache.chase_keyed_counted(ctx, &s.sigma_reg, sem, q, schema, config);
+        if hit { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+}
+
+impl BatchSession {
+    /// A session over Σ with a fresh default cache and one worker.
+    pub fn new(sigma: DependencySet, schema: Schema, config: ChaseConfig) -> BatchSession {
+        // Regularize Σ and build the context keys up front so not even the
+        // first pair pays for either more than once. Both are independent
+        // of the cache handle, so `with_cache` swaps caches for free.
+        let sigma_reg = Arc::new(regularize_set(&sigma));
+        let reg_text: Arc<str> = sigma_reg.to_string().into();
+        let ctx = [Semantics::Set, Semantics::Bag, Semantics::BagSet]
+            .map(|sem| ChaseContext::with_text(sem, Arc::clone(&reg_text), &schema, &config));
+        BatchSession {
+            sigma,
+            schema,
+            config,
+            cache: Arc::new(ChaseCache::default()),
+            threads: 1,
+            sigma_reg,
+            ctx,
+        }
+    }
+
+    /// Shares an existing cache (e.g. warmed by earlier batches).
+    pub fn with_cache(mut self, cache: Arc<ChaseCache>) -> BatchSession {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> BatchSession {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The session's cache handle.
+    pub fn cache(&self) -> &Arc<ChaseCache> {
+        &self.cache
+    }
+
+    /// Decides every pair, returning verdicts in request order.
+    ///
+    /// Pairs are pulled from a shared counter by `threads` workers, so a
+    /// batch of heterogeneous pair costs self-balances. Determinism: each
+    /// verdict depends only on its own pair (the cache changes *which*
+    /// computation produced a terminal result, never the result itself), so
+    /// the output is independent of scheduling.
+    pub fn run(&self, pairs: &[EquivRequest]) -> BatchOutcome {
+        let start = Instant::now();
+        let verdicts: Vec<OnceLock<EquivOutcome>> =
+            (0..pairs.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(pairs.len()).max(1);
+        let chaser = SessionChaser {
+            session: self,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        };
+        let decide = |i: usize| {
+            let p = &pairs[i];
+            sigma_equivalent_via(
+                &chaser,
+                p.sem,
+                &p.q1,
+                &p.q2,
+                &self.sigma,
+                &self.schema,
+                &self.config,
+            )
+        };
+        if workers == 1 {
+            for (i, slot) in verdicts.iter().enumerate() {
+                let _ = slot.set(decide(i));
+            }
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pairs.len() {
+                            break;
+                        }
+                        let _ = verdicts[i].set(decide(i));
+                    });
+                }
+            });
+        }
+        let verdicts: Vec<EquivOutcome> = verdicts
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every pair decided"))
+            .collect();
+        let stats = BatchStats {
+            pairs: pairs.len(),
+            equivalent: verdicts.iter().filter(|v| v.is_equivalent()).count(),
+            not_equivalent: verdicts
+                .iter()
+                .filter(|v| matches!(v, EquivOutcome::NotEquivalent))
+                .count(),
+            unknown: verdicts
+                .iter()
+                .filter(|v| matches!(v, EquivOutcome::Unknown(_)))
+                .count(),
+            cache_hits: chaser.hits.load(Ordering::Relaxed),
+            cache_misses: chaser.misses.load(Ordering::Relaxed),
+            threads: workers,
+            wall: start.elapsed(),
+        };
+        BatchOutcome { verdicts, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parse_query;
+    use eqsql_deps::parse_dependencies;
+
+    fn example_4_1() -> (DependencySet, Schema) {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap();
+        let mut schema = Schema::all_bags(&[("p", 2), ("r", 1), ("s", 2), ("t", 3), ("u", 2)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        (sigma, schema)
+    }
+
+    fn requests() -> Vec<EquivRequest> {
+        let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
+        let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
+        let q3 = parse_query("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)").unwrap();
+        let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
+        vec![
+            EquivRequest { sem: Semantics::Set, q1: q1.clone(), q2: q4.clone() },
+            EquivRequest { sem: Semantics::Bag, q1: q1.clone(), q2: q4.clone() },
+            EquivRequest { sem: Semantics::Bag, q1: q3.clone(), q2: q4.clone() },
+            EquivRequest { sem: Semantics::BagSet, q1: q2.clone(), q2: q4.clone() },
+            EquivRequest { sem: Semantics::Bag, q1: q2, q2: q4.clone() },
+            EquivRequest { sem: Semantics::Set, q1: q3, q2: q4 },
+        ]
+    }
+
+    fn expect(outcome: &BatchOutcome) {
+        use EquivOutcome::*;
+        let want =
+            [Equivalent, NotEquivalent, Equivalent, Equivalent, NotEquivalent, Equivalent];
+        assert_eq!(outcome.verdicts.len(), want.len());
+        for (i, (got, want)) in outcome.verdicts.iter().zip(want.iter()).enumerate() {
+            assert_eq!(got, want, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_unbatched_verdicts_across_thread_counts() {
+        let (sigma, schema) = example_4_1();
+        for threads in [1, 4, 8] {
+            let session = BatchSession::new(sigma.clone(), schema.clone(), ChaseConfig::default())
+                .with_threads(threads);
+            let outcome = session.run(&requests());
+            expect(&outcome);
+            assert_eq!(outcome.stats.pairs, 6);
+            assert_eq!(outcome.stats.equivalent, 4);
+            assert_eq!(outcome.stats.not_equivalent, 2);
+            assert_eq!(outcome.stats.unknown, 0);
+        }
+    }
+
+    #[test]
+    fn shared_sigma_amortizes_chases_across_pairs() {
+        let (sigma, schema) = example_4_1();
+        let session = BatchSession::new(sigma, schema, ChaseConfig::default());
+        let outcome = session.run(&requests());
+        expect(&outcome);
+        // 6 pairs → 12 chases demanded; q4 recurs per semantics, q1/q2
+        // recur across semantics rows, so the cache must absorb repeats.
+        assert!(
+            outcome.stats.cache_hits >= 3,
+            "expected repeated-subquery hits, got {:?}",
+            outcome.stats
+        );
+        // A second identical batch is served entirely from cache.
+        let again = session.run(&requests());
+        expect(&again);
+        assert_eq!(again.stats.cache_misses, 0, "{:?}", again.stats);
+    }
+
+    #[test]
+    fn unknown_outcomes_flow_through_batches() {
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        let schema = Schema::all_bags(&[("e", 2)]);
+        // Single worker so the second pair deterministically probes the
+        // budget-exhaustion outcome the first pair cached.
+        let session = BatchSession::new(sigma, schema, ChaseConfig::with_max_steps(10));
+        let q1 = parse_query("q(X) :- e(X,Y)").unwrap();
+        let q2 = parse_query("q(X) :- e(X,Y), e(Y,Z)").unwrap();
+        let out = session.run(&[
+            EquivRequest { sem: Semantics::Set, q1: q1.clone(), q2: q2.clone() },
+            EquivRequest { sem: Semantics::Set, q1, q2 },
+        ]);
+        assert_eq!(out.stats.unknown, 2);
+        // The second pair's chase was served from the cached failure.
+        assert!(out.stats.cache_hits >= 1, "{:?}", out.stats);
+    }
+}

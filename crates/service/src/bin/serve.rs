@@ -1,0 +1,142 @@
+//! `eqsql-serve` — drive a [`BatchSession`] from a request file.
+//!
+//! ```text
+//! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] [--quiet] FILE
+//! ```
+//!
+//! Decides every `pair:` line of FILE (format: `eqsql_service::request`)
+//! over the file's shared Σ and prints one verdict line per pair plus
+//! batch statistics. `--repeat K` re-runs the same batch K times against
+//! the session's (by then warm) cache — the simplest load test: run 1 pays
+//! for the chases, runs 2..K measure the serving path.
+
+use eqsql_service::{parse_request_file, BatchSession, CacheConfig, ChaseCache, EquivRequest};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str =
+    "usage: eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] [--quiet] FILE";
+
+struct Args {
+    file: String,
+    threads: usize,
+    repeat: usize,
+    cache_capacity: usize,
+    quiet: bool,
+}
+
+enum ArgsOutcome {
+    Run(Args),
+    /// `--help`: print usage to stdout, exit success.
+    Help,
+}
+
+fn parse_args() -> Result<ArgsOutcome, String> {
+    let mut args = Args {
+        file: String::new(),
+        threads: 1,
+        repeat: 1,
+        cache_capacity: CacheConfig::default().capacity,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut numeric = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} wants a value"))?
+                .parse::<usize>()
+                .map_err(|_| format!("{name} wants a number"))
+        };
+        match a.as_str() {
+            "--threads" => args.threads = numeric("--threads")?.max(1),
+            "--repeat" => args.repeat = numeric("--repeat")?.max(1),
+            "--cache-capacity" => args.cache_capacity = numeric("--cache-capacity")?.max(1),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Ok(ArgsOutcome::Help),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other if args.file.is_empty() => args.file = other.to_string(),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    if args.file.is_empty() {
+        return Err("missing request FILE (see --help)".to_string());
+    }
+    Ok(ArgsOutcome::Run(args))
+}
+
+fn verdict_str(v: &eqsql_core::EquivOutcome) -> String {
+    match v {
+        eqsql_core::EquivOutcome::Equivalent => "equivalent".to_string(),
+        eqsql_core::EquivOutcome::NotEquivalent => "not-equivalent".to_string(),
+        eqsql_core::EquivOutcome::Unknown(e) => format!("unknown ({e})"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(ArgsOutcome::Run(a)) => a,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("eqsql-serve: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = match parse_request_file(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("eqsql-serve: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = Arc::new(ChaseCache::new(CacheConfig {
+        capacity: args.cache_capacity,
+        ..CacheConfig::default()
+    }));
+    let session = BatchSession::new(request.sigma, request.schema, request.config)
+        .with_cache(Arc::clone(&cache))
+        .with_threads(args.threads);
+
+    let start = Instant::now();
+    let mut last = None;
+    for run in 0..args.repeat {
+        let outcome = session.run(&request.pairs);
+        if run == 0 && !args.quiet {
+            for (req, verdict) in request.pairs.iter().zip(outcome.verdicts.iter()) {
+                let EquivRequest { sem, q1, q2 } = req;
+                println!("[{sem}] {q1}  ≡?  {q2}  →  {}", verdict_str(verdict));
+            }
+        }
+        last = Some(outcome);
+    }
+    let total = start.elapsed();
+    let outcome = last.expect("repeat >= 1");
+    let s = outcome.stats;
+    println!(
+        "batch: {} pairs ({} equivalent, {} not, {} unknown) on {} thread(s)",
+        s.pairs, s.equivalent, s.not_equivalent, s.unknown, s.threads
+    );
+    let c = cache.stats();
+    println!(
+        "cache: {} hits, {} misses, {} evictions, {} entries resident",
+        c.hits, c.misses, c.evictions, c.entries
+    );
+    println!(
+        "timing: last run {:?}, {} run(s) total {:?} ({:.1} pairs/s overall)",
+        s.wall,
+        args.repeat,
+        total,
+        (s.pairs * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,501 @@
+//! The sharded, concurrency-safe `(Q, Σ)` chase-result cache.
+//!
+//! ## What is cached
+//!
+//! One entry per α-equivalence class of chase inputs: the key is the
+//! renaming-invariant fingerprint of ([`crate::canon::query_fingerprint`])
+//! the query combined with the context fingerprint (Σ, semantics,
+//! set-valuedness flags, budgets). The value is the **terminal outcome** —
+//! the sound-chase result (terminal query, failure flag, step count,
+//! accumulated renaming, trace) or the [`ChaseError`] (budget exhaustion /
+//! query growth), which is just as expensive to rediscover.
+//!
+//! ## Soundness of the key
+//!
+//! A fingerprint match alone is *not* trusted: every probe is confirmed
+//! with an exact [`find_isomorphism`] check against the entry's stored
+//! representative query, and distinct non-isomorphic queries sharing a
+//! fingerprint coexist as separate entries in the same bucket. Together
+//! with the α-commutation of the sound chase (renaming the input renames
+//! the output; see [`crate::canon`]) this makes a hit semantically
+//! indistinguishable from a fresh chase: the cached terminal result is
+//! **replayed** through the witnessing bijection — terminal-query
+//! variables that originate in the representative are mapped back onto the
+//! probe's variables, chase-introduced variables are renamed fresh apart
+//! from the probe, and the accumulated renaming (the input to the
+//! assignment-fixing path, Definition 4.3) is transported the same way.
+//!
+//! ## Concurrency
+//!
+//! The cache is sharded by key; each shard is an independent mutex, so
+//! worker threads of a [`crate::batch::BatchSession`] rarely contend.
+//! Chases run *outside* any lock — a racing duplicate computation is
+//! possible (and harmless: last writer wins, the loser's result is simply
+//! returned uncached). Hit/miss/eviction counters are atomics. Eviction is
+//! FIFO per shard once the shard exceeds its capacity share.
+
+use crate::canon::{cache_key, query_fingerprint, ChaseContext};
+use eqsql_chase::set_chase::Chased;
+use eqsql_chase::{sound_chase_prepared, ChaseConfig, ChaseError, SoundChased};
+use eqsql_core::SoundChaser;
+use eqsql_cq::{find_isomorphism, CqQuery, Subst, Term, Var, VarSupply};
+use eqsql_deps::{regularize_set, DependencySet};
+use eqsql_relalg::{Schema, Semantics};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs for [`ChaseCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of independent shards (each its own mutex).
+    pub shards: usize,
+    /// Total entry capacity across all shards; exceeding a shard's
+    /// per-shard share evicts its oldest entries (FIFO).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { shards: 16, capacity: 4096 }
+    }
+}
+
+/// Distinct Σs memoized in regularized form before the memo is reset.
+const SIGMA_MEMO_CAP: usize = 256;
+
+/// A stored terminal chase result, expressed over the representative
+/// query's variables. The per-step trace is deliberately *not* stored:
+/// it is pure diagnostics (never an input to a decision), it would pin
+/// O(steps) heap strings per resident entry, and a replayed trace would
+/// carry the representative's variable names anyway — replayed results
+/// report an empty trace instead.
+#[derive(Clone, Debug)]
+struct StoredChase {
+    query: CqQuery,
+    failed: bool,
+    steps: usize,
+    renaming: Subst,
+    sigma_regularized: Arc<DependencySet>,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    /// Exact context key (fingerprint plus the material it hashes):
+    /// confirmed field-for-field on every probe, so a fingerprint
+    /// collision between contexts costs a failed match, never a verdict
+    /// computed under the wrong Σ/semantics/budget.
+    ctx: ChaseContext,
+    /// The representative query this entry was computed on.
+    representative: CqQuery,
+    /// Terminal result or terminal error — both are cache-worthy. The
+    /// result sits behind an `Arc` so a hit clones a pointer inside the
+    /// shard lock, not an exponential-size terminal query.
+    outcome: Result<Arc<StoredChase>, ChaseError>,
+    /// Insertion id, for FIFO eviction.
+    id: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    buckets: HashMap<u64, Vec<Entry>>,
+    order: VecDeque<(u64, u64)>,
+    entries: usize,
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from a stored entry.
+    pub hits: u64,
+    /// Probes that fell through to the chase engine.
+    pub misses: u64,
+    /// Entries discarded to capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// The sharded `(Q, Σ)` chase-result cache. See the module docs.
+pub struct ChaseCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    next_id: AtomicU64,
+    /// Rendered Σ → (regularized Σ, its rendered text), so repeated
+    /// chases over one Σ regularize and render it once. Keyed exactly (by
+    /// text) and bounded by [`SIGMA_MEMO_CAP`].
+    sigma_memo: Mutex<HashMap<String, (Arc<DependencySet>, Arc<str>)>>,
+}
+
+impl Default for ChaseCache {
+    fn default() -> Self {
+        ChaseCache::new(CacheConfig::default())
+    }
+}
+
+impl ChaseCache {
+    /// An empty cache with the given sizing.
+    pub fn new(config: CacheConfig) -> ChaseCache {
+        let shards = config.shards.max(1);
+        ChaseCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: (config.capacity / shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            sigma_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").entries)
+                .sum(),
+        }
+    }
+
+    /// The regularized form of Σ, computed once per distinct Σ. The memo
+    /// is dropped wholesale past [`SIGMA_MEMO_CAP`] distinct Σs —
+    /// regularization is cheap to redo, unbounded growth in a long-running
+    /// server is not.
+    pub fn regularized(&self, sigma: &DependencySet) -> Arc<DependencySet> {
+        self.regularized_with_text(sigma).0
+    }
+
+    /// [`ChaseCache::regularized`] plus the regularized set's rendered
+    /// text (the expensive half of building a [`ChaseContext`]), both
+    /// memoized, so the stateless [`SoundChaser`] path pays one render per
+    /// distinct Σ rather than two per chase.
+    fn regularized_with_text(&self, sigma: &DependencySet) -> (Arc<DependencySet>, Arc<str>) {
+        let text = sigma.to_string();
+        let mut memo = self.sigma_memo.lock().expect("sigma memo poisoned");
+        if memo.len() >= SIGMA_MEMO_CAP && !memo.contains_key(&text) {
+            memo.clear();
+        }
+        let (reg, reg_text) = memo.entry(text).or_insert_with(|| {
+            let reg = Arc::new(regularize_set(sigma));
+            let reg_text: Arc<str> = reg.to_string().into();
+            (reg, reg_text)
+        });
+        (Arc::clone(reg), Arc::clone(reg_text))
+    }
+
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `q` up under the given context; on a match returns the
+    /// stored outcome together with the probe→representative bijection.
+    fn lookup(
+        &self,
+        key: u64,
+        ctx: &ChaseContext,
+        q: &CqQuery,
+    ) -> Option<(Result<Arc<StoredChase>, ChaseError>, HashMap<Var, Var>)> {
+        let shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let bucket = shard.buckets.get(&key)?;
+        for entry in bucket {
+            if !entry.ctx.same(ctx) {
+                continue;
+            }
+            if let Some(map) = find_isomorphism(q, &entry.representative) {
+                return Some((entry.outcome.clone(), map));
+            }
+        }
+        None
+    }
+
+    fn insert(
+        &self,
+        key: u64,
+        ctx: ChaseContext,
+        q: &CqQuery,
+        outcome: Result<Arc<StoredChase>, ChaseError>,
+    ) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let bucket = shard.buckets.entry(key).or_default();
+        // Racing duplicate? Keep the resident entry: evicting it would
+        // invalidate nothing, but skipping keeps the order queue exact.
+        if bucket
+            .iter()
+            .any(|e| e.ctx.same(&ctx) && find_isomorphism(q, &e.representative).is_some())
+        {
+            return;
+        }
+        bucket.push(Entry { ctx, representative: q.clone(), outcome, id });
+        shard.order.push_back((key, id));
+        shard.entries += 1;
+        while shard.entries > self.per_shard_capacity {
+            let Some((old_key, old_id)) = shard.order.pop_front() else { break };
+            let mut removed = false;
+            if let Some(bucket) = shard.buckets.get_mut(&old_key) {
+                if let Some(pos) = bucket.iter().position(|e| e.id == old_id) {
+                    bucket.remove(pos);
+                    removed = true;
+                }
+                if bucket.is_empty() {
+                    shard.buckets.remove(&old_key);
+                }
+            }
+            if removed {
+                shard.entries -= 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Replays a stored outcome for `probe`, where `map` is the bijection
+    /// from `probe`'s variables onto the representative's.
+    fn replay(
+        probe: &CqQuery,
+        stored: &StoredChase,
+        map: &HashMap<Var, Var>,
+    ) -> SoundChased {
+        // Invert the canonicalizing map, then extend it over every variable
+        // of the stored terminal state: representative-originated variables
+        // go back through the inverse, chase-introduced ones are renamed
+        // fresh *apart from the probe* (their stored names may collide with
+        // probe variables that map elsewhere).
+        let inv: HashMap<Var, Var> = map.iter().map(|(p, r)| (*r, *p)).collect();
+        let mut supply = VarSupply::avoiding([probe]);
+        let mut sub = Subst::new();
+        let cover = |v: Var, sub: &mut Subst, supply: &mut VarSupply| {
+            if sub.get(v).is_none() {
+                let image = match inv.get(&v) {
+                    Some(p) => *p,
+                    None => supply.fresh(v.name()),
+                };
+                sub.set(v, Term::Var(image));
+            }
+        };
+        for v in stored.query.all_vars() {
+            cover(v, &mut sub, &mut supply);
+        }
+        for (v, t) in stored.renaming.sorted_pairs() {
+            cover(v, &mut sub, &mut supply);
+            if let Term::Var(w) = t {
+                cover(w, &mut sub, &mut supply);
+            }
+        }
+        let mut query = stored.query.apply(&sub);
+        query.name = probe.name;
+        let renaming = Subst::from_pairs(stored.renaming.sorted_pairs().into_iter().map(
+            |(v, t)| {
+                let v2 = match sub.get(v) {
+                    Some(Term::Var(w)) => *w,
+                    _ => v,
+                };
+                (v2, sub.apply_term(&t))
+            },
+        ));
+        SoundChased {
+            query: query.clone(),
+            failed: stored.failed,
+            steps: stored.steps,
+            sigma_regularized: Arc::clone(&stored.sigma_regularized),
+            chased: Chased {
+                query,
+                failed: stored.failed,
+                steps: stored.steps,
+                renaming,
+                // Not stored (see StoredChase): replayed results carry an
+                // empty trace.
+                trace: Vec::new(),
+            },
+        }
+    }
+}
+
+impl ChaseCache {
+    /// The cache's core path, with the per-Σ work hoisted out: `ctx` is
+    /// the [`context_fingerprint`] and `sigma_reg` the regularized Σ, both
+    /// computed once per session rather than per chase. The generic
+    /// [`SoundChaser`] impl derives them on every call; batch sessions use
+    /// this directly so the *hit* path touches Σ not at all.
+    pub fn chase_keyed(
+        &self,
+        ctx: &ChaseContext,
+        sigma_reg: &Arc<DependencySet>,
+        sem: Semantics,
+        q: &CqQuery,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> Result<SoundChased, ChaseError> {
+        self.chase_keyed_counted(ctx, sigma_reg, sem, q, schema, config).0
+    }
+
+    /// [`ChaseCache::chase_keyed`], additionally reporting whether the
+    /// probe hit. Batch sessions use the flag for *exact* per-run hit/miss
+    /// attribution — the global counters mix in every concurrent session
+    /// sharing the cache.
+    pub fn chase_keyed_counted(
+        &self,
+        ctx: &ChaseContext,
+        sigma_reg: &Arc<DependencySet>,
+        sem: Semantics,
+        q: &CqQuery,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> (Result<SoundChased, ChaseError>, bool) {
+        let key = cache_key(query_fingerprint(q), ctx.fingerprint());
+        if let Some((outcome, map)) = self.lookup(key, ctx, q) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (outcome.map(|stored| Self::replay(q, &stored, &map)), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = sound_chase_prepared(sem, q, Arc::clone(sigma_reg), schema, config);
+        let stored = match &result {
+            Ok(r) => Ok(Arc::new(StoredChase {
+                query: r.query.clone(),
+                failed: r.failed,
+                steps: r.steps,
+                renaming: r.chased.renaming.clone(),
+                sigma_regularized: Arc::clone(sigma_reg),
+            })),
+            Err(e) => Err(e.clone()),
+        };
+        self.insert(key, ctx.clone(), q, stored);
+        (result, false)
+    }
+}
+
+impl SoundChaser for ChaseCache {
+    fn sound_chase(
+        &self,
+        sem: Semantics,
+        q: &CqQuery,
+        sigma: &DependencySet,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> Result<SoundChased, ChaseError> {
+        let (sigma_reg, reg_text) = self.regularized_with_text(sigma);
+        let ctx = ChaseContext::with_text(sem, reg_text, schema, config);
+        self.chase_keyed(&ctx, &sigma_reg, sem, q, schema, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::{are_isomorphic, parse_query};
+    use eqsql_deps::parse_dependencies;
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    fn fixture() -> (DependencySet, Schema) {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.",
+        )
+        .unwrap();
+        let mut schema = Schema::all_bags(&[("p", 2), ("s", 2), ("t", 3)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        (sigma, schema)
+    }
+
+    #[test]
+    fn hit_replays_isomorphic_result_over_probe_vars() {
+        let (sigma, schema) = fixture();
+        let cache = ChaseCache::default();
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        let fresh = cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+
+        // α-renamed probe: hits, and the replayed result is the fresh chase
+        // of the probe up to isomorphism, expressed over the probe's head.
+        let renamed = parse_query("q(A) :- p(A,B)").unwrap();
+        let replayed =
+            cache.sound_chase(Semantics::Set, &renamed, &sigma, &schema, &cfg()).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(replayed.steps, fresh.steps);
+        assert!(are_isomorphic(&replayed.query, &fresh.query));
+        assert_eq!(replayed.query.head, renamed.head, "head must be over probe variables");
+        // Chase-fresh variables must not collide with probe variables.
+        let direct = eqsql_chase::sound_chase(Semantics::Set, &renamed, &sigma, &schema, &cfg())
+            .unwrap();
+        assert!(are_isomorphic(&replayed.query, &direct.query));
+    }
+
+    #[test]
+    fn probe_vars_colliding_with_chase_fresh_names_are_kept_apart() {
+        // The representative's chase introduces fresh vars named Z_1, W_2…;
+        // a probe that *owns* such names must not capture them.
+        let (sigma, schema) = fixture();
+        let cache = ChaseCache::default();
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();
+        let tricky = parse_query("q(Z_1) :- p(Z_1,W_1)").unwrap();
+        let replayed =
+            cache.sound_chase(Semantics::Set, &tricky, &sigma, &schema, &cfg()).unwrap();
+        let direct =
+            eqsql_chase::sound_chase(Semantics::Set, &tricky, &sigma, &schema, &cfg()).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert!(
+            are_isomorphic(&replayed.query, &direct.query),
+            "replayed {} vs direct {}",
+            replayed.query,
+            direct.query
+        );
+    }
+
+    #[test]
+    fn errors_are_cached_outcomes() {
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        let schema = Schema::all_bags(&[("e", 2)]);
+        let cache = ChaseCache::default();
+        let q = parse_query("q(X) :- e(X,Y)").unwrap();
+        let small = ChaseConfig::with_max_steps(13);
+        let e1 = cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &small).unwrap_err();
+        let q2 = parse_query("q(U) :- e(U,V)").unwrap();
+        let e2 = cache.sound_chase(Semantics::Set, &q2, &sigma, &schema, &small).unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0, entries: 1 });
+    }
+
+    #[test]
+    fn semantics_and_budget_partition_the_cache() {
+        let (sigma, schema) = fixture();
+        let cache = ChaseCache::default();
+        let q = parse_query("q(X) :- p(X,Y)").unwrap();
+        cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();
+        cache.sound_chase(Semantics::Bag, &q, &sigma, &schema, &cfg()).unwrap();
+        cache
+            .sound_chase(Semantics::Set, &q, &sigma, &schema, &ChaseConfig::with_max_steps(99))
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("c", 1)]);
+        let cache = ChaseCache::new(CacheConfig { shards: 1, capacity: 2 });
+        for body in ["a(X)", "a(X), c(X)", "a(X), c(X), c(X)"] {
+            let q = parse_query(&format!("q(X) :- {body}")).unwrap();
+            cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // The first entry was evicted: probing it again misses.
+        let q = parse_query("q(X) :- a(X)").unwrap();
+        cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+}

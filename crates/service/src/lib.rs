@@ -1,0 +1,89 @@
+//! # eqsql-service — batched Σ-equivalence with a `(Q, Σ)` chase-result cache
+//!
+//! The decision procedures of Chirkova & Genesereth (PODS 2009) reduce
+//! every Σ-equivalence question to *sound chases to termination* of the two
+//! input queries (Theorems 2.2 / 6.1 / 6.2) followed by a cheap
+//! dependency-free test on the terminal queries. Workloads that consume an
+//! equivalence oracle — rewrite validation, view selection, the C&B
+//! backchase — ask such questions in *streams over one fixed Σ*, re-chasing
+//! structurally identical (sub)queries over and over. This crate is the
+//! serving layer that removes that redundancy:
+//!
+//! * [`canon`] — a renaming-invariant fingerprint of `(query, Σ, semantics,
+//!   set-valuedness flags, budgets)`, with the canonicalizing variable map
+//!   (the witnessing bijection onto a cached representative) retained so
+//!   terminal results can be replayed for α-equivalent probes;
+//! * [`cache`] — a sharded, concurrency-safe map from canonical keys to
+//!   terminal chase outcomes (terminal query *or* failure/budget error),
+//!   with hit/miss/eviction counters and FIFO capacity eviction;
+//! * [`batch`] — [`BatchSession`]: one Σ, many `(Q1, Q2, semantics)`
+//!   pairs; Σ-regularization happens once, chases dispatch across a worker
+//!   pool, and the caller gets per-pair verdicts plus batch statistics;
+//! * the `eqsql-serve` binary — drives a session from a newline-delimited
+//!   request file, for smoke tests and load experiments.
+//!
+//! ## Cache-key soundness
+//!
+//! A cache hit must be indistinguishable from a fresh chase. Two facts make
+//! the key sound:
+//!
+//! 1. **The sound chase commutes with α-renaming.** The engine's choices
+//!    (dependency order, the deterministic homomorphism search, fresh-name
+//!    drawing) are functions of query *structure*; renaming the input
+//!    variables bijectively renames the whole run. Hence one terminal
+//!    result per α-class suffices, replayed through the class bijection
+//!    (probe → representative), with chase-introduced variables renamed
+//!    apart from the probe and the accumulated egd renaming — the input to
+//!    the assignment-fixing test (Definition 4.3) — transported the same
+//!    way.
+//! 2. **Fingerprints are necessary, isomorphism is the authority.** The
+//!    color-refinement fingerprint of [`canon`] is provably equal on
+//!    isomorphic queries but may collide for non-isomorphic ones, so every
+//!    probe is confirmed by an exact [`eqsql_cq::find_isomorphism`] check
+//!    (including positional head correspondence and body-multiset
+//!    matching) before an entry is trusted, and non-isomorphic queries
+//!    occupy distinct entries within a bucket. A collision therefore costs
+//!    a linear bucket scan, never a wrong verdict — the property pinned by
+//!    the cache-poisoning guard tests in `tests/tests/service_cache.rs`.
+//!
+//! Everything else the outcome depends on — Σ (textually), the semantics,
+//! the schema's set-valuedness flags, and both chase budgets (a cached
+//! `BudgetExhausted` is only valid for the budget it was observed under) —
+//! forms the context half of the key ([`canon::ChaseContext`]), which is
+//! likewise never trusted on its fingerprint alone: entries store the
+//! exact key material and confirm it field-for-field on every probe.
+//!
+//! ## Batch lifecycle
+//!
+//! ```text
+//! BatchSession::new(Σ, schema, config)      regularize Σ once (memoized)
+//!     .with_cache(shared)                   optionally adopt a warm cache
+//!     .with_threads(n)                      size the worker pool
+//!     .run(&pairs)                          N workers pull pairs from a
+//!                                           shared counter; each pair runs
+//!                                           sigma_equivalent_via(cache),
+//!                                           so both chases of the pair are
+//!                                           cache lookups first
+//!  -> BatchOutcome { verdicts, stats }      verdicts in request order;
+//!                                           stats: verdict counts, cache
+//!                                           hit/miss deltas, wall time
+//! ```
+//!
+//! Sessions are cheap and single-Σ; servers keep one [`cache::ChaseCache`]
+//! behind an [`std::sync::Arc`] and open a session per request batch. The
+//! same cache can be handed to [`eqsql_core::cnb_via`] /
+//! [`eqsql_core::sigma_equivalent_via`] directly — the service and the
+//! C&B family share chase work through the same handle.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod cache;
+pub mod canon;
+pub mod request;
+
+pub use batch::{BatchOutcome, BatchSession, BatchStats, EquivRequest};
+pub use cache::{CacheConfig, CacheStats, ChaseCache};
+pub use canon::{cache_key, context_fingerprint, query_fingerprint, ChaseContext};
+pub use request::{parse_request_file, RequestFile, RequestParseError};

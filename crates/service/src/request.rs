@@ -1,0 +1,220 @@
+//! The newline-delimited request format driven by `eqsql-serve`.
+//!
+//! A request file describes one batch: a shared Σ, optional schema flags
+//! and budgets, and the query pairs to decide. Line-oriented, `#` comments:
+//!
+//! ```text
+//! # Σ, one or more dependencies per line (datalog-ish syntax, '.'-terminated)
+//! sigma: p(X,Y) -> s(X,Z) & t(X,V,W).
+//! sigma: s(X,Y) & s(X,Z) -> Y = Z.
+//! # relations that are set-valued on every instance (Appendix C flags)
+//! set_valued: s t
+//! # chase budgets (optional)
+//! max_steps: 5000
+//! max_atoms: 5000
+//! # pairs: <semantics> | <query 1> | <query 2>, semantics ∈ set|bag|bagset
+//! pair: set | q1(X) :- p(X,Y), s(X,Z) | q2(X) :- p(X,Y)
+//! ```
+//!
+//! The schema is inferred: every predicate/arity mentioned in Σ or in a
+//! query becomes a (bag-valued) relation, then `set_valued` lines flip
+//! flags. An arity conflict is a parse error.
+
+use crate::batch::EquivRequest;
+use eqsql_chase::ChaseConfig;
+use eqsql_cq::{parse_query, Atom, Predicate};
+use eqsql_deps::{parse_dependencies, Dependency, DependencySet};
+use eqsql_relalg::{Schema, Semantics};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed request file: everything a [`crate::BatchSession`] needs.
+#[derive(Clone, Debug)]
+pub struct RequestFile {
+    /// The shared dependency set.
+    pub sigma: DependencySet,
+    /// The inferred schema, with `set_valued` flags applied.
+    pub schema: Schema,
+    /// Chase budgets (defaults unless overridden in the file).
+    pub config: ChaseConfig,
+    /// The batch, in file order.
+    pub pairs: Vec<EquivRequest>,
+}
+
+/// A request-file syntax or consistency error, with its 1-based line.
+#[derive(Clone, Debug)]
+pub struct RequestParseError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RequestParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RequestParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> RequestParseError {
+    RequestParseError { line, message: message.into() }
+}
+
+fn parse_semantics(s: &str, line: usize) -> Result<Semantics, RequestParseError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "set" | "s" => Ok(Semantics::Set),
+        "bag" | "b" => Ok(Semantics::Bag),
+        "bagset" | "bag-set" | "bag_set" | "bs" => Ok(Semantics::BagSet),
+        other => Err(err(line, format!("unknown semantics {other:?} (want set|bag|bagset)"))),
+    }
+}
+
+fn note_atoms<'a>(
+    atoms: impl IntoIterator<Item = &'a Atom>,
+    arities: &mut BTreeMap<Predicate, usize>,
+    line: usize,
+) -> Result<(), RequestParseError> {
+    for a in atoms {
+        match arities.insert(a.pred, a.arity()) {
+            Some(prev) if prev != a.arity() => {
+                return Err(err(
+                    line,
+                    format!("relation {} used with arities {} and {}", a.pred, prev, a.arity()),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Parses the request format described in the module docs.
+pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> {
+    let mut sigma = DependencySet::new();
+    let mut set_valued: Vec<(String, usize)> = Vec::new();
+    let mut config = ChaseConfig::default();
+    let mut raw_pairs: Vec<(Semantics, String, String, usize)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((keyword, rest)) = line.split_once(':') else {
+            return Err(err(line_no, format!("expected `keyword: ...`, got {line:?}")));
+        };
+        let rest = rest.trim();
+        match keyword.trim() {
+            "sigma" => {
+                let deps = parse_dependencies(rest)
+                    .map_err(|e| err(line_no, format!("bad dependency: {e}")))?;
+                for d in deps.iter() {
+                    sigma.push(d.clone());
+                }
+            }
+            "set_valued" => {
+                for name in rest.split_whitespace() {
+                    set_valued.push((name.to_string(), line_no));
+                }
+            }
+            "max_steps" => {
+                config.max_steps = rest
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad max_steps {rest:?}")))?;
+            }
+            "max_atoms" => {
+                config.max_atoms = rest
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad max_atoms {rest:?}")))?;
+            }
+            "pair" => {
+                let mut parts = rest.splitn(3, '|');
+                let (Some(sem), Some(q1), Some(q2)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(err(line_no, "pair wants `<sem> | <query> | <query>`"));
+                };
+                raw_pairs.push((
+                    parse_semantics(sem, line_no)?,
+                    q1.trim().to_string(),
+                    q2.trim().to_string(),
+                    line_no,
+                ));
+            }
+            other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
+        }
+    }
+    if raw_pairs.is_empty() {
+        return Err(err(0, "request file has no `pair:` lines"));
+    }
+
+    // Infer the schema from every atom in sight.
+    let mut arities: BTreeMap<Predicate, usize> = BTreeMap::new();
+    for d in sigma.iter() {
+        note_atoms(d.lhs(), &mut arities, 0)?;
+        if let Dependency::Tgd(t) = d {
+            note_atoms(&t.rhs, &mut arities, 0)?;
+        }
+    }
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for (sem, q1, q2, line_no) in raw_pairs {
+        let q1 = parse_query(&q1).map_err(|e| err(line_no, format!("bad query: {e}")))?;
+        let q2 = parse_query(&q2).map_err(|e| err(line_no, format!("bad query: {e}")))?;
+        note_atoms(&q1.body, &mut arities, line_no)?;
+        note_atoms(&q2.body, &mut arities, line_no)?;
+        pairs.push(EquivRequest { sem, q1, q2 });
+    }
+    let rels: Vec<(&str, usize)> =
+        arities.iter().map(|(p, &a)| (p.name(), a)).collect();
+    let mut schema = Schema::all_bags(&rels);
+    for (name, line_no) in set_valued {
+        let pred = Predicate::new(&name);
+        if !arities.contains_key(&pred) {
+            return Err(err(line_no, format!("set_valued relation {name:?} never mentioned")));
+        }
+        schema.mark_set_valued(pred);
+    }
+    Ok(RequestFile { sigma, schema, config, pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+sigma: p(X,Y) -> s(X,Z).
+sigma: s(X,Y) & s(X,Z) -> Y = Z.
+set_valued: s
+max_steps: 1234
+
+pair: set | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
+pair: bagset | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
+";
+
+    #[test]
+    fn parses_the_documented_format() {
+        let r = parse_request_file(SAMPLE).unwrap();
+        assert_eq!(r.sigma.len(), 2);
+        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.config.max_steps, 1234);
+        assert_eq!(r.pairs[0].sem, Semantics::Set);
+        assert_eq!(r.pairs[1].sem, Semantics::BagSet);
+        assert!(r.schema.is_set_valued(Predicate::new("s")));
+        assert!(!r.schema.is_set_valued(Predicate::new("p")));
+        assert_eq!(r.schema.arity(Predicate::new("s")), Some(2));
+    }
+
+    #[test]
+    fn rejects_arity_conflicts_and_junk() {
+        assert!(parse_request_file("sigma: p(X) -> s(X).\npair: set | q(X) :- p(X,Y) | q(X) :- p(X)")
+            .unwrap_err()
+            .message
+            .contains("arities"));
+        assert!(parse_request_file("nonsense\n").is_err());
+        assert!(parse_request_file("pair: magic | q(X) :- p(X) | q(X) :- p(X)").is_err());
+        assert!(parse_request_file("sigma: p(X) -> s(X).").unwrap_err().message.contains("no `pair:`"));
+    }
+}

@@ -356,7 +356,9 @@ mod tests {
 
     fn lower(sql: &str) -> Result<LoweredQuery, LowerError> {
         let stmts = parse_sql(sql).unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         lower_select(s, &catalog(), "q")
     }
 

@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn parse_simple_select() {
         let stmts = parse_sql("SELECT e.name FROM emp e WHERE e.dept = 3").unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         assert!(!s.distinct);
         assert_eq!(s.items.len(), 1);
         assert_eq!(s.from[0].table, "emp");
@@ -243,7 +245,9 @@ mod tests {
              WHERE e.dept = d.id AND d.city = 'Oslo'",
         )
         .unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         assert!(s.distinct);
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.from.len(), 2);
@@ -257,7 +261,9 @@ mod tests {
             "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept",
         )
         .unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         assert_eq!(s.group_by.len(), 1);
         assert!(matches!(&s.items[1], SelectItem::Aggregate { func: SqlAgg::Sum, arg: Some(_) }));
     }
@@ -265,7 +271,9 @@ mod tests {
     #[test]
     fn parse_count_star() {
         let stmts = parse_sql("SELECT d.id, COUNT(*) FROM dept d GROUP BY d.id").unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         assert!(matches!(&s.items[1], SelectItem::Aggregate { func: SqlAgg::CountStar, arg: None }));
     }
 
@@ -277,7 +285,9 @@ mod tests {
              FOREIGN KEY (dept) REFERENCES dept (id));",
         )
         .unwrap();
-        let SqlStatement::CreateTable(t) = &stmts[0] else { panic!() };
+        let SqlStatement::CreateTable(t) = &stmts[0] else {
+            panic!("expected a CREATE TABLE statement, got {:?}", stmts[0])
+        };
         assert_eq!(t.name, "emp");
         assert_eq!(t.columns.len(), 3);
         assert_eq!(t.constraints.len(), 2);
@@ -305,7 +315,9 @@ mod tests {
     #[test]
     fn unqualified_columns_parse() {
         let stmts = parse_sql("SELECT name FROM emp WHERE dept = 3").unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         assert!(matches!(&s.items[0], SelectItem::Column(c) if c.qualifier.is_none()));
     }
 }

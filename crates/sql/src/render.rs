@@ -180,15 +180,19 @@ mod tests {
         let cat = catalog();
         let sql = "SELECT e.salary FROM emp e, dept d WHERE e.dept = d.id AND d.city = 'Oslo'";
         let stmts = parse_sql(sql).unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         let LoweredQuery::Cq { query: q1, .. } = lower_select(s, &cat, "q").unwrap() else {
-            panic!()
+            panic!("expected the SELECT to lower to a plain CQ query")
         };
         let sql2 = render_cq(&q1, Some(&cat), false);
         let stmts2 = parse_sql(&sql2).unwrap();
-        let SqlStatement::Select(s2) = &stmts2[0] else { panic!() };
+        let SqlStatement::Select(s2) = &stmts2[0] else {
+            panic!("expected the re-rendered SQL to parse as a SELECT, got {:?}", stmts2[0])
+        };
         let LoweredQuery::Cq { query: q2, .. } = lower_select(s2, &cat, "q").unwrap() else {
-            panic!()
+            panic!("expected the round-tripped SELECT to lower to a plain CQ query")
         };
         assert!(eqsql_cq::are_isomorphic(&q1, &q2), "{q1} vs {q2}");
     }
@@ -198,17 +202,21 @@ mod tests {
         let cat = catalog();
         let sql = "SELECT e.dept, MAX(e.salary) FROM emp e GROUP BY e.dept";
         let stmts = parse_sql(sql).unwrap();
-        let SqlStatement::Select(s) = &stmts[0] else { panic!() };
+        let SqlStatement::Select(s) = &stmts[0] else {
+            panic!("expected a SELECT statement, got {:?}", stmts[0])
+        };
         let LoweredQuery::Agg { query: q1 } =
             lower_select(s, &cat, "q").unwrap()
         else {
-            panic!()
+            panic!("expected the SELECT to lower to an aggregate query")
         };
         let sql2 = render_aggregate(&q1, Some(&cat));
         let stmts2 = parse_sql(&sql2).unwrap();
-        let SqlStatement::Select(s2) = &stmts2[0] else { panic!() };
+        let SqlStatement::Select(s2) = &stmts2[0] else {
+            panic!("expected the re-rendered SQL to parse as a SELECT, got {:?}", stmts2[0])
+        };
         let LoweredQuery::Agg { query: q2 } = lower_select(s2, &cat, "q").unwrap() else {
-            panic!()
+            panic!("expected the round-tripped SELECT to lower to an aggregate query")
         };
         assert!(eqsql_cq::are_isomorphic(&q1.core(), &q2.core()));
         assert_eq!(q1.agg, q2.agg);

@@ -26,6 +26,8 @@ BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench chase_scaling -- 2>&1 | sed 's/^/  /'
 BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench equiv -- 2>&1 | sed 's/^/  /'
+BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
+    cargo bench -q -p eqsql-bench --bench equiv_batch -- 2>&1 | sed 's/^/  /'
 
 jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
   {
@@ -45,8 +47,24 @@ jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
           speedup: (($ref.median_ns / $idx.median_ns * 100 | round) / 100)
         }
       )
+    ),
+    batch_speedups: (
+      map(select(.id | startswith("equiv_batch/")))
+      | group_by(.id | sub("/(cold|warm)/"; "/")) | map(
+        select(length == 2) |
+        (map(select(.id | contains("/cold/"))) | first) as $cold |
+        (map(select(.id | contains("/warm/"))) | first) as $warm |
+        select($cold != null and $warm != null) |
+        {
+          case: ($warm.id | sub("/warm/"; "/")),
+          cold_median_ns: $cold.median_ns,
+          warm_median_ns: $warm.median_ns,
+          warm_speedup: (($cold.median_ns / $warm.median_ns * 100 | round) / 100)
+        }
+      )
     )
   }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
 jq -r '.speedups[] | "\(.case): \(.speedup)x (indexed \(.indexed_median_ns)ns vs reference \(.reference_median_ns)ns)"' "$OUT"
+jq -r '.batch_speedups[] | "\(.case): warm cache \(.warm_speedup)x (cold \(.cold_median_ns)ns vs warm \(.warm_median_ns)ns)"' "$OUT"

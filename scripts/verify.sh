@@ -15,6 +15,13 @@ echo "== benches compile (cargo bench --no-run)"
 cargo bench --no-run -q
 
 echo "== examples + experiments binaries compile"
-cargo build -q -p eqsql-examples -p eqsql-bench --bins
+cargo build -q -p eqsql-examples -p eqsql-bench -p eqsql-service --bins
+
+echo "== eqsql-serve smoke (batched Σ-equivalence on the committed fixture)"
+SERVE_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+    --threads 2 --repeat 2 crates/service/fixtures/smoke.req)"
+echo "$SERVE_OUT" | sed 's/^/  /'
+echo "$SERVE_OUT" | grep -q "batch: 6 pairs (4 equivalent, 2 not, 0 unknown)" \
+    || { echo "eqsql-serve smoke: unexpected verdicts" >&2; exit 1; }
 
 echo "verify: OK"
