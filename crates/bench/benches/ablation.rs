@@ -12,8 +12,8 @@ use eqsql_chase::assignment_fixing::is_assignment_fixing_wrt_query;
 use eqsql_chase::{is_key_based, sound_chase, ChaseConfig};
 use eqsql_core::Semantics;
 use eqsql_cq::parse_query;
-use eqsql_deps::regularize::regularize_set;
 use eqsql_deps::parse_dependencies;
+use eqsql_deps::regularize::regularize_set;
 use eqsql_relalg::Schema;
 use std::hint::black_box;
 

@@ -31,8 +31,7 @@ fn bench_appendix_h(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("set_chase_reference", m), &inst, |b, inst| {
             b.iter(|| {
-                let r =
-                    set_chase_reference(black_box(&inst.query), &inst.sigma, &cfg).unwrap();
+                let r = set_chase_reference(black_box(&inst.query), &inst.sigma, &cfg).unwrap();
                 black_box(r.query.body.len())
             })
         });

@@ -28,8 +28,11 @@ fn bench_dependency_free(c: &mut Criterion) {
             &QueryParams { atoms, vars: atoms, const_prob: 0.05, const_domain: 3, max_head: 2 },
         );
         let iso = rename_isomorphic(&mut rng, &q);
-        group.bench_with_input(BenchmarkId::new("bag_iso", atoms), &(q.clone(), iso.clone()),
-            |b, (q, r)| b.iter(|| black_box(bag_equivalent(q, r))));
+        group.bench_with_input(
+            BenchmarkId::new("bag_iso", atoms),
+            &(q.clone(), iso.clone()),
+            |b, (q, r)| b.iter(|| black_box(bag_equivalent(q, r))),
+        );
         group.bench_with_input(
             BenchmarkId::new("bag_set_canonical", atoms),
             &(q.clone(), iso.clone()),

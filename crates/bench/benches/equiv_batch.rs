@@ -62,10 +62,8 @@ fn repeated_subquery_pairs() -> Vec<EquivRequest> {
     let n = q1.body.len();
     let mut pairs = Vec::new();
     for mask in 1u32..(1 << n) {
-        let body: Vec<_> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| q1.body[i].clone())
-            .collect();
+        let body: Vec<_> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| q1.body[i].clone()).collect();
         let candidate = CqQuery { name: q1.name, head: q1.head.clone(), body };
         if !candidate.is_safe() {
             continue;
@@ -97,8 +95,7 @@ fn bench_equiv_batch(c: &mut Criterion) {
                 black_box(session.run(&pairs))
             })
         });
-        let warm =
-            BatchSession::new(sigma.clone(), schema.clone(), config).with_threads(threads);
+        let warm = BatchSession::new(sigma.clone(), schema.clone(), config).with_threads(threads);
         warm.run(&pairs); // populate the cache, untimed
         group.bench_with_input(BenchmarkId::new("warm", threads), &threads, |b, _| {
             b.iter(|| black_box(warm.run(&pairs)))

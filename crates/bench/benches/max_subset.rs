@@ -38,13 +38,9 @@ fn bench_growing_sigma(c: &mut Criterion) {
         let inst = appendix_h_instance(m);
         group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
             b.iter(|| {
-                let r = max_bag_sigma_subset(
-                    black_box(&inst.query),
-                    &inst.sigma,
-                    &inst.schema,
-                    &cfg,
-                )
-                .unwrap();
+                let r =
+                    max_bag_sigma_subset(black_box(&inst.query), &inst.sigma, &inst.schema, &cfg)
+                        .unwrap();
                 black_box(r.subset.len())
             })
         });

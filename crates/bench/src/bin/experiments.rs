@@ -13,8 +13,8 @@ use eqsql_core::aggregate::sigma_agg_equivalent;
 use eqsql_core::cnb::{cnb, CnbOptions};
 use eqsql_core::counterexample::separating_database;
 use eqsql_core::{sigma_equivalent, Semantics};
-use eqsql_cq::parser::parse_aggregate_query;
 use eqsql_cq::parse_query;
+use eqsql_cq::parser::parse_aggregate_query;
 use eqsql_deps::satisfaction::db_satisfies_all;
 use eqsql_gen::appendix_h::{appendix_h_instance, expected_chase_size};
 use eqsql_relalg::eval::{eval_bag, eval_bag_set};
@@ -179,10 +179,13 @@ fn t5_counterexample_search() {
             None => println!("{sem}: NO witness found (unexpected)"),
         }
     }
-    println!("set: {}", match separating_database(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg) {
-        Some(_) => "witness found (UNEXPECTED — they are set-equivalent)",
-        None => "no witness (correct: Q1 ≡_Σ,S Q4)",
-    });
+    println!(
+        "set: {}",
+        match separating_database(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg) {
+            Some(_) => "witness found (UNEXPECTED — they are set-equivalent)",
+            None => "no witness (correct: Q1 ≡_Σ,S Q4)",
+        }
+    );
 }
 
 fn t6_aggregates() {
@@ -197,12 +200,36 @@ fn t6_aggregates() {
     schema.mark_set_valued(eqsql_cq::Predicate::new("dept"));
     let cfg = ChaseConfig::default();
     let cases = [
-        ("max ± dept join", "m(D, max(S)) :- emp(I,D,S)", "m(D, max(S)) :- emp(I,D,S), dept(D)", true),
-        ("sum ± dept join", "t(D, sum(S)) :- emp(I,D,S)", "t(D, sum(S)) :- emp(I,D,S), dept(D)", true),
-        ("max ± audit join", "m(D, max(S)) :- emp(I,D,S)", "m(D, max(S)) :- emp(I,D,S), audit(I)", false),
-        ("sum ± dup emp", "t(D, sum(S)) :- emp(I,D,S)", "t(D, sum(S)) :- emp(I,D,S), emp(I,D,S)", true),
-        ("count ± extra emp join", "c(D, count(*)) :- emp(I,D,S)",
-         "c(D, count(*)) :- emp(I,D,S), emp(I2,D,S2)", false),
+        (
+            "max ± dept join",
+            "m(D, max(S)) :- emp(I,D,S)",
+            "m(D, max(S)) :- emp(I,D,S), dept(D)",
+            true,
+        ),
+        (
+            "sum ± dept join",
+            "t(D, sum(S)) :- emp(I,D,S)",
+            "t(D, sum(S)) :- emp(I,D,S), dept(D)",
+            true,
+        ),
+        (
+            "max ± audit join",
+            "m(D, max(S)) :- emp(I,D,S)",
+            "m(D, max(S)) :- emp(I,D,S), audit(I)",
+            false,
+        ),
+        (
+            "sum ± dup emp",
+            "t(D, sum(S)) :- emp(I,D,S)",
+            "t(D, sum(S)) :- emp(I,D,S), emp(I,D,S)",
+            true,
+        ),
+        (
+            "count ± extra emp join",
+            "c(D, count(*)) :- emp(I,D,S)",
+            "c(D, count(*)) :- emp(I,D,S), emp(I2,D,S2)",
+            false,
+        ),
     ];
     for (name, a, b, expected) in cases {
         let qa = parse_aggregate_query(a).unwrap();
@@ -262,5 +289,8 @@ fn main() {
     t6_aggregates();
     t7_lemma_d1();
     t8_engine_sanity();
-    println!("\nall experiment tables regenerated in {:.2?}; every inline assertion held.", t0.elapsed());
+    println!(
+        "\nall experiment tables regenerated in {:.2?}; every inline assertion held.",
+        t0.elapsed()
+    );
 }

@@ -39,10 +39,7 @@ fn main() {
     for n in [16usize, 32] {
         let body: Vec<Atom> = (0..n)
             .map(|i| {
-                Atom::new(
-                    "e",
-                    vec![Term::var(&format!("X{i}")), Term::var(&format!("X{}", i + 1))],
-                )
+                Atom::new("e", vec![Term::var(&format!("X{i}")), Term::var(&format!("X{}", i + 1))])
             })
             .collect();
         let q = CqQuery::new("q", vec![Term::var("X0")], body);

@@ -161,10 +161,7 @@ mod tests {
         let sigma = parse_dependencies("p(X,Y) -> r(X).").unwrap();
         let q = parse_query("q(X) :- p(X,Y)").unwrap();
         let t = sigma.tgds().next().unwrap().clone();
-        assert_eq!(
-            is_assignment_fixing_wrt_query(&q, &sigma, &t, &cfg()).unwrap(),
-            Some(true)
-        );
+        assert_eq!(is_assignment_fixing_wrt_query(&q, &sigma, &t, &cfg()).unwrap(), Some(true));
     }
 
     #[test]
@@ -178,10 +175,7 @@ mod tests {
         .unwrap();
         let q = parse_query("q(X) :- p(X,Y)").unwrap();
         let t = sigma.tgds().next().unwrap().clone();
-        assert_eq!(
-            is_assignment_fixing_wrt_query(&q, &sigma, &t, &cfg()).unwrap(),
-            Some(true)
-        );
+        assert_eq!(is_assignment_fixing_wrt_query(&q, &sigma, &t, &cfg()).unwrap(), Some(true));
     }
 
     #[test]
@@ -191,10 +185,7 @@ mod tests {
         let sigma = parse_dependencies("p(X,Y) -> u(X,Z).").unwrap();
         let q = parse_query("q(X) :- p(X,Y)").unwrap();
         let t = sigma.tgds().next().unwrap().clone();
-        assert_eq!(
-            is_assignment_fixing_wrt_query(&q, &sigma, &t, &cfg()).unwrap(),
-            Some(false)
-        );
+        assert_eq!(is_assignment_fixing_wrt_query(&q, &sigma, &t, &cfg()).unwrap(), Some(false));
     }
 
     #[test]
@@ -217,9 +208,6 @@ mod tests {
         .unwrap();
         let q = parse_query("q(X) :- p(X,Y), s(X,Z)").unwrap();
         let nu1 = sigma.tgds().next().unwrap().clone();
-        assert_eq!(
-            is_assignment_fixing_wrt_query(&q, &sigma, &nu1, &cfg()).unwrap(),
-            Some(true)
-        );
+        assert_eq!(is_assignment_fixing_wrt_query(&q, &sigma, &nu1, &cfg()).unwrap(), Some(true));
     }
 }

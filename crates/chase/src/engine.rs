@@ -11,12 +11,17 @@
 //!    occurrence lists and atom-value fingerprints live across the whole
 //!    run and are mutated in place by tgd appends and egd substitutions;
 //!    nothing is rebuilt, re-sorted or re-cloned per step.
-//! 2. **First-match homomorphism search** — tgd applicability threads the
-//!    conclusion-extension check (and the admission predicate) into the
-//!    backtracking premise search as a filter, stopping at the first
-//!    admissible homomorphism; the driver only ever fires one per step, so
-//!    the reference's materialize-then-filter enumeration is pure waste.
-//!    Egd search stops at the first violating homomorphism the same way.
+//! 2. **Compiled per-dependency match plans** — each dependency's premise
+//!    (and, for tgds, conclusion) is compiled once into an
+//!    [`eqsql_cq::matcher::MatchPlan`] and searched over a trail-based
+//!    frame for the whole run. Plans are renaming-invariant (variables are
+//!    dense slots), so the per-step rename-apart of the naive path happens
+//!    only where an admission predicate demands the renamed dependency
+//!    (the sound chase). The premise plan keeps the written atom order, so
+//!    the first homomorphism found is the one the reference driver would
+//!    fire; the conclusion-extension check is threaded into the search as
+//!    a pruning predicate, and the search stops at the first admissible
+//!    match. Egd search stops at the first violating match the same way.
 //! 3. **Delta-driven scheduling** — a worklist of dependency indices,
 //!    re-armed only for dependencies whose premise predicates intersect
 //!    the atoms just added or rewritten (semi-naive evaluation). A
@@ -25,12 +30,60 @@
 //!    step, with its conclusion extension intact, so its verdict carries
 //!    over (see `docs` on [`fire_order_matches_reference`] in the tests).
 //!
-//! The engine fires, at every step, the same dependency the reference
-//! driver would (the lowest-indexed applicable one, with the first
-//! admissible homomorphism in the shared deterministic search order), so
-//! the two produce isomorphic terminal queries, identical step counts,
-//! identical failure flags and identical error variants — which the
-//! differential suite in `tests/tests/engine_differential.rs` checks.
+//! With the default [`EngineOpts`] the engine fires, at every step, the
+//! same dependency the reference driver would (the lowest-indexed
+//! applicable one, with the first admissible homomorphism in the shared
+//! deterministic search order), so the two produce isomorphic terminal
+//! queries, identical step counts, identical failure flags and identical
+//! error variants — which the differential suite in
+//! `tests/tests/engine_differential.rs` checks.
+//!
+//! ## Delta-seeded premise search (`EngineOpts::delta_seeding`)
+//!
+//! Beyond delta *scheduling*, the opt-in delta-seeded mode constrains the
+//! premise *search* itself: each dependency remembers the body generation
+//! `w` of its last exhaustive check, and subsequent searches require at
+//! least one matched atom from the delta (generation ≥ `w`, i.e. added or
+//! rewritten since). Soundness invariant: `w` only advances to `G` when
+//! every homomorphism over pre-`G` atoms is known non-applicable —
+//!
+//! * an exhaustive check that saw no applicable homomorphism covers the
+//!   delta directly and inherits the rest from the previous `w` (tgd
+//!   extensions survive atom additions, and any atom an egd substitution
+//!   rewrites re-enters the delta with a fresh generation);
+//! * a check that finds applicable tgd homomorphisms **batch-fires** every
+//!   one of them (re-validating each extension just before firing, since
+//!   an earlier fire in the batch may have witnessed it) and then advances
+//!   `w` — nothing in the delta is left unexamined;
+//! * an egd fire leaves `w` alone (a substitution can reveal no new
+//!   violations among old atoms, but unexamined delta candidates behind
+//!   the first violation must be revisited), as does any check whose
+//!   applicable homomorphisms were all rejected by a custom admission
+//!   predicate (admission is a whole-query property; such dependencies
+//!   are re-armed with a full search, exactly like the admission-blocked
+//!   re-arm below).
+//!
+//! Batch-firing may deviate from the reference firing order (a lower-
+//! indexed dependency woken mid-batch fires later than the reference
+//! would schedule it), which is why the delta-seeded differential suite
+//! asserts isomorphic/equivalent terminals rather than identical step
+//! sequences. On budget-exhaustion shapes like the non-weakly-acyclic
+//! `e(X,Y) -> e(Y,Z)` chain, the applicable homomorphism always lives at
+//! the *newest* atom; the delta search finds it without rescanning the
+//! old ones, turning the O(n³) total premise-scan work into O(n²).
+//!
+//! ## Speculative parallel probes (`EngineOpts::probes`)
+//!
+//! The worklist makes queued dependencies independent until one fires:
+//! with `probes = k > 1`, the engine snapshots the k lowest queued
+//! dependencies and searches their first admissible homomorphisms on
+//! scoped worker threads ([`eqsql_cq::matcher::probe_all`]) against the
+//! same immutable body. The lowest-indexed actionable probe commits —
+//! exactly the dependency the sequential scan would have fired, so the
+//! step sequence is bit-identical — and "nothing to do" verdicts retire
+//! wholesale (they were all computed at the committed step's pre-state;
+//! subscription wake-ups re-arm them as usual). Probed verdicts *behind*
+//! an actionable one are discarded, never reused across a fire.
 //!
 //! One deliberate divergence from semi-naive purity: a *custom* admission
 //! predicate (the sound chase's assignment-fixing test) depends on the
@@ -38,13 +91,16 @@
 //! paper is exactly a query whose growth flips a verdict. Dependencies
 //! rejected only by admission are therefore re-armed after **every**
 //! step, preserving the reference semantics; dependencies with no
-//! applicable homomorphism at all still enjoy delta scheduling.
+//! applicable homomorphism at all still enjoy delta scheduling. For the
+//! same reason custom admission keeps the sequential probe path: the
+//! predicate closes over mutable state and its verdict is only meaningful
+//! against the exact query it was asked about.
 
 use crate::error::{ChaseConfig, ChaseError};
 use crate::index::BodyIndex;
 use crate::set_chase::{Chased, TraceEntry};
-use crate::step::{classify_egd_violation, rename_dep_apart_with, DedupPolicy};
-use eqsql_cq::hom::{extend_homomorphism_with_buckets, search_homomorphisms};
+use crate::step::{classify_egd_images, rename_dep_apart_mapped, DedupPolicy};
+use eqsql_cq::matcher::{probe_all, DeltaSlots, MatchPlan, Seed, Target};
 use eqsql_cq::{CqQuery, Predicate, Subst, Term, Var, VarSupply};
 use eqsql_deps::{Dependency, DependencySet, Tgd};
 use std::collections::HashMap;
@@ -63,6 +119,40 @@ pub enum Admission<'a> {
     /// dependency retires permanently — no per-homomorphism or per-step
     /// re-checking.
     QueryIndependent(&'a mut dyn FnMut(&Tgd) -> bool),
+}
+
+/// Tuning knobs for [`chase_indexed_opts`]. The default is the
+/// reference-identical configuration ([`EngineOpts::default`]).
+#[derive(Clone, Debug)]
+pub struct EngineOpts {
+    /// Constrain each dependency's premise search to homomorphisms
+    /// touching the atoms added/rewritten since its last exhaustive check
+    /// (see the module docs). Changes the firing *order* (terminals stay
+    /// equivalent); off by default.
+    pub delta_seeding: bool,
+    /// Number of queued dependencies probed speculatively in parallel per
+    /// step; `0`/`1` = sequential. Step sequences are identical to the
+    /// sequential engine at any setting. Ignored (sequential) under
+    /// [`Admission::Custom`].
+    pub probes: usize,
+}
+
+impl Default for EngineOpts {
+    fn default() -> EngineOpts {
+        EngineOpts { delta_seeding: false, probes: 1 }
+    }
+}
+
+impl EngineOpts {
+    /// Delta-seeded premise search, sequential probing.
+    pub fn delta_seeded() -> EngineOpts {
+        EngineOpts { delta_seeding: true, probes: 1 }
+    }
+
+    /// Reference-order engine with `k` speculative probes.
+    pub fn with_probes(k: usize) -> EngineOpts {
+        EngineOpts { delta_seeding: false, probes: k }
+    }
 }
 
 /// The per-run scheduler state: which dependencies might act.
@@ -99,6 +189,11 @@ impl Worklist {
         self.queued.iter().position(|&q| q)
     }
 
+    /// Up to `k` lowest queued dependencies, ascending.
+    fn peek_min(&self, k: usize) -> Vec<usize> {
+        self.queued.iter().enumerate().filter_map(|(i, &q)| q.then_some(i)).take(k).collect()
+    }
+
     fn retire(&mut self, i: usize, blocked_on_admit: bool) {
         self.queued[i] = false;
         self.blocked_on_admit[i] = blocked_on_admit;
@@ -117,26 +212,159 @@ impl Worklist {
 
     /// Re-arms dependencies whose only obstacle was the admission
     /// predicate; called after every step when admission is custom.
-    fn wake_admission_blocked(&mut self) {
+    /// Returns the re-armed indices so delta watermarks can be reset
+    /// (admission verdicts do not persist across steps).
+    fn wake_admission_blocked(&mut self) -> Vec<usize> {
+        let mut woken = Vec::new();
         for i in 0..self.queued.len() {
             if self.blocked_on_admit[i] {
                 self.queued[i] = true;
                 self.blocked_on_admit[i] = false;
+                woken.push(i);
             }
         }
+        woken
     }
 }
 
-/// Runs the chase with the incremental indexed engine. Semantics (firing
-/// order, budgets, trace, renaming bookkeeping) match
-/// [`crate::reference::chase_with_policy_reference`] exactly; see the
-/// module docs for why.
+/// A dependency's compiled, run-long search machinery. Plans are built on
+/// the dependency's *original* variables (dense slots make them
+/// renaming-invariant), so one compilation serves every step.
+struct DepPlans {
+    /// Premise conjunction, original atom order — emission order equals
+    /// the reference backtracker's, so "first admissible" agrees.
+    premise: MatchPlan,
+    /// Tgd conclusion, selectivity-ordered (existence-only search),
+    /// seeded from the premise frame's universal-variable bindings.
+    extension: Option<MatchPlan>,
+}
+
+impl DepPlans {
+    fn compile(dep: &Dependency) -> DepPlans {
+        let premise = MatchPlan::new(dep.lhs());
+        let extension = match dep {
+            Dependency::Tgd(t) => {
+                let universal: Vec<Var> = t.universal_vars().into_iter().collect();
+                Some(MatchPlan::optimized(&t.rhs, &universal))
+            }
+            Dependency::Egd(_) => None,
+        };
+        DepPlans { premise, extension }
+    }
+}
+
+/// Outcome of scanning one dependency against the current body.
+enum Scan {
+    /// Nothing to do; `saw_applicable` = applicable homomorphisms existed
+    /// but a custom admission predicate rejected all of them.
+    Idle { saw_applicable: bool },
+    /// An egd equated two distinct constants.
+    EgdFailed,
+    /// First violating egd homomorphism: replace `from` by `to`.
+    EgdFire(Var, Term),
+    /// Admitted applicable tgd homomorphisms to fire, in search order
+    /// (singleton unless batch-firing under delta seeding).
+    TgdFire(Vec<Subst>),
+}
+
+/// Searches the egd premise for the first violating homomorphism.
+fn scan_egd(
+    plans: &DepPlans,
+    egd: &eqsql_deps::Egd,
+    target: Target<'_>,
+    delta: Option<&DeltaSlots>,
+) -> Scan {
+    let mut verdict: Option<Result<(Var, Term), ()>> = None;
+    let emit = &mut |m: &eqsql_cq::Match<'_>| {
+        verdict = classify_egd_images(m.apply_term(&egd.eq.0), m.apply_term(&egd.eq.1));
+        verdict.is_none() // keep searching until a violation
+    };
+    match delta {
+        None => plans.premise.search(target, &Seed::Empty, emit),
+        Some(d) => plans.premise.search_delta(target, d, &Seed::Empty, emit),
+    };
+    match verdict {
+        None => Scan::Idle { saw_applicable: false },
+        Some(Err(())) => Scan::EgdFailed,
+        Some(Ok((from, to))) => Scan::EgdFire(from, to),
+    }
+}
+
+/// Searches the tgd premise for admissible applicable homomorphisms: the
+/// conclusion-extension check and the admission predicate prune the
+/// search in flight. `collect_all` (delta batch-firing) gathers every
+/// applicable homomorphism instead of stopping at the first admitted one;
+/// it is only used with admission predicates that admit everything.
+fn scan_tgd(
+    plans: &DepPlans,
+    target: Target<'_>,
+    delta: Option<&DeltaSlots>,
+    dedup_hom_bindings: bool,
+    collect_all: bool,
+    admit: &mut dyn FnMut(&Subst) -> bool,
+) -> Scan {
+    let extension = plans.extension.as_ref().expect("tgd has an extension plan");
+    let mut fires: Vec<Subst> = Vec::new();
+    let mut saw_applicable = false;
+    // Distinct target choices can yield the same premise bindings (always
+    // possible across delta-pinned passes, and under lenient dedup
+    // policies even within one pass); dedup by the dense slot values so
+    // the extension/admission work per binding runs once.
+    let dedup = dedup_hom_bindings || delta.is_some();
+    let mut seen: std::collections::HashSet<Box<[Term]>> = std::collections::HashSet::new();
+    let emit = &mut |m: &eqsql_cq::Match<'_>| {
+        if dedup {
+            if seen.contains(m.slots()) {
+                return true; // same bindings already examined
+            }
+            seen.insert(m.slots().to_vec().into_boxed_slice());
+        }
+        if extension.has_match(target, &Seed::Fn(&|v| m.get(v))) {
+            return true; // conclusion already witnessed
+        }
+        saw_applicable = true;
+        let h = m.to_subst();
+        if admit(&h) {
+            fires.push(h);
+            collect_all // stop at the first admitted match unless batching
+        } else {
+            true
+        }
+    };
+    match delta {
+        None => plans.premise.search(target, &Seed::Empty, emit),
+        Some(d) => plans.premise.search_delta(target, d, &Seed::Empty, emit),
+    };
+    if fires.is_empty() {
+        Scan::Idle { saw_applicable }
+    } else {
+        Scan::TgdFire(fires)
+    }
+}
+
+/// Runs the chase with the incremental indexed engine under the default
+/// [`EngineOpts`]: semantics (firing order, budgets, trace, renaming
+/// bookkeeping) match [`crate::reference::chase_with_policy_reference`]
+/// exactly; see the module docs for why.
 pub fn chase_indexed(
     q: &CqQuery,
     sigma: &DependencySet,
     config: &ChaseConfig,
     dedup: &DedupPolicy,
+    admission: Admission<'_>,
+) -> Result<Chased, ChaseError> {
+    chase_indexed_opts(q, sigma, config, dedup, admission, &EngineOpts::default())
+}
+
+/// [`chase_indexed`] with explicit [`EngineOpts`] (delta-seeded premise
+/// search, speculative parallel probes).
+pub fn chase_indexed_opts(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+    dedup: &DedupPolicy,
     mut admission: Admission<'_>,
+    opts: &EngineOpts,
 ) -> Result<Chased, ChaseError> {
     // Normalize up front, as the reference does: dropping duplicates per
     // the policy is equivalence-preserving before any step fires.
@@ -153,21 +381,35 @@ pub fn chase_indexed(
     }
 
     let deps: Vec<&Dependency> = sigma.iter().collect();
+    let plans: Vec<DepPlans> = deps.iter().map(|d| DepPlans::compile(d)).collect();
     let mut worklist = Worklist::new(sigma);
     let custom_admission = matches!(admission, Admission::Custom(_));
+    let probes = if custom_admission { 1 } else { opts.probes.max(1) };
     // Per-dependency cache for query-independent admission verdicts
     // (renaming-invariant, so one evaluation per dependency suffices).
     let mut dep_admitted: Vec<Option<bool>> = vec![None; deps.len()];
+    // Delta-seeded mode: generation below which dependency i's premise
+    // search is known exhausted (0 = never checked → full search).
+    let mut watermark: Vec<u64> = vec![0; deps.len()];
     // With a policy that never drops some duplicate atoms, distinct target
-    // choices can yield the same premise bindings; dedup those so the
-    // extension/admission work per binding runs once (the reference's
-    // `all_homomorphisms` dedups the same way). Under `DedupPolicy::All`
-    // bindings are unique per homomorphism, so the set is skipped.
+    // choices can yield the same premise bindings; see `scan_tgd`.
     let dedup_hom_bindings = !matches!(dedup, DedupPolicy::All);
 
     let mut steps = 0usize;
     let mut renaming = Subst::new();
     let mut trace: Vec<TraceEntry> = Vec::new();
+
+    macro_rules! terminal {
+        ($failed:expr) => {
+            Ok(Chased {
+                query: index.to_query(name, head),
+                failed: $failed,
+                steps,
+                renaming,
+                trace,
+            })
+        };
+    }
 
     loop {
         if steps >= config.max_steps {
@@ -176,137 +418,221 @@ pub fn chase_indexed(
         if index.len() >= config.max_atoms {
             return Err(ChaseError::QueryTooLarge { atoms: index.len() });
         }
-        let Some(i) = worklist.pop_min() else {
-            // Worklist drained: no dependency applicable — terminal.
-            return Ok(Chased {
-                query: index.to_query(name, head),
-                failed: false,
-                steps,
-                renaming,
-                trace,
-            });
-        };
-        let head_has = |v: Var| head.contains(&Term::Var(v));
-        let dep_r = rename_dep_apart_with(
-            deps[i],
-            |v| index.contains_var(v) || head_has(v),
-            &mut supply,
-        );
-        match &dep_r {
-            Dependency::Egd(egd) => {
-                // First violating homomorphism, found lazily.
-                let mut verdict: Option<Result<(Var, Term), ()>> = None;
-                search_homomorphisms(
-                    &egd.lhs,
-                    index.atoms(),
-                    index.buckets(),
-                    &Subst::new(),
-                    &mut |h| {
-                        verdict = classify_egd_violation(egd, h);
-                        verdict.is_none() // keep searching until a violation
-                    },
-                );
-                match verdict {
-                    None => worklist.retire(i, false),
-                    Some(Err(())) => {
-                        trace.push(TraceEntry {
-                            dep_index: i,
-                            dep: deps[i].to_string(),
-                            action: "equated distinct constants: chase failed".into(),
-                            body_size: index.len(),
-                        });
-                        return Ok(Chased {
-                            query: index.to_query(name, head),
-                            failed: true,
-                            steps,
-                            renaming,
-                            trace,
-                        });
-                    }
-                    Some(Ok((from, to))) => {
-                        renaming.rewrite(from, to);
-                        let changed = index.apply_rewrite(from, &to, dedup);
-                        for t in &mut head {
-                            if *t == Term::Var(from) {
-                                *t = to;
-                            }
-                        }
-                        steps += 1;
-                        trace.push(TraceEntry {
-                            dep_index: i,
-                            dep: deps[i].to_string(),
-                            action: format!("egd: {from} := {to}"),
-                            body_size: index.len(),
-                        });
-                        // The substitution rewrote at least one atom of the
-                        // egd's own premise image, so `changed` re-arms it
-                        // along with every other listener.
-                        worklist.wake_subscribers(&changed);
-                        if custom_admission {
-                            worklist.wake_admission_blocked();
-                        }
-                    }
-                }
+        // Pick the dependencies to examine this round: the single lowest
+        // queued one, or (speculatively) the `probes` lowest.
+        let picks = if probes > 1 {
+            worklist.peek_min(probes)
+        } else {
+            match worklist.pop_min() {
+                Some(i) => vec![i],
+                None => Vec::new(),
             }
-            Dependency::Tgd(tgd) => {
-                if let Admission::QueryIndependent(admit) = &mut admission {
-                    let allowed =
-                        *dep_admitted[i].get_or_insert_with(|| admit(tgd));
+        };
+        if picks.is_empty() {
+            // Worklist drained: no dependency applicable — terminal.
+            return terminal!(false);
+        }
+        // Resolve query-independent admission before probing (cached,
+        // mutable closure): rejected dependencies retire for good.
+        if let Admission::QueryIndependent(admit) = &mut admission {
+            let mut any_left = false;
+            for &i in &picks {
+                if let Dependency::Tgd(t) = deps[i] {
+                    let allowed = *dep_admitted[i].get_or_insert_with(|| admit(t));
                     if !allowed {
-                        // Rejected on the dependency alone: retire for good
-                        // (the verdict cannot change as the query evolves).
                         worklist.retire(i, false);
                         continue;
                     }
                 }
-                // First applicable *and admitted* homomorphism: the
-                // conclusion-extension check and the admission predicate
-                // prune the premise search in flight.
-                let mut found: Option<Subst> = None;
-                let mut saw_applicable = false;
-                let mut cur_cache: Option<CqQuery> = None;
-                let mut seen_bindings: std::collections::HashSet<Vec<(Var, Term)>> =
-                    std::collections::HashSet::new();
-                search_homomorphisms(
-                    &tgd.lhs,
-                    index.atoms(),
-                    index.buckets(),
-                    &Subst::new(),
-                    &mut |h| {
-                        if dedup_hom_bindings && !seen_bindings.insert(h.sorted_pairs()) {
-                            return true; // same bindings already examined
-                        }
-                        let extends = extend_homomorphism_with_buckets(
-                            &tgd.rhs,
-                            index.atoms(),
-                            index.buckets(),
-                            h,
-                        )
-                        .is_some();
-                        if extends {
-                            return true; // conclusion already witnessed
-                        }
-                        saw_applicable = true;
-                        let admitted = match &mut admission {
-                            Admission::All | Admission::QueryIndependent(_) => true,
-                            Admission::Custom(admit) => {
-                                let cur = cur_cache.get_or_insert_with(|| {
-                                    index.to_query(name, head.clone())
-                                });
-                                admit(tgd, cur, h)
+                any_left = true;
+            }
+            if !any_left {
+                continue;
+            }
+        }
+        let admitted_q_indep =
+            |i: usize, dep_admitted: &[Option<bool>]| dep_admitted[i] != Some(false);
+
+        // The generation every scan this round runs against; delta-mode
+        // watermarks advance to it on an exhaustive no-find.
+        let scan_gen = index.current_gen();
+        fn gather_delta(index: &BodyIndex, seeded: bool, watermark_i: u64) -> Option<DeltaSlots> {
+            if !seeded || watermark_i == 0 {
+                return None;
+            }
+            let mut d = DeltaSlots::new();
+            index.delta_since(watermark_i, &mut d);
+            Some(d)
+        }
+
+        // Scan the picked dependencies — on worker threads when probing.
+        // Every scan reads the same immutable body snapshot. Custom
+        // admission is sequential (probes == 1) and handled below.
+        let scans: Vec<Scan> = if probes > 1 {
+            let index_ref = &index;
+            let plans_ref = &plans;
+            let deps_ref = &deps;
+            let delta_seeding = opts.delta_seeding;
+            let watermark_ref = &watermark;
+            let jobs: Vec<Box<dyn FnOnce() -> Scan + Send + '_>> = picks
+                .iter()
+                .filter(|&&i| admitted_q_indep(i, &dep_admitted))
+                .map(|&i| {
+                    Box::new(move || {
+                        let target = Target::new(index_ref.atoms(), index_ref.buckets());
+                        let delta = gather_delta(index_ref, delta_seeding, watermark_ref[i]);
+                        match deps_ref[i] {
+                            Dependency::Egd(e) => {
+                                scan_egd(&plans_ref[i], e, target, delta.as_ref())
                             }
-                        };
-                        if admitted {
-                            found = Some(h.clone());
-                            false
-                        } else {
-                            true
+                            Dependency::Tgd(_) => scan_tgd(
+                                &plans_ref[i],
+                                target,
+                                delta.as_ref(),
+                                dedup_hom_bindings,
+                                delta_seeding,
+                                &mut |_| true,
+                            ),
                         }
-                    },
-                );
-                match found {
-                    None => worklist.retire(i, saw_applicable),
-                    Some(h) => {
+                    }) as Box<dyn FnOnce() -> Scan + Send + '_>
+                })
+                .collect();
+            probe_all(jobs)
+        } else {
+            let i = picks[0];
+            if !admitted_q_indep(i, &dep_admitted) {
+                continue;
+            }
+            let target = Target::new(index.atoms(), index.buckets());
+            let delta = gather_delta(&index, opts.delta_seeding, watermark[i]);
+            let scan = match deps[i] {
+                Dependency::Egd(e) => scan_egd(&plans[i], e, target, delta.as_ref()),
+                Dependency::Tgd(tgd) => {
+                    // Custom admission: rename the dependency apart from
+                    // the current query lazily (only this mode needs the
+                    // renamed namespace) and consult the predicate with
+                    // the homomorphism translated into it.
+                    match &mut admission {
+                        Admission::Custom(admit) => {
+                            let head_ref = &head;
+                            let (renamed, map) = rename_dep_apart_mapped(
+                                deps[i],
+                                |v| index.contains_var(v) || head_ref.contains(&Term::Var(v)),
+                                &mut supply,
+                            );
+                            let tgd_r = renamed.as_tgd().expect("renaming preserves kind");
+                            let mut cur_cache: Option<CqQuery> = None;
+                            scan_tgd(
+                                &plans[i],
+                                target,
+                                delta.as_ref(),
+                                dedup_hom_bindings,
+                                false,
+                                &mut |h| {
+                                    let h_r = Subst::from_pairs(h.iter().map(|(v, t)| {
+                                        match map.apply_term(&Term::Var(v)) {
+                                            Term::Var(v_r) => (v_r, *t),
+                                            Term::Const(_) => unreachable!("vars rename to vars"),
+                                        }
+                                    }));
+                                    let cur = cur_cache.get_or_insert_with(|| {
+                                        index.to_query(name, head_ref.clone())
+                                    });
+                                    admit(tgd_r, cur, &h_r)
+                                },
+                            )
+                        }
+                        Admission::All | Admission::QueryIndependent(_) => {
+                            let _ = tgd;
+                            scan_tgd(
+                                &plans[i],
+                                target,
+                                delta.as_ref(),
+                                dedup_hom_bindings,
+                                opts.delta_seeding,
+                                &mut |_| true,
+                            )
+                        }
+                    }
+                }
+            };
+            vec![scan]
+        };
+
+        // Commit: walk the scans in dependency order; idle verdicts
+        // retire (every scan saw the same pre-step body), the first
+        // actionable one fires, later results are discarded unexamined —
+        // exactly the sequential schedule.
+        let live_picks: Vec<usize> =
+            picks.into_iter().filter(|&i| admitted_q_indep(i, &dep_admitted)).collect();
+        let mut committed = false;
+        for (&i, scan) in live_picks.iter().zip(scans.into_iter()) {
+            match scan {
+                Scan::Idle { saw_applicable } => {
+                    worklist.retire(i, saw_applicable);
+                    if opts.delta_seeding && !saw_applicable {
+                        // Exhausted over everything below scan_gen: old
+                        // verdicts carried over, the delta was searched.
+                        watermark[i] = scan_gen;
+                    }
+                }
+                Scan::EgdFailed => {
+                    trace.push(TraceEntry {
+                        dep_index: i,
+                        dep: deps[i].to_string(),
+                        action: "equated distinct constants: chase failed".into(),
+                        body_size: index.len(),
+                    });
+                    return terminal!(true);
+                }
+                Scan::EgdFire(from, to) => {
+                    renaming.rewrite(from, to);
+                    let changed = index.apply_rewrite(from, &to, dedup);
+                    for t in &mut head {
+                        if *t == Term::Var(from) {
+                            *t = to;
+                        }
+                    }
+                    steps += 1;
+                    index.advance_gen();
+                    trace.push(TraceEntry {
+                        dep_index: i,
+                        dep: deps[i].to_string(),
+                        action: format!("egd: {from} := {to}"),
+                        body_size: index.len(),
+                    });
+                    // The substitution rewrote at least one atom of the
+                    // egd's own premise image, so `changed` re-arms it
+                    // along with every other listener. The watermark is
+                    // NOT advanced: delta candidates behind the first
+                    // violation are still unexamined.
+                    worklist.wake_subscribers(&changed);
+                    committed = true;
+                }
+                Scan::TgdFire(homs) => {
+                    let tgd = match deps[i] {
+                        Dependency::Tgd(t) => t,
+                        Dependency::Egd(_) => unreachable!("tgd scan on egd"),
+                    };
+                    let ext = plans[i].extension.as_ref().expect("tgd extension plan");
+                    for (k, h) in homs.into_iter().enumerate() {
+                        if steps >= config.max_steps {
+                            return Err(ChaseError::BudgetExhausted { steps });
+                        }
+                        if index.len() >= config.max_atoms {
+                            return Err(ChaseError::QueryTooLarge { atoms: index.len() });
+                        }
+                        // Under batch-firing an earlier fire in this very
+                        // batch may have witnessed this homomorphism's
+                        // conclusion; re-validate before firing.
+                        if k > 0
+                            && ext.has_match(
+                                Target::new(index.atoms(), index.buckets()),
+                                &Seed::Fn(&|v| h.get(v).copied()),
+                            )
+                        {
+                            continue;
+                        }
                         let mut s = h;
                         for z in tgd.existential_vars() {
                             s.set(z, Term::Var(supply.fresh(z.name())));
@@ -321,29 +647,41 @@ pub fn chase_indexed(
                             }
                         }
                         steps += 1;
+                        index.advance_gen();
                         trace.push(TraceEntry {
                             dep_index: i,
                             dep: deps[i].to_string(),
                             action: format!(
                                 "tgd: added {}",
-                                added
-                                    .iter()
-                                    .map(|a| a.to_string())
-                                    .collect::<Vec<_>>()
-                                    .join(" ∧ ")
+                                added.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" ∧ ")
                             ),
                             body_size: index.len(),
                         });
                         worklist.wake_subscribers(&added_preds);
-                        // The same tgd may be applicable through another
-                        // homomorphism whose premise predicates are not
-                        // among the added atoms — stay armed.
-                        worklist.queued[i] = true;
-                        if custom_admission {
-                            worklist.wake_admission_blocked();
-                        }
+                    }
+                    // The same tgd may be applicable through another
+                    // homomorphism whose premise predicates are not
+                    // among the added atoms — stay armed. Under delta
+                    // seeding the batch drained every pre-`scan_gen`
+                    // candidate, so the watermark advances; future
+                    // checks only examine the batch's own additions.
+                    // (The first collected homomorphism always fires — it
+                    // was validated applicable against this very body —
+                    // so the commit is never empty.)
+                    worklist.queued[i] = true;
+                    if opts.delta_seeding && !custom_admission {
+                        watermark[i] = scan_gen;
+                    }
+                    committed = true;
+                }
+            }
+            if committed {
+                if custom_admission {
+                    for j in worklist.wake_admission_blocked() {
+                        watermark[j] = 0;
                     }
                 }
+                break; // one commit per round, like the sequential scan
             }
         }
     }
@@ -361,17 +699,21 @@ mod tests {
         sigma: &str,
         config: &ChaseConfig,
     ) -> (Result<Chased, ChaseError>, Result<Chased, ChaseError>) {
+        run_both_opts(q, sigma, config, &EngineOpts::default())
+    }
+
+    fn run_both_opts(
+        q: &str,
+        sigma: &str,
+        config: &ChaseConfig,
+        opts: &EngineOpts,
+    ) -> (Result<Chased, ChaseError>, Result<Chased, ChaseError>) {
         let q = parse_query(q).unwrap();
         let sigma = parse_dependencies(sigma).unwrap();
         let indexed =
-            chase_indexed(&q, &sigma, config, &DedupPolicy::All, Admission::All);
-        let reference = chase_with_policy_reference(
-            &q,
-            &sigma,
-            config,
-            &DedupPolicy::All,
-            &mut |_, _, _| true,
-        );
+            chase_indexed_opts(&q, &sigma, config, &DedupPolicy::All, Admission::All, opts);
+        let reference =
+            chase_with_policy_reference(&q, &sigma, config, &DedupPolicy::All, &mut |_, _, _| true);
         (indexed, reference)
     }
 
@@ -408,6 +750,99 @@ mod tests {
         }
     }
 
+    /// Speculative probing commits the same step sequence as the
+    /// sequential engine — bit-identical traces, any probe width.
+    #[test]
+    fn parallel_probes_match_sequential_step_sequence() {
+        let cases = [
+            (
+                "q4(X) :- p(X,Y)",
+                "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+                 p(X,Y) -> t(X,Y,W).\n\
+                 p(X,Y) -> r(X).\n\
+                 p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+                 s(X,Y) & s(X,Z) -> Y = Z.\n\
+                 t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+            ),
+            (
+                "q(X) :- p(X,Y), s(X,Z)",
+                "p(X,Y) -> s(X,Z) & t(Z,Y).\n\
+                 t(X,Y) & t(Z,Y) -> X = Z.",
+            ),
+        ];
+        for (q, sigma) in cases {
+            for k in [2usize, 4, 8] {
+                let (seq, _) = run_both(q, sigma, &ChaseConfig::default());
+                let (par, _) =
+                    run_both_opts(q, sigma, &ChaseConfig::default(), &EngineOpts::with_probes(k));
+                let (seq, par) = (seq.unwrap(), par.unwrap());
+                assert_eq!(seq.steps, par.steps, "probes={k} diverged on {q}");
+                let a: Vec<usize> = seq.trace.iter().map(|t| t.dep_index).collect();
+                let b: Vec<usize> = par.trace.iter().map(|t| t.dep_index).collect();
+                assert_eq!(a, b, "probes={k} firing order diverged on {q}");
+                assert!(are_isomorphic(&seq.query, &par.query));
+            }
+        }
+    }
+
+    /// Delta-seeded search may reorder steps but must land on an
+    /// equivalent, Σ-satisfying terminal with the same failure/budget
+    /// behavior.
+    #[test]
+    fn delta_seeding_reaches_equivalent_terminals() {
+        let cases = [
+            (
+                "q4(X) :- p(X,Y)",
+                "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+                 p(X,Y) -> t(X,Y,W).\n\
+                 p(X,Y) -> r(X).\n\
+                 p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+                 s(X,Y) & s(X,Z) -> Y = Z.\n\
+                 t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+            ),
+            ("q(X) :- a(X)", "a(X) -> b(X). b(X) -> c(X,W)."),
+            (
+                "q(X) :- p(X,Y), s(X,Z)",
+                "p(X,Y) -> s(X,Z) & t(Z,Y).\n\
+                 t(X,Y) & t(Z,Y) -> X = Z.",
+            ),
+        ];
+        for (q, sigma) in cases {
+            let (delta, reference) =
+                run_both_opts(q, sigma, &ChaseConfig::default(), &EngineOpts::delta_seeded());
+            let (delta, reference) = (delta.unwrap(), reference.unwrap());
+            assert_eq!(delta.failed, reference.failed);
+            let sigma_parsed = parse_dependencies(sigma).unwrap();
+            assert!(
+                eqsql_deps::satisfaction::query_satisfies_all(&delta.query, &sigma_parsed),
+                "delta terminal violates Σ on {q}: {}",
+                delta.query
+            );
+            let dc = eqsql_cq::canonical_representation(&delta.query);
+            let rc = eqsql_cq::canonical_representation(&reference.query);
+            assert!(
+                eqsql_cq::containment_mapping(&dc, &rc).is_some()
+                    && eqsql_cq::containment_mapping(&rc, &dc).is_some(),
+                "terminals not equivalent on {q}: {} vs {}",
+                delta.query,
+                reference.query
+            );
+        }
+    }
+
+    /// The budget-exhaustion chain: delta seeding must report the same
+    /// error at the same step count as the reference.
+    #[test]
+    fn delta_seeding_budget_exhaustion_matches() {
+        let (a, b) = run_both_opts(
+            "q(X) :- e(X,Y)",
+            "e(X,Y) -> e(Y,Z).",
+            &ChaseConfig::with_max_steps(17),
+            &EngineOpts::delta_seeded(),
+        );
+        assert_eq!(a.unwrap_err(), b.unwrap_err());
+    }
+
     #[test]
     fn failure_and_budget_agree_with_reference() {
         let (a, b) = run_both(
@@ -419,11 +854,8 @@ mod tests {
         assert!(a.failed && b.failed);
         assert_eq!(a.steps, b.steps);
 
-        let (a, b) = run_both(
-            "q(X) :- e(X,Y)",
-            "e(X,Y) -> e(Y,Z).",
-            &ChaseConfig::with_max_steps(17),
-        );
+        let (a, b) =
+            run_both("q(X) :- e(X,Y)", "e(X,Y) -> e(Y,Z).", &ChaseConfig::with_max_steps(17));
         assert_eq!(a.unwrap_err(), b.unwrap_err());
     }
 
@@ -431,11 +863,8 @@ mod tests {
     fn multiple_homs_of_one_tgd_all_fire() {
         // Premise pred of the fired tgd is NOT among its added atoms: the
         // self-re-arm path must keep it queued for the second hom.
-        let (a, b) = run_both(
-            "q(X) :- p(X,Y), p(Y,X)",
-            "p(A,B) -> s(A,Z).",
-            &ChaseConfig::default(),
-        );
+        let (a, b) =
+            run_both("q(X) :- p(X,Y), p(Y,X)", "p(A,B) -> s(A,Z).", &ChaseConfig::default());
         let (a, b) = (a.unwrap(), b.unwrap());
         assert_eq!(a.steps, 2);
         assert_eq!(a.steps, b.steps);
@@ -450,14 +879,9 @@ mod tests {
              s(X,Y) & s(X,Z) -> Y = Z.",
         )
         .unwrap();
-        let r = chase_indexed(
-            &q,
-            &sigma,
-            &ChaseConfig::default(),
-            &DedupPolicy::All,
-            Admission::All,
-        )
-        .unwrap();
+        let r =
+            chase_indexed(&q, &sigma, &ChaseConfig::default(), &DedupPolicy::All, Admission::All)
+                .unwrap();
         assert!(eqsql_deps::satisfaction::query_satisfies_all(&r.query, &sigma));
     }
 }

@@ -22,7 +22,13 @@
 //!   mentions it (lazily pruned) and the number of live occurrences — an
 //!   egd substitution touches only the atoms that actually contain the
 //!   replaced variable, and the chase loop's "current variables" set is
-//!   read off `var_count` instead of a per-step body scan.
+//!   read off `var_count` instead of a per-step body scan;
+//! * `slot_gen` / `touch_log` stamp every slot with the **generation**
+//!   (chase step) that last created or rewrote it, and keep the touches in
+//!   generation order — the delta-seeded premise search
+//!   ([`eqsql_cq::matcher::MatchPlan::search_delta`]) reads "every atom
+//!   added or changed since generation g" off the log tail in
+//!   O(log + |delta|) instead of scanning the body.
 //!
 //! Slot order equals first-occurrence order, so materializing the body
 //! yields the same atom sequence the naive driver's
@@ -51,6 +57,15 @@ pub struct BodyIndex {
     /// Variable → live occurrence count (argument positions, over live
     /// atoms only). A variable is "current" iff its count is positive.
     var_count: HashMap<Var, usize>,
+    /// The current generation: 0 while building, advanced by the engine
+    /// after every chase step. Slots created or rewritten at generation g
+    /// carry stamp g.
+    gen: u64,
+    /// Slot → generation of its last creation/rewrite.
+    slot_gen: Vec<u64>,
+    /// Touches `(gen, slot)` in non-decreasing generation order (a slot
+    /// reappears when rewritten; dead slots are filtered on read).
+    touch_log: Vec<(u64, usize)>,
 }
 
 impl BodyIndex {
@@ -65,10 +80,14 @@ impl BodyIndex {
             occurrences: HashMap::new(),
             var_slots: HashMap::new(),
             var_count: HashMap::new(),
+            gen: 0,
+            slot_gen: Vec::with_capacity(body.len() * 2),
+            touch_log: Vec::new(),
         };
         for atom in body {
             ix.push_slot(atom.clone());
         }
+        ix.advance_gen();
         ix
     }
 
@@ -109,6 +128,34 @@ impl BodyIndex {
         self.occurrences.get(atom).is_some_and(|slots| !slots.is_empty())
     }
 
+    /// The current generation. Every live slot has stamp `< gen` once the
+    /// engine has advanced past the step that touched it, so "exhaustively
+    /// checked at generation g" means: verified over all slots with stamp
+    /// `< g`.
+    pub fn current_gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// Closes the current generation (called by the engine after every
+    /// fired chase step; the constructor closes generation 0, the initial
+    /// body).
+    pub fn advance_gen(&mut self) {
+        self.gen += 1;
+    }
+
+    /// Collects the live slots created or rewritten at generation ≥
+    /// `since` into `delta`, one entry per touch (a slot rewritten twice
+    /// appears twice; the delta-pinned search tolerates the duplicate
+    /// candidates). O(log |touch_log| + touches since).
+    pub fn delta_since(&self, since: u64, delta: &mut eqsql_cq::DeltaSlots) {
+        let start = self.touch_log.partition_point(|&(g, _)| g < since);
+        for &(_, slot) in &self.touch_log[start..] {
+            if self.alive[slot] {
+                delta.push(&self.atoms[slot], slot);
+            }
+        }
+    }
+
     /// Unconditionally appends a new live slot holding `atom`.
     fn push_slot(&mut self, atom: Atom) -> usize {
         let slot = self.atoms.len();
@@ -125,6 +172,8 @@ impl BodyIndex {
         self.atoms.push(atom);
         self.alive.push(true);
         self.live += 1;
+        self.slot_gen.push(self.gen);
+        self.touch_log.push((self.gen, slot));
         slot
     }
 
@@ -175,12 +224,7 @@ impl BodyIndex {
     /// whole-body `canonical_representation` after the step). Returns the
     /// predicates of every rewritten atom — the delta the scheduler uses
     /// to requeue affected dependencies.
-    pub fn apply_rewrite(
-        &mut self,
-        from: Var,
-        to: &Term,
-        dedup: &DedupPolicy,
-    ) -> Vec<Predicate> {
+    pub fn apply_rewrite(&mut self, from: Var, to: &Term, dedup: &DedupPolicy) -> Vec<Predicate> {
         let Some(slots) = self.var_slots.remove(&from) else {
             return Vec::new();
         };
@@ -222,6 +266,8 @@ impl BodyIndex {
             }
             let new = self.atoms[slot].clone();
             self.occurrences.entry(new.clone()).or_default().push(slot);
+            self.slot_gen[slot] = self.gen;
+            self.touch_log.push((self.gen, slot));
             if !changed_preds.contains(&new.pred) {
                 changed_preds.push(new.pred);
             }
@@ -262,9 +308,11 @@ impl BodyIndex {
         // Buckets hold the same atom multisets per key.
         for (key, slots) in &self.buckets {
             let mine: Vec<&Atom> = slots.iter().map(|&s| &self.atoms[s]).collect();
-            let theirs: Vec<&Atom> =
-                fresh.buckets.get(key).map(|v| v.iter().map(|&s| &fresh.atoms[s]).collect())
-                    .unwrap_or_default();
+            let theirs: Vec<&Atom> = fresh
+                .buckets
+                .get(key)
+                .map(|v| v.iter().map(|&s| &fresh.atoms[s]).collect())
+                .unwrap_or_default();
             assert_eq!(mine, theirs, "bucket {key:?} diverged");
             assert!(slots.windows(2).all(|w| w[0] < w[1]), "bucket not ascending");
             assert!(slots.iter().all(|&s| self.alive[s]), "bucket holds dead slot");

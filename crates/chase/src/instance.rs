@@ -9,6 +9,22 @@
 //! databases into Σ-satisfying test instances for the cross-validation
 //! suites.
 //!
+//! ## Search
+//!
+//! [`chase_database`]'s violation search runs on the planned, trail-based
+//! matcher ([`eqsql_cq::matcher`]): per-dependency plans compile once per
+//! run, the database is materialized as a bucketed conjunction of ground
+//! atoms only when a step mutates it (satisfied checks reuse the view),
+//! and the dependency premise streams over it first-match with the tgd
+//! conclusion check threaded in as a pruning predicate — no assignment
+//! set is ever collected, where the naive path materialized *every*
+//! premise assignment before looking at one. Candidate order equals the naive evaluator's
+//! per-relation tuple order, so both drivers repair the same violation
+//! first and allocate identical labelled nulls — which the differential
+//! suite asserts tuple-for-tuple. The naive [`assignments`]-based step
+//! functions survive privately for [`chase_database_reference`], the
+//! oracle.
+//!
 //! ## Scheduling
 //!
 //! [`chase_database`] uses the same delta-driven worklist as the query
@@ -30,7 +46,8 @@
 //! [`chase_database_reference`], the differential oracle.
 
 use crate::error::{ChaseConfig, ChaseError};
-use eqsql_cq::{Atom, Predicate, Term, Value, Var};
+use eqsql_cq::matcher::{bucket_atoms, Buckets, MatchPlan, Seed, Target};
+use eqsql_cq::{Atom, Predicate, Subst, Term, Value, Var};
 use eqsql_deps::{Dependency, DependencySet, Egd, Tgd};
 use eqsql_relalg::eval::{assignments, Assignment};
 use eqsql_relalg::{Database, Relation, Tuple};
@@ -90,8 +107,7 @@ fn replace_value(db: &Database, from: Value, to: Value) -> (Database, Vec<Predic
         let mut touched = false;
         for (t, m) in r.iter() {
             touched |= t.iter().any(|v| *v == from);
-            let vals: Vec<Value> =
-                t.iter().map(|v| if *v == from { to } else { *v }).collect();
+            let vals: Vec<Value> = t.iter().map(|v| if *v == from { to } else { *v }).collect();
             target.insert(Tuple::new(vals), m);
         }
         if touched {
@@ -101,47 +117,110 @@ fn replace_value(db: &Database, from: Value, to: Value) -> (Database, Vec<Predic
     (out, changed)
 }
 
+/// The database materialized as a bucketed conjunction of ground atoms —
+/// the matcher target. Per relation, atoms appear in core-set order, so
+/// the matcher's candidate order equals the naive evaluator's.
+struct GroundView {
+    atoms: Vec<Atom>,
+    buckets: Buckets,
+}
+
+impl GroundView {
+    fn of(db: &Database) -> GroundView {
+        let mut atoms: Vec<Atom> = Vec::new();
+        for (p, r) in db.iter() {
+            for t in r.core_set() {
+                atoms.push(Atom { pred: p, args: t.iter().map(|v| Term::Const(*v)).collect() });
+            }
+        }
+        let buckets = bucket_atoms(&atoms);
+        GroundView { atoms, buckets }
+    }
+
+    fn target(&self) -> Target<'_> {
+        Target::new(&self.atoms, &self.buckets)
+    }
+}
+
+/// Inserts the grounded conclusion atoms, minting fresh labelled nulls
+/// for the variables the premise match left free (shared across the
+/// conclusion atoms). Returns the predicates that received a new tuple.
+fn insert_conclusion(db: &mut Database, rhs: &[Atom], next_null: &mut u64) -> Vec<Predicate> {
+    let mut nulls: HashMap<Var, Value> = HashMap::new();
+    let mut added = Vec::new();
+    for atom in rhs {
+        let vals: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *nulls.entry(*v).or_insert_with(|| {
+                    let val = Value::Labeled(*next_null);
+                    *next_null += 1;
+                    val
+                }),
+            })
+            .collect();
+        let rel: &mut Relation = db.get_or_create(atom.pred, vals.len());
+        let tup = Tuple::new(vals);
+        if !rel.contains(&tup) {
+            rel.insert(tup, 1);
+            if !added.contains(&atom.pred) {
+                added.push(atom.pred);
+            }
+        }
+    }
+    added
+}
+
+/// A dependency's compiled plans, built once per chase run (plans are
+/// database-independent; the premise keeps the written atom order so the
+/// first violation found matches the naive oracle's).
+struct InstancePlans {
+    premise: MatchPlan,
+    /// Tgd conclusion; `None` for egds.
+    conclusion: Option<MatchPlan>,
+}
+
+impl InstancePlans {
+    fn compile(dep: &Dependency) -> InstancePlans {
+        InstancePlans {
+            premise: MatchPlan::new(dep.lhs()),
+            conclusion: match dep {
+                Dependency::Tgd(t) => Some(MatchPlan::new(&t.rhs)),
+                Dependency::Egd(_) => None,
+            },
+        }
+    }
+}
+
 /// Repairs the first tgd violation found, if any. Returns the predicates
 /// that received a new tuple, or `None` when the tgd is satisfied.
+///
+/// First-match matcher search over the caller's [`GroundView`] with the
+/// conclusion check threaded in as a pruning predicate: no assignment set
+/// is materialized, and a satisfied premise match costs one existence
+/// probe instead of a full enumeration of the conclusion's assignments.
 fn apply_tgd_instance(
     db: &mut Database,
+    gv: &GroundView,
+    plans: &InstancePlans,
     tgd: &Tgd,
     next_null: &mut u64,
 ) -> Option<Vec<Predicate>> {
-    let lhs_assignments = assignments(&tgd.lhs, db);
-    for asg in &lhs_assignments {
-        let rhs = ground_with(&tgd.rhs, asg);
-        if assignments(&rhs, db).is_empty() {
-            // Violation: add the conclusion with fresh nulls for the
-            // existential variables (shared across the conclusion atoms).
-            let mut nulls: HashMap<Var, Value> = HashMap::new();
-            let mut added = Vec::new();
-            for atom in &rhs {
-                let vals: Vec<Value> = atom
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(c) => *c,
-                        Term::Var(v) => *nulls.entry(*v).or_insert_with(|| {
-                            let val = Value::Labeled(*next_null);
-                            *next_null += 1;
-                            val
-                        }),
-                    })
-                    .collect();
-                let rel: &mut Relation = db.get_or_create(atom.pred, vals.len());
-                let tup = Tuple::new(vals);
-                if !rel.contains(&tup) {
-                    rel.insert(tup, 1);
-                    if !added.contains(&atom.pred) {
-                        added.push(atom.pred);
-                    }
-                }
-            }
-            return Some(added);
+    let conclusion = plans.conclusion.as_ref().expect("tgd has a conclusion plan");
+    let mut violating: Option<Subst> = None;
+    plans.premise.search(gv.target(), &Seed::Empty, &mut |m| {
+        if conclusion.has_match(gv.target(), &Seed::Fn(&|v| m.get(v))) {
+            true // conclusion witnessed; keep scanning
+        } else {
+            violating = Some(m.to_subst());
+            false
         }
-    }
-    None
+    });
+    let asg = violating?;
+    let rhs = asg.apply_atoms(&tgd.rhs);
+    Some(insert_conclusion(db, &rhs, next_null))
 }
 
 enum EgdInstanceOutcome {
@@ -151,7 +230,79 @@ enum EgdInstanceOutcome {
     Failed,
 }
 
-fn apply_egd_instance(db: &mut Database, egd: &Egd) -> EgdInstanceOutcome {
+/// The merge direction for an egd violation `a ≠ b` (nulls merge into
+/// the other side, higher null into lower), or `None` on a
+/// constant/constant clash.
+fn egd_merge(a: Value, b: Value) -> Option<(Value, Value)> {
+    match (a, b) {
+        (Value::Labeled(x), Value::Labeled(y)) => {
+            if x > y {
+                Some((Value::Labeled(x), Value::Labeled(y)))
+            } else {
+                Some((Value::Labeled(y), Value::Labeled(x)))
+            }
+        }
+        (Value::Labeled(_), other) => Some((a, other)),
+        (other, Value::Labeled(_)) => Some((b, other)),
+        _ => None,
+    }
+}
+
+fn egd_image(t: &Term, m: &eqsql_cq::Match<'_>) -> Value {
+    match m.apply_term(t) {
+        Term::Const(c) => c,
+        Term::Var(v) => panic!("egd equates unbound variable {v}"),
+    }
+}
+
+fn apply_egd_instance(
+    db: &mut Database,
+    gv: &GroundView,
+    plans: &InstancePlans,
+    egd: &Egd,
+) -> EgdInstanceOutcome {
+    let mut violation: Option<(Value, Value)> = None;
+    plans.premise.search(gv.target(), &Seed::Empty, &mut |m| {
+        let a = egd_image(&egd.eq.0, m);
+        let b = egd_image(&egd.eq.1, m);
+        if a == b {
+            true
+        } else {
+            violation = Some((a, b));
+            false
+        }
+    });
+    let Some((a, b)) = violation else {
+        return EgdInstanceOutcome::NoViolation;
+    };
+    let Some((from, to)) = egd_merge(a, b) else {
+        return EgdInstanceOutcome::Failed;
+    };
+    let (next, changed) = replace_value(db, from, to);
+    *db = next;
+    EgdInstanceOutcome::Applied(changed)
+}
+
+/// Naive twin of [`apply_tgd_instance`]: materializes every premise
+/// assignment through the relational evaluator. Kept for
+/// [`chase_database_reference`], the oracle — do not "optimize".
+fn apply_tgd_instance_reference(
+    db: &mut Database,
+    tgd: &Tgd,
+    next_null: &mut u64,
+) -> Option<Vec<Predicate>> {
+    let lhs_assignments = assignments(&tgd.lhs, db);
+    for asg in &lhs_assignments {
+        let rhs = ground_with(&tgd.rhs, asg);
+        if assignments(&rhs, db).is_empty() {
+            return Some(insert_conclusion(db, &rhs, next_null));
+        }
+    }
+    None
+}
+
+/// Naive twin of [`apply_egd_instance`], for the oracle driver.
+fn apply_egd_instance_reference(db: &mut Database, egd: &Egd) -> EgdInstanceOutcome {
     let lhs_assignments = assignments(&egd.lhs, db);
     for asg in &lhs_assignments {
         let a = match &egd.eq.0 {
@@ -165,17 +316,8 @@ fn apply_egd_instance(db: &mut Database, egd: &Egd) -> EgdInstanceOutcome {
         if a == b {
             continue;
         }
-        let (from, to) = match (a, b) {
-            (Value::Labeled(x), Value::Labeled(y)) => {
-                if x > y {
-                    (Value::Labeled(x), Value::Labeled(y))
-                } else {
-                    (Value::Labeled(y), Value::Labeled(x))
-                }
-            }
-            (Value::Labeled(_), other) => (a, other),
-            (other, Value::Labeled(_)) => (b, other),
-            _ => return EgdInstanceOutcome::Failed,
+        let Some((from, to)) = egd_merge(a, b) else {
+            return EgdInstanceOutcome::Failed;
         };
         let (next, changed) = replace_value(db, from, to);
         *db = next;
@@ -222,6 +364,10 @@ pub fn chase_database(
             }
         }
     };
+    // Plans compile once per run; the ground view is rebuilt only after a
+    // step actually mutates the database — satisfied checks reuse it.
+    let plans: Vec<InstancePlans> = sigma.iter().map(InstancePlans::compile).collect();
+    let mut gv = GroundView::of(&cur);
     loop {
         if steps >= config.max_steps {
             return Err(ChaseError::BudgetExhausted { steps });
@@ -230,20 +376,24 @@ pub fn chase_database(
             return Ok(InstanceChased { db: cur, failed: false, steps });
         };
         match sigma.as_slice()[i] {
-            Dependency::Tgd(ref t) => match apply_tgd_instance(&mut cur, t, &mut next_null) {
-                Some(added) => {
-                    steps += 1;
-                    wake(&mut queued, &added);
-                    // Another premise assignment of the same tgd may still
-                    // be violated even if nothing it listens on changed.
-                    queued[i] = true;
+            Dependency::Tgd(ref t) => {
+                match apply_tgd_instance(&mut cur, &gv, &plans[i], t, &mut next_null) {
+                    Some(added) => {
+                        steps += 1;
+                        gv = GroundView::of(&cur);
+                        wake(&mut queued, &added);
+                        // Another premise assignment of the same tgd may still
+                        // be violated even if nothing it listens on changed.
+                        queued[i] = true;
+                    }
+                    None => queued[i] = false,
                 }
-                None => queued[i] = false,
-            },
-            Dependency::Egd(ref e) => match apply_egd_instance(&mut cur, e) {
+            }
+            Dependency::Egd(ref e) => match apply_egd_instance(&mut cur, &gv, &plans[i], e) {
                 EgdInstanceOutcome::NoViolation => queued[i] = false,
                 EgdInstanceOutcome::Applied(changed) => {
                     steps += 1;
+                    gv = GroundView::of(&cur);
                     wake(&mut queued, &changed);
                     // The violating premise tuples contained the replaced
                     // value, so `changed` re-arms this egd via its own
@@ -276,12 +426,12 @@ pub fn chase_database_reference(
         for dep in sigma.iter() {
             match dep {
                 Dependency::Tgd(t) => {
-                    if apply_tgd_instance(&mut cur, t, &mut next_null).is_some() {
+                    if apply_tgd_instance_reference(&mut cur, t, &mut next_null).is_some() {
                         steps += 1;
                         continue 'outer;
                     }
                 }
-                Dependency::Egd(e) => match apply_egd_instance(&mut cur, e) {
+                Dependency::Egd(e) => match apply_egd_instance_reference(&mut cur, e) {
                     EgdInstanceOutcome::NoViolation => {}
                     EgdInstanceOutcome::Applied(_) => {
                         steps += 1;

@@ -26,14 +26,20 @@
 //!
 //! All query-level chases run on the **incremental indexed engine**
 //! ([`engine`]): a persistent [`index::BodyIndex`] (predicate/arity
-//! buckets, variable-occurrence lists, atom-value fingerprints) mutated in
-//! place, first-match homomorphism search with the conclusion-extension
-//! check threaded in as a pruning predicate, and delta-driven (semi-naive)
-//! dependency scheduling. [`set_chase`], [`sound_chase`] and
-//! [`key_based_chase`] are thin entry points over it. The original naive
-//! restart-scan driver survives as [`reference`] — the differential-testing
-//! oracle (`tests/tests/engine_differential.rs`) that pins the engine to
-//! the paper's step semantics.
+//! buckets, variable-occurrence lists, atom-value fingerprints, per-slot
+//! generation stamps) mutated in place, per-dependency compiled
+//! [`eqsql_cq::matcher::MatchPlan`]s searched first-match over a
+//! trail-based frame with the conclusion-extension check threaded in as a
+//! pruning predicate, and delta-driven (semi-naive) dependency
+//! scheduling. [`set_chase`], [`sound_chase`] and [`key_based_chase`] are
+//! thin entry points over it; [`EngineOpts`] opts into delta-*seeded*
+//! premise search (budget-exhaustion asymptotics) and speculative
+//! parallel dependency probes. The original naive restart-scan driver
+//! survives as [`reference`] — the differential-testing oracle
+//! (`tests/tests/engine_differential.rs`) that pins the engine to the
+//! paper's step semantics, with the underlying naive homomorphism search
+//! preserved as `eqsql_cq::matcher::reference`
+//! (`tests/tests/matcher_differential.rs`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -53,13 +59,13 @@ pub mod step;
 pub mod test_query;
 
 pub use assignment_fixing::{is_assignment_fixing, is_assignment_fixing_wrt_query};
-pub use engine::{chase_indexed, Admission};
+pub use engine::{chase_indexed, chase_indexed_opts, Admission, EngineOpts};
 pub use error::{ChaseConfig, ChaseError};
 pub use implication::{implies, minimal_cover};
-pub use instance::{chase_database, chase_database_reference, InstanceChased};
 pub use index::BodyIndex;
+pub use instance::{chase_database, chase_database_reference, InstanceChased};
 pub use key_based::{is_key_based, key_based_chase};
 pub use max_subset::{max_bag_set_sigma_subset, max_bag_sigma_subset};
 pub use reference::{chase_with_policy_reference, set_chase_reference};
-pub use set_chase::{set_chase, Chased};
+pub use set_chase::{set_chase, set_chase_opts, Chased};
 pub use sound::{sound_chase, sound_chase_prepared, SoundChased};

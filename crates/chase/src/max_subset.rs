@@ -122,10 +122,7 @@ mod tests {
             // removed dependency individually fails.
             for d in sigma.iter() {
                 if !result.subset.contains(d) {
-                    assert!(!eqsql_deps::satisfaction::query_satisfies(
-                        &result.chased.query,
-                        d
-                    ));
+                    assert!(!eqsql_deps::satisfaction::query_satisfies(&result.chased.query, d));
                 }
             }
         }
@@ -135,14 +132,10 @@ mod tests {
     fn sigma3_and_sigma4_are_dropped_under_bag() {
         // The canonical database of Q3 = (Q4)_{Σ,B} misses r and u tuples.
         let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
-        let b =
-            max_bag_sigma_subset(&q4, &sigma_4_1(), &schema_4_1(), &ChaseConfig::default())
-                .unwrap();
-        let dropped: Vec<String> = sigma_4_1()
-            .iter()
-            .filter(|d| !b.subset.contains(d))
-            .map(|d| d.to_string())
-            .collect();
+        let b = max_bag_sigma_subset(&q4, &sigma_4_1(), &schema_4_1(), &ChaseConfig::default())
+            .unwrap();
+        let dropped: Vec<String> =
+            sigma_4_1().iter().filter(|d| !b.subset.contains(d)).map(|d| d.to_string()).collect();
         assert_eq!(
             dropped,
             vec!["p(X, Y) -> r(X)".to_string(), "p(X, Y) -> u(X, Z) & t(X, Y, W)".to_string()]
@@ -154,8 +147,8 @@ mod tests {
         // §5.3: for Q(X) :- p(X,Y), u(X,Z), the canonical database of
         // (Q)_{Σ,B} satisfies σ4 — unlike for Q4.
         let q = parse_query("q(X) :- p(X,Y), u(X,Z)").unwrap();
-        let b = max_bag_sigma_subset(&q, &sigma_4_1(), &schema_4_1(), &ChaseConfig::default())
-            .unwrap();
+        let b =
+            max_bag_sigma_subset(&q, &sigma_4_1(), &schema_4_1(), &ChaseConfig::default()).unwrap();
         let sigma4 = sigma_4_1().as_slice()[3].clone();
         assert!(b.subset.contains(&sigma4), "σ4 should be satisfied for this query");
     }
@@ -164,8 +157,12 @@ mod tests {
     fn all_kept_when_chase_is_noop_and_sigma_satisfied() {
         let q = parse_query("q(X) :- a(X), b(X)").unwrap();
         let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
-        let r = max_bag_sigma_subset(&q, &sigma, &Schema::all_bags(&[("a", 1), ("b", 1)]),
-            &ChaseConfig::default())
+        let r = max_bag_sigma_subset(
+            &q,
+            &sigma,
+            &Schema::all_bags(&[("a", 1), ("b", 1)]),
+            &ChaseConfig::default(),
+        )
         .unwrap();
         assert_eq!(r.subset.len(), 1);
     }

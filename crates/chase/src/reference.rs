@@ -14,8 +14,7 @@
 use crate::error::{ChaseConfig, ChaseError};
 use crate::set_chase::{Chased, TraceEntry};
 use crate::step::{
-    applicable_tgd_homs, apply_egd_step, apply_tgd_step, rename_dep_apart, DedupPolicy,
-    EgdOutcome,
+    applicable_tgd_homs, apply_egd_step, apply_tgd_step, rename_dep_apart, DedupPolicy, EgdOutcome,
 };
 use eqsql_cq::{CqQuery, Subst, VarSupply};
 use eqsql_deps::{Dependency, DependencySet};
@@ -98,11 +97,7 @@ pub fn chase_with_policy_reference(
                             dep: dep.to_string(),
                             action: format!(
                                 "tgd: added {}",
-                                added
-                                    .iter()
-                                    .map(|a| a.to_string())
-                                    .collect::<Vec<_>>()
-                                    .join(" ∧ ")
+                                added.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" ∧ ")
                             ),
                             body_size: cur.body.len(),
                         });

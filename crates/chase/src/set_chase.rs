@@ -11,7 +11,7 @@
 //! engine ([`crate::engine`]); the original naive driver survives as
 //! [`crate::reference`], the differential-testing oracle.
 
-use crate::engine::{chase_indexed, Admission};
+use crate::engine::{chase_indexed, chase_indexed_opts, Admission, EngineOpts};
 use crate::error::{ChaseConfig, ChaseError};
 use crate::step::DedupPolicy;
 use eqsql_cq::{CqQuery, Subst};
@@ -33,7 +33,11 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[σ{}] {} — {} (body now {})", self.dep_index, self.dep, self.action, self.body_size)
+        write!(
+            f,
+            "[σ{}] {} — {} (body now {})",
+            self.dep_index, self.dep, self.action, self.body_size
+        )
     }
 }
 
@@ -57,8 +61,26 @@ pub struct Chased {
 
 /// Runs the chase of `q` with Σ under set semantics, deduplicating the body
 /// after every step (set semantics treats bodies as sets).
-pub fn set_chase(q: &CqQuery, sigma: &DependencySet, config: &ChaseConfig) -> Result<Chased, ChaseError> {
+pub fn set_chase(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+) -> Result<Chased, ChaseError> {
     chase_indexed(q, sigma, config, &DedupPolicy::All, Admission::All)
+}
+
+/// [`set_chase`] with explicit engine options — delta-seeded premise
+/// search for budget-exhaustion shapes, speculative parallel dependency
+/// probes. With [`EngineOpts::default`] this is exactly [`set_chase`];
+/// delta seeding trades the reference-identical step order for asymptotic
+/// wins (results stay Σ-equivalent — see the engine docs).
+pub fn set_chase_opts(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+    opts: &EngineOpts,
+) -> Result<Chased, ChaseError> {
+    chase_indexed_opts(q, sigma, config, &DedupPolicy::All, Admission::All, opts)
 }
 
 /// The general chase driver, parameterized by dedup policy and a per-step

@@ -103,27 +103,23 @@ pub fn sound_chase_prepared(
         Semantics::Set => set_chase(q, &sigma_reg, config)?,
         Semantics::BagSet => {
             let mut af_err: Option<ChaseError> = None;
-            let res = chase_with_policy(
-                q,
-                &sigma_reg,
-                config,
-                &DedupPolicy::All,
-                &mut |tgd, cur, h| match is_assignment_fixing(cur, &sigma_reg, tgd, h, config) {
-                    Ok(b) => b,
-                    Err(e) => {
-                        af_err = Some(e);
-                        false
+            let res =
+                chase_with_policy(q, &sigma_reg, config, &DedupPolicy::All, &mut |tgd, cur, h| {
+                    match is_assignment_fixing(cur, &sigma_reg, tgd, h, config) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            af_err = Some(e);
+                            false
+                        }
                     }
-                },
-            );
+                });
             if let Some(e) = af_err {
                 return Err(e);
             }
             res?
         }
         Semantics::Bag => {
-            let set_preds: HashSet<Predicate> =
-                schema.set_valued_relations().into_iter().collect();
+            let set_preds: HashSet<Predicate> = schema.set_valued_relations().into_iter().collect();
             let mut af_err: Option<ChaseError> = None;
             let res = chase_with_policy(
                 q,
@@ -205,8 +201,7 @@ mod tests {
         // (Q4)_{Σ,BS} = Q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X):
         // σ3 (full tgd) is sound under bag-set semantics.
         let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
-        let r =
-            sound_chase(Semantics::BagSet, &q4, &sigma_4_1(), &schema_4_1(), &cfg()).unwrap();
+        let r = sound_chase(Semantics::BagSet, &q4, &sigma_4_1(), &schema_4_1(), &cfg()).unwrap();
         let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
         assert!(are_isomorphic(&r.query, &q2), "got {}", r.query);
     }
@@ -227,8 +222,7 @@ mod tests {
         let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
         let rb = sound_chase(Semantics::Bag, &q3, &sigma_4_1(), &schema_4_1(), &cfg()).unwrap();
         assert!(are_isomorphic(&rb.query, &q3));
-        let rbs =
-            sound_chase(Semantics::BagSet, &q2, &sigma_4_1(), &schema_4_1(), &cfg()).unwrap();
+        let rbs = sound_chase(Semantics::BagSet, &q2, &sigma_4_1(), &schema_4_1(), &cfg()).unwrap();
         assert!(are_isomorphic(&rbs.query, &q2));
     }
 
@@ -319,8 +313,7 @@ mod tests {
         let mut deps: Vec<_> = sigma.iter().cloned().collect();
         deps.reverse();
         let reversed = DependencySet::from_vec(deps);
-        let alt =
-            sound_chase(Semantics::Bag, &q4, &reversed, &schema_4_1(), &cfg()).unwrap().query;
+        let alt = sound_chase(Semantics::Bag, &q4, &reversed, &schema_4_1(), &cfg()).unwrap().query;
         assert!(are_isomorphic(&baseline, &alt), "{baseline} vs {alt}");
     }
 }

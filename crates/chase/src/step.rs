@@ -10,7 +10,7 @@
 //!   distinct constants makes the query unsatisfiable under Σ (chase
 //!   failure).
 
-use eqsql_cq::hom::{self, all_homomorphisms, extend_homomorphism};
+use eqsql_cq::matcher::reference;
 use eqsql_cq::{Atom, CqQuery, Predicate, Subst, Term, Var, VarSupply};
 use eqsql_deps::{Dependency, Egd, Tgd};
 use std::collections::HashSet;
@@ -73,31 +73,56 @@ pub fn rename_dep_apart_with(
     avoid: impl Fn(Var) -> bool,
     supply: &mut VarSupply,
 ) -> Dependency {
+    rename_dep_apart_mapped(dep, avoid, supply).0
+}
+
+/// [`rename_dep_apart_with`], also returning the renaming applied — the
+/// engine's matcher plans search with the dependency's *original*
+/// variables (plans are renaming-invariant) and use the map to translate
+/// a found homomorphism into the renamed namespace the assignment-fixing
+/// admission test expects.
+pub fn rename_dep_apart_mapped(
+    dep: &Dependency,
+    avoid: impl Fn(Var) -> bool,
+    supply: &mut VarSupply,
+) -> (Dependency, Subst) {
     let mut s = Subst::new();
     for v in dep.all_vars() {
         if avoid(v) {
             s.set(v, Term::Var(supply.fresh(v.name())));
         }
     }
-    match dep {
-        Dependency::Tgd(t) => Dependency::Tgd(Tgd {
-            lhs: s.apply_atoms(&t.lhs),
-            rhs: s.apply_atoms(&t.rhs),
-        }),
+    let renamed = match dep {
+        Dependency::Tgd(t) => {
+            Dependency::Tgd(Tgd { lhs: s.apply_atoms(&t.lhs), rhs: s.apply_atoms(&t.rhs) })
+        }
         Dependency::Egd(e) => Dependency::Egd(Egd {
             lhs: s.apply_atoms(&e.lhs),
             eq: (s.apply_term(&e.eq.0), s.apply_term(&e.eq.1)),
         }),
-    }
+    };
+    (renamed, s)
 }
 
 /// All homomorphisms from the tgd's premise into the query body that do
 /// **not** extend to the conclusion — i.e. the `h`s making the chase of `Q`
 /// with `σ` applicable. The tgd must already be renamed apart from `q`.
+///
+/// Deliberately runs on the naive [`reference`] backtracker: this is the
+/// oracle layer consumed by [`crate::reference`], kept independent of the
+/// planned matcher it differentially tests. The enumeration cap is
+/// surfaced as a panic rather than a silent truncation — the reference
+/// driver's verdicts must never rest on a partial homomorphism set.
 pub fn applicable_tgd_homs(q: &CqQuery, tgd: &Tgd) -> Vec<Subst> {
-    all_homomorphisms(&tgd.lhs, &q.body, &Subst::new())
-        .into_iter()
-        .filter(|h| extend_homomorphism(&tgd.rhs, &q.body, h).is_none())
+    let (homs, truncated) = reference::enumerate_homomorphisms(
+        &tgd.lhs,
+        &q.body,
+        &Subst::new(),
+        eqsql_cq::hom::MAX_HOMOMORPHISMS,
+    );
+    assert!(!truncated, "reference premise enumeration truncated at MAX_HOMOMORPHISMS");
+    homs.into_iter()
+        .filter(|h| reference::extend_homomorphism(&tgd.rhs, &q.body, h).is_none())
         .collect()
 }
 
@@ -143,8 +168,12 @@ pub enum EgdOutcome {
 /// deterministically (the lexicographically larger name is replaced), so
 /// chase runs are reproducible.
 pub(crate) fn classify_egd_violation(egd: &Egd, h: &Subst) -> Option<Result<(Var, Term), ()>> {
-    let a = h.apply_term(&egd.eq.0);
-    let b = h.apply_term(&egd.eq.1);
+    classify_egd_images(h.apply_term(&egd.eq.0), h.apply_term(&egd.eq.1))
+}
+
+/// [`classify_egd_violation`] on the already-computed images of the
+/// equated terms (the engine reads them straight off a matcher frame).
+pub(crate) fn classify_egd_images(a: Term, b: Term) -> Option<Result<(Var, Term), ()>> {
     if a == b {
         return None;
     }
@@ -171,7 +200,7 @@ pub(crate) fn classify_egd_violation(egd: &Egd, h: &Subst) -> Option<Result<(Var
 /// every homomorphism of the premise first.
 pub fn apply_egd_step(q: &CqQuery, egd: &Egd) -> EgdOutcome {
     let mut verdict: Option<Result<(Var, Term), ()>> = None;
-    hom::find_homomorphism_where(&egd.lhs, &q.body, &Subst::new(), &mut |h| {
+    reference::find_homomorphism_where(&egd.lhs, &q.body, &Subst::new(), &mut |h| {
         verdict = classify_egd_violation(egd, h);
         verdict.is_some()
     });

@@ -79,8 +79,7 @@ mod tests {
         let homs = applicable_tgd_homs(&q, &t);
         assert_eq!(homs.len(), 1);
         let tq = associated_test_query(&q, &t, &homs[0]);
-        let expected =
-            parse_query("qt(X) :- p(X,Y), r(X,Z), s(Z,W), r(X,Z2), s(Z2,W2)").unwrap();
+        let expected = parse_query("qt(X) :- p(X,Y), r(X,Z), s(Z,W), r(X,Z2), s(Z2,W2)").unwrap();
         assert!(are_isomorphic(&tq.query, &expected), "got {}", tq.query);
         assert_eq!(tq.zs, vec![Var::new("Z"), Var::new("W")]);
     }

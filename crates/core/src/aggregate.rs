@@ -99,8 +99,7 @@ fn agg_cnb(
 ) -> Result<AggCnbResult, CnbError> {
     let sem = core_semantics(q.agg);
     let core_result = cnb(sem, &q.core(), sigma, schema, config, opts)?;
-    let reformulations =
-        core_result.reformulations.iter().filter_map(|r| rebuild(q, r)).collect();
+    let reformulations = core_result.reformulations.iter().filter_map(|r| rebuild(q, r)).collect();
     Ok(AggCnbResult { core_result, reformulations })
 }
 
@@ -113,10 +112,7 @@ pub fn max_min_cnb(
     config: &ChaseConfig,
     opts: &CnbOptions,
 ) -> Result<AggCnbResult, CnbError> {
-    assert!(
-        matches!(q.agg, AggFn::Max | AggFn::Min),
-        "Max-Min-C&B takes max/min queries"
-    );
+    assert!(matches!(q.agg, AggFn::Max | AggFn::Min), "Max-Min-C&B takes max/min queries");
     agg_cnb(q, sigma, schema, config, opts)
 }
 
@@ -202,10 +198,11 @@ mod tests {
         let maxq = parse_aggregate_query("q(X, max(Y)) :- emp(X,Y), emp(X,Z)").unwrap();
         let r = max_min_cnb(&maxq, &sigma, &sch, &cfg(), &CnbOptions::default()).unwrap();
         // The minimal max-reformulation drops the redundant join.
-        assert!(r
-            .reformulations
-            .iter()
-            .any(|q| q.body.len() == 1), "got {:?}", r.reformulations.len());
+        assert!(
+            r.reformulations.iter().any(|q| q.body.len() == 1),
+            "got {:?}",
+            r.reformulations.len()
+        );
         let sumq = parse_aggregate_query("q(X, sum(Y)) :- emp(X,Y), emp(X,Z)").unwrap();
         let r2 = sum_count_cnb(&sumq, &sigma, &sch, &cfg(), &CnbOptions::default()).unwrap();
         // Sum-Count-C&B must keep both subgoals.
@@ -224,9 +221,8 @@ mod tests {
     #[test]
     fn rebuilt_queries_keep_name_and_aggregate() {
         let q = parse_aggregate_query("total(D, sum(S)) :- emp(D,S)").unwrap();
-        let r = sum_count_cnb(&q, &DependencySet::new(), &schema(), &cfg(),
-            &CnbOptions::default())
-        .unwrap();
+        let r = sum_count_cnb(&q, &DependencySet::new(), &schema(), &cfg(), &CnbOptions::default())
+            .unwrap();
         assert_eq!(r.reformulations.len(), 1);
         let out = &r.reformulations[0];
         assert_eq!(out.name, q.name);

@@ -16,7 +16,7 @@
 //! a sound three-valued procedure.
 
 use crate::counterexample::{amplify, lemma_d1_database};
-use eqsql_cq::hom::all_homomorphisms;
+use eqsql_cq::matcher::{bucket_atoms, MatchPlan, Seed, Target};
 use eqsql_cq::{CqQuery, Predicate, Subst};
 use eqsql_relalg::eval::eval_bag;
 use eqsql_relalg::Schema;
@@ -45,11 +45,7 @@ pub fn subgoal_count_condition(q1: &CqQuery, q2: &CqQuery) -> bool {
 /// The set-enforced refinement (Theorem 4.2's view): only bag-valued
 /// relations are counted, after dropping duplicate subgoals over
 /// set-valued relations from both queries.
-pub fn subgoal_count_condition_with_schema(
-    q1: &CqQuery,
-    q2: &CqQuery,
-    schema: &Schema,
-) -> bool {
+pub fn subgoal_count_condition_with_schema(q1: &CqQuery, q2: &CqQuery, schema: &Schema) -> bool {
     let d1 = eqsql_cq::iso::dedup_set_valued(q1, |p| schema.is_set_valued(p));
     let d2 = eqsql_cq::iso::dedup_set_valued(q2, |p| schema.is_set_valued(p));
     let preds: HashSet<Predicate> =
@@ -82,17 +78,24 @@ pub fn onto_containment_mapping_exists(q1: &CqQuery, q2: &CqQuery) -> bool {
             }
         }
     }
-    // Try every homomorphism Q2 -> Q1 extending the head seed; check the
-    // multiset-cover property.
-    let homs = all_homomorphisms(&q2.body, &q1.body, &seed);
-    homs.iter().any(|h| {
-        let image: Vec<_> = h.apply_atoms(&q2.body);
-        q1.body.iter().all(|atom| {
+    // Stream homomorphisms Q2 -> Q1 extending the head seed off the
+    // planned matcher, stopping at the first with the multiset-cover
+    // property — the historical path materialized (and silently capped)
+    // the whole homomorphism set first.
+    let head_vars: Vec<eqsql_cq::Var> = q2.head.iter().filter_map(eqsql_cq::Term::as_var).collect();
+    let plan = MatchPlan::optimized(&q2.body, &head_vars);
+    let buckets = bucket_atoms(&q1.body);
+    let mut covered = false;
+    plan.search(Target::new(&q1.body, &buckets), &Seed::Subst(&seed), &mut |m| {
+        let image: Vec<_> = q2.body.iter().map(|a| m.apply_atom(a)).collect();
+        covered = q1.body.iter().all(|atom| {
             let need = q1.body.iter().filter(|a| *a == atom).count();
             let have = image.iter().filter(|a| *a == atom).count();
             have >= need
-        })
-    })
+        });
+        !covered // stop at the first multiset-onto mapping
+    });
+    covered
 }
 
 /// A bounded falsifier: evaluates both queries under bag semantics on

@@ -141,7 +141,8 @@ pub fn cnb_via<C: SoundChaser + ?Sized>(
         if accepted_masks.iter().any(|a| mask & a == *a) {
             continue; // proper superset of an accepted reformulation
         }
-        let body: Vec<_> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| u.body[i].clone()).collect();
+        let body: Vec<_> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| u.body[i].clone()).collect();
         let candidate = CqQuery { name: q.name, head: u.head.clone(), body };
         if !candidate.is_safe() {
             continue;
@@ -275,8 +276,7 @@ mod tests {
         // Under bag-set semantics, Q2 ≡_{Σ,BS} Q4: both should appear when
         // starting from Q2 (Q4 as the minimal one).
         let q2 = parse_query("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)").unwrap();
-        let r =
-            cnb(Semantics::BagSet, &q2, &sigma_4_1(), &schema_4_1(), &cfg(), &opts()).unwrap();
+        let r = cnb(Semantics::BagSet, &q2, &sigma_4_1(), &schema_4_1(), &cfg(), &opts()).unwrap();
         let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
         assert!(contains_isomorph(&r, &q4), "got {:?}", render_reformulations(&r));
     }
@@ -307,8 +307,7 @@ mod tests {
         let schema = Schema::all_bags(&[("p", 1)]);
         let q = parse_query("q(X) :- p(X)").unwrap();
         let small = CnbOptions { max_plan_atoms: 4, ..CnbOptions::default() };
-        let err =
-            cnb(Semantics::Set, &q, &sigma, &schema, &cfg(), &small).unwrap_err();
+        let err = cnb(Semantics::Set, &q, &sigma, &schema, &cfg(), &small).unwrap_err();
         assert!(matches!(err, CnbError::PlanTooLarge { .. }));
     }
 

@@ -59,12 +59,7 @@ pub fn lemma_d1_m_star(q1: &CqQuery, q2: &CqQuery, rel: Predicate) -> u64 {
     }
 }
 
-fn answers_differ(
-    sem: Semantics,
-    q1: &CqQuery,
-    q2: &CqQuery,
-    db: &Database,
-) -> bool {
+fn answers_differ(sem: Semantics, q1: &CqQuery, q2: &CqQuery, db: &Database) -> bool {
     match (eval(q1, db, sem), eval(q2, db, sem)) {
         (Ok(a), Ok(b)) => a != b,
         _ => false, // semantics not applicable on this database
@@ -240,19 +235,16 @@ mod tests {
         schema.mark_set_valued(Predicate::new("t"));
         let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
         let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
-        let witness =
-            separating_database(Semantics::Bag, &q1, &q4, &sigma, &schema, &cfg());
+        let witness = separating_database(Semantics::Bag, &q1, &q4, &sigma, &schema, &cfg());
         let db = witness.expect("a separating database must exist");
         assert!(db_satisfies_all(&db, &sigma));
         assert!(answers_differ(Semantics::Bag, &q1, &q4, &db));
         // The same pair is separable under bag-set semantics too.
-        let witness_bs =
-            separating_database(Semantics::BagSet, &q1, &q4, &sigma, &schema, &cfg());
+        let witness_bs = separating_database(Semantics::BagSet, &q1, &q4, &sigma, &schema, &cfg());
         assert!(witness_bs.is_some());
         // But NOT under set semantics (they are set-equivalent):
         // the search comes back empty-handed.
-        assert!(separating_database(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg())
-            .is_none());
+        assert!(separating_database(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg()).is_none());
     }
 
     #[test]
@@ -268,8 +260,7 @@ mod tests {
         let schema = Schema::all_bags(&[("p", 2), ("r", 2), ("s", 2)]);
         let q = parse_query("q(X) :- p(X,Y)").unwrap();
         let qpp = parse_query("qq(X) :- p(X,Y), r(X,Z), s(Z,W), s(X,T)").unwrap();
-        let witness =
-            separating_database(Semantics::BagSet, &q, &qpp, &sigma, &schema, &cfg());
+        let witness = separating_database(Semantics::BagSet, &q, &qpp, &sigma, &schema, &cfg());
         let db = witness.expect("Example 4.7's construction must find a witness");
         let a = eval(&q, &db, Semantics::BagSet).unwrap();
         let b = eval(&qpp, &db, Semantics::BagSet).unwrap();

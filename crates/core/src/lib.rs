@@ -38,12 +38,12 @@ pub mod problem;
 pub mod sigma_equiv;
 pub mod views;
 
+pub use cnb::{cnb, cnb_via, CnbOptions, CnbResult};
 pub use eqsql_relalg::Semantics;
 pub use equiv::{
     bag_equivalent, bag_equivalent_with_set_relations, bag_set_equivalent, set_contained,
     set_equivalent,
 };
-pub use cnb::{cnb, cnb_via, CnbOptions, CnbResult};
 pub use problem::{ReformulationProblem, Solutions};
 pub use sigma_equiv::{
     sigma_equivalent, sigma_equivalent_via, sigma_set_contained, sigma_set_contained_via,

@@ -233,12 +233,10 @@ mod tests {
         let min = parse_query("q(X) :- p(X,Y)").unwrap();
         let redundant = parse_query("q(X) :- p(X,Y), p(X,Z)").unwrap();
         assert!(is_sigma_minimal(&min, &sigma, &schema, Semantics::Set, &cfg()).unwrap());
-        assert!(!is_sigma_minimal(&redundant, &sigma, &schema, Semantics::Set, &cfg())
-            .unwrap());
+        assert!(!is_sigma_minimal(&redundant, &sigma, &schema, Semantics::Set, &cfg()).unwrap());
         // Under bag-set semantics the "redundant" atom changes
         // multiplicities, so the query IS minimal.
-        assert!(is_sigma_minimal(&redundant, &sigma, &schema, Semantics::BagSet, &cfg())
-            .unwrap());
+        assert!(is_sigma_minimal(&redundant, &sigma, &schema, Semantics::BagSet, &cfg()).unwrap());
     }
 
     #[test]
@@ -249,8 +247,9 @@ mod tests {
         let q = parse_query("q(X) :- a(X), b(X)").unwrap();
         assert!(!is_sigma_minimal(&q, &sigma, &schema, Semantics::Set, &cfg()).unwrap());
         // But not without the dependency.
-        assert!(is_sigma_minimal(&q, &DependencySet::new(), &schema, Semantics::Set, &cfg())
-            .unwrap());
+        assert!(
+            is_sigma_minimal(&q, &DependencySet::new(), &schema, Semantics::Set, &cfg()).unwrap()
+        );
     }
 
     #[test]
@@ -297,11 +296,13 @@ mod tests {
         // q IS minimal.
         let q = parse_query("q(X) :- p(X,Y), p(X,Z), r(Y,Z)").unwrap();
         let schema = Schema::all_bags(&[("p", 2), ("r", 2)]);
-        assert!(is_sigma_minimal(&q, &DependencySet::new(), &schema, Semantics::Set, &cfg())
-            .unwrap());
+        assert!(
+            is_sigma_minimal(&q, &DependencySet::new(), &schema, Semantics::Set, &cfg()).unwrap()
+        );
         // Whereas with r(Y,Y) already reflexive in the query, folding works.
         let q2 = parse_query("q(X) :- p(X,Y), p(X,Z), r(Y,Y)").unwrap();
-        assert!(!is_sigma_minimal(&q2, &DependencySet::new(), &schema, Semantics::Set, &cfg())
-            .unwrap());
+        assert!(
+            !is_sigma_minimal(&q2, &DependencySet::new(), &schema, Semantics::Set, &cfg()).unwrap()
+        );
     }
 }

@@ -139,8 +139,8 @@ impl ReformulationProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eqsql_cq::parser::parse_aggregate_query;
     use eqsql_cq::parse_query;
+    use eqsql_cq::parser::parse_aggregate_query;
     use eqsql_deps::parse_dependencies;
 
     #[test]

@@ -233,8 +233,7 @@ mod tests {
         let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
         let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
         let (sigma, schema) = (sigma_4_1(), schema_4_1());
-        assert!(sigma_equivalent(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg())
-            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg()).is_equivalent());
         assert_eq!(
             sigma_equivalent(Semantics::Bag, &q1, &q4, &sigma, &schema, &cfg()),
             EquivOutcome::NotEquivalent
@@ -253,18 +252,19 @@ mod tests {
         let q3 = parse_query("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)").unwrap();
         let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
         let (sigma, schema) = (sigma_4_1(), schema_4_1());
-        assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma, &schema, &cfg())
-            .is_equivalent());
-        assert!(sigma_equivalent(Semantics::BagSet, &q2, &q4, &sigma, &schema, &cfg())
-            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma, &schema, &cfg()).is_equivalent());
+        assert!(
+            sigma_equivalent(Semantics::BagSet, &q2, &q4, &sigma, &schema, &cfg()).is_equivalent()
+        );
         assert_eq!(
             sigma_equivalent(Semantics::Bag, &q2, &q4, &sigma, &schema, &cfg()),
             EquivOutcome::NotEquivalent
         );
         // And all four are set-equivalent under Σ.
         for q in [&q2, &q3] {
-            assert!(sigma_equivalent(Semantics::Set, q, &q4, &sigma, &schema, &cfg())
-                .is_equivalent());
+            assert!(
+                sigma_equivalent(Semantics::Set, q, &q4, &sigma, &schema, &cfg()).is_equivalent()
+            );
         }
     }
 
@@ -312,8 +312,7 @@ mod tests {
             sigma_equivalent(Semantics::Bag, &q, &qp, &sigma, &schema, &cfg()),
             EquivOutcome::NotEquivalent
         );
-        assert!(sigma_equivalent(Semantics::Set, &q, &qp, &sigma, &schema, &cfg())
-            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::Set, &q, &qp, &sigma, &schema, &cfg()).is_equivalent());
     }
 
     #[test]
@@ -330,10 +329,10 @@ mod tests {
         schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
         let q = parse_query("q(X) :- p(X,Y), s(X,Z)").unwrap();
         let qpp = parse_query("qpp(X) :- p(X,Y), s(X,Z), s(X,W), t(W,Y)").unwrap();
-        assert!(sigma_equivalent(Semantics::Bag, &q, &qpp, &sigma, &schema, &cfg())
-            .is_equivalent());
-        assert!(sigma_equivalent(Semantics::BagSet, &q, &qpp, &sigma, &schema, &cfg())
-            .is_equivalent());
+        assert!(sigma_equivalent(Semantics::Bag, &q, &qpp, &sigma, &schema, &cfg()).is_equivalent());
+        assert!(
+            sigma_equivalent(Semantics::BagSet, &q, &qpp, &sigma, &schema, &cfg()).is_equivalent()
+        );
     }
 
     #[test]
@@ -378,8 +377,7 @@ mod tests {
         assert!(sigma_set_contained(&qa, &qab, &sigma, &schema, &cfg()).unwrap());
         assert!(sigma_set_contained(&qab, &qa, &sigma, &schema, &cfg()).unwrap());
         // Without Σ, a ⋢ ab.
-        assert!(!sigma_set_contained(&qa, &qab, &DependencySet::new(), &schema, &cfg())
-            .unwrap());
+        assert!(!sigma_set_contained(&qa, &qab, &DependencySet::new(), &schema, &cfg()).unwrap());
     }
 
     #[test]

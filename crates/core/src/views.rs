@@ -45,10 +45,7 @@ impl View {
     /// variable head (view outputs are columns).
     pub fn new(def: CqQuery) -> View {
         assert!(def.is_safe(), "view definitions must be safe");
-        assert!(
-            def.head.iter().all(|t| t.is_var()),
-            "view heads must be variables"
-        );
+        assert!(def.head.iter().all(|t| t.is_var()), "view heads must be variables");
         View { def }
     }
 
@@ -247,8 +244,7 @@ pub fn rewrite_with_views(
     }
     let u = chased.query;
     let view_preds = views.predicates();
-    let view_atoms: Vec<&Atom> =
-        u.body.iter().filter(|a| view_preds.contains(&a.pred)).collect();
+    let view_atoms: Vec<&Atom> = u.body.iter().filter(|a| view_preds.contains(&a.pred)).collect();
     let n = view_atoms.len();
     if n > max_plan_atoms {
         return Err(ViewError::Chase(ChaseError::QueryTooLarge { atoms: n }));
@@ -262,10 +258,8 @@ pub fn rewrite_with_views(
         if accepted_masks.iter().any(|a| mask & a == *a) {
             continue;
         }
-        let body: Vec<Atom> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| view_atoms[i].clone())
-            .collect();
+        let body: Vec<Atom> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| view_atoms[i].clone()).collect();
         let candidate = CqQuery { name: q.name, head: u.head.clone(), body };
         if !candidate.is_safe() {
             continue;
@@ -324,9 +318,7 @@ mod tests {
     #[test]
     fn repeated_view_head_variable_forces_equality() {
         // v(X,X) :- p(X,X): calling v(A,B) must identify A and B.
-        let views = ViewSet::new(vec![View::new(
-            parse_query("v(X,X) :- p(X,X)").unwrap(),
-        )]);
+        let views = ViewSet::new(vec![View::new(parse_query("v(X,X) :- p(X,X)").unwrap())]);
         let r = parse_query("q(A) :- v(A,B), r(B)").unwrap();
         let e = expand(&r, &views).unwrap();
         let expected = parse_query("q(A) :- p(A,A), r(A)").unwrap();
@@ -391,31 +383,20 @@ mod tests {
                 .unwrap();
         assert!(v2.is_equivalent());
         // Under set semantics the single view atom suffices.
-        let v3 =
-            is_equivalent_rewriting(Semantics::Set, &q, &r1, &views, &sigma, &schema, &cfg())
-                .unwrap();
+        let v3 = is_equivalent_rewriting(Semantics::Set, &q, &r1, &views, &sigma, &schema, &cfg())
+            .unwrap();
         assert!(v3.is_equivalent());
     }
 
     #[test]
     fn rewrite_search_finds_the_join_view() {
-        let views = ViewSet::new(vec![
-            view("v1(X,Z) :- p(X,Y), s(Y,Z)"),
-            view("v2(X) :- p(X,Y)"),
-        ]);
+        let views = ViewSet::new(vec![view("v1(X,Z) :- p(X,Y), s(Y,Z)"), view("v2(X) :- p(X,Y)")]);
         let q = parse_query("q(X,Z) :- p(X,Y), s(Y,Z)").unwrap();
         let schema = Schema::all_bags(&[("p", 2), ("s", 2), ("v1", 2), ("v2", 1)]);
         for sem in [Semantics::Set, Semantics::BagSet] {
-            let out = rewrite_with_views(
-                sem,
-                &q,
-                &views,
-                &DependencySet::new(),
-                &schema,
-                &cfg(),
-                12,
-            )
-            .unwrap();
+            let out =
+                rewrite_with_views(sem, &q, &views, &DependencySet::new(), &schema, &cfg(), 12)
+                    .unwrap();
             let expected = parse_query("q(X,Z) :- v1(X,Z)").unwrap();
             assert!(
                 out.rewritings.iter().any(|r| are_isomorphic(r, &expected)),
@@ -433,16 +414,8 @@ mod tests {
         let views = ViewSet::new(vec![view("v(X) :- a(X), b(X)")]);
         let q = parse_query("q(X) :- a(X)").unwrap();
         let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("v", 1)]);
-        let out = rewrite_with_views(
-            Semantics::Set,
-            &q,
-            &views,
-            &sigma,
-            &schema,
-            &cfg(),
-            12,
-        )
-        .unwrap();
+        let out =
+            rewrite_with_views(Semantics::Set, &q, &views, &sigma, &schema, &cfg(), 12).unwrap();
         let expected = parse_query("q(X) :- v(X)").unwrap();
         assert!(
             out.rewritings.iter().any(|r| are_isomorphic(r, &expected)),

@@ -3,110 +3,52 @@
 //!
 //! A homomorphism from conjunction `φ(U)` to conjunction `ψ(V)` maps the
 //! variables of `φ` to terms of `ψ` such that constants are fixed and every
-//! atom of `φ` lands on an atom of `ψ` (§2.1 of the paper). The search is a
-//! straightforward backtracking over the atoms of `φ`, bucketing the target
-//! atoms by predicate. Containment-mapping search is NP-complete in general;
-//! the inputs in this workspace are small symbolic queries.
+//! atom of `φ` lands on an atom of `ψ` (§2.1 of the paper). Containment-
+//! mapping search is NP-complete in general; the inputs in this workspace
+//! are small symbolic queries.
+//!
+//! Since the matcher refactor these free functions are thin wrappers over
+//! the planned, trail-based search in [`crate::matcher`]; the plans they
+//! build preserve the source atom order, so emission order (and therefore
+//! every "first homomorphism" choice) is identical to the historical naive
+//! backtracker, which survives as [`crate::matcher::reference`]. Callers
+//! with a hot loop should compile a [`MatchPlan`](crate::matcher::MatchPlan)
+//! once and search it directly instead of paying the per-call compile here.
 
 use crate::atom::Atom;
+use crate::matcher::{MatchPlan, Seed, Target};
 use crate::query::CqQuery;
 use crate::subst::Subst;
 use crate::term::Term;
-use std::collections::HashMap;
 
-/// Upper bound on the number of homomorphisms [`all_homomorphisms`] will
-/// enumerate before giving up (a guard against pathological inputs; the
-/// chase never comes close on paper-scale inputs).
+pub use crate::matcher::{bucket_atoms, Buckets};
+
+/// Upper bound on the number of homomorphisms [`enumerate_homomorphisms`]
+/// will materialize before reporting truncation (a guard against
+/// pathological inputs; the chase never comes close on paper-scale
+/// inputs).
 pub const MAX_HOMOMORPHISMS: usize = 200_000;
 
-/// Target atoms bucketed by predicate/arity: for each key, the indices into
-/// the target slice holding an atom with that key, in ascending order.
-///
-/// Callers that repeatedly search the same (evolving) target — the
-/// incremental chase engine — maintain one of these across calls instead of
-/// letting every search rebuild it.
-pub type Buckets = HashMap<(crate::atom::Predicate, usize), Vec<usize>>;
-
-/// Builds the bucket map for a target slice.
-pub fn bucket_atoms(atoms: &[Atom]) -> Buckets {
-    let mut m: Buckets = HashMap::new();
-    for (i, a) in atoms.iter().enumerate() {
-        m.entry(a.key()).or_default().push(i);
-    }
-    m
-}
-
-/// Tries to unify the source atom with the target atom under `s`,
-/// mutating `s`. Returns the bindings added (for backtracking) or `None`.
-fn match_atom(src: &Atom, dst: &Atom, s: &mut Subst) -> Option<Vec<crate::term::Var>> {
-    debug_assert_eq!(src.key(), dst.key());
-    let mut added = Vec::new();
-    for (st, dt) in src.args.iter().zip(dst.args.iter()) {
-        match st {
-            Term::Const(c) => {
-                if *dt != Term::Const(*c) {
-                    for v in &added {
-                        s.remove(*v);
-                    }
-                    return None;
-                }
-            }
-            Term::Var(v) => match s.get(*v) {
-                Some(bound) => {
-                    if bound != dt {
-                        for w in &added {
-                            s.remove(*w);
-                        }
-                        return None;
-                    }
-                }
-                None => {
-                    s.set(*v, *dt);
-                    added.push(*v);
-                }
-            },
-        }
-    }
-    Some(added)
-}
-
-/// Backtracking search. `emit` is called with each complete homomorphism;
-/// returning `false` from `emit` stops the search.
-fn search(
-    src: &[Atom],
-    dst: &[Atom],
-    buckets: &HashMap<(crate::atom::Predicate, usize), Vec<usize>>,
-    idx: usize,
-    s: &mut Subst,
-    emit: &mut dyn FnMut(&Subst) -> bool,
-) -> bool {
-    if idx == src.len() {
-        return emit(s);
-    }
-    let atom = &src[idx];
-    let Some(cands) = buckets.get(&atom.key()) else {
-        return true; // no candidates: this branch yields nothing, keep going
-    };
-    for &j in cands {
-        if let Some(added) = match_atom(atom, &dst[j], s) {
-            let keep_going = search(src, dst, buckets, idx + 1, s, emit);
-            for v in added {
-                s.remove(v);
-            }
-            if !keep_going {
-                return false;
-            }
-        }
-    }
-    true
+/// The result of an exhaustive homomorphism enumeration.
+#[derive(Clone, Debug)]
+pub struct HomEnumeration {
+    /// The homomorphisms found, deduplicated by their variable bindings,
+    /// in the deterministic search order.
+    pub homs: Vec<Subst>,
+    /// Did the enumeration stop at [`MAX_HOMOMORPHISMS`] with candidates
+    /// left unexplored? When set, `homs` is an arbitrary prefix — treat
+    /// any universally quantified conclusion drawn from it as unverified.
+    pub truncated: bool,
 }
 
 /// Lazily enumerates homomorphisms from `src` into `dst` extending `seed`,
 /// restricted to the target atoms listed in `buckets` (which may cover only
 /// a live subset of `dst` — dead slots simply never appear as candidates).
 /// `emit` receives each complete homomorphism; returning `false` stops the
-/// search immediately. This is the first-match workhorse of the incremental
-/// chase engine: no homomorphism set is ever materialized.
+/// search immediately. No homomorphism set is ever materialized, but each
+/// emission does materialize one `Subst` for the callback — hot loops
+/// should search a compiled [`MatchPlan`] directly and read the borrowed
+/// [`Match`](crate::matcher::Match) instead.
 pub fn search_homomorphisms(
     src: &[Atom],
     dst: &[Atom],
@@ -114,13 +56,13 @@ pub fn search_homomorphisms(
     seed: &Subst,
     emit: &mut dyn FnMut(&Subst) -> bool,
 ) {
-    let mut s = seed.clone();
-    search(src, dst, buckets, 0, &mut s, emit);
+    let plan = MatchPlan::new(src);
+    plan.search(Target::new(dst, buckets), &Seed::Subst(seed), &mut |m| emit(&m.to_subst()));
 }
 
 /// Finds one homomorphism from `src` to `dst` extending `seed` and
 /// satisfying `pred`, short-circuiting at the first hit. Candidates are
-/// enumerated in the same deterministic order as [`all_homomorphisms`].
+/// enumerated in the same deterministic order as [`enumerate_homomorphisms`].
 pub fn find_homomorphism_where(
     src: &[Atom],
     dst: &[Atom],
@@ -128,11 +70,12 @@ pub fn find_homomorphism_where(
     pred: &mut dyn FnMut(&Subst) -> bool,
 ) -> Option<Subst> {
     let buckets = bucket_atoms(dst);
-    let mut s = seed.clone();
+    let plan = MatchPlan::new(src);
     let mut found: Option<Subst> = None;
-    search(src, dst, &buckets, 0, &mut s, &mut |h| {
-        if pred(h) {
-            found = Some(h.clone());
+    plan.search(Target::new(dst, &buckets), &Seed::Subst(seed), &mut |m| {
+        let h = m.to_subst();
+        if pred(&h) {
+            found = Some(h);
             false
         } else {
             true
@@ -154,13 +97,7 @@ pub fn extend_homomorphism_with_buckets(
     buckets: &Buckets,
     seed: &Subst,
 ) -> Option<Subst> {
-    let mut s = seed.clone();
-    let mut found: Option<Subst> = None;
-    search(src, dst, buckets, 0, &mut s, &mut |h| {
-        found = Some(h.clone());
-        false
-    });
-    found
+    MatchPlan::new(src).first_match(Target::new(dst, buckets), &Seed::Subst(seed))
 }
 
 /// Finds one homomorphism from `src` to `dst`, if any.
@@ -169,21 +106,31 @@ pub fn find_homomorphism(src: &[Atom], dst: &[Atom]) -> Option<Subst> {
 }
 
 /// Enumerates all homomorphisms from `src` to `dst` extending `seed`,
-/// deduplicated by their variable bindings. Enumeration stops (silently) at
-/// [`MAX_HOMOMORPHISMS`].
-pub fn all_homomorphisms(src: &[Atom], dst: &[Atom], seed: &Subst) -> Vec<Subst> {
+/// deduplicated by their variable bindings. Deduplication compares the
+/// plan's dense slot array in place — no per-emission allocation — and
+/// enumeration past [`MAX_HOMOMORPHISMS`] is reported via
+/// [`HomEnumeration::truncated`] instead of being silently dropped.
+pub fn enumerate_homomorphisms(src: &[Atom], dst: &[Atom], seed: &Subst) -> HomEnumeration {
     let buckets = bucket_atoms(dst);
-    let mut s = seed.clone();
-    let mut out: Vec<Subst> = Vec::new();
-    let mut seen: std::collections::HashSet<Vec<(crate::term::Var, Term)>> =
-        std::collections::HashSet::new();
-    search(src, dst, &buckets, 0, &mut s, &mut |h| {
-        if seen.insert(h.sorted_pairs()) {
-            out.push(h.clone());
+    let plan = MatchPlan::new(src);
+    let mut homs: Vec<Subst> = Vec::new();
+    let mut truncated = false;
+    let mut seen: std::collections::HashSet<Box<[Term]>> = std::collections::HashSet::new();
+    plan.search(Target::new(dst, &buckets), &Seed::Subst(seed), &mut |m| {
+        // Membership test borrows the live slot slice; only genuinely new
+        // homomorphisms allocate (their `Subst` is materialized anyway).
+        if seen.contains(m.slots()) {
+            return true;
         }
-        out.len() < MAX_HOMOMORPHISMS
+        if homs.len() == MAX_HOMOMORPHISMS {
+            truncated = true;
+            return false;
+        }
+        seen.insert(m.slots().to_vec().into_boxed_slice());
+        homs.push(m.to_subst());
+        true
     });
-    out
+    HomEnumeration { homs, truncated }
 }
 
 /// A containment mapping from `from` to `to`: a homomorphism between the
@@ -208,7 +155,12 @@ pub fn containment_mapping(from: &CqQuery, to: &CqQuery) -> Option<Subst> {
             }
         }
     }
-    extend_homomorphism(&from.body, &to.body, &seed)
+    // Reference-order plan: containment checks run overwhelmingly on
+    // small bodies (C&B subqueries, equivalence probes) where the O(n)
+    // compile wins, and it keeps the historical first-match choice.
+    let plan = MatchPlan::new(&from.body);
+    let buckets = bucket_atoms(&to.body);
+    plan.first_match(Target::new(&to.body, &buckets), &Seed::Subst(&seed))
 }
 
 #[cfg(test)]
@@ -254,8 +206,9 @@ mod tests {
     fn all_homomorphisms_counts_targets() {
         let src = q("q() :- p(X)");
         let dst = q("q() :- p(A), p(B), p(C)");
-        let hs = all_homomorphisms(&src.body, &dst.body, &Subst::new());
-        assert_eq!(hs.len(), 3);
+        let e = enumerate_homomorphisms(&src.body, &dst.body, &Subst::new());
+        assert_eq!(e.homs.len(), 3);
+        assert!(!e.truncated);
     }
 
     #[test]
@@ -263,8 +216,29 @@ mod tests {
         // Duplicate target atoms yield the same variable mapping.
         let src = q("q() :- p(X)");
         let dst = q("q() :- p(A), p(A)");
-        let hs = all_homomorphisms(&src.body, &dst.body, &Subst::new());
-        assert_eq!(hs.len(), 1);
+        let e = enumerate_homomorphisms(&src.body, &dst.body, &Subst::new());
+        assert_eq!(e.homs.len(), 1);
+    }
+
+    #[test]
+    fn enumeration_reports_truncation() {
+        // 2^18 = 262144 > MAX_HOMOMORPHISMS homomorphisms: 18 independent
+        // source atoms with 2 candidates each.
+        let src_body: Vec<Atom> = (0..18)
+            .map(|i| Atom::new(&format!("p{i}"), vec![Term::var(&format!("X{i}"))]))
+            .collect();
+        let mut dst_body: Vec<Atom> = Vec::new();
+        for i in 0..18 {
+            dst_body.push(Atom::new(&format!("p{i}"), vec![Term::int(0)]));
+            dst_body.push(Atom::new(&format!("p{i}"), vec![Term::int(1)]));
+        }
+        let e = enumerate_homomorphisms(&src_body, &dst_body, &Subst::new());
+        assert!(e.truncated);
+        assert_eq!(e.homs.len(), MAX_HOMOMORPHISMS);
+        // A small instance is complete and unflagged.
+        let small = enumerate_homomorphisms(&src_body[..2], &dst_body[..4], &Subst::new());
+        assert!(!small.truncated);
+        assert_eq!(small.homs.len(), 4);
     }
 
     #[test]
@@ -295,5 +269,24 @@ mod tests {
         let seed = Subst::from_pairs([(crate::term::Var::new("X"), Term::int(3))]);
         let h = extend_homomorphism(&src.body, &dst.body, &seed).unwrap();
         assert_eq!(h.apply_term(&Term::var("Y")), Term::int(4));
+    }
+
+    #[test]
+    fn wrappers_agree_with_reference_backtracker() {
+        let src = q("q() :- p(X,Y), p(Y,Z), r(Z)");
+        let dst = q("q() :- p(1,2), p(2,3), p(2,2), r(3), r(2)");
+        let planned = enumerate_homomorphisms(&src.body, &dst.body, &Subst::new()).homs;
+        let (naive, truncated) = crate::matcher::reference::enumerate_homomorphisms(
+            &src.body,
+            &dst.body,
+            &Subst::new(),
+            MAX_HOMOMORPHISMS,
+        );
+        assert!(!truncated);
+        assert_eq!(planned, naive, "emission order or dedup diverged from the oracle");
+        assert_eq!(
+            find_homomorphism(&src.body, &dst.body),
+            crate::matcher::reference::extend_homomorphism(&src.body, &dst.body, &Subst::new())
+        );
     }
 }

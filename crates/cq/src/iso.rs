@@ -10,99 +10,8 @@
 
 use crate::atom::Atom;
 use crate::query::CqQuery;
-use crate::term::{Term, Var};
+use crate::term::Var;
 use std::collections::HashMap;
-
-/// A bijective variable mapping under construction.
-#[derive(Default, Clone, Debug)]
-struct Bijection {
-    fwd: HashMap<Var, Var>,
-    bwd: HashMap<Var, Var>,
-}
-
-impl Bijection {
-    /// Binds `a <-> b`; fails if either side is already paired differently.
-    fn bind(&mut self, a: Var, b: Var) -> Option<bool> {
-        match (self.fwd.get(&a), self.bwd.get(&b)) {
-            (Some(&b0), _) if b0 != b => None,
-            (_, Some(&a0)) if a0 != a => None,
-            (Some(_), _) => Some(false), // already present, nothing added
-            _ => {
-                self.fwd.insert(a, b);
-                self.bwd.insert(b, a);
-                Some(true)
-            }
-        }
-    }
-
-    fn unbind(&mut self, a: Var) {
-        if let Some(b) = self.fwd.remove(&a) {
-            self.bwd.remove(&b);
-        }
-    }
-}
-
-/// Tries to pair two terms under the bijection; returns the variable newly
-/// bound (for backtracking) wrapped in `Some(Some(v))`, `Some(None)` when
-/// consistent without a new binding, `None` on conflict.
-fn pair_terms(m: &mut Bijection, s: &Term, t: &Term) -> Option<Option<Var>> {
-    match (s, t) {
-        (Term::Const(c), Term::Const(d)) => (c == d).then_some(None),
-        (Term::Var(a), Term::Var(b)) => match m.bind(*a, *b)? {
-            true => Some(Some(*a)),
-            false => Some(None),
-        },
-        _ => None,
-    }
-}
-
-fn pair_atoms(m: &mut Bijection, s: &Atom, t: &Atom) -> Option<Vec<Var>> {
-    debug_assert_eq!(s.key(), t.key());
-    let mut added = Vec::new();
-    for (st, tt) in s.args.iter().zip(t.args.iter()) {
-        match pair_terms(m, st, tt) {
-            Some(Some(v)) => added.push(v),
-            Some(None) => {}
-            None => {
-                for v in &added {
-                    m.unbind(*v);
-                }
-                return None;
-            }
-        }
-    }
-    Some(added)
-}
-
-/// Backtracking multiset matching of body atoms.
-fn match_bodies(
-    src: &[Atom],
-    dst: &[Atom],
-    used: &mut [bool],
-    idx: usize,
-    m: &mut Bijection,
-) -> bool {
-    if idx == src.len() {
-        return true;
-    }
-    let atom = &src[idx];
-    for j in 0..dst.len() {
-        if used[j] || dst[j].key() != atom.key() {
-            continue;
-        }
-        if let Some(added) = pair_atoms(m, atom, &dst[j]) {
-            used[j] = true;
-            if match_bodies(src, dst, used, idx + 1, m) {
-                return true;
-            }
-            used[j] = false;
-            for v in added {
-                m.unbind(v);
-            }
-        }
-    }
-    false
-}
 
 /// Are `q1` and `q2` isomorphic (same query up to bijective variable
 /// renaming, bodies compared as **multisets**)? This is the bag-equivalence
@@ -117,6 +26,12 @@ pub fn are_isomorphic(q1: &CqQuery, q2: &CqQuery) -> bool {
 ///
 /// The returned map is total on `q1.all_vars()` and injective; its image is
 /// exactly `q2.all_vars()`.
+///
+/// The multiset matching itself runs on the planned, trail-based search of
+/// [`crate::matcher`] ([`crate::matcher::find_bijection`]): the body atoms
+/// are compiled into a reference-order `MatchPlan` (the O(n) compile wins
+/// on the small bodies this runs against) and matched injectively under a
+/// bijective variable pairing. Only the cheap shape rejects live here.
 pub fn find_isomorphism(q1: &CqQuery, q2: &CqQuery) -> Option<HashMap<Var, Var>> {
     if q1.head.len() != q2.head.len() || q1.body.len() != q2.body.len() {
         return None;
@@ -132,12 +47,7 @@ pub fn find_isomorphism(q1: &CqQuery, q2: &CqQuery) -> Option<HashMap<Var, Var>>
     if counts.values().any(|&c| c != 0) {
         return None;
     }
-    let mut m = Bijection::default();
-    for (s, t) in q1.head.iter().zip(q2.head.iter()) {
-        pair_terms(&mut m, s, t)?;
-    }
-    let mut used = vec![false; q2.body.len()];
-    match_bodies(&q1.body, &q2.body, &mut used, 0, &mut m).then_some(m.fwd)
+    crate::matcher::find_bijection(&q1.body, &q1.head, &q2.body, &q2.head)
 }
 
 /// The canonical representation `Q_c` of `Q`: all duplicate body atoms
@@ -157,13 +67,7 @@ pub fn dedup_set_valued(q: &CqQuery, is_set: impl Fn(crate::atom::Predicate) -> 
     let body: Vec<Atom> = q
         .body
         .iter()
-        .filter(|a| {
-            if is_set(a.pred) {
-                seen.insert((*a).clone())
-            } else {
-                true
-            }
-        })
+        .filter(|a| if is_set(a.pred) { seen.insert((*a).clone()) } else { true })
         .cloned()
         .collect();
     CqQuery { name: q.name, head: q.head.clone(), body }
@@ -174,6 +78,7 @@ mod tests {
     use super::*;
     use crate::atom::Predicate;
     use crate::parser::parse_query;
+    use crate::term::Term;
 
     fn q(s: &str) -> CqQuery {
         parse_query(s).unwrap()
@@ -258,9 +163,7 @@ mod tests {
         assert_eq!(m.len(), a.all_vars().len());
         assert_eq!(image, b.all_vars().into_iter().collect());
         // The map really carries a onto b.
-        let s = crate::subst::Subst::from_pairs(
-            m.iter().map(|(v, w)| (*v, Term::Var(*w))),
-        );
+        let s = crate::subst::Subst::from_pairs(m.iter().map(|(v, w)| (*v, Term::Var(*w))));
         assert!(are_isomorphic(&a.apply(&s), &b));
         assert!(find_isomorphism(&a, &q("q(X) :- p(X,Y), p(Y,Z)")).is_none());
     }

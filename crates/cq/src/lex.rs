@@ -219,15 +219,17 @@ fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
     }
     let text = &input[start..j];
     let tok = if is_real {
-        Token::Real(text.parse().map_err(|_| LexError {
-            msg: format!("bad real literal '{text}'"),
-            at: start,
-        })?)
+        Token::Real(
+            text.parse()
+                .map_err(|_| LexError { msg: format!("bad real literal '{text}'"), at: start })?,
+        )
     } else {
-        Token::Int(text.parse().map_err(|_| LexError {
-            msg: format!("bad integer literal '{text}'"),
-            at: start,
-        })?)
+        Token::Int(
+            text.parse().map_err(|_| LexError {
+                msg: format!("bad integer literal '{text}'"),
+                at: start,
+            })?,
+        )
     };
     Ok((tok, j))
 }
@@ -289,12 +291,10 @@ mod tests {
 
     #[test]
     fn lex_numbers() {
-        assert_eq!(toks("1 -2 3.5 -4.25"), vec![
-            Token::Int(1),
-            Token::Int(-2),
-            Token::Real(3.5),
-            Token::Real(-4.25),
-        ]);
+        assert_eq!(
+            toks("1 -2 3.5 -4.25"),
+            vec![Token::Int(1), Token::Int(-2), Token::Real(3.5), Token::Real(-4.25),]
+        );
     }
 
     #[test]

@@ -11,9 +11,13 @@
 //!   the paper) whose bodies are **multisets** of atoms — duplicate subgoals
 //!   are semantically significant under bag and bag-set semantics;
 //! * aggregate queries ([`AggregateQuery`], §2.5);
-//! * [`Subst`]itutions and homomorphism machinery ([`hom`]): homomorphism
-//!   search between conjunctions, containment mappings (Chandra–Merlin), and
-//!   exhaustive homomorphism enumeration as needed by the chase;
+//! * [`Subst`]itutions and homomorphism machinery: the planned,
+//!   trail-based [`matcher`] (compiled [`matcher::MatchPlan`]s, delta-
+//!   constrained search, parallel probe fan-out, and the naive
+//!   [`matcher::reference`] oracle) with the classical free functions of
+//!   [`hom`] — homomorphism search between conjunctions, containment
+//!   mappings (Chandra–Merlin), exhaustive enumeration — as thin wrappers
+//!   over it;
 //! * query [`iso`]morphism — the bag-equivalence test of Chaudhuri & Vardi
 //!   (Theorem 2.1 of the paper) — and canonical representations;
 //! * a datalog-style [`parser`] and matching [`std::fmt::Display`]
@@ -28,6 +32,7 @@ pub mod atom;
 pub mod hom;
 pub mod iso;
 pub mod lex;
+pub mod matcher;
 pub mod parser;
 pub mod query;
 pub mod subst;
@@ -38,11 +43,12 @@ pub mod value;
 pub use aggregate::{AggFn, AggregateQuery};
 pub use atom::{Atom, Predicate};
 pub use hom::{
-    all_homomorphisms, bucket_atoms, containment_mapping, extend_homomorphism,
+    bucket_atoms, containment_mapping, enumerate_homomorphisms, extend_homomorphism,
     extend_homomorphism_with_buckets, find_homomorphism, find_homomorphism_where,
-    search_homomorphisms, Buckets,
+    search_homomorphisms, Buckets, HomEnumeration,
 };
 pub use iso::{are_isomorphic, canonical_representation, find_isomorphism};
+pub use matcher::{DeltaSlots, Match, MatchPlan, Seed, Target};
 pub use parser::{parse_program, parse_query, ParseError};
 pub use query::{CqQuery, VarSupply};
 pub use subst::Subst;

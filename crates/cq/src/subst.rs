@@ -117,9 +117,7 @@ impl Subst {
 
     /// Restricts the substitution to the given variables.
     pub fn restrict(&self, vars: &[Var]) -> Subst {
-        Subst {
-            map: vars.iter().filter_map(|v| self.map.get(v).map(|t| (*v, *t))).collect(),
-        }
+        Subst { map: vars.iter().filter_map(|v| self.map.get(v).map(|t| (*v, *t))).collect() }
     }
 
     /// Composition: `(self.then(other))(x) = other(self(x))`, with `other`

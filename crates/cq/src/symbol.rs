@@ -70,7 +70,12 @@ impl Ord for Symbol {
         if self.0 == other.0 {
             std::cmp::Ordering::Equal
         } else {
-            self.as_str().cmp(other.as_str())
+            // Resolve both sides under one read-lock acquisition: this
+            // comparator runs inside hot sorts (canonicalization, sorted
+            // substitution pairs), where two lock round-trips per
+            // comparison dominate the actual string compare.
+            let table = interner().table.read().expect("interner poisoned");
+            table[self.0 as usize].cmp(table[other.0 as usize])
         }
     }
 }

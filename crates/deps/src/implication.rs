@@ -11,8 +11,8 @@
 //! via a callback to avoid a dependency cycle.)
 
 use crate::dependency::{Dependency, Egd, Tgd};
-use eqsql_cq::hom::extend_homomorphism;
-use eqsql_cq::{CqQuery, Subst, Term};
+use eqsql_cq::matcher::{bucket_atoms, MatchPlan, Seed, Target};
+use eqsql_cq::{CqQuery, Subst, Term, Var};
 
 /// The premise of `dep` as a query to be chased: head = the universally
 /// quantified variables (so egd merges of them remain observable).
@@ -33,18 +33,19 @@ pub fn premise_query(dep: &Dependency) -> CqQuery {
 /// * egd: the final images of the equated terms coincide.
 pub fn conclusion_holds(dep: &Dependency, chased: &CqQuery, renaming: &Subst) -> bool {
     match dep {
-        Dependency::Egd(Egd { eq, .. }) => {
-            renaming.apply_term(&eq.0) == renaming.apply_term(&eq.1)
-        }
+        Dependency::Egd(Egd { eq, .. }) => renaming.apply_term(&eq.0) == renaming.apply_term(&eq.1),
         Dependency::Tgd(tgd @ Tgd { rhs, .. }) => {
             // Every universal (premise) variable is pinned — through the
             // chase renaming, identity included; only the tgd's
             // existential variables are left for the extension search.
-            let universal = tgd.universal_vars();
+            // Existence-only, so the selectivity-ordered plan applies.
+            let universal: Vec<Var> = tgd.universal_vars().into_iter().collect();
             let seed = Subst::from_pairs(
                 universal.iter().map(|v| (*v, renaming.apply_term(&Term::Var(*v)))),
             );
-            extend_homomorphism(rhs, &chased.body, &seed).is_some()
+            let plan = MatchPlan::optimized(rhs, &universal);
+            let buckets = bucket_atoms(&chased.body);
+            plan.has_match(Target::new(&chased.body, &buckets), &Seed::Subst(&seed))
         }
     }
 }

@@ -26,8 +26,7 @@ pub fn keys_of(sigma: &DependencySet, rel: Predicate, arity: usize) -> Vec<BTree
     // Enumerate subsets by increasing size so minimality is a subset check
     // against previously found keys.
     for mask in 1u32..(1u32 << arity) {
-        let set: BTreeSet<usize> =
-            all.iter().copied().filter(|i| mask & (1 << i) != 0).collect();
+        let set: BTreeSet<usize> = all.iter().copied().filter(|i| mask & (1 << i) != 0).collect();
         if is_superkey(&set, arity, &fds) {
             superkeys.push(set);
         }

@@ -29,10 +29,7 @@ fn peek_equation(c: &Cursor) -> bool {
     // After a term (one token for ident/int/real/str) the next token is '='.
     matches!(
         (c.peek(), c.peek2()),
-        (
-            Some(Token::Ident(_) | Token::Int(_) | Token::Real(_) | Token::Str(_)),
-            Some(Token::Eq)
-        )
+        (Some(Token::Ident(_) | Token::Int(_) | Token::Real(_) | Token::Str(_)), Some(Token::Eq))
     )
 }
 
@@ -48,10 +45,7 @@ fn parse_one(c: &mut Cursor) -> Result<Vec<Dependency>, ParseError> {
             eqs.push(parse_rhs_equation(c)?);
         }
         c.eat(&Token::Dot);
-        Ok(eqs
-            .into_iter()
-            .map(|(a, b)| Dependency::Egd(Egd::new(lhs.clone(), a, b)))
-            .collect())
+        Ok(eqs.into_iter().map(|(a, b)| Dependency::Egd(Egd::new(lhs.clone(), a, b))).collect())
     } else {
         let rhs = c.parse_conjunction()?;
         c.eat(&Token::Dot);

@@ -11,31 +11,44 @@
 //!   multiplicities, matching the paper's `D ⊨ Σ` for bag-valued `D`.
 
 use crate::dependency::{Dependency, DependencySet, Egd, Tgd};
-use eqsql_cq::hom::{all_homomorphisms, extend_homomorphism};
-use eqsql_cq::{Atom, CqQuery, Subst, Term, Value};
+use eqsql_cq::matcher::{bucket_atoms, MatchPlan, Seed, Target};
+use eqsql_cq::{Atom, CqQuery, Term, Value, Var};
 use eqsql_relalg::eval::{assignments, Assignment};
 use eqsql_relalg::Database;
 
 /// Does the canonical database of `q` satisfy the tgd?
+///
+/// Streams premise matches off the planned matcher with the conclusion
+/// probe threaded in, short-circuiting at the first unwitnessed match —
+/// the historical path materialized (and silently capped!) the full
+/// premise homomorphism set before looking at one. The extension seed
+/// covers exactly the premise variables, so the tgd's existential
+/// variables stay free, as Definition 2.x requires.
 pub fn query_satisfies_tgd(q: &CqQuery, tgd: &Tgd) -> bool {
-    let homs = all_homomorphisms(&tgd.lhs, &q.body, &Subst::new());
-    homs.iter().all(|h| {
-        let seed = restrict_to_universal(h, tgd);
-        extend_homomorphism(&tgd.rhs, &q.body, &seed).is_some()
-    })
-}
-
-/// Restricts a premise homomorphism to the tgd's universal variables —
-/// the existential variables must remain free for the extension check.
-fn restrict_to_universal(h: &Subst, tgd: &Tgd) -> Subst {
-    let uni: Vec<_> = tgd.universal_vars().into_iter().collect();
-    h.restrict(&uni)
+    let buckets = bucket_atoms(&q.body);
+    let target = Target::new(&q.body, &buckets);
+    let premise = MatchPlan::optimized(&tgd.lhs, &[]);
+    let universal: Vec<Var> = tgd.universal_vars().into_iter().collect();
+    let conclusion = MatchPlan::optimized(&tgd.rhs, &universal);
+    let mut satisfied = true;
+    premise.search(target, &Seed::Empty, &mut |m| {
+        satisfied = conclusion.has_match(target, &Seed::Fn(&|v| m.get(v)));
+        satisfied // stop at the first unwitnessed premise match
+    });
+    satisfied
 }
 
 /// Does the canonical database of `q` satisfy the egd?
 pub fn query_satisfies_egd(q: &CqQuery, egd: &Egd) -> bool {
-    let homs = all_homomorphisms(&egd.lhs, &q.body, &Subst::new());
-    homs.iter().all(|h| h.apply_term(&egd.eq.0) == h.apply_term(&egd.eq.1))
+    let buckets = bucket_atoms(&q.body);
+    let target = Target::new(&q.body, &buckets);
+    let premise = MatchPlan::optimized(&egd.lhs, &[]);
+    let mut satisfied = true;
+    premise.search(target, &Seed::Empty, &mut |m| {
+        satisfied = m.apply_term(&egd.eq.0) == m.apply_term(&egd.eq.1);
+        satisfied // stop at the first violation
+    });
+    satisfied
 }
 
 /// Does the canonical database of `q` satisfy the dependency?
@@ -94,9 +107,9 @@ pub fn db_satisfies_tgd(db: &Database, tgd: &Tgd) -> bool {
 
 /// Does the database instance satisfy the egd?
 pub fn db_satisfies_egd(db: &Database, egd: &Egd) -> bool {
-    assignments(&egd.lhs, db).iter().all(|asg| {
-        term_value(&egd.eq.0, asg) == term_value(&egd.eq.1, asg)
-    })
+    assignments(&egd.lhs, db)
+        .iter()
+        .all(|asg| term_value(&egd.eq.0, asg) == term_value(&egd.eq.1, asg))
 }
 
 /// Does the database instance satisfy the dependency?

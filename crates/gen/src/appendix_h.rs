@@ -47,9 +47,7 @@ pub fn appendix_h_instance(m: usize) -> AppendixH {
         text.push_str(&format!("p{i}(Y,X) & p{i}(Z,X) -> Y = Z.\n"));
     }
     let sigma = parse_dependencies(&text).expect("family text is well-formed");
-    let schema = Schema::from_relations(
-        (1..=m).map(|i| RelSchema::set(&format!("p{i}"), 2)),
-    );
+    let schema = Schema::from_relations((1..=m).map(|i| RelSchema::set(&format!("p{i}"), 2)));
     let query = CqQuery::new(
         "q",
         vec![Term::var("X"), Term::var("Y")],
@@ -116,12 +114,7 @@ mod tests {
             let inst = appendix_h_instance(m);
             let r = set_chase(&inst.query, &inst.sigma, &cfg).unwrap();
             assert!(!r.failed);
-            assert_eq!(
-                r.query.body.len(),
-                expected_chase_size(m),
-                "m={m}: got {}",
-                r.query
-            );
+            assert_eq!(r.query.body.len(), expected_chase_size(m), "m={m}: got {}", r.query);
             sizes.push(r.query.body.len());
         }
         // Totals 1, 3, 9, 23, 57 — asymptotic ratio 1+√2.
@@ -138,8 +131,8 @@ mod tests {
         let cfg = ChaseConfig { max_steps: 20_000, max_atoms: 20_000 };
         for m in 2..=4 {
             let inst = appendix_h_instance(m);
-            let b = sound_chase(Semantics::Bag, &inst.query, &inst.sigma, &inst.schema, &cfg)
-                .unwrap();
+            let b =
+                sound_chase(Semantics::Bag, &inst.query, &inst.sigma, &inst.schema, &cfg).unwrap();
             assert_eq!(b.query.body.len(), expected_chase_size(m), "m={m}");
         }
     }

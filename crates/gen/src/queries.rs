@@ -58,12 +58,9 @@ pub fn random_query<R: Rng>(rng: &mut R, schema: &Schema, p: &QueryParams) -> Cq
 /// body atoms shuffled. Used to exercise the ≡_B test positively.
 pub fn rename_isomorphic<R: Rng>(rng: &mut R, q: &CqQuery) -> CqQuery {
     let vars = q.all_vars();
-    let mut fresh: Vec<Var> =
-        (0..vars.len()).map(|i| Var::new(&format!("W{i}_renamed"))).collect();
+    let mut fresh: Vec<Var> = (0..vars.len()).map(|i| Var::new(&format!("W{i}_renamed"))).collect();
     fresh.shuffle(rng);
-    let s = Subst::from_pairs(
-        vars.iter().zip(fresh.iter()).map(|(v, w)| (*v, Term::Var(*w))),
-    );
+    let s = Subst::from_pairs(vars.iter().zip(fresh.iter()).map(|(v, w)| (*v, Term::Var(*w))));
     let mut out = q.apply(&s);
     out.body.shuffle(rng);
     out

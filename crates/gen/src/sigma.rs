@@ -47,8 +47,7 @@ pub fn random_weakly_acyclic_sigma<R: Rng>(
         let lo = rng.gen_range(0..rels.len() - 1);
         let hi = rng.gen_range(lo + 1..rels.len());
         let (src, dst) = (rels[lo], rels[hi]);
-        let lhs_args: Vec<Term> =
-            (0..src.arity).map(|i| Term::var(&format!("X{i}_{t}"))).collect();
+        let lhs_args: Vec<Term> = (0..src.arity).map(|i| Term::var(&format!("X{i}_{t}"))).collect();
         let rhs_args: Vec<Term> = (0..dst.arity)
             .map(|j| {
                 if rng.gen_bool(p.reuse_prob) && !lhs_args.is_empty() {
@@ -117,8 +116,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let q = eqsql_cq::parse_query("q(X) :- a(X, Y)").unwrap();
         for _ in 0..20 {
-            let sigma =
-                random_weakly_acyclic_sigma(&mut rng, &schema, &SigmaParams::default());
+            let sigma = random_weakly_acyclic_sigma(&mut rng, &schema, &SigmaParams::default());
             let r = set_chase(&q, &sigma, &ChaseConfig::default());
             assert!(r.is_ok(), "chase must terminate on weakly acyclic Σ");
         }

@@ -25,9 +25,7 @@ pub struct CanonicalDb {
 impl CanonicalDb {
     /// The freezing assignment as a substitution (vars to constant terms).
     pub fn as_subst(&self) -> Subst {
-        Subst::from_pairs(
-            self.assignment.iter().map(|(v, c)| (*v, Term::Const(*c))),
-        )
+        Subst::from_pairs(self.assignment.iter().map(|(v, c)| (*v, Term::Const(*c))))
     }
 
     /// The frozen head tuple of `q` under the freezing assignment.

@@ -80,16 +80,12 @@ impl Database {
 
     /// Are the relations named by `preds` set-valued?
     pub fn are_set_valued(&self, preds: &[Predicate]) -> bool {
-        preds
-            .iter()
-            .all(|p| self.relations.get(p).is_none_or(Relation::is_set_valued))
+        preds.iter().all(|p| self.relations.get(p).is_none_or(Relation::is_set_valued))
     }
 
     /// A fully set-valued copy (multiplicities forced to 1).
     pub fn to_set(&self) -> Database {
-        Database {
-            relations: self.relations.iter().map(|(p, r)| (*p, r.to_set())).collect(),
-        }
+        Database { relations: self.relations.iter().map(|(p, r)| (*p, r.to_set())).collect() }
     }
 
     /// Total number of stored tuples (with multiplicities).
@@ -151,10 +147,7 @@ mod tests {
     #[test]
     fn active_domain_is_sorted_unique() {
         let db = Database::new().with_ints("p", &[[1, 2], [2, 3]]);
-        assert_eq!(
-            db.active_domain(),
-            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
-        );
+        assert_eq!(db.active_domain(), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
     }
 
     #[test]

@@ -50,11 +50,7 @@ pub type Assignment = HashMap<Var, Value>;
 /// Enumerates all assignments satisfying `body` w.r.t. `db`, calling
 /// `emit` with each. Matching is against core-sets, so each distinct γ is
 /// produced exactly once.
-pub fn for_each_assignment(
-    body: &[Atom],
-    db: &Database,
-    mut emit: impl FnMut(&Assignment),
-) {
+pub fn for_each_assignment(body: &[Atom], db: &Database, mut emit: impl FnMut(&Assignment)) {
     fn go(
         body: &[Atom],
         db: &Database,

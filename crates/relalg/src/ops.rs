@@ -149,10 +149,7 @@ fn hash_join(left: Frame, right: Frame) -> Frame {
     // Build on the right.
     let mut index: HashMap<Tuple, Vec<(Tuple, u64)>> = HashMap::new();
     for (t, m) in right.rows.iter() {
-        index
-            .entry(t.project(&right_key_pos))
-            .or_default()
-            .push((t.project(&right_extra_pos), m));
+        index.entry(t.project(&right_key_pos)).or_default().push((t.project(&right_extra_pos), m));
     }
 
     let mut rows = Relation::new(out_cols.len());

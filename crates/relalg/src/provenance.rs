@@ -348,9 +348,8 @@ mod tests {
         let d = db();
         let bag = eval_bag(&q, &d);
         for (t, poly) in eval_provenance(&q, &d) {
-            let specialized = poly.evaluate(|(pred, tuple)| {
-                d.get(*pred).map_or(0, |r| r.multiplicity(tuple))
-            });
+            let specialized =
+                poly.evaluate(|(pred, tuple)| d.get(*pred).map_or(0, |r| r.multiplicity(tuple)));
             assert_eq!(specialized, bag.multiplicity(&t), "tuple {t}: {poly}");
         }
     }

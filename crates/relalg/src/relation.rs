@@ -93,10 +93,7 @@ impl Relation {
 
     /// A set-valued copy (all multiplicities forced to 1).
     pub fn to_set(&self) -> Relation {
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.keys().map(|t| (t.clone(), 1)).collect(),
-        }
+        Relation { arity: self.arity, tuples: self.tuples.keys().map(|t| (t.clone(), 1)).collect() }
     }
 
     /// Deterministically sorted `(tuple, multiplicity)` pairs.

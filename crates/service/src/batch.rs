@@ -106,8 +106,7 @@ impl SoundChaser for SessionChaser<'_> {
             Semantics::Bag => 1,
             Semantics::BagSet => 2,
         }];
-        let (result, hit) =
-            s.cache.chase_keyed_counted(ctx, &s.sigma_reg, sem, q, schema, config);
+        let (result, hit) = s.cache.chase_keyed_counted(ctx, &s.sigma_reg, sem, q, schema, config);
         if hit { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
         result
     }
@@ -164,11 +163,8 @@ impl BatchSession {
             (0..pairs.len()).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(pairs.len()).max(1);
-        let chaser = SessionChaser {
-            session: self,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        };
+        let chaser =
+            SessionChaser { session: self, hits: AtomicU64::new(0), misses: AtomicU64::new(0) };
         let decide = |i: usize| {
             let p = &pairs[i];
             sigma_equivalent_via(
@@ -209,10 +205,7 @@ impl BatchSession {
                 .iter()
                 .filter(|v| matches!(v, EquivOutcome::NotEquivalent))
                 .count(),
-            unknown: verdicts
-                .iter()
-                .filter(|v| matches!(v, EquivOutcome::Unknown(_)))
-                .count(),
+            unknown: verdicts.iter().filter(|v| matches!(v, EquivOutcome::Unknown(_))).count(),
             cache_hits: chaser.hits.load(Ordering::Relaxed),
             cache_misses: chaser.misses.load(Ordering::Relaxed),
             threads: workers,
@@ -261,8 +254,7 @@ mod tests {
 
     fn expect(outcome: &BatchOutcome) {
         use EquivOutcome::*;
-        let want =
-            [Equivalent, NotEquivalent, Equivalent, Equivalent, NotEquivalent, Equivalent];
+        let want = [Equivalent, NotEquivalent, Equivalent, Equivalent, NotEquivalent, Equivalent];
         assert_eq!(outcome.verdicts.len(), want.len());
         for (i, (got, want)) in outcome.verdicts.iter().zip(want.iter()).enumerate() {
             assert_eq!(got, want, "pair {i}");

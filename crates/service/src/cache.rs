@@ -258,11 +258,7 @@ impl ChaseCache {
 
     /// Replays a stored outcome for `probe`, where `map` is the bijection
     /// from `probe`'s variables onto the representative's.
-    fn replay(
-        probe: &CqQuery,
-        stored: &StoredChase,
-        map: &HashMap<Var, Var>,
-    ) -> SoundChased {
+    fn replay(probe: &CqQuery, stored: &StoredChase, map: &HashMap<Var, Var>) -> SoundChased {
         // Invert the canonicalizing map, then extend it over every variable
         // of the stored terminal state: representative-originated variables
         // go back through the inverse, chase-introduced ones are renamed
@@ -291,15 +287,14 @@ impl ChaseCache {
         }
         let mut query = stored.query.apply(&sub);
         query.name = probe.name;
-        let renaming = Subst::from_pairs(stored.renaming.sorted_pairs().into_iter().map(
-            |(v, t)| {
+        let renaming =
+            Subst::from_pairs(stored.renaming.sorted_pairs().into_iter().map(|(v, t)| {
                 let v2 = match sub.get(v) {
                     Some(Term::Var(w)) => *w,
                     _ => v,
                 };
                 (v2, sub.apply_term(&t))
-            },
-        ));
+            }));
         SoundChased {
             query: query.clone(),
             failed: stored.failed,
@@ -427,8 +422,8 @@ mod tests {
         assert!(are_isomorphic(&replayed.query, &fresh.query));
         assert_eq!(replayed.query.head, renamed.head, "head must be over probe variables");
         // Chase-fresh variables must not collide with probe variables.
-        let direct = eqsql_chase::sound_chase(Semantics::Set, &renamed, &sigma, &schema, &cfg())
-            .unwrap();
+        let direct =
+            eqsql_chase::sound_chase(Semantics::Set, &renamed, &sigma, &schema, &cfg()).unwrap();
         assert!(are_isomorphic(&replayed.query, &direct.query));
     }
 
@@ -441,8 +436,7 @@ mod tests {
         let q = parse_query("q(X) :- p(X,Y)").unwrap();
         cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();
         let tricky = parse_query("q(Z_1) :- p(Z_1,W_1)").unwrap();
-        let replayed =
-            cache.sound_chase(Semantics::Set, &tricky, &sigma, &schema, &cfg()).unwrap();
+        let replayed = cache.sound_chase(Semantics::Set, &tricky, &sigma, &schema, &cfg()).unwrap();
         let direct =
             eqsql_chase::sound_chase(Semantics::Set, &tricky, &sigma, &schema, &cfg()).unwrap();
         assert_eq!(cache.stats().hits, 1);

@@ -181,13 +181,8 @@ impl ChaseContext {
             Semantics::Bag => 1,
             Semantics::BagSet => 2,
         };
-        let fingerprint = h64((
-            sem_tag,
-            sigma_text.as_ref(),
-            &set_valued,
-            config.max_steps,
-            config.max_atoms,
-        ));
+        let fingerprint =
+            h64((sem_tag, sigma_text.as_ref(), &set_valued, config.max_steps, config.max_atoms));
         ChaseContext {
             fingerprint,
             sem,
@@ -252,10 +247,10 @@ mod tests {
     fn fingerprint_separates_structure() {
         let base = q("q(X) :- p(X,Y), s(Y,Z)");
         for other in [
-            "q(X) :- p(X,Y), s(X,Z)",       // different join shape
-            "q(Y) :- p(X,Y), s(Y,Z)",       // different head variable
+            "q(X) :- p(X,Y), s(X,Z)",         // different join shape
+            "q(Y) :- p(X,Y), s(Y,Z)",         // different head variable
             "q(X) :- p(X,Y), s(Y,Z), s(Y,Z)", // duplicate subgoal (multiset!)
-            "q(X) :- p(X,Y), s(Y,3)",       // constant
+            "q(X) :- p(X,Y), s(Y,3)",         // constant
         ] {
             assert_ne!(query_fingerprint(&base), query_fingerprint(&q(other)), "{other}");
         }

@@ -120,19 +120,16 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
                 }
             }
             "max_steps" => {
-                config.max_steps = rest
-                    .parse()
-                    .map_err(|_| err(line_no, format!("bad max_steps {rest:?}")))?;
+                config.max_steps =
+                    rest.parse().map_err(|_| err(line_no, format!("bad max_steps {rest:?}")))?;
             }
             "max_atoms" => {
-                config.max_atoms = rest
-                    .parse()
-                    .map_err(|_| err(line_no, format!("bad max_atoms {rest:?}")))?;
+                config.max_atoms =
+                    rest.parse().map_err(|_| err(line_no, format!("bad max_atoms {rest:?}")))?;
             }
             "pair" => {
                 let mut parts = rest.splitn(3, '|');
-                let (Some(sem), Some(q1), Some(q2)) =
-                    (parts.next(), parts.next(), parts.next())
+                let (Some(sem), Some(q1), Some(q2)) = (parts.next(), parts.next(), parts.next())
                 else {
                     return Err(err(line_no, "pair wants `<sem> | <query> | <query>`"));
                 };
@@ -166,8 +163,7 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
         note_atoms(&q2.body, &mut arities, line_no)?;
         pairs.push(EquivRequest { sem, q1, q2 });
     }
-    let rels: Vec<(&str, usize)> =
-        arities.iter().map(|(p, &a)| (p.name(), a)).collect();
+    let rels: Vec<(&str, usize)> = arities.iter().map(|(p, &a)| (p.name(), a)).collect();
     let mut schema = Schema::all_bags(&rels);
     for (name, line_no) in set_valued {
         let pred = Predicate::new(&name);
@@ -209,12 +205,17 @@ pair: bagset | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
 
     #[test]
     fn rejects_arity_conflicts_and_junk() {
-        assert!(parse_request_file("sigma: p(X) -> s(X).\npair: set | q(X) :- p(X,Y) | q(X) :- p(X)")
-            .unwrap_err()
-            .message
-            .contains("arities"));
+        assert!(parse_request_file(
+            "sigma: p(X) -> s(X).\npair: set | q(X) :- p(X,Y) | q(X) :- p(X)"
+        )
+        .unwrap_err()
+        .message
+        .contains("arities"));
         assert!(parse_request_file("nonsense\n").is_err());
         assert!(parse_request_file("pair: magic | q(X) :- p(X) | q(X) :- p(X)").is_err());
-        assert!(parse_request_file("sigma: p(X) -> s(X).").unwrap_err().message.contains("no `pair:`"));
+        assert!(parse_request_file("sigma: p(X) -> s(X).")
+            .unwrap_err()
+            .message
+            .contains("no `pair:`"));
     }
 }

@@ -99,8 +99,7 @@ impl Catalog {
         if self.columns.contains_key(&lname) {
             return Err(CatalogError::DuplicateTable(t.name.clone()));
         }
-        let cols: Vec<String> =
-            t.columns.iter().map(|c| c.name.to_ascii_lowercase()).collect();
+        let cols: Vec<String> = t.columns.iter().map(|c| c.name.to_ascii_lowercase()).collect();
         let has_key = t
             .constraints
             .iter()
@@ -272,9 +271,7 @@ mod tests {
 
     #[test]
     fn duplicate_tables_rejected() {
-        let err = Catalog::from_ddl(
-            "CREATE TABLE a (x INT); CREATE TABLE a (y INT);",
-        );
+        let err = Catalog::from_ddl("CREATE TABLE a (x INT); CREATE TABLE a (y INT);");
         assert!(err.is_err());
     }
 
@@ -289,10 +286,8 @@ mod tests {
 
     #[test]
     fn composite_key() {
-        let c = Catalog::from_ddl(
-            "CREATE TABLE t (a INT, b INT, w INT, PRIMARY KEY (a, b));",
-        )
-        .unwrap();
+        let c =
+            Catalog::from_ddl("CREATE TABLE t (a INT, b INT, w INT, PRIMARY KEY (a, b));").unwrap();
         // Exactly the σ8 of Example 4.1: t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.
         let egd = c.sigma.egds().next().unwrap();
         let fd = eqsql_deps::fd::egd_as_fd(egd).unwrap();

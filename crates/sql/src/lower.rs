@@ -218,7 +218,10 @@ pub fn lower_select(
     let mut scopes = Vec::new();
     let mut atoms: Vec<Atom> = Vec::new();
     for (i, tr) in stmt.from.iter().enumerate() {
-        if scopes.iter().any(|(a, _, _): &(String, String, Vec<Var>)| a.eq_ignore_ascii_case(&tr.alias)) {
+        if scopes
+            .iter()
+            .any(|(a, _, _): &(String, String, Vec<Var>)| a.eq_ignore_ascii_case(&tr.alias))
+        {
             return Err(LowerError::DuplicateAlias(tr.alias.clone()));
         }
         let cols = catalog.columns_of(&tr.table)?.to_vec();
@@ -373,10 +376,7 @@ mod tests {
 
     #[test]
     fn join_unifies_variables() {
-        let q = lower(
-            "SELECT e.salary, d.city FROM emp e, dept d WHERE e.dept = d.id",
-        )
-        .unwrap();
+        let q = lower("SELECT e.salary, d.city FROM emp e, dept d WHERE e.dept = d.id").unwrap();
         let cq = q.as_cq().unwrap();
         assert_eq!(cq.body.len(), 2);
         // The join column must be the same variable in both atoms.
@@ -394,10 +394,7 @@ mod tests {
 
     #[test]
     fn transitive_equalities() {
-        let q = lower(
-            "SELECT e.id FROM emp e, log l WHERE e.id = l.emp AND l.emp = 7",
-        )
-        .unwrap();
+        let q = lower("SELECT e.id FROM emp e, log l WHERE e.id = l.emp AND l.emp = 7").unwrap();
         let cq = q.as_cq().unwrap();
         assert_eq!(cq.body[0].args[0], Term::int(7));
         assert_eq!(cq.body[1].args[0], Term::int(7));
@@ -418,10 +415,7 @@ mod tests {
 
     #[test]
     fn aggregates_lower_to_aggregate_queries() {
-        let q = lower(
-            "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept",
-        )
-        .unwrap();
+        let q = lower("SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept").unwrap();
         let agg = q.as_agg().unwrap();
         assert_eq!(agg.agg, AggFn::Sum);
         assert_eq!(agg.grouping.len(), 1);
@@ -451,10 +445,7 @@ mod tests {
     #[test]
     fn unqualified_resolution() {
         // salary exists only in emp; note only in log.
-        let q = lower(
-            "SELECT salary FROM emp e, log l WHERE note = 'x'",
-        )
-        .unwrap();
+        let q = lower("SELECT salary FROM emp e, log l WHERE note = 'x'").unwrap();
         assert!(q.as_cq().is_some());
         // id is ambiguous between emp and dept.
         let e = lower("SELECT id FROM emp e, dept d").unwrap_err();
@@ -463,10 +454,7 @@ mod tests {
 
     #[test]
     fn self_join_gets_distinct_variables() {
-        let q = lower(
-            "SELECT a.id FROM emp a, emp b WHERE a.dept = b.dept",
-        )
-        .unwrap();
+        let q = lower("SELECT a.id FROM emp a, emp b WHERE a.dept = b.dept").unwrap();
         let cq = q.as_cq().unwrap();
         assert_eq!(cq.body.len(), 2);
         // ids of a and b must be distinct variables.

@@ -36,8 +36,21 @@ fn ident(c: &mut Cursor) -> Result<String, ParseError> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "select", "distinct", "from", "where", "and", "group", "by", "as", "create", "table",
-    "primary", "key", "unique", "foreign", "references",
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "group",
+    "by",
+    "as",
+    "create",
+    "table",
+    "primary",
+    "key",
+    "unique",
+    "foreign",
+    "references",
 ];
 
 fn non_kw_ident(c: &mut Cursor) -> Result<String, ParseError> {
@@ -189,7 +202,11 @@ fn create_table(c: &mut Cursor) -> Result<CreateTable, ParseError> {
             expect_kw(c, "references")?;
             let references = non_kw_ident(c)?;
             let ref_columns = column_list(c)?;
-            constraints.push(TableConstraint::ForeignKey { columns: cols, references, ref_columns });
+            constraints.push(TableConstraint::ForeignKey {
+                columns: cols,
+                references,
+                ref_columns,
+            });
         } else {
             let col = non_kw_ident(c)?;
             let ty = ident(c)?;
@@ -257,10 +274,7 @@ mod tests {
 
     #[test]
     fn parse_aggregate_with_group_by() {
-        let stmts = parse_sql(
-            "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept",
-        )
-        .unwrap();
+        let stmts = parse_sql("SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept").unwrap();
         let SqlStatement::Select(s) = &stmts[0] else {
             panic!("expected a SELECT statement, got {:?}", stmts[0])
         };
@@ -274,7 +288,10 @@ mod tests {
         let SqlStatement::Select(s) = &stmts[0] else {
             panic!("expected a SELECT statement, got {:?}", stmts[0])
         };
-        assert!(matches!(&s.items[1], SelectItem::Aggregate { func: SqlAgg::CountStar, arg: None }));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Aggregate { func: SqlAgg::CountStar, arg: None }
+        ));
     }
 
     #[test]

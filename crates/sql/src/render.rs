@@ -62,12 +62,7 @@ fn head_expr(t: &Term, r: &Rendered) -> String {
     }
 }
 
-fn assemble(
-    select_list: &[String],
-    distinct: bool,
-    r: &Rendered,
-    group_by: &[String],
-) -> String {
+fn assemble(select_list: &[String], distinct: bool, r: &Rendered, group_by: &[String]) -> String {
     let mut out = String::from("SELECT ");
     if distinct {
         out.push_str("DISTINCT ");
@@ -161,10 +156,7 @@ mod tests {
     fn render_aggregate_query() {
         let q = parse_aggregate_query("q(D, sum(S)) :- emp(I, D, S)").unwrap();
         let sql = render_aggregate(&q, Some(&catalog()));
-        assert_eq!(
-            sql,
-            "SELECT t0.dept, SUM(t0.salary) FROM emp t0 GROUP BY t0.dept"
-        );
+        assert_eq!(sql, "SELECT t0.dept, SUM(t0.salary) FROM emp t0 GROUP BY t0.dept");
     }
 
     #[test]
@@ -205,9 +197,7 @@ mod tests {
         let SqlStatement::Select(s) = &stmts[0] else {
             panic!("expected a SELECT statement, got {:?}", stmts[0])
         };
-        let LoweredQuery::Agg { query: q1 } =
-            lower_select(s, &cat, "q").unwrap()
-        else {
+        let LoweredQuery::Agg { query: q1 } = lower_select(s, &cat, "q").unwrap() else {
             panic!("expected the SELECT to lower to an aggregate query")
         };
         let sql2 = render_aggregate(&q1, Some(&cat));

@@ -30,10 +30,8 @@ fn main() {
     println!("Σ:\n{sigma}");
 
     // The same core, four aggregate heads.
-    let max_q =
-        parse_aggregate_query("top(D, max(S)) :- emp(I,D,S), dept(D,C)").unwrap();
-    let sum_q =
-        parse_aggregate_query("total(D, sum(S)) :- emp(I,D,S), dept(D,C)").unwrap();
+    let max_q = parse_aggregate_query("top(D, max(S)) :- emp(I,D,S), dept(D,C)").unwrap();
+    let sum_q = parse_aggregate_query("total(D, sum(S)) :- emp(I,D,S), dept(D,C)").unwrap();
 
     let config = ChaseConfig::default();
     let opts = CnbOptions::default();
@@ -58,14 +56,12 @@ fn main() {
 
     // Now a join that is NOT multiplicity-preserving: audit is a bag with
     // no constraints.
-    let max_audit =
-        parse_aggregate_query("m(D, max(S)) :- emp(I,D,S), audit(I)").unwrap();
-    let sum_audit =
-        parse_aggregate_query("t(D, sum(S)) :- emp(I,D,S), audit(I)").unwrap();
-    let max_plain = parse_aggregate_query("m(D, max(S)) :- emp(I,D,S), audit(I), audit(I)")
-        .unwrap();
-    let sum_plain = parse_aggregate_query("t(D, sum(S)) :- emp(I,D,S), audit(I), audit(I)")
-        .unwrap();
+    let max_audit = parse_aggregate_query("m(D, max(S)) :- emp(I,D,S), audit(I)").unwrap();
+    let sum_audit = parse_aggregate_query("t(D, sum(S)) :- emp(I,D,S), audit(I)").unwrap();
+    let max_plain =
+        parse_aggregate_query("m(D, max(S)) :- emp(I,D,S), audit(I), audit(I)").unwrap();
+    let sum_plain =
+        parse_aggregate_query("t(D, sum(S)) :- emp(I,D,S), audit(I), audit(I)").unwrap();
 
     println!("duplicate audit subgoal (bag-set semantics of the core):");
     let vmax = sigma_agg_equivalent(&max_audit, &max_plain, &sigma, &schema, &config);
@@ -85,10 +81,10 @@ fn main() {
     println!("\nSUM per dept with one audit row each:   {base:?}");
     let mut db2 = db.clone();
     db2.insert_ints("audit", [-1]); // noise
-    // duplicate audit row for employee 1 — a *distinct* tuple is not
-    // expressible; bag-set sees assignments, so add a second audit row
-    // via a different value is not a duplicate. Instead evaluate the
-    // two-subgoal query, which squares the per-employee audit count.
+                                    // duplicate audit row for employee 1 — a *distinct* tuple is not
+                                    // expressible; bag-set sees assignments, so add a second audit row
+                                    // via a different value is not a duplicate. Instead evaluate the
+                                    // two-subgoal query, which squares the per-employee audit count.
     let doubled = eval_aggregate(&sum_plain, &db2).unwrap();
     println!("SUM per dept via duplicated subgoal:    {doubled:?}");
     println!(

@@ -20,13 +20,10 @@ use eqsql_relalg::Schema;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let db = args
-        .iter()
-        .find_map(|a| a.strip_prefix("db="))
-        .map(|path| {
-            let text = std::fs::read_to_string(path).expect("readable database file");
-            eqsql_relalg::text::parse_database(&text).expect("valid facts")
-        });
+    let db = args.iter().find_map(|a| a.strip_prefix("db=")).map(|path| {
+        let text = std::fs::read_to_string(path).expect("readable database file");
+        eqsql_relalg::text::parse_database(&text).expect("valid facts")
+    });
     let (query, sigma, set_valued) = match args.iter().find(|a| !a.contains('=')) {
         Some(path) => {
             let text = std::fs::read_to_string(path).expect("readable input file");

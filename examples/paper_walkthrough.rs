@@ -49,10 +49,7 @@ fn main() {
     // Equivalence verdicts.
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
         let v = sigma_equivalent(sem, &q1, &q4, &sigma, &schema, &config);
-        println!(
-            "Q1 ≡_Σ,{sem} Q4?  {}",
-            if v.is_equivalent() { "yes" } else { "NO" }
-        );
+        println!("Q1 ≡_Σ,{sem} Q4?  {}", if v.is_equivalent() { "yes" } else { "NO" });
     }
     println!();
 
@@ -79,7 +76,17 @@ fn main() {
     // Theorem 5.3 / Proposition 5.2: the maximal satisfied subsets.
     let b = max_bag_sigma_subset(&q4, &sigma, &schema, &config).unwrap();
     let bs = max_bag_set_sigma_subset(&q4, &sigma, &schema, &config).unwrap();
-    println!("Σ^max_B(Q4, Σ)  has {} of {} dependencies:\n{}", b.subset.len(), sigma.len(), b.subset);
-    println!("Σ^max_BS(Q4, Σ) has {} of {} dependencies:\n{}", bs.subset.len(), sigma.len(), bs.subset);
+    println!(
+        "Σ^max_B(Q4, Σ)  has {} of {} dependencies:\n{}",
+        b.subset.len(),
+        sigma.len(),
+        b.subset
+    );
+    println!(
+        "Σ^max_BS(Q4, Σ) has {} of {} dependencies:\n{}",
+        bs.subset.len(),
+        sigma.len(),
+        bs.subset
+    );
     println!("Σ^max_B ⊂ Σ^max_BS ⊂ Σ — both inclusions proper (Prop. 5.2).");
 }

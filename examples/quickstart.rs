@@ -35,8 +35,7 @@ fn main() {
 
     let config = ChaseConfig::default();
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let verdict =
-            sigma_equivalent(sem, &q1, &q2, &catalog.sigma, &catalog.schema, &config);
+        let verdict = sigma_equivalent(sem, &q1, &q2, &catalog.sigma, &catalog.schema, &config);
         let text = match verdict {
             EquivOutcome::Equivalent => "EQUIVALENT",
             EquivOutcome::NotEquivalent => "not equivalent",
@@ -57,8 +56,7 @@ fn main() {
     let q3 = lower(&catalog, sql3, "q3");
     println!("Q3: {sql3}\n    as CQ: {q3}\n");
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let verdict =
-            sigma_equivalent(sem, &q1, &q3, &catalog.sigma, &catalog.schema, &config);
+        let verdict = sigma_equivalent(sem, &q1, &q3, &catalog.sigma, &catalog.schema, &config);
         println!(
             "Q1 vs Q3 under {sem:>2}-semantics: {}",
             if verdict.is_equivalent() { "EQUIVALENT" } else { "not equivalent" }

@@ -68,8 +68,7 @@ fn main() {
     let sql2 = "SELECT o.item FROM orders o, customer c WHERE o.customer = c.id";
     let stmts2 = parse_sql(sql2).unwrap();
     let SqlStatement::Select(s2) = &stmts2[0] else { panic!() };
-    let Ok(eqsql_sql::LoweredQuery::Cq { query: q2, .. }) = lower_select(s2, &catalog, "q2")
-    else {
+    let Ok(eqsql_sql::LoweredQuery::Cq { query: q2, .. }) = lower_select(s2, &catalog, "q2") else {
         panic!()
     };
     println!("\ninput SQL: {sql2}\nas CQ:     {q2}\n");

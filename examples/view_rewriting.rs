@@ -25,8 +25,7 @@ fn main() {
          orders(O, C1) & orders(O, C2) -> C1 = C2.",
     )
     .unwrap();
-    let mut schema =
-        Schema::all_bags(&[("orders", 2), ("lines", 2), ("v_oc", 2), ("v_ol", 2)]);
+    let mut schema = Schema::all_bags(&[("orders", 2), ("lines", 2), ("v_oc", 2), ("v_ol", 2)]);
     schema.mark_set_valued(eqsql_cq::Predicate::new("orders"));
 
     let views = ViewSet::new(vec![
@@ -40,8 +39,7 @@ fn main() {
 
     let config = ChaseConfig::default();
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let result =
-            rewrite_with_views(sem, &q, &views, &sigma, &schema, &config, 12).unwrap();
+        let result = rewrite_with_views(sem, &q, &views, &sigma, &schema, &config, 12).unwrap();
         println!(
             "{sem}-semantics: {} total rewriting(s) over views ({} candidates):",
             result.rewritings.len(),
@@ -59,8 +57,8 @@ fn main() {
     let r_join = parse_query("q(C, I) :- v_ol(O, I), v_oc(O, C)").unwrap();
     println!("\ncandidate rewriting: {r_join}");
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let v = is_equivalent_rewriting(sem, &q, &r_join, &views, &sigma, &schema, &config)
-            .unwrap();
+        let v =
+            is_equivalent_rewriting(sem, &q, &r_join, &views, &sigma, &schema, &config).unwrap();
         println!(
             "  under {sem:>2}: {}",
             if v.is_equivalent() { "EQUIVALENT" } else { "not equivalent" }
@@ -80,10 +78,7 @@ fn main() {
     let expansion = expand(&r_double, &views).unwrap();
     println!("double-view rewriting: {r_double}");
     println!("its expansion:         {expansion}");
-    println!(
-        "q_single(D,BS)  = {}",
-        eval_bag_set(&q_single, &db).unwrap()
-    );
+    println!("q_single(D,BS)  = {}", eval_bag_set(&q_single, &db).unwrap());
     println!(
         "expansion(D,BS) = {}   <- identical here (the doubled atom dedups\n\
          under bag-set), which is exactly what Theorem 2.1(2) predicts",

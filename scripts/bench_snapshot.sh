@@ -28,6 +28,8 @@ BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench equiv -- 2>&1 | sed 's/^/  /'
 BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench equiv_batch -- 2>&1 | sed 's/^/  /'
+BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
+    cargo bench -q -p eqsql-bench --bench hom_search -- 2>&1 | sed 's/^/  /'
 
 jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
   {
@@ -45,6 +47,24 @@ jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
           indexed_median_ns: $idx.median_ns,
           reference_median_ns: $ref.median_ns,
           speedup: (($ref.median_ns / $idx.median_ns * 100 | round) / 100)
+        }
+      )
+    ),
+    hom_search: (
+      map(select(.id | startswith("hom_search/")))
+      | group_by(.id | sub("/(planned|delta|indexed|reference)/"; "/")) | map(
+        (map(select(.id | contains("/reference/"))) | first) as $ref |
+        select($ref != null) |
+        {
+          case: ($ref.id | sub("/reference/"; "/")),
+          reference_median_ns: $ref.median_ns,
+          contenders: (
+            map(select(.id | contains("/reference/") | not)) | map({
+              id,
+              median_ns,
+              speedup: (($ref.median_ns / .median_ns * 100 | round) / 100)
+            })
+          )
         }
       )
     ),
@@ -68,3 +88,4 @@ jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
 echo "wrote $OUT"
 jq -r '.speedups[] | "\(.case): \(.speedup)x (indexed \(.indexed_median_ns)ns vs reference \(.reference_median_ns)ns)"' "$OUT"
 jq -r '.batch_speedups[] | "\(.case): warm cache \(.warm_speedup)x (cold \(.cold_median_ns)ns vs warm \(.warm_median_ns)ns)"' "$OUT"
+jq -r '.hom_search[] | .case as $c | .contenders[] | "\($c): \(.id | sub(".*/(?<k>[a-z]+)/.*"; "\(.k)")) \(.speedup)x vs reference"' "$OUT"

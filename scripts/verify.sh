@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rustfmt (cargo fmt --check)"
+cargo fmt --check
+
 echo "== tier-1: cargo build --release"
 cargo build --release -q
 

@@ -27,16 +27,18 @@ fn fixture() -> (DependencySet, Schema) {
 }
 
 fn pairs() -> Vec<(AggregateQuery, AggregateQuery)> {
-    let p = |a: &str, b: &str| {
-        (parse_aggregate_query(a).unwrap(), parse_aggregate_query(b).unwrap())
-    };
+    let p =
+        |a: &str, b: &str| (parse_aggregate_query(a).unwrap(), parse_aggregate_query(b).unwrap());
     vec![
         p("q(D, sum(S)) :- emp(I,D,S)", "q(D, sum(S)) :- emp(I,D,S), dept(D)"),
         p("q(D, max(S)) :- emp(I,D,S)", "q(D, max(S)) :- emp(I,D,S), dept(D)"),
         p("q(D, count(*)) :- emp(I,D,S)", "q(D, count(*)) :- emp(I,D,S), dept(D)"),
         p("q(D, sum(S)) :- emp(I,D,S)", "q(D, sum(S)) :- emp(I,D,S), audit(I)"),
         p("q(D, max(S)) :- emp(I,D,S), emp(I,D,S2)", "q(D, max(S)) :- emp(I,D,S)"),
-        p("q(D, count(*)) :- emp(I,D,S), audit(I)", "q(D, count(*)) :- emp(I,D,S), audit(I), audit(I)"),
+        p(
+            "q(D, count(*)) :- emp(I,D,S), audit(I)",
+            "q(D, count(*)) :- emp(I,D,S), audit(I), audit(I)",
+        ),
         p("q(D, min(S)) :- emp(I,D,S), dept(D), dept(D)", "q(D, min(S)) :- emp(I,D,S)"),
     ]
 }
@@ -90,10 +92,7 @@ fn aggregate_verdicts_hold_on_random_models() {
         assert!(models > 0, "no models sampled for pair {q1} / {q2}");
     }
     assert!(positives > 0, "fixture produced no equivalent pairs");
-    assert!(
-        negatives_with_witness > 0,
-        "fixture produced no witnessed non-equivalences"
-    );
+    assert!(negatives_with_witness > 0, "fixture produced no witnessed non-equivalences");
 }
 
 #[test]

@@ -116,10 +116,7 @@ fn outputs_validated_by_engine_on_random_models() {
 fn completeness_on_symmetric_inclusions() {
     // a <-> b <-> c: under set semantics the minimal reformulations of
     // q(X) :- a(X) are exactly {a}, {b}, {c}.
-    let sigma = parse_dependencies(
-        "a(X) -> b(X). b(X) -> c(X). c(X) -> a(X).",
-    )
-    .unwrap();
+    let sigma = parse_dependencies("a(X) -> b(X). b(X) -> c(X). c(X) -> a(X).").unwrap();
     let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("c", 1)]);
     let q = parse_query("q(X) :- a(X)").unwrap();
     let r = cnb(Semantics::Set, &q, &sigma, &schema, &cfg(), &opts()).unwrap();
@@ -146,18 +143,14 @@ fn aggregate_problem_class_end_to_end() {
     schema.mark_set_valued(Predicate::new("emp"));
     schema.mark_set_valued(Predicate::new("dept"));
 
-    let maxq = eqsql_cq::parser::parse_aggregate_query(
-        "m(D, max(S)) :- emp(I,D,S), dept(D)",
-    )
-    .unwrap();
+    let maxq =
+        eqsql_cq::parser::parse_aggregate_query("m(D, max(S)) :- emp(I,D,S), dept(D)").unwrap();
     let p = ReformulationProblem::aggregate(schema.clone(), maxq, sigma.clone());
     let Solutions::Agg(sol) = p.solve().unwrap() else { panic!() };
     assert!(sol.reformulations.iter().any(|q| q.body.len() == 1));
 
-    let countq = eqsql_cq::parser::parse_aggregate_query(
-        "c(D, count(*)) :- emp(I,D,S), audit(I)",
-    )
-    .unwrap();
+    let countq =
+        eqsql_cq::parser::parse_aggregate_query("c(D, count(*)) :- emp(I,D,S), audit(I)").unwrap();
     let p2 = ReformulationProblem::aggregate(schema, countq, sigma);
     let Solutions::Agg(sol2) = p2.solve().unwrap() else { panic!() };
     // audit must survive in every reformulation.

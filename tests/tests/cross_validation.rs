@@ -109,9 +109,7 @@ fn equivalence_verdicts_hold_on_random_models() {
                 }
                 EquivOutcome::NotEquivalent => {
                     // Any witness the search produces must be genuine.
-                    if let Some(db) =
-                        separating_database(sem, &q1, &q2, &sigma, &schema, &cfg)
-                    {
+                    if let Some(db) = separating_database(sem, &q1, &q2, &sigma, &schema, &cfg) {
                         assert!(db_satisfies_all(&db, &sigma));
                         let a = eval(&q1, &db, sem).unwrap();
                         let b = eval(&q2, &db, sem).unwrap();

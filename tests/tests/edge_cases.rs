@@ -28,9 +28,8 @@ fn zero_ary_predicates_work_end_to_end() {
     assert!(eval_bag(&q, &db2).is_empty());
     // Chase with a 0-ary conclusion.
     let sigma = parse_dependencies("p(X) -> flag().").unwrap();
-    let chased = set_chase(&parse_query("q(X) :- p(X)").unwrap(), &sigma,
-        &ChaseConfig::default())
-    .unwrap();
+    let chased =
+        set_chase(&parse_query("q(X) :- p(X)").unwrap(), &sigma, &ChaseConfig::default()).unwrap();
     assert_eq!(chased.query.body.len(), 2);
 }
 
@@ -65,10 +64,7 @@ fn chase_budget_exhaustion_surfaces_cleanly_everywhere() {
     let q = parse_query("q(X) :- e(X,Y)").unwrap();
     let tiny = ChaseConfig::with_max_steps(5);
     // set chase
-    assert!(matches!(
-        set_chase(&q, &sigma, &tiny),
-        Err(ChaseError::BudgetExhausted { .. })
-    ));
+    assert!(matches!(set_chase(&q, &sigma, &tiny), Err(ChaseError::BudgetExhausted { .. })));
     // Sound chase: Set and BagSet must hit the budget (the latter inside
     // the assignment-fixing test-query chase). Under Bag semantics the
     // step is refused *earlier* — `e` is bag-valued, so Theorem 4.1's
@@ -91,16 +87,10 @@ fn chase_budget_exhaustion_surfaces_cleanly_everywhere() {
 #[test]
 fn atom_budget_guards_exploding_queries() {
     // Weakly acyclic but wide: p spawns many conclusions; tiny atom cap.
-    let sigma = parse_dependencies(
-        "p(X) -> a(X,Z). a(X,Z) -> b(X,W). b(X,W) -> c(X,V).",
-    )
-    .unwrap();
+    let sigma = parse_dependencies("p(X) -> a(X,Z). a(X,Z) -> b(X,W). b(X,W) -> c(X,V).").unwrap();
     let q = parse_query("q(X) :- p(X)").unwrap();
     let cfg = ChaseConfig { max_steps: 100, max_atoms: 2 };
-    assert!(matches!(
-        set_chase(&q, &sigma, &cfg),
-        Err(ChaseError::QueryTooLarge { .. })
-    ));
+    assert!(matches!(set_chase(&q, &sigma, &cfg), Err(ChaseError::QueryTooLarge { .. })));
 }
 
 #[test]
@@ -113,8 +103,7 @@ fn unsatisfiable_queries_flow_through_every_api() {
     let c = set_chase(&dead, &sigma, &cfg).unwrap();
     assert!(c.failed);
     let dead2 = parse_query("q(X) :- s(X,8), s(X,9)").unwrap();
-    assert!(sigma_equivalent(Semantics::Bag, &dead, &dead2, &sigma, &schema, &cfg)
-        .is_equivalent());
+    assert!(sigma_equivalent(Semantics::Bag, &dead, &dead2, &sigma, &schema, &cfg).is_equivalent());
     // engine: a Σ-model can contain neither pattern, answers both empty
     let db = Database::new().with_ints("s", &[[1, 1]]);
     assert!(eval_bag(&dead, &db).is_empty());
@@ -163,10 +152,7 @@ fn sound_chase_unique_under_sigma_permutations() {
                 deps.shuffle(&mut rng);
                 let permuted = eqsql_deps::DependencySet::from_vec(deps);
                 let alt = sound_chase(sem, q, &permuted, &schema, &cfg).unwrap().query;
-                assert!(
-                    are_isomorphic(&baseline, &alt),
-                    "{sem} {q}: {baseline} vs {alt}"
-                );
+                assert!(are_isomorphic(&baseline, &alt), "{sem} {q}: {baseline} vs {alt}");
             }
         }
     }

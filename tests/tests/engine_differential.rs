@@ -13,9 +13,7 @@
 
 use eqsql_chase::reference::{chase_with_policy_reference, set_chase_reference};
 use eqsql_chase::step::DedupPolicy;
-use eqsql_chase::{
-    is_assignment_fixing, set_chase, sound_chase, ChaseConfig, ChaseError, Chased,
-};
+use eqsql_chase::{is_assignment_fixing, set_chase, sound_chase, ChaseConfig, ChaseError, Chased};
 use eqsql_cq::{are_isomorphic, parse_query, Atom, CqQuery, Predicate, Term};
 use eqsql_deps::regularize::regularize_set;
 use eqsql_deps::{parse_dependencies, DependencySet};
@@ -55,9 +53,9 @@ fn assert_agree(
         (Err(ea), Err(eb)) => {
             assert_eq!(ea, eb, "{label}: error variants diverge");
         }
-        (a, b) => panic!(
-            "{label}: one engine erred, the other did not\nindexed: {a:?}\nreference: {b:?}"
-        ),
+        (a, b) => {
+            panic!("{label}: one engine erred, the other did not\nindexed: {a:?}\nreference: {b:?}")
+        }
     }
 }
 
@@ -84,9 +82,7 @@ fn sound_chase_reference(
             &sigma_reg,
             cfg,
             &DedupPolicy::All,
-            &mut |tgd, cur, h| {
-                is_assignment_fixing(cur, &sigma_reg, tgd, h, cfg).unwrap_or(false)
-            },
+            &mut |tgd, cur, h| is_assignment_fixing(cur, &sigma_reg, tgd, h, cfg).unwrap_or(false),
         ),
         Semantics::Bag => {
             let set_preds: std::collections::HashSet<Predicate> =
@@ -133,8 +129,8 @@ fn appendix_h_sound_chase_agrees() {
     for m in 2..=3 {
         let inst = appendix_h_instance(m);
         for sem in [Semantics::Bag, Semantics::BagSet] {
-            let indexed = sound_chase(sem, &inst.query, &inst.sigma, &inst.schema, &cfg)
-                .map(|s| s.chased);
+            let indexed =
+                sound_chase(sem, &inst.query, &inst.sigma, &inst.schema, &cfg).map(|s| s.chased);
             let reference =
                 sound_chase_reference(sem, &inst.query, &inst.sigma, &inst.schema, &cfg);
             assert_agree(&format!("appendix_h sound {sem} m={m}"), &indexed, &reference);
@@ -243,13 +239,7 @@ fn random_weakly_acyclic_families_agree() {
             let q = random_query(
                 &mut rng,
                 schema,
-                &QueryParams {
-                    atoms: 3,
-                    vars: 4,
-                    const_prob: 0.15,
-                    const_domain: 3,
-                    max_head: 2,
-                },
+                &QueryParams { atoms: 3, vars: 4, const_prob: 0.15, const_domain: 3, max_head: 2 },
             );
             run_set_both(&q, &sigma, &cfg, &format!("random schema{si} seed{seed}"));
             checked += 1;
@@ -272,18 +262,11 @@ fn random_dedup_policies_agree() {
         let mut rng = StdRng::seed_from_u64(1000 + seed);
         let sigma = random_weakly_acyclic_sigma(&mut rng, &schema, &SigmaParams::default());
         let q = random_query(&mut rng, &schema, &QueryParams::default());
-        for dedup in [
-            DedupPolicy::All,
-            DedupPolicy::None,
-            DedupPolicy::SetValuedOnly(set_preds.clone()),
-        ] {
-            let indexed = eqsql_chase::chase_indexed(
-                &q,
-                &sigma,
-                &cfg,
-                &dedup,
-                eqsql_chase::Admission::All,
-            );
+        for dedup in
+            [DedupPolicy::All, DedupPolicy::None, DedupPolicy::SetValuedOnly(set_preds.clone())]
+        {
+            let indexed =
+                eqsql_chase::chase_indexed(&q, &sigma, &cfg, &dedup, eqsql_chase::Admission::All);
             let reference =
                 chase_with_policy_reference(&q, &sigma, &cfg, &dedup, &mut |_, _, _| true);
             assert_agree(&format!("dedup seed {seed}"), &indexed, &reference);

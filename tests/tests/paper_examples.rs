@@ -37,8 +37,7 @@ fn example_4_1_complete() {
     assert!(are_isomorphic(&bs.query, &q2), "(Q4)Σ,BS = {}", bs.query);
 
     // Q1 ≡_{Σ,S} Q4 but not under B/BS.
-    assert!(sigma_equivalent(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg())
-        .is_equivalent());
+    assert!(sigma_equivalent(Semantics::Set, &q1, &q4, &sigma, &schema, &cfg()).is_equivalent());
     assert_eq!(
         sigma_equivalent(Semantics::Bag, &q1, &q4, &sigma, &schema, &cfg()),
         EquivOutcome::NotEquivalent
@@ -63,10 +62,8 @@ fn example_4_1_complete() {
     assert_eq!(eval_set(&q1, &db).unwrap(), eval_set(&q4, &db).unwrap());
 
     // And the *sound* results ARE equivalent at their own semantics.
-    assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma, &schema, &cfg())
-        .is_equivalent());
-    assert!(sigma_equivalent(Semantics::BagSet, &q2, &q4, &sigma, &schema, &cfg())
-        .is_equivalent());
+    assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma, &schema, &cfg()).is_equivalent());
+    assert!(sigma_equivalent(Semantics::BagSet, &q2, &q4, &sigma, &schema, &cfg()).is_equivalent());
     // Verified by the engine on the counterexample database:
     assert_eq!(eval_bag(&q3, &db), eval_bag(&q4, &db));
     assert_eq!(eval_bag_set(&q2, &db).unwrap(), eval_bag_set(&q4, &db).unwrap());
@@ -84,10 +81,7 @@ fn example_4_2_and_4_3() {
     .unwrap();
     let q = parse_query("q(X) :- p(X,Y)").unwrap();
     let sigma1 = sigma_42.tgds().next().unwrap().clone();
-    assert_eq!(
-        is_assignment_fixing_wrt_query(&q, &sigma_42, &sigma1, &cfg()).unwrap(),
-        Some(true)
-    );
+    assert_eq!(is_assignment_fixing_wrt_query(&q, &sigma_42, &sigma1, &cfg()).unwrap(), Some(true));
 
     // Example 4.3 (reduced per the erratum note in EXPERIMENTS.md): σ4 is
     // NOT assignment-fixing w.r.t. Q with only the key of R available.
@@ -144,10 +138,8 @@ fn example_4_4_and_4_5() {
     let q3 = parse_query("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)").unwrap();
     assert!(sigma_equivalent(Semantics::Bag, &q3, &q4, &sigma_prime, &schema_4_1(), &cfg())
         .is_equivalent());
-    assert!(
-        sigma_equivalent(Semantics::BagSet, &q3, &q4, &sigma_prime, &schema_4_1(), &cfg())
-            .is_equivalent()
-    );
+    assert!(sigma_equivalent(Semantics::BagSet, &q3, &q4, &sigma_prime, &schema_4_1(), &cfg())
+        .is_equivalent());
 }
 
 /// E4 — Example 4.6: the PODS-version "modified chase" result Q' is not
@@ -213,8 +205,7 @@ fn example_4_7_and_4_8() {
     let mut schema = Schema::all_bags(&[("p", 2), ("s", 2), ("t", 2)]);
     schema.mark_set_valued(Predicate::new("s"));
     schema.mark_set_valued(Predicate::new("t"));
-    assert!(sigma_equivalent(Semantics::Bag, &q2, &q2pp, &sigma2, &schema, &cfg())
-        .is_equivalent());
+    assert!(sigma_equivalent(Semantics::Bag, &q2, &q2pp, &sigma2, &schema, &cfg()).is_equivalent());
     // Engine check on the model D2 = Example 4.6's D extended to satisfy
     // ν1 for every p-assignment.
     let db2 = Database::new()
@@ -332,8 +323,7 @@ fn example_e1_e2() {
 fn tuple_id_framework() {
     use eqsql_deps::satisfaction::db_satisfies_egd;
     let schema = Schema::all_bags(&[("s", 2)]);
-    let (wide_schema, sigma_tid) =
-        set_enforcing::with_tuple_ids(&schema, &[Predicate::new("s")]);
+    let (wide_schema, sigma_tid) = set_enforcing::with_tuple_ids(&schema, &[Predicate::new("s")]);
     assert_eq!(wide_schema.arity(Predicate::new("s")), Some(3));
     assert!(wide_schema.is_set_valued(Predicate::new("s")));
     let egd = sigma_tid.egds().next().unwrap();

@@ -32,42 +32,37 @@ fn name_of(rel: usize) -> &'static str {
 
 /// Strategy: a small bag database over the fixed schema.
 fn db_strategy() -> impl Strategy<Value = Database> {
-    proptest::collection::vec(
-        (0usize..3, proptest::collection::vec(0i64..4, 2), 1u64..3),
-        0..10,
-    )
-    .prop_map(|rows| {
-        let mut db = Database::new();
-        for (rel, vals, mult) in rows {
-            let arity = arity_of(rel);
-            let tuple = Tuple::ints(vals.into_iter().take(arity));
-            db.insert(name_of(rel), tuple, mult);
-        }
-        db
-    })
+    proptest::collection::vec((0usize..3, proptest::collection::vec(0i64..4, 2), 1u64..3), 0..10)
+        .prop_map(|rows| {
+            let mut db = Database::new();
+            for (rel, vals, mult) in rows {
+                let arity = arity_of(rel);
+                let tuple = Tuple::ints(vals.into_iter().take(arity));
+                db.insert(name_of(rel), tuple, mult);
+            }
+            db
+        })
 }
 
 /// Strategy: a small safe CQ query over the fixed schema.
 fn query_strategy() -> impl Strategy<Value = CqQuery> {
-    proptest::collection::vec(
-        (0usize..3, proptest::collection::vec(0usize..4, 2)),
-        1..4,
+    proptest::collection::vec((0usize..3, proptest::collection::vec(0usize..4, 2)), 1..4).prop_map(
+        |atoms| {
+            let body: Vec<Atom> = atoms
+                .into_iter()
+                .map(|(rel, vars)| {
+                    let args: Vec<Term> = vars
+                        .into_iter()
+                        .take(arity_of(rel))
+                        .map(|i| Term::Var(Var::new(&format!("V{i}"))))
+                        .collect();
+                    Atom::new(name_of(rel), args)
+                })
+                .collect();
+            let head = vec![Term::Var(body[0].args[0].as_var().unwrap())];
+            CqQuery { name: eqsql_cq::Symbol::new("q"), head, body }
+        },
     )
-    .prop_map(|atoms| {
-        let body: Vec<Atom> = atoms
-            .into_iter()
-            .map(|(rel, vars)| {
-                let args: Vec<Term> = vars
-                    .into_iter()
-                    .take(arity_of(rel))
-                    .map(|i| Term::Var(Var::new(&format!("V{i}"))))
-                    .collect();
-                Atom::new(name_of(rel), args)
-            })
-            .collect();
-        let head = vec![Term::Var(body[0].args[0].as_var().unwrap())];
-        CqQuery { name: eqsql_cq::Symbol::new("q"), head, body }
-    })
 }
 
 proptest! {

@@ -9,9 +9,9 @@ use eqsql_core::{sigma_equivalent, sigma_equivalent_via, EquivOutcome, SoundChas
 use eqsql_cq::{parse_query, CqQuery};
 use eqsql_deps::{parse_dependencies, DependencySet};
 use eqsql_gen::queries::{random_query, QueryParams};
+use eqsql_gen::random_weakly_acyclic_sigma;
 use eqsql_gen::rename_isomorphic;
 use eqsql_gen::sigma::SigmaParams;
-use eqsql_gen::random_weakly_acyclic_sigma;
 use eqsql_relalg::{Schema, Semantics};
 use eqsql_service::{BatchSession, ChaseCache, EquivRequest};
 use rand::rngs::StdRng;
@@ -71,8 +71,7 @@ fn cached_verdicts_agree_with_fresh_on_random_draws() {
         };
         let fresh = sigma_equivalent(sem, &q1, &q2, &sigma, &schema, &config);
         for pass in 0..2 {
-            let cached =
-                sigma_equivalent_via(&cache, sem, &q1, &q2, &sigma, &schema, &config);
+            let cached = sigma_equivalent_via(&cache, sem, &q1, &q2, &sigma, &schema, &config);
             assert_eq!(
                 cached, fresh,
                 "round {round} pass {pass} ({sem}): {q1} vs {q2} under\n{sigma}"
@@ -96,13 +95,9 @@ fn cached_failure_outcomes_agree() {
     let dead2 = parse_query("q(A) :- s(A,3), s(A,4)").unwrap(); // α-copy of dead1
     let dead3 = parse_query("q(X) :- s(X,1), s(X,2)").unwrap();
     let alive = parse_query("q(X) :- s(X,3)").unwrap();
-    for (a, b) in [
-        (&dead1, &dead2),
-        (&dead1, &dead3),
-        (&dead2, &dead3),
-        (&dead1, &alive),
-        (&alive, &dead3),
-    ] {
+    for (a, b) in
+        [(&dead1, &dead2), (&dead1, &dead3), (&dead2, &dead3), (&dead1, &alive), (&alive, &dead3)]
+    {
         let fresh = sigma_equivalent(Semantics::Set, a, b, &sigma, &schema, &config);
         let cached = sigma_equivalent_via(&cache, Semantics::Set, a, b, &sigma, &schema, &config);
         assert_eq!(cached, fresh, "{a} vs {b}");
@@ -168,12 +163,12 @@ fn non_isomorphic_queries_get_distinct_entries() {
     let config = ChaseConfig::default();
     let queries = [
         "q(X) :- a(X,Y)",
-        "q(X) :- a(X,Y), a(X,Y)",     // duplicate subgoal
-        "q(X) :- a(X,Y), a(Y,X)",     // different join
-        "q(X) :- a(X,X)",             // collapsed variables
-        "q(Y) :- a(X,Y)",             // head at other position
-        "q(X, Y) :- a(X,Y)",          // wider head
-        "q(Y, X) :- a(X,Y)",          // swapped head
+        "q(X) :- a(X,Y), a(X,Y)", // duplicate subgoal
+        "q(X) :- a(X,Y), a(Y,X)", // different join
+        "q(X) :- a(X,X)",         // collapsed variables
+        "q(Y) :- a(X,Y)",         // head at other position
+        "q(X, Y) :- a(X,Y)",      // wider head
+        "q(Y, X) :- a(X,Y)",      // swapped head
         "q(X) :- a(X,Y), b(X,Z)",
         "q(X) :- a(X,Y), b(Y,Z)",
         "q(X) :- a(X,1)",
@@ -182,11 +177,7 @@ fn non_isomorphic_queries_get_distinct_entries() {
     for (i, text) in queries.iter().enumerate() {
         let q = parse_query(text).unwrap();
         cache.sound_chase(Semantics::Bag, &q, &sigma, &schema, &config).unwrap();
-        assert_eq!(
-            cache.stats().entries,
-            i + 1,
-            "{text} was conflated with an earlier entry"
-        );
+        assert_eq!(cache.stats().entries, i + 1, "{text} was conflated with an earlier entry");
     }
     assert_eq!(cache.stats().hits, 0);
 }

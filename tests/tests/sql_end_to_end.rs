@@ -42,8 +42,7 @@ fn fk_chain_joins_are_redundant_under_all_semantics() {
     );
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
         assert!(
-            sigma_equivalent(sem, &q_short, &q_long, &cat.sigma, &cat.schema, &cfg)
-                .is_equivalent(),
+            sigma_equivalent(sem, &q_short, &q_long, &cat.sigma, &cat.schema, &cfg).is_equivalent(),
             "{sem}"
         );
     }
@@ -54,11 +53,7 @@ fn bag_table_join_is_never_redundant() {
     let cat = catalog();
     let cfg = ChaseConfig::default();
     let q_short = cq(&cat, "SELECT e.salary FROM emp e", "qs");
-    let q_praise = cq(
-        &cat,
-        "SELECT e.salary FROM emp e, praise p WHERE p.emp = e.id",
-        "qp",
-    );
+    let q_praise = cq(&cat, "SELECT e.salary FROM emp e, praise p WHERE p.emp = e.id", "qp");
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
         assert_eq!(
             sigma_equivalent(sem, &q_short, &q_praise, &cat.sigma, &cat.schema, &cfg),
@@ -71,18 +66,9 @@ fn bag_table_join_is_never_redundant() {
 #[test]
 fn reformulation_round_trips_to_sql() {
     let cat = catalog();
-    let q = cq(
-        &cat,
-        "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id",
-        "q",
-    );
+    let q = cq(&cat, "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id", "q");
     for sem in [Semantics::Set, Semantics::Bag] {
-        let p = ReformulationProblem::cq(
-            cat.schema.clone(),
-            sem,
-            q.clone(),
-            cat.sigma.clone(),
-        );
+        let p = ReformulationProblem::cq(cat.schema.clone(), sem, q.clone(), cat.sigma.clone());
         let Solutions::Cq(result) = p.solve().unwrap() else { panic!() };
         assert_eq!(result.reformulations.len(), 1, "{sem}");
         let best = &result.reformulations[0];
@@ -110,10 +96,8 @@ fn distinct_selects_set_semantics() {
     let mut doubled = query.clone();
     doubled.body.push(doubled.body[1].clone());
     let cfg = ChaseConfig::default();
-    assert!(
-        sigma_equivalent(Semantics::Set, &query, &doubled, &cat.sigma, &cat.schema, &cfg)
-            .is_equivalent()
-    );
+    assert!(sigma_equivalent(Semantics::Set, &query, &doubled, &cat.sigma, &cat.schema, &cfg)
+        .is_equivalent());
     // ... while under the bag reading it is not.
     assert_eq!(
         sigma_equivalent(Semantics::Bag, &query, &doubled, &cat.sigma, &cat.schema, &cfg),

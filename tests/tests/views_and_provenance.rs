@@ -40,8 +40,7 @@ fn rewriting_verdicts_validated_by_engine_on_materialized_views() {
             .unwrap();
     assert!(v_good.is_equivalent());
     let v_bad =
-        is_equivalent_rewriting(Semantics::Bag, &q, &bad, &views, &sigma, &schema, &cfg())
-            .unwrap();
+        is_equivalent_rewriting(Semantics::Bag, &q, &bad, &views, &sigma, &schema, &cfg()).unwrap();
     assert_eq!(v_bad, EquivOutcome::NotEquivalent);
 
     // Engine validation on random instances.
@@ -81,14 +80,13 @@ fn view_rewriting_respects_semantics_split() {
     let q = parse_query("q(X) :- p(X,Y), p(X,Z)").unwrap();
     let schema = Schema::all_bags(&[("p", 2), ("v", 1)]);
     let sigma = DependencySet::new();
-    let set = rewrite_with_views(Semantics::Set, &q, &views, &sigma, &schema, &cfg(), 10)
-        .unwrap();
+    let set = rewrite_with_views(Semantics::Set, &q, &views, &sigma, &schema, &cfg(), 10).unwrap();
     assert!(set
         .rewritings
         .iter()
         .any(|r| are_isomorphic(r, &parse_query("q(X) :- v(X)").unwrap())));
-    let bs = rewrite_with_views(Semantics::BagSet, &q, &views, &sigma, &schema, &cfg(), 10)
-        .unwrap();
+    let bs =
+        rewrite_with_views(Semantics::BagSet, &q, &views, &sigma, &schema, &cfg(), 10).unwrap();
     // v(X) once is not enough; v(X), v(X) dedups to one atom under the
     // BS canonical test of the expansion — two *distinct* view atoms
     // cannot exist, so NO total rewriting exists under bag-set.
@@ -108,17 +106,15 @@ fn expansion_composes_with_dependencies() {
          dept(D1) & dept(D2) -> D1 = D1.", // trivial egd, exercises parsing
     )
     .unwrap();
-    let views = ViewSet::new(vec![View::new(
-        parse_query("v(I,D) :- emp(I,D), dept(D)").unwrap(),
-    )]);
+    let views = ViewSet::new(vec![View::new(parse_query("v(I,D) :- emp(I,D), dept(D)").unwrap())]);
     let q = parse_query("q(I) :- emp(I,D)").unwrap();
     let r = parse_query("q(I) :- v(I,D)").unwrap();
     let mut schema = Schema::all_bags(&[("emp", 2), ("dept", 1), ("v", 2)]);
     schema.mark_set_valued(eqsql_cq::Predicate::new("dept"));
     // Under set semantics the dept-atom in the expansion is redundant
     // given the FK: equivalent.
-    let v = is_equivalent_rewriting(Semantics::Set, &q, &r, &views, &sigma, &schema, &cfg())
-        .unwrap();
+    let v =
+        is_equivalent_rewriting(Semantics::Set, &q, &r, &views, &sigma, &schema, &cfg()).unwrap();
     assert!(v.is_equivalent());
     // Without Σ it is not (dept filters).
     let v2 = is_equivalent_rewriting(
@@ -164,9 +160,8 @@ fn counting_provenance_matches_bag_eval_on_random_inputs() {
         // polynomials recovers the bag answer.
         let bag = eval_bag(&q, &db);
         for (t, poly) in eval_provenance(&q, &db) {
-            let specialized = poly.evaluate(|(pred, tuple)| {
-                db.get(*pred).map_or(0, |r| r.multiplicity(tuple))
-            });
+            let specialized =
+                poly.evaluate(|(pred, tuple)| db.get(*pred).map_or(0, |r| r.multiplicity(tuple)));
             assert_eq!(specialized, bag.multiplicity(&t), "iteration {i}");
         }
     }

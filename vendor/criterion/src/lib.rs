@@ -92,10 +92,8 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        let sample_size = std::env::var("BENCH_SAMPLES")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
+        let sample_size =
+            std::env::var("BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
         Criterion { filter, sample_size }
     }
 }
@@ -103,12 +101,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 20,
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
     }
 
     /// Runs a stand-alone benchmark (treated as a group of one).
@@ -162,8 +155,12 @@ impl Criterion {
         }
         per_iter_ns.sort_unstable();
         let median = per_iter_ns[per_iter_ns.len() / 2];
-        println!("{full_id:<60} median {:>12}  ({} samples x {} iters)",
-            format_ns(median), per_iter_ns.len(), iters);
+        println!(
+            "{full_id:<60} median {:>12}  ({} samples x {} iters)",
+            format_ns(median),
+            per_iter_ns.len(),
+            iters
+        );
 
         if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
             if !path.is_empty() {
@@ -174,9 +171,7 @@ impl Criterion {
                     per_iter_ns.len(),
                     iters
                 );
-                if let Ok(mut file) =
-                    OpenOptions::new().create(true).append(true).open(&path)
-                {
+                if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
                     let _ = file.write_all(line.as_bytes());
                 }
             }

@@ -277,9 +277,7 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!(
-                    "{test_name}: case with seed {seed} failed (replay: deterministic): {msg}"
-                );
+                panic!("{test_name}: case with seed {seed} failed (replay: deterministic): {msg}");
             }
         }
         seed += 1;
@@ -355,11 +353,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&($left), &($right));
-        $crate::prop_assert!(
-            *l != *r,
-            "prop_assert_ne! failed: both sides equal {:?}",
-            l
-        );
+        $crate::prop_assert!(*l != *r, "prop_assert_ne! failed: both sides equal {:?}", l);
     }};
 }
 
@@ -369,9 +363,10 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::std::result::Result::Err($crate::TestCaseError::reject(
-                concat!("assumption failed: ", stringify!($cond)),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
         }
     };
 }
@@ -379,8 +374,8 @@ macro_rules! prop_assume {
 pub mod prelude {
     //! The glob-import surface: `use proptest::prelude::*;`.
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
-        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
