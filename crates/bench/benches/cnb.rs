@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqsql_bench::{schema_4_1, sigma_4_1};
 use eqsql_chase::ChaseConfig;
-use eqsql_core::cnb::{cnb, CnbOptions};
+use eqsql_core::cnb::{cnb_via, CnbOptions};
+use eqsql_core::DirectChaser;
 use eqsql_core::Semantics;
 use eqsql_cq::parse_query;
 use eqsql_deps::parse_dependencies;
@@ -22,7 +23,8 @@ fn bench_example_4_1(c: &mut Criterion) {
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
         group.bench_function(BenchmarkId::from_parameter(sem), |b| {
             b.iter(|| {
-                let r = cnb(sem, black_box(&q1), &sigma, &schema, &cfg, &opts).unwrap();
+                let r = cnb_via(&DirectChaser, sem, black_box(&q1), &sigma, &schema, &cfg, &opts)
+                    .unwrap();
                 black_box(r.reformulations.len())
             })
         });
@@ -63,7 +65,9 @@ fn bench_fk_chain(c: &mut Criterion) {
                 &(sigma.clone(), schema.clone(), q.clone()),
                 |b, (sigma, schema, q)| {
                     b.iter(|| {
-                        let r = cnb(sem, black_box(q), sigma, schema, &cfg, &opts).unwrap();
+                        let r =
+                            cnb_via(&DirectChaser, sem, black_box(q), sigma, schema, &cfg, &opts)
+                                .unwrap();
                         black_box(r.candidates_tested)
                     })
                 },

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqsql_bench::{schema_4_1, sigma_4_1};
 use eqsql_chase::ChaseConfig;
 use eqsql_core::equiv::{bag_equivalent, bag_set_equivalent, set_equivalent};
-use eqsql_core::{sigma_equivalent, Semantics};
+use eqsql_core::{sigma_equivalent_via, DirectChaser, Semantics};
 use eqsql_cq::parse_query;
 use eqsql_gen::queries::{random_query, QueryParams};
 use eqsql_gen::rename_isomorphic;
@@ -58,7 +58,8 @@ fn bench_sigma_tests(c: &mut Criterion) {
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
         group.bench_function(BenchmarkId::from_parameter(sem), |b| {
             b.iter(|| {
-                black_box(sigma_equivalent(
+                black_box(sigma_equivalent_via(
+                    &DirectChaser,
                     sem,
                     black_box(&q1),
                     black_box(&q4),

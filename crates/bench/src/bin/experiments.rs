@@ -10,15 +10,15 @@ use eqsql_chase::{
     max_bag_set_sigma_subset, max_bag_sigma_subset, set_chase, sound_chase, ChaseConfig,
 };
 use eqsql_core::aggregate::sigma_agg_equivalent;
-use eqsql_core::cnb::{cnb, CnbOptions};
 use eqsql_core::counterexample::separating_database;
-use eqsql_core::{sigma_equivalent, Semantics};
+use eqsql_core::Semantics;
 use eqsql_cq::parse_query;
 use eqsql_cq::parser::parse_aggregate_query;
 use eqsql_deps::satisfaction::db_satisfies_all;
 use eqsql_gen::appendix_h::{appendix_h_instance, expected_chase_size};
 use eqsql_relalg::eval::{eval_bag, eval_bag_set};
 use eqsql_relalg::{Database, Tuple};
+use eqsql_service::{Answer, Request, RequestOpts, Solver};
 use std::time::Instant;
 
 fn header(title: &str) {
@@ -37,9 +37,9 @@ fn verdict(b: bool) -> &'static str {
 
 fn t1_example_4_1_matrix() {
     header("T1 — Example 4.1: equivalence matrix (paper §4.1)");
-    let sigma = sigma_4_1();
-    let schema = schema_4_1();
-    let cfg = ChaseConfig::default();
+    // One Solver for the whole matrix: all nine decisions share Σ's
+    // regularization and the chase-result cache.
+    let solver = Solver::builder(sigma_4_1(), schema_4_1()).build();
     let queries = [
         ("Q1", "q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)"),
         ("Q2", "q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)"),
@@ -54,15 +54,25 @@ fn t1_example_4_1_matrix() {
     ];
     for ((name, text), exp) in queries.iter().zip(expected.iter()) {
         let q = parse_query(text).unwrap();
-        let s = sigma_equivalent(Semantics::Set, &q, &q4, &sigma, &schema, &cfg);
-        let bs = sigma_equivalent(Semantics::BagSet, &q, &q4, &sigma, &schema, &cfg);
-        let b = sigma_equivalent(Semantics::Bag, &q, &q4, &sigma, &schema, &cfg);
+        let decide = |sem| {
+            let v = solver
+                .decide(&Request::Equivalent {
+                    q1: q.clone(),
+                    q2: q4.clone(),
+                    opts: RequestOpts::with_sem(sem),
+                })
+                .expect("terminating chase");
+            matches!(v.answer, Answer::Equivalent { .. })
+        };
+        let s = decide(Semantics::Set);
+        let bs = decide(Semantics::BagSet);
+        let b = decide(Semantics::Bag);
         println!(
             "{:<6} {:<16} {:<16} {:<16}   (paper: {}/{}/{})",
             name,
-            verdict(s.is_equivalent()),
-            verdict(bs.is_equivalent()),
-            verdict(b.is_equivalent()),
+            verdict(s),
+            verdict(bs),
+            verdict(b),
             exp.1,
             exp.2,
             exp.3
@@ -71,7 +81,8 @@ fn t1_example_4_1_matrix() {
 
     println!("\nSound chase chain of Q4 (paper: (Q4)Σ,S≅Q1ᶜ, (Q4)Σ,BS=Q2, (Q4)Σ,B=Q3):");
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let r = sound_chase(sem, &q4, &sigma, &schema, &cfg).unwrap();
+        let r =
+            sound_chase(sem, &q4, solver.sigma(), solver.schema(), solver.chase_config()).unwrap();
         println!("  (Q4)Σ,{sem:<3} = {}", r.query);
     }
 
@@ -82,7 +93,7 @@ fn t1_example_4_1_matrix() {
         .with_ints("s", &[[1, 3]])
         .with_ints("t", &[[1, 2, 4]])
         .with_ints("u", &[[1, 5], [1, 6]]);
-    assert!(db_satisfies_all(&db, &sigma));
+    assert!(db_satisfies_all(&db, solver.sigma()));
     let q1 = parse_query(queries[0].1).unwrap();
     println!("  Q4(D,B)  = {}   (paper: {{{{(1)}}}})", eval_bag(&q4, &db));
     println!("  Q1(D,B)  = {}   (paper: {{{{(1), (1)}}}})", eval_bag(&q1, &db));
@@ -136,10 +147,7 @@ fn t3_max_subsets() {
 
 fn t4_cnb() {
     header("T4 — C&B family on Example 4.1 (Theorems A.1/6.4/K.1)");
-    let sigma = sigma_4_1();
-    let schema = schema_4_1();
-    let cfg = ChaseConfig::default();
-    let opts = CnbOptions::default();
+    let solver = Solver::builder(sigma_4_1(), schema_4_1()).build();
     let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
     println!("input: {q1}");
     println!("{:<8} {:>10} {:>12}  Σ-minimal reformulations", "sem", "candidates", "reformuls");
@@ -150,14 +158,19 @@ fn t4_cnb() {
     ];
     for (sem, exp) in expected {
         let t0 = Instant::now();
-        let r = cnb(sem, &q1, &sigma, &schema, &cfg, &opts).unwrap();
+        let v = solver
+            .decide(&Request::Reformulate { q: q1.clone(), opts: RequestOpts::with_sem(sem) })
+            .expect("terminating chase");
         let dt = t0.elapsed();
-        let rendered: Vec<String> = r.reformulations.iter().map(|q| q.to_string()).collect();
+        let Answer::Reformulated { reformulations, candidates_tested, .. } = v.answer else {
+            unreachable!("Reformulate answers Reformulated")
+        };
+        let rendered: Vec<String> = reformulations.iter().map(|q| q.to_string()).collect();
         println!(
             "{:<8} {:>10} {:>12}  {:?}  [{dt:.2?}]  (expected shape: {exp})",
             sem.to_string(),
-            r.candidates_tested,
-            r.reformulations.len(),
+            candidates_tested,
+            reformulations.len(),
             rendered
         );
     }

@@ -28,7 +28,7 @@
 //!    dependency checked satisfied stays retired until a relevant delta:
 //!    a homomorphism that avoids every changed atom existed before the
 //!    step, with its conclusion extension intact, so its verdict carries
-//!    over (see `docs` on [`fire_order_matches_reference`] in the tests).
+//!    over (see `docs` on `fire_order_matches_reference` in the tests).
 //!
 //! With the default [`EngineOpts`] the engine fires, at every step, the
 //! same dependency the reference driver would (the lowest-indexed

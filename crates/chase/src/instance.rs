@@ -1,5 +1,5 @@
 //! Instance-level chase with labelled nulls (the data-exchange-style chase
-//! of [14], used here as a substrate).
+//! of \[14\], used here as a substrate).
 //!
 //! Repairs a database into a model of Σ: tgd violations add tuples whose
 //! existential positions hold fresh labelled nulls ([`Value::Labeled`]);

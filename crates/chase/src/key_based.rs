@@ -1,4 +1,4 @@
-//! Key-based tgds (Definition 5.1 of the paper — the UWDs of Deutsch [9]).
+//! Key-based tgds (Definition 5.1 of the paper — the UWDs of Deutsch \[9\]).
 //!
 //! A tgd `σ : φ(X̄, Ȳ) → ∃Z̄ ψ(Ȳ, Z̄)` is **key-based** when, for every
 //! conclusion atom `p(Ȳ'_j, Z̄'_j)`, the positions holding universally

@@ -11,7 +11,7 @@
 //!   **assignment-fixing** test for tgds (Definition 4.3) — the paper's
 //!   query-dependent criterion for when a tgd chase step preserves answer
 //!   multiplicities;
-//! * **key-based tgds** (Definition 5.1, the UWDs of Deutsch [9]) — the
+//! * **key-based tgds** (Definition 5.1, the UWDs of Deutsch \[9\]) — the
 //!   strictly weaker, query-independent criterion, kept for comparison and
 //!   for the ablation benchmarks;
 //! * **sound chase** under bag and bag-set semantics (Theorems 4.1 and
@@ -31,11 +31,11 @@
 //! [`eqsql_cq::matcher::MatchPlan`]s searched first-match over a
 //! trail-based frame with the conclusion-extension check threaded in as a
 //! pruning predicate, and delta-driven (semi-naive) dependency
-//! scheduling. [`set_chase`], [`sound_chase`] and [`key_based_chase`] are
+//! scheduling. [`mod@set_chase`], [`sound_chase`] and [`key_based_chase`] are
 //! thin entry points over it; [`EngineOpts`] opts into delta-*seeded*
 //! premise search (budget-exhaustion asymptotics) and speculative
 //! parallel dependency probes. The original naive restart-scan driver
-//! survives as [`reference`] — the differential-testing oracle
+//! survives as [`mod@reference`] — the differential-testing oracle
 //! (`tests/tests/engine_differential.rs`) that pins the engine to the
 //! paper's step semantics, with the underlying naive homomorphism search
 //! preserved as `eqsql_cq::matcher::reference`
@@ -67,5 +67,5 @@ pub use instance::{chase_database, chase_database_reference, InstanceChased};
 pub use key_based::{is_key_based, key_based_chase};
 pub use max_subset::{max_bag_set_sigma_subset, max_bag_sigma_subset};
 pub use reference::{chase_with_policy_reference, set_chase_reference};
-pub use set_chase::{set_chase, set_chase_opts, Chased};
-pub use sound::{sound_chase, sound_chase_prepared, SoundChased};
+pub use set_chase::{chase_with_policy_opts, set_chase, set_chase_opts, Chased};
+pub use sound::{sound_chase, sound_chase_prepared, sound_chase_prepared_opts, SoundChased};

@@ -20,7 +20,7 @@ use eqsql_cq::{CqQuery, Subst, VarSupply};
 use eqsql_deps::{Dependency, DependencySet};
 use std::collections::HashSet;
 
-/// [`crate::set_chase`] on the naive driver.
+/// [`crate::set_chase()`] on the naive driver.
 pub fn set_chase_reference(
     q: &CqQuery,
     sigma: &DependencySet,

@@ -5,7 +5,7 @@
 //! unsatisfiable (an egd equates distinct constants), or the budget runs
 //! out. For weakly acyclic Σ termination is guaranteed (Theorem H.1) and
 //! the result is unique up to set-equivalence in the absence of
-//! dependencies [10].
+//! dependencies \[10\].
 //!
 //! The entry points here are thin wrappers over the incremental indexed
 //! engine ([`crate::engine`]); the original naive driver survives as
@@ -98,6 +98,20 @@ pub fn chase_with_policy(
     admit: &mut dyn FnMut(&eqsql_deps::Tgd, &CqQuery, &Subst) -> bool,
 ) -> Result<Chased, ChaseError> {
     chase_indexed(q, sigma, config, dedup, Admission::Custom(admit))
+}
+
+/// [`chase_with_policy`] with explicit [`EngineOpts`]. Probes stay
+/// sequential under custom admission (the engine enforces this); delta
+/// seeding applies with the conservative custom-admission watermarks.
+pub fn chase_with_policy_opts(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+    dedup: &DedupPolicy,
+    admit: &mut dyn FnMut(&eqsql_deps::Tgd, &CqQuery, &Subst) -> bool,
+    opts: &EngineOpts,
+) -> Result<Chased, ChaseError> {
+    chase_indexed_opts(q, sigma, config, dedup, Admission::Custom(admit), opts)
 }
 
 #[cfg(test)]

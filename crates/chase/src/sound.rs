@@ -16,8 +16,9 @@
 //!   terminates whenever set-chase does (Proposition 5.1).
 
 use crate::assignment_fixing::is_assignment_fixing;
+use crate::engine::EngineOpts;
 use crate::error::{ChaseConfig, ChaseError};
-use crate::set_chase::{chase_with_policy, set_chase, Chased};
+use crate::set_chase::{chase_with_policy_opts, set_chase_opts, Chased};
 use crate::step::DedupPolicy;
 use eqsql_cq::{CqQuery, Predicate};
 use eqsql_deps::regularize::regularize_set;
@@ -99,20 +100,41 @@ pub fn sound_chase_prepared(
     schema: &Schema,
     config: &ChaseConfig,
 ) -> Result<SoundChased, ChaseError> {
+    sound_chase_prepared_opts(sem, q, sigma_reg, schema, config, &EngineOpts::default())
+}
+
+/// [`sound_chase_prepared`] with explicit [`EngineOpts`] — delta-seeded
+/// premise search and speculative parallel probes, as configured by a
+/// `Solver` in `eqsql_service`. With [`EngineOpts::default`] this is
+/// exactly [`sound_chase_prepared`]; delta seeding trades the
+/// reference-identical step order for asymptotic wins (terminals stay
+/// Σ-equivalent), and probes never change results at all.
+pub fn sound_chase_prepared_opts(
+    sem: Semantics,
+    q: &CqQuery,
+    sigma_reg: std::sync::Arc<DependencySet>,
+    schema: &Schema,
+    config: &ChaseConfig,
+    opts: &EngineOpts,
+) -> Result<SoundChased, ChaseError> {
     let chased = match sem {
-        Semantics::Set => set_chase(q, &sigma_reg, config)?,
+        Semantics::Set => set_chase_opts(q, &sigma_reg, config, opts)?,
         Semantics::BagSet => {
             let mut af_err: Option<ChaseError> = None;
-            let res =
-                chase_with_policy(q, &sigma_reg, config, &DedupPolicy::All, &mut |tgd, cur, h| {
-                    match is_assignment_fixing(cur, &sigma_reg, tgd, h, config) {
-                        Ok(b) => b,
-                        Err(e) => {
-                            af_err = Some(e);
-                            false
-                        }
+            let res = chase_with_policy_opts(
+                q,
+                &sigma_reg,
+                config,
+                &DedupPolicy::All,
+                &mut |tgd, cur, h| match is_assignment_fixing(cur, &sigma_reg, tgd, h, config) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        af_err = Some(e);
+                        false
                     }
-                });
+                },
+                opts,
+            );
             if let Some(e) = af_err {
                 return Err(e);
             }
@@ -121,7 +143,7 @@ pub fn sound_chase_prepared(
         Semantics::Bag => {
             let set_preds: HashSet<Predicate> = schema.set_valued_relations().into_iter().collect();
             let mut af_err: Option<ChaseError> = None;
-            let res = chase_with_policy(
+            let res = chase_with_policy_opts(
                 q,
                 &sigma_reg,
                 config,
@@ -138,6 +160,7 @@ pub fn sound_chase_prepared(
                         }
                     }
                 },
+                opts,
             );
             if let Some(e) = af_err {
                 return Err(e);

@@ -108,7 +108,7 @@ pub fn rename_dep_apart_mapped(
 /// **not** extend to the conclusion — i.e. the `h`s making the chase of `Q`
 /// with `σ` applicable. The tgd must already be renamed apart from `q`.
 ///
-/// Deliberately runs on the naive [`reference`] backtracker: this is the
+/// Deliberately runs on the naive [`mod@reference`] backtracker: this is the
 /// oracle layer consumed by [`crate::reference`], kept independent of the
 /// planned matcher it differentially tests. The enumeration cap is
 /// surfaced as a panic rather than a silent truncation — the reference

@@ -13,8 +13,8 @@
 //! matching C&B variant on the core and re-attach the aggregate head
 //! (Theorem K.2).
 
-use crate::cnb::{cnb, CnbError, CnbOptions, CnbResult};
-use crate::sigma_equiv::{sigma_equivalent, EquivOutcome};
+use crate::cnb::{cnb_via, CnbError, CnbOptions, CnbResult};
+use crate::sigma_equiv::{sigma_equivalent_via, DirectChaser, EquivOutcome};
 use eqsql_chase::ChaseConfig;
 use eqsql_cq::{AggFn, AggregateQuery, CqQuery, Term};
 use eqsql_deps::DependencySet;
@@ -43,7 +43,15 @@ pub fn sigma_agg_equivalent(
     if !q1.compatible(q2) {
         return EquivOutcome::NotEquivalent;
     }
-    sigma_equivalent(core_semantics(q1.agg), &q1.core(), &q2.core(), sigma, schema, config)
+    sigma_equivalent_via(
+        &DirectChaser,
+        core_semantics(q1.agg),
+        &q1.core(),
+        &q2.core(),
+        sigma,
+        schema,
+        config,
+    )
 }
 
 /// Dependency-free equivalence of compatible aggregate queries
@@ -98,7 +106,7 @@ fn agg_cnb(
     opts: &CnbOptions,
 ) -> Result<AggCnbResult, CnbError> {
     let sem = core_semantics(q.agg);
-    let core_result = cnb(sem, &q.core(), sigma, schema, config, opts)?;
+    let core_result = cnb_via(&DirectChaser, sem, &q.core(), sigma, schema, config, opts)?;
     let reformulations = core_result.reformulations.iter().filter_map(|r| rebuild(q, r)).collect();
     Ok(AggCnbResult { core_result, reformulations })
 }

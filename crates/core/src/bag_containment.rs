@@ -2,9 +2,9 @@
 //! to Theorem 4.2.
 //!
 //! Deciding `Q1 ⊑_B Q2` is a long-standing open problem (not even known
-//! decidable; undecidable with inequalities [18]). The paper re-proves,
+//! decidable; undecidable with inequalities \[18\]). The paper re-proves,
 //! adapted to its setting (Appendix D's Lemma D.1), the necessary
-//! condition of Chaudhuri & Vardi [4]:
+//! condition of Chaudhuri & Vardi \[4\]:
 //!
 //! > `Q1 ⊑_B Q2` only if, for each predicate used in `Q1`, `Q2` has at
 //! > least as many subgoals with this predicate as `Q1` does —
@@ -34,7 +34,7 @@ pub enum BagContainment {
     Unknown,
 }
 
-/// The per-predicate subgoal-count necessary condition of [4] (proved in
+/// The per-predicate subgoal-count necessary condition of \[4\] (proved in
 /// the paper's Appendix D): `Q1 ⊑_B Q2` requires
 /// `count_p(Q2) ≥ count_p(Q1)` for every predicate `p` of `Q1`.
 pub fn subgoal_count_condition(q1: &CqQuery, q2: &CqQuery) -> bool {
@@ -60,20 +60,28 @@ pub fn subgoal_count_condition_with_schema(q1: &CqQuery, q2: &CqQuery, schema: &
 /// qualifies, as does `Q2 = Q1 ∧ extra atoms` (more subgoals only raise
 /// multiplicities).
 pub fn onto_containment_mapping_exists(q1: &CqQuery, q2: &CqQuery) -> bool {
+    onto_containment_mapping(q1, q2).is_some()
+}
+
+/// [`onto_containment_mapping_exists`], returning the witnessing
+/// substitution (a containment mapping from `q2` to `q1` under which
+/// `q2`'s body covers `q1`'s as a multiset). The witness certifies
+/// `q1 ⊑_B q2` and can be replayed with [`is_multiset_onto_mapping`].
+pub fn onto_containment_mapping(q1: &CqQuery, q2: &CqQuery) -> Option<Subst> {
     if q1.head.len() != q2.head.len() {
-        return false;
+        return None;
     }
     let mut seed = Subst::new();
     for (t2, t1) in q2.head.iter().zip(q1.head.iter()) {
         match t2 {
             eqsql_cq::Term::Const(c) => {
                 if *t1 != eqsql_cq::Term::Const(*c) {
-                    return false;
+                    return None;
                 }
             }
             eqsql_cq::Term::Var(v) => {
                 if !seed.bind(*v, *t1) {
-                    return false;
+                    return None;
                 }
             }
         }
@@ -85,17 +93,42 @@ pub fn onto_containment_mapping_exists(q1: &CqQuery, q2: &CqQuery) -> bool {
     let head_vars: Vec<eqsql_cq::Var> = q2.head.iter().filter_map(eqsql_cq::Term::as_var).collect();
     let plan = MatchPlan::optimized(&q2.body, &head_vars);
     let buckets = bucket_atoms(&q1.body);
-    let mut covered = false;
+    let mut witness: Option<Subst> = None;
     plan.search(Target::new(&q1.body, &buckets), &Seed::Subst(&seed), &mut |m| {
+        // The head-seeded plan search only emits containment mappings, so
+        // the loop checks nothing but the multiset-cover property; the
+        // full mapping validity is re-checked only by external replays
+        // ([`is_multiset_onto_mapping`]).
         let image: Vec<_> = q2.body.iter().map(|a| m.apply_atom(a)).collect();
-        covered = q1.body.iter().all(|atom| {
+        let covered = q1.body.iter().all(|atom| {
             let need = q1.body.iter().filter(|a| *a == atom).count();
             let have = image.iter().filter(|a| *a == atom).count();
             have >= need
         });
-        !covered // stop at the first multiset-onto mapping
+        if covered {
+            witness = Some(m.to_subst());
+            false // stop at the first multiset-onto mapping
+        } else {
+            true
+        }
     });
-    covered
+    witness
+}
+
+/// Certificate replay for [`onto_containment_mapping`]: is `h` a
+/// containment mapping from `q2` to `q1` whose image covers `q1`'s body as
+/// a multiset (every `q1` atom is hit at least as often as its own
+/// multiplicity)?
+pub fn is_multiset_onto_mapping(q1: &CqQuery, q2: &CqQuery, h: &Subst) -> bool {
+    if !eqsql_cq::is_containment_mapping(q2, q1, h) {
+        return false;
+    }
+    let image: Vec<_> = q2.body.iter().map(|a| h.apply_atom(a)).collect();
+    q1.body.iter().all(|atom| {
+        let need = q1.body.iter().filter(|a| *a == atom).count();
+        let have = image.iter().filter(|a| *a == atom).count();
+        have >= need
+    })
 }
 
 /// A bounded falsifier: evaluates both queries under bag semantics on

@@ -1,6 +1,6 @@
 //! The Chase & Backchase family (Appendix A and §6.3 of the paper).
 //!
-//! `C&B` (Deutsch, Popa & Tannen [11]) finds all Σ-minimal conjunctive
+//! `C&B` (Deutsch, Popa & Tannen \[11\]) finds all Σ-minimal conjunctive
 //! reformulations of a CQ query under set semantics: chase the query to its
 //! **universal plan** `U = (Q)_{Σ,S}`, then *backchase* — test every
 //! subquery of `U` for Σ-equivalence with `Q`.
@@ -87,6 +87,12 @@ pub struct CnbResult {
 
 /// Runs C&B / Bag-C&B / Bag-Set-C&B depending on `sem` (Appendix A;
 /// §6.3; Theorems A.1, 6.4, K.1).
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `eqsql_service::Solver` and decide `Request::Reformulate` — \
+            the Solver shares one chase cache across the whole backchase; \
+            the parameterized engine entry point is `cnb_via`"
+)]
 pub fn cnb(
     sem: Semantics,
     q: &CqQuery,
@@ -192,6 +198,10 @@ pub fn head_is_all_vars(q: &CqQuery) -> bool {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated convenience entry points stay the differential oracle
+    // for the Solver suite; their own unit tests keep exercising them.
+    #![allow(deprecated)]
+
     use super::*;
     use eqsql_cq::parse_query;
     use eqsql_deps::parse_dependencies;

@@ -22,7 +22,7 @@
 //! found among the candidates", not a proof of equivalence.
 
 use eqsql_chase::instance::chase_database;
-use eqsql_chase::{set_chase, ChaseConfig};
+use eqsql_chase::ChaseConfig;
 use eqsql_cq::{CqQuery, Predicate};
 use eqsql_deps::satisfaction::db_satisfies_all;
 use eqsql_deps::DependencySet;
@@ -85,12 +85,33 @@ pub fn separating_database(
     schema: &Schema,
     config: &ChaseConfig,
 ) -> Option<Database> {
+    separating_database_via(&crate::sigma_equiv::DirectChaser, sem, q1, q2, sigma, schema, config)
+}
+
+/// [`separating_database`] with the *query* chases (candidate family 1)
+/// routed through `chaser`, so a memoizing chaser — the `eqsql_service`
+/// cache, which has almost always just chased both queries to reach the
+/// negative verdict this search is decorating — serves them for free. The
+/// instance-repair chases of families 3–4 are database-level and not
+/// cacheable through this interface.
+pub fn separating_database_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
+    chaser: &C,
+    sem: Semantics,
+    q1: &CqQuery,
+    q2: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    config: &ChaseConfig,
+) -> Option<Database> {
     let mut candidates: Vec<Database> = Vec::new();
 
-    // (1) Canonical databases of the chased queries.
+    // (1) Canonical databases of the chased queries. The set-semantics
+    // chase is the right one regardless of `sem`: it produces the most
+    // saturated canonical databases, and every candidate is re-verified
+    // against Σ and the semantics' set-valuedness rules before use.
     let mut chased: Vec<CqQuery> = Vec::new();
     for q in [q1, q2] {
-        if let Ok(c) = set_chase(q, sigma, config) {
+        if let Ok(c) = chaser.sound_chase(Semantics::Set, q, sigma, schema, config) {
             if !c.failed {
                 let frozen = canonical_database(&c.query, 0);
                 candidates.push(frozen.db);

@@ -4,7 +4,7 @@ use eqsql_cq::iso::dedup_set_valued;
 use eqsql_cq::{are_isomorphic, canonical_representation, containment_mapping, CqQuery};
 use eqsql_relalg::Schema;
 
-/// `q1 ⊑_S q2`: is `q1` set-contained in `q2`? By Chandra–Merlin [2], iff
+/// `q1 ⊑_S q2`: is `q1` set-contained in `q2`? By Chandra–Merlin \[2\], iff
 /// a containment mapping from `q2` to `q1` exists.
 pub fn set_contained(q1: &CqQuery, q2: &CqQuery) -> bool {
     containment_mapping(q2, q1).is_some()
@@ -17,13 +17,13 @@ pub fn set_equivalent(q1: &CqQuery, q2: &CqQuery) -> bool {
 
 /// `q1 ≡_B q2`: bag equivalence in the absence of dependencies —
 /// isomorphism of the queries, bodies compared as multisets
-/// (Theorem 2.1(1), [4]).
+/// (Theorem 2.1(1), \[4\]).
 pub fn bag_equivalent(q1: &CqQuery, q2: &CqQuery) -> bool {
     are_isomorphic(q1, q2)
 }
 
 /// `q1 ≡_BS q2`: bag-set equivalence — isomorphism of the canonical
-/// representations (Theorem 2.1(2), [4]).
+/// representations (Theorem 2.1(2), \[4\]).
 pub fn bag_set_equivalent(q1: &CqQuery, q2: &CqQuery) -> bool {
     are_isomorphic(&canonical_representation(q1), &canonical_representation(q2))
 }

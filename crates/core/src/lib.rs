@@ -5,8 +5,8 @@
 //! substrates:
 //!
 //! * **dependency-free equivalence tests** ([`equiv`]): Chandra–Merlin set
-//!   containment/equivalence [2], the bag (≅) and bag-set (canonical ≅)
-//!   tests of Chaudhuri & Vardi [4] (Theorem 2.1), and the paper's
+//!   containment/equivalence \[2\], the bag (≅) and bag-set (canonical ≅)
+//!   tests of Chaudhuri & Vardi \[4\] (Theorem 2.1), and the paper's
 //!   *extended* bag test for schemas with set-enforced relations
 //!   (Theorem 4.2);
 //! * **Σ-equivalence tests** ([`sigma_equiv`]): Theorem 2.2 for set
@@ -15,7 +15,7 @@
 //! * **aggregate-query equivalence** ([`aggregate`]): Theorems 2.3/6.3;
 //! * **Σ-minimality** (Definition 3.1) and set-semantics query
 //!   minimization ([`minimality`]);
-//! * the **Chase & Backchase family** ([`cnb`]): `C&B` (Appendix A),
+//! * the **Chase & Backchase family** ([`mod@cnb`]): `C&B` (Appendix A),
 //!   `Bag-C&B`, `Bag-Set-C&B`, `Max-Min-C&B`, `Sum-Count-C&B` (§6.3) —
 //!   sound and complete whenever set-chase terminates (Theorems 6.4, K.1,
 //!   K.2);
@@ -38,14 +38,22 @@ pub mod problem;
 pub mod sigma_equiv;
 pub mod views;
 
-pub use cnb::{cnb, cnb_via, CnbOptions, CnbResult};
+#[allow(deprecated)]
+pub use cnb::cnb;
+pub use cnb::{cnb_via, CnbError, CnbOptions, CnbResult};
 pub use eqsql_relalg::Semantics;
 pub use equiv::{
     bag_equivalent, bag_equivalent_with_set_relations, bag_set_equivalent, set_contained,
     set_equivalent,
 };
+#[allow(deprecated)]
+pub use minimality::is_sigma_minimal;
+pub use minimality::{
+    core_of, is_sigma_minimal_via, sigma_minimality_witness_via, MinimalityWitness,
+};
 pub use problem::{ReformulationProblem, Solutions};
+#[allow(deprecated)]
+pub use sigma_equiv::{sigma_equivalent, sigma_set_contained};
 pub use sigma_equiv::{
-    sigma_equivalent, sigma_equivalent_via, sigma_set_contained, sigma_set_contained_via,
-    DirectChaser, EquivOutcome, SoundChaser,
+    sigma_equivalent_via, sigma_set_contained_via, DirectChaser, EquivOutcome, SoundChaser,
 };

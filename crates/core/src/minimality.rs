@@ -1,7 +1,7 @@
 //! Query minimization and Σ-minimality (Definition 3.1 of the paper).
 //!
 //! * [`core_of`] computes the core of a CQ query — the classical
-//!   dependency-free minimization of Chandra & Merlin [2]: remove body
+//!   dependency-free minimization of Chandra & Merlin \[2\]: remove body
 //!   atoms while a containment mapping back into the smaller query exists.
 //! * [`is_sigma_minimal`] decides Definition 3.1: `Q` is Σ-minimal if
 //!   there are **no** `S1` (obtained from `Q` by replacing zero or more
@@ -145,7 +145,26 @@ fn drop_sets(n: usize) -> Vec<Vec<usize>> {
     }
 }
 
+/// A witness of non-Σ-minimality (Definition 3.1): the intermediate query
+/// `S1` (variables of `q` identified) and the strictly smaller `S2`
+/// (atoms of `S1` dropped), both Σ-equivalent to `q` under the semantics
+/// the search ran at. Evidence consumers replay the equivalence
+/// `S2 ≡_{Σ,sem} q` to confirm the verdict.
+#[derive(Clone, Debug)]
+pub struct MinimalityWitness {
+    /// `q` with zero or more variables replaced by other variables of `q`.
+    pub identified: CqQuery,
+    /// `identified` with at least one atom dropped — still Σ-equivalent
+    /// to `q`, proving `q` is not Σ-minimal.
+    pub reduced: CqQuery,
+}
+
 /// Is `q` Σ-minimal (Definition 3.1) under the given semantics?
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `eqsql_service::Solver` and decide `Request::Minimal`; \
+            the parameterized engine entry point is `sigma_minimality_witness_via`"
+)]
 pub fn is_sigma_minimal(
     q: &CqQuery,
     sigma: &DependencySet,
@@ -156,9 +175,8 @@ pub fn is_sigma_minimal(
     is_sigma_minimal_via(&crate::sigma_equiv::DirectChaser, q, sigma, schema, sem, config)
 }
 
-/// [`is_sigma_minimal`] with the underlying equivalence chases routed
-/// through `chaser`. The minimality search re-chases `q` once per
-/// candidate, so a memoizing chaser collapses that to a single chase.
+/// [`sigma_minimality_witness_via`] reduced to a boolean: `true` iff no
+/// witness of non-minimality exists.
 pub fn is_sigma_minimal_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
     chaser: &C,
     q: &CqQuery,
@@ -167,6 +185,22 @@ pub fn is_sigma_minimal_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
     sem: Semantics,
     config: &ChaseConfig,
 ) -> Result<bool, ChaseError> {
+    Ok(sigma_minimality_witness_via(chaser, q, sigma, schema, sem, config)?.is_none())
+}
+
+/// The Σ-minimality search of Definition 3.1, returning evidence: `None`
+/// means `q` is Σ-minimal; `Some(witness)` carries the identification
+/// step `S1` and the reduced query `S2 ≡_{Σ,sem} q` that disprove
+/// minimality. The search re-chases `q` once per candidate, so a
+/// memoizing chaser collapses that to a single chase.
+pub fn sigma_minimality_witness_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
+    chaser: &C,
+    q: &CqQuery,
+    sigma: &DependencySet,
+    schema: &Schema,
+    sem: Semantics,
+    config: &ChaseConfig,
+) -> Result<Option<MinimalityWitness>, ChaseError> {
     for subst in candidate_substitutions(q) {
         let s1 = q.apply(&subst);
         match sigma_equivalent_via(chaser, sem, &s1, q, sigma, schema, config) {
@@ -184,17 +218,23 @@ pub fn is_sigma_minimal_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
                 continue;
             }
             match sigma_equivalent_via(chaser, sem, &s2, q, sigma, schema, config) {
-                EquivOutcome::Equivalent => return Ok(false),
+                EquivOutcome::Equivalent => {
+                    return Ok(Some(MinimalityWitness { identified: s1, reduced: s2 }));
+                }
                 EquivOutcome::NotEquivalent => {}
                 EquivOutcome::Unknown(e) => return Err(e),
             }
         }
     }
-    Ok(true)
+    Ok(None)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated convenience entry points stay the differential oracle
+    // for the Solver suite; their own unit tests keep exercising them.
+    #![allow(deprecated)]
+
     use super::*;
     use eqsql_cq::{are_isomorphic, parse_query};
     use eqsql_deps::parse_dependencies;

@@ -8,7 +8,8 @@
 //! `Max-Min-C&B`/`Sum-Count-C&B` (§6.3).
 
 use crate::aggregate::{max_min_cnb, sum_count_cnb, AggCnbResult};
-use crate::cnb::{cnb, CnbError, CnbOptions, CnbResult};
+use crate::cnb::{cnb_via, CnbError, CnbOptions, CnbResult};
+use crate::sigma_equiv::DirectChaser;
 use eqsql_chase::ChaseConfig;
 use eqsql_cq::{AggFn, AggregateQuery, CqQuery};
 use eqsql_deps::DependencySet;
@@ -113,7 +114,8 @@ impl ReformulationProblem {
     /// K.1, K.2).
     pub fn solve(&self) -> Result<Solutions, CnbError> {
         match &self.query {
-            InputQuery::Cq(q) => Ok(Solutions::Cq(cnb(
+            InputQuery::Cq(q) => Ok(Solutions::Cq(cnb_via(
+                &DirectChaser,
                 self.semantics,
                 q,
                 &self.sigma,

@@ -1,7 +1,7 @@
 //! Equivalence of CQ queries in the presence of embedded dependencies —
 //! the paper's headline tests.
 //!
-//! * Set semantics (Theorem 2.2, folklore from [1, 9, 10]):
+//! * Set semantics (Theorem 2.2, folklore from \[1, 9, 10\]):
 //!   `Q1 ≡_{Σ,S} Q2` iff `(Q1)_{Σ,S} ≡_S (Q2)_{Σ,S}`.
 //! * Bag semantics (**Theorem 6.1**): `Q1 ≡_{Σ,B} Q2` iff
 //!   `(Q1)_{Σ,B} ≡_B (Q2)_{Σ,B}` in the absence of all dependencies other
@@ -109,11 +109,18 @@ impl EquivOutcome {
 /// let q1 = parse_query("q(X) :- a(X)").unwrap();
 /// let q2 = parse_query("q(X) :- a(X), b(X,W)").unwrap();
 /// for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
+///     # #[allow(deprecated)]
 ///     let v = sigma_equivalent(sem, &q1, &q2, &sigma, &schema,
 ///                              &ChaseConfig::default());
 ///     assert!(v.is_equivalent());
 /// }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `eqsql_service::Solver` and decide `Request::Equivalent` — \
+            verdicts come back with machine-checkable evidence; \
+            the parameterized engine entry point is `sigma_equivalent_via`"
+)]
 pub fn sigma_equivalent(
     sem: Semantics,
     q1: &CqQuery,
@@ -164,6 +171,11 @@ pub fn sigma_equivalent_via<C: SoundChaser + ?Sized>(
 
 /// `Q1 ⊑_{Σ,S} Q2` — set containment under dependencies, via chase +
 /// Chandra–Merlin on the results.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `eqsql_service::Solver` and decide `Request::Contained`; \
+            the parameterized engine entry point is `sigma_set_contained_via`"
+)]
 pub fn sigma_set_contained(
     q1: &CqQuery,
     q2: &CqQuery,
@@ -200,6 +212,10 @@ pub fn sigma_set_contained_via<C: SoundChaser + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated convenience entry points stay the differential oracle
+    // for the Solver suite; their own unit tests keep exercising them.
+    #![allow(deprecated)]
+
     use super::*;
     use eqsql_cq::parse_query;
     use eqsql_deps::parse_dependencies;

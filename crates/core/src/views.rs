@@ -1,11 +1,11 @@
 //! Rewriting queries using views under embedded dependencies — the
-//! application the paper is built for (§1, §7; the C&B of [11] is
-//! view-based, and [9] treats materialized views under bag semantics).
+//! application the paper is built for (§1, §7; the C&B of \[11\] is
+//! view-based, and \[9\] treats materialized views under bag semantics).
 //!
 //! A **rewriting** of `Q` is a query over view predicates (and optionally
 //! base predicates). Its **expansion** replaces every view atom by the
 //! view's body, existential variables freshened per occurrence — the
-//! standard unfolding of [17, 23]. The equivalence test for a candidate
+//! standard unfolding of \[17, 23\]. The equivalence test for a candidate
 //! rewriting `R` is then simply `expand(R) ≡_{Σ,X} Q` with the matching
 //! Σ-equivalence test of this crate (Theorems 2.2/6.1/6.2):
 //!
@@ -22,9 +22,9 @@
 //! candidate building blocks; subqueries over view atoms are tested via
 //! expansion. Completeness for the bag-like semantics follows from
 //! Proposition 6.1's hierarchy: every ≡_{Σ,B} (or ≡_{Σ,BS}) rewriting is
-//! also ≡_{Σ,S}, and the set-semantics enumeration is complete [11].
+//! also ≡_{Σ,S}, and the set-semantics enumeration is complete \[11\].
 
-use crate::sigma_equiv::{sigma_equivalent, EquivOutcome};
+use crate::sigma_equiv::{sigma_equivalent_via, DirectChaser, EquivOutcome};
 use eqsql_chase::{set_chase, ChaseConfig, ChaseError};
 use eqsql_cq::{are_isomorphic, Atom, CqQuery, Predicate, Subst, Term, VarSupply};
 use eqsql_deps::{DependencySet, Tgd};
@@ -203,7 +203,7 @@ pub fn is_equivalent_rewriting(
     config: &ChaseConfig,
 ) -> Result<EquivOutcome, ViewError> {
     let expanded = expand(rewriting, views)?;
-    Ok(sigma_equivalent(sem, &expanded, q, sigma, schema, config))
+    Ok(sigma_equivalent_via(&DirectChaser, sem, &expanded, q, sigma, schema, config))
 }
 
 /// Result of a rewriting search.

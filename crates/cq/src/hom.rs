@@ -1,5 +1,5 @@
 //! Homomorphisms between conjunctions of atoms and containment mappings
-//! between conjunctive queries (Chandra–Merlin [2]).
+//! between conjunctive queries (Chandra–Merlin \[2\]).
 //!
 //! A homomorphism from conjunction `φ(U)` to conjunction `ψ(V)` maps the
 //! variables of `φ` to terms of `ψ` such that constants are fixed and every
@@ -12,7 +12,7 @@
 //! build preserve the source atom order, so emission order (and therefore
 //! every "first homomorphism" choice) is identical to the historical naive
 //! backtracker, which survives as [`crate::matcher::reference`]. Callers
-//! with a hot loop should compile a [`MatchPlan`](crate::matcher::MatchPlan)
+//! with a hot loop should compile a [`MatchPlan`]
 //! once and search it directly instead of paying the per-call compile here.
 
 use crate::atom::Atom;
@@ -163,6 +163,26 @@ pub fn containment_mapping(from: &CqQuery, to: &CqQuery) -> Option<Subst> {
     plan.first_match(Target::new(&to.body, &buckets), &Seed::Subst(&seed))
 }
 
+/// Checks that `h` really is a containment mapping from `from` to `to`:
+/// every head term of `from` maps onto the corresponding head term of `to`
+/// and every body atom of `from` lands (under `h`) on some body atom of
+/// `to`. Constants are fixed by construction ([`Subst`] maps variables
+/// only).
+///
+/// This is the *certificate replay* half of [`containment_mapping`]: a
+/// caller handed a witnessing substitution (e.g. out of a cached or
+/// serialized verdict) can confirm it against the queries without trusting
+/// the search that produced it.
+pub fn is_containment_mapping(from: &CqQuery, to: &CqQuery, h: &Subst) -> bool {
+    if from.head.len() != to.head.len() {
+        return false;
+    }
+    if from.head.iter().zip(to.head.iter()).any(|(f, t)| h.apply_term(f) != *t) {
+        return false;
+    }
+    from.body.iter().all(|a| to.body.contains(&h.apply_atom(a)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +280,21 @@ mod tests {
         assert!(containment_mapping(&q1, &q2).is_some());
         let q3 = q("q(5) :- p(5,4)");
         assert!(containment_mapping(&q1, &q3).is_none());
+    }
+
+    #[test]
+    fn containment_mapping_witness_replays() {
+        let q1 = q("q(X) :- p(X,Y)");
+        let q2 = q("q(X) :- p(X,X)");
+        let h = containment_mapping(&q1, &q2).unwrap();
+        assert!(is_containment_mapping(&q1, &q2, &h));
+        // A corrupted witness is rejected.
+        let mut bad = Subst::new();
+        bad.set(crate::term::Var::new("X"), Term::var("Y"));
+        assert!(!is_containment_mapping(&q1, &q2, &bad));
+        // The empty substitution is not a containment mapping here either:
+        // p(X,Y) is not an atom of q2.
+        assert!(!is_containment_mapping(&q1, &q2, &Subst::new()));
     }
 
     #[test]

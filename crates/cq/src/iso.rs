@@ -1,6 +1,6 @@
 //! Query isomorphism and canonical representations.
 //!
-//! Theorem 2.1 of the paper (due to Chaudhuri & Vardi [4]):
+//! Theorem 2.1 of the paper (due to Chaudhuri & Vardi \[4\]):
 //!
 //! 1. `Q ≡_B Q'` iff `Q` and `Q'` are **isomorphic** — there is a bijective
 //!    variable renaming carrying the head of `Q` onto the head of `Q'` and
@@ -48,6 +48,41 @@ pub fn find_isomorphism(q1: &CqQuery, q2: &CqQuery) -> Option<HashMap<Var, Var>>
         return None;
     }
     crate::matcher::find_bijection(&q1.body, &q1.head, &q2.body, &q2.head)
+}
+
+/// Checks that `map` really is an isomorphism witness from `q1` onto `q2`:
+/// total on `q1`'s variables, injective, image inside `q2`'s variables, and
+/// applying it carries `q1`'s head onto `q2`'s head position by position
+/// and `q1`'s body onto `q2`'s body as a multiset. The certificate-replay
+/// counterpart of [`find_isomorphism`] — together with the size check this
+/// implies the map is a genuine bijection between the variable sets.
+pub fn is_isomorphism(q1: &CqQuery, q2: &CqQuery, map: &HashMap<Var, Var>) -> bool {
+    let vars1 = q1.all_vars();
+    if map.len() != vars1.len() || vars1.iter().any(|v| !map.contains_key(v)) {
+        return false;
+    }
+    let image: std::collections::HashSet<Var> = map.values().copied().collect();
+    let vars2: std::collections::HashSet<Var> = q2.all_vars().into_iter().collect();
+    if image.len() != map.len() || image != vars2 {
+        return false;
+    }
+    let s =
+        crate::subst::Subst::from_pairs(map.iter().map(|(v, w)| (*v, crate::term::Term::Var(*w))));
+    let mapped = q1.apply(&s);
+    if mapped.head != q2.head || mapped.body.len() != q2.body.len() {
+        return false;
+    }
+    // Multiset equality of the bodies.
+    let mut remaining: Vec<&Atom> = q2.body.iter().collect();
+    for a in &mapped.body {
+        match remaining.iter().position(|b| *b == a) {
+            Some(i) => {
+                remaining.swap_remove(i);
+            }
+            None => return false,
+        }
+    }
+    true
 }
 
 /// The canonical representation `Q_c` of `Q`: all duplicate body atoms
@@ -166,6 +201,27 @@ mod tests {
         let s = crate::subst::Subst::from_pairs(m.iter().map(|(v, w)| (*v, Term::Var(*w))));
         assert!(are_isomorphic(&a.apply(&s), &b));
         assert!(find_isomorphism(&a, &q("q(X) :- p(X,Y), p(Y,Z)")).is_none());
+    }
+
+    #[test]
+    fn isomorphism_witness_replays() {
+        let a = q("q(X) :- p(X,Y), s(Y,Z)");
+        let b = q("q(A) :- s(B,C), p(A,B)");
+        let m = find_isomorphism(&a, &b).unwrap();
+        assert!(is_isomorphism(&a, &b, &m));
+        // Swapping two images breaks the witness.
+        let mut bad = m.clone();
+        let keys: Vec<Var> = bad.keys().copied().collect();
+        let (v0, v1) = (keys[0], keys[1]);
+        let (w0, w1) = (bad[&v0], bad[&v1]);
+        bad.insert(v0, w1);
+        bad.insert(v1, w0);
+        assert!(!is_isomorphism(&a, &b, &bad));
+        // A partial map is rejected outright.
+        let mut partial = m;
+        let some_key = *partial.keys().next().unwrap();
+        partial.remove(&some_key);
+        assert!(!is_isomorphism(&a, &b, &partial));
     }
 
     #[test]

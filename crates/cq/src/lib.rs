@@ -45,9 +45,9 @@ pub use atom::{Atom, Predicate};
 pub use hom::{
     bucket_atoms, containment_mapping, enumerate_homomorphisms, extend_homomorphism,
     extend_homomorphism_with_buckets, find_homomorphism, find_homomorphism_where,
-    search_homomorphisms, Buckets, HomEnumeration,
+    is_containment_mapping, search_homomorphisms, Buckets, HomEnumeration,
 };
-pub use iso::{are_isomorphic, canonical_representation, find_isomorphism};
+pub use iso::{are_isomorphic, canonical_representation, find_isomorphism, is_isomorphism};
 pub use matcher::{DeltaSlots, Match, MatchPlan, Seed, Target};
 pub use parser::{parse_program, parse_query, ParseError};
 pub use query::{CqQuery, VarSupply};

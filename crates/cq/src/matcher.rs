@@ -16,11 +16,11 @@
 //!
 //! * every source variable is numbered into a **dense slot** (`u32`), in
 //!   first-occurrence order along the plan;
-//! * every atom becomes a [`PlanStep`]: its predicate/arity key plus one
+//! * every atom becomes a `PlanStep`: its predicate/arity key plus one
 //!   `ArgOp` per argument — `Const(t)` (target argument must equal `t`) or
 //!   `Slot(s)` (bind or compare slot `s`);
 //! * `new` keeps the original atom order, so the emission sequence is
-//!   bit-identical to the naive backtracker's ([`reference`]) — required
+//!   bit-identical to the naive backtracker's ([`mod@reference`]) — required
 //!   wherever "the first homomorphism" is semantically load-bearing (the
 //!   chase engine's firing order); `optimized` greedily reorders atoms by
 //!   selectivity and connectivity (constants and already-bound slots
@@ -34,7 +34,7 @@
 //!
 //! ## Trail invariants
 //!
-//! A search runs on a [`Frame`]: a slot array plus an **undo trail**.
+//! A search runs on a `Frame`: a slot array plus an **undo trail**.
 //! Binding a slot pushes its index on the trail; backtracking pops the
 //! trail back to the entry mark. No per-candidate or per-emission
 //! `HashMap` clone ever happens; a complete match is read directly off
@@ -75,7 +75,7 @@
 //! predicates — the sound chase's assignment-fixing test of Example 5.1 —
 //! close over mutable state and keep the sequential path.)
 //!
-//! The naive backtracker survives unchanged as [`reference`], the
+//! The naive backtracker survives unchanged as [`mod@reference`], the
 //! differential-testing oracle (`tests/tests/matcher_differential.rs`).
 
 use crate::atom::{Atom, Predicate};
@@ -206,7 +206,7 @@ impl MatchPlan {
 
 impl MatchPlan {
     /// Compiles `src` keeping the original atom order. Emission order is
-    /// identical to the naive backtracker's ([`reference`]): use this
+    /// identical to the naive backtracker's ([`mod@reference`]): use this
     /// wherever "first match" must agree with the historical semantics.
     pub fn new(src: &[Atom]) -> MatchPlan {
         MatchPlan::compile(src, (0..src.len()).collect())

@@ -1,6 +1,6 @@
 //! Logical implication of dependencies, decided by the chase.
 //!
-//! The classical procedure ([1], ch. 8–10): to decide `Σ ⊨ σ`, freeze σ's
+//! The classical procedure (\[1\], ch. 8–10): to decide `Σ ⊨ σ`, freeze σ's
 //! premise into a canonical query, chase it with Σ, and check that σ's
 //! conclusion holds in the result — an existential witness for a tgd, the
 //! equated terms actually merged for an egd. Sound and complete whenever

@@ -10,7 +10,7 @@
 //! existentially quantified (the usual convention). A right-hand side that
 //! is a conjunction of equations is split into one egd per equation —
 //! mixing atoms and equations on the right is rejected; normalize such
-//! dependencies into tgds + egds first (always possible, [1]).
+//! dependencies into tgds + egds first (always possible, \[1\]).
 
 use crate::dependency::{Dependency, DependencySet, Egd, Tgd};
 use eqsql_cq::lex::Token;

@@ -1,5 +1,5 @@
 //! Weak acyclicity of dependency sets (Definition H.1, after Fagin et al.
-//! [14]).
+//! \[14\]).
 //!
 //! Build the *dependency graph* whose nodes are positions `(R, i)`: for
 //! every tgd and every universally quantified variable `X` occurring in the

@@ -103,7 +103,7 @@ impl Polynomial {
     }
 
     /// Evaluates the polynomial by substituting `valuation(x)` for each
-    /// indeterminate — the specialization homomorphism ℕ[X] → ℕ.
+    /// indeterminate — the specialization homomorphism ℕ\[X\] → ℕ.
     pub fn evaluate(&self, valuation: impl Fn(&TupleId) -> u64) -> u64 {
         self.0
             .iter()

@@ -1,23 +1,24 @@
-//! Batched Σ-equivalence sessions.
+//! Batched Σ-equivalence sessions — the legacy pairwise API, now a thin
+//! veneer over [`Solver`].
 //!
-//! Real consumers of an equivalence oracle — rewrite validators, view
-//! selectors, the C&B backchase itself — issue *streams* of query pairs
-//! over one fixed Σ. [`BatchSession`] makes that stream the serving unit:
-//! Σ is regularized once, every chase is routed through a shared
-//! [`ChaseCache`], and the pairs of a batch are dispatched across a pool
-//! of worker threads (the per-pair decisions are independent; the cache is
-//! the only shared state and is sharded for exactly this access pattern).
+//! [`BatchSession`] predates the Solver and keeps its shape for existing
+//! callers: one Σ, many `(Q1, Q2, semantics)` pairs, per-pair
+//! [`EquivOutcome`] verdicts and batch statistics. Internally every pair
+//! is a [`Request::Equivalent`] decided by a Solver built without
+//! counterexample search (the boolean surface of this API cannot carry a
+//! witness, so there is no point paying for one). New code should use the
+//! Solver directly — its verdicts carry evidence and its request family
+//! covers far more than pairwise equivalence.
 
 use crate::cache::ChaseCache;
-use crate::canon::ChaseContext;
-use eqsql_chase::{ChaseConfig, ChaseError, SoundChased};
-use eqsql_core::{sigma_equivalent_via, EquivOutcome, SoundChaser};
+use crate::solver::{Answer, Request, RequestOpts, Solver};
+use eqsql_chase::{ChaseConfig, ChaseError};
+use eqsql_core::EquivOutcome;
 use eqsql_cq::CqQuery;
-use eqsql_deps::{regularize_set, DependencySet};
+use eqsql_deps::DependencySet;
 use eqsql_relalg::{Schema, Semantics};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One Σ-equivalence question: is `q1 ≡_{Σ,sem} q2`?
 #[derive(Clone, Debug)]
@@ -67,136 +68,75 @@ pub struct BatchOutcome {
 /// — a long-running server keeps one cache and opens a session per
 /// request batch.
 pub struct BatchSession {
-    sigma: DependencySet,
-    schema: Schema,
-    config: ChaseConfig,
-    cache: Arc<ChaseCache>,
-    threads: usize,
-    /// Σ regularized once at session construction.
-    sigma_reg: Arc<DependencySet>,
-    /// Context keys precomputed per semantics (Σ is fixed for the whole
-    /// session), indexed Set/Bag/BagSet.
-    ctx: [ChaseContext; 3],
-}
-
-/// The session's [`SoundChaser`]: routes every chase through the shared
-/// cache via the precomputed context fingerprints, so the per-chase cost
-/// of a warm batch is a query fingerprint + one shard probe — Σ is never
-/// re-rendered, re-hashed or re-regularized. Hits and misses are counted
-/// locally: the cache's global counters mix in every concurrent session
-/// sharing it, these are exactly this run's.
-struct SessionChaser<'a> {
-    session: &'a BatchSession,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl SoundChaser for SessionChaser<'_> {
-    fn sound_chase(
-        &self,
-        sem: Semantics,
-        q: &CqQuery,
-        _sigma: &DependencySet,
-        schema: &Schema,
-        config: &ChaseConfig,
-    ) -> Result<SoundChased, ChaseError> {
-        let s = self.session;
-        let ctx = &s.ctx[match sem {
-            Semantics::Set => 0,
-            Semantics::Bag => 1,
-            Semantics::BagSet => 2,
-        }];
-        let (result, hit) = s.cache.chase_keyed_counted(ctx, &s.sigma_reg, sem, q, schema, config);
-        if hit { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
-        result
-    }
+    solver: Solver,
 }
 
 impl BatchSession {
     /// A session over Σ with a fresh default cache and one worker.
     pub fn new(sigma: DependencySet, schema: Schema, config: ChaseConfig) -> BatchSession {
-        // Regularize Σ and build the context keys up front so not even the
-        // first pair pays for either more than once. Both are independent
-        // of the cache handle, so `with_cache` swaps caches for free.
-        let sigma_reg = Arc::new(regularize_set(&sigma));
-        let reg_text: Arc<str> = sigma_reg.to_string().into();
-        let ctx = [Semantics::Set, Semantics::Bag, Semantics::BagSet]
-            .map(|sem| ChaseContext::with_text(sem, Arc::clone(&reg_text), &schema, &config));
         BatchSession {
-            sigma,
-            schema,
-            config,
-            cache: Arc::new(ChaseCache::default()),
-            threads: 1,
-            sigma_reg,
-            ctx,
+            solver: Solver::builder(sigma, schema)
+                .chase_config(config)
+                .counterexamples(false)
+                .build(),
         }
     }
 
     /// Shares an existing cache (e.g. warmed by earlier batches).
     pub fn with_cache(mut self, cache: Arc<ChaseCache>) -> BatchSession {
-        self.cache = cache;
+        self.solver.set_cache(cache);
         self
     }
 
     /// Sets the worker-thread count (clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> BatchSession {
-        self.threads = threads.max(1);
+        self.solver.set_threads(threads);
         self
     }
 
     /// The session's cache handle.
     pub fn cache(&self) -> &Arc<ChaseCache> {
-        &self.cache
+        self.solver.cache()
+    }
+
+    /// The underlying Solver, for callers graduating to the full request
+    /// family on the same Σ/cache.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
     }
 
     /// Decides every pair, returning verdicts in request order.
     ///
-    /// Pairs are pulled from a shared counter by `threads` workers, so a
-    /// batch of heterogeneous pair costs self-balances. Determinism: each
-    /// verdict depends only on its own pair (the cache changes *which*
-    /// computation produced a terminal result, never the result itself), so
-    /// the output is independent of scheduling.
+    /// Pairs are pulled from a shared counter by the configured workers,
+    /// so a batch of heterogeneous pair costs self-balances. Determinism:
+    /// each verdict depends only on its own pair (the cache changes
+    /// *which* computation produced a terminal result, never the result
+    /// itself), so the output is independent of scheduling.
     pub fn run(&self, pairs: &[EquivRequest]) -> BatchOutcome {
-        let start = Instant::now();
-        let verdicts: Vec<OnceLock<EquivOutcome>> =
-            (0..pairs.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(pairs.len()).max(1);
-        let chaser =
-            SessionChaser { session: self, hits: AtomicU64::new(0), misses: AtomicU64::new(0) };
-        let decide = |i: usize| {
-            let p = &pairs[i];
-            sigma_equivalent_via(
-                &chaser,
-                p.sem,
-                &p.q1,
-                &p.q2,
-                &self.sigma,
-                &self.schema,
-                &self.config,
-            )
-        };
-        if workers == 1 {
-            for (i, slot) in verdicts.iter().enumerate() {
-                let _ = slot.set(decide(i));
-            }
-        } else {
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= pairs.len() {
-                            break;
-                        }
-                        let _ = verdicts[i].set(decide(i));
-                    });
-                }
-            });
-        }
-        let verdicts: Vec<EquivOutcome> = verdicts
+        let requests: Vec<Request> = pairs
+            .iter()
+            .map(|p| Request::Equivalent {
+                q1: p.q1.clone(),
+                q2: p.q2.clone(),
+                opts: RequestOpts::with_sem(p.sem),
+            })
+            .collect();
+        let report = self.solver.decide_all(&requests);
+        let verdicts: Vec<EquivOutcome> = report
+            .verdicts
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every pair decided"))
+            .map(|v| match v {
+                Ok(verdict) => match verdict.answer {
+                    Answer::Equivalent { .. } => EquivOutcome::Equivalent,
+                    Answer::NotEquivalent { .. } => EquivOutcome::NotEquivalent,
+                    other => unreachable!("equivalence request answered with {other:?}"),
+                },
+                Err(e) => EquivOutcome::Unknown(e.as_chase_error().unwrap_or(
+                    // Equivalence decisions only raise chase-level errors;
+                    // translate defensively rather than panicking a batch.
+                    ChaseError::BudgetExhausted { steps: 0 },
+                )),
+            })
             .collect();
         let stats = BatchStats {
             pairs: pairs.len(),
@@ -206,10 +146,10 @@ impl BatchSession {
                 .filter(|v| matches!(v, EquivOutcome::NotEquivalent))
                 .count(),
             unknown: verdicts.iter().filter(|v| matches!(v, EquivOutcome::Unknown(_))).count(),
-            cache_hits: chaser.hits.load(Ordering::Relaxed),
-            cache_misses: chaser.misses.load(Ordering::Relaxed),
-            threads: workers,
-            wall: start.elapsed(),
+            cache_hits: report.stats.cache_hits,
+            cache_misses: report.stats.cache_misses,
+            threads: report.threads,
+            wall: report.stats.wall,
         };
         BatchOutcome { verdicts, stats }
     }

@@ -1,16 +1,20 @@
-//! `eqsql-serve` — drive a [`BatchSession`] from a request file.
+//! `eqsql-serve` — drive a [`Solver`] from a request file.
 //!
 //! ```text
 //! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] [--quiet] FILE
 //! ```
 //!
-//! Decides every `pair:` line of FILE (format: `eqsql_service::request`)
-//! over the file's shared Σ and prints one verdict line per pair plus
-//! batch statistics. `--repeat K` re-runs the same batch K times against
-//! the session's (by then warm) cache — the simplest load test: run 1 pays
-//! for the chases, runs 2..K measure the serving path.
+//! Decides every request line of FILE (format: `eqsql_service::request` —
+//! the full verb family: `pair`/`equivalent`, `contains`, `minimal`,
+//! `cnb`, `implies`, with per-request semantics/budget overrides) over
+//! the file's shared Σ and prints one verdict line per request plus batch
+//! statistics. `--repeat K` re-runs the same batch K times against the
+//! solver's (by then warm) cache — the simplest load test: run 1 pays for
+//! the chases, runs 2..K measure the serving path.
 
-use eqsql_service::{parse_request_file, BatchSession, CacheConfig, ChaseCache, EquivRequest};
+use eqsql_service::{
+    parse_request_file, Answer, CacheConfig, ChaseCache, Error, Request, Solver, Verdict,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,12 +69,50 @@ fn parse_args() -> Result<ArgsOutcome, String> {
     Ok(ArgsOutcome::Run(args))
 }
 
-fn verdict_str(v: &eqsql_core::EquivOutcome) -> String {
-    match v {
-        eqsql_core::EquivOutcome::Equivalent => "equivalent".to_string(),
-        eqsql_core::EquivOutcome::NotEquivalent => "not-equivalent".to_string(),
-        eqsql_core::EquivOutcome::Unknown(e) => format!("unknown ({e})"),
-    }
+/// One human-readable line per request/verdict pair.
+fn render(req: &Request, verdict: &Result<Verdict, Error>) -> String {
+    let subject = match req {
+        Request::Equivalent { q1, q2, opts } => {
+            let sem = opts.sem.map(|s| s.to_string()).unwrap_or_else(|| "S".into());
+            format!("[{sem}] {q1}  ≡?  {q2}")
+        }
+        Request::Contained { q1, q2, .. } => format!("[S] {q1}  ⊑?  {q2}"),
+        Request::BagContained { q1, q2, .. } => format!("[B] {q1}  ⊑?  {q2}"),
+        Request::Minimal { q, .. } => format!("minimal? {q}"),
+        Request::Reformulate { q, .. } => format!("cnb {q}"),
+        Request::Implies { dep, .. } => format!("Σ ⊨? {dep}"),
+        Request::ChaseInstance { .. } => "chase-instance".to_string(),
+    };
+    let outcome = match verdict {
+        Err(e) => format!("error ({e})"),
+        Ok(v) => match &v.answer {
+            Answer::Equivalent { .. } => "equivalent".to_string(),
+            Answer::NotEquivalent { counterexample } => format!(
+                "not-equivalent{}",
+                if counterexample.is_some() { " (witness found)" } else { "" }
+            ),
+            Answer::Contained { .. } => "contained".to_string(),
+            Answer::NotContained { .. } => "not-contained".to_string(),
+            Answer::BagContained { .. } => "contained".to_string(),
+            Answer::BagNotContained { .. } => "not-contained".to_string(),
+            Answer::BagContainmentOpen => "open".to_string(),
+            Answer::Minimal => "minimal".to_string(),
+            Answer::NotMinimal { witness } => {
+                format!("not-minimal (reduces to {})", witness.reduced)
+            }
+            Answer::Reformulated { reformulations, candidates_tested, .. } => format!(
+                "{} reformulation(s) from {} candidate(s): {}",
+                reformulations.len(),
+                candidates_tested,
+                reformulations.iter().map(|q| q.to_string()).collect::<Vec<_>>().join("  ;  "),
+            ),
+            Answer::Implied { vacuous: true, .. } => "implied (vacuously)".to_string(),
+            Answer::Implied { .. } => "implied".to_string(),
+            Answer::NotImplied { .. } => "not-implied".to_string(),
+            Answer::ChasedInstance { steps, .. } => format!("repaired in {steps} step(s)"),
+        },
+    };
+    format!("{subject}  →  {outcome}")
 }
 
 fn main() -> ExitCode {
@@ -95,7 +137,7 @@ fn main() -> ExitCode {
     let request = match parse_request_file(&text) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("eqsql-serve: {}: {e}", args.file);
+            eprintln!("eqsql-serve: {}: {}", args.file, Error::from(e));
             return ExitCode::FAILURE;
         }
     };
@@ -103,40 +145,51 @@ fn main() -> ExitCode {
         capacity: args.cache_capacity,
         ..CacheConfig::default()
     }));
-    let session = BatchSession::new(request.sigma, request.schema, request.config)
-        .with_cache(Arc::clone(&cache))
-        .with_threads(args.threads);
+    let solver = Solver::builder(request.sigma, request.schema)
+        .chase_config(request.config)
+        .cache(Arc::clone(&cache))
+        .threads(args.threads)
+        .build();
 
     let start = Instant::now();
     let mut last = None;
     for run in 0..args.repeat {
-        let outcome = session.run(&request.pairs);
+        let report = solver.decide_all(&request.requests);
         if run == 0 && !args.quiet {
-            for (req, verdict) in request.pairs.iter().zip(outcome.verdicts.iter()) {
-                let EquivRequest { sem, q1, q2 } = req;
-                println!("[{sem}] {q1}  ≡?  {q2}  →  {}", verdict_str(verdict));
+            for (req, verdict) in request.requests.iter().zip(report.verdicts.iter()) {
+                println!("{}", render(req, verdict));
             }
         }
-        last = Some(outcome);
+        last = Some(report);
     }
     let total = start.elapsed();
-    let outcome = last.expect("repeat >= 1");
-    let s = outcome.stats;
+    let report = last.expect("repeat >= 1");
+    let positive = report
+        .verdicts
+        .iter()
+        .filter(|v| v.as_ref().map(Verdict::is_positive).unwrap_or(false))
+        .count();
+    let errors = report.verdicts.iter().filter(|v| v.is_err()).count();
+    let other = report.verdicts.len() - positive - errors;
     println!(
-        "batch: {} pairs ({} equivalent, {} not, {} unknown) on {} thread(s)",
-        s.pairs, s.equivalent, s.not_equivalent, s.unknown, s.threads
+        "batch: {} requests ({} positive, {} other, {} errors) on {} thread(s)",
+        report.verdicts.len(),
+        positive,
+        other,
+        errors,
+        report.threads
     );
-    let c = cache.stats();
+    let s = solver.stats();
     println!(
-        "cache: {} hits, {} misses, {} evictions, {} entries resident",
-        c.hits, c.misses, c.evictions, c.entries
+        "cache: {} hits, {} misses, {} evictions, {} entries resident ({} requests, {} batches)",
+        s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries, s.requests, s.batches
     );
     println!(
-        "timing: last run {:?}, {} run(s) total {:?} ({:.1} pairs/s overall)",
-        s.wall,
+        "timing: last run {:?}, {} run(s) total {:?} ({:.1} requests/s overall)",
+        report.stats.wall,
         args.repeat,
         total,
-        (s.pairs * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
+        (report.verdicts.len() * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
     );
     ExitCode::SUCCESS
 }

@@ -36,7 +36,7 @@
 
 use crate::canon::{cache_key, query_fingerprint, ChaseContext};
 use eqsql_chase::set_chase::Chased;
-use eqsql_chase::{sound_chase_prepared, ChaseConfig, ChaseError, SoundChased};
+use eqsql_chase::{sound_chase_prepared_opts, ChaseConfig, ChaseError, EngineOpts, SoundChased};
 use eqsql_core::SoundChaser;
 use eqsql_cq::{find_isomorphism, CqQuery, Subst, Term, Var, VarSupply};
 use eqsql_deps::{regularize_set, DependencySet};
@@ -166,7 +166,7 @@ impl ChaseCache {
     }
 
     /// The regularized form of Σ, computed once per distinct Σ. The memo
-    /// is dropped wholesale past [`SIGMA_MEMO_CAP`] distinct Σs —
+    /// is dropped wholesale past `SIGMA_MEMO_CAP` distinct Σs —
     /// regularization is cheap to redo, unbounded growth in a long-running
     /// server is not.
     pub fn regularized(&self, sigma: &DependencySet) -> Arc<DependencySet> {
@@ -177,7 +177,10 @@ impl ChaseCache {
     /// text (the expensive half of building a [`ChaseContext`]), both
     /// memoized, so the stateless [`SoundChaser`] path pays one render per
     /// distinct Σ rather than two per chase.
-    fn regularized_with_text(&self, sigma: &DependencySet) -> (Arc<DependencySet>, Arc<str>) {
+    pub(crate) fn regularized_with_text(
+        &self,
+        sigma: &DependencySet,
+    ) -> (Arc<DependencySet>, Arc<str>) {
         let text = sigma.to_string();
         let mut memo = self.sigma_memo.lock().expect("sigma memo poisoned");
         if memo.len() >= SIGMA_MEMO_CAP && !memo.contains_key(&text) {
@@ -315,7 +318,7 @@ impl ChaseCache {
 
 impl ChaseCache {
     /// The cache's core path, with the per-Σ work hoisted out: `ctx` is
-    /// the [`context_fingerprint`] and `sigma_reg` the regularized Σ, both
+    /// the [`crate::canon::context_fingerprint`] and `sigma_reg` the regularized Σ, both
     /// computed once per session rather than per chase. The generic
     /// [`SoundChaser`] impl derives them on every call; batch sessions use
     /// this directly so the *hit* path touches Σ not at all.
@@ -344,13 +347,41 @@ impl ChaseCache {
         schema: &Schema,
         config: &ChaseConfig,
     ) -> (Result<SoundChased, ChaseError>, bool) {
+        self.chase_keyed_counted_opts(
+            ctx,
+            sigma_reg,
+            sem,
+            q,
+            schema,
+            config,
+            &EngineOpts::default(),
+        )
+    }
+
+    /// [`ChaseCache::chase_keyed_counted`] with explicit [`EngineOpts`].
+    /// The caller's `ctx` must have been built with the matching
+    /// `delta_seeding` flag — delta-seeded terminals are only Σ-equivalent
+    /// to reference terminals, so the two populations must not share cache
+    /// entries (the flag is part of the context key for exactly this
+    /// reason; probe counts never change results and are not keyed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn chase_keyed_counted_opts(
+        &self,
+        ctx: &ChaseContext,
+        sigma_reg: &Arc<DependencySet>,
+        sem: Semantics,
+        q: &CqQuery,
+        schema: &Schema,
+        config: &ChaseConfig,
+        opts: &EngineOpts,
+    ) -> (Result<SoundChased, ChaseError>, bool) {
         let key = cache_key(query_fingerprint(q), ctx.fingerprint());
         if let Some((outcome, map)) = self.lookup(key, ctx, q) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (outcome.map(|stored| Self::replay(q, &stored, &map)), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = sound_chase_prepared(sem, q, Arc::clone(sigma_reg), schema, config);
+        let result = sound_chase_prepared_opts(sem, q, Arc::clone(sigma_reg), schema, config, opts);
         let stored = match &result {
             Ok(r) => Ok(Arc::new(StoredChase {
                 query: r.query.clone(),
@@ -376,7 +407,7 @@ impl SoundChaser for ChaseCache {
         config: &ChaseConfig,
     ) -> Result<SoundChased, ChaseError> {
         let (sigma_reg, reg_text) = self.regularized_with_text(sigma);
-        let ctx = ChaseContext::with_text(sem, reg_text, schema, config);
+        let ctx = ChaseContext::with_text(sem, reg_text, schema, config, false);
         self.chase_keyed(&ctx, &sigma_reg, sem, q, schema, config)
     }
 }

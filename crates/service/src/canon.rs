@@ -148,6 +148,13 @@ pub struct ChaseContext {
     set_valued: std::sync::Arc<[String]>,
     max_steps: usize,
     max_atoms: usize,
+    /// Was the chase delta-seeded (`EngineOpts::delta_seeding`)? Delta
+    /// seeding changes the firing order, so terminal queries are only
+    /// Σ-equivalent — not isomorphic — to the reference engine's; cached
+    /// results therefore must not cross the flag. Parallel probes are
+    /// deliberately *not* part of the key: step sequences (and results)
+    /// are bit-identical at any probe count.
+    delta_seeding: bool,
 }
 
 impl ChaseContext {
@@ -161,7 +168,7 @@ impl ChaseContext {
         schema: &Schema,
         config: &ChaseConfig,
     ) -> ChaseContext {
-        ChaseContext::with_text(sem, sigma.to_string().into(), schema, config)
+        ChaseContext::with_text(sem, sigma.to_string().into(), schema, config, false)
     }
 
     /// [`ChaseContext::new`] from an already-rendered Σ — rendering is the
@@ -172,6 +179,7 @@ impl ChaseContext {
         sigma_text: std::sync::Arc<str>,
         schema: &Schema,
         config: &ChaseConfig,
+        delta_seeding: bool,
     ) -> ChaseContext {
         let mut set_valued: Vec<String> =
             schema.set_valued_relations().into_iter().map(|p| p.name().to_string()).collect();
@@ -181,8 +189,14 @@ impl ChaseContext {
             Semantics::Bag => 1,
             Semantics::BagSet => 2,
         };
-        let fingerprint =
-            h64((sem_tag, sigma_text.as_ref(), &set_valued, config.max_steps, config.max_atoms));
+        let fingerprint = h64((
+            sem_tag,
+            sigma_text.as_ref(),
+            &set_valued,
+            config.max_steps,
+            config.max_atoms,
+            delta_seeding,
+        ));
         ChaseContext {
             fingerprint,
             sem,
@@ -190,6 +204,7 @@ impl ChaseContext {
             set_valued: set_valued.into(),
             max_steps: config.max_steps,
             max_atoms: config.max_atoms,
+            delta_seeding,
         }
     }
 
@@ -205,6 +220,7 @@ impl ChaseContext {
             && self.sem == other.sem
             && self.max_steps == other.max_steps
             && self.max_atoms == other.max_atoms
+            && self.delta_seeding == other.delta_seeding
             && self.set_valued == other.set_valued
             && self.sigma_text == other.sigma_text
     }

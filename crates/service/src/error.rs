@@ -1,0 +1,194 @@
+//! The unified error taxonomy of the serving layer.
+//!
+//! Every failure a [`crate::Solver`] can surface is one of the variants
+//! here, regardless of which crate it originated in: the per-crate error
+//! types ([`ChaseError`], [`CnbError`], [`crate::RequestParseError`], the
+//! parser errors of `eqsql-cq`/`eqsql-deps`) convert losslessly at the
+//! boundary. Callers branch on *kind*, not provenance:
+//!
+//! * [`Error::Parse`] — an input (query, dependency, request file) failed
+//!   to parse;
+//! * [`Error::BudgetExhausted`] / [`Error::QueryTooLarge`] /
+//!   [`Error::PlanTooLarge`] — a resource budget ran out, so the decision
+//!   procedure is inconclusive (the paper's results hold "whenever
+//!   set-chase terminates");
+//! * [`Error::EgdFailure`] — an egd equated two distinct constants where
+//!   failure is not itself a verdict (an unrepairable database instance;
+//!   for *query* chases a failed chase means the query is unsatisfiable
+//!   under Σ and flows into verdicts, never into this error);
+//! * [`Error::UnsupportedSemantics`] — the requested decision procedure
+//!   is not defined under the requested semantics (e.g. Chandra–Merlin
+//!   containment under bag semantics, which is a long-standing open
+//!   problem reached through `Request::BagContained` instead).
+
+use eqsql_chase::ChaseError;
+use eqsql_core::CnbError;
+use eqsql_relalg::Semantics;
+use std::fmt;
+
+/// A serving-layer failure. See the module docs for the taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// An input failed to parse.
+    Parse {
+        /// 1-based line in the originating request file, `0` when the
+        /// input was not line-addressed (an API-level query string).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The chase step budget ran out — Σ may not be weakly acyclic, or
+    /// the budget is too small for this input.
+    BudgetExhausted {
+        /// Steps taken before giving up.
+        steps: usize,
+    },
+    /// A chased query grew past the atom budget.
+    QueryTooLarge {
+        /// Number of atoms reached.
+        atoms: usize,
+    },
+    /// A C&B universal plan is too large to backchase.
+    PlanTooLarge {
+        /// Universal-plan atom count.
+        atoms: usize,
+    },
+    /// An egd equated two distinct constants while repairing a database
+    /// instance: the instance admits no model of Σ.
+    EgdFailure {
+        /// The operation that hit the failure (e.g. `"chase-instance"`).
+        operation: &'static str,
+    },
+    /// The decision procedure named by `operation` is not defined under
+    /// `sem`.
+    UnsupportedSemantics {
+        /// The requested operation.
+        operation: &'static str,
+        /// The semantics it was requested under.
+        sem: Semantics,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line: 0, message } => write!(f, "parse error: {message}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::BudgetExhausted { steps } => {
+                write!(f, "chase did not terminate within {steps} steps")
+            }
+            Error::QueryTooLarge { atoms } => {
+                write!(f, "chased query grew past {atoms} atoms")
+            }
+            Error::PlanTooLarge { atoms } => {
+                write!(f, "universal plan has {atoms} atoms; backchase would not finish")
+            }
+            Error::EgdFailure { operation } => {
+                write!(f, "{operation}: egd equated two distinct constants")
+            }
+            Error::UnsupportedSemantics { operation, sem } => {
+                write!(f, "{operation} is not defined under {sem} semantics")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// A whole-input parse error (no line number).
+    pub fn parse(message: impl Into<String>) -> Error {
+        Error::Parse { line: 0, message: message.into() }
+    }
+
+    /// The underlying [`ChaseError`], for callers (the legacy
+    /// `EquivOutcome::Unknown` surface) that still speak the chase
+    /// crate's vocabulary. `None` for the variants with no chase-level
+    /// counterpart.
+    pub fn as_chase_error(&self) -> Option<ChaseError> {
+        match self {
+            Error::BudgetExhausted { steps } => Some(ChaseError::BudgetExhausted { steps: *steps }),
+            Error::QueryTooLarge { atoms } => Some(ChaseError::QueryTooLarge { atoms: *atoms }),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChaseError> for Error {
+    fn from(e: ChaseError) -> Error {
+        match e {
+            ChaseError::BudgetExhausted { steps } => Error::BudgetExhausted { steps },
+            ChaseError::QueryTooLarge { atoms } => Error::QueryTooLarge { atoms },
+        }
+    }
+}
+
+impl From<CnbError> for Error {
+    fn from(e: CnbError) -> Error {
+        match e {
+            CnbError::Chase(e) => e.into(),
+            CnbError::PlanTooLarge { atoms } => Error::PlanTooLarge { atoms },
+        }
+    }
+}
+
+impl From<crate::request::RequestParseError> for Error {
+    fn from(e: crate::request::RequestParseError) -> Error {
+        Error::Parse { line: e.line, message: e.message }
+    }
+}
+
+impl From<eqsql_cq::ParseError> for Error {
+    fn from(e: eqsql_cq::ParseError) -> Error {
+        Error::parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chase_errors_map_onto_the_taxonomy() {
+        assert_eq!(
+            Error::from(ChaseError::BudgetExhausted { steps: 7 }),
+            Error::BudgetExhausted { steps: 7 }
+        );
+        assert_eq!(
+            Error::from(ChaseError::QueryTooLarge { atoms: 9 }),
+            Error::QueryTooLarge { atoms: 9 }
+        );
+        assert_eq!(
+            Error::from(CnbError::PlanTooLarge { atoms: 33 }),
+            Error::PlanTooLarge { atoms: 33 }
+        );
+        assert_eq!(
+            Error::from(CnbError::Chase(ChaseError::BudgetExhausted { steps: 3 })),
+            Error::BudgetExhausted { steps: 3 }
+        );
+    }
+
+    #[test]
+    fn round_trip_to_chase_error() {
+        let e = Error::BudgetExhausted { steps: 5 };
+        assert_eq!(e.as_chase_error(), Some(ChaseError::BudgetExhausted { steps: 5 }));
+        assert_eq!(Error::parse("nope").as_chase_error(), None);
+        assert_eq!(
+            Error::UnsupportedSemantics { operation: "containment", sem: Semantics::Bag }
+                .as_chase_error(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::parse("bad token").to_string().contains("bad token"));
+        assert!(Error::Parse { line: 4, message: "x".into() }.to_string().contains("line 4"));
+        assert!(Error::EgdFailure { operation: "chase-instance" }
+            .to_string()
+            .contains("chase-instance"));
+        assert!(Error::UnsupportedSemantics { operation: "containment", sem: Semantics::Bag }
+            .to_string()
+            .contains("B semantics"));
+    }
+}

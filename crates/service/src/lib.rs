@@ -1,79 +1,82 @@
-//! # eqsql-service — batched Σ-equivalence with a `(Q, Σ)` chase-result cache
+//! # eqsql-service — the serving layer: one typed [`Solver`] over the
+//! whole decision family, batched, cached, evidence-carrying
 //!
-//! The decision procedures of Chirkova & Genesereth (PODS 2009) reduce
-//! every Σ-equivalence question to *sound chases to termination* of the two
-//! input queries (Theorems 2.2 / 6.1 / 6.2) followed by a cheap
-//! dependency-free test on the terminal queries. Workloads that consume an
-//! equivalence oracle — rewrite validation, view selection, the C&B
-//! backchase — ask such questions in *streams over one fixed Σ*, re-chasing
-//! structurally identical (sub)queries over and over. This crate is the
-//! serving layer that removes that redundancy:
+//! The decision procedures of Chirkova & Genesereth (PODS 2009) —
+//! Σ-equivalence under set/bag/bag-set semantics (Theorems 2.2/6.1/6.2),
+//! set containment, Σ-minimality (Definition 3.1), the C&B reformulation
+//! family, bag containment, dependency implication, the instance chase —
+//! all reduce to *sound chases to termination* followed by cheap
+//! dependency-free tests. This crate is their single public entry point
+//! and the layer that removes redundant chase work:
 //!
-//! * [`canon`] — a renaming-invariant fingerprint of `(query, Σ, semantics,
-//!   set-valuedness flags, budgets)`, with the canonicalizing variable map
-//!   (the witnessing bijection onto a cached representative) retained so
-//!   terminal results can be replayed for α-equivalent probes;
-//! * [`cache`] — a sharded, concurrency-safe map from canonical keys to
-//!   terminal chase outcomes (terminal query *or* failure/budget error),
-//!   with hit/miss/eviction counters and FIFO capacity eviction;
-//! * [`batch`] — [`BatchSession`]: one Σ, many `(Q1, Q2, semantics)`
-//!   pairs; Σ-regularization happens once, chases dispatch across a worker
-//!   pool, and the caller gets per-pair verdicts plus batch statistics;
-//! * the `eqsql-serve` binary — drives a session from a newline-delimited
-//!   request file, for smoke tests and load experiments.
+//! * [`solver`] — the façade. A [`SolverBuilder`] captures default
+//!   semantics, chase budgets, engine knobs
+//!   ([`eqsql_chase::EngineOpts`]: delta seeding, parallel probes),
+//!   cache sizing and worker threads; [`Solver::decide`] answers any
+//!   [`Request`] with a typed [`Verdict`] whose [`Answer`] carries
+//!   machine-checkable evidence; [`Solver::decide_all`] dispatches a
+//!   batch across a worker pool; [`Solver::stats`] is one coherent
+//!   counter snapshot. Failures surface through the unified [`Error`]
+//!   taxonomy of [`error`] — parse, budget, egd-failure,
+//!   unsupported-semantics — regardless of which crate they began in.
+//!
+//!   ```
+//!   use eqsql_cq::parse_query;
+//!   use eqsql_deps::parse_dependencies;
+//!   use eqsql_relalg::{Schema, Semantics};
+//!   use eqsql_service::{Answer, Request, RequestOpts, Solver};
+//!
+//!   let sigma = parse_dependencies(
+//!       "p(X,Y) -> s(X,Z). s(X,Y) & s(X,Z) -> Y = Z.",
+//!   ).unwrap();
+//!   let mut schema = Schema::all_bags(&[("p", 2), ("s", 2)]);
+//!   schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+//!
+//!   let solver = Solver::builder(sigma, schema)
+//!       .default_semantics(Semantics::Set)
+//!       .threads(2)
+//!       .build();
+//!   let req = Request::Equivalent {
+//!       q1: parse_query("q(X) :- p(X,Y)").unwrap(),
+//!       q2: parse_query("q(X) :- p(X,Y), s(X,Z)").unwrap(),
+//!       opts: RequestOpts::default(),
+//!   };
+//!   let verdict = solver.decide(&req).unwrap();
+//!   assert!(matches!(verdict.answer, Answer::Equivalent { .. }));
+//!   // The verdict's certificate replays against the inputs:
+//!   verdict.verify(&req, solver.sigma(), solver.schema()).unwrap();
+//!   ```
+//!
+//! * [`evidence`] — the certificate types verdicts carry (witnessing
+//!   homomorphisms per containment direction, isomorphism bijections,
+//!   separating databases, minimality witnesses) and their `verify`
+//!   replays, used by the randomized suite to prove evidence is real
+//!   rather than decorative;
+//! * [`canon`] — renaming-invariant fingerprints of `(query, Σ,
+//!   semantics, set-valuedness flags, budgets, engine mode)`, the cache
+//!   key material;
+//! * [`cache`] — the sharded `(Q, Σ)` chase-result cache: fingerprint
+//!   buckets confirmed by exact isomorphism, α-equivalent probes replayed
+//!   through the witnessing bijection, terminal errors cached alongside
+//!   terminal results (see the cache-key soundness notes in [`cache`]);
+//! * [`batch`] — [`BatchSession`], the legacy pairwise-equivalence batch
+//!   API, now a thin veneer over a counterexample-free [`Solver`];
+//! * [`request`] — the newline-delimited request-file format of the
+//!   `eqsql-serve` binary, covering the full verb family (`pair`/
+//!   `equivalent`, `contains`, `minimal`, `cnb`, `implies`) with
+//!   per-request semantics and budget overrides.
 //!
 //! ## Cache-key soundness
 //!
-//! A cache hit must be indistinguishable from a fresh chase. Two facts make
-//! the key sound:
-//!
-//! 1. **The sound chase commutes with α-renaming.** The engine's choices
-//!    (dependency order, the deterministic homomorphism search, fresh-name
-//!    drawing) are functions of query *structure*; renaming the input
-//!    variables bijectively renames the whole run. Hence one terminal
-//!    result per α-class suffices, replayed through the class bijection
-//!    (probe → representative), with chase-introduced variables renamed
-//!    apart from the probe and the accumulated egd renaming — the input to
-//!    the assignment-fixing test (Definition 4.3) — transported the same
-//!    way.
-//! 2. **Fingerprints are necessary, isomorphism is the authority.** The
-//!    color-refinement fingerprint of [`canon`] is provably equal on
-//!    isomorphic queries but may collide for non-isomorphic ones, so every
-//!    probe is confirmed by an exact [`eqsql_cq::find_isomorphism`] check
-//!    (including positional head correspondence and body-multiset
-//!    matching) before an entry is trusted, and non-isomorphic queries
-//!    occupy distinct entries within a bucket. A collision therefore costs
-//!    a linear bucket scan, never a wrong verdict — the property pinned by
-//!    the cache-poisoning guard tests in `tests/tests/service_cache.rs`.
-//!
-//! Everything else the outcome depends on — Σ (textually), the semantics,
-//! the schema's set-valuedness flags, and both chase budgets (a cached
-//! `BudgetExhausted` is only valid for the budget it was observed under) —
-//! forms the context half of the key ([`canon::ChaseContext`]), which is
-//! likewise never trusted on its fingerprint alone: entries store the
-//! exact key material and confirm it field-for-field on every probe.
-//!
-//! ## Batch lifecycle
-//!
-//! ```text
-//! BatchSession::new(Σ, schema, config)      regularize Σ once (memoized)
-//!     .with_cache(shared)                   optionally adopt a warm cache
-//!     .with_threads(n)                      size the worker pool
-//!     .run(&pairs)                          N workers pull pairs from a
-//!                                           shared counter; each pair runs
-//!                                           sigma_equivalent_via(cache),
-//!                                           so both chases of the pair are
-//!                                           cache lookups first
-//!  -> BatchOutcome { verdicts, stats }      verdicts in request order;
-//!                                           stats: verdict counts, cache
-//!                                           hit/miss deltas, wall time
-//! ```
-//!
-//! Sessions are cheap and single-Σ; servers keep one [`cache::ChaseCache`]
-//! behind an [`std::sync::Arc`] and open a session per request batch. The
-//! same cache can be handed to [`eqsql_core::cnb_via`] /
-//! [`eqsql_core::sigma_equivalent_via`] directly — the service and the
-//! C&B family share chase work through the same handle.
+//! A cache hit must be indistinguishable from a fresh chase. The sound
+//! chase commutes with α-renaming, so one terminal per α-class suffices,
+//! replayed through the class bijection; fingerprints are necessary but
+//! never sufficient — every probe is confirmed by exact isomorphism (and
+//! exact context equality) before an entry is trusted. Delta-seeded
+//! engines produce terminals that are only Σ-equivalent to the reference
+//! engine's, so the engine mode is part of the context key. See
+//! [`cache`] and [`canon`] for the full argument and the poisoning-guard
+//! tests.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -81,9 +84,25 @@
 pub mod batch;
 pub mod cache;
 pub mod canon;
+pub mod error;
+pub mod evidence;
 pub mod request;
+pub mod solver;
 
 pub use batch::{BatchOutcome, BatchSession, BatchStats, EquivRequest};
+// Re-exported so Solver callers can speak the façade's full vocabulary
+// (semantics, budgets, engine knobs) without importing substrate crates.
 pub use cache::{CacheConfig, CacheStats, ChaseCache};
 pub use canon::{cache_key, context_fingerprint, query_fingerprint, ChaseContext};
+pub use eqsql_chase::{ChaseConfig, EngineOpts};
+pub use eqsql_relalg::Semantics;
+pub use error::Error;
+pub use evidence::{
+    BagContainmentCertificate, CertificateError, ContainmentCertificate, Counterexample,
+    EquivalenceCertificate,
+};
 pub use request::{parse_request_file, RequestFile, RequestParseError};
+pub use solver::{
+    Answer, BatchReport, DecisionStats, Request, RequestOpts, Solver, SolverBuilder, SolverStats,
+    Verdict,
+};

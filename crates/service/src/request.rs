@@ -1,7 +1,8 @@
 //! The newline-delimited request format driven by `eqsql-serve`.
 //!
-//! A request file describes one batch: a shared Σ, optional schema flags
-//! and budgets, and the query pairs to decide. Line-oriented, `#` comments:
+//! A request file describes one batch over a shared Σ: file-level schema
+//! flags and default budgets, then one line per decision — the full verb
+//! family of [`crate::Request`]. Line-oriented, `#` comments:
 //!
 //! ```text
 //! # Σ, one or more dependencies per line (datalog-ish syntax, '.'-terminated)
@@ -9,18 +10,32 @@
 //! sigma: s(X,Y) & s(X,Z) -> Y = Z.
 //! # relations that are set-valued on every instance (Appendix C flags)
 //! set_valued: s t
-//! # chase budgets (optional)
+//! # file-level default chase budgets (optional)
 //! max_steps: 5000
 //! max_atoms: 5000
-//! # pairs: <semantics> | <query 1> | <query 2>, semantics ∈ set|bag|bagset
+//! # Σ-equivalence: <options> | <query 1> | <query 2>
 //! pair: set | q1(X) :- p(X,Y), s(X,Z) | q2(X) :- p(X,Y)
+//! equivalent: bag max_steps=200 | q1(X) :- p(X,Y) | q2(X) :- p(X,Y)
+//! # set containment: q1 ⊑_{Σ,S} q2 (options before the first '|')
+//! contains: | q1(X) :- p(X,Y), s(X,Z) | q2(X) :- p(X,Y)
+//! # Σ-minimality and C&B reformulation of one query
+//! minimal: set | q(X) :- p(X,Y), s(X,Z)
+//! cnb: bagset | q(X) :- p(X,Y)
+//! # dependency implication: Σ ⊨ σ?
+//! implies: p(X,Y) -> s(X,W).
 //! ```
 //!
-//! The schema is inferred: every predicate/arity mentioned in Σ or in a
-//! query becomes a (bag-valued) relation, then `set_valued` lines flip
-//! flags. An arity conflict is a parse error.
+//! The *options* field (everything before the first `|`; may be empty)
+//! holds whitespace-separated tokens: a semantics (`set|bag|bagset`)
+//! and/or per-request budget overrides (`max_steps=N`, `max_atoms=N`) —
+//! they populate [`crate::RequestOpts`], falling back to the Solver's
+//! defaults when absent. `pair:` is an alias of `equivalent:`.
+//!
+//! The schema is inferred: every predicate/arity mentioned in Σ, in a
+//! query, or in an `implies:` dependency becomes a (bag-valued) relation,
+//! then `set_valued` lines flip flags. An arity conflict is a parse error.
 
-use crate::batch::EquivRequest;
+use crate::solver::{Request, RequestOpts};
 use eqsql_chase::ChaseConfig;
 use eqsql_cq::{parse_query, Atom, Predicate};
 use eqsql_deps::{parse_dependencies, Dependency, DependencySet};
@@ -28,17 +43,17 @@ use eqsql_relalg::{Schema, Semantics};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed request file: everything a [`crate::BatchSession`] needs.
+/// A parsed request file: everything a [`crate::Solver`] needs.
 #[derive(Clone, Debug)]
 pub struct RequestFile {
     /// The shared dependency set.
     pub sigma: DependencySet,
     /// The inferred schema, with `set_valued` flags applied.
     pub schema: Schema,
-    /// Chase budgets (defaults unless overridden in the file).
+    /// File-level chase budgets (defaults unless overridden per request).
     pub config: ChaseConfig,
     /// The batch, in file order.
-    pub pairs: Vec<EquivRequest>,
+    pub requests: Vec<Request>,
 }
 
 /// A request-file syntax or consistency error, with its 1-based line.
@@ -71,6 +86,29 @@ fn parse_semantics(s: &str, line: usize) -> Result<Semantics, RequestParseError>
     }
 }
 
+/// Parses an options field: optional semantics token plus
+/// `max_steps=N`/`max_atoms=N` overrides, whitespace-separated.
+fn parse_opts(s: &str, line: usize) -> Result<RequestOpts, RequestParseError> {
+    let mut opts = RequestOpts::default();
+    for tok in s.split_whitespace() {
+        if let Some((key, value)) = tok.split_once('=') {
+            let n: usize =
+                value.parse().map_err(|_| err(line, format!("bad numeric override {tok:?}")))?;
+            match key {
+                "max_steps" => opts.max_steps = Some(n),
+                "max_atoms" => opts.max_atoms = Some(n),
+                other => return Err(err(line, format!("unknown override {other:?}"))),
+            }
+        } else {
+            if opts.sem.is_some() {
+                return Err(err(line, format!("two semantics tokens (second: {tok:?})")));
+            }
+            opts.sem = Some(parse_semantics(tok, line)?);
+        }
+    }
+    Ok(opts)
+}
+
 fn note_atoms<'a>(
     atoms: impl IntoIterator<Item = &'a Atom>,
     arities: &mut BTreeMap<Predicate, usize>,
@@ -90,15 +128,46 @@ fn note_atoms<'a>(
     Ok(())
 }
 
+fn note_dep(
+    dep: &Dependency,
+    arities: &mut BTreeMap<Predicate, usize>,
+    line: usize,
+) -> Result<(), RequestParseError> {
+    note_atoms(dep.lhs(), arities, line)?;
+    if let Dependency::Tgd(t) = dep {
+        note_atoms(&t.rhs, arities, line)?;
+    }
+    Ok(())
+}
+
+/// A raw request line, before query parsing.
+enum RawRequest {
+    TwoQueries { verb: Verb2, opts: RequestOpts, q1: String, q2: String },
+    OneQuery { verb: Verb1, opts: RequestOpts, q: String },
+    Implies { opts: RequestOpts, dep: String },
+}
+
+#[derive(Clone, Copy)]
+enum Verb2 {
+    Equivalent,
+    Contains,
+}
+
+#[derive(Clone, Copy)]
+enum Verb1 {
+    Minimal,
+    Cnb,
+}
+
 /// Parses the request format described in the module docs.
 pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> {
     let mut sigma = DependencySet::new();
     let mut set_valued: Vec<(String, usize)> = Vec::new();
     let mut config = ChaseConfig::default();
-    let mut raw_pairs: Vec<(Semantics, String, String, usize)> = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
+    let mut raw: Vec<(RawRequest, usize)> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
         let line_no = i + 1;
-        let line = raw.trim();
+        let line = raw_line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -106,6 +175,32 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
             return Err(err(line_no, format!("expected `keyword: ...`, got {line:?}")));
         };
         let rest = rest.trim();
+        let two = |verb: Verb2, rest: &str| -> Result<RawRequest, RequestParseError> {
+            let mut parts = rest.splitn(3, '|');
+            let (Some(o), Some(q1), Some(q2)) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err(line_no, "wants `<options> | <query> | <query>`"));
+            };
+            Ok(RawRequest::TwoQueries {
+                verb,
+                opts: parse_opts(o, line_no)?,
+                q1: q1.trim().to_string(),
+                q2: q2.trim().to_string(),
+            })
+        };
+        let one = |verb: Verb1, rest: &str| -> Result<RawRequest, RequestParseError> {
+            match rest.split_once('|') {
+                Some((o, q)) => Ok(RawRequest::OneQuery {
+                    verb,
+                    opts: parse_opts(o, line_no)?,
+                    q: q.trim().to_string(),
+                }),
+                None => Ok(RawRequest::OneQuery {
+                    verb,
+                    opts: RequestOpts::default(),
+                    q: rest.to_string(),
+                }),
+            }
+        };
         match keyword.trim() {
             "sigma" => {
                 let deps = parse_dependencies(rest)
@@ -127,41 +222,62 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
                 config.max_atoms =
                     rest.parse().map_err(|_| err(line_no, format!("bad max_atoms {rest:?}")))?;
             }
-            "pair" => {
-                let mut parts = rest.splitn(3, '|');
-                let (Some(sem), Some(q1), Some(q2)) = (parts.next(), parts.next(), parts.next())
-                else {
-                    return Err(err(line_no, "pair wants `<sem> | <query> | <query>`"));
+            "pair" | "equivalent" => raw.push((two(Verb2::Equivalent, rest)?, line_no)),
+            "contains" => raw.push((two(Verb2::Contains, rest)?, line_no)),
+            "minimal" => raw.push((one(Verb1::Minimal, rest)?, line_no)),
+            "cnb" => raw.push((one(Verb1::Cnb, rest)?, line_no)),
+            "implies" => {
+                let (opts, dep) = match rest.split_once('|') {
+                    Some((o, d)) => (parse_opts(o, line_no)?, d.trim().to_string()),
+                    None => (RequestOpts::default(), rest.to_string()),
                 };
-                raw_pairs.push((
-                    parse_semantics(sem, line_no)?,
-                    q1.trim().to_string(),
-                    q2.trim().to_string(),
-                    line_no,
-                ));
+                raw.push((RawRequest::Implies { opts, dep }, line_no));
             }
             other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
         }
     }
-    if raw_pairs.is_empty() {
-        return Err(err(0, "request file has no `pair:` lines"));
+    if raw.is_empty() {
+        return Err(err(0, "request file has no request lines"));
     }
 
     // Infer the schema from every atom in sight.
     let mut arities: BTreeMap<Predicate, usize> = BTreeMap::new();
     for d in sigma.iter() {
-        note_atoms(d.lhs(), &mut arities, 0)?;
-        if let Dependency::Tgd(t) = d {
-            note_atoms(&t.rhs, &mut arities, 0)?;
-        }
+        note_dep(d, &mut arities, 0)?;
     }
-    let mut pairs = Vec::with_capacity(raw_pairs.len());
-    for (sem, q1, q2, line_no) in raw_pairs {
-        let q1 = parse_query(&q1).map_err(|e| err(line_no, format!("bad query: {e}")))?;
-        let q2 = parse_query(&q2).map_err(|e| err(line_no, format!("bad query: {e}")))?;
-        note_atoms(&q1.body, &mut arities, line_no)?;
-        note_atoms(&q2.body, &mut arities, line_no)?;
-        pairs.push(EquivRequest { sem, q1, q2 });
+    let mut requests = Vec::with_capacity(raw.len());
+    for (r, line_no) in raw {
+        let parse_q = |s: &str| -> Result<eqsql_cq::CqQuery, RequestParseError> {
+            parse_query(s).map_err(|e| err(line_no, format!("bad query: {e}")))
+        };
+        match r {
+            RawRequest::TwoQueries { verb, opts, q1, q2 } => {
+                let q1 = parse_q(&q1)?;
+                let q2 = parse_q(&q2)?;
+                note_atoms(&q1.body, &mut arities, line_no)?;
+                note_atoms(&q2.body, &mut arities, line_no)?;
+                requests.push(match verb {
+                    Verb2::Equivalent => Request::Equivalent { q1, q2, opts },
+                    Verb2::Contains => Request::Contained { q1, q2, opts },
+                });
+            }
+            RawRequest::OneQuery { verb, opts, q } => {
+                let q = parse_q(&q)?;
+                note_atoms(&q.body, &mut arities, line_no)?;
+                requests.push(match verb {
+                    Verb1::Minimal => Request::Minimal { q, opts },
+                    Verb1::Cnb => Request::Reformulate { q, opts },
+                });
+            }
+            RawRequest::Implies { opts, dep } => {
+                let deps = parse_dependencies(&dep)
+                    .map_err(|e| err(line_no, format!("bad dependency: {e}")))?;
+                for d in deps.iter() {
+                    note_dep(d, &mut arities, line_no)?;
+                    requests.push(Request::Implies { dep: d.clone(), opts });
+                }
+            }
+        }
     }
     let rels: Vec<(&str, usize)> = arities.iter().map(|(p, &a)| (p.name(), a)).collect();
     let mut schema = Schema::all_bags(&rels);
@@ -172,7 +288,7 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
         }
         schema.mark_set_valued(pred);
     }
-    Ok(RequestFile { sigma, schema, config, pairs })
+    Ok(RequestFile { sigma, schema, config, requests })
 }
 
 #[cfg(test)]
@@ -187,20 +303,49 @@ set_valued: s
 max_steps: 1234
 
 pair: set | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
-pair: bagset | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
+equivalent: bagset max_steps=99 | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
+contains: | q(X) :- p(X,Y), s(X,Z) | q(X) :- p(X,Y)
+minimal: set | q(X) :- p(X,Y), s(X,Z)
+cnb: bag max_atoms=77 | q(X) :- p(X,Y)
+implies: p(X,Y) -> s(X,W).
 ";
 
     #[test]
     fn parses_the_documented_format() {
         let r = parse_request_file(SAMPLE).unwrap();
         assert_eq!(r.sigma.len(), 2);
-        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.requests.len(), 6);
         assert_eq!(r.config.max_steps, 1234);
-        assert_eq!(r.pairs[0].sem, Semantics::Set);
-        assert_eq!(r.pairs[1].sem, Semantics::BagSet);
         assert!(r.schema.is_set_valued(Predicate::new("s")));
         assert!(!r.schema.is_set_valued(Predicate::new("p")));
         assert_eq!(r.schema.arity(Predicate::new("s")), Some(2));
+        match &r.requests[0] {
+            Request::Equivalent { opts, .. } => {
+                assert_eq!(opts.sem, Some(Semantics::Set));
+                assert_eq!(opts.max_steps, None);
+            }
+            other => panic!("expected Equivalent, got {other:?}"),
+        }
+        match &r.requests[1] {
+            Request::Equivalent { opts, .. } => {
+                assert_eq!(opts.sem, Some(Semantics::BagSet));
+                assert_eq!(opts.max_steps, Some(99));
+            }
+            other => panic!("expected Equivalent, got {other:?}"),
+        }
+        assert!(matches!(
+            &r.requests[2],
+            Request::Contained { opts: RequestOpts { sem: None, .. }, .. }
+        ));
+        assert!(matches!(&r.requests[3], Request::Minimal { .. }));
+        match &r.requests[4] {
+            Request::Reformulate { opts, .. } => {
+                assert_eq!(opts.sem, Some(Semantics::Bag));
+                assert_eq!(opts.max_atoms, Some(77));
+            }
+            other => panic!("expected Reformulate, got {other:?}"),
+        }
+        assert!(matches!(&r.requests[5], Request::Implies { .. }));
     }
 
     #[test]
@@ -213,9 +358,18 @@ pair: bagset | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)
         .contains("arities"));
         assert!(parse_request_file("nonsense\n").is_err());
         assert!(parse_request_file("pair: magic | q(X) :- p(X) | q(X) :- p(X)").is_err());
+        assert!(parse_request_file("pair: set set | q(X) :- p(X) | q(X) :- p(X)").is_err());
+        assert!(parse_request_file("pair: set max_steps=x | q(X) :- p(X) | q(X) :- p(X)").is_err());
         assert!(parse_request_file("sigma: p(X) -> s(X).")
             .unwrap_err()
             .message
-            .contains("no `pair:`"));
+            .contains("no request"));
+    }
+
+    #[test]
+    fn implies_infers_schema_from_the_dependency() {
+        let r = parse_request_file("sigma: a(X) -> b(X).\nimplies: a(X) -> c(X,Y).").unwrap();
+        assert_eq!(r.schema.arity(Predicate::new("c")), Some(2));
+        assert_eq!(r.requests.len(), 1);
     }
 }

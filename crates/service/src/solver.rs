@@ -1,0 +1,1340 @@
+//! The [`Solver`]: one typed façade over every decision procedure.
+//!
+//! The paper contributes a *family* of chase-based decision procedures —
+//! Σ-equivalence under three semantics (Theorems 2.2/6.1/6.2), set
+//! containment, Σ-minimality (Definition 3.1), the C&B reformulation
+//! family (Appendix A, §6.3), bag containment (Appendix D), dependency
+//! implication and the instance chase. Historically each lived behind its
+//! own free function with its own parameter list and its own error shape.
+//! The Solver collapses all of that into one entry point:
+//!
+//! ```
+//! use eqsql_cq::parse_query;
+//! use eqsql_deps::parse_dependencies;
+//! use eqsql_relalg::Schema;
+//! use eqsql_service::{Answer, Request, RequestOpts, Solver};
+//!
+//! let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+//! let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+//! let solver = Solver::builder(sigma, schema).build();
+//!
+//! let req = Request::Equivalent {
+//!     q1: parse_query("q(X) :- a(X)").unwrap(),
+//!     q2: parse_query("q(X) :- a(X), b(X)").unwrap(),
+//!     opts: RequestOpts::default(),
+//! };
+//! let verdict = solver.decide(&req).unwrap();
+//! assert!(matches!(verdict.answer, Answer::Equivalent { .. }));
+//! // Every verdict carries machine-checkable evidence.
+//! verdict.verify(&req, solver.sigma(), solver.schema()).unwrap();
+//! ```
+//!
+//! A [`SolverBuilder`] captures everything that used to be passed
+//! piecemeal — default semantics, chase budgets, engine knobs
+//! ([`EngineOpts`]: delta seeding, parallel probes), cache configuration
+//! and worker-thread count. A [`Request`] names the decision (with
+//! optional per-request semantics/budget overrides), and the answer is a
+//! [`Verdict`]: a typed [`Answer`] carrying the certificate the paper's
+//! theorems say must exist (witnessing homomorphisms per containment
+//! direction, the separating database on inequivalence, the reformulated
+//! queries for C&B) plus per-decision chase/cache statistics. Failures
+//! surface through the unified [`crate::Error`] taxonomy.
+//!
+//! Every chase the Solver issues is routed through its shared
+//! [`ChaseCache`], so streams of related requests (the C&B backchase, a
+//! minimality sweep, a batch of equivalence probes over one Σ) share
+//! terminal chase results automatically.
+
+use crate::cache::{CacheConfig, ChaseCache};
+use crate::canon::ChaseContext;
+use crate::error::Error;
+use crate::evidence::{
+    BagContainmentCertificate, ContainmentCertificate, Counterexample, EquivalenceCertificate,
+};
+use eqsql_chase::instance::chase_database;
+use eqsql_chase::{ChaseConfig, ChaseError, EngineOpts, SoundChased};
+use eqsql_core::bag_containment::{find_non_containment_witness, onto_containment_mapping};
+use eqsql_core::counterexample::separating_database_via;
+use eqsql_core::{
+    cnb_via, sigma_minimality_witness_via, CnbOptions, MinimalityWitness, SoundChaser,
+};
+use eqsql_cq::{canonical_representation, containment_mapping, find_isomorphism, CqQuery, Subst};
+use eqsql_deps::implication::{conclusion_holds, premise_query};
+use eqsql_deps::{Dependency, DependencySet};
+use eqsql_relalg::{canonical_database, Database, Schema, Semantics};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Per-request overrides: semantics and chase budgets. `None` fields fall
+/// back to the Solver's defaults, so `RequestOpts::default()` means "as
+/// configured at build time".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestOpts {
+    /// Semantics override for this request.
+    pub sem: Option<Semantics>,
+    /// Chase step-budget override.
+    pub max_steps: Option<usize>,
+    /// Chase atom-budget override.
+    pub max_atoms: Option<usize>,
+}
+
+impl RequestOpts {
+    /// Overrides just the semantics.
+    pub fn with_sem(sem: Semantics) -> RequestOpts {
+        RequestOpts { sem: Some(sem), ..RequestOpts::default() }
+    }
+}
+
+/// One decision of the paper's family. Construct with the query/dependency
+/// types of the substrate crates; per-request overrides ride in
+/// [`RequestOpts`].
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// `q1 ≡_{Σ,sem} q2`? (Theorems 2.2 / 6.1 / 6.2.)
+    Equivalent {
+        /// Left query.
+        q1: CqQuery,
+        /// Right query.
+        q2: CqQuery,
+        /// Per-request overrides.
+        opts: RequestOpts,
+    },
+    /// `q1 ⊑_{Σ,S} q2`? Set semantics only (bag containment is open —
+    /// see [`Request::BagContained`]); requesting another semantics is an
+    /// [`Error::UnsupportedSemantics`].
+    Contained {
+        /// The (candidate) contained query.
+        q1: CqQuery,
+        /// The containing query.
+        q2: CqQuery,
+        /// Per-request overrides.
+        opts: RequestOpts,
+    },
+    /// `q1 ⊑_{Σ,B} q2`? The sound three-valued procedure built from the
+    /// paper's necessary condition (Appendix D), the multiset-onto
+    /// sufficient condition and a Σ-repaired falsifier; may answer
+    /// [`Answer::BagContainmentOpen`].
+    BagContained {
+        /// The (candidate) contained query.
+        q1: CqQuery,
+        /// The containing query.
+        q2: CqQuery,
+        /// Per-request overrides.
+        opts: RequestOpts,
+    },
+    /// Is `q` Σ-minimal (Definition 3.1) under the effective semantics?
+    Minimal {
+        /// The query to test.
+        q: CqQuery,
+        /// Per-request overrides.
+        opts: RequestOpts,
+    },
+    /// All Σ-minimal reformulations of `q` — C&B / Bag-C&B / Bag-Set-C&B
+    /// depending on the effective semantics (Theorems 6.4, K.1).
+    Reformulate {
+        /// The query to reformulate.
+        q: CqQuery,
+        /// Per-request overrides.
+        opts: RequestOpts,
+    },
+    /// Does Σ logically imply `dep` (on all instances)? Decided by chasing
+    /// the frozen premise; semantics overrides are ignored (implication is
+    /// a set-semantics notion).
+    Implies {
+        /// The candidate implied dependency.
+        dep: Dependency,
+        /// Per-request overrides (budgets only).
+        opts: RequestOpts,
+    },
+    /// Repair a database instance into a model of Σ with the labelled-null
+    /// chase. An unrepairable instance (an egd equates two distinct
+    /// constants) is an [`Error::EgdFailure`].
+    ChaseInstance {
+        /// The instance to repair.
+        db: Database,
+        /// Per-request overrides (budgets only).
+        opts: RequestOpts,
+    },
+}
+
+impl Request {
+    fn opts(&self) -> &RequestOpts {
+        match self {
+            Request::Equivalent { opts, .. }
+            | Request::Contained { opts, .. }
+            | Request::BagContained { opts, .. }
+            | Request::Minimal { opts, .. }
+            | Request::Reformulate { opts, .. }
+            | Request::Implies { opts, .. }
+            | Request::ChaseInstance { opts, .. } => opts,
+        }
+    }
+
+    /// Short label for logs and the `eqsql-serve` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Equivalent { .. } => "equivalent",
+            Request::Contained { .. } => "contains",
+            Request::BagContained { .. } => "bag-contains",
+            Request::Minimal { .. } => "minimal",
+            Request::Reformulate { .. } => "cnb",
+            Request::Implies { .. } => "implies",
+            Request::ChaseInstance { .. } => "chase-instance",
+        }
+    }
+}
+
+/// The typed answer of a decision, with its evidence.
+#[derive(Clone, Debug)]
+pub enum Answer {
+    /// The queries are Σ-equivalent; the certificate replays the
+    /// witnessing homomorphisms (or bijection) between the terminals.
+    Equivalent {
+        /// The equivalence certificate.
+        certificate: EquivalenceCertificate,
+    },
+    /// The queries are not Σ-equivalent. Where the (sound, incomplete)
+    /// search finds one, a separating database `D ⊨ Σ` rides along.
+    NotEquivalent {
+        /// A verified separating instance, when one was found.
+        counterexample: Option<Counterexample>,
+    },
+    /// `q1 ⊑_{Σ,S} q2`, certified by a containment mapping.
+    Contained {
+        /// The containment certificate.
+        certificate: ContainmentCertificate,
+    },
+    /// `q1 ⋢_{Σ,S} q2`; the canonical database of `(q1)_{Σ,S}` witnesses
+    /// the gap when it verifies.
+    NotContained {
+        /// A verified witness of the containment gap, when one was found.
+        counterexample: Option<Counterexample>,
+    },
+    /// `q1 ⊑_{Σ,B} q2`, certified by a multiset-onto containment mapping
+    /// (or trivially by an unsatisfiable left side).
+    BagContained {
+        /// The bag-containment certificate.
+        certificate: BagContainmentCertificate,
+    },
+    /// `q1 ⋢_{Σ,B} q2`, witnessed by a Σ-satisfying database with a
+    /// multiplicity gap.
+    BagNotContained {
+        /// The verified multiplicity-gap witness.
+        counterexample: Counterexample,
+    },
+    /// Neither direction of the bag-containment question could be
+    /// established — the general problem is open, and this procedure is
+    /// deliberately three-valued rather than falsely confident.
+    BagContainmentOpen,
+    /// The query is Σ-minimal (no witness of Definition 3.1 exists).
+    Minimal,
+    /// The query is not Σ-minimal: the witness carries the identified
+    /// query `S1` and the reduced `S2 ≡_{Σ,sem} q`.
+    NotMinimal {
+        /// The Definition 3.1 witness.
+        witness: MinimalityWitness,
+    },
+    /// The C&B result: universal plan and all Σ-minimal reformulations.
+    Reformulated {
+        /// The universal plan `(Q)_{Σ,sem}`.
+        universal_plan: CqQuery,
+        /// All Σ-minimal reformulations (pairwise non-isomorphic).
+        reformulations: Vec<CqQuery>,
+        /// Candidate subqueries the backchase tested.
+        candidates_tested: usize,
+    },
+    /// Σ implies the dependency.
+    Implied {
+        /// The chased premise query the conclusion was found in
+        /// (meaningless when `vacuous`).
+        chased_premise: CqQuery,
+        /// The egd renaming the chase accumulated (evidence input for
+        /// replaying the conclusion check).
+        renaming: Subst,
+        /// The premise was unsatisfiable under Σ: implication holds
+        /// vacuously.
+        vacuous: bool,
+    },
+    /// Σ does not imply the dependency: the chased premise is a
+    /// counterexample template (its canonical database satisfies Σ but
+    /// not the dependency).
+    NotImplied {
+        /// The chased premise query.
+        chased_premise: CqQuery,
+        /// The egd renaming the chase accumulated.
+        renaming: Subst,
+    },
+    /// The repaired instance (a model of Σ).
+    ChasedInstance {
+        /// The repaired database.
+        db: Database,
+        /// Chase steps the repair took.
+        steps: usize,
+    },
+}
+
+impl Answer {
+    /// Short label for logs and mismatch diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Answer::Equivalent { .. } => "equivalent",
+            Answer::NotEquivalent { .. } => "not-equivalent",
+            Answer::Contained { .. } => "contained",
+            Answer::NotContained { .. } => "not-contained",
+            Answer::BagContained { .. } => "bag-contained",
+            Answer::BagNotContained { .. } => "bag-not-contained",
+            Answer::BagContainmentOpen => "bag-containment-open",
+            Answer::Minimal => "minimal",
+            Answer::NotMinimal { .. } => "not-minimal",
+            Answer::Reformulated { .. } => "reformulated",
+            Answer::Implied { .. } => "implied",
+            Answer::NotImplied { .. } => "not-implied",
+            Answer::ChasedInstance { .. } => "chased-instance",
+        }
+    }
+}
+
+/// Per-decision resource accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecisionStats {
+    /// Chase steps executed (or replayed from cache) for this decision.
+    pub chase_steps: u64,
+    /// Chase-cache hits attributable to this decision.
+    pub cache_hits: u64,
+    /// Chase-cache misses attributable to this decision.
+    pub cache_misses: u64,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+/// A decision with its evidence and accounting.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The typed answer.
+    pub answer: Answer,
+    /// Resource accounting for this decision.
+    pub stats: DecisionStats,
+}
+
+impl Verdict {
+    /// `true` for the positive answers (`Equivalent`, `Contained`,
+    /// `BagContained`, `Minimal`, `Implied`).
+    pub fn is_positive(&self) -> bool {
+        matches!(
+            self.answer,
+            Answer::Equivalent { .. }
+                | Answer::Contained { .. }
+                | Answer::BagContained { .. }
+                | Answer::Minimal
+                | Answer::Implied { .. }
+        )
+    }
+
+    /// Replays every piece of evidence this verdict carries against the
+    /// request it answered. Every `(answer, request)` shape is matched
+    /// explicitly: a verdict paired with the wrong request kind is an
+    /// error, never a silent pass. Answers whose content is the *absence*
+    /// of a witness (e.g. [`Answer::Minimal`]) or whose replay would
+    /// require re-running a chase (the `Reformulated`/`Implied`/
+    /// `ChasedInstance` terminals — the randomized differential suite
+    /// covers those against the legacy oracles) verify structurally only.
+    pub fn verify(
+        &self,
+        request: &Request,
+        sigma: &DependencySet,
+        schema: &Schema,
+    ) -> Result<(), crate::evidence::CertificateError> {
+        let mismatch = || {
+            Err(crate::evidence::CertificateError {
+                reason: format!(
+                    "answer `{}` does not belong to a `{}` request",
+                    self.answer.label(),
+                    request.label()
+                ),
+            })
+        };
+        match (&self.answer, request) {
+            (Answer::Equivalent { certificate }, Request::Equivalent { .. }) => {
+                certificate.verify()
+            }
+            (Answer::NotEquivalent { counterexample }, Request::Equivalent { q1, q2, .. }) => {
+                match counterexample {
+                    Some(cex) => cex.verify(q1, q2, sigma, schema),
+                    None => Ok(()),
+                }
+            }
+            (Answer::Contained { certificate }, Request::Contained { q2, .. }) => {
+                certificate.verify(q2)
+            }
+            (Answer::NotContained { counterexample }, Request::Contained { q1, q2, .. }) => {
+                match counterexample {
+                    Some(cex) => cex.verify_set_gap(q1, q2, sigma),
+                    None => Ok(()),
+                }
+            }
+            (Answer::BagContained { certificate }, Request::BagContained { .. }) => {
+                certificate.verify()
+            }
+            (Answer::BagNotContained { counterexample }, Request::BagContained { q1, q2, .. }) => {
+                counterexample.verify_bag_gap(q1, q2, sigma, schema)
+            }
+            (Answer::BagContainmentOpen, Request::BagContained { .. }) => Ok(()),
+            (Answer::Minimal, Request::Minimal { .. }) => Ok(()),
+            (Answer::NotMinimal { witness }, Request::Minimal { q, .. }) => {
+                // Structural replay of the Definition 3.1 shape: S1 is q
+                // with variables identified (same body length, same head
+                // width) and S2 drops at least one atom of S1, keeping a
+                // sub-multiset of its body. The Σ-equivalence S2 ≡ q
+                // itself needs a chase, so it is pinned by the randomized
+                // differential suite rather than replayed here.
+                if witness.identified.body.len() != q.body.len()
+                    || witness.identified.head.len() != q.head.len()
+                {
+                    return Err(crate::evidence::CertificateError {
+                        reason: "minimality witness S1 is not an identification of q".into(),
+                    });
+                }
+                let mut remaining: Vec<&eqsql_cq::Atom> = witness.identified.body.iter().collect();
+                let covered = witness.reduced.body.iter().all(|a| {
+                    remaining
+                        .iter()
+                        .position(|b| *b == a)
+                        .map(|i| remaining.swap_remove(i))
+                        .is_some()
+                });
+                if !covered || witness.reduced.body.len() >= witness.identified.body.len() {
+                    return Err(crate::evidence::CertificateError {
+                        reason: "minimality witness S2 does not drop atoms of S1".into(),
+                    });
+                }
+                Ok(())
+            }
+            (Answer::Reformulated { .. }, Request::Reformulate { .. })
+            | (Answer::Implied { .. } | Answer::NotImplied { .. }, Request::Implies { .. })
+            | (Answer::ChasedInstance { .. }, Request::ChaseInstance { .. }) => Ok(()),
+            _ => mismatch(),
+        }
+    }
+}
+
+/// A batch of decisions: verdicts in request order plus aggregate
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// `verdicts[i]` answers `requests[i]`.
+    pub verdicts: Vec<Result<Verdict, Error>>,
+    /// Aggregate accounting across the batch (hits/misses/steps are summed
+    /// over all requests, including ones that ended in an error).
+    pub stats: DecisionStats,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Point-in-time Solver counters: the cache snapshot plus request/batch
+/// totals, as one struct so monitoring reads are coherent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Requests decided (success or error) since construction.
+    pub requests: u64,
+    /// `decide_all` batches run since construction.
+    pub batches: u64,
+    /// The shared chase cache's counters.
+    pub cache: crate::cache::CacheStats,
+}
+
+/// Builder for [`Solver`]: captures everything the decision family used to
+/// take piecemeal. All knobs default sensibly — `Solver::builder(σ, schema)
+/// .build()` is a working solver.
+pub struct SolverBuilder {
+    sigma: DependencySet,
+    schema: Schema,
+    sem: Semantics,
+    config: ChaseConfig,
+    engine: EngineOpts,
+    cnb_opts: CnbOptions,
+    cache: Option<Arc<ChaseCache>>,
+    cache_config: CacheConfig,
+    threads: usize,
+    counterexamples: bool,
+}
+
+impl SolverBuilder {
+    /// Starts a builder over Σ and a schema. Defaults: set semantics,
+    /// default chase budgets, reference engine (no delta seeding, one
+    /// probe), a fresh default-sized cache, one worker thread,
+    /// counterexample search enabled.
+    pub fn new(sigma: DependencySet, schema: Schema) -> SolverBuilder {
+        SolverBuilder {
+            sigma,
+            schema,
+            sem: Semantics::Set,
+            config: ChaseConfig::default(),
+            engine: EngineOpts::default(),
+            cnb_opts: CnbOptions::default(),
+            cache: None,
+            cache_config: CacheConfig::default(),
+            threads: 1,
+            counterexamples: true,
+        }
+    }
+
+    /// The semantics used when a request does not override it.
+    pub fn default_semantics(mut self, sem: Semantics) -> SolverBuilder {
+        self.sem = sem;
+        self
+    }
+
+    /// Default chase budgets.
+    pub fn chase_config(mut self, config: ChaseConfig) -> SolverBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Engine knobs: delta-seeded premise search, parallel probes.
+    pub fn engine_opts(mut self, engine: EngineOpts) -> SolverBuilder {
+        self.engine = engine;
+        self
+    }
+
+    /// Backchase options for [`Request::Reformulate`].
+    pub fn cnb_options(mut self, opts: CnbOptions) -> SolverBuilder {
+        self.cnb_opts = opts;
+        self
+    }
+
+    /// Adopts an existing (possibly warm, possibly shared) chase cache.
+    pub fn cache(mut self, cache: Arc<ChaseCache>) -> SolverBuilder {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sizing for the fresh cache built when none is adopted.
+    pub fn cache_config(mut self, config: CacheConfig) -> SolverBuilder {
+        self.cache_config = config;
+        self
+    }
+
+    /// Worker threads for [`Solver::decide_all`] (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> SolverBuilder {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether negative verdicts search for a separating database.
+    /// Disable for throughput-sensitive batches that only need the
+    /// boolean.
+    pub fn counterexamples(mut self, on: bool) -> SolverBuilder {
+        self.counterexamples = on;
+        self
+    }
+
+    /// Builds the solver: Σ is regularized once, context keys are
+    /// precomputed per semantics, the cache is created if not adopted.
+    pub fn build(self) -> Solver {
+        let cache = self.cache.unwrap_or_else(|| Arc::new(ChaseCache::new(self.cache_config)));
+        let (sigma_reg, reg_text) = cache.regularized_with_text(&self.sigma);
+        let ctx = [Semantics::Set, Semantics::Bag, Semantics::BagSet].map(|sem| {
+            ChaseContext::with_text(
+                sem,
+                Arc::clone(&reg_text),
+                &self.schema,
+                &self.config,
+                self.engine.delta_seeding,
+            )
+        });
+        Solver {
+            sigma: self.sigma,
+            schema: self.schema,
+            sem: self.sem,
+            config: self.config,
+            engine: self.engine,
+            cnb_opts: self.cnb_opts,
+            cache,
+            threads: self.threads,
+            counterexamples: self.counterexamples,
+            sigma_reg,
+            reg_text,
+            ctx,
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The façade: every decision procedure of the paper behind
+/// [`Solver::decide`]. See the module docs for an example.
+pub struct Solver {
+    sigma: DependencySet,
+    schema: Schema,
+    sem: Semantics,
+    config: ChaseConfig,
+    engine: EngineOpts,
+    cnb_opts: CnbOptions,
+    cache: Arc<ChaseCache>,
+    threads: usize,
+    counterexamples: bool,
+    /// Σ regularized once at construction (shared with the cache's memo).
+    sigma_reg: Arc<DependencySet>,
+    /// The regularized Σ rendered once, for on-demand context keys when a
+    /// request overrides the budgets.
+    reg_text: Arc<str>,
+    /// Context keys at the default budgets, indexed Set/Bag/BagSet.
+    ctx: [ChaseContext; 3],
+    requests: AtomicU64,
+    batches: AtomicU64,
+}
+
+fn sem_index(sem: Semantics) -> usize {
+    match sem {
+        Semantics::Set => 0,
+        Semantics::Bag => 1,
+        Semantics::BagSet => 2,
+    }
+}
+
+/// The Solver's [`SoundChaser`]: routes every chase through the shared
+/// cache (precomputed context keys on the default-budget path, on-demand
+/// keys for overrides) and counts hits/misses/steps for per-decision
+/// attribution. The `sigma` parameter of the trait is ignored — the
+/// Solver always chases against its own (pre-regularized) Σ.
+struct SolverChaser<'a> {
+    solver: &'a Solver,
+    config: ChaseConfig,
+    /// Context keys for an overridden budget, built at most once per
+    /// semantics per decision (the budget is fixed for the whole
+    /// decision): a C&B backchase or minimality sweep with overrides
+    /// issues hundreds of chases, and each context build re-hashes the
+    /// rendered Σ.
+    override_ctx: [OnceLock<ChaseContext>; 3],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    steps: AtomicU64,
+}
+
+impl SoundChaser for SolverChaser<'_> {
+    fn sound_chase(
+        &self,
+        sem: Semantics,
+        q: &CqQuery,
+        _sigma: &DependencySet,
+        schema: &Schema,
+        config: &ChaseConfig,
+    ) -> Result<SoundChased, ChaseError> {
+        let s = self.solver;
+        let default_budget =
+            config.max_steps == s.config.max_steps && config.max_atoms == s.config.max_atoms;
+        let ctx = if default_budget {
+            &s.ctx[sem_index(sem)]
+        } else {
+            self.override_ctx[sem_index(sem)].get_or_init(|| {
+                ChaseContext::with_text(
+                    sem,
+                    Arc::clone(&s.reg_text),
+                    schema,
+                    config,
+                    s.engine.delta_seeding,
+                )
+            })
+        };
+        let (result, hit) =
+            s.cache.chase_keyed_counted_opts(ctx, &s.sigma_reg, sem, q, schema, config, &s.engine);
+        if hit { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
+        if let Ok(r) = &result {
+            self.steps.fetch_add(r.steps as u64, Ordering::Relaxed);
+        }
+        result
+    }
+}
+
+impl Solver {
+    /// Starts a [`SolverBuilder`] over Σ and a schema.
+    pub fn builder(sigma: DependencySet, schema: Schema) -> SolverBuilder {
+        SolverBuilder::new(sigma, schema)
+    }
+
+    /// The solver's Σ.
+    pub fn sigma(&self) -> &DependencySet {
+        &self.sigma
+    }
+
+    /// The solver's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The default chase budgets.
+    pub fn chase_config(&self) -> &ChaseConfig {
+        &self.config
+    }
+
+    /// The shared chase-cache handle (e.g. to hand to another Solver or a
+    /// [`crate::BatchSession`]).
+    pub fn cache(&self) -> &Arc<ChaseCache> {
+        &self.cache
+    }
+
+    /// Swaps the cache handle (context keys are cache-independent, so this
+    /// is free). Used by [`crate::BatchSession::with_cache`].
+    pub(crate) fn set_cache(&mut self, cache: Arc<ChaseCache>) {
+        self.cache = cache;
+    }
+
+    /// Adjusts the worker-thread count after construction.
+    pub(crate) fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// One coherent counter snapshot: cache hit/miss/eviction plus the
+    /// solver's request/batch totals.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn effective_config(&self, opts: &RequestOpts) -> ChaseConfig {
+        ChaseConfig {
+            max_steps: opts.max_steps.unwrap_or(self.config.max_steps),
+            max_atoms: opts.max_atoms.unwrap_or(self.config.max_atoms),
+        }
+    }
+
+    fn effective_sem(&self, opts: &RequestOpts) -> Semantics {
+        opts.sem.unwrap_or(self.sem)
+    }
+
+    /// Decides one request. See [`Request`] for the family and [`Answer`]
+    /// for the evidence each verdict carries.
+    pub fn decide(&self, request: &Request) -> Result<Verdict, Error> {
+        self.decide_counted(request).0
+    }
+
+    /// Decides every request, pulling work from a shared counter across
+    /// the configured worker threads. Verdicts come back in request order;
+    /// each depends only on its own request (the cache changes *which*
+    /// computation produced a terminal, never the terminal itself), so the
+    /// output is independent of scheduling.
+    pub fn decide_all(&self, requests: &[Request]) -> BatchReport {
+        let start = Instant::now();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let slots: Vec<OnceLock<(Result<Verdict, Error>, DecisionStats)>> =
+            (0..requests.len()).map(|_| OnceLock::new()).collect();
+        let workers = self.threads.min(requests.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let run = |i: usize| self.decide_counted(&requests[i]);
+        if workers == 1 {
+            for (i, slot) in slots.iter().enumerate() {
+                let _ = slot.set(run(i));
+            }
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
+                        let _ = slots[i].set(run(i));
+                    });
+                }
+            });
+        }
+        let mut stats = DecisionStats::default();
+        let mut verdicts = Vec::with_capacity(requests.len());
+        for slot in slots {
+            let (verdict, d) = slot.into_inner().expect("every request decided");
+            stats.chase_steps += d.chase_steps;
+            stats.cache_hits += d.cache_hits;
+            stats.cache_misses += d.cache_misses;
+            verdicts.push(verdict);
+        }
+        stats.wall = start.elapsed();
+        BatchReport { verdicts, stats, threads: workers }
+    }
+
+    /// [`Solver::decide`] plus the decision's accounting even when the
+    /// decision errored (errors still spend chases).
+    fn decide_counted(&self, request: &Request) -> (Result<Verdict, Error>, DecisionStats) {
+        let start = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let config = self.effective_config(request.opts());
+        let chaser = SolverChaser {
+            solver: self,
+            config,
+            override_ctx: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+        };
+        let answer = self.answer(request, &chaser);
+        let stats = DecisionStats {
+            chase_steps: chaser.steps.load(Ordering::Relaxed),
+            cache_hits: chaser.hits.load(Ordering::Relaxed),
+            cache_misses: chaser.misses.load(Ordering::Relaxed),
+            wall: start.elapsed(),
+        };
+        (answer.map(|answer| Verdict { answer, stats }), stats)
+    }
+
+    fn answer(&self, request: &Request, chaser: &SolverChaser<'_>) -> Result<Answer, Error> {
+        let config = chaser.config;
+        match request {
+            Request::Equivalent { q1, q2, opts } => {
+                self.equivalence(chaser, self.effective_sem(opts), q1, q2, &config)
+            }
+            Request::Contained { q1, q2, opts } => {
+                // The request variant fixes the semantics; only an
+                // *explicit* conflicting override errors — the solver's
+                // default semantics never leaks in.
+                if let Some(sem) = opts.sem.filter(|&s| s != Semantics::Set) {
+                    return Err(Error::UnsupportedSemantics { operation: "set-containment", sem });
+                }
+                self.containment(chaser, q1, q2, &config)
+            }
+            Request::BagContained { q1, q2, opts } => {
+                if let Some(sem) = opts.sem.filter(|&s| s != Semantics::Bag) {
+                    return Err(Error::UnsupportedSemantics { operation: "bag-containment", sem });
+                }
+                self.bag_containment(chaser, q1, q2, &config)
+            }
+            Request::Minimal { q, opts } => {
+                let sem = self.effective_sem(opts);
+                let witness = sigma_minimality_witness_via(
+                    chaser,
+                    q,
+                    &self.sigma,
+                    &self.schema,
+                    sem,
+                    &config,
+                )?;
+                Ok(match witness {
+                    None => Answer::Minimal,
+                    Some(witness) => Answer::NotMinimal { witness },
+                })
+            }
+            Request::Reformulate { q, opts } => {
+                let sem = self.effective_sem(opts);
+                let r =
+                    cnb_via(chaser, sem, q, &self.sigma, &self.schema, &config, &self.cnb_opts)?;
+                Ok(Answer::Reformulated {
+                    universal_plan: r.universal_plan,
+                    reformulations: r.reformulations,
+                    candidates_tested: r.candidates_tested,
+                })
+            }
+            Request::Implies { dep, .. } => {
+                let premise = premise_query(dep);
+                let c = chaser.sound_chase(
+                    Semantics::Set,
+                    &premise,
+                    &self.sigma,
+                    &self.schema,
+                    &config,
+                )?;
+                if c.failed {
+                    return Ok(Answer::Implied {
+                        chased_premise: c.query,
+                        renaming: c.chased.renaming,
+                        vacuous: true,
+                    });
+                }
+                if conclusion_holds(dep, &c.query, &c.chased.renaming) {
+                    Ok(Answer::Implied {
+                        chased_premise: c.query,
+                        renaming: c.chased.renaming,
+                        vacuous: false,
+                    })
+                } else {
+                    Ok(Answer::NotImplied { chased_premise: c.query, renaming: c.chased.renaming })
+                }
+            }
+            Request::ChaseInstance { db, .. } => {
+                let r = chase_database(db, &self.sigma, &config)?;
+                if r.failed {
+                    return Err(Error::EgdFailure { operation: "chase-instance" });
+                }
+                Ok(Answer::ChasedInstance { db: r.db, steps: r.steps })
+            }
+        }
+    }
+
+    /// Σ-equivalence with evidence. Decision-equivalent to the legacy
+    /// [`eqsql_core::sigma_equivalent_via`] (pinned by the randomized
+    /// differential suite); this path additionally materializes the
+    /// witnesses the boolean tests only prove exist.
+    fn equivalence(
+        &self,
+        chaser: &SolverChaser<'_>,
+        sem: Semantics,
+        q1: &CqQuery,
+        q2: &CqQuery,
+        config: &ChaseConfig,
+    ) -> Result<Answer, Error> {
+        let c1 = chaser.sound_chase(sem, q1, &self.sigma, &self.schema, config)?;
+        let c2 = chaser.sound_chase(sem, q2, &self.sigma, &self.schema, config)?;
+        match (c1.failed, c2.failed) {
+            (true, true) => {
+                return Ok(Answer::Equivalent {
+                    certificate: EquivalenceCertificate::BothUnsatisfiable,
+                });
+            }
+            (true, false) | (false, true) => {
+                return Ok(Answer::NotEquivalent {
+                    counterexample: self.equivalence_counterexample(chaser, sem, q1, q2, config),
+                });
+            }
+            (false, false) => {}
+        }
+        let certificate = match sem {
+            Semantics::Set => {
+                let forward = containment_mapping(&c2.query, &c1.query);
+                let backward = containment_mapping(&c1.query, &c2.query);
+                match (forward, backward) {
+                    (Some(forward), Some(backward)) => Some(EquivalenceCertificate::Set {
+                        chased1: c1.query,
+                        chased2: c2.query,
+                        forward,
+                        backward,
+                    }),
+                    _ => None,
+                }
+            }
+            Semantics::Bag => {
+                let is_set = |p| self.schema.is_set_valued(p);
+                let n1 = eqsql_cq::iso::dedup_set_valued(&c1.query, is_set);
+                let n2 = eqsql_cq::iso::dedup_set_valued(&c2.query, is_set);
+                find_isomorphism(&n1, &n2).map(|bijection| EquivalenceCertificate::Iso {
+                    normal1: n1,
+                    normal2: n2,
+                    bijection,
+                })
+            }
+            Semantics::BagSet => {
+                let n1 = canonical_representation(&c1.query);
+                let n2 = canonical_representation(&c2.query);
+                find_isomorphism(&n1, &n2).map(|bijection| EquivalenceCertificate::Iso {
+                    normal1: n1,
+                    normal2: n2,
+                    bijection,
+                })
+            }
+        };
+        Ok(match certificate {
+            Some(certificate) => Answer::Equivalent { certificate },
+            None => Answer::NotEquivalent {
+                counterexample: self.equivalence_counterexample(chaser, sem, q1, q2, config),
+            },
+        })
+    }
+
+    fn equivalence_counterexample(
+        &self,
+        chaser: &SolverChaser<'_>,
+        sem: Semantics,
+        q1: &CqQuery,
+        q2: &CqQuery,
+        config: &ChaseConfig,
+    ) -> Option<Counterexample> {
+        if !self.counterexamples {
+            return None;
+        }
+        // Route the search's query chases through the shared cache —
+        // they are exactly the chases that just produced the negative
+        // verdict this witness decorates.
+        let db = separating_database_via(chaser, sem, q1, q2, &self.sigma, &self.schema, config)?;
+        let cex = Counterexample { db, sem };
+        cex.verify(q1, q2, &self.sigma, &self.schema).ok()?;
+        Some(cex)
+    }
+
+    /// Set containment with evidence. Decision-equivalent to
+    /// [`eqsql_core::sigma_set_contained_via`].
+    fn containment(
+        &self,
+        chaser: &SolverChaser<'_>,
+        q1: &CqQuery,
+        q2: &CqQuery,
+        config: &ChaseConfig,
+    ) -> Result<Answer, Error> {
+        let c1 = chaser.sound_chase(Semantics::Set, q1, &self.sigma, &self.schema, config)?;
+        if c1.failed {
+            return Ok(Answer::Contained { certificate: ContainmentCertificate::EmptyLeft });
+        }
+        let c2 = chaser.sound_chase(Semantics::Set, q2, &self.sigma, &self.schema, config)?;
+        if c2.failed {
+            // q2 is empty under Σ while q1 is not: the canonical database
+            // of (q1)_{Σ,S} exhibits the gap.
+            return Ok(Answer::NotContained {
+                counterexample: self.containment_counterexample(&c1.query, q1, q2),
+            });
+        }
+        match containment_mapping(q2, &c1.query) {
+            Some(witness) => Ok(Answer::Contained {
+                certificate: ContainmentCertificate::Mapping { chased1: c1.query, witness },
+            }),
+            None => Ok(Answer::NotContained {
+                counterexample: self.containment_counterexample(&c1.query, q1, q2),
+            }),
+        }
+    }
+
+    fn containment_counterexample(
+        &self,
+        chased1: &CqQuery,
+        q1: &CqQuery,
+        q2: &CqQuery,
+    ) -> Option<Counterexample> {
+        if !self.counterexamples {
+            return None;
+        }
+        let db = canonical_database(chased1, 0).db;
+        let cex = Counterexample { db, sem: Semantics::Set };
+        cex.verify_set_gap(q1, q2, &self.sigma).ok()?;
+        Some(cex)
+    }
+
+    /// The sound three-valued bag-containment procedure: chase both sides
+    /// with the sound bag chase (equivalence-preserving on `D ⊨ Σ`), then
+    /// try the multiset-onto sufficient condition and a Σ-repaired
+    /// falsifier. Answers `BagContainmentOpen` when neither lands — the
+    /// general problem is open \[18\].
+    fn bag_containment(
+        &self,
+        chaser: &SolverChaser<'_>,
+        q1: &CqQuery,
+        q2: &CqQuery,
+        config: &ChaseConfig,
+    ) -> Result<Answer, Error> {
+        let c1 = chaser.sound_chase(Semantics::Bag, q1, &self.sigma, &self.schema, config)?;
+        if c1.failed {
+            return Ok(Answer::BagContained { certificate: BagContainmentCertificate::EmptyLeft });
+        }
+        let c2 = chaser.sound_chase(Semantics::Bag, q2, &self.sigma, &self.schema, config)?;
+        if !c2.failed {
+            if let Some(witness) = onto_containment_mapping(&c1.query, &c2.query) {
+                return Ok(Answer::BagContained {
+                    certificate: BagContainmentCertificate::OntoMapping {
+                        chased1: c1.query,
+                        chased2: c2.query,
+                        witness,
+                    },
+                });
+            }
+        }
+        // Falsification: candidate databases from the chased queries,
+        // repaired into models of Σ, verified to exhibit a multiplicity
+        // gap on the *original* queries.
+        let mut candidates: Vec<Database> = Vec::new();
+        candidates.push(canonical_database(&c1.query, 0).db);
+        if !c2.failed {
+            if let Some(db) = find_non_containment_witness(&c1.query, &c2.query, 8) {
+                candidates.push(db);
+            }
+        }
+        for db in candidates {
+            // Try the raw candidate first; only pay for the instance-chase
+            // repair when it fails to verify (a candidate that already
+            // satisfies Σ would repair to itself anyway).
+            let cex = Counterexample { db, sem: Semantics::Bag };
+            if cex.verify_bag_gap(q1, q2, &self.sigma, &self.schema).is_ok() {
+                return Ok(Answer::BagNotContained { counterexample: cex });
+            }
+            let Some(db) = Self::repair(&cex.db, &self.sigma, config) else { continue };
+            let cex = Counterexample { db, sem: Semantics::Bag };
+            if cex.verify_bag_gap(q1, q2, &self.sigma, &self.schema).is_ok() {
+                return Ok(Answer::BagNotContained { counterexample: cex });
+            }
+        }
+        Ok(Answer::BagContainmentOpen)
+    }
+
+    fn repair(db: &Database, sigma: &DependencySet, config: &ChaseConfig) -> Option<Database> {
+        match chase_database(db, sigma, config) {
+            Ok(r) if !r.failed => Some(r.db),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqsql_cq::parse_query;
+    use eqsql_deps::{parse_dependencies, parse_dependency};
+
+    fn example_4_1() -> (DependencySet, Schema) {
+        let sigma = parse_dependencies(
+            "p(X,Y) -> s(X,Z) & t(X,V,W).\n\
+             p(X,Y) -> t(X,Y,W).\n\
+             p(X,Y) -> r(X).\n\
+             p(X,Y) -> u(X,Z) & t(X,Y,W).\n\
+             s(X,Y) & s(X,Z) -> Y = Z.\n\
+             t(X,Y,W1) & t(X,Y,W2) -> W1 = W2.",
+        )
+        .unwrap();
+        let mut schema = Schema::all_bags(&[("p", 2), ("r", 1), ("s", 2), ("t", 3), ("u", 2)]);
+        schema.mark_set_valued(eqsql_cq::Predicate::new("s"));
+        schema.mark_set_valued(eqsql_cq::Predicate::new("t"));
+        (sigma, schema)
+    }
+
+    fn solver() -> Solver {
+        let (sigma, schema) = example_4_1();
+        Solver::builder(sigma, schema).build()
+    }
+
+    fn q(s: &str) -> CqQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn equivalence_verdicts_carry_verified_evidence() {
+        let s = solver();
+        let q1 = q("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)");
+        let q4 = q("q4(X) :- p(X,Y)");
+        // Set: equivalent, with both containment mappings.
+        let req =
+            Request::Equivalent { q1: q1.clone(), q2: q4.clone(), opts: RequestOpts::default() };
+        let v = s.decide(&req).unwrap();
+        assert!(matches!(
+            v.answer,
+            Answer::Equivalent { certificate: EquivalenceCertificate::Set { .. } }
+        ));
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+        // Bag: not equivalent, with a verified separating database.
+        let req = Request::Equivalent { q1, q2: q4, opts: RequestOpts::with_sem(Semantics::Bag) };
+        let v = s.decide(&req).unwrap();
+        match &v.answer {
+            Answer::NotEquivalent { counterexample: Some(_) } => {}
+            other => panic!("expected a witnessed NotEquivalent, got {other:?}"),
+        }
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+    }
+
+    #[test]
+    fn bag_and_bag_set_equivalences_use_iso_certificates() {
+        let s = solver();
+        let q3 = q("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)");
+        let q4 = q("q4(X) :- p(X,Y)");
+        let req = Request::Equivalent {
+            q1: q3,
+            q2: q4.clone(),
+            opts: RequestOpts::with_sem(Semantics::Bag),
+        };
+        let v = s.decide(&req).unwrap();
+        assert!(matches!(
+            v.answer,
+            Answer::Equivalent { certificate: EquivalenceCertificate::Iso { .. } }
+        ));
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+        let q2v = q("q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)");
+        let req =
+            Request::Equivalent { q1: q2v, q2: q4, opts: RequestOpts::with_sem(Semantics::BagSet) };
+        let v = s.decide(&req).unwrap();
+        assert!(v.is_positive());
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+    }
+
+    #[test]
+    fn containment_and_its_gap_witness() {
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+        let s = Solver::builder(sigma, schema).build();
+        let qa = q("q(X) :- a(X)");
+        let qab = q("q(X) :- a(X), b(X)");
+        let req =
+            Request::Contained { q1: qa.clone(), q2: qab.clone(), opts: RequestOpts::default() };
+        let v = s.decide(&req).unwrap();
+        assert!(matches!(v.answer, Answer::Contained { .. }));
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+        // Without the dependency the containment fails, with a witness.
+        let s2 = Solver::builder(DependencySet::new(), s.schema().clone()).build();
+        let req = Request::Contained { q1: qa, q2: qab, opts: RequestOpts::default() };
+        let v = s2.decide(&req).unwrap();
+        match &v.answer {
+            Answer::NotContained { counterexample: Some(_) } => {}
+            other => panic!("expected witnessed NotContained, got {other:?}"),
+        }
+        v.verify(&req, s2.sigma(), s2.schema()).unwrap();
+        // Bag semantics on a set-containment request is a taxonomy error.
+        let req = Request::Contained {
+            q1: q("q(X) :- a(X)"),
+            q2: q("q(X) :- a(X)"),
+            opts: RequestOpts::with_sem(Semantics::Bag),
+        };
+        assert!(matches!(s2.decide(&req), Err(Error::UnsupportedSemantics { .. })));
+    }
+
+    #[test]
+    fn bag_containment_three_values() {
+        let schema = Schema::all_bags(&[("p", 2), ("r", 1)]);
+        let s = Solver::builder(DependencySet::new(), schema).build();
+        let opts = RequestOpts::with_sem(Semantics::Bag);
+        // m ≤ m²: contained, via the multiset-onto witness.
+        let req = Request::BagContained {
+            q1: q("q(X) :- p(X,Y)"),
+            q2: q("q(X) :- p(X,Y), p(X,Y)"),
+            opts,
+        };
+        let v = s.decide(&req).unwrap();
+        assert!(matches!(v.answer, Answer::BagContained { .. }));
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+        // m² ≥ m fails: not contained, witnessed by an amplified database.
+        let req = Request::BagContained {
+            q1: q("q(X) :- p(X,Y), r(X), r(X)"),
+            q2: q("q(X) :- p(X,Y), r(X)"),
+            opts,
+        };
+        let v = s.decide(&req).unwrap();
+        assert!(matches!(v.answer, Answer::BagNotContained { .. }));
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+    }
+
+    #[test]
+    fn minimality_reformulation_and_implication() {
+        let s = solver();
+        let q1 = q("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)");
+        let v =
+            s.decide(&Request::Minimal { q: q1.clone(), opts: RequestOpts::default() }).unwrap();
+        match v.answer {
+            Answer::NotMinimal { witness } => {
+                assert!(witness.reduced.body.len() < q1.body.len());
+            }
+            other => panic!("Q1 is not Σ-minimal, got {other:?}"),
+        }
+        let q4 = q("q4(X) :- p(X,Y)");
+        let v =
+            s.decide(&Request::Minimal { q: q4.clone(), opts: RequestOpts::default() }).unwrap();
+        assert!(matches!(v.answer, Answer::Minimal));
+        // C&B of Q1 under set semantics finds exactly Q4.
+        let v = s.decide(&Request::Reformulate { q: q1, opts: RequestOpts::default() }).unwrap();
+        match v.answer {
+            Answer::Reformulated { reformulations, .. } => {
+                assert_eq!(reformulations.len(), 1);
+                assert!(eqsql_cq::are_isomorphic(&reformulations[0], &q4));
+            }
+            other => panic!("expected Reformulated, got {other:?}"),
+        }
+        // Implication through the same solver and cache.
+        let dep = parse_dependency("p(X,Y) -> s(X,Z)").unwrap();
+        let v = s.decide(&Request::Implies { dep, opts: RequestOpts::default() }).unwrap();
+        assert!(matches!(v.answer, Answer::Implied { vacuous: false, .. }));
+        let dep = parse_dependency("s(X,Z) -> p(X,Y)").unwrap();
+        let v = s.decide(&Request::Implies { dep, opts: RequestOpts::default() }).unwrap();
+        assert!(matches!(v.answer, Answer::NotImplied { .. }));
+    }
+
+    #[test]
+    fn budget_overrides_and_error_taxonomy() {
+        let sigma = parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+        let schema = Schema::all_bags(&[("e", 2)]);
+        let s = Solver::builder(sigma, schema).build();
+        let req = Request::Equivalent {
+            q1: q("q(X) :- e(X,Y)"),
+            q2: q("q(X) :- e(X,Y), e(Y,Z)"),
+            opts: RequestOpts { max_steps: Some(10), ..RequestOpts::default() },
+        };
+        assert!(matches!(s.decide(&req), Err(Error::BudgetExhausted { .. })));
+        // An unrepairable instance is an egd failure.
+        let sigma = parse_dependencies("s(X,Y) & s(X,Z) -> Y = Z.").unwrap();
+        let schema = Schema::all_bags(&[("s", 2)]);
+        let s = Solver::builder(sigma, schema).build();
+        let mut db = Database::new();
+        db.insert("s", eqsql_relalg::Tuple::ints([1, 2]), 1);
+        db.insert("s", eqsql_relalg::Tuple::ints([1, 3]), 1);
+        let req = Request::ChaseInstance { db, opts: RequestOpts::default() };
+        assert_eq!(s.decide(&req).unwrap_err(), Error::EgdFailure { operation: "chase-instance" });
+    }
+
+    #[test]
+    fn request_variant_fixes_semantics_regardless_of_solver_default() {
+        // A bag-default solver must still answer set-containment (and a
+        // set-default solver bag-containment): the variant fixes the
+        // semantics, only an explicit conflicting override errors.
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+        let s = Solver::builder(sigma, schema).default_semantics(Semantics::Bag).build();
+        let qa = q("q(X) :- a(X)");
+        let qab = q("q(X) :- a(X), b(X)");
+        let v = s
+            .decide(&Request::Contained { q1: qa.clone(), q2: qab, opts: RequestOpts::default() })
+            .unwrap();
+        assert!(matches!(v.answer, Answer::Contained { .. }));
+        let v = s
+            .decide(&Request::BagContained { q1: qa.clone(), q2: qa, opts: RequestOpts::default() })
+            .unwrap();
+        assert!(matches!(v.answer, Answer::BagContained { .. }));
+    }
+
+    #[test]
+    fn verify_rejects_mismatched_request_and_answer() {
+        let s = solver();
+        let q4 = q("q4(X) :- p(X,Y)");
+        let req =
+            Request::Equivalent { q1: q4.clone(), q2: q4.clone(), opts: RequestOpts::default() };
+        let v = s.decide(&req).unwrap();
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+        // The same verdict against a different request kind must fail.
+        let wrong = Request::Minimal { q: q4, opts: RequestOpts::default() };
+        assert!(v.verify(&wrong, s.sigma(), s.schema()).is_err());
+    }
+
+    #[test]
+    fn tampered_minimality_witness_fails_structural_replay() {
+        let s = solver();
+        let q1 = q("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)");
+        let req = Request::Minimal { q: q1.clone(), opts: RequestOpts::default() };
+        let v = s.decide(&req).unwrap();
+        v.verify(&req, s.sigma(), s.schema()).unwrap();
+        // Grafting an atom the identification never had breaks the
+        // sub-multiset property.
+        let Answer::NotMinimal { witness } = &v.answer else { panic!("Q1 is not minimal") };
+        let mut tampered = witness.clone();
+        tampered.reduced = q("q1(X) :- p(X,Y), p(Y,X)");
+        let forged = Verdict { answer: Answer::NotMinimal { witness: tampered }, stats: v.stats };
+        assert!(forged.verify(&req, s.sigma(), s.schema()).is_err());
+    }
+
+    #[test]
+    fn instance_chase_repairs_into_a_model() {
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+        let s = Solver::builder(sigma.clone(), schema).build();
+        let mut db = Database::new();
+        db.insert("a", eqsql_relalg::Tuple::ints([1]), 1);
+        let v = s.decide(&Request::ChaseInstance { db, opts: RequestOpts::default() }).unwrap();
+        match v.answer {
+            Answer::ChasedInstance { db, steps } => {
+                assert!(steps >= 1);
+                assert!(eqsql_deps::satisfaction::db_satisfies_all(&db, &sigma));
+            }
+            other => panic!("expected ChasedInstance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decide_all_orders_verdicts_and_counts() {
+        let s = solver();
+        let q3 = q("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)");
+        let q4 = q("q4(X) :- p(X,Y)");
+        let reqs = vec![
+            Request::Equivalent {
+                q1: q3.clone(),
+                q2: q4.clone(),
+                opts: RequestOpts::with_sem(Semantics::Bag),
+            },
+            Request::Minimal { q: q4.clone(), opts: RequestOpts::default() },
+            Request::Contained { q1: q4, q2: q3, opts: RequestOpts::default() },
+        ];
+        let report = s.decide_all(&reqs);
+        assert_eq!(report.verdicts.len(), 3);
+        assert!(report.verdicts.iter().all(|v| v.as_ref().unwrap().is_positive()));
+        let stats = s.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.batches, 1);
+        assert!(stats.cache.misses > 0);
+    }
+}

@@ -1,18 +1,15 @@
-//! Batched Σ-equivalence through `eqsql_service`: one shared Σ, a stream
-//! of query pairs, a shared chase-result cache — and the same cache handle
-//! accelerating a C&B reformulation run.
+//! Batched decisions through the `eqsql_service::Solver`: one shared Σ, a
+//! stream of heterogeneous requests (equivalence pairs, minimality, a C&B
+//! reformulation), one shared chase-result cache across all of them.
 //!
 //! ```sh
 //! cargo run -p eqsql-examples --bin batched_equivalence
 //! ```
 
-use eqsql_chase::ChaseConfig;
-use eqsql_core::{cnb_via, CnbOptions, EquivOutcome, Semantics};
 use eqsql_cq::parse_query;
 use eqsql_deps::parse_dependencies;
 use eqsql_relalg::Schema;
-use eqsql_service::{BatchSession, ChaseCache, EquivRequest};
-use std::sync::Arc;
+use eqsql_service::{Answer, Request, RequestOpts, Semantics, Solver};
 
 fn main() {
     // Example 4.1 of the paper.
@@ -35,52 +32,56 @@ fn main() {
     let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
 
     // The batch: the paper's equivalence matrix against Q4, per semantics.
-    let mut pairs = Vec::new();
+    let mut requests = Vec::new();
     for q in [&q1, &q2, &q3] {
         for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-            pairs.push(EquivRequest { sem, q1: (*q).clone(), q2: q4.clone() });
+            requests.push(Request::Equivalent {
+                q1: (*q).clone(),
+                q2: q4.clone(),
+                opts: RequestOpts::with_sem(sem),
+            });
         }
     }
 
-    let cache = Arc::new(ChaseCache::default());
-    let session = BatchSession::new(sigma.clone(), schema.clone(), ChaseConfig::default())
-        .with_cache(Arc::clone(&cache))
-        .with_threads(4);
-    let outcome = session.run(&pairs);
+    let solver = Solver::builder(sigma, schema).threads(4).build();
+    let report = solver.decide_all(&requests);
     println!("batched verdicts over Σ of Example 4.1:");
-    for (req, verdict) in pairs.iter().zip(outcome.verdicts.iter()) {
+    for (req, verdict) in requests.iter().zip(report.verdicts.iter()) {
+        let Request::Equivalent { q1, q2, opts } = req else { unreachable!() };
         let mark = match verdict {
-            EquivOutcome::Equivalent => "≡",
-            EquivOutcome::NotEquivalent => "≢",
-            EquivOutcome::Unknown(_) => "?",
+            Ok(v) if matches!(v.answer, Answer::Equivalent { .. }) => "≡",
+            Ok(_) => "≢",
+            Err(_) => "?",
         };
-        println!("  {}  {}_{{Σ,{}}}  {}", req.q1.name, mark, req.sem, req.q2.name);
+        println!("  {}  {}_{{Σ,{}}}  {}", q1.name, mark, opts.sem.unwrap(), q2.name);
     }
-    let s = outcome.stats;
     println!(
-        "\n{} pairs on {} threads: {} chases computed, {} served from cache",
-        s.pairs, s.threads, s.cache_misses, s.cache_hits
+        "\n{} requests on {} threads: {} chases computed, {} served from cache",
+        requests.len(),
+        report.threads,
+        report.stats.cache_misses,
+        report.stats.cache_hits
     );
 
-    // The same cache handle plugs into the C&B family: the backchase
-    // re-chases candidate subqueries the batch above already chased.
-    let r = cnb_via(
-        cache.as_ref(),
-        Semantics::Bag,
-        &q3,
-        &sigma,
-        &schema,
-        &ChaseConfig::default(),
-        &CnbOptions::default(),
-    )
-    .expect("terminating chase");
+    // The same solver answers the C&B family: the backchase re-chases
+    // candidate subqueries the batch above already chased, so the shared
+    // cache turns the quadratic re-chasing into hash lookups.
+    let verdict = solver
+        .decide(&Request::Reformulate {
+            q: q3.clone(),
+            opts: RequestOpts::with_sem(Semantics::Bag),
+        })
+        .expect("terminating chase");
+    let Answer::Reformulated { reformulations, .. } = &verdict.answer else {
+        unreachable!("Reformulate answers Reformulated")
+    };
     println!("\nBag-C&B over the shared cache: Σ-minimal reformulations of {}:", q3.name);
-    for q in &r.reformulations {
+    for q in reformulations {
         println!("  {q}");
     }
-    let c = cache.stats();
+    let s = solver.stats();
     println!(
-        "cache after both workloads: {} hits / {} misses, {} entries",
-        c.hits, c.misses, c.entries
+        "solver after both workloads: {} requests, {} batches, cache {} hits / {} misses, {} entries",
+        s.requests, s.batches, s.cache.hits, s.cache.misses, s.cache.entries
     );
 }

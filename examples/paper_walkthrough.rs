@@ -7,11 +7,12 @@
 //! ```
 
 use eqsql_chase::{max_bag_set_sigma_subset, max_bag_sigma_subset, sound_chase, ChaseConfig};
-use eqsql_core::{sigma_equivalent, Semantics};
+use eqsql_core::Semantics;
 use eqsql_cq::parse_query;
 use eqsql_deps::{parse_dependencies, satisfaction::db_satisfies_all};
 use eqsql_relalg::eval::{eval_bag, eval_bag_set};
 use eqsql_relalg::{Database, Schema};
+use eqsql_service::{Answer, Request, RequestOpts, Solver};
 
 fn main() {
     // Σ of Example 4.1: four tgds; keys of S (first attribute) and T
@@ -46,10 +47,19 @@ fn main() {
     }
     println!();
 
-    // Equivalence verdicts.
+    // Equivalence verdicts, through the Solver façade (all three share
+    // the chase cache with the sound-chase chain above's inputs).
+    let solver = Solver::builder(sigma.clone(), schema.clone()).build();
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let v = sigma_equivalent(sem, &q1, &q4, &sigma, &schema, &config);
-        println!("Q1 ≡_Σ,{sem} Q4?  {}", if v.is_equivalent() { "yes" } else { "NO" });
+        let v = solver
+            .decide(&Request::Equivalent {
+                q1: q1.clone(),
+                q2: q4.clone(),
+                opts: RequestOpts::with_sem(sem),
+            })
+            .expect("terminating chase");
+        let yes = matches!(v.answer, Answer::Equivalent { .. });
+        println!("Q1 ≡_Σ,{sem} Q4?  {}", if yes { "yes" } else { "NO" });
     }
     println!();
 

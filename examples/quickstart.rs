@@ -1,12 +1,12 @@
 //! Quickstart: decide equivalence of two SQL queries under the constraints
-//! of a SQL schema, under all three evaluation semantics.
+//! of a SQL schema, under all three evaluation semantics, through the
+//! `eqsql_service::Solver` façade.
 //!
 //! ```sh
 //! cargo run -p eqsql-examples --bin quickstart
 //! ```
 
-use eqsql_chase::ChaseConfig;
-use eqsql_core::{sigma_equivalent, EquivOutcome, Semantics};
+use eqsql_service::{Answer, Request, RequestOpts, Semantics, Solver};
 use eqsql_sql::{lower_select, parse_sql, Catalog, SqlStatement};
 
 fn main() {
@@ -23,6 +23,10 @@ fn main() {
     println!("Schema:\n{}", catalog.schema);
     println!("Dependencies derived from the DDL:\n{}", catalog.sigma);
 
+    // One Solver per (Σ, schema): every decision below shares its chase
+    // cache, and each request picks its semantics via RequestOpts.
+    let solver = Solver::builder(catalog.sigma.clone(), catalog.schema.clone()).build();
+
     // Two formulations of "salaries of employees": the second joins dept
     // through the foreign key — redundant or not, depending on semantics.
     let sql1 = "SELECT e.salary FROM emp e";
@@ -33,13 +37,17 @@ fn main() {
     println!("Q1: {sql1}\n    as CQ: {q1}");
     println!("Q2: {sql2}\n    as CQ: {q2}\n");
 
-    let config = ChaseConfig::default();
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let verdict = sigma_equivalent(sem, &q1, &q2, &catalog.sigma, &catalog.schema, &config);
-        let text = match verdict {
-            EquivOutcome::Equivalent => "EQUIVALENT",
-            EquivOutcome::NotEquivalent => "not equivalent",
-            EquivOutcome::Unknown(_) => "unknown (chase budget)",
+        let verdict = solver
+            .decide(&Request::Equivalent {
+                q1: q1.clone(),
+                q2: q2.clone(),
+                opts: RequestOpts::with_sem(sem),
+            })
+            .expect("terminating chase");
+        let text = match verdict.answer {
+            Answer::Equivalent { .. } => "EQUIVALENT",
+            _ => "not equivalent",
         };
         println!("under {sem:>2}-semantics: {text}");
     }
@@ -51,20 +59,38 @@ fn main() {
          (assignment-fixing, set-valued) chase step.\n"
     );
 
-    // Contrast: join through the bag-valued log table.
+    // Contrast: join through the bag-valued log table. Verdicts carry
+    // evidence — on inequivalence the Solver searches for a separating
+    // database D ⊨ Σ and replays it before handing it out.
     let sql3 = "SELECT e.salary FROM emp e, log l WHERE l.emp = e.id";
     let q3 = lower(&catalog, sql3, "q3");
     println!("Q3: {sql3}\n    as CQ: {q3}\n");
     for sem in [Semantics::Set, Semantics::BagSet, Semantics::Bag] {
-        let verdict = sigma_equivalent(sem, &q1, &q3, &catalog.sigma, &catalog.schema, &config);
-        println!(
-            "Q1 vs Q3 under {sem:>2}-semantics: {}",
-            if verdict.is_equivalent() { "EQUIVALENT" } else { "not equivalent" }
-        );
+        let req = Request::Equivalent {
+            q1: q1.clone(),
+            q2: q3.clone(),
+            opts: RequestOpts::with_sem(sem),
+        };
+        let verdict = solver.decide(&req).expect("terminating chase");
+        let text = match &verdict.answer {
+            Answer::Equivalent { .. } => "EQUIVALENT".to_string(),
+            Answer::NotEquivalent { counterexample: Some(cex) } => {
+                // The certificate is machine-checkable, not decorative.
+                verdict.verify(&req, solver.sigma(), solver.schema()).expect("evidence replays");
+                format!("not equivalent (separating database over {} tuples)", cex.db.len())
+            }
+            _ => "not equivalent".to_string(),
+        };
+        println!("Q1 vs Q3 under {sem:>2}-semantics: {text}");
     }
     println!(
         "\nQ3 multiplies each salary by its number of log entries (and drops\n\
          unlogged employees): never equivalent, under any semantics."
+    );
+    let stats = solver.stats();
+    println!(
+        "\nsolver: {} requests, {} chase-cache hits / {} misses",
+        stats.requests, stats.cache.hits, stats.cache.misses
     );
 }
 

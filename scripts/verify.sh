@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The repo's verify path: tier-1 (build + tests) plus compile checks for
-# everything tier-1 does not reach — benches (so they cannot silently rot)
-# and the examples/experiments binaries.
+# everything tier-1 does not reach — benches (so they cannot silently rot),
+# the examples/experiments binaries, and rustdoc with warnings denied (so
+# the Solver facade's public API stays documented).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,17 +15,26 @@ cargo build --release -q
 echo "== tier-1: cargo test"
 cargo test -q
 
+echo "== rustdoc clean (cargo doc --no-deps, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "== benches compile (cargo bench --no-run)"
 cargo bench --no-run -q
 
 echo "== examples + experiments binaries compile"
 cargo build -q -p eqsql-examples -p eqsql-bench -p eqsql-service --bins
 
-echo "== eqsql-serve smoke (batched Σ-equivalence on the committed fixture)"
+echo "== eqsql-serve smoke (full verb family on the committed fixture)"
 SERVE_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
     --threads 2 --repeat 2 crates/service/fixtures/smoke.req)"
 echo "$SERVE_OUT" | sed 's/^/  /'
-echo "$SERVE_OUT" | grep -q "batch: 6 pairs (4 equivalent, 2 not, 0 unknown)" \
+echo "$SERVE_OUT" | grep -q "batch: 13 requests (7 positive, 6 other, 0 errors)" \
     || { echo "eqsql-serve smoke: unexpected verdicts" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q "not-minimal" \
+    || { echo "eqsql-serve smoke: minimality verb missing" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q "reformulation(s)" \
+    || { echo "eqsql-serve smoke: cnb verb missing" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q "not-implied" \
+    || { echo "eqsql-serve smoke: implies verb missing" >&2; exit 1; }
 
 echo "verify: OK"

@@ -4,6 +4,10 @@
 //! canonical key must neither split an α-equivalence class (wasted work)
 //! nor merge two non-isomorphic queries (cache poisoning).
 
+// The deprecated convenience entry points remain the differential oracle
+// for the Solver suite; this legacy-surface test keeps exercising them.
+#![allow(deprecated)]
+
 use eqsql_chase::ChaseConfig;
 use eqsql_core::{sigma_equivalent, sigma_equivalent_via, EquivOutcome, SoundChaser};
 use eqsql_cq::{parse_query, CqQuery};
@@ -221,4 +225,52 @@ fn batched_verdicts_match_unbatched_across_threads() {
     // The second and third sessions ran fully warm.
     let stats = cache.stats();
     assert!(stats.hits >= stats.misses, "{stats:?}");
+}
+
+/// Eviction accounting through the `Solver::stats` snapshot: a capacity-1
+/// single-shard cache must evict exactly once per new distinct entry past
+/// the first, residency must never exceed capacity, and the solver's
+/// request/batch counters must track every decision.
+#[test]
+fn solver_stats_account_for_evictions() {
+    use eqsql_service::{CacheConfig, Request, RequestOpts, Solver};
+    let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+    let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("c", 1)]);
+    let solver =
+        Solver::builder(sigma, schema).cache_config(CacheConfig { shards: 1, capacity: 1 }).build();
+    // Four structurally distinct queries → four entries demanded of a
+    // capacity-1 shard: 3 evictions, 1 resident.
+    let bodies = ["a(X)", "a(X), c(X)", "a(X), c(X), c(X)", "a(X), b(X), c(X)"];
+    let requests: Vec<Request> = bodies
+        .iter()
+        .map(|b| {
+            let q = parse_query(&format!("q(X) :- {b}")).unwrap();
+            Request::Equivalent { q1: q.clone(), q2: q, opts: RequestOpts::default() }
+        })
+        .collect();
+    let report = solver.decide_all(&requests);
+    assert!(report.verdicts.iter().all(|v| v.is_ok()));
+    let stats = solver.stats();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.cache.entries, 1, "{stats:?}");
+    assert_eq!(stats.cache.misses, 4, "{stats:?}");
+    assert_eq!(
+        stats.cache.evictions,
+        stats.cache.misses - stats.cache.entries as u64,
+        "every miss past capacity must be matched by exactly one eviction: {stats:?}"
+    );
+    // Re-probing an evicted entry misses again and evicts the survivor.
+    solver
+        .decide(&Request::Equivalent {
+            q1: parse_query("q(X) :- a(X)").unwrap(),
+            q2: parse_query("q(X) :- a(X)").unwrap(),
+            opts: RequestOpts::default(),
+        })
+        .unwrap();
+    let after = solver.stats();
+    assert_eq!(after.requests, 5);
+    assert_eq!(after.cache.misses, 5, "{after:?}");
+    assert_eq!(after.cache.evictions, 4, "{after:?}");
+    assert_eq!(after.cache.entries, 1, "{after:?}");
 }

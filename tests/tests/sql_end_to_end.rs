@@ -1,6 +1,10 @@
 //! SQL end to end: DDL → catalog → lowering → Σ-equivalence →
 //! reformulation → rendering, all through the public API.
 
+// The deprecated convenience entry points remain the differential oracle
+// for the Solver suite; this legacy-surface test keeps exercising them.
+#![allow(deprecated)]
+
 use eqsql_chase::ChaseConfig;
 use eqsql_core::aggregate::sigma_agg_equivalent;
 use eqsql_core::problem::{ReformulationProblem, Solutions};

@@ -207,7 +207,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Sizes accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -233,7 +233,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         elem: S,
         size: R,
