@@ -23,8 +23,10 @@
 //! Full tgds are assignment-fixing w.r.t. every query they apply to
 //! (Proposition 4.3).
 
+use crate::engine::EngineOpts;
 use crate::error::{ChaseConfig, ChaseError};
-use crate::set_chase::set_chase;
+use crate::guard::RunGuard;
+use crate::set_chase::set_chase_opts;
 use crate::step::{applicable_tgd_homs, rename_dep_apart};
 use crate::test_query::associated_test_query;
 use eqsql_cq::{CqQuery, Subst, Term};
@@ -41,11 +43,28 @@ pub fn is_assignment_fixing(
     h: &Subst,
     config: &ChaseConfig,
 ) -> Result<bool, ChaseError> {
+    is_assignment_fixing_guarded(q, sigma, tgd, h, config, &RunGuard::unguarded())
+}
+
+/// [`is_assignment_fixing`] with a [`RunGuard`] threaded into the nested
+/// test-query chase, so a deadline or cancellation signalled mid-decision
+/// also aborts the (potentially budget-sized) inner chase promptly. The
+/// inner chase always runs in reference order — the guard, like parallel
+/// probes, never changes results, only whether the run finishes.
+pub fn is_assignment_fixing_guarded(
+    q: &CqQuery,
+    sigma: &DependencySet,
+    tgd: &Tgd,
+    h: &Subst,
+    config: &ChaseConfig,
+    guard: &RunGuard,
+) -> Result<bool, ChaseError> {
     if tgd.is_full() {
         return Ok(true); // Proposition 4.3
     }
     let tq = associated_test_query(q, tgd, h);
-    let chased = set_chase(&tq.query, sigma, config)?;
+    let opts = EngineOpts::default().guarded(guard.clone());
+    let chased = set_chase_opts(&tq.query, sigma, config, &opts)?;
     if chased.failed {
         // The double-witness pattern is unsatisfiable under Σ: two distinct
         // extensions can never coexist, so the step fixes assignments

@@ -97,6 +97,7 @@
 //! against the exact query it was asked about.
 
 use crate::error::{ChaseConfig, ChaseError};
+use crate::guard::RunGuard;
 use crate::index::BodyIndex;
 use crate::set_chase::{Chased, TraceEntry};
 use crate::step::{classify_egd_images, rename_dep_apart_mapped, DedupPolicy};
@@ -135,23 +136,37 @@ pub struct EngineOpts {
     /// sequential engine at any setting. Ignored (sequential) under
     /// [`Admission::Custom`].
     pub probes: usize,
+    /// Cooperative deadline/cancellation guard, polled once per engine
+    /// step alongside the budget checks. The default (unguarded) guard
+    /// costs one `Option` test per step and never aborts, so the step
+    /// sequence is identical to the pre-guard engine. Like `probes` — and
+    /// unlike `delta_seeding` — the guard never changes firing order or
+    /// results, only whether the run finishes, so it is not part of any
+    /// cache key.
+    pub guard: RunGuard,
 }
 
 impl Default for EngineOpts {
     fn default() -> EngineOpts {
-        EngineOpts { delta_seeding: false, probes: 1 }
+        EngineOpts { delta_seeding: false, probes: 1, guard: RunGuard::default() }
     }
 }
 
 impl EngineOpts {
     /// Delta-seeded premise search, sequential probing.
     pub fn delta_seeded() -> EngineOpts {
-        EngineOpts { delta_seeding: true, probes: 1 }
+        EngineOpts { delta_seeding: true, ..EngineOpts::default() }
     }
 
     /// Reference-order engine with `k` speculative probes.
     pub fn with_probes(k: usize) -> EngineOpts {
-        EngineOpts { delta_seeding: false, probes: k }
+        EngineOpts { probes: k, ..EngineOpts::default() }
+    }
+
+    /// This configuration with the given [`RunGuard`].
+    pub fn guarded(mut self, guard: RunGuard) -> EngineOpts {
+        self.guard = guard;
+        self
     }
 }
 
@@ -412,6 +427,7 @@ pub fn chase_indexed_opts(
     }
 
     loop {
+        opts.guard.poll(steps)?;
         if steps >= config.max_steps {
             return Err(ChaseError::BudgetExhausted { steps });
         }
@@ -616,6 +632,11 @@ pub fn chase_indexed_opts(
                     };
                     let ext = plans[i].extension.as_ref().expect("tgd extension plan");
                     for (k, h) in homs.into_iter().enumerate() {
+                        if k > 0 {
+                            // Loop-head poll covers the first fire; later
+                            // fires in the batch are their own steps.
+                            opts.guard.poll(steps)?;
+                        }
                         if steps >= config.max_steps {
                             return Err(ChaseError::BudgetExhausted { steps });
                         }

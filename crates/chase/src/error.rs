@@ -32,6 +32,14 @@ impl ChaseConfig {
 }
 
 /// A chase-engine error.
+///
+/// The first two variants are *stable* outcomes — deterministic facts
+/// about (Q, Σ, budget) that hold on every re-run and may be cached. The
+/// guard variants ([`DeadlineExceeded`](ChaseError::DeadlineExceeded),
+/// [`Cancelled`](ChaseError::Cancelled)) are *transient*: they record that
+/// this particular run was abandoned, not anything about the input, and
+/// [`is_cacheable`](ChaseError::is_cacheable) excludes them from
+/// memoization.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChaseError {
     /// The step budget ran out — the chase may not terminate on this input
@@ -45,6 +53,33 @@ pub enum ChaseError {
         /// Number of atoms reached.
         atoms: usize,
     },
+    /// The run's wall-clock deadline passed before the chase terminated
+    /// (see [`crate::RunGuard`]). Transient: says nothing about (Q, Σ).
+    DeadlineExceeded {
+        /// Steps taken before the deadline was observed.
+        steps: usize,
+    },
+    /// The run's cancellation token was set before the chase terminated
+    /// (see [`crate::Cancel`]). Transient: says nothing about (Q, Σ).
+    Cancelled {
+        /// Steps taken before cancellation was observed.
+        steps: usize,
+    },
+}
+
+impl ChaseError {
+    /// Is this error a stable fact about (Q, Σ, budget) that a chase-result
+    /// cache may memoize? `true` for the budget variants (re-running the
+    /// same input under the same budgets deterministically reproduces
+    /// them), `false` for the transient guard aborts — caching those would
+    /// poison the cache with outcomes of one run's deadline or one
+    /// caller's lost interest.
+    pub fn is_cacheable(&self) -> bool {
+        match self {
+            ChaseError::BudgetExhausted { .. } | ChaseError::QueryTooLarge { .. } => true,
+            ChaseError::DeadlineExceeded { .. } | ChaseError::Cancelled { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for ChaseError {
@@ -55,6 +90,12 @@ impl fmt::Display for ChaseError {
             }
             ChaseError::QueryTooLarge { atoms } => {
                 write!(f, "chased query grew past {atoms} atoms")
+            }
+            ChaseError::DeadlineExceeded { steps } => {
+                write!(f, "deadline exceeded after {steps} chase steps")
+            }
+            ChaseError::Cancelled { steps } => {
+                write!(f, "cancelled after {steps} chase steps")
             }
         }
     }

@@ -1,0 +1,304 @@
+//! Cooperative run guards: deadlines, cancellation, and fault injection.
+//!
+//! Chase termination is undecidable in general, and even a terminating
+//! chase can be slow enough to pin a worker far past any useful response
+//! time. The step budget in [`ChaseConfig`](crate::ChaseConfig) bounds
+//! *work*; a [`RunGuard`] bounds *latency* and *interest*: a wall-clock
+//! deadline and an externally settable cancellation token, polled
+//! cooperatively at the engine's per-step poll points (the same loop heads
+//! that check the step and atom budgets). An aborted run surfaces as
+//! [`ChaseError::DeadlineExceeded`] or [`ChaseError::Cancelled`] — *transient*
+//! outcomes that, unlike `BudgetExhausted`, say nothing about (Q, Σ) and
+//! must never be memoized (see `eqsql_service`'s cache).
+//!
+//! The default guard is **unguarded**: it holds no state and every poll is
+//! a single `Option` test, so guard-free callers pay nothing and run
+//! step-identically to the pre-guard engine.
+//!
+//! [`FaultPlan`] is the deterministic fault-injection hook: it forces a
+//! cancellation, a deadline expiry, or a panic at exactly the Nth guard
+//! poll of a run, letting tests pin abort behavior ("within one engine
+//! step of the signal") without timing races.
+
+use crate::error::ChaseError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation token.
+///
+/// Cheap to clone (an [`Arc`] around one atomic flag); one handle is held
+/// by the party that may lose interest (a batch driver, a connection
+/// handler) and a clone rides inside the [`RunGuard`] of every run that
+/// should die with it. Cancellation is sticky: once set it cannot be
+/// cleared, so a token is per-unit-of-interest, not reusable.
+#[derive(Clone, Debug, Default)]
+pub struct Cancel(Arc<AtomicBool>);
+
+impl Cancel {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Cancel {
+        Cancel::default()
+    }
+
+    /// Requests cancellation of every run guarded by a clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// What a [`FaultPlan`] injects when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Set the guard's cancellation token, as if an external party called
+    /// [`Cancel::cancel`] between two engine steps.
+    Cancel,
+    /// Mark the guard's deadline as expired, as if the wall clock passed
+    /// it between two engine steps.
+    Deadline,
+    /// Panic, simulating a defect inside the decision procedure. Used to
+    /// pin the service layer's per-request panic isolation.
+    Panic,
+}
+
+/// A deterministic fault-injection plan: trigger `fault` at the `at_poll`th
+/// guard poll (1-based) of the run.
+///
+/// This is a test hook. Guard polls happen at every engine step (query and
+/// instance chase alike), so "the 3rd poll" is a reproducible point in the
+/// run regardless of wall-clock speed. A plan with `at_poll` past the run's
+/// total poll count never triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based index of the guard poll at which to inject.
+    pub at_poll: u64,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+impl FaultPlan {
+    /// A plan injecting `fault` at the `at_poll`th guard poll (1-based).
+    pub fn new(at_poll: u64, fault: Fault) -> FaultPlan {
+        FaultPlan { at_poll, fault }
+    }
+}
+
+struct GuardInner {
+    deadline: Option<Instant>,
+    /// Sticky deadline-expiry flag: set by the clock or by fault
+    /// injection, so expiry observed once is observed forever.
+    expired: AtomicBool,
+    cancel: Cancel,
+    fault: Option<FaultPlan>,
+    /// Polls seen so far — drives deterministic [`FaultPlan`] triggering.
+    polls: AtomicU64,
+}
+
+impl fmt::Debug for GuardInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GuardInner")
+            .field("deadline", &self.deadline)
+            .field("expired", &self.expired.load(Ordering::Relaxed))
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("fault", &self.fault)
+            .field("polls", &self.polls.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A cooperative run guard: wall-clock deadline + cancellation token +
+/// optional [`FaultPlan`], polled at the engine's per-step poll points.
+///
+/// `RunGuard::default()` is **unguarded** — no allocation, every poll a
+/// single `Option` check — so it can be threaded through engine options
+/// unconditionally. Clones share state (the poll counter, the sticky
+/// expiry flag, the cancellation token), so one guard governs a whole
+/// decision even when it spans several chases.
+#[derive(Clone, Debug, Default)]
+pub struct RunGuard {
+    inner: Option<Arc<GuardInner>>,
+}
+
+impl RunGuard {
+    /// The unguarded guard: never aborts, costs one `Option` test per poll.
+    pub fn unguarded() -> RunGuard {
+        RunGuard::default()
+    }
+
+    /// A guard from its parts. `deadline_ms` counts from now; `None`
+    /// disables the corresponding check. `deadline_ms = 0` is an
+    /// already-expired deadline (every poll fails) — useful to smoke-test
+    /// timeout paths without timing races.
+    pub fn new(
+        deadline_ms: Option<u64>,
+        cancel: Option<Cancel>,
+        fault: Option<FaultPlan>,
+    ) -> RunGuard {
+        if deadline_ms.is_none() && cancel.is_none() && fault.is_none() {
+            return RunGuard::unguarded();
+        }
+        RunGuard {
+            inner: Some(Arc::new(GuardInner {
+                deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+                expired: AtomicBool::new(deadline_ms == Some(0)),
+                cancel: cancel.unwrap_or_default(),
+                fault,
+                polls: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A guard with only a deadline, `ms` from now.
+    pub fn with_deadline_ms(ms: u64) -> RunGuard {
+        RunGuard::new(Some(ms), None, None)
+    }
+
+    /// A guard watching only the given cancellation token.
+    pub fn with_cancel(cancel: Cancel) -> RunGuard {
+        RunGuard::new(None, Some(cancel), None)
+    }
+
+    /// Is this the unguarded guard?
+    pub fn is_unguarded(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The per-step poll: counts toward [`FaultPlan::at_poll`], injects a
+    /// due fault, then checks cancellation and the deadline. `steps` is
+    /// the caller's current step count, reported in the error for
+    /// diagnostics. Called by the engine at every step; a guarded run
+    /// therefore aborts within one engine step of the signal.
+    pub fn poll(&self, steps: usize) -> Result<(), ChaseError> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        let n = inner.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(plan) = inner.fault {
+            if n == plan.at_poll {
+                match plan.fault {
+                    Fault::Cancel => inner.cancel.cancel(),
+                    Fault::Deadline => inner.expired.store(true, Ordering::Release),
+                    Fault::Panic => panic!("fault injection: forced panic at guard poll {n}"),
+                }
+            }
+        }
+        self.check_signals(inner, steps)
+    }
+
+    /// A non-counting check of the cancellation/deadline signals — for
+    /// poll points *between* chases (decision boundaries, candidate loops)
+    /// that should notice an abort promptly without perturbing the
+    /// [`FaultPlan`]'s engine-step accounting.
+    pub fn check(&self, steps: usize) -> Result<(), ChaseError> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        self.check_signals(inner, steps)
+    }
+
+    fn check_signals(&self, inner: &GuardInner, steps: usize) -> Result<(), ChaseError> {
+        if inner.cancel.is_cancelled() {
+            return Err(ChaseError::Cancelled { steps });
+        }
+        if inner.expired.load(Ordering::Acquire) {
+            return Err(ChaseError::DeadlineExceeded { steps });
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                inner.expired.store(true, Ordering::Release);
+                return Err(ChaseError::DeadlineExceeded { steps });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_never_aborts() {
+        let g = RunGuard::unguarded();
+        assert!(g.is_unguarded());
+        for i in 0..10_000 {
+            assert_eq!(g.poll(i), Ok(()));
+        }
+    }
+
+    #[test]
+    fn empty_parts_collapse_to_unguarded() {
+        assert!(RunGuard::new(None, None, None).is_unguarded());
+        assert!(!RunGuard::with_deadline_ms(1_000).is_unguarded());
+    }
+
+    #[test]
+    fn cancellation_is_observed_on_the_next_poll() {
+        let c = Cancel::new();
+        let g = RunGuard::with_cancel(c.clone());
+        assert_eq!(g.poll(0), Ok(()));
+        c.cancel();
+        assert_eq!(g.poll(1), Err(ChaseError::Cancelled { steps: 1 }));
+        // Sticky.
+        assert_eq!(g.poll(2), Err(ChaseError::Cancelled { steps: 2 }));
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired() {
+        let g = RunGuard::with_deadline_ms(0);
+        assert_eq!(g.poll(0), Err(ChaseError::DeadlineExceeded { steps: 0 }));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let g = RunGuard::with_deadline_ms(1_000_000);
+        for i in 0..1_000 {
+            assert_eq!(g.poll(i), Ok(()));
+        }
+    }
+
+    #[test]
+    fn fault_plan_triggers_at_exactly_the_nth_poll() {
+        let g = RunGuard::new(None, None, Some(FaultPlan::new(3, Fault::Cancel)));
+        assert_eq!(g.poll(0), Ok(()));
+        assert_eq!(g.poll(1), Ok(()));
+        assert_eq!(g.poll(2), Err(ChaseError::Cancelled { steps: 2 }));
+    }
+
+    #[test]
+    fn fault_deadline_is_sticky_without_a_clock() {
+        let g = RunGuard::new(None, None, Some(FaultPlan::new(2, Fault::Deadline)));
+        assert_eq!(g.poll(0), Ok(()));
+        assert_eq!(g.poll(1), Err(ChaseError::DeadlineExceeded { steps: 1 }));
+        assert_eq!(g.poll(2), Err(ChaseError::DeadlineExceeded { steps: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn fault_panic_panics() {
+        let g = RunGuard::new(None, None, Some(FaultPlan::new(1, Fault::Panic)));
+        let _ = g.poll(0);
+    }
+
+    #[test]
+    fn check_does_not_advance_the_fault_counter() {
+        let g = RunGuard::new(None, None, Some(FaultPlan::new(1, Fault::Cancel)));
+        assert_eq!(g.check(0), Ok(()));
+        assert_eq!(g.check(0), Ok(()));
+        // Only the counting poll trips the plan.
+        assert_eq!(g.poll(5), Err(ChaseError::Cancelled { steps: 5 }));
+        assert_eq!(g.check(6), Err(ChaseError::Cancelled { steps: 6 }));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let g = RunGuard::new(None, None, Some(FaultPlan::new(2, Fault::Cancel)));
+        let h = g.clone();
+        assert_eq!(g.poll(0), Ok(()));
+        // The clone's poll is the shared counter's 2nd.
+        assert_eq!(h.poll(1), Err(ChaseError::Cancelled { steps: 1 }));
+        assert_eq!(g.check(2), Err(ChaseError::Cancelled { steps: 2 }));
+    }
+}

@@ -46,6 +46,7 @@
 //! [`chase_database_reference`], the differential oracle.
 
 use crate::error::{ChaseConfig, ChaseError};
+use crate::guard::RunGuard;
 use eqsql_cq::matcher::{bucket_atoms, Buckets, MatchPlan, Seed, Target};
 use eqsql_cq::{Atom, Predicate, Subst, Term, Value, Var};
 use eqsql_deps::{Dependency, DependencySet, Egd, Tgd};
@@ -339,6 +340,20 @@ pub fn chase_database(
     sigma: &DependencySet,
     config: &ChaseConfig,
 ) -> Result<InstanceChased, ChaseError> {
+    chase_database_guarded(db, sigma, config, &RunGuard::unguarded())
+}
+
+/// [`chase_database`] polling a [`RunGuard`] at every step, so instance
+/// chases issued inside a deadlined or cancellable decision (database
+/// repair in the counterexample search, `Request::ChaseInstance`) abort
+/// within one step of the signal. The guard never changes the step
+/// sequence — with the unguarded guard this is exactly [`chase_database`].
+pub fn chase_database_guarded(
+    db: &Database,
+    sigma: &DependencySet,
+    config: &ChaseConfig,
+    guard: &RunGuard,
+) -> Result<InstanceChased, ChaseError> {
     let mut cur = db.clone();
     let mut next_null = max_label(db);
     let mut steps = 0usize;
@@ -369,6 +384,7 @@ pub fn chase_database(
     let plans: Vec<InstancePlans> = sigma.iter().map(InstancePlans::compile).collect();
     let mut gv = GroundView::of(&cur);
     loop {
+        guard.poll(steps)?;
         if steps >= config.max_steps {
             return Err(ChaseError::BudgetExhausted { steps });
         }

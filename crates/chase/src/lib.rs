@@ -47,6 +47,7 @@
 pub mod assignment_fixing;
 pub mod engine;
 pub mod error;
+pub mod guard;
 pub mod implication;
 pub mod index;
 pub mod instance;
@@ -58,12 +59,17 @@ pub mod sound;
 pub mod step;
 pub mod test_query;
 
-pub use assignment_fixing::{is_assignment_fixing, is_assignment_fixing_wrt_query};
+pub use assignment_fixing::{
+    is_assignment_fixing, is_assignment_fixing_guarded, is_assignment_fixing_wrt_query,
+};
 pub use engine::{chase_indexed, chase_indexed_opts, Admission, EngineOpts};
 pub use error::{ChaseConfig, ChaseError};
+pub use guard::{Cancel, Fault, FaultPlan, RunGuard};
 pub use implication::{implies, minimal_cover};
 pub use index::BodyIndex;
-pub use instance::{chase_database, chase_database_reference, InstanceChased};
+pub use instance::{
+    chase_database, chase_database_guarded, chase_database_reference, InstanceChased,
+};
 pub use key_based::{is_key_based, key_based_chase};
 pub use max_subset::{max_bag_set_sigma_subset, max_bag_sigma_subset};
 pub use reference::{chase_with_policy_reference, set_chase_reference};

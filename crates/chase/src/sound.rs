@@ -15,7 +15,7 @@
 //!   (Theorem 5.1 for bag, Theorem G.1 for bag-set) and the chase
 //!   terminates whenever set-chase does (Proposition 5.1).
 
-use crate::assignment_fixing::is_assignment_fixing;
+use crate::assignment_fixing::is_assignment_fixing_guarded;
 use crate::engine::EngineOpts;
 use crate::error::{ChaseConfig, ChaseError};
 use crate::set_chase::{chase_with_policy_opts, set_chase_opts, Chased};
@@ -126,7 +126,14 @@ pub fn sound_chase_prepared_opts(
                 &sigma_reg,
                 config,
                 &DedupPolicy::All,
-                &mut |tgd, cur, h| match is_assignment_fixing(cur, &sigma_reg, tgd, h, config) {
+                &mut |tgd, cur, h| match is_assignment_fixing_guarded(
+                    cur,
+                    &sigma_reg,
+                    tgd,
+                    h,
+                    config,
+                    &opts.guard,
+                ) {
                     Ok(b) => b,
                     Err(e) => {
                         af_err = Some(e);
@@ -152,7 +159,8 @@ pub fn sound_chase_prepared_opts(
                     if !tgd.rhs.iter().all(|a| set_preds.contains(&a.pred)) {
                         return false; // Theorem 4.1(1): added subgoals must be set-valued
                     }
-                    match is_assignment_fixing(cur, &sigma_reg, tgd, h, config) {
+                    match is_assignment_fixing_guarded(cur, &sigma_reg, tgd, h, config, &opts.guard)
+                    {
                         Ok(b) => b,
                         Err(e) => {
                             af_err = Some(e);

@@ -21,7 +21,7 @@
 //! and to separate the queries) but not complete; `None` means "no witness
 //! found among the candidates", not a proof of equivalence.
 
-use eqsql_chase::instance::chase_database;
+use eqsql_chase::instance::chase_database_guarded;
 use eqsql_chase::ChaseConfig;
 use eqsql_cq::{CqQuery, Predicate};
 use eqsql_deps::satisfaction::db_satisfies_all;
@@ -103,6 +103,12 @@ pub fn separating_database_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
     schema: &Schema,
     config: &ChaseConfig,
 ) -> Option<Database> {
+    // The search runs after the negative verdict and can be the longest
+    // phase of a decision; abort it (returning "no witness") as soon as
+    // the chaser's guard signals. The query chases of family 1 poll the
+    // guard inside the engine; the instance repairs of families 3–4 and
+    // the final candidate-evaluation loop poll it here.
+    let guard = chaser.run_guard();
     let mut candidates: Vec<Database> = Vec::new();
 
     // (1) Canonical databases of the chased queries. The set-semantics
@@ -144,7 +150,7 @@ pub fn separating_database_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
     //     in which case the queries really are equivalent along this axis.
     for base in &chased {
         let doubled = doubled_database(base);
-        if let Ok(r) = chase_database(&doubled, sigma, config) {
+        if let Ok(r) = chase_database_guarded(&doubled, sigma, config, &guard) {
             if !r.failed {
                 // Null merges during the repair can leave multiplicity-2
                 // tuples; the set-valued flattening is the candidate the
@@ -159,7 +165,7 @@ pub fn separating_database_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
     //     instance chase.
     for q in [q1, q2] {
         let frozen = canonical_database(&eqsql_cq::canonical_representation(q), 1000);
-        if let Ok(r) = chase_database(&frozen.db, sigma, config) {
+        if let Ok(r) = chase_database_guarded(&frozen.db, sigma, config, &guard) {
             if !r.failed {
                 candidates.push(r.db.to_set());
                 candidates.push(r.db);
@@ -167,9 +173,11 @@ pub fn separating_database_via<C: crate::sigma_equiv::SoundChaser + ?Sized>(
         }
     }
 
-    candidates
-        .into_iter()
-        .find(|db| db_admissible(db, sem, sigma, schema) && answers_differ(sem, q1, q2, db))
+    candidates.into_iter().find(|db| {
+        guard.check(0).is_ok()
+            && db_admissible(db, sem, sigma, schema)
+            && answers_differ(sem, q1, q2, db)
+    })
 }
 
 /// Freezes `q` twice — the second copy with all non-head variables renamed

@@ -16,7 +16,7 @@
 use crate::equiv::{
     bag_equivalent_with_set_relations, bag_set_equivalent, set_contained, set_equivalent,
 };
-use eqsql_chase::{sound_chase, ChaseConfig, ChaseError, SoundChased};
+use eqsql_chase::{sound_chase, ChaseConfig, ChaseError, RunGuard, SoundChased};
 use eqsql_cq::CqQuery;
 use eqsql_deps::DependencySet;
 use eqsql_relalg::{Schema, Semantics};
@@ -41,6 +41,18 @@ pub trait SoundChaser {
         schema: &Schema,
         config: &ChaseConfig,
     ) -> Result<SoundChased, ChaseError>;
+
+    /// The [`RunGuard`] governing chases issued through this chaser.
+    ///
+    /// Decision procedures that do work *besides* chasing — the
+    /// counterexample search's instance-chase repairs and candidate
+    /// evaluation loops — poll this guard so a deadline or cancellation
+    /// aborts them promptly too, not just the query chases. The default
+    /// is the unguarded guard (never aborts); guard-carrying chasers (the
+    /// `eqsql_service` Solver's per-request chaser) override it.
+    fn run_guard(&self) -> RunGuard {
+        RunGuard::unguarded()
+    }
 }
 
 /// The pass-through [`SoundChaser`]: every request runs the chase engine.

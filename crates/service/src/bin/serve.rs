@@ -1,7 +1,9 @@
 //! `eqsql-serve` — drive a [`Solver`] from a request file.
 //!
 //! ```text
-//! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] [--quiet] FILE
+//! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C]
+//!             [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest]
+//!             [--strict] [--quiet] FILE
 //! ```
 //!
 //! Decides every request line of FILE (format: `eqsql_service::request` —
@@ -11,22 +13,37 @@
 //! statistics. `--repeat K` re-runs the same batch K times against the
 //! solver's (by then warm) cache — the simplest load test: run 1 pays for
 //! the chases, runs 2..K measure the serving path.
+//!
+//! Ops knobs map onto [`eqsql_service::BatchOptions`]: `--deadline-ms MS`
+//! gives every request a wall-clock deadline (`0` = already expired —
+//! deterministic timeout drills), `--shed N` bounds the admission queue
+//! at N requests (shed policy per `--shed-policy`, default `reject-new`).
+//! The exit code is SUCCESS even when verdicts are errors — an error
+//! verdict is a decided outcome, reported in the `batch:` summary line —
+//! unless `--strict` is given, which exits nonzero if any verdict is an
+//! error.
 
 use eqsql_service::{
-    parse_request_file, Answer, CacheConfig, ChaseCache, Error, Request, Solver, Verdict,
+    parse_request_file, AdmissionConfig, Answer, BatchOptions, CacheConfig, ChaseCache, Error,
+    Request, ShedPolicy, Solver, Verdict,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str =
-    "usage: eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] [--quiet] FILE";
+const USAGE: &str = "usage: eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] \
+                     [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest] \
+                     [--strict] [--quiet] FILE";
 
 struct Args {
     file: String,
     threads: usize,
     repeat: usize,
     cache_capacity: usize,
+    deadline_ms: Option<u64>,
+    shed: Option<usize>,
+    shed_policy: ShedPolicy,
+    strict: bool,
     quiet: bool,
 }
 
@@ -42,6 +59,10 @@ fn parse_args() -> Result<ArgsOutcome, String> {
         threads: 1,
         repeat: 1,
         cache_capacity: CacheConfig::default().capacity,
+        deadline_ms: None,
+        shed: None,
+        shed_policy: ShedPolicy::RejectNew,
+        strict: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +77,21 @@ fn parse_args() -> Result<ArgsOutcome, String> {
             "--threads" => args.threads = numeric("--threads")?.max(1),
             "--repeat" => args.repeat = numeric("--repeat")?.max(1),
             "--cache-capacity" => args.cache_capacity = numeric("--cache-capacity")?.max(1),
+            "--deadline-ms" => args.deadline_ms = Some(numeric("--deadline-ms")? as u64),
+            "--shed" => args.shed = Some(numeric("--shed")?.max(1)),
+            "--shed-policy" => {
+                let v = it.next().ok_or("--shed-policy wants a value")?;
+                args.shed_policy = match v.as_str() {
+                    "reject-new" => ShedPolicy::RejectNew,
+                    "cancel-oldest" => ShedPolicy::CancelOldest,
+                    other => {
+                        return Err(format!(
+                            "unknown shed policy {other:?} (want reject-new|cancel-oldest)"
+                        ))
+                    }
+                };
+            }
+            "--strict" => args.strict = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(ArgsOutcome::Help),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -150,11 +186,16 @@ fn main() -> ExitCode {
         .cache(Arc::clone(&cache))
         .threads(args.threads)
         .build();
+    let batch_opts = BatchOptions {
+        deadline_ms: args.deadline_ms,
+        admission: args.shed.map(|capacity| AdmissionConfig { capacity, policy: args.shed_policy }),
+        ..BatchOptions::default()
+    };
 
     let start = Instant::now();
     let mut last = None;
     for run in 0..args.repeat {
-        let report = solver.decide_all(&request.requests);
+        let report = solver.decide_all_with(&request.requests, &batch_opts);
         if run == 0 && !args.quiet {
             for (req, verdict) in request.requests.iter().zip(report.verdicts.iter()) {
                 println!("{}", render(req, verdict));
@@ -184,6 +225,9 @@ fn main() -> ExitCode {
         "cache: {} hits, {} misses, {} evictions, {} entries resident ({} requests, {} batches)",
         s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries, s.requests, s.batches
     );
+    if s.shed > 0 || s.retries > 0 || s.panics > 0 {
+        println!("backpressure: {} shed, {} retries, {} panics", s.shed, s.retries, s.panics);
+    }
     println!(
         "timing: last run {:?}, {} run(s) total {:?} ({:.1} requests/s overall)",
         report.stats.wall,
@@ -191,5 +235,9 @@ fn main() -> ExitCode {
         total,
         (report.verdicts.len() * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
     );
+    if args.strict && errors > 0 {
+        eprintln!("eqsql-serve: --strict: {errors} error verdict(s)");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -8,7 +8,12 @@
 //! set-valuedness flags, budgets). The value is the **terminal outcome** —
 //! the sound-chase result (terminal query, failure flag, step count,
 //! accumulated renaming, trace) or the [`ChaseError`] (budget exhaustion /
-//! query growth), which is just as expensive to rediscover.
+//! query growth), which is just as expensive to rediscover. Only
+//! *cacheable* errors are stored ([`ChaseError::is_cacheable`]): budget
+//! exhaustion and query growth are deterministic facts of `(Q, Σ, budget)`,
+//! whereas a deadline or cancellation says nothing about the input — a
+//! guarded run that dies must not poison the cache for the retry that
+//! follows it.
 //!
 //! ## Soundness of the key
 //!
@@ -32,7 +37,11 @@
 //! Chases run *outside* any lock — a racing duplicate computation is
 //! possible (and harmless: last writer wins, the loser's result is simply
 //! returned uncached). Hit/miss/eviction counters are atomics. Eviction is
-//! FIFO per shard once the shard exceeds its capacity share.
+//! FIFO per shard once the shard exceeds its capacity share. Shard locks
+//! recover from poisoning: no chase runs under a lock, so a panic caught
+//! mid-critical-section can only have interrupted bookkeeping whose
+//! invariants are re-established on the next insert, and a solver that
+//! isolates panicking requests must not lose its cache to them.
 
 use crate::canon::{cache_key, query_fingerprint, ChaseContext};
 use eqsql_chase::set_chase::Chased;
@@ -43,7 +52,13 @@ use eqsql_deps::{regularize_set, DependencySet};
 use eqsql_relalg::{Schema, Semantics};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a caught panic poisoned it (see the
+/// module docs on why that is sound here).
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Sizing knobs for [`ChaseCache`].
 #[derive(Clone, Copy, Debug)]
@@ -157,11 +172,7 @@ impl ChaseCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").entries)
-                .sum(),
+            entries: self.shards.iter().map(|s| lock_recovering(s).entries).sum(),
         }
     }
 
@@ -182,7 +193,7 @@ impl ChaseCache {
         sigma: &DependencySet,
     ) -> (Arc<DependencySet>, Arc<str>) {
         let text = sigma.to_string();
-        let mut memo = self.sigma_memo.lock().expect("sigma memo poisoned");
+        let mut memo = lock_recovering(&self.sigma_memo);
         if memo.len() >= SIGMA_MEMO_CAP && !memo.contains_key(&text) {
             memo.clear();
         }
@@ -206,7 +217,7 @@ impl ChaseCache {
         ctx: &ChaseContext,
         q: &CqQuery,
     ) -> Option<(Result<Arc<StoredChase>, ChaseError>, HashMap<Var, Var>)> {
-        let shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let shard = lock_recovering(self.shard_of(key));
         let bucket = shard.buckets.get(&key)?;
         for entry in bucket {
             if !entry.ctx.same(ctx) {
@@ -227,7 +238,7 @@ impl ChaseCache {
         outcome: Result<Arc<StoredChase>, ChaseError>,
     ) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let mut shard = lock_recovering(self.shard_of(key));
         let bucket = shard.buckets.entry(key).or_default();
         // Racing duplicate? Keep the resident entry: evicting it would
         // invalidate nothing, but skipping keeps the order queue exact.
@@ -390,7 +401,10 @@ impl ChaseCache {
                 renaming: r.chased.renaming.clone(),
                 sigma_regularized: Arc::clone(sigma_reg),
             })),
-            Err(e) => Err(e.clone()),
+            Err(e) if e.is_cacheable() => Err(e.clone()),
+            // A deadline/cancellation is a fact about this run, not about
+            // (Q, Σ): memoizing it would make the retry fail from cache.
+            Err(_) => return (result, false),
         };
         self.insert(key, ctx.clone(), q, stored);
         (result, false)

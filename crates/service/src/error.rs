@@ -19,7 +19,15 @@
 //! * [`Error::UnsupportedSemantics`] — the requested decision procedure
 //!   is not defined under the requested semantics (e.g. Chandra–Merlin
 //!   containment under bag semantics, which is a long-standing open
-//!   problem reached through `Request::BagContained` instead).
+//!   problem reached through `Request::BagContained` instead);
+//! * [`Error::DeadlineExceeded`] / [`Error::Cancelled`] — the run was
+//!   abandoned (wall-clock deadline, cancellation token). **Transient**:
+//!   unlike `BudgetExhausted`, these say nothing about the input and are
+//!   never cached — retrying the identical request may succeed;
+//! * [`Error::Shed`] — the request was turned away at admission by a
+//!   saturated batch queue; no work was done on it;
+//! * [`Error::Internal`] — the decision panicked and was isolated; a
+//!   defect report, never a statement about the input.
 
 use eqsql_chase::ChaseError;
 use eqsql_core::CnbError;
@@ -67,6 +75,33 @@ pub enum Error {
         /// The semantics it was requested under.
         sem: Semantics,
     },
+    /// The request's wall-clock deadline passed before the decision
+    /// finished. Transient — never cached; the identical request may
+    /// succeed on retry.
+    DeadlineExceeded {
+        /// Chase steps taken before the deadline was observed.
+        steps: usize,
+    },
+    /// The request's cancellation token was set before the decision
+    /// finished. Transient — never cached.
+    Cancelled {
+        /// Chase steps taken before cancellation was observed.
+        steps: usize,
+    },
+    /// The request was shed at admission: the batch's bounded queue was
+    /// at capacity and the shed policy turned this request away before
+    /// any work was done on it.
+    Shed {
+        /// The admission queue's capacity at the time.
+        capacity: usize,
+    },
+    /// The decision panicked; the panic was isolated to this verdict and
+    /// the rest of the batch completed. A defect report about the
+    /// service, never a statement about the input.
+    Internal {
+        /// The panic message, best effort.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -89,6 +124,14 @@ impl fmt::Display for Error {
             Error::UnsupportedSemantics { operation, sem } => {
                 write!(f, "{operation} is not defined under {sem} semantics")
             }
+            Error::DeadlineExceeded { steps } => {
+                write!(f, "deadline exceeded after {steps} chase steps")
+            }
+            Error::Cancelled { steps } => write!(f, "cancelled after {steps} chase steps"),
+            Error::Shed { capacity } => {
+                write!(f, "shed at admission: queue at capacity {capacity}")
+            }
+            Error::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
 }
@@ -101,6 +144,25 @@ impl Error {
         Error::Parse { line: 0, message: message.into() }
     }
 
+    /// An [`Error::Internal`] defect report.
+    pub fn internal(message: impl Into<String>) -> Error {
+        Error::Internal { message: message.into() }
+    }
+
+    /// Is this a transient outcome of one particular run (deadline,
+    /// cancellation, shedding, an isolated panic) rather than a stable
+    /// fact about the request? Transient errors are never cached and may
+    /// clear on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::DeadlineExceeded { .. }
+                | Error::Cancelled { .. }
+                | Error::Shed { .. }
+                | Error::Internal { .. }
+        )
+    }
+
     /// The underlying [`ChaseError`], for callers (the legacy
     /// `EquivOutcome::Unknown` surface) that still speak the chase
     /// crate's vocabulary. `None` for the variants with no chase-level
@@ -109,6 +171,10 @@ impl Error {
         match self {
             Error::BudgetExhausted { steps } => Some(ChaseError::BudgetExhausted { steps: *steps }),
             Error::QueryTooLarge { atoms } => Some(ChaseError::QueryTooLarge { atoms: *atoms }),
+            Error::DeadlineExceeded { steps } => {
+                Some(ChaseError::DeadlineExceeded { steps: *steps })
+            }
+            Error::Cancelled { steps } => Some(ChaseError::Cancelled { steps: *steps }),
             _ => None,
         }
     }
@@ -119,6 +185,8 @@ impl From<ChaseError> for Error {
         match e {
             ChaseError::BudgetExhausted { steps } => Error::BudgetExhausted { steps },
             ChaseError::QueryTooLarge { atoms } => Error::QueryTooLarge { atoms },
+            ChaseError::DeadlineExceeded { steps } => Error::DeadlineExceeded { steps },
+            ChaseError::Cancelled { steps } => Error::Cancelled { steps },
         }
     }
 }

