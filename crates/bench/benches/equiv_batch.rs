@@ -15,70 +15,10 @@
 //! `BENCH_chase.json` (`batch_speedups`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eqsql_bench::{schema_4_1, sigma_4_1};
+use eqsql_bench::workloads::{repeated_subquery_pairs, workload_schema, workload_sigma};
 use eqsql_chase::ChaseConfig;
-use eqsql_cq::{parse_query, CqQuery};
-use eqsql_deps::{parse_dependencies, DependencySet};
-use eqsql_gen::rename_isomorphic;
-use eqsql_relalg::{Schema, Semantics};
-use eqsql_service::{BatchSession, EquivRequest};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eqsql_service::BatchSession;
 use std::hint::black_box;
-
-/// Example 4.1's Σ deepened with inclusion chains off `r` and `u` — the
-/// depth a real universal plan accumulates — so every candidate touching
-/// `r`/`u` chases through several more strata.
-fn workload_sigma() -> DependencySet {
-    let mut sigma = sigma_4_1();
-    let chains = parse_dependencies(
-        "r(X) -> r1(X,A).\n\
-         r1(X,A) -> r2(A,B).\n\
-         r2(A,B) -> r3(B).\n\
-         u(X,Z) -> u1(Z,C).\n\
-         u1(Z,C) -> u2(C).",
-    )
-    .expect("chains parse");
-    for d in chains.iter() {
-        sigma.push(d.clone());
-    }
-    sigma
-}
-
-fn workload_schema() -> Schema {
-    let mut schema = schema_4_1();
-    for (name, arity) in [("r1", 2), ("r2", 2), ("r3", 1), ("u1", 2), ("u2", 1)] {
-        schema.add(eqsql_relalg::RelSchema::bag(name, arity));
-    }
-    schema
-}
-
-/// Every safe subquery of Q1's body vs Q4, twice (α-renamed), per
-/// semantics — 118 pairs.
-fn repeated_subquery_pairs() -> Vec<EquivRequest> {
-    let q1 = parse_query("q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)").unwrap();
-    let q4 = parse_query("q4(X) :- p(X,Y)").unwrap();
-    let mut rng = StdRng::seed_from_u64(41);
-    let n = q1.body.len();
-    let mut pairs = Vec::new();
-    for mask in 1u32..(1 << n) {
-        let body: Vec<_> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| q1.body[i].clone()).collect();
-        let candidate = CqQuery { name: q1.name, head: q1.head.clone(), body };
-        if !candidate.is_safe() {
-            continue;
-        }
-        for sem in [Semantics::Set, Semantics::BagSet] {
-            pairs.push(EquivRequest { sem, q1: candidate.clone(), q2: q4.clone() });
-            pairs.push(EquivRequest {
-                sem,
-                q1: rename_isomorphic(&mut rng, &candidate),
-                q2: rename_isomorphic(&mut rng, &q4),
-            });
-        }
-    }
-    pairs
-}
 
 fn bench_equiv_batch(c: &mut Criterion) {
     let sigma = workload_sigma();

@@ -1,5 +1,7 @@
 //! Shared fixtures for benchmarks and the experiments binary.
 
+pub mod workloads;
+
 use eqsql_deps::{parse_dependencies, DependencySet};
 use eqsql_relalg::Schema;
 

@@ -80,6 +80,30 @@ impl ChaseError {
             ChaseError::DeadlineExceeded { .. } | ChaseError::Cancelled { .. } => false,
         }
     }
+
+    /// Stable wire encoding of the *cacheable* variants, for persistence
+    /// layers that memoize terminal outcomes across processes: `(code,
+    /// magnitude)`, where the magnitude is the steps/atoms count. `None`
+    /// for transient guard aborts — they must never be serialized (the
+    /// mirror of [`ChaseError::is_cacheable`], and the codes are part of
+    /// the on-disk format, so they must never be renumbered).
+    pub fn wire(&self) -> Option<(u8, u64)> {
+        match self {
+            ChaseError::BudgetExhausted { steps } => Some((1, *steps as u64)),
+            ChaseError::QueryTooLarge { atoms } => Some((2, *atoms as u64)),
+            ChaseError::DeadlineExceeded { .. } | ChaseError::Cancelled { .. } => None,
+        }
+    }
+
+    /// Inverse of [`ChaseError::wire`]: `None` for unknown codes (a decoder
+    /// must treat that as a corrupt record, not a panic).
+    pub fn from_wire(code: u8, magnitude: u64) -> Option<ChaseError> {
+        match code {
+            1 => Some(ChaseError::BudgetExhausted { steps: magnitude as usize }),
+            2 => Some(ChaseError::QueryTooLarge { atoms: magnitude as usize }),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ChaseError {

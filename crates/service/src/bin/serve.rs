@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C]
+//!             [--cache-dir DIR] [--cache-read-only] [--snapshot-every N]
 //!             [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest]
 //!             [--strict] [--quiet] FILE
 //! ```
@@ -14,6 +15,13 @@
 //! solver's (by then warm) cache — the simplest load test: run 1 pays for
 //! the chases, runs 2..K measure the serving path.
 //!
+//! `--cache-dir DIR` persists the chase cache at DIR (append-only log +
+//! compacted snapshots; see `eqsql_service::cache::persist`): a restarted
+//! server over the same DIR answers previously decided chases from disk,
+//! reported in the `persist:` stats line. `--snapshot-every N` sets the
+//! compaction cadence (0 = never), `--cache-read-only` serves disk hits
+//! without writing.
+//!
 //! Ops knobs map onto [`eqsql_service::BatchOptions`]: `--deadline-ms MS`
 //! gives every request a wall-clock deadline (`0` = already expired —
 //! deterministic timeout drills), `--shed N` bounds the admission queue
@@ -25,13 +33,14 @@
 
 use eqsql_service::{
     parse_request_file, AdmissionConfig, Answer, BatchOptions, CacheConfig, ChaseCache, Error,
-    Request, ShedPolicy, Solver, Verdict,
+    PersistConfig, Request, ShedPolicy, Solver, Verdict,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] \
+                     [--cache-dir DIR] [--cache-read-only] [--snapshot-every N] \
                      [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest] \
                      [--strict] [--quiet] FILE";
 
@@ -40,6 +49,9 @@ struct Args {
     threads: usize,
     repeat: usize,
     cache_capacity: usize,
+    cache_dir: Option<String>,
+    cache_read_only: bool,
+    snapshot_every: Option<usize>,
     deadline_ms: Option<u64>,
     shed: Option<usize>,
     shed_policy: ShedPolicy,
@@ -59,6 +71,9 @@ fn parse_args() -> Result<ArgsOutcome, String> {
         threads: 1,
         repeat: 1,
         cache_capacity: CacheConfig::default().capacity,
+        cache_dir: None,
+        cache_read_only: false,
+        snapshot_every: None,
         deadline_ms: None,
         shed: None,
         shed_policy: ShedPolicy::RejectNew,
@@ -77,6 +92,11 @@ fn parse_args() -> Result<ArgsOutcome, String> {
             "--threads" => args.threads = numeric("--threads")?.max(1),
             "--repeat" => args.repeat = numeric("--repeat")?.max(1),
             "--cache-capacity" => args.cache_capacity = numeric("--cache-capacity")?.max(1),
+            "--cache-dir" => {
+                args.cache_dir = Some(it.next().ok_or("--cache-dir wants a directory")?)
+            }
+            "--cache-read-only" => args.cache_read_only = true,
+            "--snapshot-every" => args.snapshot_every = Some(numeric("--snapshot-every")?),
             "--deadline-ms" => args.deadline_ms = Some(numeric("--deadline-ms")? as u64),
             "--shed" => args.shed = Some(numeric("--shed")?.max(1)),
             "--shed-policy" => {
@@ -177,10 +197,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cache = Arc::new(ChaseCache::new(CacheConfig {
+    let persist = args.cache_dir.as_ref().map(|dir| {
+        let mut p = PersistConfig::at(dir);
+        p.read_only = args.cache_read_only;
+        if let Some(every) = args.snapshot_every {
+            p.snapshot_every = every;
+        }
+        p
+    });
+    let cache = match ChaseCache::open(CacheConfig {
         capacity: args.cache_capacity,
+        persist,
         ..CacheConfig::default()
-    }));
+    }) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            let dir = args.cache_dir.as_deref().unwrap_or("");
+            eprintln!("eqsql-serve: cannot open cache dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let solver = Solver::builder(request.sigma, request.schema)
         .chase_config(request.config)
         .cache(Arc::clone(&cache))
@@ -225,6 +261,20 @@ fn main() -> ExitCode {
         "cache: {} hits, {} misses, {} evictions, {} entries resident ({} requests, {} batches)",
         s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries, s.requests, s.batches
     );
+    if args.cache_dir.is_some() {
+        let p = s.cache.persist;
+        println!(
+            "persist: {} loaded, {} recovered, {} discarded, {} snapshots, \
+             {} appended, {} disk hits{}",
+            p.loaded,
+            p.recovered,
+            p.discarded,
+            p.snapshots,
+            p.appended,
+            p.disk_hits,
+            if p.io_errors > 0 { format!(", {} io errors", p.io_errors) } else { String::new() }
+        );
+    }
     if s.shed > 0 || s.retries > 0 || s.panics > 0 {
         println!("backpressure: {} shed, {} retries, {} panics", s.shed, s.retries, s.panics);
     }

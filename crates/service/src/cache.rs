@@ -43,6 +43,8 @@
 //! invariants are re-established on the next insert, and a solver that
 //! isolates panicking requests must not lose its cache to them.
 
+pub mod persist;
+
 use crate::canon::{cache_key, query_fingerprint, ChaseContext};
 use eqsql_chase::set_chase::Chased;
 use eqsql_chase::{sound_chase_prepared_opts, ChaseConfig, ChaseError, EngineOpts, SoundChased};
@@ -50,29 +52,34 @@ use eqsql_core::SoundChaser;
 use eqsql_cq::{find_isomorphism, CqQuery, Subst, Term, Var, VarSupply};
 use eqsql_deps::{regularize_set, DependencySet};
 use eqsql_relalg::{Schema, Semantics};
+use persist::{PersistConfig, PersistStats, PersistTier};
 use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Locks `m`, recovering the guard if a caught panic poisoned it (see the
 /// module docs on why that is sound here).
-fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Sizing knobs for [`ChaseCache`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CacheConfig {
     /// Number of independent shards (each its own mutex).
     pub shards: usize,
     /// Total entry capacity across all shards; exceeding a shard's
     /// per-shard share evicts its oldest entries (FIFO).
     pub capacity: usize,
+    /// Optional disk tier ([`persist`]): entries survive process restarts
+    /// and memory-tier evictions. `None` keeps the cache memory-only.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { shards: 16, capacity: 4096 }
+        CacheConfig { shards: 16, capacity: 4096, persist: None }
     }
 }
 
@@ -86,12 +93,12 @@ const SIGMA_MEMO_CAP: usize = 256;
 /// carry the representative's variable names anyway — replayed results
 /// report an empty trace instead.
 #[derive(Clone, Debug)]
-struct StoredChase {
-    query: CqQuery,
-    failed: bool,
-    steps: usize,
-    renaming: Subst,
-    sigma_regularized: Arc<DependencySet>,
+pub(crate) struct StoredChase {
+    pub(crate) query: CqQuery,
+    pub(crate) failed: bool,
+    pub(crate) steps: usize,
+    pub(crate) renaming: Subst,
+    pub(crate) sigma_regularized: Arc<DependencySet>,
 }
 
 #[derive(Clone, Debug)]
@@ -129,6 +136,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Disk-tier counters (all zero when persistence is off).
+    pub persist: PersistStats,
 }
 
 /// The sharded `(Q, Σ)` chase-result cache. See the module docs.
@@ -143,6 +152,9 @@ pub struct ChaseCache {
     /// chases over one Σ regularize and render it once. Keyed exactly (by
     /// text) and bounded by [`SIGMA_MEMO_CAP`].
     sigma_memo: Mutex<HashMap<String, (Arc<DependencySet>, Arc<str>)>>,
+    /// The disk tier, when [`CacheConfig::persist`] is set. Memory misses
+    /// fall through to it; fresh terminal results are appended to it.
+    persist: Option<PersistTier>,
 }
 
 impl Default for ChaseCache {
@@ -152,8 +164,31 @@ impl Default for ChaseCache {
 }
 
 impl ChaseCache {
-    /// An empty cache with the given sizing.
+    /// An empty cache with the given sizing. If a persistence tier is
+    /// configured but fails to open, the cache degrades to memory-only
+    /// (with `persist.io_errors = 1` in [`ChaseCache::stats`]) rather than
+    /// failing — callers that must know use [`ChaseCache::open`].
     pub fn new(config: CacheConfig) -> ChaseCache {
+        let tier = config
+            .persist
+            .as_ref()
+            .map(|p| PersistTier::open(p).unwrap_or_else(|_| PersistTier::unavailable()));
+        ChaseCache::with_tier(&config, tier)
+    }
+
+    /// [`ChaseCache::new`], but surfacing a persistence-tier open failure
+    /// (an uncreatable directory, unopenable files) instead of degrading.
+    /// Corrupt file *content* is never an error — recovery keeps the valid
+    /// prefix and counts the damage (see [`persist`]).
+    pub fn open(config: CacheConfig) -> io::Result<ChaseCache> {
+        let tier = match &config.persist {
+            Some(p) => Some(PersistTier::open(p)?),
+            None => None,
+        };
+        Ok(ChaseCache::with_tier(&config, tier))
+    }
+
+    fn with_tier(config: &CacheConfig, persist: Option<PersistTier>) -> ChaseCache {
         let shards = config.shards.max(1);
         ChaseCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
@@ -163,6 +198,7 @@ impl ChaseCache {
             evictions: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
             sigma_memo: Mutex::new(HashMap::new()),
+            persist,
         }
     }
 
@@ -173,6 +209,7 @@ impl ChaseCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| lock_recovering(s).entries).sum(),
+            persist: self.persist.as_ref().map(PersistTier::stats).unwrap_or_default(),
         }
     }
 
@@ -391,6 +428,20 @@ impl ChaseCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (outcome.map(|stored| Self::replay(q, &stored, &map)), true);
         }
+        // Memory miss: the disk tier may still know this entry (from a
+        // previous process, or evicted under capacity pressure). A disk
+        // hit counts as a cache hit, is promoted into the memory tier
+        // (keyed by its own representative — isomorphic to `q`, so the
+        // fingerprints agree) and is *not* re-appended: it is durable
+        // already.
+        if let Some(tier) = &self.persist {
+            if let Some(hit) = tier.lookup(key, ctx, q) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let result = hit.outcome.clone().map(|stored| Self::replay(q, &stored, &hit.map));
+                self.insert(key, ctx.clone(), &hit.representative, hit.outcome);
+                return (result, true);
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = sound_chase_prepared_opts(sem, q, Arc::clone(sigma_reg), schema, config, opts);
         let stored = match &result {
@@ -406,6 +457,26 @@ impl ChaseCache {
             // (Q, Σ): memoizing it would make the retry fail from cache.
             Err(_) => return (result, false),
         };
+        if let Some(tier) = &self.persist {
+            let outcome = match &stored {
+                Ok(s) => Ok(persist::PersistedChase {
+                    query: s.query.clone(),
+                    failed: s.failed,
+                    steps: s.steps,
+                    renaming: s.renaming.clone(),
+                }),
+                Err(e) => Err(e.clone()),
+            };
+            tier.append(
+                key,
+                &persist::PersistRecord {
+                    ctx: ctx.clone(),
+                    sigma: Arc::clone(sigma_reg),
+                    representative: q.clone(),
+                    outcome,
+                },
+            );
+        }
         self.insert(key, ctx.clone(), q, stored);
         (result, false)
     }
@@ -504,7 +575,10 @@ mod tests {
         let q2 = parse_query("q(U) :- e(U,V)").unwrap();
         let e2 = cache.sound_chase(Semantics::Set, &q2, &sigma, &schema, &small).unwrap_err();
         assert_eq!(e1, e2);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0, entries: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 1, evictions: 0, entries: 1, ..Default::default() }
+        );
     }
 
     #[test]
@@ -525,7 +599,7 @@ mod tests {
     fn fifo_eviction_respects_capacity() {
         let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
         let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("c", 1)]);
-        let cache = ChaseCache::new(CacheConfig { shards: 1, capacity: 2 });
+        let cache = ChaseCache::new(CacheConfig { shards: 1, capacity: 2, ..Default::default() });
         for body in ["a(X)", "a(X), c(X)", "a(X), c(X), c(X)"] {
             let q = parse_query(&format!("q(X) :- {body}")).unwrap();
             cache.sound_chase(Semantics::Set, &q, &sigma, &schema, &cfg()).unwrap();

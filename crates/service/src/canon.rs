@@ -184,6 +184,29 @@ impl ChaseContext {
         let mut set_valued: Vec<String> =
             schema.set_valued_relations().into_iter().map(|p| p.name().to_string()).collect();
         set_valued.sort_unstable();
+        ChaseContext::from_parts(
+            sem,
+            sigma_text,
+            set_valued.into(),
+            config.max_steps,
+            config.max_atoms,
+            delta_seeding,
+        )
+    }
+
+    /// Rebuilds a context from its exact key material — the decode path of
+    /// the persistence tier ([`crate::cache::persist`]), which stores the
+    /// material (never the hash) and must recompute the fingerprint with
+    /// the same recipe [`ChaseContext::with_text`] uses, so a persisted
+    /// entry lands in the same bucket a live probe would.
+    pub(crate) fn from_parts(
+        sem: Semantics,
+        sigma_text: std::sync::Arc<str>,
+        set_valued: std::sync::Arc<[String]>,
+        max_steps: usize,
+        max_atoms: usize,
+        delta_seeding: bool,
+    ) -> ChaseContext {
         let sem_tag: u8 = match sem {
             Semantics::Set => 0,
             Semantics::Bag => 1,
@@ -192,18 +215,18 @@ impl ChaseContext {
         let fingerprint = h64((
             sem_tag,
             sigma_text.as_ref(),
-            &set_valued,
-            config.max_steps,
-            config.max_atoms,
+            set_valued.as_ref(),
+            max_steps,
+            max_atoms,
             delta_seeding,
         ));
         ChaseContext {
             fingerprint,
             sem,
             sigma_text,
-            set_valued: set_valued.into(),
-            max_steps: config.max_steps,
-            max_atoms: config.max_atoms,
+            set_valued,
+            max_steps,
+            max_atoms,
             delta_seeding,
         }
     }
@@ -211,6 +234,36 @@ impl ChaseContext {
     /// The context's bucketing fingerprint.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The semantics this context keys.
+    pub(crate) fn sem(&self) -> Semantics {
+        self.sem
+    }
+
+    /// The rendered (regularized) Σ this context keys.
+    pub(crate) fn sigma_text(&self) -> &std::sync::Arc<str> {
+        &self.sigma_text
+    }
+
+    /// The sorted set-valued relation names this context keys.
+    pub(crate) fn set_valued(&self) -> &[String] {
+        &self.set_valued
+    }
+
+    /// The step budget this context keys.
+    pub(crate) fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    /// The atom budget this context keys.
+    pub(crate) fn max_atoms(&self) -> usize {
+        self.max_atoms
+    }
+
+    /// Was the keyed chase delta-seeded?
+    pub(crate) fn delta_seeding(&self) -> bool {
+        self.delta_seeding
     }
 
     /// Exact equality of the key material — the authority a fingerprint

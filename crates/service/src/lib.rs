@@ -61,7 +61,9 @@
 //! * [`cache`] — the sharded `(Q, Σ)` chase-result cache: fingerprint
 //!   buckets confirmed by exact isomorphism, α-equivalent probes replayed
 //!   through the witnessing bijection, terminal errors cached alongside
-//!   terminal results (see the cache-key soundness notes in [`cache`]);
+//!   terminal results (see the cache-key soundness notes in [`cache`]),
+//!   with an optional disk tier ([`cache::persist`]) that survives
+//!   restarts;
 //! * [`batch`] — [`BatchSession`], the legacy pairwise-equivalence batch
 //!   API, now a thin veneer over a counterexample-free [`Solver`];
 //! * [`request`] — the newline-delimited request-file format of the
@@ -80,6 +82,42 @@
 //! engine's, so the engine mode is part of the context key. See
 //! [`cache`] and [`canon`] for the full argument and the poisoning-guard
 //! tests.
+//!
+//! ## Persistence format & recovery guarantees
+//!
+//! With [`CacheConfig::persist`] set (or [`SolverBuilder::cache_dir`], or
+//! `eqsql-serve --cache-dir`), terminal chase results survive restarts in
+//! an append-only record log plus a periodically compacted snapshot:
+//!
+//! * **Record layout.** Both files open with an 8-byte magic and a
+//!   little-endian format version; each record is `body_len (u32) ·
+//!   FNV-1a-64 checksum · body`. A body stores the full entry *by
+//!   structure*: the context key material (semantics, budgets, engine
+//!   mode, sorted set-valued relations, the regularized Σ as tgd/egd
+//!   trees), the representative query, and the outcome — a terminal chase
+//!   (terminal query, failure flag, steps, renaming) or a cacheable
+//!   terminal error by its stable wire code. Fingerprints are recomputed
+//!   on load, never trusted from disk; symbols are re-interned by name.
+//! * **Snapshot cadence.** After [`cache::persist::PersistConfig::snapshot_every`]
+//!   appends, every live record is compacted into a fresh snapshot
+//!   (written to a temp file, atomically renamed) and the log is reset to
+//!   its header. A crash between the two steps at worst duplicates
+//!   records across the files, which the confirm path dedups.
+//! * **Recovery.** Startup loads the snapshot, replays the log tail, and
+//!   **truncates at the first invalid record** instead of failing —
+//!   validation is length bounds, checksum, and a full structural decode.
+//!   Each corruption event is counted in
+//!   [`cache::persist::PersistStats::discarded`] (surfaced through
+//!   [`Solver::stats`]). Every admitted record still re-enters through
+//!   the live hit path — exact context equality plus isomorphism
+//!   confirmation — so recovery can never admit an entry a fresh solver
+//!   would decide differently.
+//! * **What is (not) memoized across restarts.** Terminal results and the
+//!   *deterministic* budget errors (`BudgetExhausted`, `QueryTooLarge`)
+//!   are; transient guard aborts (deadline, cancellation) never reach
+//!   disk, mirroring [`eqsql_chase::ChaseError::is_cacheable`]. Read-only
+//!   mode ([`cache::persist::PersistConfig::read_only`]) serves disk hits
+//!   without appending, for replicas over a shared warm store.
 //!
 //! ## Failure modes & backpressure
 //!
@@ -138,6 +176,7 @@ pub mod solver;
 pub use batch::{BatchOutcome, BatchSession, BatchStats, EquivRequest};
 // Re-exported so Solver callers can speak the façade's full vocabulary
 // (semantics, budgets, engine knobs) without importing substrate crates.
+pub use cache::persist::{PersistConfig, PersistFault, PersistStats};
 pub use cache::{CacheConfig, CacheStats, ChaseCache};
 pub use canon::{cache_key, context_fingerprint, query_fingerprint, ChaseContext};
 pub use eqsql_chase::{Cancel, ChaseConfig, EngineOpts, Fault, FaultPlan, RunGuard};

@@ -620,6 +620,18 @@ impl SolverBuilder {
         self
     }
 
+    /// Convenience: persist the fresh cache at `dir` with the default
+    /// snapshot cadence (see [`crate::cache::persist::PersistConfig`]).
+    /// A solver restarted over the same directory answers previously
+    /// decided `(Q, Σ)` chases from disk; recovery/discard counters
+    /// surface in [`Solver::stats`]. Ignored when a cache is adopted via
+    /// [`SolverBuilder::cache`]. If the tier cannot be opened the solver
+    /// still builds, degraded to memory-only with `persist.io_errors = 1`.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> SolverBuilder {
+        self.cache_config.persist = Some(crate::cache::persist::PersistConfig::at(dir));
+        self
+    }
+
     /// Worker threads for [`Solver::decide_all`] (clamped to ≥ 1).
     pub fn threads(mut self, threads: usize) -> SolverBuilder {
         self.threads = threads.max(1);

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Snapshot the chase-engine benchmarks into BENCH_chase.json.
 #
-# Runs the criterion `chase_scaling` and `equiv` benches with a reduced
-# sample count (fast enough for CI), collects per-case median times via the
-# harness's BENCH_JSON_OUT hook, and writes a single JSON document with
-# per-case medians plus indexed-vs-reference speedups. Commit the result to
-# track the perf trajectory across PRs.
+# Runs the criterion `chase_scaling`, `equiv`, `equiv_batch`, `hom_search`
+# and `persist` benches with a reduced sample count (fast enough for CI),
+# collects per-case median times via the harness's BENCH_JSON_OUT hook, and
+# writes a single JSON document with per-case medians, indexed-vs-reference
+# speedups, and the persistence tier's cold-start-to-warm hit rates measured
+# through the `eqsql-serve` binary. Commit the result to track the perf
+# trajectory across PRs.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   BENCH_SAMPLES   samples per case (default 12)
@@ -30,8 +32,45 @@ BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench equiv_batch -- 2>&1 | sed 's/^/  /'
 BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench hom_search -- 2>&1 | sed 's/^/  /'
+BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
+    cargo bench -q -p eqsql-bench --bench persist -- 2>&1 | sed 's/^/  /'
 
-jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
+# Cold-start-to-warm hit rate through the real binary: a cold eqsql-serve
+# populates a cache directory on the equiv_batch workload, a second process
+# restarts over it, and a fresh-dir --repeat 2 run provides the
+# same-process warm baseline the restart must stay within 5% of.
+PERSIST_DIR="$(mktemp -d)"
+PERSIST_REQ="crates/service/fixtures/equiv_batch.req"
+trap 'rm -f "$RAW"; rm -rf "$PERSIST_DIR"' EXIT
+cache_line() { grep -E '^cache:' | sed -n 's/^cache: \([0-9]*\) hits, \([0-9]*\) misses.*/\1 \2/p'; }
+read -r COLD_HITS COLD_MISSES <<< "$(cargo run -q --release -p eqsql-service --bin eqsql-serve -- \
+    --quiet --cache-dir "$PERSIST_DIR/a" "$PERSIST_REQ" | cache_line)"
+read -r RESTART_HITS RESTART_MISSES <<< "$(cargo run -q --release -p eqsql-service --bin eqsql-serve -- \
+    --quiet --cache-dir "$PERSIST_DIR/a" "$PERSIST_REQ" | cache_line)"
+# --repeat 2 reports cumulative counters; the deterministic cold run above
+# is the first-run baseline to subtract.
+read -r TOTAL_HITS TOTAL_MISSES <<< "$(cargo run -q --release -p eqsql-service --bin eqsql-serve -- \
+    --quiet --repeat 2 --cache-dir "$PERSIST_DIR/b" "$PERSIST_REQ" | cache_line)"
+WARM_HITS=$((TOTAL_HITS - COLD_HITS))
+WARM_MISSES=$((TOTAL_MISSES - COLD_MISSES))
+PERSIST_JSON="$(jq -n \
+    --argjson ch "$COLD_HITS" --argjson cm "$COLD_MISSES" \
+    --argjson rh "$RESTART_HITS" --argjson rm "$RESTART_MISSES" \
+    --argjson wh "$WARM_HITS" --argjson wm "$WARM_MISSES" '
+  {
+    workload: "equiv_batch.req",
+    cold: {hits: $ch, misses: $cm, hit_rate: (($ch / ($ch + $cm) * 1000 | round) / 1000)},
+    restart_warm: {hits: $rh, misses: $rm, hit_rate: (($rh / ($rh + $rm) * 1000 | round) / 1000)},
+    same_process_warm: {hits: $wh, misses: $wm, hit_rate: (($wh / ($wh + $wm) * 1000 | round) / 1000)}
+  }')"
+# Acceptance: a restarted server must warm up like a surviving one.
+echo "$PERSIST_JSON" | jq -e \
+    '(.restart_warm.hit_rate - .same_process_warm.hit_rate) | (if . < 0 then -. else . end) <= 0.05' >/dev/null \
+    || { echo "persist: restart hit rate strays >5% from same-process warm:" >&2; \
+         echo "$PERSIST_JSON" | jq . >&2; exit 1; }
+
+jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" \
+    --argjson persist "$PERSIST_JSON" '
   {
     generated: $date,
     samples_per_case: ($samples | tonumber),
@@ -68,6 +107,12 @@ jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" '
         }
       )
     ),
+    persist: ($persist + {
+      bench: (
+        map(select(.id | startswith("persist/")))
+        | map({id, median_ns})
+      )
+    }),
     batch_speedups: (
       map(select(.id | startswith("equiv_batch/")))
       | group_by(.id | sub("/(cold|warm)/"; "/")) | map(
@@ -89,3 +134,4 @@ echo "wrote $OUT"
 jq -r '.speedups[] | "\(.case): \(.speedup)x (indexed \(.indexed_median_ns)ns vs reference \(.reference_median_ns)ns)"' "$OUT"
 jq -r '.batch_speedups[] | "\(.case): warm cache \(.warm_speedup)x (cold \(.cold_median_ns)ns vs warm \(.warm_median_ns)ns)"' "$OUT"
 jq -r '.hom_search[] | .case as $c | .contenders[] | "\($c): \(.id | sub(".*/(?<k>[a-z]+)/.*"; "\(.k)")) \(.speedup)x vs reference"' "$OUT"
+jq -r '.persist | "persist: cold \(.cold.hit_rate) -> restart \(.restart_warm.hit_rate) vs same-process \(.same_process_warm.hit_rate) hit rate"' "$OUT"

@@ -37,6 +37,36 @@ echo "$SERVE_OUT" | grep -q "reformulation(s)" \
 echo "$SERVE_OUT" | grep -q "not-implied" \
     || { echo "eqsql-serve smoke: implies verb missing" >&2; exit 1; }
 
+echo "== persistence smoke (cold run, then warm restart over the same --cache-dir)"
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+COLD_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+    --cache-dir "$CACHE_DIR" crates/service/fixtures/smoke.req)"
+WARM_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+    --cache-dir "$CACHE_DIR" crates/service/fixtures/smoke.req)"
+# Verdicts (everything except the run-local stats lines) must be identical
+# across the restart: the disk tier may change *how* an answer is computed,
+# never the answer.
+strip_stats() { grep -Ev '^(cache|persist|timing|backpressure):' || true; }
+diff <(echo "$COLD_OUT" | strip_stats) <(echo "$WARM_OUT" | strip_stats) \
+    || { echo "persist smoke: warm restart changed a verdict" >&2; exit 1; }
+echo "$WARM_OUT" | grep -E '^persist:' | sed 's/^/  /'
+# The restarted process must have admitted the first run's log and served
+# real cache hits from it.
+echo "$WARM_OUT" | grep -Eq '^cache: [1-9][0-9]* hits' \
+    || { echo "persist smoke: restarted run served no cache hits" >&2; exit 1; }
+echo "$WARM_OUT" | grep -Eq '^persist: .* [1-9][0-9]* disk hits' \
+    || { echo "persist smoke: restarted run served no disk hits" >&2; exit 1; }
+if echo "$WARM_OUT" | grep -Eq '^persist: .*io errors'; then
+    echo "persist smoke: io errors reported" >&2; exit 1
+fi
+# A read-only replica over the same directory must leave the log untouched.
+LOG_BYTES_BEFORE="$(wc -c < "$CACHE_DIR/log.eqc")"
+cargo run -q -p eqsql-service --bin eqsql-serve -- --quiet \
+    --cache-dir "$CACHE_DIR" --cache-read-only crates/service/fixtures/smoke.req >/dev/null
+[ "$(wc -c < "$CACHE_DIR/log.eqc")" -eq "$LOG_BYTES_BEFORE" ] \
+    || { echo "persist smoke: read-only replica wrote to the log" >&2; exit 1; }
+
 echo "== fault-injection smoke (expired deadline fails every verdict, never cached)"
 # --deadline-ms 0 means "already expired": every request must come back
 # error (deadline exceeded), deterministically — no timing races.

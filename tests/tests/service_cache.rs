@@ -227,17 +227,22 @@ fn batched_verdicts_match_unbatched_across_threads() {
     assert!(stats.hits >= stats.misses, "{stats:?}");
 }
 
-/// Eviction accounting through the `Solver::stats` snapshot: a capacity-1
-/// single-shard cache must evict exactly once per new distinct entry past
-/// the first, residency must never exceed capacity, and the solver's
-/// request/batch counters must track every decision.
-#[test]
-fn solver_stats_account_for_evictions() {
+/// Eviction accounting through the `Solver::stats` snapshot, with and
+/// without the disk tier. FIFO eviction is a memory-tier concern, so its
+/// accounting must be byte-identical in both modes: a capacity-1
+/// single-shard cache evicts exactly once per new distinct entry past the
+/// first and residency never exceeds capacity. Disk residency is asserted
+/// independently: re-probing an evicted entry re-chases (a fifth miss)
+/// without persistence, but comes back as a disk hit (misses stay at four)
+/// with it.
+fn solver_eviction_accounting(persist: Option<eqsql_service::PersistConfig>) {
     use eqsql_service::{CacheConfig, Request, RequestOpts, Solver};
+    let persistent = persist.is_some();
     let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
     let schema = Schema::all_bags(&[("a", 1), ("b", 1), ("c", 1)]);
-    let solver =
-        Solver::builder(sigma, schema).cache_config(CacheConfig { shards: 1, capacity: 1 }).build();
+    let solver = Solver::builder(sigma, schema)
+        .cache_config(CacheConfig { shards: 1, capacity: 1, persist, ..CacheConfig::default() })
+        .build();
     // Four structurally distinct queries → four entries demanded of a
     // capacity-1 shard: 3 evictions, 1 resident.
     let bodies = ["a(X)", "a(X), c(X)", "a(X), c(X), c(X)", "a(X), b(X), c(X)"];
@@ -260,7 +265,11 @@ fn solver_stats_account_for_evictions() {
         stats.cache.misses - stats.cache.entries as u64,
         "every miss past capacity must be matched by exactly one eviction: {stats:?}"
     );
-    // Re-probing an evicted entry misses again and evicts the survivor.
+    if persistent {
+        // Every miss was journaled; eviction only touched the memory tier.
+        assert_eq!(stats.cache.persist.appended, 4, "{stats:?}");
+    }
+    // Re-probe an entry long since evicted from the memory tier.
     solver
         .decide(&Request::Equivalent {
             q1: parse_query("q(X) :- a(X)").unwrap(),
@@ -270,7 +279,32 @@ fn solver_stats_account_for_evictions() {
         .unwrap();
     let after = solver.stats();
     assert_eq!(after.requests, 5);
-    assert_eq!(after.cache.misses, 5, "{after:?}");
+    if persistent {
+        // Disk residency outlives eviction: the re-probe is a disk hit
+        // promoted back into memory, not a re-chase — and promotion does
+        // not re-append.
+        assert_eq!(after.cache.misses, 4, "{after:?}");
+        assert_eq!(after.cache.persist.disk_hits, 1, "{after:?}");
+        assert_eq!(after.cache.persist.appended, 4, "{after:?}");
+    } else {
+        assert_eq!(after.cache.misses, 5, "{after:?}");
+    }
+    // FIFO accounting is identical either way: the promoted (or
+    // re-chased) entry evicts the survivor.
     assert_eq!(after.cache.evictions, 4, "{after:?}");
     assert_eq!(after.cache.entries, 1, "{after:?}");
+}
+
+#[test]
+fn solver_stats_account_for_evictions() {
+    solver_eviction_accounting(None);
+}
+
+#[test]
+fn solver_stats_account_for_evictions_with_persistence() {
+    let dir =
+        std::env::temp_dir().join(format!("eqsql-service-cache-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    solver_eviction_accounting(Some(eqsql_service::PersistConfig::at(&dir)));
+    let _ = std::fs::remove_dir_all(&dir);
 }
