@@ -104,6 +104,7 @@ use crate::step::{classify_egd_images, rename_dep_apart_mapped, DedupPolicy};
 use eqsql_cq::matcher::{probe_all, DeltaSlots, MatchPlan, Seed, Target};
 use eqsql_cq::{CqQuery, Predicate, Subst, Term, Var, VarSupply};
 use eqsql_deps::{Dependency, DependencySet, Tgd};
+use eqsql_obs::StepProbe;
 use std::collections::HashMap;
 
 /// How tgd steps are admitted.
@@ -144,11 +145,22 @@ pub struct EngineOpts {
     /// results, only whether the run finishes, so it is not part of any
     /// cache key.
     pub guard: RunGuard,
+    /// Work-attribution probe ([`eqsql_obs::StepProbe`]): counts committed
+    /// steps and dependency scans. Pure accounting — the default disarmed
+    /// probe costs one `Option` test per callback, and an armed probe
+    /// never changes firing order or results, so like `guard` it is not
+    /// part of any cache key.
+    pub probe: StepProbe,
 }
 
 impl Default for EngineOpts {
     fn default() -> EngineOpts {
-        EngineOpts { delta_seeding: false, probes: 1, guard: RunGuard::default() }
+        EngineOpts {
+            delta_seeding: false,
+            probes: 1,
+            guard: RunGuard::default(),
+            probe: StepProbe::default(),
+        }
     }
 }
 
@@ -513,12 +525,14 @@ pub fn chase_indexed_opts(
                     }) as Box<dyn FnOnce() -> Scan + Send + '_>
                 })
                 .collect();
+            opts.probe.on_scans(jobs.len() as u64);
             probe_all(jobs)
         } else {
             let i = picks[0];
             if !admitted_q_indep(i, &dep_admitted) {
                 continue;
             }
+            opts.probe.on_scans(1);
             let target = Target::new(index.atoms(), index.buckets());
             let delta = gather_delta(&index, opts.delta_seeding, watermark[i]);
             let scan = match deps[i] {
@@ -611,6 +625,7 @@ pub fn chase_indexed_opts(
                     }
                     steps += 1;
                     index.advance_gen();
+                    opts.probe.on_step();
                     trace.push(TraceEntry {
                         dep_index: i,
                         dep: deps[i].to_string(),
@@ -669,6 +684,7 @@ pub fn chase_indexed_opts(
                         }
                         steps += 1;
                         index.advance_gen();
+                        opts.probe.on_step();
                         trace.push(TraceEntry {
                             dep_index: i,
                             dep: deps[i].to_string(),

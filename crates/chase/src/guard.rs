@@ -169,6 +169,13 @@ impl RunGuard {
         self.inner.is_none()
     }
 
+    /// Engine-step polls seen so far (0 for the unguarded guard, which
+    /// does not count). Observability reads this to attribute how much
+    /// guarded engine work a request performed.
+    pub fn polls(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.polls.load(Ordering::Relaxed))
+    }
+
     /// The per-step poll: counts toward [`FaultPlan::at_poll`], injects a
     /// due fault, then checks cancellation and the deadline. `steps` is
     /// the caller's current step count, reported in the error for

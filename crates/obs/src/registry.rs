@@ -1,0 +1,105 @@
+//! A named-metric registry: get-or-create [`Counter`]s and
+//! [`Histogram`]s behind `Arc` handles, rendered as stable sorted
+//! `key=value` text.
+//!
+//! Lookup takes a read lock on a `HashMap` once per *handle*, not per
+//! increment: callers fetch their handles at construction time and then
+//! touch only relaxed atomics on the hot path. The registry itself is
+//! cheap enough to be per-solver; a process-wide one is just a
+//! `static`/`OnceLock` away if a consumer wants it.
+
+use crate::hist::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A named monotone counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Named counters and histograms. See the module docs.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created (at zero) on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created (empty) on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("registry lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())))
+    }
+
+    /// Renders every metric as one line each, sorted by name — counters
+    /// as `name value`, histograms as `name count=… mean=… p50=… p90=…
+    /// p99=… max=…` — so dumps diff cleanly across runs.
+    pub fn render(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (name, c) in self.counters.read().expect("registry lock").iter() {
+            lines.push(format!("{name} {}", c.get()));
+        }
+        for (name, h) in self.histograms.read().expect("registry lock").iter() {
+            lines.push(format!("{name} {}", h.summary()));
+        }
+        lines.sort_unstable();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_render_is_sorted() {
+        let r = Registry::new();
+        r.counter("z.last").add(3);
+        r.counter("a.first").inc();
+        // Same name, same handle.
+        r.counter("a.first").inc();
+        assert_eq!(r.counter("a.first").get(), 2);
+        r.histogram("m.latency_us").record(100);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a.first 2");
+        assert!(lines[1].starts_with("m.latency_us count=1"));
+        assert_eq!(lines[2], "z.last 3");
+    }
+}

@@ -4,6 +4,7 @@
 //! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C]
 //!             [--cache-dir DIR] [--cache-read-only] [--snapshot-every N]
 //!             [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest]
+//!             [--metrics] [--trace FILE] [--progress MS]
 //!             [--strict] [--quiet] FILE
 //! ```
 //!
@@ -30,18 +31,29 @@
 //! verdict is a decided outcome, reported in the `batch:` summary line —
 //! unless `--strict` is given, which exits nonzero if any verdict is an
 //! error.
+//!
+//! Observability (`eqsql_obs`, off by default so the serving path stays
+//! step-identical): `--metrics` turns instrumentation on and prints
+//! `metric:`-prefixed summary lines at end of run (latency histogram
+//! quantiles, cumulative per-phase timings, core counters); `--trace FILE`
+//! additionally writes one structured `event=request …` key=value line per
+//! decided request to FILE (see `eqsql_service`'s "Observability" docs for
+//! the schema); `--progress MS` prints a liveness line to stderr every MS
+//! milliseconds while the batch loop runs.
 
 use eqsql_service::{
     parse_request_file, AdmissionConfig, Answer, BatchOptions, CacheConfig, ChaseCache, Error,
-    PersistConfig, Request, ShedPolicy, Solver, Verdict,
+    PersistConfig, Request, ShedPolicy, Solver, TraceSink, Verdict, WriteSink,
 };
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: eqsql-serve [--threads N] [--repeat K] [--cache-capacity C] \
                      [--cache-dir DIR] [--cache-read-only] [--snapshot-every N] \
                      [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest] \
+                     [--metrics] [--trace FILE] [--progress MS] \
                      [--strict] [--quiet] FILE";
 
 struct Args {
@@ -55,6 +67,9 @@ struct Args {
     deadline_ms: Option<u64>,
     shed: Option<usize>,
     shed_policy: ShedPolicy,
+    metrics: bool,
+    trace: Option<String>,
+    progress_ms: Option<u64>,
     strict: bool,
     quiet: bool,
 }
@@ -77,6 +92,9 @@ fn parse_args() -> Result<ArgsOutcome, String> {
         deadline_ms: None,
         shed: None,
         shed_policy: ShedPolicy::RejectNew,
+        metrics: false,
+        trace: None,
+        progress_ms: None,
         strict: false,
         quiet: false,
     };
@@ -111,6 +129,9 @@ fn parse_args() -> Result<ArgsOutcome, String> {
                     }
                 };
             }
+            "--metrics" => args.metrics = true,
+            "--trace" => args.trace = Some(it.next().ok_or("--trace wants a file")?),
+            "--progress" => args.progress_ms = Some(numeric("--progress")?.max(1) as u64),
             "--strict" => args.strict = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(ArgsOutcome::Help),
@@ -217,11 +238,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let solver = Solver::builder(request.sigma, request.schema)
+    // Observability is opt-in: only these flags flip the global gate, so a
+    // plain run keeps the zero-cost (step-identical) disabled fast path.
+    if args.metrics || args.trace.is_some() {
+        eqsql_obs::set_enabled(true);
+    }
+    let trace_sink: Option<Arc<dyn TraceSink>> = match &args.trace {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(Arc::new(WriteSink::new(f))),
+            Err(e) => {
+                eprintln!("eqsql-serve: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut builder = Solver::builder(request.sigma, request.schema)
         .chase_config(request.config)
         .cache(Arc::clone(&cache))
-        .threads(args.threads)
-        .build();
+        .threads(args.threads);
+    if let Some(sink) = trace_sink {
+        builder = builder.trace_sink(sink);
+    }
+    let solver = builder.build();
     let batch_opts = BatchOptions {
         deadline_ms: args.deadline_ms,
         admission: args.shed.map(|capacity| AdmissionConfig { capacity, policy: args.shed_policy }),
@@ -230,15 +269,47 @@ fn main() -> ExitCode {
 
     let start = Instant::now();
     let mut last = None;
-    for run in 0..args.repeat {
-        let report = solver.decide_all_with(&request.requests, &batch_opts);
-        if run == 0 && !args.quiet {
-            for (req, verdict) in request.requests.iter().zip(report.verdicts.iter()) {
-                println!("{}", render(req, verdict));
+    // The progress reporter (if any) lives only as long as the batch loop:
+    // a scoped thread borrowing the solver, parked between ticks and
+    // unparked for a prompt exit once the loop is done.
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let progress = args.progress_ms.map(|ms| {
+            let (solver, done) = (&solver, &done);
+            scope.spawn(move || {
+                let period = Duration::from_millis(ms);
+                loop {
+                    std::thread::park_timeout(period);
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let s = solver.stats();
+                    eprintln!(
+                        "progress: {} request(s) decided, {} cache hit(s), \
+                         {} miss(es), {} shed, {:.1}s elapsed",
+                        s.requests,
+                        s.cache.hits,
+                        s.cache.misses,
+                        s.shed,
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+            })
+        });
+        for run in 0..args.repeat {
+            let report = solver.decide_all_with(&request.requests, &batch_opts);
+            if run == 0 && !args.quiet {
+                for (req, verdict) in request.requests.iter().zip(report.verdicts.iter()) {
+                    println!("{}", render(req, verdict));
+                }
             }
+            last = Some(report);
         }
-        last = Some(report);
-    }
+        done.store(true, Ordering::Release);
+        if let Some(handle) = progress {
+            handle.thread().unpark();
+        }
+    });
     let total = start.elapsed();
     let report = last.expect("repeat >= 1");
     let positive = report
@@ -257,9 +328,26 @@ fn main() -> ExitCode {
         report.threads
     );
     let s = solver.stats();
+    // Anything new on this line goes *after* "misses" — bench_snapshot.sh
+    // parses the `cache: N hits, M misses` prefix with a suffix-tolerant sed.
+    let (occ_min, occ_max) = (
+        s.cache.shard_entries.iter().min().copied().unwrap_or(0),
+        s.cache.shard_entries.iter().max().copied().unwrap_or(0),
+    );
     println!(
-        "cache: {} hits, {} misses, {} evictions, {} entries resident ({} requests, {} batches)",
-        s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries, s.requests, s.batches
+        "cache: {} hits, {} misses, {} evictions, {} entries resident \
+         ({} requests, {} batches); {} disk hit(s), {} io error(s); \
+         shard occupancy min {} max {}",
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.evictions,
+        s.cache.entries,
+        s.requests,
+        s.batches,
+        s.cache.persist.disk_hits,
+        s.cache.persist.io_errors,
+        occ_min,
+        occ_max
     );
     if args.cache_dir.is_some() {
         let p = s.cache.persist;
@@ -285,6 +373,26 @@ fn main() -> ExitCode {
         total,
         (report.verdicts.len() * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
     );
+    if args.metrics {
+        let p = s.phase;
+        println!("metric: latency {}", s.latency);
+        println!(
+            "metric: phase queue_us={} regularize_us={} chase_us={} cache_us={} evidence_us={}",
+            p.queue_us, p.regularize_us, p.chase_us, p.cache_us, p.evidence_us
+        );
+        println!(
+            "metric: counters requests={} batches={} shed={} retries={} panics={} \
+             cache_hits={} cache_misses={} disk_hits={}",
+            s.requests,
+            s.batches,
+            s.shed,
+            s.retries,
+            s.panics,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.persist.disk_hits
+        );
+    }
     if args.strict && errors > 0 {
         eprintln!("eqsql-serve: --strict: {errors} error verdict(s)");
         return ExitCode::FAILURE;

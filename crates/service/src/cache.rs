@@ -126,7 +126,7 @@ struct Shard {
 }
 
 /// Point-in-time cache counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Probes answered from a stored entry.
     pub hits: u64,
@@ -136,8 +136,35 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Resident entries per shard, in shard order. Keys shard by
+    /// fingerprint, so a skewed distribution here (one shard holding most
+    /// entries while others sit empty) is the observable symptom of
+    /// fingerprint clustering — worth knowing before blaming capacity.
+    pub shard_entries: Vec<usize>,
     /// Disk-tier counters (all zero when persistence is off).
     pub persist: PersistStats,
+}
+
+/// Where one chase probe was answered. The interesting split is
+/// memory-vs-disk: a disk hit saves the chase but still pays
+/// deserialization and promotion, so a workload whose "hits" are mostly
+/// disk hits warms very differently from one riding the resident tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from the resident memory tier.
+    MemoryHit,
+    /// Answered from the disk tier (and promoted into memory).
+    DiskHit,
+    /// A fresh chase ran (including runs whose transient error was
+    /// deliberately left uncached).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Did the probe avoid a fresh chase?
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheOutcome::Miss)
+    }
 }
 
 /// The sharded `(Q, Σ)` chase-result cache. See the module docs.
@@ -204,11 +231,14 @@ impl ChaseCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let shard_entries: Vec<usize> =
+            self.shards.iter().map(|s| lock_recovering(s).entries).collect();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| lock_recovering(s).entries).sum(),
+            entries: shard_entries.iter().sum(),
+            shard_entries,
             persist: self.persist.as_ref().map(PersistTier::stats).unwrap_or_default(),
         }
     }
@@ -423,10 +453,29 @@ impl ChaseCache {
         config: &ChaseConfig,
         opts: &EngineOpts,
     ) -> (Result<SoundChased, ChaseError>, bool) {
+        let (result, outcome) =
+            self.chase_keyed_attributed(ctx, sigma_reg, sem, q, schema, config, opts);
+        (result, outcome.is_hit())
+    }
+
+    /// [`ChaseCache::chase_keyed_counted_opts`], reporting *where* the
+    /// probe was answered ([`CacheOutcome`]) instead of a bare hit flag —
+    /// the attribution point for per-request tracing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn chase_keyed_attributed(
+        &self,
+        ctx: &ChaseContext,
+        sigma_reg: &Arc<DependencySet>,
+        sem: Semantics,
+        q: &CqQuery,
+        schema: &Schema,
+        config: &ChaseConfig,
+        opts: &EngineOpts,
+    ) -> (Result<SoundChased, ChaseError>, CacheOutcome) {
         let key = cache_key(query_fingerprint(q), ctx.fingerprint());
         if let Some((outcome, map)) = self.lookup(key, ctx, q) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (outcome.map(|stored| Self::replay(q, &stored, &map)), true);
+            return (outcome.map(|stored| Self::replay(q, &stored, &map)), CacheOutcome::MemoryHit);
         }
         // Memory miss: the disk tier may still know this entry (from a
         // previous process, or evicted under capacity pressure). A disk
@@ -439,7 +488,7 @@ impl ChaseCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let result = hit.outcome.clone().map(|stored| Self::replay(q, &stored, &hit.map));
                 self.insert(key, ctx.clone(), &hit.representative, hit.outcome);
-                return (result, true);
+                return (result, CacheOutcome::DiskHit);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -455,7 +504,7 @@ impl ChaseCache {
             Err(e) if e.is_cacheable() => Err(e.clone()),
             // A deadline/cancellation is a fact about this run, not about
             // (Q, Σ): memoizing it would make the retry fail from cache.
-            Err(_) => return (result, false),
+            Err(_) => return (result, CacheOutcome::Miss),
         };
         if let Some(tier) = &self.persist {
             let outcome = match &stored {
@@ -478,7 +527,7 @@ impl ChaseCache {
             );
         }
         self.insert(key, ctx.clone(), q, stored);
-        (result, false)
+        (result, CacheOutcome::Miss)
     }
 }
 
@@ -575,10 +624,10 @@ mod tests {
         let q2 = parse_query("q(U) :- e(U,V)").unwrap();
         let e2 = cache.sound_chase(Semantics::Set, &q2, &sigma, &schema, &small).unwrap_err();
         assert_eq!(e1, e2);
-        assert_eq!(
-            cache.stats(),
-            CacheStats { hits: 1, misses: 1, evictions: 0, entries: 1, ..Default::default() }
-        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
+        assert_eq!(s.shard_entries.len(), CacheConfig::default().shards);
+        assert_eq!(s.shard_entries.iter().sum::<usize>(), s.entries);
     }
 
     #[test]

@@ -161,6 +161,48 @@
 //! fault-injection hook [`RequestOpts::fault`] ([`FaultPlan`]) forces
 //! cancellation, deadline expiry or a panic at the Nth guard poll — the
 //! deterministic substrate of the robustness test suite.
+//!
+//! ## Observability: metrics, traces, and reading the numbers
+//!
+//! Chase cost is intrinsically spiky — Σ decides whether a request costs
+//! three steps or its whole budget — so the ops knobs above (deadlines,
+//! shedding, retry escalation) can only be tuned against *distributions*,
+//! not averages. The in-tree `eqsql_obs` crate supplies the substrate;
+//! this crate wires it through every layer:
+//!
+//! * **Off by default, and free when off.** No timestamp is taken and no
+//!   probe armed unless the global [`eqsql_obs::enabled`] gate is on or a
+//!   [`SolverBuilder::trace_sink`] is configured; the disabled cost is an
+//!   `Option` test per site. Instrumentation is pure accounting either
+//!   way — verdicts, chase step counts and cache attribution are
+//!   bit-identical with observability off and on, pinned by a randomized
+//!   differential suite.
+//! * **Per-request traces.** Each batch request carries a span
+//!   ([`eqsql_obs::TraceCtx`]) splitting its life into disjoint phases:
+//!   `queue` (admission wait), `regularize` (override-context
+//!   construction), `chase` (cache misses: engine time), `cache` (probes
+//!   answered from memory or disk, attributed separately), `evidence`
+//!   (counterexample search, *excluding* its nested chases — no
+//!   microsecond is double-billed, so the phase sum is ≤ wall time). The
+//!   span ends as one stable `key=value` event line through the
+//!   configured sink — including for requests that die (shed, deadline,
+//!   cancellation, panic), whose `terminal=` key says how. See
+//!   [`eqsql_obs::TraceCtx::render`] for the exact grammar.
+//! * **Aggregates.** [`Solver::stats`] adds [`SolverStats::latency`]
+//!   (a log-bucketed p50/p90/p99/max summary of observed batch-request
+//!   latencies, µs) and [`SolverStats::phase`] (cumulative per-phase
+//!   totals). [`CacheStats::shard_entries`] exposes per-shard occupancy,
+//!   so fingerprint skew across the sharded cache is visible.
+//! * **Reading the numbers.** A high `queue_us` with low `chase_us`
+//!   means admission capacity, not chase cost, bounds latency — raise
+//!   capacity or threads. `misses` with large `chase_us` and a cold
+//!   `disk_hits` column means the persistent tier isn't warming —
+//!   check `--cache-dir`. Hits that are mostly `disk_hits` pay
+//!   deserialization: a bigger memory capacity would help. `p99 ≫ p50`
+//!   with `retries > 0` usually means budget escalation, not noise.
+//! * **From the binary.** `eqsql-serve --metrics` dumps solver/cache
+//!   metrics at end of run, `--trace FILE` writes one event line per
+//!   request, `--progress MS` prints a periodic progress line to stderr.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -177,9 +219,10 @@ pub use batch::{BatchOutcome, BatchSession, BatchStats, EquivRequest};
 // Re-exported so Solver callers can speak the façade's full vocabulary
 // (semantics, budgets, engine knobs) without importing substrate crates.
 pub use cache::persist::{PersistConfig, PersistFault, PersistStats};
-pub use cache::{CacheConfig, CacheStats, ChaseCache};
+pub use cache::{CacheConfig, CacheOutcome, CacheStats, ChaseCache};
 pub use canon::{cache_key, context_fingerprint, query_fingerprint, ChaseContext};
 pub use eqsql_chase::{Cancel, ChaseConfig, EngineOpts, Fault, FaultPlan, RunGuard};
+pub use eqsql_obs::{HistogramSummary, TraceCtx, TraceSink, VecSink, WriteSink};
 pub use eqsql_relalg::Semantics;
 pub use error::Error;
 pub use evidence::{
@@ -188,6 +231,6 @@ pub use evidence::{
 };
 pub use request::{parse_request_file, RequestFile, RequestParseError};
 pub use solver::{
-    AdmissionConfig, Answer, BatchOptions, BatchReport, DecisionStats, Request, RequestOpts,
-    RetryPolicy, ShedPolicy, Solver, SolverBuilder, SolverStats, Verdict,
+    AdmissionConfig, Answer, BatchOptions, BatchReport, DecisionStats, PhaseTotals, Request,
+    RequestOpts, RetryPolicy, ShedPolicy, Solver, SolverBuilder, SolverStats, Verdict,
 };

@@ -61,6 +61,7 @@ use eqsql_core::{
 use eqsql_cq::{canonical_representation, containment_mapping, find_isomorphism, CqQuery, Subst};
 use eqsql_deps::implication::{conclusion_holds, premise_query};
 use eqsql_deps::{Dependency, DependencySet};
+use eqsql_obs::{Histogram, HistogramSummary, Phase, StepProbe, TraceCtx, TraceSink, PHASES};
 use eqsql_relalg::{canonical_database, Database, Schema, Semantics};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -529,9 +530,28 @@ pub struct BatchReport {
     pub shed: usize,
 }
 
+/// Cumulative per-phase wall time across every observed batch request,
+/// in microseconds. All zero until observability is on (the global
+/// [`eqsql_obs::enabled`] gate or a configured
+/// [`SolverBuilder::trace_sink`]) — the disabled solver takes no
+/// per-phase timestamps at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Admission-queue wait (batch intake → worker pickup).
+    pub queue_us: u64,
+    /// Σ-regularization / override-context construction.
+    pub regularize_us: u64,
+    /// Chase calls answered by running the engine (cache misses).
+    pub chase_us: u64,
+    /// Chase calls answered from the cache (memory or disk tier).
+    pub cache_us: u64,
+    /// Evidence construction, excluding the nested chases it issues.
+    pub evidence_us: u64,
+}
+
 /// Point-in-time Solver counters: the cache snapshot plus request/batch
 /// totals, as one struct so monitoring reads are coherent.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Requests decided (success or error) since construction.
     pub requests: u64,
@@ -544,6 +564,11 @@ pub struct SolverStats {
     /// Requests that panicked and were isolated to an [`Error::Internal`]
     /// verdict since construction.
     pub panics: u64,
+    /// Per-request batch latency summary (µs), populated only while
+    /// observability is on — see [`PhaseTotals`].
+    pub latency: HistogramSummary,
+    /// Cumulative per-phase timings across observed batch requests.
+    pub phase: PhaseTotals,
     /// The shared chase cache's counters.
     pub cache: crate::cache::CacheStats,
 }
@@ -562,6 +587,7 @@ pub struct SolverBuilder {
     cache_config: CacheConfig,
     threads: usize,
     counterexamples: bool,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl SolverBuilder {
@@ -581,6 +607,7 @@ impl SolverBuilder {
             cache_config: CacheConfig::default(),
             threads: 1,
             counterexamples: true,
+            trace_sink: None,
         }
     }
 
@@ -646,6 +673,16 @@ impl SolverBuilder {
         self
     }
 
+    /// Installs a per-request trace sink: every batch request (including
+    /// shed and dead ones) emits one structured `key=value` event line
+    /// (see [`TraceCtx::render`]). Configuring a sink turns observation
+    /// on for this solver regardless of the global [`eqsql_obs::enabled`]
+    /// flag — the sink is an explicit opt-in.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> SolverBuilder {
+        self.trace_sink = Some(sink);
+        self
+    }
+
     /// Builds the solver: Σ is regularized once, context keys are
     /// precomputed per semantics, the cache is created if not adopted.
     pub fn build(self) -> Solver {
@@ -678,6 +715,9 @@ impl SolverBuilder {
             shed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            trace_sink: self.trace_sink,
+            latency: Histogram::new(),
+            phase_totals: Default::default(),
         }
     }
 }
@@ -706,6 +746,12 @@ pub struct Solver {
     shed: AtomicU64,
     retries: AtomicU64,
     panics: AtomicU64,
+    /// Event sink for per-request traces ([`SolverBuilder::trace_sink`]).
+    trace_sink: Option<Arc<dyn TraceSink>>,
+    /// Per-request batch latency (µs), recorded only while observing.
+    latency: Histogram,
+    /// Cumulative per-phase µs, indexed in [`PHASES`] order.
+    phase_totals: [AtomicU64; 5],
 }
 
 /// The per-attempt execution environment threaded from the batch layer
@@ -715,11 +761,41 @@ struct RunEnv<'a> {
     cancel: Option<&'a Cancel>,
     deadline_ms: Option<u64>,
     budget_scale: u32,
+    /// This request's trace span, when the solver is observing. `None`
+    /// keeps the whole decision on the timestamp-free fast path.
+    trace: Option<&'a TraceCtx>,
 }
 
 impl Default for RunEnv<'_> {
     fn default() -> Self {
-        RunEnv { cancel: None, deadline_ms: None, budget_scale: 1 }
+        RunEnv { cancel: None, deadline_ms: None, budget_scale: 1, trace: None }
+    }
+}
+
+/// One batch request's observation bundle: its span, its event id (the
+/// request's index in the batch) and the instant wall time counts from
+/// (batch intake, so the queue wait is inside the wall).
+struct TraceObs<'a> {
+    ctx: &'a TraceCtx,
+    req: u64,
+    origin: Instant,
+}
+
+/// `(outcome, terminal)` labels of an error for the event line. The
+/// terminal separates "decided negatively" (`error`) from the transient
+/// ways a request dies (`deadline`, `cancelled`, `shed`, `panic`).
+fn error_labels(e: &Error) -> (&'static str, &'static str) {
+    match e {
+        Error::Parse { .. } => ("parse-error", "error"),
+        Error::BudgetExhausted { .. } => ("budget-exhausted", "error"),
+        Error::QueryTooLarge { .. } => ("query-too-large", "error"),
+        Error::PlanTooLarge { .. } => ("plan-too-large", "error"),
+        Error::EgdFailure { .. } => ("egd-failure", "error"),
+        Error::UnsupportedSemantics { .. } => ("unsupported-semantics", "error"),
+        Error::DeadlineExceeded { .. } => ("deadline-exceeded", "deadline"),
+        Error::Cancelled { .. } => ("cancelled", "cancelled"),
+        Error::Shed { .. } => ("shed", "shed"),
+        Error::Internal { .. } => ("internal", "panic"),
     }
 }
 
@@ -763,6 +839,9 @@ struct SolverChaser<'a> {
     hits: AtomicU64,
     misses: AtomicU64,
     steps: AtomicU64,
+    /// The decision's trace span, when observing. `None` skips every
+    /// timestamp on the chase path.
+    trace: Option<&'a TraceCtx>,
 }
 
 impl SoundChaser for SolverChaser<'_> {
@@ -784,7 +863,7 @@ impl SoundChaser for SolverChaser<'_> {
         let ctx = if default_budget {
             &s.ctx[sem_index(sem)]
         } else {
-            self.override_ctx[sem_index(sem)].get_or_init(|| {
+            let build = || {
                 ChaseContext::with_text(
                     sem,
                     Arc::clone(&s.reg_text),
@@ -792,18 +871,35 @@ impl SoundChaser for SolverChaser<'_> {
                     config,
                     s.engine.delta_seeding,
                 )
+            };
+            self.override_ctx[sem_index(sem)].get_or_init(|| match self.trace {
+                Some(t) => t.time(Phase::Regularize, build),
+                None => build(),
             })
         };
-        let (result, hit) = s.cache.chase_keyed_counted_opts(
-            ctx,
-            &s.sigma_reg,
-            sem,
-            q,
-            schema,
-            config,
-            &self.engine,
-        );
-        if hit { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
+        let chase = || {
+            s.cache.chase_keyed_attributed(ctx, &s.sigma_reg, sem, q, schema, config, &self.engine)
+        };
+        let (result, outcome) = match self.trace {
+            None => chase(),
+            Some(t) => {
+                // A call answered from the cache is Cache-phase time; a
+                // miss is dominated by the engine and is Chase-phase time
+                // (the failed probe and the store ride along — they are
+                // noise next to a chase).
+                let started = Instant::now();
+                let (result, outcome) = chase();
+                let us = started.elapsed().as_micros() as u64;
+                t.add_us(if outcome.is_hit() { Phase::Cache } else { Phase::Chase }, us);
+                match outcome {
+                    crate::cache::CacheOutcome::MemoryHit => t.mem_hit(),
+                    crate::cache::CacheOutcome::DiskHit => t.disk_hit(),
+                    crate::cache::CacheOutcome::Miss => t.miss(),
+                }
+                (result, outcome)
+            }
+        };
+        if outcome.is_hit() { &self.hits } else { &self.misses }.fetch_add(1, Ordering::Relaxed);
         if let Ok(r) = &result {
             self.steps.fetch_add(r.steps as u64, Ordering::Relaxed);
         }
@@ -856,13 +952,52 @@ impl Solver {
     /// One coherent counter snapshot: cache hit/miss/eviction plus the
     /// solver's request/batch totals.
     pub fn stats(&self) -> SolverStats {
+        let pt: Vec<u64> = self.phase_totals.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         SolverStats {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            latency: self.latency.summary(),
+            phase: PhaseTotals {
+                queue_us: pt[0],
+                regularize_us: pt[1],
+                chase_us: pt[2],
+                cache_us: pt[3],
+                evidence_us: pt[4],
+            },
             cache: self.cache.stats(),
+        }
+    }
+
+    /// Is this solver observing batch requests? True when the global
+    /// [`eqsql_obs::enabled`] gate is on *or* a [`SolverBuilder::trace_sink`]
+    /// was configured. When false, batch decisions take no timestamps
+    /// beyond the pre-existing wall clock and arm no engine probe.
+    fn observing(&self) -> bool {
+        self.trace_sink.is_some() || eqsql_obs::enabled()
+    }
+
+    /// Records a finished (or dead) observed request: latency histogram,
+    /// per-phase totals, and the event line if a sink is configured.
+    fn finish_traced(
+        &self,
+        request: &Request,
+        out: &(Result<Verdict, Error>, DecisionStats),
+        obs: &TraceObs<'_>,
+    ) {
+        let wall_us = obs.origin.elapsed().as_micros() as u64;
+        self.latency.record(wall_us);
+        for (k, p) in PHASES.iter().enumerate() {
+            self.phase_totals[k].fetch_add(obs.ctx.phase_us(*p), Ordering::Relaxed);
+        }
+        if let Some(sink) = &self.trace_sink {
+            let (outcome, terminal) = match &out.0 {
+                Ok(v) => (v.answer.label(), "ok"),
+                Err(e) => error_labels(e),
+            };
+            sink.emit(&obs.ctx.render(obs.req, request.label(), outcome, terminal, wall_us));
         }
     }
 
@@ -914,6 +1049,7 @@ impl Solver {
     pub fn decide_all_with(&self, requests: &[Request], opts: &BatchOptions) -> BatchReport {
         let start = Instant::now();
         self.batches.fetch_add(1, Ordering::Relaxed);
+        let observing = self.observing();
         let n = requests.len();
         let slots: Vec<OnceLock<(Result<Verdict, Error>, DecisionStats)>> =
             (0..n).map(|_| OnceLock::new()).collect();
@@ -942,16 +1078,32 @@ impl Solver {
                     };
                     shed += 1;
                     self.shed.fetch_add(1, Ordering::Relaxed);
-                    let _ = slots[victim].set((
-                        Err(Error::Shed { capacity: adm.capacity }),
-                        DecisionStats::default(),
-                    ));
+                    let rejection =
+                        (Err(Error::Shed { capacity: adm.capacity }), DecisionStats::default());
+                    if observing {
+                        // A shed request still gets a complete event: its
+                        // whole life was queue wait.
+                        let ctx = TraceCtx::new();
+                        ctx.add_us(Phase::Queue, start.elapsed().as_micros() as u64);
+                        let obs = TraceObs { ctx: &ctx, req: victim as u64, origin: start };
+                        self.finish_traced(&requests[victim], &rejection, &obs);
+                    }
+                    let _ = slots[victim].set(rejection);
                 }
             }
         }
         let workers = self.threads.min(admitted.len()).max(1);
         let next = AtomicUsize::new(0);
-        let run = |i: usize| self.decide_resilient(&requests[i], opts);
+        let run = |i: usize| {
+            if !observing {
+                return self.decide_resilient(&requests[i], opts, None);
+            }
+            let ctx = TraceCtx::new();
+            // Queue wait: batch intake until this worker picked it up.
+            ctx.add_us(Phase::Queue, start.elapsed().as_micros() as u64);
+            let obs = TraceObs { ctx: &ctx, req: i as u64, origin: start };
+            self.decide_resilient(&requests[i], opts, Some(&obs))
+        };
         if workers == 1 {
             for &i in &admitted {
                 let _ = slots[i].set(run(i));
@@ -992,15 +1144,20 @@ impl Solver {
         &self,
         request: &Request,
         opts: &BatchOptions,
+        obs: Option<&TraceObs<'_>>,
     ) -> (Result<Verdict, Error>, DecisionStats) {
         let retry = opts.retry.unwrap_or(RetryPolicy { max_attempts: 1, budget_multiplier: 1 });
         let mut scale: u32 = 1;
         let mut attempt: u32 = 1;
         loop {
+            if let Some(o) = obs {
+                o.ctx.attempt();
+            }
             let env = RunEnv {
                 cancel: opts.cancel.as_ref(),
                 deadline_ms: opts.deadline_ms,
                 budget_scale: scale,
+                trace: obs.map(|o| o.ctx),
             };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.decide_counted(request, &env)
@@ -1009,7 +1166,11 @@ impl Solver {
                 Err(payload) => {
                     self.panics.fetch_add(1, Ordering::Relaxed);
                     let message = panic_message(payload.as_ref());
-                    return (Err(Error::Internal { message }), DecisionStats::default());
+                    let dead = (Err(Error::Internal { message }), DecisionStats::default());
+                    if let Some(o) = obs {
+                        self.finish_traced(request, &dead, o);
+                    }
+                    return dead;
                 }
                 Ok((Err(Error::BudgetExhausted { .. }), _))
                     if attempt < retry.max_attempts.max(1) =>
@@ -1018,7 +1179,12 @@ impl Solver {
                     scale = scale.saturating_mul(retry.budget_multiplier.max(1));
                     self.retries.fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(decided) => return decided,
+                Ok(decided) => {
+                    if let Some(o) = obs {
+                        self.finish_traced(request, &decided, o);
+                    }
+                    return decided;
+                }
             }
         }
     }
@@ -1044,14 +1210,24 @@ impl Solver {
         // zero per-step cost, step-identical to the pre-guard engine.
         let guard =
             RunGuard::new(opts.deadline_ms.or(env.deadline_ms), env.cancel.cloned(), opts.fault);
+        let mut engine = self.engine.clone().guarded(guard.clone());
+        // Arm a work probe only when tracing: the disarmed default is one
+        // `Option` test per engine callback and the armed probe is pure
+        // accounting, so the step sequence is identical either way.
+        let probe = env.trace.map(|_| {
+            let p = StepProbe::armed();
+            engine.probe = p.clone();
+            p
+        });
         let chaser = SolverChaser {
             solver: self,
             config,
-            engine: self.engine.clone().guarded(guard.clone()),
+            engine,
             override_ctx: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             steps: AtomicU64::new(0),
+            trace: env.trace,
         };
         let answer = self.answer(request, &chaser).and_then(|answer| {
             // A verdict that completed after the caller's interest lapsed
@@ -1068,6 +1244,10 @@ impl Solver {
             cache_misses: chaser.misses.load(Ordering::Relaxed),
             wall: start.elapsed(),
         };
+        if let (Some(t), Some(p)) = (env.trace, &probe) {
+            t.add_steps(stats.chase_steps);
+            t.add_engine_work(p.steps(), p.scans());
+        }
         (answer.map(|answer| Verdict { answer, stats }), stats)
     }
 
@@ -1236,10 +1416,19 @@ impl Solver {
         // Route the search's query chases through the shared cache —
         // they are exactly the chases that just produced the negative
         // verdict this witness decorates.
-        let db = separating_database_via(chaser, sem, q1, q2, &self.sigma, &self.schema, config)?;
-        let cex = Counterexample { db, sem };
-        cex.verify(q1, q2, &self.sigma, &self.schema).ok()?;
-        Some(cex)
+        let search = || {
+            let db =
+                separating_database_via(chaser, sem, q1, q2, &self.sigma, &self.schema, config)?;
+            let cex = Counterexample { db, sem };
+            cex.verify(q1, q2, &self.sigma, &self.schema).ok()?;
+            Some(cex)
+        };
+        match chaser.trace {
+            // The search's nested chases already bill Chase/Cache time;
+            // Evidence gets only the remainder, keeping phases disjoint.
+            Some(t) => t.time_excluding(Phase::Evidence, &[Phase::Chase, Phase::Cache], search),
+            None => search(),
+        }
     }
 
     /// Set containment with evidence. Decision-equivalent to
@@ -1260,7 +1449,7 @@ impl Solver {
             // q2 is empty under Σ while q1 is not: the canonical database
             // of (q1)_{Σ,S} exhibits the gap.
             return Ok(Answer::NotContained {
-                counterexample: self.containment_counterexample(&c1.query, q1, q2),
+                counterexample: self.containment_counterexample(chaser.trace, &c1.query, q1, q2),
             });
         }
         match containment_mapping(q2, &c1.query) {
@@ -1268,13 +1457,14 @@ impl Solver {
                 certificate: ContainmentCertificate::Mapping { chased1: c1.query, witness },
             }),
             None => Ok(Answer::NotContained {
-                counterexample: self.containment_counterexample(&c1.query, q1, q2),
+                counterexample: self.containment_counterexample(chaser.trace, &c1.query, q1, q2),
             }),
         }
     }
 
     fn containment_counterexample(
         &self,
+        trace: Option<&TraceCtx>,
         chased1: &CqQuery,
         q1: &CqQuery,
         q2: &CqQuery,
@@ -1282,10 +1472,18 @@ impl Solver {
         if !self.counterexamples {
             return None;
         }
-        let db = canonical_database(chased1, 0).db;
-        let cex = Counterexample { db, sem: Semantics::Set };
-        cex.verify_set_gap(q1, q2, &self.sigma).ok()?;
-        Some(cex)
+        let search = || {
+            let db = canonical_database(chased1, 0).db;
+            let cex = Counterexample { db, sem: Semantics::Set };
+            cex.verify_set_gap(q1, q2, &self.sigma).ok()?;
+            Some(cex)
+        };
+        match trace {
+            // This witness issues no chases of its own — the whole search
+            // is Evidence time.
+            Some(t) => t.time(Phase::Evidence, search),
+            None => search(),
+        }
     }
 
     /// The sound three-valued bag-containment procedure: chase both sides
@@ -1635,5 +1833,40 @@ mod tests {
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.batches, 1);
         assert!(stats.cache.misses > 0);
+    }
+
+    #[test]
+    fn trace_sink_gets_one_event_per_batch_request() {
+        let (sigma, schema) = example_4_1();
+        let sink = Arc::new(eqsql_obs::VecSink::new());
+        let s = Solver::builder(sigma, schema)
+            .trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build();
+        let q3 = q("q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)");
+        let q4 = q("q4(X) :- p(X,Y)");
+        let reqs = vec![
+            Request::Equivalent { q1: q3.clone(), q2: q4.clone(), opts: RequestOpts::default() },
+            // Same pair again: the second decision rides the cache.
+            Request::Equivalent { q1: q3, q2: q4, opts: RequestOpts::default() },
+        ];
+        let report = s.decide_all(&reqs);
+        assert!(report.verdicts.iter().all(|v| v.is_ok()));
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2, "one event per request: {lines:?}");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with("event=request "), "{line}");
+            assert!(line.contains(&format!("req={i} ")), "{line}");
+            assert!(line.contains("verb=equivalent "), "{line}");
+            assert!(line.contains("terminal=ok "), "{line}");
+        }
+        // The repeat decision's chases all hit: its event attributes them
+        // to the memory tier and bills no fresh engine work.
+        assert!(lines[1].contains("misses=0"), "{}", lines[1]);
+        assert!(lines[1].contains("engine_steps=0"), "{}", lines[1]);
+        assert!(!lines[1].contains("mem_hits=0"), "{}", lines[1]);
+        // Aggregates flowed into the solver's stats.
+        let stats = s.stats();
+        assert_eq!(stats.latency.count, 2);
+        assert!(stats.phase.chase_us + stats.phase.cache_us + stats.phase.evidence_us > 0);
     }
 }

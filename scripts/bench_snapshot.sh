@@ -69,8 +69,33 @@ echo "$PERSIST_JSON" | jq -e \
     || { echo "persist: restart hit rate strays >5% from same-process warm:" >&2; \
          echo "$PERSIST_JSON" | jq . >&2; exit 1; }
 
+# Request latencies under load through the loadgen harness (closed loop
+# cold/warm + open loop at a target rate), instrumentation left off so
+# snapshot-to-snapshot deltas bound the disabled observability overhead.
+LATENCY_JSON="$(cargo run -q --release -p eqsql-bench --bin loadgen -- \
+    --workers 4 --qps 300 "$PERSIST_REQ")"
+
+# Acceptance: against the previously committed snapshot, the median of
+# per-case set_chase median ratios must stay within 5% — the off path of
+# the observability layer has to be free.
+if [ -f "$OUT" ]; then
+    RATIO="$(jq -s --slurpfile prev "$OUT" '
+        ($prev[0].cases // [] | map(select(.id | contains("set_chase")))
+         | map({key: .id, value: .median_ns}) | from_entries) as $old |
+        [ .[] | select(.id | contains("set_chase")) | select($old[.id] != null)
+          | .median_ns / $old[.id] ]
+        | sort | if length == 0 then null else .[(length - 1) / 2 | floor] end
+    ' "$RAW")"
+    if [ -n "$RATIO" ] && [ "$RATIO" != "null" ]; then
+        echo "overhead gate: set_chase median-of-ratios vs committed snapshot: $RATIO"
+        jq -en --argjson r "$RATIO" '$r <= 1.05' >/dev/null \
+            || { echo "bench: set_chase medians regressed >5% vs committed snapshot (ratio $RATIO)" >&2; \
+                 exit 1; }
+    fi
+fi
+
 jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" \
-    --argjson persist "$PERSIST_JSON" '
+    --argjson persist "$PERSIST_JSON" --argjson latency "$LATENCY_JSON" '
   {
     generated: $date,
     samples_per_case: ($samples | tonumber),
@@ -113,6 +138,7 @@ jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" \
         | map({id, median_ns})
       )
     }),
+    latency: $latency,
     batch_speedups: (
       map(select(.id | startswith("equiv_batch/")))
       | group_by(.id | sub("/(cold|warm)/"; "/")) | map(
@@ -135,3 +161,4 @@ jq -r '.speedups[] | "\(.case): \(.speedup)x (indexed \(.indexed_median_ns)ns vs
 jq -r '.batch_speedups[] | "\(.case): warm cache \(.warm_speedup)x (cold \(.cold_median_ns)ns vs warm \(.warm_median_ns)ns)"' "$OUT"
 jq -r '.hom_search[] | .case as $c | .contenders[] | "\($c): \(.id | sub(".*/(?<k>[a-z]+)/.*"; "\(.k)")) \(.speedup)x vs reference"' "$OUT"
 jq -r '.persist | "persist: cold \(.cold.hit_rate) -> restart \(.restart_warm.hit_rate) vs same-process \(.same_process_warm.hit_rate) hit rate"' "$OUT"
+jq -r '.latency | "latency: closed cold p50 \(.closed.cold.p50_us)us / p99 \(.closed.cold.p99_us)us @ \(.closed.cold.achieved_qps) qps; closed warm p50 \(.closed.warm.p50_us)us / p99 \(.closed.warm.p99_us)us @ \(.closed.warm.achieved_qps) qps; open warm achieved \(.open.warm.achieved_qps) of \(.open.target_qps) qps target"' "$OUT"

@@ -37,6 +37,37 @@ echo "$SERVE_OUT" | grep -q "reformulation(s)" \
 echo "$SERVE_OUT" | grep -q "not-implied" \
     || { echo "eqsql-serve smoke: implies verb missing" >&2; exit 1; }
 
+echo "== observability smoke (--metrics --trace over the committed fixture)"
+TRACE_FILE="$(mktemp)"
+OBS_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+    --quiet --metrics --trace "$TRACE_FILE" --threads 2 crates/service/fixtures/smoke.req)"
+echo "$OBS_OUT" | grep -E '^metric:' | sed 's/^/  /'
+echo "$OBS_OUT" | grep -q '^metric: latency count=13 ' \
+    || { echo "obs smoke: latency metric missing or not 13 samples" >&2; exit 1; }
+echo "$OBS_OUT" | grep -Eq '^metric: phase queue_us=[0-9]+ regularize_us=[0-9]+ chase_us=[0-9]+ cache_us=[0-9]+ evidence_us=[0-9]+$' \
+    || { echo "obs smoke: phase metric line missing" >&2; exit 1; }
+# Exactly one structured event per request, each with non-negative phase
+# timings that sum to at most the request's wall time.
+[ "$(grep -c '^event=request ' "$TRACE_FILE")" -eq 13 ] \
+    || { echo "obs smoke: expected 13 request events in the trace" >&2; exit 1; }
+awk '
+  {
+    delete kv
+    for (i = 1; i <= NF; i++) { n = index($i, "="); kv[substr($i, 1, n - 1)] = substr($i, n + 1) }
+    sum = 0
+    split("queue_us regularize_us chase_us cache_us evidence_us", phases, " ")
+    for (p in phases) {
+      if (kv[phases[p]] !~ /^[0-9]+$/) { print "trace event missing " phases[p] ": " $0; exit 1 }
+      sum += kv[phases[p]]
+    }
+    if (kv["wall_us"] !~ /^[0-9]+$/ || sum > kv["wall_us"] + 0) {
+      print "trace event phase sum " sum " exceeds wall " kv["wall_us"] ": " $0; exit 1
+    }
+    if (kv["attempts"] + 0 < 1) { print "trace event without attempts: " $0; exit 1 }
+  }
+' "$TRACE_FILE" || { echo "obs smoke: malformed trace event" >&2; exit 1; }
+rm -f "$TRACE_FILE"
+
 echo "== persistence smoke (cold run, then warm restart over the same --cache-dir)"
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT

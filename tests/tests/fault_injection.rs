@@ -320,3 +320,77 @@ fn deadlines_cover_instance_chases_and_the_request_format() {
     assert_eq!(opts.deadline_ms, Some(0));
     assert_eq!(opts.sem, Some(Semantics::Set));
 }
+
+/// A request killed before doing any useful work — expired at its deadline
+/// or shed at admission — still emits a complete trace event with its
+/// terminal phase marked: dead requests must be visible in the request
+/// log, never silently absent from it.
+#[test]
+fn dead_requests_still_emit_complete_trace_events() {
+    use eqsql_service::{TraceSink, VecSink};
+    use std::sync::Arc;
+    const PHASE_KEYS: [&str; 8] = [
+        "wall_us=",
+        "queue_us=",
+        "regularize_us=",
+        "chase_us=",
+        "cache_us=",
+        "evidence_us=",
+        "attempts=",
+        "mem_hits=",
+    ];
+    let (sigma, schema) = chain_fixture();
+
+    // Deadline-killed: every request of the batch is already expired.
+    let sink = Arc::new(VecSink::new());
+    let solver = Solver::builder(sigma.clone(), schema.clone())
+        .trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .build();
+    let batch = vec![
+        equiv("q(X) :- a(X)", "q(X) :- a(X), b(X)", RequestOpts::with_deadline_ms(0)),
+        equiv("q(X) :- b(X)", "q(X) :- b(X), c(X)", RequestOpts::with_deadline_ms(0)),
+    ];
+    let report = solver.decide_all(&batch);
+    assert!(report.verdicts.iter().all(|v| matches!(v, Err(Error::DeadlineExceeded { .. }))));
+    let lines = sink.lines();
+    assert_eq!(lines.len(), batch.len(), "every expired request is logged");
+    for line in &lines {
+        assert!(line.starts_with("event=request "), "{line}");
+        assert!(line.contains(" outcome=deadline-exceeded "), "{line}");
+        assert!(line.contains(" terminal=deadline "), "{line}");
+        for key in PHASE_KEYS {
+            assert!(line.contains(&format!(" {key}")), "{line} missing {key}");
+        }
+    }
+
+    // Shed at admission: RejectNew(1) on a three-request batch sheds two.
+    // A shed event's whole (short) life is admission-queue wait.
+    let sink = Arc::new(VecSink::new());
+    let solver =
+        Solver::builder(sigma, schema).trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>).build();
+    let batch: Vec<Request> = (0..3)
+        .map(|i| {
+            equiv(
+                &format!("q{i}(X) :- a(X)"),
+                &format!("q{i}(X) :- a(X), b(X)"),
+                RequestOpts::default(),
+            )
+        })
+        .collect();
+    let opts =
+        BatchOptions { admission: Some(AdmissionConfig::reject_new(1)), ..BatchOptions::default() };
+    let report = solver.decide_all_with(&batch, &opts);
+    assert_eq!(report.shed, 2);
+    let lines = sink.lines();
+    assert_eq!(lines.len(), batch.len(), "every request, shed or decided, is logged");
+    let shed: Vec<_> = lines.iter().filter(|l| l.contains(" terminal=shed ")).collect();
+    assert_eq!(shed.len(), 2);
+    for line in &shed {
+        assert!(line.starts_with("event=request "), "{line}");
+        assert!(line.contains(" outcome=shed "), "{line}");
+        for key in PHASE_KEYS {
+            assert!(line.contains(&format!(" {key}")), "{line} missing {key}");
+        }
+    }
+    assert_eq!(lines.iter().filter(|l| l.contains(" terminal=ok ")).count(), 1);
+}
