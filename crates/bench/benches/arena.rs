@@ -1,0 +1,129 @@
+//! Columnar-arena vs boxed matcher benchmarks.
+//!
+//! Measures the search layer the chase engine actually sits on, with the
+//! storage representation as the only variable:
+//!
+//! * `arena/appendix_h/{columnar,boxed}/m=…` — enumerate every premise
+//!   match of each Appendix H dependency against the family's terminal
+//!   chase body. `columnar` compiles [`ArenaPlan`]s against a
+//!   [`BodyIndex`]'s [`TermArena`] (u32 ids, per-position column sweeps,
+//!   reusable frames); `boxed` runs the [`MatchPlan`] matcher over the
+//!   boxed `Vec<Atom>` body with per-emit `Subst` views.
+//! * `arena/chain/{columnar,boxed}/n=…` — the same comparison on the
+//!   budget-chain shape `e(X,Y)` scanned over an `n`-atom chain body:
+//!   a pure column sweep where per-candidate pointer chasing is the
+//!   entire cost difference.
+//!
+//! `scripts/bench_snapshot.sh` records the medians under the `arena` key
+//! of `BENCH_chase.json` and gates `set_chase`/`hom_search` regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_chase::{set_chase, BodyIndex, ChaseConfig};
+use eqsql_cq::matcher::{bucket_atoms, MatchPlan, Seed, Target};
+use eqsql_cq::{parse_query, ArenaFrame, ArenaPlan, Atom, CqQuery};
+use eqsql_gen::appendix_h_instance;
+use std::hint::black_box;
+
+/// Counts all premise matches of every plan, columnar side.
+fn count_columnar(index: &BodyIndex, plans: &[ArenaPlan], frame: &mut ArenaFrame) -> usize {
+    let mut count = 0usize;
+    for plan in plans {
+        frame.reset(plan.slot_count());
+        plan.search(index.arena(), frame, &mut |_| {
+            count += 1;
+            true
+        });
+    }
+    black_box(count)
+}
+
+/// Counts all premise matches of every plan, boxed side.
+fn count_boxed(body: &[Atom], plans: &[MatchPlan]) -> usize {
+    let buckets = bucket_atoms(body);
+    let target = Target::new(body, &buckets);
+    let mut count = 0usize;
+    for plan in plans {
+        plan.search(target, &Seed::Empty, &mut |_| {
+            count += 1;
+            true
+        });
+    }
+    black_box(count)
+}
+
+fn bench_appendix_h(c: &mut Criterion) {
+    let cfg = ChaseConfig { max_steps: 50_000, max_atoms: 50_000 };
+    let mut group = c.benchmark_group("arena/appendix_h");
+    group.sample_size(10);
+    for m in [2usize, 3, 4, 5, 6] {
+        let inst = appendix_h_instance(m);
+        let terminal = set_chase(&inst.query, &inst.sigma, &cfg).unwrap().query;
+        let premises: Vec<&[Atom]> = inst.sigma.iter().map(|d| d.lhs()).collect();
+
+        let mut index = BodyIndex::new(&terminal.body);
+        let arena_plans: Vec<ArenaPlan> =
+            premises.iter().map(|p| ArenaPlan::new(p, index.arena_mut())).collect();
+        let mut frame = ArenaFrame::new();
+        let boxed_plans: Vec<MatchPlan> = premises.iter().map(|p| MatchPlan::new(p)).collect();
+
+        let expect = count_boxed(&terminal.body, &boxed_plans);
+        assert_eq!(count_columnar(&index, &arena_plans, &mut frame), expect);
+
+        group.bench_with_input(BenchmarkId::new("columnar", m), &expect, |b, expect| {
+            b.iter(|| {
+                let n = count_columnar(&index, &arena_plans, &mut frame);
+                assert_eq!(n, *expect);
+                n
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("boxed", m), &terminal, |b, t| {
+            b.iter(|| count_boxed(&t.body, &boxed_plans))
+        });
+    }
+    group.finish();
+}
+
+fn chain_query(n: usize) -> CqQuery {
+    let mut s = String::from("q(X0) :- ");
+    for i in 0..n {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("e(X{i},X{})", i + 1));
+    }
+    parse_query(&s).unwrap()
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let sigma = eqsql_deps::parse_dependencies("e(X,Y) -> e(Y,Z).").unwrap();
+    let premises: Vec<&[Atom]> = sigma.iter().map(|d| d.lhs()).collect();
+    let mut group = c.benchmark_group("arena/chain");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let q = chain_query(n);
+
+        let mut index = BodyIndex::new(&q.body);
+        let arena_plans: Vec<ArenaPlan> =
+            premises.iter().map(|p| ArenaPlan::new(p, index.arena_mut())).collect();
+        let mut frame = ArenaFrame::new();
+        let boxed_plans: Vec<MatchPlan> = premises.iter().map(|p| MatchPlan::new(p)).collect();
+
+        let expect = count_boxed(&q.body, &boxed_plans);
+        assert_eq!(count_columnar(&index, &arena_plans, &mut frame), expect);
+
+        group.bench_with_input(BenchmarkId::new("columnar", n), &expect, |b, expect| {
+            b.iter(|| {
+                let c = count_columnar(&index, &arena_plans, &mut frame);
+                assert_eq!(c, *expect);
+                c
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("boxed", n), &q, |b, q| {
+            b.iter(|| count_boxed(&q.body, &boxed_plans))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_appendix_h, bench_chain);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! The incremental indexed chase engine.
+//! The incremental indexed chase engine — arena-backed.
 //!
 //! The naive driver (kept as [`crate::reference`], the differential-testing
 //! oracle) restarts the Σ scan from σ₀ after every step and re-derives all
@@ -7,21 +7,30 @@
 //! schema size (Appendix H of the paper), those per-step constants multiply
 //! an already-exponential object. This engine eliminates them:
 //!
-//! 1. **Persistent [`BodyIndex`]** — predicate/arity buckets, variable
-//!    occurrence lists and atom-value fingerprints live across the whole
-//!    run and are mutated in place by tgd appends and egd substitutions;
-//!    nothing is rebuilt, re-sorted or re-cloned per step.
-//! 2. **Compiled per-dependency match plans** — each dependency's premise
+//! 1. **Persistent [`BodyIndex`]** — the body lives in a flat
+//!    [`eqsql_cq::TermArena`]: terms interned to `u32` ids once, atoms as
+//!    rows of per-predicate columnar tables, occurrence fingerprints and
+//!    variable lists keyed on ids. Tgd appends and egd substitutions
+//!    mutate columns in place; nothing is rebuilt, re-sorted, re-cloned —
+//!    or even *allocated* — per step (the warm no-fire step is
+//!    allocation-free; see `tests/tests/alloc_regression.rs`).
+//! 2. **Compiled per-dependency arena plans** — each dependency's premise
 //!    (and, for tgds, conclusion) is compiled once into an
-//!    [`eqsql_cq::matcher::MatchPlan`] and searched over a trail-based
-//!    frame for the whole run. Plans are renaming-invariant (variables are
-//!    dense slots), so the per-step rename-apart of the naive path happens
-//!    only where an admission predicate demands the renamed dependency
-//!    (the sound chase). The premise plan keeps the written atom order, so
-//!    the first homomorphism found is the one the reference driver would
-//!    fire; the conclusion-extension check is threaded into the search as
-//!    a pruning predicate, and the search stops at the first admissible
-//!    match. Egd search stops at the first violating match the same way.
+//!    [`eqsql_cq::ArenaPlan`] whose candidate scans are linear integer
+//!    sweeps over contiguous columns; searches bind `u32`s into reusable
+//!    [`eqsql_cq::ArenaFrame`]s. Plans are renaming-invariant (variables
+//!    are dense slots), so the per-step rename-apart of the naive path
+//!    happens only where an admission predicate demands the renamed
+//!    dependency (the sound chase). The premise plan keeps the written
+//!    atom order and table rows are appended in body-slot order, so the
+//!    first homomorphism found is the one the reference driver would fire;
+//!    the conclusion-extension check is seeded through a precompiled
+//!    [`eqsql_cq::SeedMap`] (no closures, no `Subst`), and the search
+//!    stops at the first admissible match. Egd search stops at the first
+//!    violating match the same way, its equality sides precompiled to
+//!    [`eqsql_cq::EqOp`]s. Conclusion plans are ordered by the **live**
+//!    initial-body cardinalities ([`eqsql_cq::ArenaPlan::optimized_with_stats`],
+//!    Selinger-lite) — safe because existence checks are order-insensitive.
 //! 3. **Delta-driven scheduling** — a worklist of dependency indices,
 //!    re-armed only for dependencies whose premise predicates intersect
 //!    the atoms just added or rewritten (semi-naive evaluation). A
@@ -29,6 +38,11 @@
 //!    a homomorphism that avoids every changed atom existed before the
 //!    step, with its conclusion extension intact, so its verdict carries
 //!    over (see `docs` on `fire_order_matches_reference` in the tests).
+//!
+//! Boxed values appear only at observable boundaries: trace strings, the
+//! materialized terminal query, and the `Subst`s handed to custom
+//! admission predicates — the boxed↔arena contract documented in
+//! [`eqsql_cq::arena`].
 //!
 //! With the default [`EngineOpts`] the engine fires, at every step, the
 //! same dependency the reference driver would (the lowest-indexed
@@ -76,14 +90,17 @@
 //!
 //! The worklist makes queued dependencies independent until one fires:
 //! with `probes = k > 1`, the engine snapshots the k lowest queued
-//! dependencies and searches their first admissible homomorphisms on
-//! scoped worker threads ([`eqsql_cq::matcher::probe_all`]) against the
-//! same immutable body. The lowest-indexed actionable probe commits —
-//! exactly the dependency the sequential scan would have fired, so the
-//! step sequence is bit-identical — and "nothing to do" verdicts retire
-//! wholesale (they were all computed at the committed step's pre-state;
-//! subscription wake-ups re-arm them as usual). Probed verdicts *behind*
-//! an actionable one are discarded, never reused across a fire.
+//! dependencies and searches their first admissible homomorphisms on a
+//! **run-long worker pool** ([`eqsql_cq::matcher::ProbePool`]: `k-1`
+//! parked workers plus the caller's thread, jobs handed off per step —
+//! no thread is spawned inside the chase loop, so probing pays off on
+//! small steps too) against the same immutable body. The lowest-indexed
+//! actionable probe commits — exactly the dependency the sequential scan
+//! would have fired, so the step sequence is bit-identical — and
+//! "nothing to do" verdicts retire wholesale (they were all computed at
+//! the committed step's pre-state; subscription wake-ups re-arm them as
+//! usual). Probed verdicts *behind* an actionable one are discarded,
+//! never reused across a fire.
 //!
 //! One deliberate divergence from semi-naive purity: a *custom* admission
 //! predicate (the sound chase's assignment-fixing test) depends on the
@@ -101,8 +118,11 @@ use crate::guard::RunGuard;
 use crate::index::BodyIndex;
 use crate::set_chase::{Chased, TraceEntry};
 use crate::step::{classify_egd_images, rename_dep_apart_mapped, DedupPolicy};
-use eqsql_cq::matcher::{probe_all, DeltaSlots, MatchPlan, Seed, Target};
-use eqsql_cq::{CqQuery, Predicate, Subst, Term, Var, VarSupply};
+use eqsql_cq::matcher::ProbePool;
+use eqsql_cq::{
+    ArenaDelta, ArenaFrame, ArenaPlan, Atom, CqQuery, EqOp, Predicate, SeedMap, Subst, Term,
+    TermArena, TermId, Var, VarSupply,
+};
 use eqsql_deps::{Dependency, DependencySet, Tgd};
 use eqsql_obs::StepProbe;
 use std::collections::HashMap;
@@ -254,29 +274,109 @@ impl Worklist {
     }
 }
 
+/// One argument of a compiled tgd-conclusion template: where the interned
+/// id of the fired atom's argument comes from.
+#[derive(Copy, Clone, Debug)]
+enum ConOp {
+    /// A constant, interned at compile time.
+    Const(TermId),
+    /// Read the premise match's dense slot.
+    Prem(u32),
+    /// The `i`-th freshly minted existential of this fire.
+    Exist(u32),
+}
+
 /// A dependency's compiled, run-long search machinery. Plans are built on
 /// the dependency's *original* variables (dense slots make them
-/// renaming-invariant), so one compilation serves every step.
+/// renaming-invariant) against the run's arena, so one compilation serves
+/// every step and searches never touch a boxed value.
 struct DepPlans {
     /// Premise conjunction, original atom order — emission order equals
     /// the reference backtracker's, so "first admissible" agrees.
-    premise: MatchPlan,
-    /// Tgd conclusion, selectivity-ordered (existence-only search),
-    /// seeded from the premise frame's universal-variable bindings.
-    extension: Option<MatchPlan>,
+    premise: ArenaPlan,
+    /// Tgd conclusion, ordered by live initial-body cardinality
+    /// (existence-only search), seeded from the premise frame through
+    /// `ext_seed`.
+    extension: Option<ArenaPlan>,
+    /// Extension slot ← premise slot, for every shared universal.
+    ext_seed: SeedMap,
+    /// Egd equality sides, resolved against the premise plan.
+    egd_eq: Option<(EqOp, EqOp)>,
+    /// Tgd conclusion template: per rhs atom, its table and argument ops.
+    conclusion: Vec<(u32, Vec<ConOp>)>,
+    /// The tgd's existential variables, in declaration order (fresh-name
+    /// minting must follow it to stay identical to the reference).
+    existentials: Vec<Var>,
 }
 
 impl DepPlans {
-    fn compile(dep: &Dependency) -> DepPlans {
-        let premise = MatchPlan::new(dep.lhs());
-        let extension = match dep {
+    fn compile(dep: &Dependency, arena: &mut TermArena) -> DepPlans {
+        let premise = ArenaPlan::new(dep.lhs(), arena);
+        match dep {
             Dependency::Tgd(t) => {
                 let universal: Vec<Var> = t.universal_vars().into_iter().collect();
-                Some(MatchPlan::optimized(&t.rhs, &universal))
+                let extension = ArenaPlan::optimized_with_stats(&t.rhs, &universal, arena);
+                let ext_seed = extension.seed_map_from(&premise);
+                let existentials = t.existential_vars();
+                let conclusion = t
+                    .rhs
+                    .iter()
+                    .map(|atom| {
+                        let table = arena.table_id(atom.key());
+                        let ops = atom
+                            .args
+                            .iter()
+                            .map(|arg| match arg {
+                                Term::Const(_) => ConOp::Const(arena.intern(*arg)),
+                                Term::Var(v) => match premise.slot(*v) {
+                                    Some(s) => ConOp::Prem(s),
+                                    None => ConOp::Exist(
+                                        existentials
+                                            .iter()
+                                            .position(|z| z == v)
+                                            .expect("rhs var is universal or existential")
+                                            as u32,
+                                    ),
+                                },
+                            })
+                            .collect();
+                        (table, ops)
+                    })
+                    .collect();
+                DepPlans {
+                    premise,
+                    extension: Some(extension),
+                    ext_seed,
+                    egd_eq: None,
+                    conclusion,
+                    existentials,
+                }
             }
-            Dependency::Egd(_) => None,
-        };
-        DepPlans { premise, extension }
+            Dependency::Egd(e) => {
+                let egd_eq = Some((premise.eq_op(&e.eq.0, arena), premise.eq_op(&e.eq.1, arena)));
+                DepPlans {
+                    premise,
+                    extension: None,
+                    ext_seed: SeedMap::new(),
+                    egd_eq,
+                    conclusion: Vec::new(),
+                    existentials: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// A dependency's reusable search frames (premise + extension), allocated
+/// once per run — warm steps reuse them allocation-free.
+struct DepFrames {
+    premise: ArenaFrame,
+    ext: ArenaFrame,
+}
+
+impl DepFrames {
+    fn new() -> DepFrames {
+        DepFrames { premise: ArenaFrame::new(), ext: ArenaFrame::new() }
     }
 }
 
@@ -290,25 +390,29 @@ enum Scan {
     /// First violating egd homomorphism: replace `from` by `to`.
     EgdFire(Var, Term),
     /// Admitted applicable tgd homomorphisms to fire, in search order
-    /// (singleton unless batch-firing under delta seeding).
-    TgdFire(Vec<Subst>),
+    /// (singleton unless batch-firing under delta seeding), as premise
+    /// slot arrays.
+    TgdFire(Vec<Box<[TermId]>>),
 }
 
 /// Searches the egd premise for the first violating homomorphism.
+/// Allocation-free on the no-violation path once `frame` is warm.
 fn scan_egd(
     plans: &DepPlans,
-    egd: &eqsql_deps::Egd,
-    target: Target<'_>,
-    delta: Option<&DeltaSlots>,
+    arena: &TermArena,
+    frame: &mut ArenaFrame,
+    delta: Option<&ArenaDelta>,
 ) -> Scan {
+    let (lhs, rhs) = plans.egd_eq.expect("egd has compiled equality sides");
+    frame.reset(plans.premise.slot_count());
     let mut verdict: Option<Result<(Var, Term), ()>> = None;
-    let emit = &mut |m: &eqsql_cq::Match<'_>| {
-        verdict = classify_egd_images(m.apply_term(&egd.eq.0), m.apply_term(&egd.eq.1));
+    let emit = &mut |slots: &[TermId]| {
+        verdict = classify_egd_images(lhs.resolve(arena, slots), rhs.resolve(arena, slots));
         verdict.is_none() // keep searching until a violation
     };
     match delta {
-        None => plans.premise.search(target, &Seed::Empty, emit),
-        Some(d) => plans.premise.search_delta(target, d, &Seed::Empty, emit),
+        None => plans.premise.search(arena, frame, emit),
+        Some(d) => plans.premise.search_delta(arena, d, frame, emit),
     };
     match verdict {
         None => Scan::Idle { saw_applicable: false },
@@ -322,45 +426,51 @@ fn scan_egd(
 /// search in flight. `collect_all` (delta batch-firing) gathers every
 /// applicable homomorphism instead of stopping at the first admitted one;
 /// it is only used with admission predicates that admit everything.
+/// Allocation-free on the all-satisfied path once the frames are warm.
+#[allow(clippy::too_many_arguments)]
 fn scan_tgd(
     plans: &DepPlans,
-    target: Target<'_>,
-    delta: Option<&DeltaSlots>,
+    arena: &TermArena,
+    pf: &mut ArenaFrame,
+    ef: &mut ArenaFrame,
+    delta: Option<&ArenaDelta>,
     dedup_hom_bindings: bool,
     collect_all: bool,
-    admit: &mut dyn FnMut(&Subst) -> bool,
+    admit: &mut dyn FnMut(&[TermId]) -> bool,
 ) -> Scan {
     let extension = plans.extension.as_ref().expect("tgd has an extension plan");
-    let mut fires: Vec<Subst> = Vec::new();
+    let mut fires: Vec<Box<[TermId]>> = Vec::new();
     let mut saw_applicable = false;
     // Distinct target choices can yield the same premise bindings (always
     // possible across delta-pinned passes, and under lenient dedup
     // policies even within one pass); dedup by the dense slot values so
     // the extension/admission work per binding runs once.
     let dedup = dedup_hom_bindings || delta.is_some();
-    let mut seen: std::collections::HashSet<Box<[Term]>> = std::collections::HashSet::new();
-    let emit = &mut |m: &eqsql_cq::Match<'_>| {
+    let mut seen: std::collections::HashSet<Box<[TermId]>> = std::collections::HashSet::new();
+    pf.reset(plans.premise.slot_count());
+    let emit = &mut |slots: &[TermId]| {
         if dedup {
-            if seen.contains(m.slots()) {
+            if seen.contains(slots) {
                 return true; // same bindings already examined
             }
-            seen.insert(m.slots().to_vec().into_boxed_slice());
+            seen.insert(slots.into());
         }
-        if extension.has_match(target, &Seed::Fn(&|v| m.get(v))) {
+        ef.reset(extension.slot_count());
+        ef.seed_from(&plans.ext_seed, slots);
+        if extension.has_match(arena, ef) {
             return true; // conclusion already witnessed
         }
         saw_applicable = true;
-        let h = m.to_subst();
-        if admit(&h) {
-            fires.push(h);
+        if admit(slots) {
+            fires.push(slots.into());
             collect_all // stop at the first admitted match unless batching
         } else {
             true
         }
     };
     match delta {
-        None => plans.premise.search(target, &Seed::Empty, emit),
-        Some(d) => plans.premise.search_delta(target, d, &Seed::Empty, emit),
+        None => plans.premise.search(arena, pf, emit),
+        Some(d) => plans.premise.search_delta(arena, d, pf, emit),
     };
     if fires.is_empty() {
         Scan::Idle { saw_applicable }
@@ -408,10 +518,19 @@ pub fn chase_indexed_opts(
     }
 
     let deps: Vec<&Dependency> = sigma.iter().collect();
-    let plans: Vec<DepPlans> = deps.iter().map(|d| DepPlans::compile(d)).collect();
+    // Compile every plan against the body's arena: constants and tables
+    // from Σ are interned/registered up front, so searches and fires never
+    // miss a table and the steady state interns nothing.
+    let plans: Vec<DepPlans> =
+        deps.iter().map(|d| DepPlans::compile(d, index.arena_mut())).collect();
+    let mut frames: Vec<DepFrames> = deps.iter().map(|_| DepFrames::new()).collect();
     let mut worklist = Worklist::new(sigma);
     let custom_admission = matches!(admission, Admission::Custom(_));
     let probes = if custom_admission { 1 } else { opts.probes.max(1) };
+    // The run-long probe pool: k-1 parked workers (the caller's thread is
+    // the k-th) living for the whole chase — per-step job handoff, no
+    // thread spawn inside the loop.
+    let pool = (probes > 1).then(|| ProbePool::new(probes - 1));
     // Per-dependency cache for query-independent admission verdicts
     // (renaming-invariant, so one evaluation per dependency suffices).
     let mut dep_admitted: Vec<Option<bool>> = vec![None; deps.len()];
@@ -421,6 +540,9 @@ pub fn chase_indexed_opts(
     // With a policy that never drops some duplicate atoms, distinct target
     // choices can yield the same premise bindings; see `scan_tgd`.
     let dedup_hom_bindings = !matches!(dedup, DedupPolicy::All);
+    // Scratch buffers for the fire path, reused across steps.
+    let mut exist_ids: Vec<TermId> = Vec::new();
+    let mut arg_ids: Vec<TermId> = Vec::new();
 
     let mut steps = 0usize;
     let mut renaming = Subst::new();
@@ -484,19 +606,19 @@ pub fn chase_indexed_opts(
         // The generation every scan this round runs against; delta-mode
         // watermarks advance to it on an exhaustive no-find.
         let scan_gen = index.current_gen();
-        fn gather_delta(index: &BodyIndex, seeded: bool, watermark_i: u64) -> Option<DeltaSlots> {
+        fn gather_delta(index: &BodyIndex, seeded: bool, watermark_i: u64) -> Option<ArenaDelta> {
             if !seeded || watermark_i == 0 {
                 return None;
             }
-            let mut d = DeltaSlots::new();
+            let mut d = ArenaDelta::new();
             index.delta_since(watermark_i, &mut d);
             Some(d)
         }
 
-        // Scan the picked dependencies — on worker threads when probing.
-        // Every scan reads the same immutable body snapshot. Custom
-        // admission is sequential (probes == 1) and handled below.
-        let scans: Vec<Scan> = if probes > 1 {
+        // Scan the picked dependencies — on the pool when probing. Every
+        // scan reads the same immutable body snapshot. Custom admission
+        // is sequential (probes == 1) and handled below.
+        let scans: Vec<Scan> = if let Some(pool) = &pool {
             let index_ref = &index;
             let plans_ref = &plans;
             let deps_ref = &deps;
@@ -507,37 +629,42 @@ pub fn chase_indexed_opts(
                 .filter(|&&i| admitted_q_indep(i, &dep_admitted))
                 .map(|&i| {
                     Box::new(move || {
-                        let target = Target::new(index_ref.atoms(), index_ref.buckets());
                         let delta = gather_delta(index_ref, delta_seeding, watermark_ref[i]);
+                        let mut pf = ArenaFrame::new();
                         match deps_ref[i] {
-                            Dependency::Egd(e) => {
-                                scan_egd(&plans_ref[i], e, target, delta.as_ref())
+                            Dependency::Egd(_) => {
+                                scan_egd(&plans_ref[i], index_ref.arena(), &mut pf, delta.as_ref())
                             }
-                            Dependency::Tgd(_) => scan_tgd(
-                                &plans_ref[i],
-                                target,
-                                delta.as_ref(),
-                                dedup_hom_bindings,
-                                delta_seeding,
-                                &mut |_| true,
-                            ),
+                            Dependency::Tgd(_) => {
+                                let mut ef = ArenaFrame::new();
+                                scan_tgd(
+                                    &plans_ref[i],
+                                    index_ref.arena(),
+                                    &mut pf,
+                                    &mut ef,
+                                    delta.as_ref(),
+                                    dedup_hom_bindings,
+                                    delta_seeding,
+                                    &mut |_| true,
+                                )
+                            }
                         }
                     }) as Box<dyn FnOnce() -> Scan + Send + '_>
                 })
                 .collect();
             opts.probe.on_scans(jobs.len() as u64);
-            probe_all(jobs)
+            pool.run(jobs)
         } else {
             let i = picks[0];
             if !admitted_q_indep(i, &dep_admitted) {
                 continue;
             }
             opts.probe.on_scans(1);
-            let target = Target::new(index.atoms(), index.buckets());
             let delta = gather_delta(&index, opts.delta_seeding, watermark[i]);
+            let DepFrames { premise: pf, ext: ef } = &mut frames[i];
             let scan = match deps[i] {
-                Dependency::Egd(e) => scan_egd(&plans[i], e, target, delta.as_ref()),
-                Dependency::Tgd(tgd) => {
+                Dependency::Egd(_) => scan_egd(&plans[i], index.arena(), pf, delta.as_ref()),
+                Dependency::Tgd(_) => {
                     // Custom admission: rename the dependency apart from
                     // the current query lazily (only this mode needs the
                     // renamed namespace) and consult the predicate with
@@ -552,13 +679,22 @@ pub fn chase_indexed_opts(
                             );
                             let tgd_r = renamed.as_tgd().expect("renaming preserves kind");
                             let mut cur_cache: Option<CqQuery> = None;
+                            let premise_plan = &plans[i].premise;
+                            let index_ref = &index;
                             scan_tgd(
                                 &plans[i],
-                                target,
+                                index.arena(),
+                                pf,
+                                ef,
                                 delta.as_ref(),
                                 dedup_hom_bindings,
                                 false,
-                                &mut |h| {
+                                &mut |slots| {
+                                    // Boundary conversion: materialize the
+                                    // match as a Subst in the renamed
+                                    // namespace for the predicate.
+                                    let mut h = Subst::new();
+                                    premise_plan.bind_subst(index_ref.arena(), slots, &mut h);
                                     let h_r = Subst::from_pairs(h.iter().map(|(v, t)| {
                                         match map.apply_term(&Term::Var(v)) {
                                             Term::Var(v_r) => (v_r, *t),
@@ -566,23 +702,22 @@ pub fn chase_indexed_opts(
                                         }
                                     }));
                                     let cur = cur_cache.get_or_insert_with(|| {
-                                        index.to_query(name, head_ref.clone())
+                                        index_ref.to_query(name, head_ref.clone())
                                     });
                                     admit(tgd_r, cur, &h_r)
                                 },
                             )
                         }
-                        Admission::All | Admission::QueryIndependent(_) => {
-                            let _ = tgd;
-                            scan_tgd(
-                                &plans[i],
-                                target,
-                                delta.as_ref(),
-                                dedup_hom_bindings,
-                                opts.delta_seeding,
-                                &mut |_| true,
-                            )
-                        }
+                        Admission::All | Admission::QueryIndependent(_) => scan_tgd(
+                            &plans[i],
+                            index.arena(),
+                            pf,
+                            ef,
+                            delta.as_ref(),
+                            dedup_hom_bindings,
+                            opts.delta_seeding,
+                            &mut |_| true,
+                        ),
                     }
                 }
             };
@@ -645,8 +780,9 @@ pub fn chase_indexed_opts(
                         Dependency::Tgd(t) => t,
                         Dependency::Egd(_) => unreachable!("tgd scan on egd"),
                     };
-                    let ext = plans[i].extension.as_ref().expect("tgd extension plan");
-                    for (k, h) in homs.into_iter().enumerate() {
+                    let dp = &plans[i];
+                    let ext = dp.extension.as_ref().expect("tgd extension plan");
+                    for (k, slots) in homs.into_iter().enumerate() {
                         if k > 0 {
                             // Loop-head poll covers the first fire; later
                             // fires in the batch are their own steps.
@@ -661,25 +797,44 @@ pub fn chase_indexed_opts(
                         // Under batch-firing an earlier fire in this very
                         // batch may have witnessed this homomorphism's
                         // conclusion; re-validate before firing.
-                        if k > 0
-                            && ext.has_match(
-                                Target::new(index.atoms(), index.buckets()),
-                                &Seed::Fn(&|v| h.get(v).copied()),
-                            )
-                        {
-                            continue;
+                        if k > 0 {
+                            let ef = &mut frames[i].ext;
+                            ef.reset(ext.slot_count());
+                            ef.seed_from(&dp.ext_seed, &slots);
+                            if ext.has_match(index.arena(), ef) {
+                                continue;
+                            }
                         }
-                        let mut s = h;
-                        for z in tgd.existential_vars() {
-                            s.set(z, Term::Var(supply.fresh(z.name())));
+                        // Mint the existentials in declaration order (the
+                        // fresh-name sequence must match the reference).
+                        exist_ids.clear();
+                        for z in &dp.existentials {
+                            let fresh = Term::Var(supply.fresh(z.name()));
+                            exist_ids.push(index.arena_mut().intern(fresh));
                         }
-                        let added = s.apply_atoms(&tgd.rhs);
                         let mut added_preds: Vec<Predicate> = Vec::new();
-                        for atom in &added {
-                            if index.insert(atom.clone(), dedup)
-                                && !added_preds.contains(&atom.pred)
+                        let mut added: Vec<Atom> = Vec::with_capacity(dp.conclusion.len());
+                        for (table, ops) in &dp.conclusion {
+                            arg_ids.clear();
+                            for op in ops {
+                                arg_ids.push(match op {
+                                    ConOp::Const(id) => *id,
+                                    ConOp::Prem(s) => slots[*s as usize],
+                                    ConOp::Exist(e) => exist_ids[*e as usize],
+                                });
+                            }
+                            // The trace lists every instantiated rhs atom,
+                            // inserted or deduped away (as the reference
+                            // does) — a boundary conversion.
+                            let pred = index.arena().table(*table).key().0;
+                            added.push(Atom {
+                                pred,
+                                args: arg_ids.iter().map(|&id| index.arena().term(id)).collect(),
+                            });
+                            if index.insert_ids(*table, &arg_ids, dedup)
+                                && !added_preds.contains(&pred)
                             {
-                                added_preds.push(atom.pred);
+                                added_preds.push(pred);
                             }
                         }
                         steps += 1;
@@ -694,6 +849,7 @@ pub fn chase_indexed_opts(
                             ),
                             body_size: index.len(),
                         });
+                        let _ = tgd;
                         worklist.wake_subscribers(&added_preds);
                     }
                     // The same tgd may be applicable through another

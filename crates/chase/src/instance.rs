@@ -11,19 +11,21 @@
 //!
 //! ## Search
 //!
-//! [`chase_database`]'s violation search runs on the planned, trail-based
-//! matcher ([`eqsql_cq::matcher`]): per-dependency plans compile once per
-//! run, the database is materialized as a bucketed conjunction of ground
-//! atoms only when a step mutates it (satisfied checks reuse the view),
-//! and the dependency premise streams over it first-match with the tgd
-//! conclusion check threaded in as a pruning predicate — no assignment
-//! set is ever collected, where the naive path materialized *every*
-//! premise assignment before looking at one. Candidate order equals the naive evaluator's
-//! per-relation tuple order, so both drivers repair the same violation
-//! first and allocate identical labelled nulls — which the differential
-//! suite asserts tuple-for-tuple. The naive [`assignments`]-based step
-//! functions survive privately for [`chase_database_reference`], the
-//! oracle.
+//! [`chase_database`]'s violation search runs on the flat arena
+//! ([`eqsql_cq::arena`]): the database is interned once into columnar
+//! per-relation tables (`u32` ids, one contiguous column per argument
+//! position) and refilled — terms and table registry kept — only when a
+//! step mutates it (satisfied checks reuse the view). Per-dependency
+//! [`eqsql_cq::ArenaPlan`]s compile once per run against that arena, and
+//! the dependency premise streams over it first-match with the tgd
+//! conclusion check threaded in as a pruning predicate through a
+//! precompiled seed map — no assignment set is ever collected, where the
+//! naive path materialized *every* premise assignment before looking at
+//! one. Rows are appended in the naive evaluator's per-relation tuple
+//! order, so both drivers repair the same violation first and allocate
+//! identical labelled nulls — which the differential suite asserts
+//! tuple-for-tuple. The naive [`assignments`]-based step functions
+//! survive privately for [`chase_database_reference`], the oracle.
 //!
 //! ## Scheduling
 //!
@@ -47,8 +49,9 @@
 
 use crate::error::{ChaseConfig, ChaseError};
 use crate::guard::RunGuard;
-use eqsql_cq::matcher::{bucket_atoms, Buckets, MatchPlan, Seed, Target};
-use eqsql_cq::{Atom, Predicate, Subst, Term, Value, Var};
+use eqsql_cq::{
+    ArenaFrame, ArenaPlan, Atom, EqOp, Predicate, SeedMap, Term, TermArena, TermId, Value, Var,
+};
 use eqsql_deps::{Dependency, DependencySet, Egd, Tgd};
 use eqsql_relalg::eval::{assignments, Assignment};
 use eqsql_relalg::{Database, Relation, Tuple};
@@ -118,28 +121,41 @@ fn replace_value(db: &Database, from: Value, to: Value) -> (Database, Vec<Predic
     (out, changed)
 }
 
-/// The database materialized as a bucketed conjunction of ground atoms —
-/// the matcher target. Per relation, atoms appear in core-set order, so
-/// the matcher's candidate order equals the naive evaluator's.
+/// The database interned into a columnar [`TermArena`] — the search
+/// target. Per relation, rows are appended in core-set order, so the
+/// arena's candidate order equals the naive evaluator's.
 struct GroundView {
-    atoms: Vec<Atom>,
-    buckets: Buckets,
+    arena: TermArena,
 }
 
 impl GroundView {
     fn of(db: &Database) -> GroundView {
-        let mut atoms: Vec<Atom> = Vec::new();
-        for (p, r) in db.iter() {
-            for t in r.core_set() {
-                atoms.push(Atom { pred: p, args: t.iter().map(|v| Term::Const(*v)).collect() });
-            }
-        }
-        let buckets = bucket_atoms(&atoms);
-        GroundView { atoms, buckets }
+        let mut gv = GroundView { arena: TermArena::new() };
+        gv.fill(db);
+        gv
     }
 
-    fn target(&self) -> Target<'_> {
-        Target::new(&self.atoms, &self.buckets)
+    fn fill(&mut self, db: &Database) {
+        let mut scratch: Vec<TermId> = Vec::new();
+        for (p, r) in db.iter() {
+            let t = self.arena.table_id((p, r.arity()));
+            for tup in r.core_set() {
+                scratch.clear();
+                for v in tup.iter() {
+                    scratch.push(self.arena.intern(Term::Const(*v)));
+                }
+                self.arena.push_row(t, &scratch);
+            }
+        }
+    }
+
+    /// Re-interns the database after a mutating step. Interned term ids
+    /// and the table registry survive ([`TermArena::clear_rows`]), so
+    /// compiled plans stay valid and steady-state refills intern nothing
+    /// new except freshly minted nulls.
+    fn refill(&mut self, db: &Database) {
+        self.arena.clear_rows();
+        self.fill(db);
     }
 }
 
@@ -174,53 +190,109 @@ fn insert_conclusion(db: &mut Database, rhs: &[Atom], next_null: &mut u64) -> Ve
     added
 }
 
-/// A dependency's compiled plans, built once per chase run (plans are
-/// database-independent; the premise keeps the written atom order so the
+/// A dependency's compiled plans, built once per chase run against the
+/// ground view's arena (the premise keeps the written atom order so the
 /// first violation found matches the naive oracle's).
 struct InstancePlans {
-    premise: MatchPlan,
+    premise: ArenaPlan,
     /// Tgd conclusion; `None` for egds.
-    conclusion: Option<MatchPlan>,
+    conclusion: Option<ArenaPlan>,
+    /// Conclusion slot ← premise slot, for the shared universals.
+    con_seed: SeedMap,
+    /// Tgd rhs template: per atom, its predicate and how each argument
+    /// reads off a premise match (`Free` = existential, minted as a null).
+    rhs_tmpl: Vec<(Predicate, Vec<EqOp>)>,
+    /// Egd equality sides, resolved against the premise plan.
+    egd_eq: Option<(EqOp, EqOp)>,
 }
 
 impl InstancePlans {
-    fn compile(dep: &Dependency) -> InstancePlans {
-        InstancePlans {
-            premise: MatchPlan::new(dep.lhs()),
-            conclusion: match dep {
-                Dependency::Tgd(t) => Some(MatchPlan::new(&t.rhs)),
-                Dependency::Egd(_) => None,
-            },
+    fn compile(dep: &Dependency, arena: &mut TermArena) -> InstancePlans {
+        let premise = ArenaPlan::new(dep.lhs(), arena);
+        match dep {
+            Dependency::Tgd(t) => {
+                let conclusion = ArenaPlan::new(&t.rhs, arena);
+                let con_seed = conclusion.seed_map_from(&premise);
+                let rhs_tmpl = t
+                    .rhs
+                    .iter()
+                    .map(|a| (a.pred, a.args.iter().map(|arg| premise.eq_op(arg, arena)).collect()))
+                    .collect();
+                InstancePlans {
+                    premise,
+                    conclusion: Some(conclusion),
+                    con_seed,
+                    rhs_tmpl,
+                    egd_eq: None,
+                }
+            }
+            Dependency::Egd(e) => {
+                let egd_eq = Some((premise.eq_op(&e.eq.0, arena), premise.eq_op(&e.eq.1, arena)));
+                InstancePlans {
+                    premise,
+                    conclusion: None,
+                    con_seed: SeedMap::new(),
+                    rhs_tmpl: Vec::new(),
+                    egd_eq,
+                }
+            }
         }
+    }
+}
+
+/// A dependency's reusable search frames, allocated once per run.
+struct InstanceFrames {
+    premise: ArenaFrame,
+    con: ArenaFrame,
+}
+
+impl InstanceFrames {
+    fn new() -> InstanceFrames {
+        InstanceFrames { premise: ArenaFrame::new(), con: ArenaFrame::new() }
     }
 }
 
 /// Repairs the first tgd violation found, if any. Returns the predicates
 /// that received a new tuple, or `None` when the tgd is satisfied.
 ///
-/// First-match matcher search over the caller's [`GroundView`] with the
-/// conclusion check threaded in as a pruning predicate: no assignment set
-/// is materialized, and a satisfied premise match costs one existence
-/// probe instead of a full enumeration of the conclusion's assignments.
+/// First-match arena search over the caller's [`GroundView`] with the
+/// conclusion check threaded in as a pruning predicate (seeded through
+/// the precompiled map): no assignment set is materialized, and a
+/// satisfied premise match costs one existence probe instead of a full
+/// enumeration of the conclusion's assignments.
 fn apply_tgd_instance(
     db: &mut Database,
     gv: &GroundView,
     plans: &InstancePlans,
-    tgd: &Tgd,
+    frames: &mut InstanceFrames,
     next_null: &mut u64,
 ) -> Option<Vec<Predicate>> {
     let conclusion = plans.conclusion.as_ref().expect("tgd has a conclusion plan");
-    let mut violating: Option<Subst> = None;
-    plans.premise.search(gv.target(), &Seed::Empty, &mut |m| {
-        if conclusion.has_match(gv.target(), &Seed::Fn(&|v| m.get(v))) {
+    let InstanceFrames { premise: pf, con: cf } = frames;
+    pf.reset(plans.premise.slot_count());
+    let mut violating: Option<Box<[TermId]>> = None;
+    plans.premise.search(&gv.arena, pf, &mut |slots| {
+        cf.reset(conclusion.slot_count());
+        cf.seed_from(&plans.con_seed, slots);
+        if conclusion.has_match(&gv.arena, cf) {
             true // conclusion witnessed; keep scanning
         } else {
-            violating = Some(m.to_subst());
+            violating = Some(slots.into());
             false
         }
     });
-    let asg = violating?;
-    let rhs = asg.apply_atoms(&tgd.rhs);
+    let slots = violating?;
+    // Ground the rhs template off the match (boundary conversion):
+    // premise-bound variables resolve to their matched constants, free
+    // (existential) variables stay variables for the null minting below.
+    let rhs: Vec<Atom> = plans
+        .rhs_tmpl
+        .iter()
+        .map(|(pred, ops)| Atom {
+            pred: *pred,
+            args: ops.iter().map(|op| op.resolve(&gv.arena, &slots)).collect(),
+        })
+        .collect();
     Some(insert_conclusion(db, &rhs, next_null))
 }
 
@@ -249,8 +321,8 @@ fn egd_merge(a: Value, b: Value) -> Option<(Value, Value)> {
     }
 }
 
-fn egd_image(t: &Term, m: &eqsql_cq::Match<'_>) -> Value {
-    match m.apply_term(t) {
+fn egd_image(op: &EqOp, gv: &GroundView, slots: &[TermId]) -> Value {
+    match op.resolve(&gv.arena, slots) {
         Term::Const(c) => c,
         Term::Var(v) => panic!("egd equates unbound variable {v}"),
     }
@@ -260,12 +332,15 @@ fn apply_egd_instance(
     db: &mut Database,
     gv: &GroundView,
     plans: &InstancePlans,
-    egd: &Egd,
+    frames: &mut InstanceFrames,
 ) -> EgdInstanceOutcome {
+    let (lhs, rhs) = plans.egd_eq.as_ref().expect("egd has compiled equality sides");
+    let pf = &mut frames.premise;
+    pf.reset(plans.premise.slot_count());
     let mut violation: Option<(Value, Value)> = None;
-    plans.premise.search(gv.target(), &Seed::Empty, &mut |m| {
-        let a = egd_image(&egd.eq.0, m);
-        let b = egd_image(&egd.eq.1, m);
+    plans.premise.search(&gv.arena, pf, &mut |slots| {
+        let a = egd_image(lhs, gv, slots);
+        let b = egd_image(rhs, gv, slots);
         if a == b {
             true
         } else {
@@ -379,10 +454,13 @@ pub fn chase_database_guarded(
             }
         }
     };
-    // Plans compile once per run; the ground view is rebuilt only after a
-    // step actually mutates the database — satisfied checks reuse it.
-    let plans: Vec<InstancePlans> = sigma.iter().map(InstancePlans::compile).collect();
+    // Plans compile once per run against the ground view's arena; the
+    // view is refilled only after a step actually mutates the database —
+    // satisfied checks reuse it.
     let mut gv = GroundView::of(&cur);
+    let plans: Vec<InstancePlans> =
+        sigma.iter().map(|d| InstancePlans::compile(d, &mut gv.arena)).collect();
+    let mut frames: Vec<InstanceFrames> = sigma.iter().map(|_| InstanceFrames::new()).collect();
     loop {
         guard.poll(steps)?;
         if steps >= config.max_steps {
@@ -392,11 +470,11 @@ pub fn chase_database_guarded(
             return Ok(InstanceChased { db: cur, failed: false, steps });
         };
         match sigma.as_slice()[i] {
-            Dependency::Tgd(ref t) => {
-                match apply_tgd_instance(&mut cur, &gv, &plans[i], t, &mut next_null) {
+            Dependency::Tgd(ref _t) => {
+                match apply_tgd_instance(&mut cur, &gv, &plans[i], &mut frames[i], &mut next_null) {
                     Some(added) => {
                         steps += 1;
-                        gv = GroundView::of(&cur);
+                        gv.refill(&cur);
                         wake(&mut queued, &added);
                         // Another premise assignment of the same tgd may still
                         // be violated even if nothing it listens on changed.
@@ -405,21 +483,23 @@ pub fn chase_database_guarded(
                     None => queued[i] = false,
                 }
             }
-            Dependency::Egd(ref e) => match apply_egd_instance(&mut cur, &gv, &plans[i], e) {
-                EgdInstanceOutcome::NoViolation => queued[i] = false,
-                EgdInstanceOutcome::Applied(changed) => {
-                    steps += 1;
-                    gv = GroundView::of(&cur);
-                    wake(&mut queued, &changed);
-                    // The violating premise tuples contained the replaced
-                    // value, so `changed` re-arms this egd via its own
-                    // subscription; keep it queued explicitly regardless.
-                    queued[i] = true;
+            Dependency::Egd(ref _e) => {
+                match apply_egd_instance(&mut cur, &gv, &plans[i], &mut frames[i]) {
+                    EgdInstanceOutcome::NoViolation => queued[i] = false,
+                    EgdInstanceOutcome::Applied(changed) => {
+                        steps += 1;
+                        gv.refill(&cur);
+                        wake(&mut queued, &changed);
+                        // The violating premise tuples contained the replaced
+                        // value, so `changed` re-arms this egd via its own
+                        // subscription; keep it queued explicitly regardless.
+                        queued[i] = true;
+                    }
+                    EgdInstanceOutcome::Failed => {
+                        return Ok(InstanceChased { db: cur, failed: true, steps });
+                    }
                 }
-                EgdInstanceOutcome::Failed => {
-                    return Ok(InstanceChased { db: cur, failed: true, steps });
-                }
-            },
+            }
         }
     }
 }

@@ -11,6 +11,9 @@
 //!   the paper) whose bodies are **multisets** of atoms — duplicate subgoals
 //!   are semantically significant under bag and bag-set semantics;
 //! * aggregate queries ([`AggregateQuery`], §2.5);
+//! * the flat per-run [`arena`] — `u32`-interned terms and columnar
+//!   predicate tables ([`TermArena`], [`ArenaPlan`]) — that the chase
+//!   engine's hot path runs on, allocation-free per step;
 //! * [`Subst`]itutions and homomorphism machinery: the planned,
 //!   trail-based [`matcher`] (compiled [`matcher::MatchPlan`]s, delta-
 //!   constrained search, parallel probe fan-out, and the naive
@@ -28,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
+pub mod arena;
 pub mod atom;
 pub mod hom;
 pub mod iso;
@@ -41,6 +45,7 @@ pub mod term;
 pub mod value;
 
 pub use aggregate::{AggFn, AggregateQuery};
+pub use arena::{ArenaDelta, ArenaFrame, ArenaPlan, ColumnTable, EqOp, SeedMap, TermArena, TermId};
 pub use atom::{Atom, Predicate};
 pub use hom::{
     bucket_atoms, containment_mapping, enumerate_homomorphisms, extend_homomorphism,

@@ -219,11 +219,34 @@ impl MatchPlan {
     /// original position (stability). Only the *order* changes — the
     /// emitted match set is the same as [`MatchPlan::new`]'s.
     pub fn optimized(src: &[Atom], bound: &[Var]) -> MatchPlan {
+        MatchPlan::compile(src, MatchPlan::greedy_order(src, bound, |_| 0))
+    }
+
+    /// [`MatchPlan::optimized`] with live cardinality statistics
+    /// (Selinger-lite): among atoms the static heuristic scores equally,
+    /// scan the one with the fewest live candidates first. `card` maps a
+    /// `(predicate, arity)` key to its current candidate count — pass the
+    /// target's bucket sizes. Only the *order* changes, so this is safe
+    /// exactly where `optimized` is (existence-only / set-valued
+    /// searches).
+    pub fn optimized_with_stats(
+        src: &[Atom],
+        bound: &[Var],
+        card: &dyn Fn(&(Predicate, usize)) -> usize,
+    ) -> MatchPlan {
+        MatchPlan::compile(src, MatchPlan::greedy_order(src, bound, |a| card(&a.key())))
+    }
+
+    /// Greedy atom ordering: maximize `pinned*8 - fresh` (constants and
+    /// already-bound slots first, fewer fresh variables on ties), break
+    /// remaining ties toward the smaller candidate set per `card`, then
+    /// the original position (stability).
+    fn greedy_order(src: &[Atom], bound: &[Var], card: impl Fn(&Atom) -> usize) -> Vec<usize> {
         let mut order: Vec<usize> = Vec::with_capacity(src.len());
         let mut placed = vec![false; src.len()];
         let mut known: std::collections::HashSet<Var> = bound.iter().copied().collect();
         for _ in 0..src.len() {
-            let mut best: Option<(i64, usize)> = None;
+            let mut best: Option<(i64, usize, usize)> = None; // (score, card, idx)
             for (i, atom) in src.iter().enumerate() {
                 if placed[i] {
                     continue;
@@ -244,19 +267,21 @@ impl MatchPlan {
                         }
                     }
                 }
-                // Higher is better; ties resolve to the lowest original
-                // index because the scan is ascending and `>` is strict.
+                // Higher is better; full ties resolve to the lowest
+                // original index because the scan is ascending and the
+                // comparisons are strict.
                 let score = pinned * 8 - fresh;
-                if best.map_or(true, |(s, _)| score > s) {
-                    best = Some((score, i));
+                let c = card(atom);
+                if best.map_or(true, |(s, bc, _)| score > s || (score == s && c < bc)) {
+                    best = Some((score, c, i));
                 }
             }
-            let (_, i) = best.expect("unplaced atom remains");
+            let (_, _, i) = best.expect("unplaced atom remains");
             placed[i] = true;
             known.extend(src[i].vars());
             order.push(i);
         }
-        MatchPlan::compile(src, order)
+        order
     }
 
     fn compile(src: &[Atom], order: Vec<usize>) -> MatchPlan {
@@ -572,6 +597,151 @@ pub fn probe_all<R: Send>(jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<
         }
         out
     })
+}
+
+/// A run-long pool of parked worker threads for speculative probes.
+///
+/// [`probe_all`] spawns (and joins) `k - 1` scoped threads on **every**
+/// chase step, which swamps the probe payoff on small steps. A
+/// `ProbePool` pays the spawn cost once per run: workers park on a
+/// condvar and [`ProbePool::run`] hands them jobs per step, blocking
+/// until every job has finished — the same barrier semantics as
+/// `probe_all`, with identical submission-order results (the first job
+/// still runs on the caller's thread). Worker panics are caught and
+/// re-raised on the caller.
+pub struct ProbePool {
+    shared: std::sync::Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+type ErasedJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: std::sync::Mutex<std::collections::VecDeque<ErasedJob>>,
+    available: std::sync::Condvar,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+/// Lock a mutex, recovering from poisoning (no pool invariant is
+/// protected by unwinding — results slots are all-or-nothing).
+fn lock<'a, T>(m: &'a std::sync::Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ProbePool {
+    /// A pool with `workers` parked threads (at least one). A pool sized
+    /// for `k`-wide probing wants `k - 1` workers: the caller's thread
+    /// runs the first job.
+    pub fn new(workers: usize) -> ProbePool {
+        let shared = std::sync::Arc::new(PoolShared {
+            queue: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            available: std::sync::Condvar::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = lock(&shared.queue);
+                        loop {
+                            if let Some(j) = q.pop_front() {
+                                break j;
+                            }
+                            if shared.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+                                return;
+                            }
+                            q = shared
+                                .available
+                                .wait(q)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    job();
+                })
+            })
+            .collect();
+        ProbePool { shared, workers }
+    }
+
+    /// Runs the jobs, first on the caller's thread and the rest on pool
+    /// workers, and returns their results in submission order. Blocks
+    /// until **every** submitted job has completed, so the jobs may
+    /// borrow from the caller's stack even though the internal handoff
+    /// erases their lifetimes.
+    pub fn run<'env, R: Send + 'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+    ) -> Vec<R> {
+        let n = jobs.len();
+        if n <= 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        struct RunState<R> {
+            results: std::sync::Mutex<Vec<Option<std::thread::Result<R>>>>,
+            pending: std::sync::Mutex<usize>,
+            done: std::sync::Condvar,
+        }
+        let state = std::sync::Arc::new(RunState::<R> {
+            results: std::sync::Mutex::new((0..n).map(|_| None).collect()),
+            pending: std::sync::Mutex::new(n - 1),
+            done: std::sync::Condvar::new(),
+        });
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next().expect("n > 1");
+        {
+            let mut q = lock(&self.shared.queue);
+            for (k, job) in jobs.enumerate() {
+                let st = std::sync::Arc::clone(&state);
+                let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    lock(&st.results)[k + 1] = Some(r);
+                    let mut p = lock(&st.pending);
+                    *p -= 1;
+                    if *p == 0 {
+                        st.done.notify_all();
+                    }
+                });
+                // SAFETY: the erased closure borrows (at most) from
+                // `'env`, and this function does not return until the
+                // barrier below has observed every job complete — the
+                // borrows cannot outlive the frames they point into. A
+                // `Box<dyn FnOnce + Send>` has the same layout for any
+                // lifetime bound; only the bound is erased.
+                let erased: ErasedJob = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, ErasedJob>(closure)
+                };
+                q.push_back(erased);
+            }
+            self.shared.available.notify_all();
+        }
+        let first_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(first));
+        {
+            let mut p = lock(&state.pending);
+            while *p > 0 {
+                p = state.done.wait(p).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let mut slots = lock(&state.results);
+        slots[0] = Some(first_result);
+        slots
+            .drain(..)
+            .map(|r| match r.expect("barrier guarantees completion") {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+impl Drop for ProbePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, std::sync::atomic::Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 /// Query isomorphism search routed through the plan machinery: a
@@ -951,6 +1121,56 @@ mod tests {
             .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
             .collect();
         assert_eq!(probe_all(jobs), vec![0, 1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn probe_pool_preserves_submission_order_and_reuses_workers() {
+        let pool = ProbePool::new(3);
+        for _ in 0..4 {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..7usize)
+                .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            assert_eq!(pool.run(jobs), vec![0, 1, 4, 9, 16, 25, 36]);
+        }
+    }
+
+    #[test]
+    fn probe_pool_jobs_may_borrow_caller_state() {
+        let pool = ProbePool::new(2);
+        let data: Vec<usize> = (0..100).collect();
+        let slices: Vec<&[usize]> = data.chunks(25).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = slices
+            .iter()
+            .map(|s| {
+                let s = *s;
+                Box::new(move || s.iter().sum::<usize>()) as Box<dyn FnOnce() -> usize + Send + '_>
+            })
+            .collect();
+        assert_eq!(pool.run(jobs).into_iter().sum::<usize>(), (0..100).sum());
+    }
+
+    #[test]
+    fn stats_ordering_changes_order_not_matches() {
+        // Two all-fresh atoms: static heuristic ties; cardinality breaks
+        // toward the small bucket.
+        let src = q("q() :- big(X,Y), small(Y,Z)").body;
+        let mut dst = q("q() :- small(7,8)").body;
+        for i in 0..9 {
+            dst.extend(q(&format!("q() :- big({i},{i})")).body);
+        }
+        let buckets = bucket_atoms(&dst);
+        let card = |k: &(Predicate, usize)| buckets.get(k).map_or(0, |b| b.len());
+        let plan = MatchPlan::optimized_with_stats(&src, &[], &card);
+        assert_eq!(plan.steps[0].key.0, Predicate::new("small"));
+        // Identical match sets either way.
+        let base: std::collections::HashSet<Vec<(Var, Term)>> =
+            all_planned(&src, &dst, &Subst::new()).iter().map(Subst::sorted_pairs).collect();
+        let mut with_stats = std::collections::HashSet::new();
+        plan.search(Target::new(&dst, &buckets), &Seed::Empty, &mut |m| {
+            with_stats.insert(m.to_subst().sorted_pairs());
+            true
+        });
+        assert_eq!(base, with_stats);
     }
 
     #[test]

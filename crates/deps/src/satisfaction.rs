@@ -21,15 +21,18 @@ use eqsql_relalg::Database;
 /// Streams premise matches off the planned matcher with the conclusion
 /// probe threaded in, short-circuiting at the first unwitnessed match —
 /// the historical path materialized (and silently capped!) the full
-/// premise homomorphism set before looking at one. The extension seed
-/// covers exactly the premise variables, so the tgd's existential
-/// variables stay free, as Definition 2.x requires.
+/// premise homomorphism set before looking at one. Plans are ordered by
+/// the body's live bucket sizes ([`MatchPlan::optimized_with_stats`],
+/// Selinger-lite) — safe for these existence-only searches. The
+/// extension seed covers exactly the premise variables, so the tgd's
+/// existential variables stay free, as Definition 2.x requires.
 pub fn query_satisfies_tgd(q: &CqQuery, tgd: &Tgd) -> bool {
     let buckets = bucket_atoms(&q.body);
     let target = Target::new(&q.body, &buckets);
-    let premise = MatchPlan::optimized(&tgd.lhs, &[]);
+    let card = |key: &(eqsql_cq::Predicate, usize)| buckets.get(key).map_or(0, Vec::len);
+    let premise = MatchPlan::optimized_with_stats(&tgd.lhs, &[], &card);
     let universal: Vec<Var> = tgd.universal_vars().into_iter().collect();
-    let conclusion = MatchPlan::optimized(&tgd.rhs, &universal);
+    let conclusion = MatchPlan::optimized_with_stats(&tgd.rhs, &universal, &card);
     let mut satisfied = true;
     premise.search(target, &Seed::Empty, &mut |m| {
         satisfied = conclusion.has_match(target, &Seed::Fn(&|v| m.get(v)));
@@ -42,7 +45,8 @@ pub fn query_satisfies_tgd(q: &CqQuery, tgd: &Tgd) -> bool {
 pub fn query_satisfies_egd(q: &CqQuery, egd: &Egd) -> bool {
     let buckets = bucket_atoms(&q.body);
     let target = Target::new(&q.body, &buckets);
-    let premise = MatchPlan::optimized(&egd.lhs, &[]);
+    let card = |key: &(eqsql_cq::Predicate, usize)| buckets.get(key).map_or(0, Vec::len);
+    let premise = MatchPlan::optimized_with_stats(&egd.lhs, &[], &card);
     let mut satisfied = true;
     premise.search(target, &Seed::Empty, &mut |m| {
         satisfied = m.apply_term(&egd.eq.0) == m.apply_term(&egd.eq.1);

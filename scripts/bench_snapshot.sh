@@ -34,6 +34,8 @@ BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench hom_search -- 2>&1 | sed 's/^/  /'
 BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
     cargo bench -q -p eqsql-bench --bench persist -- 2>&1 | sed 's/^/  /'
+BENCH_JSON_OUT="$RAW" BENCH_SAMPLES="$SAMPLES" \
+    cargo bench -q -p eqsql-bench --bench arena -- 2>&1 | sed 's/^/  /'
 
 # Cold-start-to-warm hit rate through the real binary: a cold eqsql-serve
 # populates a cache directory on the equiv_batch workload, a second process
@@ -76,22 +78,29 @@ LATENCY_JSON="$(cargo run -q --release -p eqsql-bench --bin loadgen -- \
     --workers 4 --qps 300 "$PERSIST_REQ")"
 
 # Acceptance: against the previously committed snapshot, the median of
-# per-case set_chase median ratios must stay within 5% — the off path of
-# the observability layer has to be free.
-if [ -f "$OUT" ]; then
-    RATIO="$(jq -s --slurpfile prev "$OUT" '
-        ($prev[0].cases // [] | map(select(.id | contains("set_chase")))
+# per-case median ratios must stay within 5% for both the engine
+# (`set_chase`) and the search layer (`hom_search`) — an arena or
+# observability change may not slow either hot path down.
+gate_family() {
+    local family="$1"
+    local ratio
+    ratio="$(jq -s --slurpfile prev "$OUT" --arg fam "$family" '
+        ($prev[0].cases // [] | map(select(.id | contains($fam)))
          | map({key: .id, value: .median_ns}) | from_entries) as $old |
-        [ .[] | select(.id | contains("set_chase")) | select($old[.id] != null)
+        [ .[] | select(.id | contains($fam)) | select($old[.id] != null)
           | .median_ns / $old[.id] ]
         | sort | if length == 0 then null else .[(length - 1) / 2 | floor] end
     ' "$RAW")"
-    if [ -n "$RATIO" ] && [ "$RATIO" != "null" ]; then
-        echo "overhead gate: set_chase median-of-ratios vs committed snapshot: $RATIO"
-        jq -en --argjson r "$RATIO" '$r <= 1.05' >/dev/null \
-            || { echo "bench: set_chase medians regressed >5% vs committed snapshot (ratio $RATIO)" >&2; \
+    if [ -n "$ratio" ] && [ "$ratio" != "null" ]; then
+        echo "overhead gate: $family median-of-ratios vs committed snapshot: $ratio"
+        jq -en --argjson r "$ratio" '$r <= 1.05' >/dev/null \
+            || { echo "bench: $family medians regressed >5% vs committed snapshot (ratio $ratio)" >&2; \
                  exit 1; }
     fi
+}
+if [ -f "$OUT" ]; then
+    gate_family "set_chase"
+    gate_family "hom_search"
 fi
 
 jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" \
@@ -132,6 +141,21 @@ jq -s --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" --arg samples "$SAMPLES" \
         }
       )
     ),
+    arena: (
+      map(select(.id | startswith("arena/")))
+      | group_by(.id | sub("/(columnar|boxed)/"; "/")) | map(
+        select(length == 2) |
+        (map(select(.id | contains("/columnar/"))) | first) as $col |
+        (map(select(.id | contains("/boxed/"))) | first) as $box |
+        select($col != null and $box != null) |
+        {
+          case: ($col.id | sub("/columnar/"; "/")),
+          columnar_median_ns: $col.median_ns,
+          boxed_median_ns: $box.median_ns,
+          speedup: (($box.median_ns / $col.median_ns * 100 | round) / 100)
+        }
+      )
+    ),
     persist: ($persist + {
       bench: (
         map(select(.id | startswith("persist/")))
@@ -160,5 +184,6 @@ echo "wrote $OUT"
 jq -r '.speedups[] | "\(.case): \(.speedup)x (indexed \(.indexed_median_ns)ns vs reference \(.reference_median_ns)ns)"' "$OUT"
 jq -r '.batch_speedups[] | "\(.case): warm cache \(.warm_speedup)x (cold \(.cold_median_ns)ns vs warm \(.warm_median_ns)ns)"' "$OUT"
 jq -r '.hom_search[] | .case as $c | .contenders[] | "\($c): \(.id | sub(".*/(?<k>[a-z]+)/.*"; "\(.k)")) \(.speedup)x vs reference"' "$OUT"
+jq -r '.arena[] | "\(.case): columnar \(.speedup)x (columnar \(.columnar_median_ns)ns vs boxed \(.boxed_median_ns)ns)"' "$OUT"
 jq -r '.persist | "persist: cold \(.cold.hit_rate) -> restart \(.restart_warm.hit_rate) vs same-process \(.same_process_warm.hit_rate) hit rate"' "$OUT"
 jq -r '.latency | "latency: closed cold p50 \(.closed.cold.p50_us)us / p99 \(.closed.cold.p99_us)us @ \(.closed.cold.achieved_qps) qps; closed warm p50 \(.closed.warm.p50_us)us / p99 \(.closed.warm.p99_us)us @ \(.closed.warm.achieved_qps) qps; open warm achieved \(.open.warm.achieved_qps) of \(.open.target_qps) qps target"' "$OUT"

@@ -1,0 +1,169 @@
+//! Allocation-regression guard for the flat-arena chase path.
+//!
+//! The point of the arena refactor (`eqsql_cq::arena`) is that the warm
+//! chase step touches the allocator **zero** times: terms are `u32` ids,
+//! candidate scans sweep columnar `Vec<u32>`s, search state lives in
+//! reusable frames, and the conclusion-extension check seeds through a
+//! precompiled map instead of a closure over a `Subst`. This binary
+//! installs a counting global allocator and asserts exactly that on the
+//! Appendix-H `m = 4` fixture: after one warming pass, a full
+//! scan-every-dependency pass over the terminal body (the work of a chase
+//! step that finds nothing left to do) performs **no** heap allocation.
+//!
+//! The test lives alone in its own integration-test binary: libtest runs
+//! tests in one process, and any concurrent test thread would pollute the
+//! global allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// [`System`] plus a global allocation counter (deallocations are free —
+/// the assertion is about acquiring memory on the hot path).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use eqsql_chase::{set_chase, BodyIndex, ChaseConfig};
+use eqsql_cq::{ArenaFrame, ArenaPlan, EqOp, SeedMap, Var};
+use eqsql_deps::Dependency;
+use eqsql_gen::appendix_h_instance;
+
+/// One dependency's compiled search machinery, mirroring what the engine
+/// keeps per dependency (`DepPlans` + `DepFrames` are private to
+/// `eqsql_chase::engine`, so the test rebuilds them from the public arena
+/// API — which is also what pins that API as sufficient).
+struct Compiled {
+    premise: ArenaPlan,
+    extension: Option<ArenaPlan>,
+    ext_seed: SeedMap,
+    egd_eq: Option<(EqOp, EqOp)>,
+    pf: ArenaFrame,
+    ef: ArenaFrame,
+}
+
+/// Scans every dependency against the index exactly like an engine round
+/// that finds nothing applicable: premise search with the tgd extension
+/// check (or egd equality check) threaded in. Returns the number of
+/// premise matches examined, to prove the pass did real work.
+fn scan_pass(index: &BodyIndex, compiled: &mut [Compiled]) -> u64 {
+    let mut examined = 0u64;
+    for c in compiled.iter_mut() {
+        let Compiled { premise, extension, ext_seed, egd_eq, pf, ef } = c;
+        pf.reset(premise.slot_count());
+        match extension {
+            Some(ext) => {
+                premise.search(index.arena(), pf, &mut |slots| {
+                    examined += 1;
+                    ef.reset(ext.slot_count());
+                    ef.seed_from(ext_seed, slots);
+                    assert!(
+                        ext.has_match(index.arena(), ef),
+                        "terminal body has an unwitnessed tgd premise match"
+                    );
+                    true
+                });
+            }
+            None => {
+                let (lhs, rhs) = egd_eq.expect("egd equality sides");
+                premise.search(index.arena(), pf, &mut |slots| {
+                    examined += 1;
+                    assert!(
+                        lhs.resolve(index.arena(), slots) == rhs.resolve(index.arena(), slots),
+                        "terminal body has an egd violation"
+                    );
+                    true
+                });
+            }
+        }
+    }
+    examined
+}
+
+/// A warm no-fire chase step on the Appendix-H m=4 terminal performs zero
+/// heap allocations in the arena path.
+#[test]
+fn warm_chase_step_is_allocation_free() {
+    let inst = appendix_h_instance(4);
+    let cfg = ChaseConfig { max_steps: 20_000, max_atoms: 20_000 };
+    let terminal = set_chase(&inst.query, &inst.sigma, &cfg).unwrap();
+    assert!(!terminal.failed);
+
+    // Build the persistent index and compile every dependency against its
+    // arena, exactly as the engine does at run start.
+    let mut index = BodyIndex::new(&terminal.query.body);
+    let mut compiled: Vec<Compiled> = inst
+        .sigma
+        .iter()
+        .map(|dep| {
+            let premise = ArenaPlan::new(dep.lhs(), index.arena_mut());
+            match dep {
+                Dependency::Tgd(t) => {
+                    let universal: Vec<Var> = t.universal_vars().into_iter().collect();
+                    let ext =
+                        ArenaPlan::optimized_with_stats(&t.rhs, &universal, index.arena_mut());
+                    let ext_seed = ext.seed_map_from(&premise);
+                    Compiled {
+                        premise,
+                        extension: Some(ext),
+                        ext_seed,
+                        egd_eq: None,
+                        pf: ArenaFrame::new(),
+                        ef: ArenaFrame::new(),
+                    }
+                }
+                Dependency::Egd(e) => {
+                    let lhs = premise.eq_op(&e.eq.0, index.arena_mut());
+                    let rhs = premise.eq_op(&e.eq.1, index.arena_mut());
+                    Compiled {
+                        premise,
+                        extension: None,
+                        ext_seed: SeedMap::new(),
+                        egd_eq: Some((lhs, rhs)),
+                        pf: ArenaFrame::new(),
+                        ef: ArenaFrame::new(),
+                    }
+                }
+            }
+        })
+        .collect();
+
+    // Warming pass: frames size themselves, after which nothing grows.
+    let warm = scan_pass(&index, &mut compiled);
+    assert!(warm > 0, "the Appendix-H terminal must exercise the scan");
+
+    // The measured pass: a full nothing-to-do engine round, zero allocs.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let measured = scan_pass(&index, &mut compiled);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(measured, warm, "warm and measured passes diverged");
+    assert_eq!(
+        after - before,
+        0,
+        "warm arena chase step allocated {} times (examined {measured} premise matches)",
+        after - before
+    );
+}
