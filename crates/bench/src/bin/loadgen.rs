@@ -2,7 +2,7 @@
 //! file, printing one JSON object for `scripts/bench_snapshot.sh`.
 //!
 //! ```text
-//! loadgen [--workers N] [--qps Q] [--passes K] [FILE]
+//! loadgen [--workers N] [--qps Q] [--passes K] [--connect ADDR] [--drain] [FILE]
 //! ```
 //!
 //! FILE defaults to the committed `crates/service/fixtures/equiv_batch.req`
@@ -19,12 +19,24 @@
 //! [`Solver::decide`] call with instrumentation left **off**, so snapshot
 //! deltas across PRs bound the disabled observability layer's overhead.
 //! The JSON goes to stdout; a human-readable summary goes to stderr.
+//!
+//! With `--connect ADDR` the same three phases run against a live
+//! `eqsql-serve --listen` server instead of an in-process solver: FILE's
+//! verb lines are replayed over `--workers` concurrent
+//! [`eqsql_net::Client`] connections (the server must have been started
+//! from the same file, since it pins the schema and Σ), so the reported
+//! latencies include the wire. The JSON gains a `"connect"` key;
+//! `scripts/bench_snapshot.sh` stores it under `net` in
+//! `BENCH_chase.json`. `--drain` asks the server to shut down gracefully
+//! after the measurement.
 
-use eqsql_bench::workloads::{run_load, LoadMode, LoadReport};
+use eqsql_bench::workloads::{request_lines, run_load, run_load_connect, LoadMode, LoadReport};
+use eqsql_net::Client;
 use eqsql_service::{parse_request_file, Error, Solver};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: loadgen [--workers N] [--qps Q] [--passes K] [FILE]";
+const USAGE: &str =
+    "usage: loadgen [--workers N] [--qps Q] [--passes K] [--connect ADDR] [--drain] [FILE]";
 
 fn json_phase(r: &LoadReport) -> String {
     let l = r.latency;
@@ -40,6 +52,8 @@ fn main() -> ExitCode {
     let mut workers = 4usize;
     let mut qps = 200.0f64;
     let mut passes = 2usize;
+    let mut connect: Option<String> = None;
+    let mut drain = false;
     let mut saw_file = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +67,11 @@ fn main() -> ExitCode {
             "--passes" => value("--passes").and_then(|v| {
                 v.parse().map(|k: usize| passes = k.max(1)).map_err(|e| e.to_string())
             }),
+            "--connect" => value("--connect").map(|v| connect = Some(v)),
+            "--drain" => {
+                drain = true;
+                Ok(())
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -78,6 +97,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(addr) = connect {
+        return run_net(&addr, &file, &text, workers, qps, passes, drain);
+    }
     let parsed = match parse_request_file(&text) {
         Ok(r) => r,
         Err(e) => {
@@ -112,6 +134,85 @@ fn main() -> ExitCode {
     let total_errors = cold.errors + warm.errors + open.errors;
     println!(
         "{{\"workload\":{file:?},\"requests\":{n},\"workers\":{workers},\
+         \"closed\":{{\"cold\":{},\"warm\":{}}},\
+         \"open\":{{\"target_qps\":{qps:.1},\"warm\":{}}}}}",
+        json_phase(&cold),
+        json_phase(&warm),
+        json_phase(&open)
+    );
+    if total_errors > 0 {
+        eprintln!("loadgen: {total_errors} error verdict(s) under load");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--connect` path: the same cold/warm/open phases, but replayed
+/// over client connections to a running server.
+fn run_net(
+    addr: &str,
+    file: &str,
+    text: &str,
+    workers: usize,
+    qps: f64,
+    passes: usize,
+    drain: bool,
+) -> ExitCode {
+    let lines = request_lines(text);
+    if lines.is_empty() {
+        eprintln!("loadgen: {file} has no request lines");
+        return ExitCode::FAILURE;
+    }
+    let n = lines.len();
+    let phase = |total: usize, mode: LoadMode| run_load_connect(addr, &lines, total, mode);
+
+    let cold = match phase(n, LoadMode::Closed { workers }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadgen: net cold closed loop: {} requests, {:.1} qps, p50 {}us p99 {}us",
+        cold.issued, cold.achieved_qps, cold.latency.p50, cold.latency.p99
+    );
+    let warm = match phase(n * passes, LoadMode::Closed { workers }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadgen: net warm closed loop: {} requests, {:.1} qps, p50 {}us p99 {}us",
+        warm.issued, warm.achieved_qps, warm.latency.p50, warm.latency.p99
+    );
+    let open = match phase(n * passes, LoadMode::Open { workers, target_qps: qps }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadgen: net open loop @ {qps:.0} qps target: achieved {:.1} qps, p50 {}us p99 {}us",
+        open.achieved_qps, open.latency.p50, open.latency.p99
+    );
+
+    if drain {
+        match Client::connect(addr).and_then(|mut c| c.drain()) {
+            Ok(()) => eprintln!("loadgen: server draining"),
+            Err(e) => {
+                eprintln!("loadgen: drain: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let total_errors = cold.errors + warm.errors + open.errors;
+    println!(
+        "{{\"workload\":{file:?},\"connect\":{addr:?},\"requests\":{n},\"workers\":{workers},\
          \"closed\":{{\"cold\":{},\"warm\":{}}},\
          \"open\":{{\"target_qps\":{qps:.1},\"warm\":{}}}}}",
         json_phase(&cold),

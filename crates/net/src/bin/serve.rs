@@ -1,11 +1,12 @@
-//! `eqsql-serve` — drive a [`Solver`] from a request file.
+//! `eqsql-serve` — drive a [`Solver`] from a request file, or put it
+//! behind a TCP socket.
 //!
 //! ```text
 //! eqsql-serve [--threads N] [--repeat K] [--cache-capacity C]
 //!             [--cache-dir DIR] [--cache-read-only] [--snapshot-every N]
 //!             [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest]
 //!             [--metrics] [--trace FILE] [--progress MS]
-//!             [--strict] [--quiet] FILE
+//!             [--strict] [--quiet] [--listen ADDR] FILE
 //! ```
 //!
 //! Decides every request line of FILE (format: `eqsql_service::request` —
@@ -15,6 +16,19 @@
 //! statistics. `--repeat K` re-runs the same batch K times against the
 //! solver's (by then warm) cache — the simplest load test: run 1 pays for
 //! the chases, runs 2..K measure the serving path.
+//!
+//! `--listen ADDR` switches to server mode (`eqsql_net`): FILE still
+//! supplies Σ, the schema, the set-valued flags and default budgets, but
+//! its request lines are ignored — requests arrive over the socket in
+//! the same verb grammar, one per line (see the `eqsql_net` crate docs
+//! for the wire protocol). The ops and observability flags wire through
+//! unchanged: `--deadline-ms`/`--shed*` shape every connection's batch
+//! envelope, `--cache-dir` persists the shared cache, `--metrics`
+//! enables instrumentation, and `--trace` additionally puts per-phase
+//! timings on every verdict line. The bound address is printed as
+//! `listening on ADDR` (bind to port `0` for an ephemeral port); the
+//! process runs until a client sends `drain`, then prints the same
+//! `cache:`/`persist:`/`metric:` stat lines as file mode.
 //!
 //! `--cache-dir DIR` persists the chase cache at DIR (append-only log +
 //! compacted snapshots; see `eqsql_service::cache::persist`): a restarted
@@ -41,10 +55,12 @@
 //! the schema); `--progress MS` prints a liveness line to stderr every MS
 //! milliseconds while the batch loop runs.
 
+use eqsql_net::{Server, ServerConfig};
 use eqsql_service::{
     parse_request_file, AdmissionConfig, Answer, BatchOptions, CacheConfig, ChaseCache, Error,
     PersistConfig, Request, ShedPolicy, Solver, TraceSink, Verdict, WriteSink,
 };
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,10 +70,11 @@ const USAGE: &str = "usage: eqsql-serve [--threads N] [--repeat K] [--cache-capa
                      [--cache-dir DIR] [--cache-read-only] [--snapshot-every N] \
                      [--deadline-ms MS] [--shed N] [--shed-policy reject-new|cancel-oldest] \
                      [--metrics] [--trace FILE] [--progress MS] \
-                     [--strict] [--quiet] FILE";
+                     [--strict] [--quiet] [--listen ADDR] FILE";
 
 struct Args {
     file: String,
+    listen: Option<String>,
     threads: usize,
     repeat: usize,
     cache_capacity: usize,
@@ -83,6 +100,7 @@ enum ArgsOutcome {
 fn parse_args() -> Result<ArgsOutcome, String> {
     let mut args = Args {
         file: String::new(),
+        listen: None,
         threads: 1,
         repeat: 1,
         cache_capacity: CacheConfig::default().capacity,
@@ -129,6 +147,7 @@ fn parse_args() -> Result<ArgsOutcome, String> {
                     }
                 };
             }
+            "--listen" => args.listen = Some(it.next().ok_or("--listen wants an address")?),
             "--metrics" => args.metrics = true,
             "--trace" => args.trace = Some(it.next().ok_or("--trace wants a file")?),
             "--progress" => args.progress_ms = Some(numeric("--progress")?.max(1) as u64),
@@ -266,6 +285,9 @@ fn main() -> ExitCode {
         admission: args.shed.map(|capacity| AdmissionConfig { capacity, policy: args.shed_policy }),
         ..BatchOptions::default()
     };
+    if let Some(addr) = &args.listen {
+        return run_listen(&args, solver, batch_opts, addr);
+    }
 
     let start = Instant::now();
     let mut last = None;
@@ -327,6 +349,25 @@ fn main() -> ExitCode {
         errors,
         report.threads
     );
+    print_core_stats(&solver, &args);
+    println!(
+        "timing: last run {:?}, {} run(s) total {:?} ({:.1} requests/s overall)",
+        report.stats.wall,
+        args.repeat,
+        total,
+        (report.verdicts.len() * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
+    );
+    print_metric_stats(&solver, &args);
+    if args.strict && errors > 0 {
+        eprintln!("eqsql-serve: --strict: {errors} error verdict(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `cache:`/`persist:`/`backpressure:` stat lines, shared between
+/// file and listen mode.
+fn print_core_stats(solver: &Solver, args: &Args) {
     let s = solver.stats();
     // Anything new on this line goes *after* "misses" — bench_snapshot.sh
     // parses the `cache: N hits, M misses` prefix with a suffix-tolerant sed.
@@ -366,36 +407,95 @@ fn main() -> ExitCode {
     if s.shed > 0 || s.retries > 0 || s.panics > 0 {
         println!("backpressure: {} shed, {} retries, {} panics", s.shed, s.retries, s.panics);
     }
+}
+
+/// The `metric:` lines (`--metrics` only), shared between modes.
+fn print_metric_stats(solver: &Solver, args: &Args) {
+    if !args.metrics {
+        return;
+    }
+    let s = solver.stats();
+    let p = s.phase;
+    println!("metric: latency {}", s.latency);
     println!(
-        "timing: last run {:?}, {} run(s) total {:?} ({:.1} requests/s overall)",
-        report.stats.wall,
-        args.repeat,
-        total,
-        (report.verdicts.len() * args.repeat) as f64 / total.as_secs_f64().max(f64::EPSILON)
+        "metric: phase queue_us={} regularize_us={} chase_us={} cache_us={} evidence_us={}",
+        p.queue_us, p.regularize_us, p.chase_us, p.cache_us, p.evidence_us
     );
-    if args.metrics {
-        let p = s.phase;
-        println!("metric: latency {}", s.latency);
-        println!(
-            "metric: phase queue_us={} regularize_us={} chase_us={} cache_us={} evidence_us={}",
-            p.queue_us, p.regularize_us, p.chase_us, p.cache_us, p.evidence_us
-        );
-        println!(
-            "metric: counters requests={} batches={} shed={} retries={} panics={} \
-             cache_hits={} cache_misses={} disk_hits={}",
-            s.requests,
-            s.batches,
-            s.shed,
-            s.retries,
-            s.panics,
-            s.cache.hits,
-            s.cache.misses,
-            s.cache.persist.disk_hits
-        );
-    }
-    if args.strict && errors > 0 {
-        eprintln!("eqsql-serve: --strict: {errors} error verdict(s)");
-        return ExitCode::FAILURE;
-    }
+    println!(
+        "metric: counters requests={} batches={} shed={} retries={} panics={} \
+         cache_hits={} cache_misses={} disk_hits={}",
+        s.requests,
+        s.batches,
+        s.shed,
+        s.retries,
+        s.panics,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.persist.disk_hits
+    );
+}
+
+/// `--listen` mode: put the solver behind a TCP socket and run until a
+/// client drains it.
+fn run_listen(args: &Args, solver: Solver, batch_opts: BatchOptions, addr: &str) -> ExitCode {
+    let solver = Arc::new(solver);
+    let config = ServerConfig {
+        batch: batch_opts,
+        trace_timings: args.trace.is_some(),
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(Arc::clone(&solver), addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("eqsql-serve: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Printed (and flushed) even under --quiet: with `--listen :0` this
+    // line is how a caller learns the actual port.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let start = Instant::now();
+    // Same liveness reporting as file mode, against the shared solver.
+    let done = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let progress = args.progress_ms.map(|ms| {
+            let (solver, done) = (&solver, &done);
+            scope.spawn(move || {
+                let period = Duration::from_millis(ms);
+                loop {
+                    std::thread::park_timeout(period);
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let s = solver.stats();
+                    eprintln!(
+                        "progress: {} request(s) decided, {} cache hit(s), \
+                         {} miss(es), {} shed, {:.1}s elapsed",
+                        s.requests,
+                        s.cache.hits,
+                        s.cache.misses,
+                        s.shed,
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+            })
+        });
+        let report = server.join();
+        done.store(true, Ordering::Release);
+        if let Some(handle) = progress {
+            handle.thread().unpark();
+        }
+        report
+    });
+    println!(
+        "net: {} connection(s) accepted, {} rejected, {} request(s) served in {:.1}s",
+        report.connections,
+        report.rejected,
+        report.served,
+        start.elapsed().as_secs_f64()
+    );
+    print_core_stats(&solver, args);
+    print_metric_stats(&solver, args);
     ExitCode::SUCCESS
 }

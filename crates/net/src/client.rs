@@ -1,0 +1,154 @@
+//! A small blocking client for the wire protocol — enough for tests,
+//! `netdrive`, and `loadgen --connect`; not a connection pool. One
+//! [`Client`] is one connection; requests pipeline (send many, then
+//! iterate [`Client::recv`]), and the convenience calls ([`Client::ping`],
+//! [`Client::stats`], [`Client::drain`]) buffer any verdict lines that
+//! arrive ahead of their reply so nothing is lost to interleaving.
+
+use crate::proto::{parse_response, Response, WireVerdict};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to an `eqsql_net` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    /// Responses read past while waiting for a specific reply.
+    pending: VecDeque<Response>,
+}
+
+impl Client {
+    /// Connects. No handshake happens — a server at its connection limit
+    /// answers the first read with [`Response::Busy`] and closes.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 0, pending: VecDeque::new() })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks. `None` (the default)
+    /// waits forever — fine for drivers that know how many responses are
+    /// owed, wrong for anything interactive.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request line — the `eqsql_service::request` verb
+    /// grammar, without a trailing newline — tagged with a fresh id,
+    /// which is returned for matching the response.
+    pub fn send(&mut self, line: &str) -> io::Result<u64> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.send_raw(&format!("id={id} {line}"))?;
+        Ok(id)
+    }
+
+    /// Sends a line verbatim (no id tag is added; the server will assign
+    /// sequence ids to untagged request lines).
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Half-closes the write side: tells the server this client has sent
+    /// everything, so the connection ends once owed responses are read.
+    pub fn finish_sending(&mut self) -> io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// The next response, in arrival order; `None` once the server has
+    /// closed the connection.
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        if let Some(r) = self.pending.pop_front() {
+            return Ok(Some(r));
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Ok(Some(parse_response(&line)));
+        }
+    }
+
+    /// The next `verdict` response, buffering nothing — any other
+    /// response kind read on the way is queued for a later [`Client::recv`].
+    pub fn recv_verdict(&mut self) -> io::Result<Option<WireVerdict>> {
+        let mut skipped = VecDeque::new();
+        let got = loop {
+            match self.recv()? {
+                None => break None,
+                Some(Response::Verdict(v)) => break Some(v),
+                Some(other) => skipped.push_back(other),
+            }
+        };
+        // Preserve arrival order among the non-verdict responses.
+        while let Some(r) = skipped.pop_back() {
+            self.pending.push_front(r);
+        }
+        Ok(got)
+    }
+
+    /// Round-trips a `ping`. An error (or `Ok(false)`) means the
+    /// connection is gone.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.send_raw(&format!("id={id} ping"))?;
+        self.wait_for(|r| matches!(r, Response::Pong { id: got } if *got == id))
+            .map(|r| r.is_some())
+    }
+
+    /// Fetches the server's live [`eqsql_service::SolverStats`] as one
+    /// line of JSON (validate with [`crate::json::validate_json`]).
+    /// `None` if the server closed before answering.
+    pub fn stats(&mut self) -> io::Result<Option<String>> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.send_raw(&format!("id={id} stats"))?;
+        let got = self.wait_for(|r| matches!(r, Response::Stats { id: got, .. } if *got == id))?;
+        Ok(got.map(|r| match r {
+            Response::Stats { json, .. } => json,
+            _ => unreachable!("wait_for matched a Stats response"),
+        }))
+    }
+
+    /// Asks the server to drain (graceful shutdown). Returns once the
+    /// `draining` acknowledgement arrives; responses for in-flight
+    /// requests (with `terminal=cancelled`) may still follow before the
+    /// connection closes.
+    pub fn drain(&mut self) -> io::Result<()> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.send_raw(&format!("id={id} drain"))?;
+        self.wait_for(|r| matches!(r, Response::Draining { id: got } if *got == id))?;
+        Ok(())
+    }
+
+    /// Reads until `want` matches (returning that response) or the
+    /// connection closes (`None`); everything read past is buffered for
+    /// [`Client::recv`] in order.
+    fn wait_for(&mut self, want: impl Fn(&Response) -> bool) -> io::Result<Option<Response>> {
+        let mut skipped = VecDeque::new();
+        let got = loop {
+            match self.recv()? {
+                None => break None,
+                Some(r) if want(&r) => break Some(r),
+                Some(r) => skipped.push_back(r),
+            }
+        };
+        while let Some(r) = skipped.pop_back() {
+            self.pending.push_front(r);
+        }
+        Ok(got)
+    }
+}

@@ -1,0 +1,449 @@
+//! The server side: a bounded accept loop over blocking `std::net`
+//! sockets, one reader + one dispatcher thread per connection, verdicts
+//! streamed as they complete. See the crate docs for the wire protocol.
+//!
+//! Threading model — no async runtime, just the workspace's scoped-thread
+//! idiom:
+//!
+//! * **accept thread** (one per server) — a nonblocking `accept` polled
+//!   on a short tick so it can observe [`Server::drain`] promptly;
+//!   enforces the connection limit (over-limit sockets get one
+//!   `busy max=N` line and are closed without a thread).
+//! * **reader thread** (one per connection) — reads lines with a read
+//!   timeout as the poll tick, answers control verbs (`ping`, `stats`,
+//!   `drain`) immediately, answers malformed lines with per-line
+//!   parse-error verdicts, and queues decoded requests (with their
+//!   socket-read instant) for the dispatcher.
+//! * **dispatcher** (the connection's own thread) — drains whatever the
+//!   reader queued into a window and feeds it through
+//!   [`Solver::decide_all_streaming`], so pipelined requests share a
+//!   batch: the admission queue, deadlines, retry and cancellation of
+//!   the configured [`BatchOptions`] apply unchanged, and each verdict
+//!   line is written the moment that request completes.
+//!
+//! Draining sets one flag and cancels one [`Cancel`] token; every loop
+//! above watches one or the other, so shutdown needs no channels: stop
+//! accepting, cancel in-flight (their verdicts stream back with
+//! `terminal=cancelled`), flush, join, one final stats log line.
+
+use crate::json::solver_stats_json;
+use crate::proto::{control, render_parse_error, render_verdict, split_id, Control};
+use eqsql_service::{BatchOptions, Cancel, Completion, Error, Request, Solver, MAX_LINE_BYTES};
+use std::collections::VecDeque;
+use std::io::{BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks the draining flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Everything tunable about a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent-connection limit; arrivals past it get `busy max=N`.
+    pub max_connections: usize,
+    /// Per-connection read timeout. Doubles as the reader thread's poll
+    /// tick for the draining flag, so keep it short.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout: a client that stops reading its
+    /// responses is disconnected rather than wedging a worker.
+    pub write_timeout: Duration,
+    /// The ops envelope every dispatch window runs under — deadlines,
+    /// admission/shedding and retry work over the network exactly as in
+    /// file mode. The server installs its own drain token as the batch
+    /// cancellation handle, so leave [`BatchOptions::cancel`] unset.
+    pub batch: BatchOptions,
+    /// Append per-phase timings (`queue_us=` … `evidence_us=`) to every
+    /// verdict line. Only meaningful while observability is on
+    /// ([`eqsql_obs::set_enabled`] or a trace sink), which is also what
+    /// makes the Queue phase start at the socket read.
+    pub trace_timings: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(5),
+            batch: BatchOptions::default(),
+            trace_timings: false,
+        }
+    }
+}
+
+/// End-of-life accounting, returned by [`Server::join`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerReport {
+    /// Connections accepted (excluding `busy` rejections).
+    pub connections: u64,
+    /// Connections turned away at the limit.
+    pub rejected: u64,
+    /// Request lines answered with a verdict line (including parse
+    /// errors and cancelled in-flight requests).
+    pub served: u64,
+}
+
+struct Shared {
+    solver: Arc<Solver>,
+    config: ServerConfig,
+    /// The server-wide cancellation token: handed to every dispatch
+    /// window as [`BatchOptions::cancel`], set once on drain.
+    drain: Cancel,
+    draining: AtomicBool,
+    live: AtomicUsize,
+    served: AtomicU64,
+}
+
+impl Shared {
+    fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.drain.cancel();
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// A running server. Dropping the handle drains and joins it; a clean
+/// shutdown is [`Server::drain`] (or the wire verb `drain`) followed by
+/// [`Server::join`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<ServerReport>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop. The solver is shared — its cache, stats
+    /// and admission counters are one pool across all connections and
+    /// any in-process callers holding the same `Arc`.
+    pub fn start(
+        solver: Arc<Solver>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            solver,
+            config,
+            drain: Cancel::new(),
+            draining: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server { local_addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address — the way to learn the port after binding `:0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Initiates graceful shutdown (the SIGTERM-equivalent): stop
+    /// accepting, cancel in-flight decisions via the shared [`Cancel`]
+    /// token, flush every connection's responses. Idempotent; returns
+    /// immediately — [`Server::join`] waits for completion.
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// Waits for the accept loop and every connection to finish. Only
+    /// returns after a drain (local or over the wire) or a listener
+    /// failure; a healthy server blocks here indefinitely.
+    pub fn join(mut self) -> ServerReport {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> ServerReport {
+        match self.accept.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => ServerReport::default(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shared.drain();
+            let _ = self.join_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> ServerReport {
+    let mut report = ServerReport::default();
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.live.load(Ordering::Acquire) >= shared.config.max_connections {
+                    report.rejected += 1;
+                    reject_busy(stream, &shared.config);
+                    continue;
+                }
+                report.connections += 1;
+                shared.live.fetch_add(1, Ordering::AcqRel);
+                let shared = Arc::clone(&shared);
+                conns.push(std::thread::spawn(move || {
+                    connection(stream, &shared);
+                    shared.live.fetch_sub(1, Ordering::AcqRel);
+                }));
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            // Transient accept errors (ECONNABORTED and friends): the
+            // listener is still good, keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+    drop(listener);
+    for c in conns {
+        let _ = c.join();
+    }
+    report.served = shared.served.load(Ordering::Acquire);
+    // The final stats line of a graceful shutdown, one parseable JSON
+    // document like the `stats` verb's.
+    eprintln!("stats: {}", solver_stats_json(&shared.solver.stats()));
+    report
+}
+
+/// Over-limit connections get one line and a close; no thread is spent.
+fn reject_busy(stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut stream = stream;
+    let _ = writeln!(stream, "busy max={}", config.max_connections);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// What the reader hands the dispatcher: the response id, the decoded
+/// request, and the instant its line was read (the true start of its
+/// Queue phase).
+type Queued = (u64, Request, Instant);
+
+struct ConnState {
+    queue: Mutex<VecDeque<Queued>>,
+    cvar: Condvar,
+    /// The reader is done (EOF, error, or drain): dispatch what's queued
+    /// and finish.
+    done: AtomicBool,
+}
+
+/// Writes one response line, flushing so it streams. Returns `false`
+/// when the client is gone (the caller keeps deciding — verdicts for a
+/// dead client are just dropped by later writes failing too).
+fn send(writer: &Mutex<BufWriter<TcpStream>>, line: &str) -> bool {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    writeln!(w, "{line}").and_then(|_| w.flush()).is_ok()
+}
+
+fn connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer = Mutex::new(BufWriter::new(write_half));
+    let state = ConnState {
+        queue: Mutex::new(VecDeque::new()),
+        cvar: Condvar::new(),
+        done: AtomicBool::new(false),
+    };
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            reader(stream, shared, &state, &writer);
+            state.done.store(true, Ordering::Release);
+            state.cvar.notify_all();
+        });
+        dispatcher(shared, &state, &writer);
+    });
+    // Both halves are finished; a last flush covers a dispatcher write
+    // raced by reader shutdown, then the socket closes on drop.
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = w.flush();
+    let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+/// The read half: byte-accurate line framing over a timeout-polled
+/// blocking read. Partial lines persist in `pending` across reads; an
+/// oversized line is answered immediately and then discarded up to its
+/// terminating newline, so one hostile line never kills the connection
+/// or unboundedly grows the buffer.
+fn reader(
+    mut stream: TcpStream,
+    shared: &Shared,
+    state: &ConnState,
+    writer: &Mutex<BufWriter<TcpStream>>,
+) {
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut discarding = false;
+    let mut seq: u64 = 0;
+    loop {
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = pending.drain(..=pos).collect();
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if std::mem::take(&mut discarding) {
+                continue; // the tail of an already-answered oversized line
+            }
+            if handle_line(&line, shared, state, writer, &mut seq) == Flow::Drain {
+                return;
+            }
+        }
+        if pending.len() > MAX_LINE_BYTES {
+            let (id, _) = split_id(&pending);
+            seq += 1;
+            let e = Error::parse(format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"));
+            send(writer, &render_parse_error(id.unwrap_or(seq), &e));
+            pending.clear();
+            discarding = true;
+        }
+        if shared.draining() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum Flow {
+    Continue,
+    Drain,
+}
+
+fn handle_line(
+    line: &[u8],
+    shared: &Shared,
+    state: &ConnState,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    seq: &mut u64,
+) -> Flow {
+    let line = trim_ascii(line);
+    if line.is_empty() || line.first() == Some(&b'#') {
+        return Flow::Continue;
+    }
+    *seq += 1;
+    let (tag, payload) = split_id(line);
+    let id = tag.unwrap_or(*seq);
+    if let Some(ctrl) = control(payload) {
+        match ctrl {
+            Control::Ping => {
+                send(writer, &format!("pong id={id}"));
+            }
+            Control::Stats => {
+                let json = solver_stats_json(&shared.solver.stats());
+                send(writer, &format!("stats id={id} {json}"));
+            }
+            Control::Drain => {
+                send(writer, &format!("draining id={id}"));
+                shared.drain();
+                return Flow::Drain;
+            }
+        }
+        return Flow::Continue;
+    }
+    match eqsql_service::parse_request_line_bytes(payload, shared.solver.schema()) {
+        Ok(req) => {
+            state.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back((
+                id,
+                req,
+                Instant::now(),
+            ));
+            state.cvar.notify_all();
+        }
+        Err(e) => {
+            send(writer, &render_parse_error(id, &Error::from(e)));
+            shared.served.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+    Flow::Continue
+}
+
+fn trim_ascii(mut b: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = b {
+        if first.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = b {
+        if last.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
+}
+
+/// The decide half: repeatedly drains whatever the reader queued into a
+/// window and runs it as one streaming batch. Requests queued *during* a
+/// window form the next window — pipelining without per-request batch
+/// overhead. Exits once the reader is done and the queue is empty; a
+/// drain mid-window is observed by the batch's cancellation token, so
+/// in-flight requests still produce (cancelled) verdict lines.
+fn dispatcher(shared: &Shared, state: &ConnState, writer: &Mutex<BufWriter<TcpStream>>) {
+    loop {
+        let window: Vec<Queued> = {
+            let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !q.is_empty() {
+                    break q.drain(..).collect();
+                }
+                if state.done.load(Ordering::Acquire) {
+                    return;
+                }
+                q = state
+                    .cvar
+                    .wait_timeout(q, shared.config.read_timeout)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        let mut ids = Vec::with_capacity(window.len());
+        let mut requests = Vec::with_capacity(window.len());
+        let mut offsets = Vec::with_capacity(window.len());
+        for (id, req, read_at) in window {
+            ids.push(id);
+            offsets.push(read_at.elapsed().as_micros() as u64);
+            requests.push(req);
+        }
+        let mut opts = shared.config.batch.clone();
+        opts.cancel = Some(shared.drain.clone());
+        opts.queue_offsets_us = Some(offsets);
+        let on_complete = |c: Completion<'_>| {
+            let line = render_verdict(
+                ids[c.index],
+                requests[c.index].label(),
+                c.verdict,
+                c.stats,
+                c.wall_us,
+                if shared.config.trace_timings { c.phase_us } else { None },
+            );
+            send(writer, &line);
+            shared.served.fetch_add(1, Ordering::AcqRel);
+        };
+        shared.solver.decide_all_streaming(&requests, &opts, &on_complete);
+    }
+}

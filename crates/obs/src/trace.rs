@@ -46,7 +46,10 @@ use std::time::Instant;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Admission-queue wait: batch intake until a worker started the
-    /// decision.
+    /// decision. Callers that queue requests *before* batch intake (the
+    /// `eqsql_net` server reads lines off a socket into a window) shift
+    /// the origin backwards so this phase — and the request's wall clock
+    /// — starts at first receipt, not at intake.
     Queue,
     /// Σ-regularization and context-key construction (only non-zero when
     /// a request overrides the chase budgets; the default-budget context

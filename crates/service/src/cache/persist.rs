@@ -51,6 +51,22 @@
 //! Only genuine I/O environment errors (an uncreatable directory, an
 //! unopenable file) surface as `Err` from
 //! [`ChaseCache::open`](crate::ChaseCache::open).
+//!
+//! ## Single writer, enforced
+//!
+//! The append-only discipline assumes **one writer per directory**: two
+//! processes appending to one `log.eqc` would interleave frames and each
+//! would truncate the other's tail at the next recovery. A writable open
+//! therefore takes a `writer.lock` file in the cache dir — created with
+//! `O_EXCL` and holding the owner's pid — and releases it on drop. A
+//! second writable open (say, a double-started server over the same
+//! `--cache-dir`) fails fast with an I/O error naming the live owner. A
+//! lock whose pid no longer runs is *stale* (the owner crashed before
+//! its `Drop`): it is silently reclaimed, because the log format already
+//! tolerates whatever torn tail the dead writer left. Read-only opens
+//! ([`PersistConfig::read_only`] — replicas over a shared warm store)
+//! neither take nor respect the lock; they never write, so they are safe
+//! alongside any writer.
 
 use super::{lock_recovering, StoredChase};
 use crate::canon::{cache_key, query_fingerprint, ChaseContext};
@@ -62,7 +78,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -79,6 +95,9 @@ pub const FRAME_HEADER_LEN: usize = 12;
 
 const LOG_FILE: &str = "log.eqc";
 const SNAPSHOT_FILE: &str = "snapshot.eqc";
+/// Single-writer guard (see the module docs): created with `O_EXCL`,
+/// holds the owning pid, removed on [`PersistTier`] drop.
+const LOCK_FILE: &str = "writer.lock";
 
 /// Distinct decoded Σs kept shared before the decode memo is reset
 /// (mirrors the in-memory cache's Σ memo bound).
@@ -709,6 +728,9 @@ pub(crate) struct PersistTier {
     read_only: bool,
     snapshot_every: usize,
     snapshot_path: PathBuf,
+    /// The held `writer.lock`, removed on drop. `None` for read-only
+    /// tiers and the [`PersistTier::unavailable`] stub.
+    lock_path: Option<PathBuf>,
     state: Mutex<TierState>,
     loaded: AtomicU64,
     recovered: AtomicU64,
@@ -719,12 +741,35 @@ pub(crate) struct PersistTier {
     io_errors: AtomicU64,
 }
 
+impl Drop for PersistTier {
+    fn drop(&mut self) {
+        // Release the single-writer lock. Best-effort: if removal fails
+        // the lock goes stale and the next writable open reclaims it.
+        if let Some(path) = &self.lock_path {
+            fs::remove_file(path).ok();
+        }
+    }
+}
+
+/// Whether `pid` names a running process. Linux answers via `/proc`; on
+/// other platforms there is no dependency-free check, so every holder is
+/// conservatively treated as alive (a crash there leaves a lock that
+/// needs manual removal, rather than risking two live writers).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
 impl PersistTier {
     fn empty(read_only: bool, snapshot_every: usize, snapshot_path: PathBuf) -> PersistTier {
         PersistTier {
             read_only,
             snapshot_every,
             snapshot_path,
+            lock_path: None,
             state: Mutex::new(TierState {
                 log: None,
                 snap: None,
@@ -761,14 +806,18 @@ impl PersistTier {
     /// truncate the log at the first invalid record. Corrupt *content*
     /// never fails; only environment-level I/O errors do.
     pub(crate) fn open(config: &PersistConfig) -> io::Result<PersistTier> {
-        if !config.read_only {
+        let lock_path = if config.read_only {
+            None
+        } else {
             fs::create_dir_all(&config.dir)?;
-        }
-        let tier = PersistTier::empty(
+            Some(Self::acquire_writer_lock(&config.dir)?)
+        };
+        let mut tier = PersistTier::empty(
             config.read_only,
             config.snapshot_every,
             config.dir.join(SNAPSHOT_FILE),
         );
+        tier.lock_path = lock_path;
         let log_path = config.dir.join(LOG_FILE);
         let mut state = lock_recovering(&tier.state);
         state.fault = config.fault;
@@ -841,6 +890,60 @@ impl PersistTier {
         }
         drop(state);
         Ok(tier)
+    }
+
+    /// Takes the single-writer lock on `dir`: creates `writer.lock` with
+    /// `O_EXCL` semantics (`create_new`) and writes this process's pid
+    /// into it. If the file already exists, the holder's pid is read
+    /// back: a live holder — including this very process, when another
+    /// in-process tier owns the dir — is a hard error
+    /// (`ErrorKind::AddrInUse`, naming the pid), while a stale lock (the
+    /// holder is dead, or the file is unreadable garbage) is removed and
+    /// the acquisition retried exactly once (two writers racing for a
+    /// stale lock must not both win, and `create_new` arbitrates the
+    /// re-creation).
+    fn acquire_writer_lock(dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(LOCK_FILE);
+        for attempt in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    // Best-effort: an unwritable pid only degrades the
+                    // liveness check, not the mutual exclusion.
+                    let _ = write!(file, "{}", std::process::id());
+                    let _ = file.flush();
+                    return Ok(path);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder =
+                        fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!(
+                                    "cache dir is locked by live writer pid {pid} \
+                                     ({})",
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        _ if attempt == 0 => {
+                            // Stale (dead pid, our own pid, or unreadable):
+                            // reclaim and retry through `create_new`.
+                            fs::remove_file(&path).ok();
+                        }
+                        _ => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("could not reclaim stale cache lock ({})", path.display()),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second acquisition attempt returns on every branch")
     }
 
     /// Current counters.

@@ -163,6 +163,26 @@ impl Error {
         )
     }
 
+    /// Stable `(outcome, terminal)` labels of this error, as used by the
+    /// `event=request …` trace lines and the `eqsql_net` wire protocol's
+    /// verdict lines. The terminal separates "decided negatively"
+    /// (`error`) from the transient ways a request dies (`deadline`,
+    /// `cancelled`, `shed`, `panic`).
+    pub fn labels(&self) -> (&'static str, &'static str) {
+        match self {
+            Error::Parse { .. } => ("parse-error", "error"),
+            Error::BudgetExhausted { .. } => ("budget-exhausted", "error"),
+            Error::QueryTooLarge { .. } => ("query-too-large", "error"),
+            Error::PlanTooLarge { .. } => ("plan-too-large", "error"),
+            Error::EgdFailure { .. } => ("egd-failure", "error"),
+            Error::UnsupportedSemantics { .. } => ("unsupported-semantics", "error"),
+            Error::DeadlineExceeded { .. } => ("deadline-exceeded", "deadline"),
+            Error::Cancelled { .. } => ("cancelled", "cancelled"),
+            Error::Shed { .. } => ("shed", "shed"),
+            Error::Internal { .. } => ("internal", "panic"),
+        }
+    }
+
     /// The underlying [`ChaseError`], for callers (the legacy
     /// `EquivOutcome::Unknown` surface) that still speak the chase
     /// crate's vocabulary. `None` for the variants with no chase-level

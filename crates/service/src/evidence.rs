@@ -24,8 +24,8 @@
 //! real rather than decorative.
 
 use eqsql_cq::{is_containment_mapping, is_isomorphism, CqQuery, Subst, Var};
-use eqsql_deps::satisfaction::db_satisfies_all;
-use eqsql_deps::DependencySet;
+use eqsql_deps::satisfaction::{db_satisfies, db_satisfies_all};
+use eqsql_deps::{Dependency, DependencySet};
 use eqsql_relalg::eval::eval;
 use eqsql_relalg::{Database, Schema, Semantics};
 use std::collections::HashMap;
@@ -202,6 +202,32 @@ impl Counterexample {
     }
 }
 
+/// A counterexample to `Σ ⊨ σ`: a concrete instance that satisfies every
+/// dependency of Σ but violates σ. Carried on [`crate::Answer::NotImplied`]
+/// so the implication verb has a replayable certificate like every other
+/// verb family — the instance is the canonical database of the chased
+/// premise (the chase terminal satisfies Σ; the failed conclusion check
+/// means σ's conclusion has no extension over it).
+#[derive(Clone, Debug)]
+pub struct ImplicationCounterexample {
+    /// The witness instance.
+    pub db: Database,
+}
+
+impl ImplicationCounterexample {
+    /// Replays the counterexample: `db ⊨ Σ` and `db ⊭ dep`, checked by
+    /// direct dependency evaluation on the instance — no chase is re-run.
+    pub fn verify(&self, dep: &Dependency, sigma: &DependencySet) -> Result<(), CertificateError> {
+        if !db_satisfies_all(&self.db, sigma) {
+            return fail("implication witness does not satisfy Σ");
+        }
+        if db_satisfies(&self.db, dep) {
+            return fail("implication witness satisfies the dependency it should violate");
+        }
+        Ok(())
+    }
+}
+
 /// Evidence for a set-containment verdict `q1 ⊑_{Σ,S} q2`.
 #[derive(Clone, Debug)]
 pub enum ContainmentCertificate {
@@ -294,6 +320,26 @@ mod tests {
             backward,
         };
         assert!(bad.verify().is_err());
+    }
+
+    #[test]
+    fn implication_counterexample_replays_both_conditions() {
+        let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+        let dep = parse_dependencies("b(X) -> a(X).").unwrap().iter().next().unwrap().clone();
+        // b(1) alone satisfies Σ (no a-tuple to fire on) but violates σ.
+        let mut db = Database::new();
+        db.insert("b", eqsql_relalg::Tuple::ints([1]), 1);
+        let cex = ImplicationCounterexample { db };
+        assert!(cex.verify(&dep, &sigma).is_ok());
+        // a(1) alone violates Σ itself: rejected as a witness.
+        let mut bad = Database::new();
+        bad.insert("a", eqsql_relalg::Tuple::ints([1]), 1);
+        assert!(ImplicationCounterexample { db: bad }.verify(&dep, &sigma).is_err());
+        // {a(1), b(1)} satisfies both Σ and σ: not a counterexample.
+        let mut sat = Database::new();
+        sat.insert("a", eqsql_relalg::Tuple::ints([1]), 1);
+        sat.insert("b", eqsql_relalg::Tuple::ints([1]), 1);
+        assert!(ImplicationCounterexample { db: sat }.verify(&dep, &sigma).is_err());
     }
 
     #[test]

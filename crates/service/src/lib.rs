@@ -69,7 +69,11 @@
 //! * [`request`] — the newline-delimited request-file format of the
 //!   `eqsql-serve` binary, covering the full verb family (`pair`/
 //!   `equivalent`, `contains`, `minimal`, `cnb`, `implies`) with
-//!   per-request semantics and budget overrides.
+//!   per-request semantics and budget overrides. The same verb grammar is
+//!   the wire format of the `eqsql_net` TCP server (one request per line,
+//!   via [`request::parse_request_line`]); see the "Wire protocol"
+//!   section of the `eqsql_net` crate docs for framing, response lines
+//!   and control verbs.
 //!
 //! ## Cache-key soundness
 //!
@@ -227,10 +231,13 @@ pub use eqsql_relalg::Semantics;
 pub use error::Error;
 pub use evidence::{
     BagContainmentCertificate, CertificateError, ContainmentCertificate, Counterexample,
-    EquivalenceCertificate,
+    EquivalenceCertificate, ImplicationCounterexample,
 };
-pub use request::{parse_request_file, RequestFile, RequestParseError};
+pub use request::{
+    parse_request_file, parse_request_line, parse_request_line_bytes, RequestFile,
+    RequestParseError, MAX_LINE_BYTES,
+};
 pub use solver::{
-    AdmissionConfig, Answer, BatchOptions, BatchReport, DecisionStats, PhaseTotals, Request,
-    RequestOpts, RetryPolicy, ShedPolicy, Solver, SolverBuilder, SolverStats, Verdict,
+    AdmissionConfig, Answer, BatchOptions, BatchReport, Completion, DecisionStats, PhaseTotals,
+    Request, RequestOpts, RetryPolicy, ShedPolicy, Solver, SolverBuilder, SolverStats, Verdict,
 };

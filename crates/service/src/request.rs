@@ -78,6 +78,26 @@ fn err(line: usize, message: impl Into<String>) -> RequestParseError {
     RequestParseError { line, message: message.into() }
 }
 
+/// The largest request line either parser entry point will look at, in
+/// bytes. [`parse_request_line_bytes`] rejects longer lines up front with
+/// a parse error (never by killing the connection), so a hostile client
+/// cannot make the server buffer or echo unbounded garbage.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A short quoted excerpt of untrusted input for error messages: long or
+/// binary junk is truncated rather than echoed in full.
+fn snippet(s: &str) -> String {
+    const MAX: usize = 60;
+    if s.len() <= MAX {
+        return format!("{s:?}");
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{:?}…", &s[..end])
+}
+
 fn parse_semantics(s: &str, line: usize) -> Result<Semantics, RequestParseError> {
     match s.trim().to_ascii_lowercase().as_str() {
         "set" | "s" => Ok(Semantics::Set),
@@ -162,6 +182,174 @@ enum Verb1 {
     Cnb,
 }
 
+fn parse_two(verb: Verb2, rest: &str, line_no: usize) -> Result<RawRequest, RequestParseError> {
+    let mut parts = rest.splitn(3, '|');
+    let (Some(o), Some(q1), Some(q2)) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(err(line_no, "wants `<options> | <query> | <query>`"));
+    };
+    Ok(RawRequest::TwoQueries {
+        verb,
+        opts: parse_opts(o, line_no)?,
+        q1: q1.trim().to_string(),
+        q2: q2.trim().to_string(),
+    })
+}
+
+fn parse_one(verb: Verb1, rest: &str, line_no: usize) -> Result<RawRequest, RequestParseError> {
+    match rest.split_once('|') {
+        Some((o, q)) => Ok(RawRequest::OneQuery {
+            verb,
+            opts: parse_opts(o, line_no)?,
+            q: q.trim().to_string(),
+        }),
+        None => {
+            Ok(RawRequest::OneQuery { verb, opts: RequestOpts::default(), q: rest.to_string() })
+        }
+    }
+}
+
+/// Parses one *verb* line into a [`RawRequest`]; `Ok(None)` means the
+/// keyword is not a verb (a file-header keyword or junk — the caller
+/// decides which of those it accepts).
+fn raw_request(
+    keyword: &str,
+    rest: &str,
+    line_no: usize,
+) -> Result<Option<RawRequest>, RequestParseError> {
+    Ok(Some(match keyword {
+        "pair" | "equivalent" => parse_two(Verb2::Equivalent, rest, line_no)?,
+        "contains" => parse_two(Verb2::Contains, rest, line_no)?,
+        "minimal" => parse_one(Verb1::Minimal, rest, line_no)?,
+        "cnb" => parse_one(Verb1::Cnb, rest, line_no)?,
+        "implies" => {
+            let (opts, dep) = match rest.split_once('|') {
+                Some((o, d)) => (parse_opts(o, line_no)?, d.trim().to_string()),
+                None => (RequestOpts::default(), rest.to_string()),
+            };
+            RawRequest::Implies { opts, dep }
+        }
+        _ => return Ok(None),
+    }))
+}
+
+/// Materializes one raw request: parses its queries/dependencies, records
+/// every mentioned predicate's arity (erroring on conflicts), and appends
+/// the resulting [`Request`]s to `out` (an `implies:` line may carry
+/// several dependencies, hence several requests).
+fn build_requests(
+    r: RawRequest,
+    line_no: usize,
+    arities: &mut BTreeMap<Predicate, usize>,
+    out: &mut Vec<Request>,
+) -> Result<(), RequestParseError> {
+    let parse_q = |s: &str| -> Result<eqsql_cq::CqQuery, RequestParseError> {
+        parse_query(s).map_err(|e| err(line_no, format!("bad query: {e}")))
+    };
+    match r {
+        RawRequest::TwoQueries { verb, opts, q1, q2 } => {
+            let q1 = parse_q(&q1)?;
+            let q2 = parse_q(&q2)?;
+            note_atoms(&q1.body, arities, line_no)?;
+            note_atoms(&q2.body, arities, line_no)?;
+            out.push(match verb {
+                Verb2::Equivalent => Request::Equivalent { q1, q2, opts },
+                Verb2::Contains => Request::Contained { q1, q2, opts },
+            });
+        }
+        RawRequest::OneQuery { verb, opts, q } => {
+            let q = parse_q(&q)?;
+            note_atoms(&q.body, arities, line_no)?;
+            out.push(match verb {
+                Verb1::Minimal => Request::Minimal { q, opts },
+                Verb1::Cnb => Request::Reformulate { q, opts },
+            });
+        }
+        RawRequest::Implies { opts, dep } => {
+            let deps = parse_dependencies(&dep)
+                .map_err(|e| err(line_no, format!("bad dependency: {e}")))?;
+            for d in deps.iter() {
+                note_dep(d, arities, line_no)?;
+                out.push(Request::Implies { dep: d.clone(), opts });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses one wire request line against a server's fixed schema: a verb
+/// line exactly as in a request file (`pair:`/`equivalent:`, `contains:`,
+/// `minimal:`, `cnb:`, `implies:` — see the module docs for the grammar),
+/// except that the schema is *given*, not inferred. Every relation the
+/// line mentions must already exist in `schema` with a matching arity
+/// (the server's Σ and set-valued flags were fixed at startup; a request
+/// cannot grow them), and an `implies:` line must carry exactly one
+/// dependency so one line maps to one response. File-header keywords
+/// (`sigma:`, `set_valued:`, `max_steps:`, `max_atoms:`) are rejected
+/// with a parse error. Any malformed input — junk bytes, unknown verbs,
+/// bad queries — is a per-line [`RequestParseError`] (mapped to
+/// [`crate::Error::Parse`]), never a reason to drop a connection.
+pub fn parse_request_line(line: &str, schema: &Schema) -> Result<Request, RequestParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Err(err(0, "empty request line"));
+    }
+    let Some((keyword, rest)) = line.split_once(':') else {
+        return Err(err(0, format!("expected `verb: ...`, got {}", snippet(line))));
+    };
+    let keyword = keyword.trim();
+    let rest = rest.trim();
+    let raw = match raw_request(keyword, rest, 0)? {
+        Some(raw) => raw,
+        None => match keyword {
+            "sigma" | "set_valued" | "max_steps" | "max_atoms" => {
+                return Err(err(
+                    0,
+                    format!("{keyword:?} is a request-file header, not a wire verb"),
+                ));
+            }
+            other => return Err(err(0, format!("unknown verb {}", snippet(other)))),
+        },
+    };
+    // Seed with the server schema so conflicting uses error in
+    // `note_atoms`; afterwards, anything not seeded is a new relation.
+    let mut arities: BTreeMap<Predicate, usize> =
+        schema.iter().map(|r| (r.name, r.arity)).collect();
+    let known = arities.len();
+    let mut out = Vec::with_capacity(1);
+    build_requests(raw, 0, &mut arities, &mut out)?;
+    if arities.len() > known {
+        let new: Vec<String> =
+            arities.keys().filter(|p| schema.arity(**p).is_none()).map(|p| p.to_string()).collect();
+        return Err(err(0, format!("relations not in the server schema: {}", new.join(", "))));
+    }
+    match out.len() {
+        1 => Ok(out.pop().expect("length checked")),
+        n => Err(err(0, format!("implies line carries {n} dependencies; send one per line"))),
+    }
+}
+
+/// [`parse_request_line`] over raw socket bytes: enforces the
+/// [`MAX_LINE_BYTES`] bound and UTF-8 validity *before* looking at the
+/// content, so oversized or binary garbage degrades to an ordinary parse
+/// error for that line alone.
+pub fn parse_request_line_bytes(
+    bytes: &[u8],
+    schema: &Schema,
+) -> Result<Request, RequestParseError> {
+    if bytes.len() > MAX_LINE_BYTES {
+        return Err(err(
+            0,
+            format!(
+                "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+                bytes.len()
+            ),
+        ));
+    }
+    let line = std::str::from_utf8(bytes)
+        .map_err(|e| err(0, format!("request line is not valid UTF-8: {e}")))?;
+    parse_request_line(line, schema)
+}
+
 /// Parses the request format described in the module docs.
 pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> {
     let mut sigma = DependencySet::new();
@@ -175,36 +363,15 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
             continue;
         }
         let Some((keyword, rest)) = line.split_once(':') else {
-            return Err(err(line_no, format!("expected `keyword: ...`, got {line:?}")));
+            return Err(err(line_no, format!("expected `keyword: ...`, got {}", snippet(line))));
         };
+        let keyword = keyword.trim();
         let rest = rest.trim();
-        let two = |verb: Verb2, rest: &str| -> Result<RawRequest, RequestParseError> {
-            let mut parts = rest.splitn(3, '|');
-            let (Some(o), Some(q1), Some(q2)) = (parts.next(), parts.next(), parts.next()) else {
-                return Err(err(line_no, "wants `<options> | <query> | <query>`"));
-            };
-            Ok(RawRequest::TwoQueries {
-                verb,
-                opts: parse_opts(o, line_no)?,
-                q1: q1.trim().to_string(),
-                q2: q2.trim().to_string(),
-            })
-        };
-        let one = |verb: Verb1, rest: &str| -> Result<RawRequest, RequestParseError> {
-            match rest.split_once('|') {
-                Some((o, q)) => Ok(RawRequest::OneQuery {
-                    verb,
-                    opts: parse_opts(o, line_no)?,
-                    q: q.trim().to_string(),
-                }),
-                None => Ok(RawRequest::OneQuery {
-                    verb,
-                    opts: RequestOpts::default(),
-                    q: rest.to_string(),
-                }),
-            }
-        };
-        match keyword.trim() {
+        if let Some(r) = raw_request(keyword, rest, line_no)? {
+            raw.push((r, line_no));
+            continue;
+        }
+        match keyword {
             "sigma" => {
                 let deps = parse_dependencies(rest)
                     .map_err(|e| err(line_no, format!("bad dependency: {e}")))?;
@@ -225,18 +392,7 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
                 config.max_atoms =
                     rest.parse().map_err(|_| err(line_no, format!("bad max_atoms {rest:?}")))?;
             }
-            "pair" | "equivalent" => raw.push((two(Verb2::Equivalent, rest)?, line_no)),
-            "contains" => raw.push((two(Verb2::Contains, rest)?, line_no)),
-            "minimal" => raw.push((one(Verb1::Minimal, rest)?, line_no)),
-            "cnb" => raw.push((one(Verb1::Cnb, rest)?, line_no)),
-            "implies" => {
-                let (opts, dep) = match rest.split_once('|') {
-                    Some((o, d)) => (parse_opts(o, line_no)?, d.trim().to_string()),
-                    None => (RequestOpts::default(), rest.to_string()),
-                };
-                raw.push((RawRequest::Implies { opts, dep }, line_no));
-            }
-            other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
+            other => return Err(err(line_no, format!("unknown keyword {}", snippet(other)))),
         }
     }
     if raw.is_empty() {
@@ -250,37 +406,7 @@ pub fn parse_request_file(text: &str) -> Result<RequestFile, RequestParseError> 
     }
     let mut requests = Vec::with_capacity(raw.len());
     for (r, line_no) in raw {
-        let parse_q = |s: &str| -> Result<eqsql_cq::CqQuery, RequestParseError> {
-            parse_query(s).map_err(|e| err(line_no, format!("bad query: {e}")))
-        };
-        match r {
-            RawRequest::TwoQueries { verb, opts, q1, q2 } => {
-                let q1 = parse_q(&q1)?;
-                let q2 = parse_q(&q2)?;
-                note_atoms(&q1.body, &mut arities, line_no)?;
-                note_atoms(&q2.body, &mut arities, line_no)?;
-                requests.push(match verb {
-                    Verb2::Equivalent => Request::Equivalent { q1, q2, opts },
-                    Verb2::Contains => Request::Contained { q1, q2, opts },
-                });
-            }
-            RawRequest::OneQuery { verb, opts, q } => {
-                let q = parse_q(&q)?;
-                note_atoms(&q.body, &mut arities, line_no)?;
-                requests.push(match verb {
-                    Verb1::Minimal => Request::Minimal { q, opts },
-                    Verb1::Cnb => Request::Reformulate { q, opts },
-                });
-            }
-            RawRequest::Implies { opts, dep } => {
-                let deps = parse_dependencies(&dep)
-                    .map_err(|e| err(line_no, format!("bad dependency: {e}")))?;
-                for d in deps.iter() {
-                    note_dep(d, &mut arities, line_no)?;
-                    requests.push(Request::Implies { dep: d.clone(), opts });
-                }
-            }
-        }
+        build_requests(r, line_no, &mut arities, &mut requests)?;
     }
     let rels: Vec<(&str, usize)> = arities.iter().map(|(p, &a)| (p.name(), a)).collect();
     let mut schema = Schema::all_bags(&rels);
@@ -374,5 +500,99 @@ implies: p(X,Y) -> s(X,W).
         let r = parse_request_file("sigma: a(X) -> b(X).\nimplies: a(X) -> c(X,Y).").unwrap();
         assert_eq!(r.schema.arity(Predicate::new("c")), Some(2));
         assert_eq!(r.requests.len(), 1);
+    }
+
+    fn wire_schema() -> Schema {
+        let mut s = Schema::all_bags(&[("p", 2), ("s", 2)]);
+        s.mark_set_valued(Predicate::new("s"));
+        s
+    }
+
+    #[test]
+    fn single_line_accepts_every_verb() {
+        let schema = wire_schema();
+        let lines = [
+            "pair: set | q(X) :- p(X,Y) | q(X) :- p(X,Y), s(X,Z)",
+            "equivalent: bag max_steps=9 | q(X) :- p(X,Y) | q(X) :- p(X,Y)",
+            "contains: | q(X) :- p(X,Y), s(X,Z) | q(X) :- p(X,Y)",
+            "minimal: set | q(X) :- p(X,Y), s(X,Z)",
+            "cnb: q(X) :- p(X,Y)",
+            "implies: p(X,Y) -> s(X,W).",
+        ];
+        for line in lines {
+            parse_request_line(line, &schema).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_line_pins_the_server_schema() {
+        let schema = wire_schema();
+        // A relation the server never heard of.
+        let e = parse_request_line("minimal: q(X) :- zebra(X)", &schema).unwrap_err();
+        assert!(e.message.contains("not in the server schema"), "{e}");
+        // A known relation at the wrong arity.
+        let e = parse_request_line("minimal: q(X) :- p(X)", &schema).unwrap_err();
+        assert!(e.message.contains("arities"), "{e}");
+        // Headers configure files, not live servers.
+        for line in ["sigma: p(X,Y) -> s(X,X).", "set_valued: p", "max_steps: 9", "max_atoms: 9"] {
+            let e = parse_request_line(line, &schema).unwrap_err();
+            assert!(e.message.contains("request-file header"), "{line:?}: {e}");
+        }
+        // One implies line, one dependency, one response.
+        let e = parse_request_line("implies: p(X,Y) -> s(X,X). s(X,Y) -> p(X,X).", &schema)
+            .unwrap_err();
+        assert!(e.message.contains("one per line"), "{e}");
+    }
+
+    /// Fuzz-style corpus: every line here must come back as a parse
+    /// error — never a panic, and (at the byte entry point) never a
+    /// reason to treat the input as anything but one bad line.
+    #[test]
+    fn malformed_corpus_degrades_to_parse_errors() {
+        let schema = wire_schema();
+        let corpus: &[&[u8]] = &[
+            b"",
+            b"   ",
+            b"# just a comment",
+            b"no colon at all",
+            b":",
+            b": | a | b",
+            b"pair",
+            b"pair:",
+            b"pair: set | q(X) :- p(X,Y)",
+            b"pair: set | | ",
+            b"pair: magic | q(X) :- p(X,Y) | q(X) :- p(X,Y)",
+            b"pair: set set | q(X) :- p(X,Y) | q(X) :- p(X,Y)",
+            b"pair: max_steps=x | q(X) :- p(X,Y) | q(X) :- p(X,Y)",
+            b"pair: max_steps=-1 | q(X) :- p(X,Y) | q(X) :- p(X,Y)",
+            b"equivalent: set | q(X) :- | q(X) :- p(X,Y)",
+            b"contains: | q( | q(X) :- p(X,Y)",
+            b"minimal: ",
+            b"minimal: q(X) :- p(X,Y) extra junk",
+            b"cnb: \xc3\x28",    // invalid UTF-8 continuation
+            b"\xff\xfe\x00\x01", // binary garbage
+            b"implies: ",
+            b"implies: p(X,Y) -> ",
+            b"implies: p(X,Y) > s(X,X).",
+            b"unknown_verb: whatever",
+            b"PAIR: set | q(X) :- p(X,Y) | q(X) :- p(X,Y)", // verbs are case-sensitive
+            b"pair : set\x00 | q(X) :- p(X,Y) | q(X) :- p(X,Y)",
+        ];
+        for bytes in corpus {
+            let got = parse_request_line_bytes(bytes, &schema);
+            assert!(got.is_err(), "expected a parse error for {bytes:?}");
+        }
+        // An oversized line is rejected by length before content, and the
+        // error message does not echo the payload back.
+        let huge = vec![b'x'; MAX_LINE_BYTES + 1];
+        let e = parse_request_line_bytes(&huge, &schema).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{e}");
+        assert!(e.message.len() < 200, "oversized input echoed into the error");
+        // Junk in ordinary errors is truncated, not echoed in full.
+        let junk = format!("pair: set | q(X) :- p(X,Y) | {}", "z".repeat(10_000));
+        let _ = parse_request_line(&junk, &schema);
+        let no_colon = "y".repeat(10_000);
+        let e = parse_request_line(&no_colon, &schema).unwrap_err();
+        assert!(e.message.len() < 200, "junk echoed into the error: {} bytes", e.message.len());
     }
 }

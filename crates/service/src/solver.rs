@@ -50,6 +50,7 @@ use crate::canon::ChaseContext;
 use crate::error::Error;
 use crate::evidence::{
     BagContainmentCertificate, ContainmentCertificate, Counterexample, EquivalenceCertificate,
+    ImplicationCounterexample,
 };
 use eqsql_chase::instance::chase_database_guarded;
 use eqsql_chase::{Cancel, ChaseConfig, ChaseError, EngineOpts, FaultPlan, RunGuard, SoundChased};
@@ -181,6 +182,14 @@ pub struct BatchOptions {
     pub admission: Option<AdmissionConfig>,
     /// Retry-with-escalated-budget. `None` means one attempt per request.
     pub retry: Option<RetryPolicy>,
+    /// Per-request microseconds already spent queued *before* batch
+    /// intake — `offsets[i]` belongs to `requests[i]`; missing entries
+    /// count as zero. A network server sets this to the socket-read →
+    /// batch-submission wait, so each request's Queue-phase span (and its
+    /// wall clock, hence the latency histogram and event lines) starts at
+    /// the socket read rather than at batch assembly. Phase sums stay ≤
+    /// wall: the offset extends both ends of the accounting equally.
+    pub queue_offsets_us: Option<Vec<u64>>,
 }
 
 /// One decision of the paper's family. Construct with the query/dependency
@@ -361,6 +370,10 @@ pub enum Answer {
         chased_premise: CqQuery,
         /// The egd renaming the chase accumulated.
         renaming: Subst,
+        /// The materialized canonical-database witness (`db ⊨ Σ`,
+        /// `db ⊭ dep`), when counterexample search is enabled and the
+        /// witness replays. See [`ImplicationCounterexample`].
+        counterexample: Option<ImplicationCounterexample>,
     },
     /// The repaired instance (a model of Σ).
     ChasedInstance {
@@ -435,7 +448,9 @@ impl Verdict {
     /// of a witness (e.g. [`Answer::Minimal`]) or whose replay would
     /// require re-running a chase (the `Reformulated`/`Implied`/
     /// `ChasedInstance` terminals — the randomized differential suite
-    /// covers those against the legacy oracles) verify structurally only.
+    /// covers those against the legacy oracles) verify structurally only;
+    /// `NotImplied` replays its canonical-database counterexample when one
+    /// was attached.
     pub fn verify(
         &self,
         request: &Request,
@@ -507,12 +522,37 @@ impl Verdict {
                 }
                 Ok(())
             }
+            (Answer::NotImplied { counterexample, .. }, Request::Implies { dep, .. }) => {
+                match counterexample {
+                    Some(cex) => cex.verify(dep, sigma),
+                    None => Ok(()),
+                }
+            }
             (Answer::Reformulated { .. }, Request::Reformulate { .. })
-            | (Answer::Implied { .. } | Answer::NotImplied { .. }, Request::Implies { .. })
+            | (Answer::Implied { .. }, Request::Implies { .. })
             | (Answer::ChasedInstance { .. }, Request::ChaseInstance { .. }) => Ok(()),
             _ => mismatch(),
         }
     }
+}
+
+/// One request's completion, handed to the [`Solver::decide_all_streaming`]
+/// callback the moment the request decides — shed at intake, decided by a
+/// worker, or isolated after a panic — rather than at batch end. The same
+/// verdict also lands in the returned [`BatchReport`] at `index`.
+pub struct Completion<'a> {
+    /// The request's index in the batch's `requests` slice.
+    pub index: usize,
+    /// The verdict (borrowed; cloned into the [`BatchReport`]).
+    pub verdict: &'a Result<Verdict, Error>,
+    /// Per-decision accounting.
+    pub stats: DecisionStats,
+    /// Wall µs from batch intake, extended by the request's
+    /// [`BatchOptions::queue_offsets_us`] head start.
+    pub wall_us: u64,
+    /// Per-phase µs in [`PHASES`] order, when the solver is observing
+    /// (`None` on the timestamp-free fast path).
+    pub phase_us: Option<[u64; 5]>,
 }
 
 /// A batch of decisions: verdicts in request order plus aggregate
@@ -781,24 +821,6 @@ struct TraceObs<'a> {
     origin: Instant,
 }
 
-/// `(outcome, terminal)` labels of an error for the event line. The
-/// terminal separates "decided negatively" (`error`) from the transient
-/// ways a request dies (`deadline`, `cancelled`, `shed`, `panic`).
-fn error_labels(e: &Error) -> (&'static str, &'static str) {
-    match e {
-        Error::Parse { .. } => ("parse-error", "error"),
-        Error::BudgetExhausted { .. } => ("budget-exhausted", "error"),
-        Error::QueryTooLarge { .. } => ("query-too-large", "error"),
-        Error::PlanTooLarge { .. } => ("plan-too-large", "error"),
-        Error::EgdFailure { .. } => ("egd-failure", "error"),
-        Error::UnsupportedSemantics { .. } => ("unsupported-semantics", "error"),
-        Error::DeadlineExceeded { .. } => ("deadline-exceeded", "deadline"),
-        Error::Cancelled { .. } => ("cancelled", "cancelled"),
-        Error::Shed { .. } => ("shed", "shed"),
-        Error::Internal { .. } => ("internal", "panic"),
-    }
-}
-
 /// Best-effort extraction of a panic payload's message (the `&str` and
 /// `String` payloads `panic!` produces cover practically everything).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -995,7 +1017,7 @@ impl Solver {
         if let Some(sink) = &self.trace_sink {
             let (outcome, terminal) = match &out.0 {
                 Ok(v) => (v.answer.label(), "ok"),
-                Err(e) => error_labels(e),
+                Err(e) => e.labels(),
             };
             sink.emit(&obs.ctx.render(obs.req, request.label(), outcome, terminal, wall_us));
         }
@@ -1047,12 +1069,35 @@ impl Solver {
     /// * **cancellation / deadline** — [`BatchOptions::cancel`] and
     ///   [`BatchOptions::deadline_ms`] guard every admitted request.
     pub fn decide_all_with(&self, requests: &[Request], opts: &BatchOptions) -> BatchReport {
+        self.decide_all_streaming(requests, opts, &|_| {})
+    }
+
+    /// [`Solver::decide_all_with`] plus a per-request completion hook:
+    /// `on_complete` fires from whichever worker thread finished the
+    /// request (or synchronously at intake for shed requests), as soon as
+    /// its verdict exists — not at batch end. A network server uses this
+    /// to stream response lines back while the rest of the batch is still
+    /// deciding. The callback must be `Sync` (workers call it
+    /// concurrently) and should be quick: it runs on the worker's time.
+    pub fn decide_all_streaming(
+        &self,
+        requests: &[Request],
+        opts: &BatchOptions,
+        on_complete: &(dyn Fn(Completion<'_>) + Sync),
+    ) -> BatchReport {
         let start = Instant::now();
         self.batches.fetch_add(1, Ordering::Relaxed);
         let observing = self.observing();
         let n = requests.len();
         let slots: Vec<OnceLock<(Result<Verdict, Error>, DecisionStats)>> =
             (0..n).map(|_| OnceLock::new()).collect();
+        // Request i's clock starts `queue_offsets_us[i]` *before* batch
+        // intake (the socket-read instant, for a network server), so its
+        // Queue span and wall clock cover the pre-batch wait too.
+        let origin = |i: usize| {
+            let off = opts.queue_offsets_us.as_ref().and_then(|v| v.get(i)).copied().unwrap_or(0);
+            start.checked_sub(Duration::from_micros(off)).unwrap_or(start)
+        };
         // Admission: a bounded queue filled in request order. RejectNew
         // sheds each arrival past capacity; CancelOldest sheds the oldest
         // *waiting* request to admit the newcomer. Intake is synchronous
@@ -1080,14 +1125,24 @@ impl Solver {
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     let rejection =
                         (Err(Error::Shed { capacity: adm.capacity }), DecisionStats::default());
+                    let o = origin(victim);
+                    let mut phase_us = None;
                     if observing {
                         // A shed request still gets a complete event: its
                         // whole life was queue wait.
                         let ctx = TraceCtx::new();
-                        ctx.add_us(Phase::Queue, start.elapsed().as_micros() as u64);
-                        let obs = TraceObs { ctx: &ctx, req: victim as u64, origin: start };
+                        ctx.add_us(Phase::Queue, o.elapsed().as_micros() as u64);
+                        let obs = TraceObs { ctx: &ctx, req: victim as u64, origin: o };
                         self.finish_traced(&requests[victim], &rejection, &obs);
+                        phase_us = Some(PHASES.map(|p| ctx.phase_us(p)));
                     }
+                    on_complete(Completion {
+                        index: victim,
+                        verdict: &rejection.0,
+                        stats: rejection.1,
+                        wall_us: o.elapsed().as_micros() as u64,
+                        phase_us,
+                    });
                     let _ = slots[victim].set(rejection);
                 }
             }
@@ -1095,14 +1150,27 @@ impl Solver {
         let workers = self.threads.min(admitted.len()).max(1);
         let next = AtomicUsize::new(0);
         let run = |i: usize| {
-            if !observing {
-                return self.decide_resilient(&requests[i], opts, None);
-            }
-            let ctx = TraceCtx::new();
-            // Queue wait: batch intake until this worker picked it up.
-            ctx.add_us(Phase::Queue, start.elapsed().as_micros() as u64);
-            let obs = TraceObs { ctx: &ctx, req: i as u64, origin: start };
-            self.decide_resilient(&requests[i], opts, Some(&obs))
+            let o = origin(i);
+            let (decided, phase_us) = if observing {
+                let ctx = TraceCtx::new();
+                // Queue wait: request arrival until this worker picked it
+                // up (intake plus any pre-batch head start).
+                ctx.add_us(Phase::Queue, o.elapsed().as_micros() as u64);
+                let obs = TraceObs { ctx: &ctx, req: i as u64, origin: o };
+                let decided = self.decide_resilient(&requests[i], opts, Some(&obs));
+                let phase_us = Some(PHASES.map(|p| ctx.phase_us(p)));
+                (decided, phase_us)
+            } else {
+                (self.decide_resilient(&requests[i], opts, None), None)
+            };
+            on_complete(Completion {
+                index: i,
+                verdict: &decided.0,
+                stats: decided.1,
+                wall_us: o.elapsed().as_micros() as u64,
+                phase_us,
+            });
+            decided
         };
         if workers == 1 {
             for &i in &admitted {
@@ -1320,7 +1388,13 @@ impl Solver {
                         vacuous: false,
                     })
                 } else {
-                    Ok(Answer::NotImplied { chased_premise: c.query, renaming: c.chased.renaming })
+                    let counterexample =
+                        self.implication_counterexample(chaser.trace, dep, &c.query);
+                    Ok(Answer::NotImplied {
+                        chased_premise: c.query,
+                        renaming: c.chased.renaming,
+                        counterexample,
+                    })
                 }
             }
             Request::ChaseInstance { db, .. } => {
@@ -1459,6 +1533,33 @@ impl Solver {
             None => Ok(Answer::NotContained {
                 counterexample: self.containment_counterexample(chaser.trace, &c1.query, q1, q2),
             }),
+        }
+    }
+
+    /// The canonical database of the chased premise is *the* implication
+    /// counterexample (the terminal satisfies Σ; the failed conclusion
+    /// check is witnessed by the canonical embedding). Built only when
+    /// counterexample search is on; attached only if it replays, so a
+    /// `NotImplied` verdict never carries evidence its own `verify` would
+    /// reject.
+    fn implication_counterexample(
+        &self,
+        trace: Option<&TraceCtx>,
+        dep: &Dependency,
+        chased_premise: &CqQuery,
+    ) -> Option<ImplicationCounterexample> {
+        if !self.counterexamples {
+            return None;
+        }
+        let build = || {
+            let cex = ImplicationCounterexample { db: canonical_database(chased_premise, 0).db };
+            cex.verify(dep, &self.sigma).ok()?;
+            Some(cex)
+        };
+        match trace {
+            // No nested chases: the whole construction is Evidence time.
+            Some(t) => t.time(Phase::Evidence, build),
+            None => build(),
         }
     }
 

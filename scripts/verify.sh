@@ -22,10 +22,10 @@ echo "== benches compile (cargo bench --no-run)"
 cargo bench --no-run -q
 
 echo "== examples + experiments binaries compile"
-cargo build -q -p eqsql-examples -p eqsql-bench -p eqsql-service --bins
+cargo build -q -p eqsql-examples -p eqsql-bench -p eqsql-net --bins
 
 echo "== eqsql-serve smoke (full verb family on the committed fixture)"
-SERVE_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+SERVE_OUT="$(cargo run -q -p eqsql-net --bin eqsql-serve -- \
     --threads 2 --repeat 2 crates/service/fixtures/smoke.req)"
 echo "$SERVE_OUT" | sed 's/^/  /'
 echo "$SERVE_OUT" | grep -q "batch: 13 requests (7 positive, 6 other, 0 errors)" \
@@ -39,7 +39,7 @@ echo "$SERVE_OUT" | grep -q "not-implied" \
 
 echo "== observability smoke (--metrics --trace over the committed fixture)"
 TRACE_FILE="$(mktemp)"
-OBS_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+OBS_OUT="$(cargo run -q -p eqsql-net --bin eqsql-serve -- \
     --quiet --metrics --trace "$TRACE_FILE" --threads 2 crates/service/fixtures/smoke.req)"
 echo "$OBS_OUT" | grep -E '^metric:' | sed 's/^/  /'
 echo "$OBS_OUT" | grep -q '^metric: latency count=13 ' \
@@ -71,9 +71,9 @@ rm -f "$TRACE_FILE"
 echo "== persistence smoke (cold run, then warm restart over the same --cache-dir)"
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT
-COLD_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+COLD_OUT="$(cargo run -q -p eqsql-net --bin eqsql-serve -- \
     --cache-dir "$CACHE_DIR" crates/service/fixtures/smoke.req)"
-WARM_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+WARM_OUT="$(cargo run -q -p eqsql-net --bin eqsql-serve -- \
     --cache-dir "$CACHE_DIR" crates/service/fixtures/smoke.req)"
 # Verdicts (everything except the run-local stats lines) must be identical
 # across the restart: the disk tier may change *how* an answer is computed,
@@ -93,7 +93,7 @@ if echo "$WARM_OUT" | grep -Eq '^persist: .*io errors'; then
 fi
 # A read-only replica over the same directory must leave the log untouched.
 LOG_BYTES_BEFORE="$(wc -c < "$CACHE_DIR/log.eqc")"
-cargo run -q -p eqsql-service --bin eqsql-serve -- --quiet \
+cargo run -q -p eqsql-net --bin eqsql-serve -- --quiet \
     --cache-dir "$CACHE_DIR" --cache-read-only crates/service/fixtures/smoke.req >/dev/null
 [ "$(wc -c < "$CACHE_DIR/log.eqc")" -eq "$LOG_BYTES_BEFORE" ] \
     || { echo "persist smoke: read-only replica wrote to the log" >&2; exit 1; }
@@ -101,18 +101,48 @@ cargo run -q -p eqsql-service --bin eqsql-serve -- --quiet \
 echo "== fault-injection smoke (expired deadline fails every verdict, never cached)"
 # --deadline-ms 0 means "already expired": every request must come back
 # error (deadline exceeded), deterministically — no timing races.
-FAULT_OUT="$(cargo run -q -p eqsql-service --bin eqsql-serve -- \
+FAULT_OUT="$(cargo run -q -p eqsql-net --bin eqsql-serve -- \
     --deadline-ms 0 crates/service/fixtures/smoke.req)"
 echo "$FAULT_OUT" | grep -q "batch: 13 requests (0 positive, 0 other, 13 errors)" \
     || { echo "fault smoke: expected all 13 verdicts to fail" >&2; exit 1; }
 [ "$(echo "$FAULT_OUT" | grep -c "error (deadline exceeded")" -eq 13 ] \
     || { echo "fault smoke: expected 13 deadline-exceeded verdicts" >&2; exit 1; }
 # --strict must turn the error verdicts into a nonzero exit.
-if cargo run -q -p eqsql-service --bin eqsql-serve -- \
+if cargo run -q -p eqsql-net --bin eqsql-serve -- \
     --strict --quiet --deadline-ms 0 crates/service/fixtures/smoke.req >/dev/null 2>&1; then
     echo "fault smoke: --strict should exit nonzero on error verdicts" >&2; exit 1
 fi
 # And the default run above already proved the same file decides cleanly
 # (13 requests, 0 errors) when unguarded — expired runs were not cached.
+
+echo "== net smoke (eqsql-serve --listen, two concurrent clients, graceful drain)"
+NET_LOG="$(mktemp)"
+trap 'rm -rf "$CACHE_DIR"; rm -f "$NET_LOG"' EXIT
+cargo run -q -p eqsql-net --bin eqsql-serve -- \
+    --threads 2 --listen 127.0.0.1:0 crates/service/fixtures/smoke.req > "$NET_LOG" 2>&1 &
+NET_PID=$!
+NET_ADDR=""
+for _ in $(seq 1 100); do
+    NET_ADDR="$(sed -n 's/^listening on //p' "$NET_LOG")"
+    [ -n "$NET_ADDR" ] && break
+    kill -0 "$NET_PID" 2>/dev/null \
+        || { cat "$NET_LOG" >&2; echo "net smoke: server died before listening" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$NET_ADDR" ] \
+    || { cat "$NET_LOG" >&2; echo "net smoke: server never reported its address" >&2; exit 1; }
+NET_OUT="$(cargo run -q -p eqsql-net --bin netdrive -- \
+    --clients 2 --stats --drain "$NET_ADDR" crates/service/fixtures/smoke.req)"
+echo "$NET_OUT" | sed 's/^/  /'
+# The socket path must split the fixture exactly like file mode does.
+echo "$NET_OUT" | grep -q "split: 7 positive, 6 other, 0 errors (13 verdicts over 2 client(s))" \
+    || { echo "net smoke: socket verdicts diverge from file mode" >&2; exit 1; }
+echo "$NET_OUT" | grep -q "^stats: ok" \
+    || { echo "net smoke: stats verb returned missing or invalid JSON" >&2; exit 1; }
+# The drain must let the server exit cleanly with its final accounting.
+wait "$NET_PID" \
+    || { cat "$NET_LOG" >&2; echo "net smoke: drained server exited nonzero" >&2; exit 1; }
+grep -Eq '^net: 3 connection\(s\) accepted, 0 rejected, 13 request\(s\) served' "$NET_LOG" \
+    || { cat "$NET_LOG" >&2; echo "net smoke: final net accounting line wrong" >&2; exit 1; }
 
 echo "verify: OK"

@@ -1,0 +1,200 @@
+//! End-to-end tests of the `eqsql_net` TCP server: the socket path must
+//! be *verdict-identical* to file mode (same solver, same requests, same
+//! outcome labels), concurrent clients must interleave without
+//! cross-talk or shedding, a mid-batch `drain` must cancel in-flight
+//! work into clean `terminal=cancelled` verdicts and a clean close, and
+//! hostile input (malformed lines, over-limit connections) must degrade
+//! per-line / per-connection, never per-server.
+
+use eqsql_bench::workloads::request_lines;
+use eqsql_net::{Client, Response, Server, ServerConfig};
+use eqsql_service::{parse_request_file, Solver};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The committed smoke fixture: Example 4.1 over the full verb family,
+/// 13 requests splitting 7 positive / 6 other / 0 errors.
+fn smoke_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../crates/service/fixtures/smoke.req");
+    std::fs::read_to_string(path).expect("smoke fixture readable")
+}
+
+fn start_server(text: &str, config: ServerConfig) -> (Server, Arc<Solver>) {
+    let parsed = parse_request_file(text).expect("fixture parses");
+    let solver =
+        Arc::new(Solver::builder(parsed.sigma, parsed.schema).chase_config(parsed.config).build());
+    let server = Server::start(Arc::clone(&solver), "127.0.0.1:0", config)
+        .expect("bind an ephemeral loopback port");
+    (server, solver)
+}
+
+/// N concurrent clients splitting the smoke fixture round-robin must
+/// reproduce, line for line, the outcome labels of file mode over the
+/// same solver configuration — and the shared admission accounting must
+/// show exactly zero sheds and retries (default envelope admits all).
+#[test]
+fn concurrent_clients_match_file_mode_verdict_for_verdict() {
+    let text = smoke_text();
+    let lines = request_lines(&text);
+    assert_eq!(lines.len(), 13, "smoke fixture drifted");
+
+    // File mode: one solver, sequential decides, per-line outcome labels.
+    let parsed = parse_request_file(&text).unwrap();
+    let file_solver = Solver::builder(parsed.sigma.clone(), parsed.schema.clone())
+        .chase_config(parsed.config)
+        .build();
+    assert_eq!(parsed.requests.len(), lines.len(), "one request per verb line");
+    let expected: Vec<(String, bool)> = parsed
+        .requests
+        .iter()
+        .map(|req| match file_solver.decide(req) {
+            Ok(v) => (v.answer.label().to_string(), v.is_positive()),
+            Err(e) => (e.labels().0.to_string(), false),
+        })
+        .collect();
+    assert_eq!(expected.iter().filter(|(_, pos)| *pos).count(), 7, "{expected:?}");
+    assert!(expected.iter().all(|(label, _)| !label.ends_with("error")), "{expected:?}");
+
+    let (server, solver) = start_server(&text, ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    const CLIENTS: usize = 3;
+    // client k takes lines k, k+N, k+2N, … — interleaved, pipelined.
+    let got: Vec<(usize, String, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                let addr = &addr;
+                let lines = &lines;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut line_of_id: HashMap<u64, usize> = HashMap::new();
+                    for (global, line) in lines.iter().enumerate().skip(k).step_by(CLIENTS) {
+                        let id = client.send(line).expect("send");
+                        line_of_id.insert(id, global);
+                    }
+                    client.finish_sending().expect("half-close");
+                    let mut out = Vec::new();
+                    for _ in 0..line_of_id.len() {
+                        let v = client
+                            .recv_verdict()
+                            .expect("recv")
+                            .expect("a verdict per request before close");
+                        let global = *line_of_id.get(&v.id).expect("verdict for a sent id");
+                        out.push((global, v.outcome, v.positive));
+                    }
+                    assert!(client.recv().expect("clean close").is_none());
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+
+    assert_eq!(got.len(), lines.len(), "one verdict per line across all clients");
+    for (global, outcome, positive) in got {
+        assert_eq!(
+            (outcome.as_str(), positive),
+            (expected[global].0.as_str(), expected[global].1),
+            "line {global} diverged from file mode: {}",
+            lines[global]
+        );
+    }
+    let stats = solver.stats();
+    assert_eq!(
+        (stats.shed, stats.retries, stats.panics),
+        (0, 0, 0),
+        "default envelope must admit everything exactly once: {stats:?}"
+    );
+    assert_eq!(stats.requests, lines.len() as u64, "{stats:?}");
+    server.drain();
+    let report = server.join();
+    assert_eq!(report.connections, CLIENTS as u64, "{report:?}");
+    assert_eq!(report.served, lines.len() as u64, "{report:?}");
+}
+
+/// `drain` with a decision in flight: the in-flight chase is cancelled
+/// through the batch token, its verdict still arrives (one response per
+/// request, `terminal=cancelled`), and the connection then closes
+/// cleanly. The server's `join` returns.
+#[test]
+fn drain_mid_batch_cancels_in_flight_into_verdicts() {
+    // A diverging Σ under an enormous step budget: without cancellation
+    // this request runs for minutes.
+    let text = "sigma: e(X,Y) -> e(Y,Z).\n\
+                pair: set | q(X) :- e(X,Y) | q(X) :- e(X,Y), e(Y,Z)\n";
+    let (server, _solver) = start_server(text, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .send("equivalent: set max_steps=100000000 | q(X) :- e(X,Y) | q(X) :- e(X,Y), e(Y,Z)")
+        .expect("send");
+    // Let the dispatcher pick the request up so the cancel lands mid-chase.
+    std::thread::sleep(Duration::from_millis(300));
+    client.drain().expect("draining acknowledged");
+    let v = client
+        .recv_verdict()
+        .expect("recv")
+        .expect("cancelled requests still produce a verdict line");
+    assert_eq!(v.terminal, "cancelled", "{v:?}");
+    assert_eq!(v.outcome, "cancelled", "{v:?}");
+    assert!(!v.positive, "{v:?}");
+    assert!(client.recv().expect("clean close after flush").is_none());
+    let report = server.join();
+    assert_eq!(report.served, 1, "{report:?}");
+}
+
+/// Malformed lines are answered per line — unknown verbs, header
+/// keywords, unknown relations, oversized lines — and the connection
+/// keeps serving valid requests afterwards.
+#[test]
+fn malformed_lines_degrade_per_line_not_per_connection() {
+    let text = smoke_text();
+    let (server, _solver) = start_server(&text, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for bad in [
+        "frobnicate: q(X) :- p(X,Y)".to_string(),
+        "sigma: p(X,Y) -> s(X,Z).".to_string(),
+        "pair: set | q(X) :- zzz(X) | q(X) :- zzz(X)".to_string(),
+        format!("pair: set | q(X) :- {} | q(X) :- p(X,Y)", "a".repeat(70_000)),
+    ] {
+        let id = client.send(&bad).expect("send");
+        let v = client.recv_verdict().expect("recv").expect("a verdict per bad line");
+        assert_eq!(v.id, id, "parse errors answer under the request's id");
+        assert_eq!((v.outcome.as_str(), v.terminal.as_str()), ("parse-error", "error"), "{v:?}");
+        assert!(v.msg.is_some(), "parse errors carry the parser message: {v:?}");
+    }
+
+    assert!(client.ping().expect("ping"), "connection must survive hostile lines");
+    client.send("minimal: set | q4(X) :- p(X,Y)").expect("send");
+    let v = client.recv_verdict().expect("recv").expect("verdict");
+    assert_eq!((v.outcome.as_str(), v.terminal.as_str()), ("minimal", "ok"), "{v:?}");
+    drop(client);
+    server.drain();
+    server.join();
+}
+
+/// The `max_connections`-th+1 connection gets one `busy max=N` line and
+/// a close; the connection it would have displaced is unaffected.
+#[test]
+fn over_limit_connections_are_rejected_with_busy() {
+    let text = smoke_text();
+    let (server, _solver) =
+        start_server(&text, ServerConfig { max_connections: 1, ..ServerConfig::default() });
+    let mut first = Client::connect(server.local_addr()).expect("connect");
+    assert!(first.ping().expect("first connection is live"));
+
+    let mut second = Client::connect(server.local_addr()).expect("TCP connect still succeeds");
+    match second.recv().expect("read the rejection") {
+        Some(Response::Busy { max }) => assert_eq!(max, 1),
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert!(second.recv().expect("rejected connection closes").is_none());
+
+    assert!(first.ping().expect("surviving connection unaffected"));
+    drop(first);
+    drop(second);
+    server.drain();
+    let report = server.join();
+    assert_eq!((report.connections, report.rejected), (1, 1), "{report:?}");
+}

@@ -520,6 +520,91 @@ fn snapshot_compaction_round_trips_through_restart() {
     assert_eq!(s.persist.disk_hits, 5, "{s:?}");
 }
 
+// ------------------------------------------------- single-writer locking
+
+/// Two writable opens of one cache dir must not coexist: the second
+/// fails fast (`AddrInUse`, naming the live holder's pid), and the
+/// degrading constructor ([`ChaseCache::new`] via `Solver::builder`)
+/// falls back to memory-only with the failure visible in `io_errors`.
+#[test]
+fn second_writable_open_of_a_locked_dir_fails_fast() {
+    let scratch = Scratch::new("lock-conflict");
+    let dir = scratch.path();
+    let holder = ChaseCache::open(cache_config(persist_at(dir))).unwrap();
+    assert!(dir.join("writer.lock").exists(), "writable open must take the lock");
+
+    let err = match ChaseCache::open(cache_config(persist_at(dir))) {
+        Err(e) => e,
+        Ok(_) => panic!("second writable open must fail while the lock is held"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    assert!(
+        err.to_string().contains(&std::process::id().to_string()),
+        "error must name the holding pid: {err}"
+    );
+
+    // The non-surfacing constructor degrades instead of failing.
+    let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+    let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+    let degraded = solver_with(&sigma, &schema, Some(persist_at(dir)));
+    let p = degraded.stats().cache.persist;
+    assert_eq!(p.io_errors, 1, "degradation must be observable: {p:?}");
+    drop(holder);
+}
+
+/// Read-only replicas bypass the lock entirely: they open alongside a
+/// live writer, and leave no lock of their own behind.
+#[test]
+fn read_only_open_bypasses_the_writer_lock() {
+    let scratch = Scratch::new("lock-read-only");
+    let dir = scratch.path();
+    let sigma = parse_dependencies("a(X) -> b(X).").unwrap();
+    let schema = Schema::all_bags(&[("a", 1), ("b", 1)]);
+    let writer = solver_with(&sigma, &schema, Some(persist_at(dir)));
+    let q = parse_query("q(X) :- a(X)").unwrap();
+    let req = Request::Equivalent { q1: q.clone(), q2: q, opts: RequestOpts::default() };
+    writer.decide(&req).unwrap();
+
+    let mut ro = persist_at(dir);
+    ro.read_only = true;
+    let replica = ChaseCache::open(cache_config(ro)).unwrap();
+    assert_eq!(replica.stats().persist.io_errors, 0);
+    drop(replica);
+    assert!(dir.join("writer.lock").exists(), "replica must not release the writer's lock");
+    drop(writer);
+    assert!(!dir.join("writer.lock").exists(), "writer drop must release the lock");
+}
+
+/// A lock left by a dead process (its pid no longer runs) or holding
+/// unreadable garbage is stale: the next writable open reclaims it
+/// silently. Dropping that open releases the reclaimed lock.
+#[test]
+fn stale_and_garbage_locks_are_reclaimed() {
+    let scratch = Scratch::new("lock-stale");
+    let dir = scratch.path();
+    // A pid far above the kernel's pid_max: certainly not running.
+    std::fs::write(dir.join("writer.lock"), "999999999").unwrap();
+    let cache = ChaseCache::open(cache_config(persist_at(dir))).unwrap();
+    assert_eq!(cache.stats().persist.io_errors, 0);
+    drop(cache);
+    assert!(!dir.join("writer.lock").exists(), "reclaimed lock must release on drop");
+
+    std::fs::write(dir.join("writer.lock"), b"\xFFnot a pid\xFF").unwrap();
+    let cache = ChaseCache::open(cache_config(persist_at(dir))).unwrap();
+    assert_eq!(cache.stats().persist.io_errors, 0);
+    drop(cache);
+    assert!(!dir.join("writer.lock").exists());
+
+    // Our own pid is *live* by definition — even hand-planted, it must
+    // conflict (another tier in this process could be the holder).
+    std::fs::write(dir.join("writer.lock"), std::process::id().to_string()).unwrap();
+    assert!(
+        ChaseCache::open(cache_config(persist_at(dir))).is_err(),
+        "a lock naming a live pid must conflict"
+    );
+    std::fs::remove_file(dir.join("writer.lock")).unwrap();
+}
+
 // ------------------------------------ satellite 3: warm-start differential
 
 /// 150 randomized weakly acyclic draws (the parameters of the solver
